@@ -1,0 +1,162 @@
+//! Ablation benches for the design choices DESIGN.md calls out: they
+//! measure both runtime (Criterion) and print the accuracy impact of
+//! each choice, so `cargo bench` doubles as the ablation study:
+//!
+//! * forest size (number of trees),
+//! * tree depth limit,
+//! * split-candidate breadth (`max_features`),
+//! * bootstrap on/off,
+//! * feature families removed one at a time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use features::{FeatureConfig, FeatureExtractor};
+use forest::tree::TreeParams;
+use forest::{
+    train_test_split, ConfusionMatrix, Dataset, RandomForest, RandomForestParams,
+};
+use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
+
+fn study_dataset() -> Dataset {
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.15), 2018));
+    let census = Census::new(&fleet);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    extractor.build_dataset(&census, None).0
+}
+
+fn holdout_accuracy(data: &Dataset, params: &RandomForestParams) -> f64 {
+    let (train, test) = train_test_split(data, 0.25, 7);
+    let model = RandomForest::fit(&train, params, 7);
+    let preds: Vec<usize> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+    let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
+    ConfusionMatrix::from_predictions(&preds, &actual).accuracy()
+}
+
+fn ablate_trees(c: &mut Criterion) {
+    let data = study_dataset();
+    let mut group = c.benchmark_group("ablation_trees");
+    group.sample_size(10);
+    for &n_trees in &[10usize, 40, 120] {
+        let params = RandomForestParams {
+            n_trees,
+            ..RandomForestParams::default()
+        };
+        eprintln!(
+            "[ablation] trees = {n_trees:>4}: holdout accuracy {:.3}",
+            holdout_accuracy(&data, &params)
+        );
+        group.bench_with_input(BenchmarkId::new("fit", n_trees), &params, |b, params| {
+            b.iter(|| RandomForest::fit(black_box(&data), params, 42))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_depth(c: &mut Criterion) {
+    let data = study_dataset();
+    let mut group = c.benchmark_group("ablation_depth");
+    group.sample_size(10);
+    for &max_depth in &[4usize, 10, 24] {
+        let params = RandomForestParams {
+            n_trees: 40,
+            tree: TreeParams {
+                max_depth,
+                ..TreeParams::default()
+            },
+            ..RandomForestParams::default()
+        };
+        eprintln!(
+            "[ablation] depth = {max_depth:>3}: holdout accuracy {:.3}",
+            holdout_accuracy(&data, &params)
+        );
+        group.bench_with_input(BenchmarkId::new("fit", max_depth), &params, |b, params| {
+            b.iter(|| RandomForest::fit(black_box(&data), params, 42))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_bootstrap(c: &mut Criterion) {
+    let data = study_dataset();
+    let mut group = c.benchmark_group("ablation_bootstrap");
+    group.sample_size(10);
+    for bootstrap in [true, false] {
+        let params = RandomForestParams {
+            n_trees: 40,
+            bootstrap,
+            ..RandomForestParams::default()
+        };
+        eprintln!(
+            "[ablation] bootstrap = {bootstrap}: holdout accuracy {:.3}",
+            holdout_accuracy(&data, &params)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fit", bootstrap),
+            &params,
+            |b, params| b.iter(|| RandomForest::fit(black_box(&data), params, 42)),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_feature_families(c: &mut Criterion) {
+    // Dropping a family measures its contribution — the ablation behind
+    // the paper's §5.4 importance ranking.
+    let data = study_dataset();
+    let families: Vec<(&str, Box<dyn Fn(&str) -> bool>)> = vec![
+        ("full", Box::new(|_: &str| true)),
+        (
+            "no-history",
+            Box::new(|n: &str| !n.starts_with("hist_")),
+        ),
+        (
+            "no-names",
+            Box::new(|n: &str| !(n.starts_with("server_") || n.starts_with("db_"))),
+        ),
+        (
+            "no-time",
+            Box::new(|n: &str| !n.starts_with("created_")),
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation_families");
+    group.sample_size(10);
+    for (label, keep) in &families {
+        let keep_idx: Vec<usize> = data
+            .feature_names()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| keep(n))
+            .map(|(i, _)| i)
+            .collect();
+        let names: Vec<String> = keep_idx
+            .iter()
+            .map(|&i| data.feature_names()[i].clone())
+            .collect();
+        let mut subset = Dataset::new(names, 2);
+        for r in 0..data.len() {
+            let row: Vec<f64> = keep_idx.iter().map(|&i| data.row(r)[i]).collect();
+            subset.push(row, data.label(r));
+        }
+        let params = RandomForestParams {
+            n_trees: 40,
+            ..RandomForestParams::default()
+        };
+        eprintln!(
+            "[ablation] features = {label:<12}: holdout accuracy {:.3} ({} features)",
+            holdout_accuracy(&subset, &params),
+            subset.feature_count()
+        );
+        group.bench_function(BenchmarkId::new("fit", label), |b| {
+            b.iter(|| RandomForest::fit(black_box(&subset), &params, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_trees,
+    ablate_depth,
+    ablate_bootstrap,
+    ablate_feature_families
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benches for the feature pipeline: per-family
+//! extraction, whole-record extraction, history indexing, and dataset
+//! construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use features::{name_features, FeatureConfig, FeatureExtractor, SubscriptionHistoryIndex};
+use simtime::Duration;
+use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
+
+fn fleet() -> Fleet {
+    Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.2), 77))
+}
+
+fn bench_name_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("name_features");
+    group.throughput(Throughput::Elements(1));
+    for name in ["payroll-db", "d3adb33f-1a2b-4c5d-8e9f-0a1b2c3d4e5f"] {
+        group.bench_function(name, |b| b.iter(|| name_features(black_box(name))));
+    }
+    group.finish();
+}
+
+fn bench_history_index(c: &mut Criterion) {
+    let f = fleet();
+    let mut group = c.benchmark_group("subscription_history");
+    group.sample_size(20);
+    group.bench_function("build_index", |b| {
+        b.iter(|| SubscriptionHistoryIndex::build(black_box(&f)))
+    });
+    let index = SubscriptionHistoryIndex::build(&f);
+    let db = &f.databases[f.databases.len() / 2];
+    group.bench_function("history_features", |b| {
+        b.iter(|| {
+            black_box(&index)
+                .history_features(black_box(db), db.created_at + Duration::days(2))
+        })
+    });
+    group.finish();
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let f = fleet();
+    let census = Census::new(&f);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    let db = &f.databases[100];
+    c.bench_function("extract_one_record", |b| {
+        b.iter(|| black_box(&extractor).extract(&census, black_box(db)))
+    });
+}
+
+fn bench_build_dataset(c: &mut Criterion) {
+    let f = fleet();
+    let census = Census::new(&f);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    let mut group = c.benchmark_group("build_dataset");
+    group.sample_size(10);
+    group.bench_function("whole_region", |b| {
+        b.iter(|| black_box(&extractor).build_dataset(&census, None))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_name_features,
+    bench_history_index,
+    bench_extract,
+    bench_build_dataset
+);
+criterion_main!(benches);

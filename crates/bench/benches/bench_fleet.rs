@@ -1,0 +1,49 @@
+//! Criterion micro-benches for the telemetry substrate: fleet
+//! generation across scales, event-stream flattening, and census
+//! queries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use telemetry::{Census, EventStream, Fleet, FleetConfig, RegionConfig};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_generate");
+    group.sample_size(10);
+    for &scale in &[0.05_f64, 0.2, 0.5] {
+        group.bench_with_input(BenchmarkId::new("region1", scale), &scale, |b, &scale| {
+            b.iter(|| {
+                Fleet::generate(FleetConfig::new(
+                    RegionConfig::region_1().scaled(black_box(scale)),
+                    42,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_stream(c: &mut Criterion) {
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.1), 7));
+    let mut group = c.benchmark_group("event_stream");
+    group.sample_size(10);
+    group.bench_function("of_fleet_0.1", |b| {
+        b.iter(|| EventStream::of_fleet(black_box(&fleet)))
+    });
+    group.finish();
+}
+
+fn bench_census(c: &mut Criterion) {
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.2), 9));
+    let census = Census::new(&fleet);
+    c.bench_function("survival_pairs_2d", |b| {
+        b.iter(|| black_box(&census).survival_pairs(2.0))
+    });
+    c.bench_function("prediction_population", |b| {
+        b.iter(|| black_box(&census).prediction_population(2.0))
+    });
+    c.bench_function("ephemeral_only_stats", |b| {
+        b.iter(|| black_box(&census).ephemeral_only_stats())
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_event_stream, bench_census);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Criterion micro-benches for the tree/forest learner: single-tree
+//! fit, forest fit across sizes, prediction throughput, and metric
+//! computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use forest::tree::TreeParams;
+use forest::{Dataset, DecisionTree, GbmParams, GradientBoosting, MaxFeatures, RandomForest, RandomForestParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A learnable synthetic dataset shaped like the study's: some strong
+/// features, some weak, some noise.
+fn dataset(n: usize, features: usize, seed: u64) -> Dataset {
+    let names: Vec<String> = (0..features).map(|j| format!("f{j}")).collect();
+    let mut data = Dataset::new(names, 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..features).map(|_| rng.gen::<f64>()).collect();
+        let signal = row[0] * 2.0 + row[1] - row[2] * 0.5 + rng.gen::<f64>() * 0.4;
+        data.push(row, (signal > 1.45) as usize);
+    }
+    data
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_tree");
+    for &n in &[1_000usize, 5_000] {
+        let data = dataset(n, 40, 1);
+        let idx: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &data, |b, data| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                DecisionTree::fit(
+                    black_box(data),
+                    &idx,
+                    &TreeParams::default(),
+                    7,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_forest_fit");
+    group.sample_size(10);
+    for &(n, trees) in &[(2_000usize, 20usize), (5_000, 60)] {
+        let data = dataset(n, 40, 2);
+        let params = RandomForestParams {
+            n_trees: trees,
+            ..RandomForestParams::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("fit", format!("{n}x{trees}")),
+            &data,
+            |b, data| b.iter(|| RandomForest::fit(black_box(data), &params, 42)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_forest_predict(c: &mut Criterion) {
+    let data = dataset(5_000, 40, 3);
+    let model = RandomForest::fit(&data, &RandomForestParams::default(), 11);
+    let mut group = c.benchmark_group("random_forest_predict");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("predict_proba", |b| {
+        let row = data.row(17);
+        b.iter(|| black_box(&model).predict_proba(black_box(row)))
+    });
+    group.finish();
+}
+
+fn bench_importances(c: &mut Criterion) {
+    let data = dataset(3_000, 60, 4);
+    let model = RandomForest::fit(&data, &RandomForestParams::default(), 13);
+    c.bench_function("feature_importances_60f", |b| {
+        b.iter(|| black_box(&model).feature_importances())
+    });
+}
+
+fn bench_max_features(c: &mut Criterion) {
+    // How split-candidate breadth affects training cost.
+    let data = dataset(2_000, 60, 5);
+    let mut group = c.benchmark_group("max_features");
+    group.sample_size(10);
+    for (label, mf) in [
+        ("sqrt", MaxFeatures::Sqrt),
+        ("log2", MaxFeatures::Log2),
+        ("all", MaxFeatures::All),
+    ] {
+        let params = RandomForestParams {
+            n_trees: 20,
+            max_features: mf,
+            ..RandomForestParams::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| RandomForest::fit(black_box(&data), &params, 21))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gbm(c: &mut Criterion) {
+    let data = dataset(2_000, 40, 6);
+    let mut group = c.benchmark_group("gradient_boosting");
+    group.sample_size(10);
+    for &rounds in &[50usize, 150] {
+        let params = GbmParams {
+            n_rounds: rounds,
+            ..GbmParams::default()
+        };
+        group.bench_with_input(BenchmarkId::new("fit", rounds), &params, |b, params| {
+            b.iter(|| GradientBoosting::fit(black_box(&data), params, 42))
+        });
+    }
+    let model = GradientBoosting::fit(&data, &GbmParams::default(), 42);
+    group.bench_function("predict_proba", |b| {
+        let row = data.row(11);
+        b.iter(|| black_box(&model).predict_positive_proba(black_box(row)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree,
+    bench_forest_fit,
+    bench_forest_predict,
+    bench_importances,
+    bench_max_features,
+    bench_gbm
+);
+criterion_main!(benches);

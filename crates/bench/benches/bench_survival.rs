@@ -1,0 +1,99 @@
+//! Criterion micro-benches for the survival-analysis estimators: KM
+//! fit, survival lookup, Nelson–Aalen, two-sample and k-sample
+//! log-rank, and censored parametric fits.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use survival::{
+    logrank_test, logrank_test_k, weighted_logrank_test, ExponentialFit, KaplanMeier,
+    LogRankWeight, NelsonAalen, SurvivalData, WeibullFit,
+};
+
+fn sample(n: usize, mean: f64, censor: f64, seed: u64) -> SurvivalData {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    SurvivalData::from_pairs(
+        &(0..n)
+            .map(|_| {
+                let t: f64 = -(1.0 - rng.gen::<f64>()).ln() * mean;
+                if t <= censor {
+                    (t, true)
+                } else {
+                    (censor, false)
+                }
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn bench_km(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kaplan_meier");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let data = sample(n, 30.0, 150.0, 1);
+        group.bench_with_input(BenchmarkId::new("fit", n), &data, |b, data| {
+            b.iter(|| KaplanMeier::fit(black_box(data)))
+        });
+    }
+    let data = sample(100_000, 30.0, 150.0, 2);
+    let km = KaplanMeier::fit(&data);
+    group.bench_function("survival_at_100k", |b| {
+        b.iter(|| black_box(&km).survival_at(black_box(42.5)))
+    });
+    group.bench_function("sample_curve_100k", |b| {
+        b.iter(|| black_box(&km).sample_curve(150.0, 76))
+    });
+    group.finish();
+}
+
+fn bench_nelson_aalen(c: &mut Criterion) {
+    let data = sample(10_000, 30.0, 150.0, 3);
+    c.bench_function("nelson_aalen_fit_10k", |b| {
+        b.iter(|| NelsonAalen::fit(black_box(&data)))
+    });
+}
+
+fn bench_logrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logrank");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let a = sample(n, 20.0, 150.0, 4);
+        let b_ = sample(n, 40.0, 150.0, 5);
+        group.bench_with_input(BenchmarkId::new("two_sample", n), &(a, b_), |b, (x, y)| {
+            b.iter(|| logrank_test(black_box(x), black_box(y)))
+        });
+    }
+    let a = sample(10_000, 20.0, 150.0, 6);
+    let b_ = sample(10_000, 30.0, 150.0, 7);
+    let c_ = sample(10_000, 40.0, 150.0, 8);
+    group.bench_function("k_sample_3x10k", |b| {
+        b.iter(|| logrank_test_k(black_box(&[&a, &b_, &c_])))
+    });
+    group.bench_function("weighted_fh_10k", |b| {
+        b.iter(|| {
+            weighted_logrank_test(
+                black_box(&a),
+                black_box(&b_),
+                LogRankWeight::FlemingHarrington { p: 1.0, q: 0.0 },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_parametric(c: &mut Criterion) {
+    let data = sample(10_000, 25.0, 120.0, 9);
+    c.bench_function("exponential_fit_10k", |b| {
+        b.iter(|| ExponentialFit::fit(black_box(&data)))
+    });
+    c.bench_function("weibull_fit_10k", |b| {
+        b.iter(|| WeibullFit::fit(black_box(&data)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_km,
+    bench_nelson_aalen,
+    bench_logrank,
+    bench_parametric
+);
+criterion_main!(benches);

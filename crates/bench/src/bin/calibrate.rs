@@ -1,0 +1,64 @@
+//! Generator calibration probe (development tool).
+//!
+//! Prints, per region and creation edition: the long-lived fraction `q`
+//! among labeled non-ephemeral databases (DESIGN.md §5 targets
+//! Basic ≈ 0.68, Standard ≈ 0.55, Premium ≈ 0.35), population sizes,
+//! the whole-population KM plateau at day 130, and Observation 3.1–3.3
+//! quantities.
+
+use survival::{KaplanMeier, SurvivalData};
+use telemetry::{Census, Edition, Fleet, FleetConfig, LifespanClass, RegionConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+
+    for (name, region) in [
+        ("Region-1", RegionConfig::region_1()),
+        ("Region-2", RegionConfig::region_2()),
+        ("Region-3", RegionConfig::region_3()),
+    ] {
+        let fleet = Fleet::generate(FleetConfig::new(region.scaled(scale), 20_180_610));
+        let census = Census::new(&fleet);
+        println!("== {name}: {} dbs, {} subs", fleet.databases.len(), fleet.subscriptions.len());
+
+        let (sub_share, db_share) = census.ephemeral_only_stats();
+        println!(
+            "   obs3.1: ephemeral-only subs {:.1}% owning {:.1}% of dbs",
+            sub_share * 100.0,
+            db_share * 100.0
+        );
+
+        for edition in Edition::ALL {
+            let mut short = 0usize;
+            let mut long = 0usize;
+            let mut eph = 0usize;
+            let mut unknown = 0usize;
+            for (_, db) in census.edition_records(edition) {
+                match census.classify(db) {
+                    Some(LifespanClass::Ephemeral) => eph += 1,
+                    Some(LifespanClass::ShortLived) => short += 1,
+                    Some(LifespanClass::LongLived) => long += 1,
+                    None => unknown += 1,
+                }
+            }
+            let q = long as f64 / (short + long).max(1) as f64;
+            println!(
+                "   {edition:<8} eph {eph:>6} short {short:>6} long {long:>6} unknown {unknown:>5}  q = {q:.3}  change-rate {:.3}",
+                census.edition_change_rate(edition)
+            );
+        }
+
+        let km = KaplanMeier::fit(&SurvivalData::from_pairs(&census.survival_pairs(2.0)));
+        println!(
+            "   KM(2d min): S(30) = {:.3}, S(60) = {:.3}, S(110) = {:.3}, S(125) = {:.3}, S(130) = {:.3}",
+            km.survival_at(30.0),
+            km.survival_at(60.0),
+            km.survival_at(110.0),
+            km.survival_at(125.0),
+            km.survival_at(130.0),
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! `fleetgen` — generate and export a synthetic fleet dataset.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fleetgen -- \
+//!     [--region 1|2|3] [--scale F] [--seed N] \
+//!     [--jsonl PATH] [--csv PATH] [--events PATH]
+//! ```
+//!
+//! Writes the database records as JSON Lines (lossless; can be read
+//! back with `telemetry::read_records_jsonl`), a flat CSV summary for
+//! dataframes, and/or the raw telemetry event stream as text.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use telemetry::{
+    write_records_jsonl, write_summary_csv, EventStream, Fleet, FleetConfig, RegionConfig,
+    RegionId,
+};
+
+struct Options {
+    region: RegionId,
+    scale: f64,
+    seed: u64,
+    jsonl: Option<String>,
+    csv: Option<String>,
+    events: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        region: RegionId::Region1,
+        scale: 0.1,
+        seed: 42,
+        jsonl: None,
+        csv: None,
+        events: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag {
+            "--region" => {
+                options.region = match value.as_str() {
+                    "1" => RegionId::Region1,
+                    "2" => RegionId::Region2,
+                    "3" => RegionId::Region3,
+                    other => return Err(format!("unknown region {other}")),
+                }
+            }
+            "--scale" => options.scale = value.parse().map_err(|e| format!("bad --scale: {e}"))?,
+            "--seed" => options.seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--jsonl" => options.jsonl = Some(value.clone()),
+            "--csv" => options.csv = Some(value.clone()),
+            "--events" => options.events = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if options.jsonl.is_none() && options.csv.is_none() && options.events.is_none() {
+        return Err("nothing to do: pass --jsonl, --csv, and/or --events".into());
+    }
+    Ok(options)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: fleetgen [--region 1|2|3] [--scale F] [--seed N] \
+                 [--jsonl PATH] [--csv PATH] [--events PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let fleet = Fleet::generate(FleetConfig::new(
+        RegionConfig::canonical(options.region).scaled(options.scale),
+        options.seed,
+    ));
+    eprintln!(
+        "generated {}: {} subscriptions, {} databases",
+        options.region,
+        fleet.subscriptions.len(),
+        fleet.databases.len()
+    );
+
+    if let Some(path) = &options.jsonl {
+        let file = BufWriter::new(File::create(path).expect("create jsonl file"));
+        write_records_jsonl(&fleet.databases, file).expect("write jsonl");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &options.csv {
+        let file = BufWriter::new(File::create(path).expect("create csv file"));
+        write_summary_csv(&fleet.databases, fleet.window_end(), file).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &options.events {
+        let mut file = BufWriter::new(File::create(path).expect("create events file"));
+        let stream = EventStream::of_fleet(&fleet);
+        for (at, event) in stream.events() {
+            writeln!(file, "{at}\t{event:?}").expect("write event");
+        }
+        eprintln!("wrote {path} ({} events)", stream.len());
+    }
+}

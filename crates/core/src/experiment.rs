@@ -1,0 +1,546 @@
+//! The paper's §5 evaluation protocol for one (region × edition)
+//! subgroup.
+
+use features::{FeatureConfig, FeatureExtractor, NgramVocabulary};
+use forest::{
+    train_test_split, ClassificationScores, ConfusionMatrix, Dataset, GridSearch, MaxFeatures,
+    PartitionedPredictions, RandomForest, RandomForestParams, WeightedRandomClassifier,
+};
+use forest::tree::TreeParams;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use survival::{logrank_test, KaplanMeier, SurvivalData};
+use telemetry::{Census, Edition};
+
+/// Grid-search breadth (the paper tunes via grid search with 5-fold
+/// cross-validation; the presets bound harness runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridPreset {
+    /// No tuning: use the default forest parameters.
+    Off,
+    /// A small grid (2 candidates) with 3-fold CV.
+    Light,
+    /// A broader grid (6 candidates) with 5-fold CV.
+    Full,
+}
+
+impl GridPreset {
+    fn candidates(self) -> Vec<RandomForestParams> {
+        let base = RandomForestParams::default();
+        match self {
+            GridPreset::Off => vec![base],
+            GridPreset::Light => vec![
+                RandomForestParams {
+                    n_trees: 40,
+                    ..base
+                },
+                RandomForestParams {
+                    n_trees: 40,
+                    tree: TreeParams {
+                        min_samples_leaf: 5,
+                        ..base.tree
+                    },
+                    ..base
+                },
+            ],
+            GridPreset::Full => {
+                let mut out = Vec::new();
+                for &n_trees in &[40, 80] {
+                    for &min_samples_leaf in &[1, 5] {
+                        out.push(RandomForestParams {
+                            n_trees,
+                            tree: TreeParams {
+                                min_samples_leaf,
+                                ..base.tree
+                            },
+                            ..base
+                        });
+                    }
+                }
+                for &max_features in &[MaxFeatures::Log2, MaxFeatures::Count(16)] {
+                    out.push(RandomForestParams {
+                        n_trees: 80,
+                        max_features,
+                        ..base
+                    });
+                }
+                out
+            }
+        }
+    }
+
+    fn folds(self) -> usize {
+        match self {
+            GridPreset::Off => 0,
+            GridPreset::Light => 3,
+            GridPreset::Full => 5,
+        }
+    }
+}
+
+/// Experiment configuration (paper defaults: x = 2 days, y = 30 days,
+/// 20% test, 5 repetitions, grid-search tuning).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Observation prefix in days.
+    pub x_days: f64,
+    /// Short/long class boundary in days.
+    pub y_days: f64,
+    /// Held-out test fraction.
+    pub test_fraction: f64,
+    /// Repetitions averaged over (the paper uses 5).
+    pub repetitions: usize,
+    /// Tuning breadth.
+    pub grid: GridPreset,
+    /// Base seed for splits / models.
+    pub seed: u64,
+    /// Optional n-gram features (for the §5.4 ablation).
+    pub ngrams: Option<(usize, usize)>,
+    /// Include the utilization feature family (extension; the paper's
+    /// feature list omits it).
+    pub include_utilization: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            x_days: 2.0,
+            y_days: 30.0,
+            test_fraction: 0.2,
+            repetitions: 5,
+            grid: GridPreset::Light,
+            seed: 2018,
+            ngrams: None,
+            include_utilization: false,
+        }
+    }
+}
+
+/// A `(t, S(t))` series for one predicted grouping's KM curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct KmSeries {
+    /// Group label (e.g. "predicted-long").
+    pub label: String,
+    /// Number of databases in the group.
+    pub n: usize,
+    /// Sampled `(day, survival)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// KM curves plus log-rank significance of a short/long grouping.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupingAnalysis {
+    /// Predicted short-lived group curve.
+    pub short_curve: KmSeries,
+    /// Predicted long-lived group curve.
+    pub long_curve: KmSeries,
+    /// Log-rank p-value between the two groups (1.0 when either group
+    /// is empty).
+    pub logrank_p: f64,
+    /// Log-rank statistic.
+    pub logrank_statistic: f64,
+}
+
+/// The outcome of one subgroup experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct SubgroupResult {
+    /// Region label.
+    pub region: String,
+    /// Edition label ("all" for whole-region runs).
+    pub edition: String,
+    /// Training positive-class fraction (q).
+    pub positive_fraction: f64,
+    /// Confidence threshold t = max(q, 1 − q).
+    pub confidence_threshold: f64,
+    /// Examples in the subgroup.
+    pub population: usize,
+    /// Mean random-forest scores over repetitions (Figure 5's blue
+    /// bars).
+    pub forest: ClassificationScores,
+    /// Mean baseline scores (Figure 5's yellow bars).
+    pub baseline: ClassificationScores,
+    /// Mean scores over confident predictions (Figure 7's green bars).
+    pub confident: ClassificationScores,
+    /// Mean scores over uncertain predictions (Figure 7's red bars).
+    pub uncertain: ClassificationScores,
+    /// Fraction of predictions that were confident (Table 1).
+    pub confident_fraction: f64,
+    /// Whole-population predicted grouping (Figure 6 panel).
+    pub whole_grouping: GroupingAnalysis,
+    /// Baseline predicted grouping (§5.2: not significant).
+    pub baseline_grouping: GroupingAnalysis,
+    /// Confident-only grouping (Figure 8 panel).
+    pub confident_grouping: GroupingAnalysis,
+    /// Uncertain-only grouping (Figure 9 panel, Table 2 p-value).
+    pub uncertain_grouping: GroupingAnalysis,
+    /// Mean OOB accuracy of the tuned forests.
+    pub oob_accuracy: f64,
+    /// Gini feature importances averaged over repetitions, descending.
+    pub importances: Vec<(String, f64)>,
+    /// The tuned parameter description.
+    pub tuned_params: String,
+}
+
+/// Runs the paper's §5 protocol on one subgroup.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates an experiment runner.
+    pub fn new(config: ExperimentConfig) -> Experiment {
+        assert!(config.repetitions >= 1, "need at least one repetition");
+        Experiment { config }
+    }
+
+    /// Runs on the given region census, restricted to one creation
+    /// edition (`None` = the whole region population).
+    pub fn run(&self, census: &Census<'_>, edition: Option<Edition>) -> SubgroupResult {
+        let ngrams = self.config.ngrams.map(|(n, k)| {
+            NgramVocabulary::fit(
+                census
+                    .fleet()
+                    .databases
+                    .iter()
+                    .map(|d| d.database_name.as_str()),
+                n,
+                k,
+            )
+        });
+        let extractor = FeatureExtractor::new(
+            census,
+            FeatureConfig {
+                x_days: self.config.x_days,
+                y_days: self.config.y_days,
+                ngrams,
+                include_utilization: self.config.include_utilization,
+            },
+        );
+        let (dataset, survival) = extractor.build_dataset(census, edition);
+        assert!(
+            dataset.len() >= 40,
+            "subgroup too small to evaluate ({} examples)",
+            dataset.len()
+        );
+        self.run_on_dataset(dataset, survival, census, edition)
+    }
+
+    /// Runs the protocol on an explicit dataset (exposed for ablations).
+    pub fn run_on_dataset(
+        &self,
+        dataset: Dataset,
+        survival: Vec<(f64, bool)>,
+        census: &Census<'_>,
+        edition: Option<Edition>,
+    ) -> SubgroupResult {
+        let cfg = &self.config;
+        let q = dataset.class_fraction(1);
+        let threshold = forest::confidence_threshold(q);
+
+        let mut forest_scores = Vec::new();
+        let mut baseline_scores = Vec::new();
+        let mut confident_scores = Vec::new();
+        let mut uncertain_scores = Vec::new();
+        let mut confident_counts = (0usize, 0usize);
+        let mut oob_sum = 0.0;
+        let mut oob_n = 0usize;
+        let mut importance_acc: Vec<f64> = vec![0.0; dataset.feature_count()];
+        let mut tuned_desc = String::new();
+
+        // Pooled-over-repetitions survival groupings: (duration, event)
+        // keyed by predicted class and confidence.
+        let mut pool_whole = GroupPool::default();
+        let mut pool_baseline = GroupPool::default();
+        let mut pool_confident = GroupPool::default();
+        let mut pool_uncertain = GroupPool::default();
+
+        // We need test-row → survival-pair alignment, so we split
+        // indices manually (train_test_split shuffles rows away from
+        // their survival pairs otherwise). Build an indexed dataset: the
+        // last "feature" smuggles the row index through the split, then
+        // is stripped before training.
+        let indexed = with_index_column(&dataset);
+
+        for rep in 0..cfg.repetitions {
+            let split_seed = cfg.seed ^ (rep as u64).wrapping_mul(0x1000_0000_1b3);
+            let (train_ix, test_ix) = train_test_split(&indexed, cfg.test_fraction, split_seed);
+            let train = strip_index_column(&train_ix);
+            let test = strip_index_column(&test_ix);
+            let test_rows: Vec<usize> = (0..test_ix.len())
+                .map(|i| *test_ix.row(i).last().expect("index column") as usize)
+                .collect();
+
+            // Tune on the training set.
+            let params = match cfg.grid {
+                GridPreset::Off => RandomForestParams::default(),
+                preset => {
+                    let result = GridSearch::new(preset.candidates(), preset.folds())
+                        .run(&train, split_seed);
+                    result.best_params
+                }
+            };
+            if rep == 0 {
+                tuned_desc = format!(
+                    "trees={} depth={} leaf={} max_features={:?}",
+                    params.n_trees,
+                    params.tree.max_depth,
+                    params.tree.min_samples_leaf,
+                    params.max_features
+                );
+            }
+
+            let model = RandomForest::fit(&train, &params, split_seed ^ 0xF0F0);
+            if let Some(oob) = model.oob_accuracy() {
+                oob_sum += oob;
+                oob_n += 1;
+            }
+            for (acc, v) in importance_acc.iter_mut().zip(model.feature_importances()) {
+                *acc += v;
+            }
+
+            // Forest predictions on the test set.
+            let probs: Vec<f64> = (0..test.len())
+                .map(|i| model.predict_positive_proba(test.row(i)))
+                .collect();
+            let predicted: Vec<usize> = probs.iter().map(|&p| (p > 0.5) as usize).collect();
+            let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
+            forest_scores
+                .push(ConfusionMatrix::from_predictions(&predicted, &actual).scores());
+
+            // Baseline.
+            let baseline = WeightedRandomClassifier::fit(&train);
+            let mut rng = SmallRng::seed_from_u64(split_seed ^ 0xBA5E);
+            let baseline_preds = baseline.predict_many(test.len(), &mut rng);
+            baseline_scores
+                .push(ConfusionMatrix::from_predictions(&baseline_preds, &actual).scores());
+
+            // Confidence partition.
+            let partition = PartitionedPredictions::partition(&probs, train.class_fraction(1));
+            confident_counts.0 += partition.confident.len();
+            confident_counts.1 += partition.uncertain.len();
+            let score_of = |subset: &[(usize, f64, usize)]| -> ClassificationScores {
+                let mut m = ConfusionMatrix::default();
+                for &(i, _, pred) in subset {
+                    m.record(pred == 1, actual[i] == 1);
+                }
+                m.scores()
+            };
+            confident_scores.push(score_of(&partition.confident));
+            uncertain_scores.push(score_of(&partition.uncertain));
+
+            // Pool survival groupings.
+            for (i, (&pred, &p)) in predicted.iter().zip(&probs).enumerate() {
+                let pair = survival[test_rows[i]];
+                pool_whole.push(pred, pair);
+                let confident = p >= threshold || p <= 1.0 - threshold;
+                if confident {
+                    pool_confident.push(pred, pair);
+                } else {
+                    pool_uncertain.push(pred, pair);
+                }
+            }
+            for (i, &pred) in baseline_preds.iter().enumerate() {
+                pool_baseline.push(pred, survival[test_rows[i]]);
+            }
+        }
+
+        let total = importance_acc.iter().sum::<f64>();
+        if total > 0.0 {
+            importance_acc.iter_mut().for_each(|v| *v /= total);
+        }
+        let mut importances: Vec<(String, f64)> = dataset
+            .feature_names()
+            .iter()
+            .cloned()
+            .zip(importance_acc)
+            .collect();
+        importances.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importance"));
+
+        SubgroupResult {
+            region: census.fleet().config.region.id.to_string(),
+            edition: edition.map_or_else(|| "all".to_string(), |e| e.to_string()),
+            positive_fraction: q,
+            confidence_threshold: threshold,
+            population: dataset.len(),
+            forest: ClassificationScores::mean(&forest_scores),
+            baseline: ClassificationScores::mean(&baseline_scores),
+            confident: ClassificationScores::mean(&confident_scores),
+            uncertain: ClassificationScores::mean(&uncertain_scores),
+            confident_fraction: confident_counts.0 as f64
+                / (confident_counts.0 + confident_counts.1).max(1) as f64,
+            whole_grouping: pool_whole.analyze(),
+            baseline_grouping: pool_baseline.analyze(),
+            confident_grouping: pool_confident.analyze(),
+            uncertain_grouping: pool_uncertain.analyze(),
+            oob_accuracy: if oob_n > 0 { oob_sum / oob_n as f64 } else { 0.0 },
+            importances,
+            tuned_params: tuned_desc,
+        }
+    }
+}
+
+/// Survival pairs pooled per predicted class.
+#[derive(Debug, Clone, Default)]
+struct GroupPool {
+    short: Vec<(f64, bool)>,
+    long: Vec<(f64, bool)>,
+}
+
+impl GroupPool {
+    fn push(&mut self, predicted: usize, pair: (f64, bool)) {
+        if predicted == 1 {
+            self.long.push(pair);
+        } else {
+            self.short.push(pair);
+        }
+    }
+
+    fn analyze(&self) -> GroupingAnalysis {
+        let curve = |pairs: &[(f64, bool)], label: &str| -> KmSeries {
+            let km = KaplanMeier::fit(&SurvivalData::from_pairs(pairs));
+            KmSeries {
+                label: label.to_string(),
+                n: pairs.len(),
+                points: km.sample_curve(150.0, 51),
+            }
+        };
+        let (p, stat) = if self.short.is_empty() || self.long.is_empty() {
+            (1.0, 0.0)
+        } else {
+            let r = logrank_test(
+                &SurvivalData::from_pairs(&self.short),
+                &SurvivalData::from_pairs(&self.long),
+            );
+            (r.p_value, r.statistic)
+        };
+        GroupingAnalysis {
+            short_curve: curve(&self.short, "predicted-short"),
+            long_curve: curve(&self.long, "predicted-long"),
+            logrank_p: p,
+            logrank_statistic: stat,
+        }
+    }
+}
+
+/// Appends a row-index column so stratified splitting can carry row
+/// identity (needed to join test rows back to their survival pairs).
+fn with_index_column(data: &Dataset) -> Dataset {
+    let mut names = data.feature_names().to_vec();
+    names.push("__row_index".into());
+    let mut out = Dataset::new(names, data.class_count());
+    for i in 0..data.len() {
+        let mut row = data.row(i).to_vec();
+        row.push(i as f64);
+        out.push(row, data.label(i));
+    }
+    out
+}
+
+/// Removes the smuggled index column.
+fn strip_index_column(data: &Dataset) -> Dataset {
+    let names: Vec<String> = data.feature_names()[..data.feature_count() - 1].to_vec();
+    let mut out = Dataset::new(names, data.class_count());
+    for i in 0..data.len() {
+        let row = data.row(i);
+        out.push(row[..row.len() - 1].to_vec(), data.label(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+    use telemetry::RegionId;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            repetitions: 2,
+            grid: GridPreset::Off,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    fn study() -> Study {
+        Study::load_region(
+            StudyConfig {
+                scale: 0.12,
+                seed: 99,
+            },
+            RegionId::Region1,
+        )
+    }
+
+    #[test]
+    fn forest_beats_baseline_significantly() {
+        let study = study();
+        let census = study.census(RegionId::Region1);
+        let result = Experiment::new(quick_config()).run(&census, None);
+        assert!(
+            result.forest.accuracy > result.baseline.accuracy + 0.1,
+            "forest {:.3} vs baseline {:.3}",
+            result.forest.accuracy,
+            result.baseline.accuracy
+        );
+        assert!(result.forest.accuracy > 0.7);
+        // Forest grouping separates; baseline does not.
+        assert!(result.whole_grouping.logrank_p < 1e-4);
+        assert!(result.baseline_grouping.logrank_p > 0.001);
+    }
+
+    #[test]
+    fn confident_scores_dominate_whole_population() {
+        let study = study();
+        let census = study.census(RegionId::Region1);
+        let result = Experiment::new(quick_config()).run(&census, None);
+        assert!(result.confident.accuracy >= result.forest.accuracy - 0.02);
+        assert!(result.confident_fraction > 0.3 && result.confident_fraction <= 1.0);
+        // Threshold formula.
+        let q = result.positive_fraction;
+        assert!((result.confidence_threshold - q.max(1.0 - q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn km_series_shapes() {
+        let study = study();
+        let census = study.census(RegionId::Region1);
+        let result = Experiment::new(quick_config()).run(&census, None);
+        for g in [
+            &result.whole_grouping,
+            &result.confident_grouping,
+        ] {
+            assert_eq!(g.long_curve.points.len(), 51);
+            assert_eq!(g.long_curve.points[0].1, 1.0);
+            // Long group survives better at day 30.
+            let s_long = g.long_curve.points.iter().find(|(t, _)| *t >= 30.0).unwrap().1;
+            let s_short = g.short_curve.points.iter().find(|(t, _)| *t >= 30.0).unwrap().1;
+            assert!(s_long > s_short, "{s_long} vs {s_short}");
+        }
+    }
+
+    #[test]
+    fn importances_are_normalized_and_ranked() {
+        let study = study();
+        let census = study.census(RegionId::Region1);
+        let result = Experiment::new(quick_config()).run(&census, None);
+        let total: f64 = result.importances.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        for w in result.importances.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn index_column_roundtrip() {
+        let mut d = Dataset::new(vec!["a".into()], 2);
+        d.push(vec![1.0], 0);
+        d.push(vec![2.0], 1);
+        let ix = with_index_column(&d);
+        assert_eq!(ix.feature_count(), 2);
+        assert_eq!(ix.row(1), &[2.0, 1.0]);
+        let back = strip_index_column(&ix);
+        assert_eq!(back, d);
+    }
+}

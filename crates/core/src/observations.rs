@@ -1,0 +1,172 @@
+//! The paper's §3.3 observations as checkable statistics.
+
+use serde::Serialize;
+use survival::{logrank_test_k, KaplanMeier, SurvivalData};
+use telemetry::{Census, Edition};
+
+/// Quantified observations 3.1–3.3 for one region.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservationReport {
+    /// Region label.
+    pub region: String,
+    /// Obs 3.1: share of subscriptions creating only ephemeral
+    /// databases.
+    pub ephemeral_only_subscription_share: f64,
+    /// Obs 3.1: share of all databases owned by those subscriptions.
+    pub ephemeral_only_database_share: f64,
+    /// Obs 3.2: per-edition KM survival at day 30 / 60 / 120
+    /// (2-day-minimum population).
+    pub edition_survival: Vec<EditionSurvival>,
+    /// Obs 3.2: k-sample log-rank p-value across the three editions.
+    pub edition_logrank_p: f64,
+    /// Obs 3.3: per-edition fraction of databases that changed edition.
+    pub edition_change_rates: Vec<(String, f64)>,
+}
+
+/// One edition's survival snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct EditionSurvival {
+    /// Edition label.
+    pub edition: String,
+    /// Population size (2-day minimum).
+    pub n: usize,
+    /// `S(30)`.
+    pub s30: f64,
+    /// `S(60)`.
+    pub s60: f64,
+    /// `S(120)`.
+    pub s120: f64,
+    /// Sub-categorized curves: survival at day 60 for databases that
+    /// never changed edition ("always") vs those that did ("changed"),
+    /// with group sizes — Figure 3's sub-categorization.
+    pub always_s60: f64,
+    /// "always" group size.
+    pub always_n: usize,
+    /// "changed" group survival at day 60.
+    pub changed_s60: f64,
+    /// "changed" group size.
+    pub changed_n: usize,
+}
+
+impl ObservationReport {
+    /// Computes the report for one region census.
+    pub fn compute(census: &Census<'_>) -> ObservationReport {
+        let (sub_share, db_share) = census.ephemeral_only_stats();
+
+        let mut edition_survival = Vec::new();
+        let mut edition_data = Vec::new();
+        for edition in Edition::ALL {
+            let pairs = census.survival_pairs_where(2.0, |db| db.creation_edition() == edition);
+            let always =
+                census.survival_pairs_where(2.0, |db| {
+                    db.creation_edition() == edition && !db.changed_edition()
+                });
+            let changed =
+                census.survival_pairs_where(2.0, |db| {
+                    db.creation_edition() == edition && db.changed_edition()
+                });
+            let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
+            let km_always = KaplanMeier::fit(&SurvivalData::from_pairs(&always));
+            let km_changed = KaplanMeier::fit(&SurvivalData::from_pairs(&changed));
+            edition_survival.push(EditionSurvival {
+                edition: edition.to_string(),
+                n: pairs.len(),
+                s30: km.survival_at(30.0),
+                s60: km.survival_at(60.0),
+                s120: km.survival_at(120.0),
+                always_s60: km_always.survival_at(60.0),
+                always_n: always.len(),
+                changed_s60: km_changed.survival_at(60.0),
+                changed_n: changed.len(),
+            });
+            edition_data.push(SurvivalData::from_pairs(&pairs));
+        }
+
+        let refs: Vec<&SurvivalData> = edition_data.iter().collect();
+        let edition_logrank_p = logrank_test_k(&refs).p_value;
+
+        let edition_change_rates = Edition::ALL
+            .iter()
+            .map(|&e| (e.to_string(), census.edition_change_rate(e)))
+            .collect();
+
+        ObservationReport {
+            region: census.fleet().config.region.id.to_string(),
+            ephemeral_only_subscription_share: sub_share,
+            ephemeral_only_database_share: db_share,
+            edition_survival,
+            edition_logrank_p,
+            edition_change_rates,
+        }
+    }
+
+    /// True when all three observations hold in this region:
+    /// 3.1 few subscriptions / many databases; 3.2 editions differ
+    /// significantly; 3.3 Premium changes edition far more often.
+    pub fn all_hold(&self) -> bool {
+        let obs31 = self.ephemeral_only_subscription_share < 0.25
+            && self.ephemeral_only_database_share
+                > 2.0 * self.ephemeral_only_subscription_share;
+        let obs32 = self.edition_logrank_p < 0.001;
+        let basic = self.edition_change_rates[0].1;
+        let standard = self.edition_change_rates[1].1;
+        let premium = self.edition_change_rates[2].1;
+        let obs33 = premium > 3.0 * standard.max(basic).max(1e-9);
+        obs31 && obs32 && obs33
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+    use telemetry::RegionId;
+
+    #[test]
+    fn observations_hold_in_every_region() {
+        let study = Study::load(StudyConfig {
+            scale: 0.15,
+            seed: 4,
+        });
+        for id in RegionId::ALL {
+            let census = study.census(id);
+            let report = ObservationReport::compute(&census);
+            assert!(
+                report.all_hold(),
+                "{id}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn basic_outlives_premium() {
+        // Obs 3.2's specific direction: "Basic databases have a rate of
+        // decay significantly lower than Premium databases."
+        let study = Study::load_region(
+            StudyConfig {
+                scale: 0.15,
+                seed: 4,
+            },
+            RegionId::Region1,
+        );
+        let report = ObservationReport::compute(&study.census(RegionId::Region1));
+        let basic = &report.edition_survival[0];
+        let premium = &report.edition_survival[2];
+        assert!(basic.s60 > premium.s60, "{} vs {}", basic.s60, premium.s60);
+        assert!(basic.s30 > premium.s30);
+    }
+
+    #[test]
+    fn premium_population_is_smallest() {
+        let study = Study::load_region(
+            StudyConfig {
+                scale: 0.15,
+                seed: 4,
+            },
+            RegionId::Region1,
+        );
+        let report = ObservationReport::compute(&study.census(RegionId::Region1));
+        assert!(report.edition_survival[2].n < report.edition_survival[0].n);
+        assert!(report.edition_survival[2].n < report.edition_survival[1].n);
+    }
+}

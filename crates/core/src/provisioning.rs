@@ -1,0 +1,361 @@
+//! Longevity-guided resource provisioning (paper §3.1).
+//!
+//! The paper motivates lifespan prediction with two back-end policies:
+//! sparing soon-to-be-dropped databases from non-critical update
+//! disruptions, and keeping churning databases away from load-balancer
+//! consolidation. This module makes that concrete: a daily-tick
+//! placement simulation comparing a longevity-agnostic policy against a
+//! prediction-guided one on the *actual* (simulated-ground-truth) drop
+//! times.
+
+use serde::Serialize;
+use simtime::{Duration, Timestamp};
+use std::collections::HashMap;
+use telemetry::Census;
+
+/// A database's predicted longevity bucket at placement time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PredictedLongevity {
+    /// Confidently predicted to die within 30 days.
+    Short,
+    /// Confidently predicted to outlive 30 days.
+    Long,
+    /// Prediction fell in the uncertain band (§5.3): route to the
+    /// designated mixed pool.
+    Uncertain,
+}
+
+impl PredictedLongevity {
+    /// Buckets a positive-class probability with the paper's confidence
+    /// threshold.
+    pub fn from_probability(p: f64, threshold: f64) -> PredictedLongevity {
+        if p >= threshold {
+            PredictedLongevity::Long
+        } else if p <= 1.0 - threshold {
+            PredictedLongevity::Short
+        } else {
+            PredictedLongevity::Uncertain
+        }
+    }
+}
+
+/// Placement policy under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PlacementPolicy {
+    /// One pool; every cluster receives updates and consolidation.
+    Agnostic,
+    /// Three pools keyed by [`PredictedLongevity`]; the short pool is
+    /// exempt from non-critical updates and from consolidation (it
+    /// drains by itself).
+    LongevityGuided,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ProvisioningConfig {
+    /// Databases per cluster.
+    pub cluster_capacity: usize,
+    /// Days between non-critical update waves.
+    pub update_interval_days: i64,
+    /// A disruption is wasted if the database drops within this many
+    /// days after it.
+    pub wasted_horizon_days: f64,
+    /// Clusters at or below this live fraction get consolidated.
+    pub consolidation_threshold: f64,
+}
+
+impl Default for ProvisioningConfig {
+    fn default() -> Self {
+        ProvisioningConfig {
+            cluster_capacity: 50,
+            update_interval_days: 21,
+            wasted_horizon_days: 7.0,
+            consolidation_threshold: 0.25,
+        }
+    }
+}
+
+/// Metrics of one simulated policy run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ProvisioningOutcome {
+    /// Policy simulated.
+    pub policy: PlacementPolicy,
+    /// Databases placed.
+    pub placed: usize,
+    /// Clusters ever opened.
+    pub clusters_opened: usize,
+    /// Update disruptions delivered to live databases.
+    pub disruptions: usize,
+    /// Disruptions to databases that dropped within the waste horizon
+    /// (pure loss — the user would have received the update on their
+    /// next database anyway).
+    pub wasted_disruptions: usize,
+    /// Consolidation migrations performed.
+    pub moves: usize,
+    /// Migrations of databases that dropped within 7 days (the paper's
+    /// "dropping a database after a load-balancer has moved it lowers
+    /// operational efficiency").
+    pub wasted_moves: usize,
+}
+
+#[derive(Debug)]
+struct Cluster {
+    pool: PredictedLongevity,
+    live: Vec<usize>, // indices into the placement list
+}
+
+struct Placement {
+    placed_at: Timestamp,
+    drop_at: Option<Timestamp>,
+    pool: PredictedLongevity,
+}
+
+/// Simulates one policy over a region, given per-database predictions
+/// (keyed by fleet database index; databases absent from the map are
+/// not placed — they never reached the prediction instant).
+pub fn simulate(
+    census: &Census<'_>,
+    predictions: &HashMap<usize, PredictedLongevity>,
+    policy: PlacementPolicy,
+    config: &ProvisioningConfig,
+) -> ProvisioningOutcome {
+    assert!(config.cluster_capacity > 0, "capacity must be positive");
+    let fleet = census.fleet();
+    let window_end = census.window_end();
+    let x = Duration::days(2);
+
+    // Build placements ordered by placement time.
+    let mut placements: Vec<Placement> = Vec::new();
+    for (&idx, &pred) in predictions {
+        let db = &fleet.databases[idx];
+        let pool = match policy {
+            PlacementPolicy::Agnostic => PredictedLongevity::Uncertain, // single pool
+            PlacementPolicy::LongevityGuided => pred,
+        };
+        placements.push(Placement {
+            placed_at: db.created_at + x,
+            drop_at: db.dropped_at,
+            pool,
+        });
+    }
+    placements.sort_by_key(|p| p.placed_at);
+
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut outcome = ProvisioningOutcome {
+        policy,
+        placed: 0,
+        clusters_opened: 0,
+        disruptions: 0,
+        wasted_disruptions: 0,
+        moves: 0,
+        wasted_moves: 0,
+    };
+
+    let start = census.fleet().window_start();
+    let total_days = ((window_end - start).whole_days()).max(1);
+    let mut next_placement = 0usize;
+
+    let wasted = |p: &Placement, now: Timestamp| -> bool {
+        match p.drop_at {
+            Some(d) => (d - now).as_days_f64() <= 7.0 && d > now,
+            None => false,
+        }
+    };
+
+    for day in 0..=total_days {
+        let now = start + Duration::days(day);
+
+        // 1. Place databases whose prediction instant has arrived.
+        while next_placement < placements.len()
+            && placements[next_placement].placed_at <= now
+        {
+            let pool = placements[next_placement].pool;
+            let slot = clusters
+                .iter_mut()
+                .find(|c| c.pool == pool && c.live.len() < config.cluster_capacity);
+            match slot {
+                Some(c) => c.live.push(next_placement),
+                None => {
+                    clusters.push(Cluster {
+                        pool,
+                        live: vec![next_placement],
+                    });
+                    outcome.clusters_opened += 1;
+                }
+            }
+            outcome.placed += 1;
+            next_placement += 1;
+        }
+
+        // 2. Process drops.
+        for cluster in &mut clusters {
+            cluster
+                .live
+                .retain(|&i| placements[i].drop_at.map_or(true, |d| d > now));
+        }
+
+        // 3. Non-critical update wave.
+        if day > 0 && day % config.update_interval_days == 0 {
+            for cluster in &clusters {
+                if policy == PlacementPolicy::LongevityGuided
+                    && cluster.pool == PredictedLongevity::Short
+                {
+                    continue; // deferred: these databases churn out anyway
+                }
+                for &i in &cluster.live {
+                    outcome.disruptions += 1;
+                    let p = &placements[i];
+                    if let Some(d) = p.drop_at {
+                        if (d - now).as_days_f64() <= config.wasted_horizon_days {
+                            outcome.wasted_disruptions += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Weekly consolidation: drain near-empty clusters into
+        //    healthy ones to release hardware (except the guided
+        //    policy's short pool, which empties on its own). Databases
+        //    with no healthy target stay put — consolidation must never
+        //    open new clusters.
+        if day > 0 && day % 7 == 0 {
+            let threshold =
+                (config.cluster_capacity as f64 * config.consolidation_threshold) as usize;
+            for source in 0..clusters.len() {
+                if policy == PlacementPolicy::LongevityGuided
+                    && clusters[source].pool == PredictedLongevity::Short
+                {
+                    continue;
+                }
+                if clusters[source].live.is_empty() || clusters[source].live.len() > threshold {
+                    continue;
+                }
+                let members = std::mem::take(&mut clusters[source].live);
+                let mut stay = Vec::new();
+                for i in members {
+                    let pool = placements[i].pool;
+                    let target = clusters.iter_mut().enumerate().find(|(t, c)| {
+                        *t != source
+                            && c.pool == pool
+                            && c.live.len() > threshold
+                            && c.live.len() < config.cluster_capacity
+                    });
+                    match target {
+                        Some((_, c)) => {
+                            c.live.push(i);
+                            outcome.moves += 1;
+                            if wasted(&placements[i], now) {
+                                outcome.wasted_moves += 1;
+                            }
+                        }
+                        None => stay.push(i),
+                    }
+                }
+                clusters[source].live = stay;
+            }
+        }
+        clusters.retain(|c| !c.live.is_empty());
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+    use telemetry::RegionId;
+
+    /// Oracle predictions: the simulator's own ground truth, giving the
+    /// guided policy its best case (the experiment harness substitutes
+    /// real model output).
+    fn oracle_predictions(census: &Census<'_>) -> HashMap<usize, PredictedLongevity> {
+        census
+            .prediction_population(2.0)
+            .into_iter()
+            .map(|idx| {
+                let db = &census.fleet().databases[idx];
+                let pred = if census.is_long_lived(db) {
+                    PredictedLongevity::Long
+                } else {
+                    PredictedLongevity::Short
+                };
+                (idx, pred)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn guided_policy_wastes_less() {
+        let study = Study::load_region(
+            StudyConfig {
+                scale: 0.12,
+                seed: 31,
+            },
+            RegionId::Region1,
+        );
+        let census = study.census(RegionId::Region1);
+        let predictions = oracle_predictions(&census);
+        let config = ProvisioningConfig::default();
+        let agnostic = simulate(&census, &predictions, PlacementPolicy::Agnostic, &config);
+        let guided = simulate(
+            &census,
+            &predictions,
+            PlacementPolicy::LongevityGuided,
+            &config,
+        );
+        assert_eq!(agnostic.placed, guided.placed);
+        assert!(
+            guided.wasted_disruptions < agnostic.wasted_disruptions,
+            "guided {} vs agnostic {}",
+            guided.wasted_disruptions,
+            agnostic.wasted_disruptions
+        );
+        assert!(
+            guided.wasted_moves <= agnostic.wasted_moves,
+            "guided {} vs agnostic {}",
+            guided.wasted_moves,
+            agnostic.wasted_moves
+        );
+    }
+
+    #[test]
+    fn probability_bucketing() {
+        assert_eq!(
+            PredictedLongevity::from_probability(0.9, 0.7),
+            PredictedLongevity::Long
+        );
+        assert_eq!(
+            PredictedLongevity::from_probability(0.1, 0.7),
+            PredictedLongevity::Short
+        );
+        assert_eq!(
+            PredictedLongevity::from_probability(0.5, 0.7),
+            PredictedLongevity::Uncertain
+        );
+    }
+
+    #[test]
+    fn conservation_of_databases() {
+        let study = Study::load_region(
+            StudyConfig {
+                scale: 0.06,
+                seed: 32,
+            },
+            RegionId::Region2,
+        );
+        let census = study.census(RegionId::Region2);
+        let predictions = oracle_predictions(&census);
+        let outcome = simulate(
+            &census,
+            &predictions,
+            PlacementPolicy::Agnostic,
+            &ProvisioningConfig::default(),
+        );
+        assert_eq!(outcome.placed, predictions.len());
+        assert!(outcome.clusters_opened > 0);
+        assert!(outcome.disruptions >= outcome.wasted_disruptions);
+        assert!(outcome.moves >= outcome.wasted_moves);
+    }
+}

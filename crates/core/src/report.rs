@@ -1,0 +1,161 @@
+//! Plain-text reporting: paper-style score tables and ASCII survival
+//! curves for the `repro` harness and the examples.
+
+use crate::experiment::{KmSeries, SubgroupResult};
+use forest::ClassificationScores;
+
+/// Renders one or more KM curves as an ASCII chart (time on x, survival
+/// on y). Each curve gets a distinct glyph; overlaps show the later
+/// curve's glyph.
+pub fn ascii_km_chart(curves: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    assert!(width >= 20 && height >= 5, "chart too small");
+    assert!(!curves.is_empty(), "need at least one curve");
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+    let max_t = curves
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(t, _)| *t))
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (ci, (_, pts)) in curves.iter().enumerate() {
+        let glyph = GLYPHS[ci % GLYPHS.len()];
+        for col in 0..width {
+            let t = max_t * col as f64 / (width - 1) as f64;
+            // Step-function lookup over the sampled points.
+            let mut s = 1.0;
+            for &(pt, ps) in pts.iter() {
+                if pt <= t {
+                    s = ps;
+                } else {
+                    break;
+                }
+            }
+            let row = ((1.0 - s) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            "1.0 |"
+        } else if r == height - 1 {
+            "0.0 |"
+        } else if r == height / 2 {
+            "0.5 |"
+        } else {
+            "    |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("     0 days {:>w$.0} days\n", max_t, w = width - 8));
+    for (ci, (name, _)) in curves.iter().enumerate() {
+        out.push_str(&format!("     {} {}\n", GLYPHS[ci % GLYPHS.len()], name));
+    }
+    out
+}
+
+/// Convenience: chart from [`KmSeries`] values.
+pub fn ascii_km_series(series: &[&KmSeries], width: usize, height: usize) -> String {
+    let curves: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|s| (s.label.as_str(), s.points.as_slice()))
+        .collect();
+    ascii_km_chart(&curves, width, height)
+}
+
+/// Formats a Figure-5/7-style score row.
+pub fn score_row(label: &str, s: &ClassificationScores) -> String {
+    format!(
+        "{label:<28} acc {:.3}  prec {:.3}  rec {:.3}  (n = {})",
+        s.accuracy, s.precision, s.recall, s.support
+    )
+}
+
+/// Formats a compact one-line p-value with the paper's significance
+/// convention.
+pub fn p_value_cell(p: f64) -> String {
+    if p < 1e-7 {
+        "< 0.0000001".to_string()
+    } else {
+        format!("{p:.6}")
+    }
+}
+
+/// Full plain-text block for one subgroup result (one Figure-5 panel
+/// triple + its Figure-6/8/9 significance lines).
+pub fn subgroup_block(r: &SubgroupResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "--- {} / {} (n = {}, q = {:.3}, t = {:.3}, tuned: {})\n",
+        r.region, r.edition, r.population, r.positive_fraction, r.confidence_threshold,
+        r.tuned_params
+    ));
+    out.push_str(&score_row("  forest", &r.forest));
+    out.push('\n');
+    out.push_str(&score_row("  baseline", &r.baseline));
+    out.push('\n');
+    out.push_str(&score_row("  confident", &r.confident));
+    out.push('\n');
+    out.push_str(&score_row("  uncertain", &r.uncertain));
+    out.push('\n');
+    out.push_str(&format!(
+        "  confident coverage {:.1}%   oob {:.3}\n",
+        r.confident_fraction * 100.0,
+        r.oob_accuracy
+    ));
+    out.push_str(&format!(
+        "  log-rank p: whole {}  baseline {}  confident {}  uncertain {}\n",
+        p_value_cell(r.whole_grouping.logrank_p),
+        p_value_cell(r.baseline_grouping.logrank_p),
+        p_value_cell(r.confident_grouping.logrank_p),
+        p_value_cell(r.uncertain_grouping.logrank_p),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_monotone_curve() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 5.0, 1.0 - i as f64 * 0.04))
+            .collect();
+        let chart = ascii_km_chart(&[("test", &pts)], 40, 10);
+        assert!(chart.contains("1.0 |"));
+        assert!(chart.contains("0.0 |"));
+        assert!(chart.contains("* test"));
+        // First column should show the curve at the top row.
+        let first_line = chart.lines().next().unwrap();
+        assert!(first_line.contains('*'));
+    }
+
+    #[test]
+    fn chart_multiple_curves_distinct_glyphs() {
+        let a: Vec<(f64, f64)> = vec![(0.0, 1.0), (10.0, 0.9)];
+        let b: Vec<(f64, f64)> = vec![(0.0, 1.0), (10.0, 0.2)];
+        let chart = ascii_km_chart(&[("high", &a), ("low", &b)], 30, 8);
+        assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn p_value_formatting() {
+        assert_eq!(p_value_cell(1e-9), "< 0.0000001");
+        assert_eq!(p_value_cell(0.925429), "0.925429");
+    }
+
+    #[test]
+    #[should_panic]
+    fn chart_rejects_empty() {
+        ascii_km_chart(&[], 40, 10);
+    }
+}

@@ -1,0 +1,293 @@
+//! Subscription segmentation (paper §7's actionable conclusion).
+//!
+//! "Importantly, doing so allows us to identify users (subscriptions)
+//! that generally create short-lived or long-lived databases and with
+//! this knowledge, we will intelligently provision designated resources
+//! for different pools of databases." — and Obs 3.1: "by simply looking
+//! at historical data, we can identify customers that follow this
+//! pattern".
+//!
+//! This module segments subscriptions from their database history up to
+//! a cutoff instant, then validates the segments **out of time**: does
+//! a subscription's first-half behaviour predict its second-half
+//! databases' lifespans?
+
+use serde::Serialize;
+use simtime::Timestamp;
+use std::collections::HashMap;
+use telemetry::{Census, DatabaseRecord, LifespanClass, SubscriptionId};
+
+/// A subscription's behavioural segment, assigned from history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Segment {
+    /// Every decided database so far was ephemeral (Obs 3.1's cyclers).
+    EphemeralCycler,
+    /// Most decided databases died within 30 days.
+    ShortLivedHeavy,
+    /// Most decided databases outlived 30 days.
+    LongLivedHeavy,
+    /// Genuinely mixed behaviour.
+    Mixed,
+    /// Too little decided history to call (fewer than `min_history`).
+    Unknown,
+}
+
+/// Segmentation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Minimum decided databases before a segment is assigned.
+    pub min_history: usize,
+    /// Share of one class needed for a Short/LongLivedHeavy call.
+    pub dominance: f64,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            min_history: 3,
+            dominance: 0.75,
+        }
+    }
+}
+
+/// Per-subscription class counts observed before the cutoff.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct HistoryCounts {
+    /// Databases decided ephemeral.
+    pub ephemeral: usize,
+    /// Databases decided short-lived.
+    pub short_lived: usize,
+    /// Databases decided long-lived.
+    pub long_lived: usize,
+}
+
+impl HistoryCounts {
+    /// All decided databases.
+    pub fn total(&self) -> usize {
+        self.ephemeral + self.short_lived + self.long_lived
+    }
+
+    /// Assigns the segment under a config.
+    pub fn segment(&self, config: &SegmentConfig) -> Segment {
+        let total = self.total();
+        if total < config.min_history {
+            return Segment::Unknown;
+        }
+        let t = total as f64;
+        if self.ephemeral == total {
+            Segment::EphemeralCycler
+        } else if (self.short_lived + self.ephemeral) as f64 / t >= config.dominance {
+            Segment::ShortLivedHeavy
+        } else if self.long_lived as f64 / t >= config.dominance {
+            Segment::LongLivedHeavy
+        } else {
+            Segment::Mixed
+        }
+    }
+}
+
+/// Segments assigned at a cutoff, with out-of-time validation counts.
+#[derive(Debug, Clone, Serialize)]
+pub struct SegmentReport {
+    /// Cutoff epoch seconds.
+    pub cutoff_epoch_seconds: i64,
+    /// Number of subscriptions per segment.
+    pub segment_sizes: HashMap<String, usize>,
+    /// Out-of-time accuracy of the naive segment rule: among databases
+    /// created after the cutoff with a decided class, the share whose
+    /// class matched the segment's implied prediction (long-lived for
+    /// `LongLivedHeavy`, otherwise not-long). `None` if no post-cutoff
+    /// databases were decided.
+    pub out_of_time_accuracy: Option<f64>,
+    /// Same, restricted to `EphemeralCycler` subscriptions predicting
+    /// "ephemeral".
+    pub cycler_precision: Option<f64>,
+    /// Databases evaluated out of time.
+    pub evaluated: usize,
+}
+
+/// Computes per-subscription history counts using only drops observed
+/// before `cutoff` (creation before cutoff is not enough: the class
+/// must be *decided* by then).
+pub fn history_counts(
+    census: &Census<'_>,
+    cutoff: Timestamp,
+) -> HashMap<SubscriptionId, HistoryCounts> {
+    let mut map: HashMap<SubscriptionId, HistoryCounts> = HashMap::new();
+    for (_, db) in census.study_population() {
+        if let Some(class) = decided_class_by(census, db, cutoff) {
+            let counts = map.entry(db.subscription_id).or_default();
+            match class {
+                LifespanClass::Ephemeral => counts.ephemeral += 1,
+                LifespanClass::ShortLived => counts.short_lived += 1,
+                LifespanClass::LongLived => counts.long_lived += 1,
+            }
+        }
+    }
+    map
+}
+
+/// The class of `db` using only information available at `cutoff`:
+/// dropped before the cutoff → its class; alive with > 30 days observed
+/// by the cutoff → long-lived; otherwise undecided.
+fn decided_class_by(
+    census: &Census<'_>,
+    db: &DatabaseRecord,
+    cutoff: Timestamp,
+) -> Option<LifespanClass> {
+    if db.created_at >= cutoff {
+        return None;
+    }
+    match db.dropped_at {
+        Some(dropped) if dropped <= cutoff => census.classify(db),
+        _ => {
+            let observed_days = (cutoff - db.created_at).as_days_f64();
+            (observed_days > telemetry::census::LONG_LIVED_MIN_DAYS)
+                .then_some(LifespanClass::LongLived)
+        }
+    }
+}
+
+/// Segments every subscription at `cutoff` and validates out of time
+/// against databases created after the cutoff (using the full window's
+/// knowledge for their true class).
+pub fn segment_report(
+    census: &Census<'_>,
+    cutoff: Timestamp,
+    config: &SegmentConfig,
+) -> SegmentReport {
+    let history = history_counts(census, cutoff);
+    let segments: HashMap<SubscriptionId, Segment> = history
+        .iter()
+        .map(|(&id, counts)| (id, counts.segment(config)))
+        .collect();
+
+    let mut segment_sizes: HashMap<String, usize> = HashMap::new();
+    for segment in segments.values() {
+        *segment_sizes.entry(format!("{segment:?}")).or_insert(0) += 1;
+    }
+
+    // Out-of-time validation on post-cutoff creations.
+    let mut correct = 0usize;
+    let mut evaluated = 0usize;
+    let mut cycler_tp = 0usize;
+    let mut cycler_n = 0usize;
+    for (_, db) in census.study_population() {
+        if db.created_at < cutoff {
+            continue;
+        }
+        let Some(actual) = census.classify(db) else {
+            continue;
+        };
+        let Some(&segment) = segments.get(&db.subscription_id) else {
+            continue;
+        };
+        if segment == Segment::Unknown || segment == Segment::Mixed {
+            continue;
+        }
+        evaluated += 1;
+        let predicted_long = segment == Segment::LongLivedHeavy;
+        let actually_long = actual == LifespanClass::LongLived;
+        if predicted_long == actually_long {
+            correct += 1;
+        }
+        if segment == Segment::EphemeralCycler {
+            cycler_n += 1;
+            if actual == LifespanClass::Ephemeral {
+                cycler_tp += 1;
+            }
+        }
+    }
+
+    SegmentReport {
+        cutoff_epoch_seconds: cutoff.epoch_seconds(),
+        segment_sizes,
+        out_of_time_accuracy: (evaluated > 0).then(|| correct as f64 / evaluated as f64),
+        cycler_precision: (cycler_n > 0).then(|| cycler_tp as f64 / cycler_n as f64),
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+    use simtime::Duration;
+    use telemetry::RegionId;
+
+    fn census_fixture() -> Study {
+        Study::load_region(
+            StudyConfig {
+                scale: 0.15,
+                seed: 0x5E6,
+            },
+            RegionId::Region1,
+        )
+    }
+
+    #[test]
+    fn segment_assignment_rules() {
+        let config = SegmentConfig::default();
+        let cycler = HistoryCounts {
+            ephemeral: 5,
+            ..Default::default()
+        };
+        assert_eq!(cycler.segment(&config), Segment::EphemeralCycler);
+        let keeper = HistoryCounts {
+            long_lived: 4,
+            short_lived: 1,
+            ..Default::default()
+        };
+        assert_eq!(keeper.segment(&config), Segment::LongLivedHeavy);
+        let churner = HistoryCounts {
+            short_lived: 4,
+            long_lived: 1,
+            ..Default::default()
+        };
+        assert_eq!(churner.segment(&config), Segment::ShortLivedHeavy);
+        let mixed = HistoryCounts {
+            short_lived: 2,
+            long_lived: 2,
+            ..Default::default()
+        };
+        assert_eq!(mixed.segment(&config), Segment::Mixed);
+        let thin = HistoryCounts {
+            long_lived: 2,
+            ..Default::default()
+        };
+        assert_eq!(thin.segment(&config), Segment::Unknown);
+    }
+
+    #[test]
+    fn history_respects_cutoff() {
+        let study = census_fixture();
+        let census = study.census(RegionId::Region1);
+        let fleet = census.fleet();
+        let early = fleet.window_start() + Duration::days(60);
+        let counts = history_counts(&census, early);
+        // No database created after the cutoff contributes.
+        for (&id, counts) in &counts {
+            let decided_before: usize = census
+                .study_population()
+                .filter(|(_, db)| db.subscription_id == id && db.created_at < early)
+                .count();
+            assert!(counts.total() <= decided_before);
+        }
+    }
+
+    #[test]
+    fn segments_predict_the_future() {
+        // The paper's claim: history identifies the pattern. Halfway
+        // through the window, segment; the second half must be
+        // predictable well above chance.
+        let study = census_fixture();
+        let census = study.census(RegionId::Region1);
+        let cutoff = census.fleet().window_start() + Duration::days(76);
+        let report = segment_report(&census, cutoff, &SegmentConfig::default());
+        assert!(report.evaluated > 100, "evaluated {}", report.evaluated);
+        let accuracy = report.out_of_time_accuracy.expect("evaluated > 0");
+        assert!(accuracy > 0.75, "out-of-time accuracy {accuracy}");
+        let cycler_precision = report.cycler_precision.expect("cyclers exist");
+        assert!(cycler_precision > 0.8, "cycler precision {cycler_precision}");
+    }
+}

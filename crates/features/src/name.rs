@@ -1,0 +1,208 @@
+//! Server/database name features.
+//!
+//! Paper §4.2: for both names — length, number of distinct characters,
+//! distinct-character rate, whether the name mixes letters and digits,
+//! whether it mixes upper and lower case, and whether it contains
+//! non-alphanumeric symbols. "The goal of these features is to
+//! determine whether a server/database is created manually or by an
+//! automated process."
+//!
+//! The paper also experimented with character-level n-gram features and
+//! found they did not improve accuracy (top n-grams came from common
+//! names and caused overfitting). [`NgramVocabulary`] implements them so
+//! the `factors` experiment can reproduce that negative result.
+
+use std::collections::HashMap;
+
+/// Number of shape features emitted per name.
+pub const NAME_FEATURE_COUNT: usize = 6;
+
+/// Feature names for one named entity (prefix distinguishes
+/// server/database).
+pub fn name_feature_names(prefix: &str) -> Vec<String> {
+    [
+        "len",
+        "distinct_chars",
+        "distinct_rate",
+        "has_letters_and_digits",
+        "has_upper_and_lower",
+        "has_symbols",
+    ]
+    .iter()
+    .map(|s| format!("{prefix}_{s}"))
+    .collect()
+}
+
+/// Extracts the six shape features from one name.
+pub fn name_features(name: &str) -> [f64; NAME_FEATURE_COUNT] {
+    let len = name.chars().count();
+    let mut distinct = std::collections::HashSet::new();
+    let mut has_letter = false;
+    let mut has_digit = false;
+    let mut has_upper = false;
+    let mut has_lower = false;
+    let mut has_symbol = false;
+    for c in name.chars() {
+        distinct.insert(c);
+        if c.is_alphabetic() {
+            has_letter = true;
+            if c.is_uppercase() {
+                has_upper = true;
+            }
+            if c.is_lowercase() {
+                has_lower = true;
+            }
+        } else if c.is_ascii_digit() {
+            has_digit = true;
+        } else {
+            has_symbol = true;
+        }
+    }
+    let distinct_rate = if len == 0 {
+        0.0
+    } else {
+        distinct.len() as f64 / len as f64
+    };
+    [
+        len as f64,
+        distinct.len() as f64,
+        distinct_rate,
+        (has_letter && has_digit) as u8 as f64,
+        (has_upper && has_lower) as u8 as f64,
+        has_symbol as u8 as f64,
+    ]
+}
+
+/// A fitted character-level n-gram vocabulary: the `k` most frequent
+/// n-grams in a training corpus of names. Each vocabulary entry becomes
+/// one presence feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NgramVocabulary {
+    n: usize,
+    grams: Vec<String>,
+}
+
+impl NgramVocabulary {
+    /// Builds the vocabulary from training names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    pub fn fit<'a>(names: impl Iterator<Item = &'a str>, n: usize, k: usize) -> NgramVocabulary {
+        assert!(n > 0, "n-gram size must be positive");
+        assert!(k > 0, "vocabulary size must be positive");
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for name in names {
+            let lower = name.to_lowercase();
+            let chars: Vec<char> = lower.chars().collect();
+            for window in chars.windows(n) {
+                *counts.entry(window.iter().collect()).or_insert(0) += 1;
+            }
+        }
+        let mut pairs: Vec<(String, u64)> = counts.into_iter().collect();
+        // Sort by frequency descending, then lexicographically for
+        // determinism across hash orders.
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        NgramVocabulary {
+            n,
+            grams: pairs.into_iter().map(|(g, _)| g).collect(),
+        }
+    }
+
+    /// The vocabulary entries, most frequent first.
+    pub fn grams(&self) -> &[String] {
+        &self.grams
+    }
+
+    /// Number of features this vocabulary emits.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// True if the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+
+    /// Presence features (0/1 per vocabulary gram) for one name.
+    pub fn features(&self, name: &str) -> Vec<f64> {
+        let lower = name.to_lowercase();
+        self.grams
+            .iter()
+            .map(|g| lower.contains(g.as_str()) as u8 as f64)
+            .collect()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self, prefix: &str) -> Vec<String> {
+        self.grams
+            .iter()
+            .map(|g| format!("{prefix}_ngram_{g}"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_name_shape() {
+        let f = name_features("payroll-db");
+        assert_eq!(f[0], 10.0); // length
+        assert_eq!(f[1], 9.0); // p,a,y,r,o,l,-,d,b (one repeated l)
+        assert!((f[2] - 0.9).abs() < 1e-12);
+        assert_eq!(f[3], 0.0); // no digits
+        assert_eq!(f[4], 0.0); // all lower
+        assert_eq!(f[5], 1.0); // the dash
+    }
+
+    #[test]
+    fn automated_name_shape() {
+        let f = name_features("ci-04731");
+        assert_eq!(f[3], 1.0); // letters + digits
+        let g = name_features("MyApp");
+        assert_eq!(g[4], 1.0); // mixed case
+        assert_eq!(g[5], 0.0);
+    }
+
+    #[test]
+    fn empty_name_is_safe() {
+        let f = name_features("");
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ngram_vocabulary_finds_frequent_grams() {
+        let names = ["prod-db", "prod-api", "prod-web", "xyz"];
+        let vocab = NgramVocabulary::fit(names.iter().copied(), 3, 3);
+        assert!(vocab.grams().contains(&"pro".to_string()));
+        assert!(vocab.grams().contains(&"rod".to_string()));
+        assert_eq!(vocab.len(), 3);
+    }
+
+    #[test]
+    fn ngram_features_are_presence_flags() {
+        let vocab = NgramVocabulary::fit(["abcabc", "abcd"].iter().copied(), 3, 2);
+        let f = vocab.features("xxabcxx");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|&v| v == 1.0));
+        let none = vocab.features("zzzz");
+        assert!(none.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ngram_fit_is_deterministic() {
+        let names: Vec<String> = (0..100).map(|i| format!("db-{i:03}")).collect();
+        let a = NgramVocabulary::fit(names.iter().map(|s| s.as_str()), 2, 10);
+        let b = NgramVocabulary::fit(names.iter().map(|s| s.as_str()), 2, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let vocab = NgramVocabulary::fit(["ABC"].iter().copied(), 3, 1);
+        assert_eq!(vocab.features("xabcx"), vec![1.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Database-size features over the observation prefix.
+//!
+//! Paper §4.2: "Maximum, minimum, average, and standard deviation of
+//! the absolute database size in megabytes; Rate of change in size from
+//! day of creation to day of prediction."
+
+use simtime::Duration;
+use stats::Summary;
+use telemetry::SizeTrace;
+
+/// Names of the size features.
+pub const SIZE_FEATURE_NAMES: [&str; 5] = [
+    "size_max_mb",
+    "size_min_mb",
+    "size_avg_mb",
+    "size_std_mb",
+    "size_change_rate",
+];
+
+/// Extracts size features from the trace prefix up to `horizon` (the
+/// prediction offset `x`).
+pub fn size_features(trace: &SizeTrace, horizon: Duration) -> Vec<f64> {
+    let prefix = trace.prefix(horizon);
+    let mut summary = Summary::new();
+    for &(_, size) in prefix {
+        summary.push(size);
+    }
+    let initial = trace.initial_size_mb();
+    let final_size = prefix.last().map(|&(_, s)| s).unwrap_or(initial);
+    // Relative growth creation → prediction; 0 when the database never
+    // reported (or started empty).
+    let change_rate = if initial > 0.0 {
+        (final_size - initial) / initial
+    } else {
+        0.0
+    };
+    vec![
+        summary.max(),
+        summary.min(),
+        summary.mean(),
+        summary.std_dev(),
+        change_rate,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> SizeTrace {
+        SizeTrace::new(vec![
+            (Duration::hours(0), 100.0),
+            (Duration::hours(12), 110.0),
+            (Duration::hours(24), 130.0),
+            (Duration::hours(72), 500.0),
+        ])
+    }
+
+    #[test]
+    fn prefix_statistics() {
+        let f = size_features(&trace(), Duration::days(1));
+        assert_eq!(f[0], 130.0); // max
+        assert_eq!(f[1], 100.0); // min
+        assert!((f[2] - (100.0 + 110.0 + 130.0) / 3.0).abs() < 1e-9);
+        assert!(f[3] > 0.0);
+        assert!((f[4] - 0.3).abs() < 1e-12); // (130-100)/100
+    }
+
+    #[test]
+    fn no_leakage_beyond_horizon() {
+        // The 500 MB sample at 72h must not affect 2-day features.
+        let f = size_features(&trace(), Duration::days(2));
+        assert_eq!(f[0], 130.0);
+    }
+
+    #[test]
+    fn flat_trace_has_zero_change() {
+        let t = SizeTrace::new(vec![
+            (Duration::hours(0), 50.0),
+            (Duration::hours(6), 50.0),
+        ]);
+        let f = size_features(&t, Duration::days(2));
+        assert_eq!(f[3], 0.0);
+        assert_eq!(f[4], 0.0);
+    }
+
+    #[test]
+    fn single_sample_trace() {
+        let t = SizeTrace::new(vec![(Duration::hours(0), 75.0)]);
+        let f = size_features(&t, Duration::days(2));
+        assert_eq!(f, vec![75.0, 75.0, 75.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Edition and performance-level (SLO) features.
+//!
+//! Paper §4.2: number of edition/performance-level changes, number of
+//! distinct editions/levels, edition and level at prediction time, the
+//! difference between creation and prediction values, and max/min/avg
+//! DTUs — all over the observation prefix only.
+
+use simtime::Timestamp;
+use telemetry::catalog::SLOS;
+use telemetry::DatabaseRecord;
+
+/// Names of the SLO features.
+pub const SLO_FEATURE_NAMES: [&str; 11] = [
+    "edition_changes",
+    "slo_changes",
+    "distinct_editions",
+    "distinct_slos",
+    "edition_at_prediction",
+    "dtus_at_prediction",
+    "edition_rank_delta",
+    "dtu_delta",
+    "dtus_max",
+    "dtus_min",
+    "dtus_avg",
+];
+
+/// Extracts SLO features from the history prefix up to `prediction_at`.
+pub fn slo_features(db: &DatabaseRecord, prediction_at: Timestamp) -> Vec<f64> {
+    // History entries in effect during [created, prediction].
+    let prefix: Vec<usize> = db
+        .slo_history
+        .iter()
+        .filter(|c| c.at <= prediction_at)
+        .map(|c| c.slo_index)
+        .collect();
+    debug_assert!(!prefix.is_empty(), "creation entry is always in prefix");
+
+    let mut edition_changes = 0usize;
+    let mut slo_changes = 0usize;
+    for w in prefix.windows(2) {
+        slo_changes += 1;
+        if SLOS[w[0]].edition != SLOS[w[1]].edition {
+            edition_changes += 1;
+        }
+    }
+
+    let mut editions: Vec<usize> = prefix.iter().map(|&i| SLOS[i].edition.rank()).collect();
+    editions.sort_unstable();
+    editions.dedup();
+    let mut slos = prefix.clone();
+    slos.sort_unstable();
+    slos.dedup();
+
+    let first = prefix[0];
+    let last = *prefix.last().expect("non-empty prefix");
+    let dtus: Vec<f64> = prefix.iter().map(|&i| SLOS[i].dtus as f64).collect();
+    let dtu_max = dtus.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let dtu_min = dtus.iter().cloned().fold(f64::INFINITY, f64::min);
+    let dtu_avg = dtus.iter().sum::<f64>() / dtus.len() as f64;
+
+    vec![
+        edition_changes as f64,
+        slo_changes as f64,
+        editions.len() as f64,
+        slos.len() as f64,
+        SLOS[last].edition.rank() as f64,
+        SLOS[last].dtus as f64,
+        SLOS[last].edition.rank() as f64 - SLOS[first].edition.rank() as f64,
+        SLOS[last].dtus as f64 - SLOS[first].dtus as f64,
+        dtu_max,
+        dtu_min,
+        dtu_avg,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::Duration;
+    use telemetry::catalog::SloCatalog;
+    use telemetry::{RegionId, SizeTrace, SloChange, SubscriptionId, SubscriptionType, UtilizationTrace};
+
+    fn db_with_history(names: &[(&str, i64)]) -> DatabaseRecord {
+        let created = Timestamp::from_ymd_hms(2017, 6, 1, 0, 0, 0);
+        DatabaseRecord {
+            id: 0,
+            region: RegionId::Region1,
+            server_name: "s".into(),
+            database_name: "d".into(),
+            subscription_id: SubscriptionId(0),
+            subscription_type: SubscriptionType::PayAsYouGo,
+            created_at: created,
+            dropped_at: None,
+            slo_history: names
+                .iter()
+                .map(|&(name, day)| SloChange {
+                    at: created + Duration::days(day),
+                    slo_index: SloCatalog::index_of(name).unwrap(),
+                })
+                .collect(),
+            size_trace: SizeTrace::new(vec![(Duration::seconds(0), 10.0)]),
+            utilization_trace: UtilizationTrace::new(vec![(Duration::seconds(0), 40.0)]),
+            elastic_pool: None,
+            is_internal: false,
+        }
+    }
+
+    #[test]
+    fn static_database() {
+        let db = db_with_history(&[("S1", 0)]);
+        let f = slo_features(&db, db.created_at + Duration::days(2));
+        assert_eq!(f[0], 0.0); // edition changes
+        assert_eq!(f[1], 0.0); // slo changes
+        assert_eq!(f[2], 1.0);
+        assert_eq!(f[3], 1.0);
+        assert_eq!(f[4], 1.0); // Standard rank
+        assert_eq!(f[5], 20.0);
+        assert_eq!(f[6], 0.0);
+        assert_eq!(f[7], 0.0);
+        assert_eq!(f[8], 20.0);
+        assert_eq!(f[10], 20.0);
+    }
+
+    #[test]
+    fn cross_edition_walk() {
+        let db = db_with_history(&[("S1", 0), ("S2", 1), ("P1", 2)]);
+        let f = slo_features(&db, db.created_at + Duration::days(2));
+        assert_eq!(f[0], 1.0); // one edition change (S→P)
+        assert_eq!(f[1], 2.0);
+        assert_eq!(f[2], 2.0); // Standard + Premium
+        assert_eq!(f[3], 3.0);
+        assert_eq!(f[4], 2.0); // Premium at prediction
+        assert_eq!(f[5], 125.0);
+        assert_eq!(f[6], 1.0); // rank delta
+        assert_eq!(f[7], 105.0); // 125 − 20
+        assert_eq!(f[8], 125.0);
+        assert_eq!(f[9], 20.0);
+    }
+
+    #[test]
+    fn changes_after_prediction_are_invisible() {
+        let db = db_with_history(&[("S1", 0), ("P1", 5)]);
+        let f = slo_features(&db, db.created_at + Duration::days(2));
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[4], 1.0); // still Standard at Tp
+        // And they ARE visible at a later horizon.
+        let g = slo_features(&db, db.created_at + Duration::days(6));
+        assert_eq!(g[0], 1.0);
+        assert_eq!(g[4], 2.0);
+    }
+}

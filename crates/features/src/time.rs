@@ -1,0 +1,82 @@
+//! Creation-time features.
+//!
+//! Paper §4.2: "Day of the week (1-7), Day of the month (1-31), Week of
+//! the year (1-52), Month of the year (1-12), Hour of the day (0-23)",
+//! computed after localizing to the hosting region. Our simulator emits
+//! region-local timestamps directly. We add two derived indicators the
+//! paper discusses in §5.4 (weekend / regional-holiday creation) as
+//! extension features.
+
+use simtime::{HolidayCalendar, Timestamp};
+
+/// Names of the creation-time features, aligned with
+/// [`time_features`]'s output.
+pub const TIME_FEATURE_NAMES: [&str; 7] = [
+    "created_day_of_week",
+    "created_day_of_month",
+    "created_week_of_year",
+    "created_month",
+    "created_hour",
+    "created_on_weekend",
+    "created_on_holiday",
+];
+
+/// Extracts creation-time features.
+pub fn time_features(created_at: Timestamp, holidays: &HolidayCalendar) -> Vec<f64> {
+    let dt = created_at.datetime();
+    let date = dt.date;
+    vec![
+        date.weekday().number() as f64,
+        date.day() as f64,
+        date.iso_week() as f64,
+        date.month() as f64,
+        dt.hour as f64,
+        date.weekday().is_weekend() as u8 as f64,
+        holidays.is_holiday(date) as u8 as f64,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_timestamp_decomposes() {
+        // 2017-07-04 (Tuesday, US-like holiday) 09:30.
+        let t = Timestamp::from_ymd_hms(2017, 7, 4, 9, 30, 0);
+        let f = time_features(t, &HolidayCalendar::us_like());
+        assert_eq!(f.len(), TIME_FEATURE_NAMES.len());
+        assert_eq!(f[0], 2.0); // Tuesday
+        assert_eq!(f[1], 4.0);
+        assert_eq!(f[2], 27.0); // ISO week 27
+        assert_eq!(f[3], 7.0);
+        assert_eq!(f[4], 9.0);
+        assert_eq!(f[5], 0.0);
+        assert_eq!(f[6], 1.0);
+    }
+
+    #[test]
+    fn weekend_flag() {
+        let t = Timestamp::from_ymd_hms(2017, 6, 11, 23, 0, 0); // Sunday
+        let f = time_features(t, &HolidayCalendar::us_like());
+        assert_eq!(f[0], 7.0);
+        assert_eq!(f[5], 1.0);
+        assert_eq!(f[6], 0.0);
+    }
+
+    #[test]
+    fn ranges_are_paperlike() {
+        let cal = HolidayCalendar::europe_like();
+        for day in 0..200 {
+            let t = Timestamp::from_ymd_hms(2017, 1, 1, 0, 0, 0)
+                + simtime::Duration::days(day)
+                + simtime::Duration::hours(day % 24);
+            let f = time_features(t, &cal);
+            assert!((1.0..=7.0).contains(&f[0]));
+            assert!((1.0..=31.0).contains(&f[1]));
+            assert!((1.0..=53.0).contains(&f[2]));
+            assert!((1.0..=12.0).contains(&f[3]));
+            assert!((0.0..=23.0).contains(&f[4]));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! DTU-utilization features over the observation prefix.
+//!
+//! The paper's telemetry includes utilization levels (§2); an idle
+//! database in its first days is more likely to be abandoned. These
+//! features summarize the DTU-percent samples inside the first `x`
+//! days: level statistics, the fraction of busy samples, and the
+//! weekday-vs-weekend activity ratio (the §2 "scale down on Fridays"
+//! signature).
+
+use simtime::{Duration, Timestamp};
+use stats::Summary;
+use telemetry::UtilizationTrace;
+
+/// Names of the utilization features.
+pub const UTILIZATION_FEATURE_NAMES: [&str; 6] = [
+    "util_avg_pct",
+    "util_max_pct",
+    "util_min_pct",
+    "util_std_pct",
+    "util_busy_fraction",
+    "util_weekend_ratio",
+];
+
+/// DTU percentage above which a sample counts as "busy".
+pub const BUSY_THRESHOLD_PCT: f64 = 40.0;
+
+/// Extracts utilization features from the trace prefix up to `horizon`.
+///
+/// `created_at` anchors weekday/weekend attribution of each sample.
+/// The weekend ratio is weekend-mean / weekday-mean, clamped to
+/// `[0, 10]`; it is 1 when either side has no samples (no evidence of
+/// a weekly pattern within the prefix).
+pub fn utilization_features(
+    trace: &UtilizationTrace,
+    created_at: Timestamp,
+    horizon: Duration,
+) -> Vec<f64> {
+    let prefix = trace.prefix(horizon);
+    let mut all = Summary::new();
+    let mut weekday = Summary::new();
+    let mut weekend = Summary::new();
+    let mut busy = 0usize;
+    for &(offset, value) in prefix {
+        all.push(value);
+        if value >= BUSY_THRESHOLD_PCT {
+            busy += 1;
+        }
+        if (created_at + offset).date().weekday().is_weekend() {
+            weekend.push(value);
+        } else {
+            weekday.push(value);
+        }
+    }
+    let busy_fraction = if prefix.is_empty() {
+        0.0
+    } else {
+        busy as f64 / prefix.len() as f64
+    };
+    let weekend_ratio = if weekend.count() == 0 || weekday.count() == 0 || weekday.mean() <= 0.0 {
+        1.0
+    } else {
+        (weekend.mean() / weekday.mean()).clamp(0.0, 10.0)
+    };
+    vec![
+        all.mean(),
+        all.max(),
+        all.min(),
+        all.std_dev(),
+        busy_fraction,
+        weekend_ratio,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monday() -> Timestamp {
+        Timestamp::from_ymd_hms(2017, 6, 5, 0, 0, 0)
+    }
+
+    #[test]
+    fn summarizes_prefix_only() {
+        let trace = UtilizationTrace::new(vec![
+            (Duration::hours(0), 50.0),
+            (Duration::hours(12), 70.0),
+            (Duration::hours(72), 99.0), // beyond 2-day horizon
+        ]);
+        let f = utilization_features(&trace, monday(), Duration::days(2));
+        assert!((f[0] - 60.0).abs() < 1e-12); // mean of 50, 70
+        assert_eq!(f[1], 70.0);
+        assert_eq!(f[2], 50.0);
+        assert_eq!(f[4], 1.0); // both samples busy
+    }
+
+    #[test]
+    fn busy_fraction_counts_threshold() {
+        let trace = UtilizationTrace::new(vec![
+            (Duration::hours(0), 10.0),
+            (Duration::hours(6), 45.0),
+            (Duration::hours(12), 39.9),
+            (Duration::hours(18), 80.0),
+        ]);
+        let f = utilization_features(&trace, monday(), Duration::days(2));
+        assert!((f[4] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekend_ratio_detects_scale_down() {
+        // Friday start: samples at +0h (Fri), +24h (Sat), +48h (Sun),
+        // +72h (Mon).
+        let friday = Timestamp::from_ymd_hms(2017, 6, 9, 12, 0, 0);
+        let trace = UtilizationTrace::new(vec![
+            (Duration::hours(0), 80.0),
+            (Duration::hours(24), 16.0),
+            (Duration::hours(48), 16.0),
+            (Duration::hours(72), 80.0),
+        ]);
+        let f = utilization_features(&trace, friday, Duration::days(4));
+        assert!((f[5] - 0.2).abs() < 1e-9, "ratio {}", f[5]);
+    }
+
+    #[test]
+    fn no_weekend_samples_gives_neutral_ratio() {
+        let trace = UtilizationTrace::new(vec![(Duration::hours(0), 42.0)]);
+        let f = utilization_features(&trace, monday(), Duration::days(1));
+        assert_eq!(f[5], 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's weighted-random baseline classifier (§5.1).
+
+use crate::data::Dataset;
+use rand::Rng;
+
+/// A classifier that ignores features entirely: it estimates the
+/// positive-class probability `p` from the training distribution and
+/// predicts positive with probability `p` by coin flip.
+///
+/// This is exactly the paper's baseline: "It first computes the
+/// probability p that an example is positive solely based on the class
+/// distribution in the training data. For each example in the testing
+/// set, it computes a random number r between 0 and 1. If r < p, it
+/// classifies the example as positive."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedRandomClassifier {
+    positive_probability: f64,
+}
+
+impl WeightedRandomClassifier {
+    /// Fits the baseline: records the positive-class (class 1) fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> WeightedRandomClassifier {
+        assert!(!data.is_empty(), "cannot fit baseline on empty data");
+        WeightedRandomClassifier {
+            positive_probability: data.class_fraction(1),
+        }
+    }
+
+    /// Creates a baseline with an explicit positive probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn with_probability(p: f64) -> WeightedRandomClassifier {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        WeightedRandomClassifier {
+            positive_probability: p,
+        }
+    }
+
+    /// The training positive-class fraction.
+    pub fn positive_probability(&self) -> f64 {
+        self.positive_probability
+    }
+
+    /// Predicts one example's class by weighted coin flip.
+    pub fn predict<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        (rng.gen::<f64>() < self.positive_probability) as usize
+    }
+
+    /// Predicts `n` examples.
+    pub fn predict_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        (0..n).map(|_| self.predict(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_class_fraction() {
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..10 {
+            d.push(vec![0.0], (i < 7) as usize);
+        }
+        let b = WeightedRandomClassifier::fit(&d);
+        assert!((b.positive_probability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_rate_converges() {
+        let b = WeightedRandomClassifier::with_probability(0.3);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let preds = b.predict_many(20_000, &mut rng);
+        let rate = preds.iter().sum::<usize>() as f64 / preds.len() as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn expected_baseline_scores() {
+        // With positive fraction q, the baseline's expected accuracy is
+        // q² + (1−q)² and expected precision/recall are both q — the
+        // identities DESIGN.md uses to calibrate the generator.
+        let q: f64 = 0.68;
+        let b = WeightedRandomClassifier::with_probability(q);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 100_000;
+        let actual: Vec<usize> = (0..n).map(|_| (rng.gen::<f64>() < q) as usize).collect();
+        let preds = b.predict_many(n, &mut rng);
+        let m = crate::metrics::ConfusionMatrix::from_predictions(&preds, &actual);
+        assert!((m.accuracy() - (q * q + (1.0 - q) * (1.0 - q))).abs() < 0.01);
+        assert!((m.precision() - q).abs() < 0.01);
+        assert!((m.recall() - q).abs() < 0.01);
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let zero = WeightedRandomClassifier::with_probability(0.0);
+        assert!(zero.predict_many(100, &mut rng).iter().all(|&p| p == 0));
+        let one = WeightedRandomClassifier::with_probability(1.0);
+        assert!(one.predict_many(100, &mut rng).iter().all(|&p| p == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_probability() {
+        WeightedRandomClassifier::with_probability(1.5);
+    }
+}

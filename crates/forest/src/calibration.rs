@@ -1,0 +1,195 @@
+//! Probability-calibration diagnostics.
+//!
+//! The paper's confidence partition (§5.3) treats the forest's class
+//! probabilities as confidence levels, citing the finding that random
+//! forests estimate class probabilities well even without calibration
+//! (Zadrozny & Elkan; Caruana & Niculescu-Mizil). This module provides
+//! the diagnostics to *verify* that on our data: a reliability diagram
+//! (predicted probability vs observed frequency per bin) and the Brier
+//! score.
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Bin lower edge (upper edge is `lo + width`).
+    pub lo: f64,
+    /// Mean predicted probability of examples in the bin.
+    pub mean_predicted: f64,
+    /// Observed positive frequency in the bin.
+    pub observed_frequency: f64,
+    /// Number of examples in the bin.
+    pub count: usize,
+}
+
+/// A reliability diagram over equal-width probability bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityDiagram {
+    bins: Vec<ReliabilityBin>,
+    brier: f64,
+    ece: f64,
+}
+
+impl ReliabilityDiagram {
+    /// Builds the diagram from positive-class probabilities and 0/1
+    /// labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, `bins == 0`, or any
+    /// probability is outside `[0, 1]`.
+    pub fn build(probabilities: &[f64], labels: &[usize], bins: usize) -> ReliabilityDiagram {
+        assert_eq!(
+            probabilities.len(),
+            labels.len(),
+            "probability/label length mismatch"
+        );
+        assert!(bins > 0, "need at least one bin");
+        let width = 1.0 / bins as f64;
+
+        let mut counts = vec![0usize; bins];
+        let mut prob_sums = vec![0.0_f64; bins];
+        let mut pos_counts = vec![0usize; bins];
+        let mut brier = 0.0;
+
+        for (&p, &label) in probabilities.iter().zip(labels) {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+            let idx = ((p / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+            prob_sums[idx] += p;
+            pos_counts[idx] += (label == 1) as usize;
+            let target = (label == 1) as u8 as f64;
+            brier += (p - target) * (p - target);
+        }
+        let n = probabilities.len().max(1) as f64;
+        brier /= n;
+
+        let mut out = Vec::with_capacity(bins);
+        let mut ece = 0.0;
+        for i in 0..bins {
+            let count = counts[i];
+            let mean_predicted = if count > 0 {
+                prob_sums[i] / count as f64
+            } else {
+                0.0
+            };
+            let observed_frequency = if count > 0 {
+                pos_counts[i] as f64 / count as f64
+            } else {
+                0.0
+            };
+            if count > 0 {
+                ece += (count as f64 / n) * (mean_predicted - observed_frequency).abs();
+            }
+            out.push(ReliabilityBin {
+                lo: i as f64 * width,
+                mean_predicted,
+                observed_frequency,
+                count,
+            });
+        }
+
+        ReliabilityDiagram {
+            bins: out,
+            brier,
+            ece,
+        }
+    }
+
+    /// The bins, ascending.
+    pub fn bins(&self) -> &[ReliabilityBin] {
+        &self.bins
+    }
+
+    /// Brier score (mean squared error of the probabilities; lower is
+    /// better, 0.25 is the score of a constant 0.5 forecast).
+    pub fn brier_score(&self) -> f64 {
+        self.brier
+    }
+
+    /// Expected calibration error: the bin-count-weighted mean absolute
+    /// gap between predicted probability and observed frequency.
+    pub fn expected_calibration_error(&self) -> f64 {
+        self.ece
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfectly_calibrated_probabilities() {
+        // Probability p, labels drawn to match p exactly in each bin.
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let p = (i as f64 + 0.5) / 10.0;
+            for j in 0..100 {
+                probs.push(p);
+                labels.push(((j as f64) + 0.5 < p * 100.0) as usize);
+            }
+        }
+        let d = ReliabilityDiagram::build(&probs, &labels, 10);
+        assert!(d.expected_calibration_error() < 0.01, "ece = {}", d.expected_calibration_error());
+        for bin in d.bins() {
+            assert!((bin.mean_predicted - bin.observed_frequency).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn overconfident_probabilities_show_large_ece() {
+        // Predicts 0.99/0.01 while truth is a coin flip.
+        let probs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 0.99 } else { 0.01 }).collect();
+        let labels: Vec<usize> = (0..1000).map(|i| ((i / 2) % 2 == 0) as usize).collect();
+        let d = ReliabilityDiagram::build(&probs, &labels, 10);
+        assert!(d.expected_calibration_error() > 0.3);
+        assert!(d.brier_score() > 0.3);
+    }
+
+    #[test]
+    fn brier_of_constant_half() {
+        let probs = vec![0.5; 100];
+        let labels: Vec<usize> = (0..100).map(|i| (i % 2) as usize).collect();
+        let d = ReliabilityDiagram::build(&probs, &labels, 5);
+        assert!((d.brier_score() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let d = ReliabilityDiagram::build(&[], &[], 5);
+        assert_eq!(d.brier_score(), 0.0);
+        assert_eq!(d.expected_calibration_error(), 0.0);
+        assert!(d.bins().iter().all(|b| b.count == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_probability() {
+        ReliabilityDiagram::build(&[1.5], &[1], 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counts_partition_input(
+            probs in prop::collection::vec(0.0..=1.0_f64, 0..300),
+            labels in prop::collection::vec(0usize..2, 0..300),
+        ) {
+            let n = probs.len().min(labels.len());
+            let d = ReliabilityDiagram::build(&probs[..n], &labels[..n], 7);
+            let total: usize = d.bins().iter().map(|b| b.count).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        #[test]
+        fn prop_brier_in_unit_interval(
+            probs in prop::collection::vec(0.0..=1.0_f64, 1..200),
+            labels in prop::collection::vec(0usize..2, 1..200),
+        ) {
+            let n = probs.len().min(labels.len());
+            let d = ReliabilityDiagram::build(&probs[..n], &labels[..n], 10);
+            prop_assert!((0.0..=1.0).contains(&d.brier_score()));
+            prop_assert!((0.0..=1.0).contains(&d.expected_calibration_error()));
+        }
+    }
+}

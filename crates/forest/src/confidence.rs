@@ -1,0 +1,175 @@
+//! Confidence partitioning of predictions (paper §5.3).
+//!
+//! The forest's positive-class probability estimate is treated as a
+//! confidence level. With threshold `t = max(q, 1 − q)` (q = training
+//! positive fraction), a prediction is **confident** when `p >= t` or
+//! `p <= 1 − t`, and **uncertain** when `1 − t < p < t` — i.e. when the
+//! probability sits near 0.5 relative to the class balance.
+
+/// Which side of the confidence threshold a prediction fell on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidenceSplit {
+    /// `p >= t` or `p <= 1 − t`: act on this prediction.
+    Confident,
+    /// `1 − t < p < t`: route to the designated "uncertain" resource
+    /// pool instead of acting.
+    Uncertain,
+}
+
+/// Computes the paper's confidence threshold from the training
+/// positive-class fraction: `t = max(q, 1 − q)`.
+///
+/// # Panics
+///
+/// Panics unless `0 <= q <= 1`.
+pub fn confidence_threshold(positive_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&positive_fraction),
+        "class fraction must be in [0,1], got {positive_fraction}"
+    );
+    positive_fraction.max(1.0 - positive_fraction)
+}
+
+/// Classifies one prediction probability as confident or uncertain
+/// under threshold `t`.
+///
+/// # Panics
+///
+/// Panics unless `0.5 <= t <= 1`.
+pub fn classify_confidence(p: f64, t: f64) -> ConfidenceSplit {
+    assert!((0.5..=1.0).contains(&t), "threshold must be in [0.5,1], got {t}");
+    if p >= t || p <= 1.0 - t {
+        ConfidenceSplit::Confident
+    } else {
+        ConfidenceSplit::Uncertain
+    }
+}
+
+/// Predictions partitioned by confidence, carrying the index of each
+/// example in the original evaluation set so callers can join back to
+/// labels, lifespans, and KM groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedPredictions {
+    /// The threshold used.
+    pub threshold: f64,
+    /// `(example index, positive probability, predicted class)` for
+    /// confident predictions.
+    pub confident: Vec<(usize, f64, usize)>,
+    /// Same, for uncertain predictions.
+    pub uncertain: Vec<(usize, f64, usize)>,
+}
+
+impl PartitionedPredictions {
+    /// Partitions positive-class probabilities with the threshold
+    /// derived from `training_positive_fraction`.
+    ///
+    /// Predicted class is `p > 0.5` (the paper's decision rule),
+    /// independent of the confidence threshold.
+    pub fn partition(probabilities: &[f64], training_positive_fraction: f64) -> Self {
+        let threshold = confidence_threshold(training_positive_fraction);
+        let mut confident = Vec::new();
+        let mut uncertain = Vec::new();
+        for (i, &p) in probabilities.iter().enumerate() {
+            let predicted = (p > 0.5) as usize;
+            match classify_confidence(p, threshold) {
+                ConfidenceSplit::Confident => confident.push((i, p, predicted)),
+                ConfidenceSplit::Uncertain => uncertain.push((i, p, predicted)),
+            }
+        }
+        PartitionedPredictions {
+            threshold,
+            confident,
+            uncertain,
+        }
+    }
+
+    /// Fraction of predictions that were confident (Table 1's
+    /// "Confident" column).
+    pub fn confident_fraction(&self) -> f64 {
+        let total = self.confident.len() + self.uncertain.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.confident.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threshold_formula() {
+        assert_eq!(confidence_threshold(0.7), 0.7);
+        assert_eq!(confidence_threshold(0.3), 0.7);
+        assert_eq!(confidence_threshold(0.5), 0.5);
+        assert_eq!(confidence_threshold(1.0), 1.0);
+    }
+
+    #[test]
+    fn paper_example() {
+        // "if 70% of the training examples are positive, then q = 0.7.
+        // Thus, t = max(0.7, 0.3) = 0.7."
+        let t = confidence_threshold(0.7);
+        assert_eq!(classify_confidence(0.95, t), ConfidenceSplit::Confident);
+        assert_eq!(classify_confidence(0.05, t), ConfidenceSplit::Confident);
+        assert_eq!(classify_confidence(0.6, t), ConfidenceSplit::Uncertain);
+        assert_eq!(classify_confidence(0.4, t), ConfidenceSplit::Uncertain);
+        // Boundary cases are confident (>= / <=).
+        assert_eq!(classify_confidence(0.7, t), ConfidenceSplit::Confident);
+        assert_eq!(classify_confidence(0.3, t), ConfidenceSplit::Confident);
+    }
+
+    #[test]
+    fn balanced_classes_make_everything_confident() {
+        // With q = 0.5, t = 0.5 and no probability can fall strictly
+        // between 0.5 and 0.5 — the paper's explanation for Standard
+        // edition's ~90%+ confident coverage.
+        let p = PartitionedPredictions::partition(&[0.5, 0.51, 0.49, 0.9], 0.5);
+        assert_eq!(p.uncertain.len(), 0);
+        assert_eq!(p.confident_fraction(), 1.0);
+    }
+
+    #[test]
+    fn partition_indices_and_classes() {
+        let p = PartitionedPredictions::partition(&[0.95, 0.6, 0.1, 0.35], 0.7);
+        let confident_idx: Vec<usize> = p.confident.iter().map(|c| c.0).collect();
+        assert_eq!(confident_idx, vec![0, 2]);
+        let classes: Vec<usize> = p.confident.iter().map(|c| c.2).collect();
+        assert_eq!(classes, vec![1, 0]);
+        let uncertain_idx: Vec<usize> = p.uncertain.iter().map(|c| c.0).collect();
+        assert_eq!(uncertain_idx, vec![1, 3]);
+        assert!((p.confident_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = PartitionedPredictions::partition(&[], 0.6);
+        assert_eq!(p.confident_fraction(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_is_exhaustive_and_disjoint(
+            probs in prop::collection::vec(0.0..=1.0_f64, 0..100),
+            q in 0.0..=1.0_f64,
+        ) {
+            let p = PartitionedPredictions::partition(&probs, q);
+            prop_assert_eq!(p.confident.len() + p.uncertain.len(), probs.len());
+            let mut seen = std::collections::HashSet::new();
+            for (i, _, _) in p.confident.iter().chain(p.uncertain.iter()) {
+                prop_assert!(seen.insert(*i));
+            }
+        }
+
+        #[test]
+        fn prop_higher_threshold_fewer_confident(
+            probs in prop::collection::vec(0.0..=1.0_f64, 1..100),
+        ) {
+            let loose = PartitionedPredictions::partition(&probs, 0.55);
+            let strict = PartitionedPredictions::partition(&probs, 0.9);
+            prop_assert!(strict.confident.len() <= loose.confident.len());
+        }
+    }
+}

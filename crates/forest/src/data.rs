@@ -1,0 +1,191 @@
+//! Feature-matrix dataset for classification.
+
+/// A dense, row-major dataset: one feature vector and one class label
+/// per example.
+///
+/// Labels are `0..class_count`. The paper's task is binary (positive =
+/// "lives more than 30 days"), but the implementation is k-class so the
+/// same machinery can label ephemeral/short/long in the examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    class_count: usize,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no features or fewer than two classes.
+    pub fn new(feature_names: Vec<String>, class_count: usize) -> Dataset {
+        assert!(!feature_names.is_empty(), "dataset needs at least one feature");
+        assert!(class_count >= 2, "dataset needs at least two classes");
+        Dataset {
+            feature_names,
+            class_count,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Adds one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a feature-count mismatch, a non-finite feature, or an
+    /// out-of-range label.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "expected {} features, got {}",
+            self.feature_names.len(),
+            features.len()
+        );
+        for (j, &v) in features.iter().enumerate() {
+            assert!(
+                v.is_finite(),
+                "non-finite value {v} for feature {}",
+                self.feature_names[j]
+            );
+        }
+        assert!(
+            label < self.class_count,
+            "label {label} out of range (class_count = {})",
+            self.class_count
+        );
+        self.rows.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no examples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    pub fn feature_count(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// One example's features.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// One example's label.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-class example counts.
+    pub fn class_distribution(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.class_count];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of examples with the given label.
+    pub fn class_fraction(&self, label: usize) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l == label).count() as f64 / self.len() as f64
+    }
+
+    /// A new dataset containing the rows at `indices` (duplicates
+    /// allowed — this is how bootstrap samples are built).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.feature_names.clone(), self.class_count);
+        for &i in indices {
+            out.rows.push(self.rows[i].clone());
+            out.labels.push(self.labels[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        d.push(vec![1.0, 2.0], 0);
+        d.push(vec![3.0, 4.0], 1);
+        d.push(vec![5.0, 6.0], 1);
+        d
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.feature_count(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.label(2), 1);
+        assert_eq!(d.class_distribution(), vec![1, 2]);
+        assert!((d.class_fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_with_duplicates() {
+        let d = tiny();
+        let s = d.select(&[0, 0, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0), s.row(1));
+        assert_eq!(s.label(2), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_arity() {
+        let mut d = tiny();
+        d.push(vec![1.0], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan() {
+        let mut d = tiny();
+        d.push(vec![f64::NAN, 0.0], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_label() {
+        let mut d = tiny();
+        d.push(vec![0.0, 0.0], 2);
+    }
+
+    #[test]
+    fn empty_class_fraction_is_zero() {
+        let d = Dataset::new(vec!["x".into()], 2);
+        assert_eq!(d.class_fraction(1), 0.0);
+    }
+}

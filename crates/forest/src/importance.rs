@@ -1,0 +1,158 @@
+//! Permutation feature importance.
+//!
+//! Gini importance (the paper's §5.4 measure) is known to be biased
+//! toward high-cardinality features; permutation importance — the
+//! accuracy drop when one feature's column is shuffled — is the
+//! standard cross-check. The `factors` experiment compares both
+//! rankings; agreement strengthens the §5.4 conclusions.
+
+use crate::data::Dataset;
+use crate::random_forest::RandomForest;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Mean accuracy drop per feature over `repeats` independent shuffles
+/// of that feature's column, evaluated on `data` (normally a held-out
+/// set). Positive values mean the model relies on the feature; values
+/// near zero (or slightly negative, from shuffle noise) mean it does
+/// not.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `repeats` is zero.
+pub fn permutation_importance(
+    model: &RandomForest,
+    data: &Dataset,
+    repeats: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(!data.is_empty(), "need evaluation data");
+    assert!(repeats > 0, "need at least one repeat");
+
+    let n = data.len();
+    let baseline = accuracy(model, data, None, 0);
+
+    let mut out = Vec::with_capacity(data.feature_count());
+    for feature in 0..data.feature_count() {
+        let mut total_drop = 0.0;
+        for r in 0..repeats {
+            let shuffle_seed = seed
+                ^ (feature as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (r as u64).wrapping_mul(0xDEAD_BEEF);
+            let permuted = accuracy(model, data, Some(feature), shuffle_seed);
+            total_drop += baseline - permuted;
+        }
+        out.push(total_drop / repeats as f64);
+    }
+    let _ = n;
+    out
+}
+
+/// Accuracy of `model` on `data`, optionally with one feature column
+/// shuffled (Fisher–Yates on a copy of the column).
+fn accuracy(model: &RandomForest, data: &Dataset, shuffled: Option<usize>, seed: u64) -> f64 {
+    let n = data.len();
+    let permutation: Option<Vec<usize>> = shuffled.map(|_| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    });
+
+    let mut correct = 0usize;
+    let mut row_buf: Vec<f64> = Vec::new();
+    for i in 0..n {
+        let prediction = match (shuffled, &permutation) {
+            (Some(feature), Some(perm)) => {
+                row_buf.clear();
+                row_buf.extend_from_slice(data.row(i));
+                row_buf[feature] = data.row(perm[i])[feature];
+                model.predict(&row_buf)
+            }
+            _ => model.predict(data.row(i)),
+        };
+        if prediction == data.label(i) {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+/// `(name, permutation importance)` pairs sorted descending.
+pub fn ranked_permutation_importance(
+    model: &RandomForest,
+    data: &Dataset,
+    repeats: usize,
+    seed: u64,
+) -> Vec<(String, f64)> {
+    let importances = permutation_importance(model, data, repeats, seed);
+    let mut pairs: Vec<(String, f64)> = data
+        .feature_names()
+        .iter()
+        .cloned()
+        .zip(importances)
+        .collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_forest::RandomForestParams;
+
+    /// Class = x0 > 0.5; x1 is pure noise.
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()], 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            d.push(vec![x0, x1], (x0 > 0.5) as usize);
+        }
+        d
+    }
+
+    #[test]
+    fn signal_feature_dominates() {
+        let d = dataset(600);
+        let model = RandomForest::fit(&d, &RandomForestParams::default(), 3);
+        let imp = permutation_importance(&model, &d, 3, 11);
+        assert!(imp[0] > 0.2, "signal importance {:?}", imp);
+        assert!(imp[1].abs() < 0.05, "noise importance {:?}", imp);
+        let ranked = ranked_permutation_importance(&model, &d, 3, 11);
+        assert_eq!(ranked[0].0, "signal");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset(300);
+        let model = RandomForest::fit(&d, &RandomForestParams::default(), 3);
+        let a = permutation_importance(&model, &d, 2, 7);
+        let b = permutation_importance(&model, &d, 2, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agrees_with_gini_on_clear_signal() {
+        let d = dataset(600);
+        let model = RandomForest::fit(&d, &RandomForestParams::default(), 3);
+        let gini = model.feature_importances();
+        let perm = permutation_importance(&model, &d, 3, 1);
+        // Both rank the signal feature first.
+        assert!(gini[0] > gini[1]);
+        assert!(perm[0] > perm[1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_data() {
+        let d = dataset(10);
+        let model = RandomForest::fit(&d, &RandomForestParams::default(), 3);
+        let empty = Dataset::new(vec!["signal".into(), "noise".into()], 2);
+        permutation_importance(&model, &empty, 1, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Classification metrics: confusion matrix, accuracy, precision,
+//! recall, F1, and ROC-AUC.
+//!
+//! Definitions follow the paper (§5.1): accuracy is the ratio of
+//! correctly classified databases; precision is the fraction of
+//! predicted positives that are actually positive; recall is the
+//! fraction of actual positives that are predicted positive. The
+//! positive class is "lives more than 30 days".
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel prediction/truth slices,
+    /// where class 1 is positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(predicted: &[usize], actual: &[usize]) -> ConfusionMatrix {
+        assert_eq!(
+            predicted.len(),
+            actual.len(),
+            "prediction/truth length mismatch"
+        );
+        let mut m = ConfusionMatrix::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            m.record(p == 1, a == 1);
+        }
+        m
+    }
+
+    /// Records one example.
+    pub fn record(&mut self, predicted_positive: bool, actually_positive: bool) {
+        match (predicted_positive, actually_positive) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Correct classification rate (0 if empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Positive predictive value (0 when nothing was predicted
+    /// positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// True-positive rate (0 when there are no actual positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// The `(accuracy, precision, recall)` triple the paper's Figure 5/7
+    /// panels report.
+    pub fn scores(&self) -> ClassificationScores {
+        ClassificationScores {
+            accuracy: self.accuracy(),
+            precision: self.precision(),
+            recall: self.recall(),
+            support: self.total(),
+        }
+    }
+}
+
+/// The score triple reported per paper panel, plus example count.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize)]
+pub struct ClassificationScores {
+    /// Correct classification rate.
+    pub accuracy: f64,
+    /// Positive predictive value.
+    pub precision: f64,
+    /// True positive rate.
+    pub recall: f64,
+    /// Number of examples scored.
+    pub support: usize,
+}
+
+impl ClassificationScores {
+    /// Element-wise mean of several score triples (used for the paper's
+    /// "average over 5 runs"). Supports sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn mean(scores: &[ClassificationScores]) -> ClassificationScores {
+        assert!(!scores.is_empty(), "cannot average zero score sets");
+        let n = scores.len() as f64;
+        ClassificationScores {
+            accuracy: scores.iter().map(|s| s.accuracy).sum::<f64>() / n,
+            precision: scores.iter().map(|s| s.precision).sum::<f64>() / n,
+            recall: scores.iter().map(|s| s.recall).sum::<f64>() / n,
+            support: scores.iter().map(|s| s.support).sum(),
+        }
+    }
+}
+
+/// Area under the ROC curve for binary scores via the rank-sum
+/// (Mann–Whitney) formulation. Ties in score contribute half.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn roc_auc(scores: &[f64], actual: &[usize]) -> f64 {
+    assert_eq!(scores.len(), actual.len(), "score/truth length mismatch");
+    let mut pairs: Vec<(f64, usize)> = scores.iter().copied().zip(actual.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+
+    let pos_total = actual.iter().filter(|&&a| a == 1).count();
+    let neg_total = actual.len() - pos_total;
+    if pos_total == 0 || neg_total == 0 {
+        return 0.5;
+    }
+
+    // Sum of positive ranks with midranks for ties.
+    let mut rank_sum = 0.0_f64;
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let midrank = (i + 1 + j) as f64 / 2.0; // average of ranks i+1..=j
+        for p in &pairs[i..j] {
+            if p.1 == 1 {
+                rank_sum += midrank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum - (pos_total * (pos_total + 1)) as f64 / 2.0;
+    u / (pos_total * neg_total) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn confusion_counts() {
+        let m = ConfusionMatrix::from_predictions(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.tn, 1);
+        assert_eq!(m.fn_, 1);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+
+        // All predicted negative: precision 0, recall 0.
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[1, 1]);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let m = ConfusionMatrix::from_predictions(&[1, 0, 1], &[1, 0, 1]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn score_averaging() {
+        let a = ClassificationScores {
+            accuracy: 0.8,
+            precision: 0.6,
+            recall: 1.0,
+            support: 10,
+        };
+        let b = ClassificationScores {
+            accuracy: 0.6,
+            precision: 0.8,
+            recall: 0.5,
+            support: 20,
+        };
+        let m = ClassificationScores::mean(&[a, b]);
+        assert!((m.accuracy - 0.7).abs() < 1e-12);
+        assert!((m.precision - 0.7).abs() < 1e-12);
+        assert!((m.recall - 0.75).abs() < 1e-12);
+        assert_eq!(m.support, 30);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let actual = [0, 0, 1, 1];
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &actual) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &actual) - 0.0).abs() < 1e-12);
+        // Constant score: AUC 0.5 via midranks.
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &actual) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.3, 0.4], &[1, 1]), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_in_unit_interval(
+            preds in prop::collection::vec(0usize..2, 1..200),
+            truth_seed in prop::collection::vec(0usize..2, 1..200),
+        ) {
+            let n = preds.len().min(truth_seed.len());
+            let m = ConfusionMatrix::from_predictions(&preds[..n], &truth_seed[..n]);
+            for v in [m.accuracy(), m.precision(), m.recall(), m.f1()] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            prop_assert_eq!(m.total(), n);
+        }
+
+        #[test]
+        fn prop_auc_flip_symmetry(
+            scores in prop::collection::vec(0.0..1.0_f64, 4..100),
+            labels in prop::collection::vec(0usize..2, 4..100),
+        ) {
+            let n = scores.len().min(labels.len());
+            let scores = &scores[..n];
+            let labels = &labels[..n];
+            let flipped: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
+            let auc = roc_auc(scores, labels);
+            let auc_flipped = roc_auc(scores, &flipped);
+            // Flipping labels mirrors the AUC around 0.5 (when both
+            // classes are present; otherwise both are exactly 0.5).
+            prop_assert!((auc + auc_flipped - 1.0).abs() < 1e-9);
+        }
+    }
+}

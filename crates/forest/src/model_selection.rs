@@ -1,0 +1,271 @@
+//! Train/test splitting, stratified k-fold cross-validation, and grid
+//! search — the paper's §5.1 evaluation protocol.
+
+use crate::data::Dataset;
+use crate::random_forest::{RandomForest, RandomForestParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Splits a dataset into `(train, test)` with `test_fraction` of the
+/// examples (stratified by class so both sides keep the class balance —
+/// important for the imbalanced Premium subgroup).
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1` or if the dataset is empty.
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0,1), got {test_fraction}"
+    );
+    assert!(!data.is_empty(), "cannot split an empty dataset");
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+
+    // Shuffle within each class, then cut.
+    for class in 0..data.class_count() {
+        let mut members: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        shuffle(&mut members, &mut rng);
+        let n_test = (members.len() as f64 * test_fraction).round() as usize;
+        test_idx.extend_from_slice(&members[..n_test]);
+        train_idx.extend_from_slice(&members[n_test..]);
+    }
+    // Keep downstream iteration order independent of class grouping.
+    shuffle(&mut train_idx, &mut rng);
+    shuffle(&mut test_idx, &mut rng);
+    (data.select(&train_idx), data.select(&test_idx))
+}
+
+fn shuffle<R: Rng + ?Sized>(v: &mut [usize], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// Stratified k-fold splitter.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Builds `k` stratified folds over the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k` exceeds the dataset size.
+    pub fn new(data: &Dataset, k: usize, seed: u64) -> KFold {
+        assert!(k >= 2, "k-fold needs k >= 2, got {k}");
+        assert!(
+            k <= data.len(),
+            "k = {k} exceeds dataset size {}",
+            data.len()
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for class in 0..data.class_count() {
+            let mut members: Vec<usize> =
+                (0..data.len()).filter(|&i| data.label(i) == class).collect();
+            shuffle(&mut members, &mut rng);
+            for (pos, idx) in members.into_iter().enumerate() {
+                folds[pos % k].push(idx);
+            }
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The `(train, validation)` index sets for fold `fold`.
+    pub fn split(&self, fold: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(fold < self.folds.len(), "fold {fold} out of range");
+        let validation = self.folds[fold].clone();
+        let train: Vec<usize> = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        (train, validation)
+    }
+}
+
+/// Mean validation accuracy of a parameter setting under stratified
+/// k-fold cross-validation.
+pub fn cross_val_accuracy(
+    data: &Dataset,
+    params: &RandomForestParams,
+    k: usize,
+    seed: u64,
+) -> f64 {
+    let kfold = KFold::new(data, k, seed);
+    let mut total = 0.0;
+    for fold in 0..k {
+        let (train_idx, val_idx) = kfold.split(fold);
+        let train = data.select(&train_idx);
+        let model = RandomForest::fit(&train, params, seed ^ fold as u64);
+        let correct = val_idx
+            .iter()
+            .filter(|&&i| model.predict(data.row(i)) == data.label(i))
+            .count();
+        total += correct as f64 / val_idx.len() as f64;
+    }
+    total / k as f64
+}
+
+/// The outcome of a grid search.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// The winning parameter setting.
+    pub best_params: RandomForestParams,
+    /// Its mean cross-validated accuracy.
+    pub best_score: f64,
+    /// `(params, score)` for every candidate evaluated.
+    pub all_scores: Vec<(RandomForestParams, f64)>,
+}
+
+/// Grid search over random-forest parameter candidates using stratified
+/// k-fold cross-validation (the paper's tuning protocol).
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    candidates: Vec<RandomForestParams>,
+    folds: usize,
+}
+
+impl GridSearch {
+    /// Creates a search over explicit candidates with `folds`-fold CV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or `folds < 2`.
+    pub fn new(candidates: Vec<RandomForestParams>, folds: usize) -> GridSearch {
+        assert!(!candidates.is_empty(), "grid search needs candidates");
+        assert!(folds >= 2, "grid search needs >= 2 folds");
+        GridSearch { candidates, folds }
+    }
+
+    /// Runs the search, returning the best setting by mean CV accuracy
+    /// (first candidate wins ties, so candidate order is a tiebreak
+    /// preference).
+    pub fn run(&self, data: &Dataset, seed: u64) -> GridSearchResult {
+        let mut all_scores = Vec::with_capacity(self.candidates.len());
+        let mut best: Option<(RandomForestParams, f64)> = None;
+        for params in &self.candidates {
+            let score = cross_val_accuracy(data, params, self.folds, seed);
+            all_scores.push((*params, score));
+            match best {
+                Some((_, best_score)) if best_score >= score => {}
+                _ => best = Some((*params, score)),
+            }
+        }
+        let (best_params, best_score) = best.expect("non-empty candidates");
+        GridSearchResult {
+            best_params,
+            best_score,
+            all_scores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_forest::MaxFeatures;
+    use crate::tree::TreeParams;
+
+    fn dataset(n: usize, positive_fraction: f64) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], 2);
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..n {
+            let positive = rng.gen::<f64>() < positive_fraction;
+            let x: f64 = if positive {
+                rng.gen::<f64>() + 0.4
+            } else {
+                rng.gen::<f64>() - 0.4
+            };
+            d.push(vec![x, rng.gen()], positive as usize);
+        }
+        d
+    }
+
+    #[test]
+    fn split_preserves_class_balance() {
+        let d = dataset(1000, 0.7);
+        let (train, test) = train_test_split(&d, 0.2, 9);
+        assert_eq!(train.len() + test.len(), 1000);
+        assert!((test.len() as f64 - 200.0).abs() <= 1.0);
+        assert!((train.class_fraction(1) - 0.7).abs() < 0.03);
+        assert!((test.class_fraction(1) - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_deterministic() {
+        let d = dataset(200, 0.5);
+        let (tr1, te1) = train_test_split(&d, 0.25, 4);
+        let (tr2, te2) = train_test_split(&d, 0.25, 4);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+    }
+
+    #[test]
+    fn kfold_partitions_everything_once() {
+        let d = dataset(103, 0.6);
+        let kf = KFold::new(&d, 5, 3);
+        let mut seen = vec![false; d.len()];
+        for fold in 0..kf.k() {
+            let (train, val) = kf.split(fold);
+            assert_eq!(train.len() + val.len(), d.len());
+            for &i in &val {
+                assert!(!seen[i], "index {i} in two validation folds");
+                seen[i] = true;
+            }
+            // Train and validation are disjoint.
+            for &i in &val {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cross_val_scores_learnable_data_high() {
+        let d = dataset(400, 0.5);
+        let params = RandomForestParams {
+            n_trees: 20,
+            ..RandomForestParams::default()
+        };
+        let acc = cross_val_accuracy(&d, &params, 4, 11);
+        assert!(acc > 0.85, "cv accuracy {acc}");
+    }
+
+    #[test]
+    fn grid_search_picks_reasonable_candidate() {
+        let d = dataset(300, 0.5);
+        let stump = RandomForestParams {
+            n_trees: 2,
+            tree: TreeParams {
+                max_depth: 1,
+                ..TreeParams::default()
+            },
+            max_features: MaxFeatures::Count(1),
+            bootstrap: true,
+        };
+        let strong = RandomForestParams {
+            n_trees: 25,
+            tree: TreeParams::default(),
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+        };
+        let result = GridSearch::new(vec![stump, strong], 3).run(&d, 13);
+        assert_eq!(result.all_scores.len(), 2);
+        assert_eq!(result.best_params.n_trees, 25);
+        assert!(result.best_score >= result.all_scores[0].1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Bootstrap-aggregated random forests.
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, TreeParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How many features each split considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxFeatures {
+    /// All features (bagging without feature randomness).
+    All,
+    /// `ceil(sqrt(feature_count))` — the classification default.
+    Sqrt,
+    /// `max(1, floor(log2(feature_count)))`.
+    Log2,
+    /// An explicit count (clamped to the feature count).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    /// Resolves to a concrete feature count for a dataset with
+    /// `feature_count` features.
+    pub fn resolve(self, feature_count: usize) -> usize {
+        let raw = match self {
+            MaxFeatures::All => feature_count,
+            MaxFeatures::Sqrt => (feature_count as f64).sqrt().ceil() as usize,
+            MaxFeatures::Log2 => (feature_count as f64).log2().floor() as usize,
+            MaxFeatures::Count(n) => n,
+        };
+        raw.clamp(1, feature_count)
+    }
+}
+
+/// Random-forest hyper-parameters — the grid-search surface of the
+/// paper's §5.1 ("parameter tuning for each model by doing grid search
+/// using 5-fold cross-validation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomForestParams {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Per-tree growth limits.
+    pub tree: TreeParams,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+    /// Whether each tree trains on a bootstrap resample (vs the full
+    /// training set).
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            n_trees: 60,
+            tree: TreeParams::default(),
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted random forest.
+///
+/// Prediction probabilities are the average of per-tree leaf class
+/// fractions (paper §5.3: "The class probabilities in a random forest
+/// are the result of averaging over the class probabilities of the
+/// trees in the forest").
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    feature_names: Vec<String>,
+    class_count: usize,
+    oob_accuracy: Option<f64>,
+}
+
+impl RandomForest {
+    /// Trains a forest. Deterministic for a given `(data, params, seed)`
+    /// triple regardless of thread count: each tree's RNG is seeded from
+    /// `seed` and the tree index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `params.n_trees` is zero.
+    pub fn fit(data: &Dataset, params: &RandomForestParams, seed: u64) -> RandomForest {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(params.n_trees > 0, "need at least one tree");
+
+        let n = data.len();
+        let max_features = params.max_features.resolve(data.feature_count());
+
+        // Train trees in parallel batches; results keep tree order.
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(params.n_trees);
+        let mut trees: Vec<Option<DecisionTree>> = vec![None; params.n_trees];
+        let mut oob_votes: Vec<Vec<usize>> = vec![vec![0; data.class_count()]; n];
+
+        let chunks: Vec<Vec<usize>> = (0..threads)
+            .map(|t| (t..params.n_trees).step_by(threads).collect())
+            .collect();
+
+        let results: Vec<Vec<(usize, DecisionTree, Vec<usize>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&tree_idx| {
+                                let mut rng =
+                                    SmallRng::seed_from_u64(seed ^ (tree_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                                let indices: Vec<usize> = if params.bootstrap {
+                                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                                } else {
+                                    (0..n).collect()
+                                };
+                                let tree = DecisionTree::fit(
+                                    data,
+                                    &indices,
+                                    &params.tree,
+                                    max_features,
+                                    &mut rng,
+                                );
+                                (tree_idx, tree, indices)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("tree-training thread panicked")).collect()
+        });
+
+        // Collect trees and out-of-bag votes.
+        let mut in_bag = vec![false; n];
+        for batch in results {
+            for (tree_idx, tree, indices) in batch {
+                if params.bootstrap {
+                    in_bag.iter_mut().for_each(|b| *b = false);
+                    for &i in &indices {
+                        in_bag[i] = true;
+                    }
+                    for (i, bagged) in in_bag.iter().enumerate() {
+                        if !bagged {
+                            let pred = tree.predict(data.row(i));
+                            oob_votes[i][pred] += 1;
+                        }
+                    }
+                }
+                trees[tree_idx] = Some(tree);
+            }
+        }
+
+        let oob_accuracy = if params.bootstrap {
+            let mut correct = 0usize;
+            let mut voted = 0usize;
+            for (i, votes) in oob_votes.iter().enumerate() {
+                let total: usize = votes.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                voted += 1;
+                let pred = votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .map(|(c, _)| c)
+                    .expect("non-empty votes");
+                if pred == data.label(i) {
+                    correct += 1;
+                }
+            }
+            if voted > 0 {
+                Some(correct as f64 / voted as f64)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        RandomForest {
+            trees: trees.into_iter().map(|t| t.expect("every tree trained")).collect(),
+            feature_names: data.feature_names().to_vec(),
+            class_count: data.class_count(),
+            oob_accuracy,
+        }
+    }
+
+    /// Average class probabilities over all trees.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0_f64; self.class_count];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(features)) {
+                *a += p;
+            }
+        }
+        let nt = self.trees.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= nt);
+        acc
+    }
+
+    /// Predicted class: argmax of [`RandomForest::predict_proba`]
+    /// (probability > 0.5 in the binary case, matching the paper).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        self.predict_proba(features)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i)
+            .expect("at least two classes")
+    }
+
+    /// Probability of the positive class (class 1) — binary
+    /// convenience used throughout the prediction pipeline.
+    pub fn predict_positive_proba(&self, features: &[f64]) -> f64 {
+        self.predict_proba(features)[1]
+    }
+
+    /// Normalized gini feature importances (sum to 1 when any split
+    /// occurred).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let nf = self.feature_names.len();
+        let mut acc = vec![0.0_f64; nf];
+        for tree in &self.trees {
+            for (a, v) in acc.iter_mut().zip(tree.importances()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            acc.iter_mut().for_each(|a| *a /= total);
+        }
+        acc
+    }
+
+    /// `(name, importance)` pairs sorted descending — the §5.4 ranking.
+    pub fn ranked_importances(&self) -> Vec<(String, f64)> {
+        let mut pairs: Vec<(String, f64)> = self
+            .feature_names
+            .iter()
+            .cloned()
+            .zip(self.feature_importances())
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        pairs
+    }
+
+    /// Out-of-bag accuracy estimate, when bootstrap was used and every
+    /// vote pool was non-empty.
+    pub fn oob_accuracy(&self) -> Option<f64> {
+        self.oob_accuracy
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Feature names the model was trained with.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_dataset(n: usize) -> Dataset {
+        // Class 1 iff x0 + x1 > 1, with two noise features.
+        let mut d = Dataset::new(
+            vec!["x0".into(), "x1".into(), "n0".into(), "n1".into()],
+            2,
+        );
+        let mut rng = SmallRng::seed_from_u64(1234);
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            let n0: f64 = rng.gen();
+            let n1: f64 = rng.gen();
+            d.push(vec![x0, x1, n0, n1], ((x0 + x1) > 1.0) as usize);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let d = noisy_dataset(800);
+        let model = RandomForest::fit(&d, &RandomForestParams::default(), 7);
+        let mut correct = 0;
+        for i in 0..d.len() {
+            if model.predict(d.row(i)) == d.label(i) {
+                correct += 1;
+            }
+        }
+        let train_acc = correct as f64 / d.len() as f64;
+        assert!(train_acc > 0.95, "train accuracy {train_acc}");
+        // OOB is a fair estimate; the boundary is learnable, so > 0.85.
+        let oob = model.oob_accuracy().expect("bootstrap on");
+        assert!(oob > 0.85, "oob {oob}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = noisy_dataset(300);
+        let model = RandomForest::fit(&d, &RandomForestParams::default(), 3);
+        for i in (0..d.len()).step_by(37) {
+            let p = model.predict_proba(d.row(i));
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn importances_favor_informative_features() {
+        let d = noisy_dataset(1000);
+        let model = RandomForest::fit(&d, &RandomForestParams::default(), 11);
+        let imp = model.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // x0 and x1 carry the signal; noise features should rank lower.
+        assert!(imp[0] > imp[2] && imp[0] > imp[3], "{imp:?}");
+        assert!(imp[1] > imp[2] && imp[1] > imp[3], "{imp:?}");
+        let ranked = model.ranked_importances();
+        assert!(ranked[0].0 == "x0" || ranked[0].0 == "x1");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let d = noisy_dataset(200);
+        let params = RandomForestParams {
+            n_trees: 16,
+            ..RandomForestParams::default()
+        };
+        let m1 = RandomForest::fit(&d, &params, 99);
+        let m2 = RandomForest::fit(&d, &params, 99);
+        for i in 0..d.len() {
+            assert_eq!(m1.predict_proba(d.row(i)), m2.predict_proba(d.row(i)));
+        }
+        assert_eq!(m1.oob_accuracy(), m2.oob_accuracy());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = noisy_dataset(200);
+        let m1 = RandomForest::fit(&d, &RandomForestParams::default(), 1);
+        let m2 = RandomForest::fit(&d, &RandomForestParams::default(), 2);
+        let differs = (0..d.len())
+            .any(|i| m1.predict_proba(d.row(i)) != m2.predict_proba(d.row(i)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Sqrt.resolve(10), 4);
+        assert_eq!(MaxFeatures::Sqrt.resolve(64), 8);
+        assert_eq!(MaxFeatures::Log2.resolve(64), 6);
+        assert_eq!(MaxFeatures::Count(3).resolve(10), 3);
+        assert_eq!(MaxFeatures::Count(99).resolve(10), 10);
+        assert_eq!(MaxFeatures::Log2.resolve(1), 1);
+    }
+
+    #[test]
+    fn no_bootstrap_mode() {
+        let d = noisy_dataset(150);
+        let params = RandomForestParams {
+            bootstrap: false,
+            n_trees: 8,
+            ..RandomForestParams::default()
+        };
+        let model = RandomForest::fit(&d, &params, 5);
+        assert!(model.oob_accuracy().is_none());
+        assert_eq!(model.tree_count(), 8);
+    }
+}

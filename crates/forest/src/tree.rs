@@ -1,0 +1,653 @@
+//! CART decision trees with gini impurity.
+
+use crate::data::Dataset;
+use rand::Rng;
+
+/// Hyper-parameters controlling tree growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node must hold to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum samples each child of a split must receive.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 24,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Class probabilities (leaf class fractions) — the per-tree
+        /// confidence estimates the paper's §5.3 partition relies on.
+        probabilities: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART classification tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    feature_count: usize,
+    class_count: usize,
+    /// Unnormalized gini importance per feature: Σ over splits of
+    /// (node samples / total samples) × impurity decrease.
+    importances: Vec<f64>,
+    node_count_leaves: usize,
+    max_depth_reached: usize,
+}
+
+/// Midpoint threshold between two adjacent distinct feature values.
+///
+/// When the values are so close that the midpoint rounds up to `hi`
+/// (which would send both groups left and produce an empty child), fall
+/// back to `lo`: the split `v <= lo` still separates the two values.
+fn threshold_between(lo: f64, hi: f64) -> f64 {
+    let mid = lo + (hi - lo) / 2.0;
+    if mid >= hi {
+        lo
+    } else {
+        mid
+    }
+}
+
+/// Gini impurity `2p(1−p)` generalized to k classes: `1 − Σ pᵢ²`.
+pub(crate) fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = counts.iter().map(|c| c * c).sum();
+    1.0 - sum_sq / (total * total)
+}
+
+impl DecisionTree {
+    /// Fits a tree on the rows of `data` selected by `indices`
+    /// (duplicates allowed: bootstrap), considering `max_features`
+    /// randomly chosen features at each split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or `max_features` is 0 or exceeds
+    /// the feature count.
+    pub fn fit<R: Rng + ?Sized>(
+        data: &Dataset,
+        indices: &[usize],
+        params: &TreeParams,
+        max_features: usize,
+        rng: &mut R,
+    ) -> DecisionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        assert!(
+            max_features >= 1 && max_features <= data.feature_count(),
+            "max_features must be in 1..={}, got {max_features}",
+            data.feature_count()
+        );
+
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            feature_count: data.feature_count(),
+            class_count: data.class_count(),
+            importances: vec![0.0; data.feature_count()],
+            node_count_leaves: 0,
+            max_depth_reached: 0,
+        };
+        let mut work: Vec<usize> = indices.to_vec();
+        let total = work.len() as f64;
+        let len = work.len();
+        tree.grow(data, &mut work, 0, len, 0, params, max_features, total, rng);
+        tree
+    }
+
+    /// Recursively grows the subtree over `work[start..end]`, returning
+    /// the new node's index. `work` is partitioned in place.
+    #[allow(clippy::too_many_arguments)]
+    fn grow<R: Rng + ?Sized>(
+        &mut self,
+        data: &Dataset,
+        work: &mut Vec<usize>,
+        start: usize,
+        end: usize,
+        depth: usize,
+        params: &TreeParams,
+        max_features: usize,
+        total: f64,
+        rng: &mut R,
+    ) -> usize {
+        let n = end - start;
+        self.max_depth_reached = self.max_depth_reached.max(depth);
+
+        let mut counts = vec![0.0_f64; self.class_count];
+        for &i in &work[start..end] {
+            counts[data.label(i)] += 1.0;
+        }
+        let node_gini = gini(&counts, n as f64);
+
+        let make_leaf = |tree: &mut DecisionTree, counts: Vec<f64>| -> usize {
+            let probabilities = counts.iter().map(|c| c / n as f64).collect();
+            tree.nodes.push(Node::Leaf { probabilities });
+            tree.node_count_leaves += 1;
+            tree.nodes.len() - 1
+        };
+
+        if depth >= params.max_depth
+            || n < params.min_samples_split
+            || node_gini <= 0.0
+            || n < 2 * params.min_samples_leaf
+        {
+            return make_leaf(self, counts);
+        }
+
+        let best = self.best_split(data, &work[start..end], &counts, node_gini, max_features, params, rng);
+        let Some((feature, threshold, decrease)) = best else {
+            return make_leaf(self, counts);
+        };
+
+        // Partition work[start..end] in place: left = value <= threshold.
+        let slice = &mut work[start..end];
+        let mut mid = 0usize;
+        for i in 0..slice.len() {
+            if data.row(slice[i])[feature] <= threshold {
+                slice.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < n, "split produced an empty child");
+
+        self.importances[feature] += (n as f64 / total) * decrease;
+
+        // Reserve this node's slot before growing children.
+        self.nodes.push(Node::Leaf {
+            probabilities: Vec::new(),
+        });
+        let me = self.nodes.len() - 1;
+
+        let left = self.grow(
+            data,
+            work,
+            start,
+            start + mid,
+            depth + 1,
+            params,
+            max_features,
+            total,
+            rng,
+        );
+        let right = self.grow(
+            data,
+            work,
+            start + mid,
+            end,
+            depth + 1,
+            params,
+            max_features,
+            total,
+            rng,
+        );
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Finds the best `(feature, threshold, impurity decrease)` over a
+    /// random subset of features, or `None` if no valid split improves
+    /// impurity.
+    fn best_split<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        samples: &[usize],
+        parent_counts: &[f64],
+        parent_gini: f64,
+        max_features: usize,
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Option<(usize, f64, f64)> {
+        let n = samples.len();
+        let nf = data.feature_count();
+
+        // Partial Fisher–Yates: the first `max_features` entries become
+        // the candidate features.
+        let mut candidates: Vec<usize> = (0..nf).collect();
+        for i in 0..max_features.min(nf) {
+            let j = rng.gen_range(i..nf);
+            candidates.swap(i, j);
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(n);
+
+        for &feature in &candidates[..max_features] {
+            pairs.clear();
+            pairs.extend(
+                samples
+                    .iter()
+                    .map(|&i| (data.row(i)[feature], data.label(i))),
+            );
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            if pairs[0].0 == pairs[n - 1].0 {
+                continue; // constant feature here
+            }
+
+            let mut left_counts = vec![0.0_f64; self.class_count];
+            let mut right_counts = parent_counts.to_vec();
+            let mut left_n = 0.0;
+            let mut right_n = n as f64;
+
+            for k in 0..n - 1 {
+                let (value, label) = pairs[k];
+                left_counts[label] += 1.0;
+                right_counts[label] -= 1.0;
+                left_n += 1.0;
+                right_n -= 1.0;
+
+                let next_value = pairs[k + 1].0;
+                if value == next_value {
+                    continue; // can't split between equal values
+                }
+                let left_size = (k + 1) as f64;
+                let right_size = (n - k - 1) as f64;
+                if (left_size as usize) < params.min_samples_leaf
+                    || (right_size as usize) < params.min_samples_leaf
+                {
+                    continue;
+                }
+                let weighted = (left_n / n as f64) * gini(&left_counts, left_n)
+                    + (right_n / n as f64) * gini(&right_counts, right_n);
+                // Zero-gain splits are admissible (as in scikit-learn's
+                // CART): children may become separable even when this
+                // level's gain is zero (e.g. XOR). Termination is still
+                // guaranteed because both children are strictly smaller.
+                let decrease = (parent_gini - weighted).max(0.0);
+                match best {
+                    Some((_, _, best_dec)) if best_dec >= decrease => {}
+                    _ => best = Some((feature, threshold_between(value, next_value), decrease)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Class-probability estimates for one feature vector.
+    pub fn predict_proba(&self, features: &[f64]) -> &[f64] {
+        assert_eq!(
+            features.len(),
+            self.feature_count,
+            "expected {} features, got {}",
+            self.feature_count,
+            features.len()
+        );
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { probabilities } => return probabilities,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicted class (argmax of probabilities; ties go to the lower
+    /// class index).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let probs = self.predict_proba(features);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i)
+            .expect("at least two classes")
+    }
+
+    /// Unnormalized gini importances (one per feature).
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.node_count_leaves
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deepest node depth reached during growth.
+    pub fn depth(&self) -> usize {
+        self.max_depth_reached
+    }
+
+    /// Renders the tree as indented text, resolving feature indices to
+    /// `feature_names` — the classic interpretability dump:
+    ///
+    /// ```text
+    /// hist_g2_life_avg <= 12.50
+    ///   size_change_rate <= 0.01
+    ///     leaf [0.86, 0.14]
+    ///     leaf [0.42, 0.58]
+    ///   leaf [0.10, 0.90]
+    /// ```
+    ///
+    /// `max_depth` truncates deep subtrees with an ellipsis line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_names` does not match the training feature
+    /// count.
+    pub fn dump(&self, feature_names: &[String], max_depth: usize) -> String {
+        assert_eq!(
+            feature_names.len(),
+            self.feature_count,
+            "expected {} feature names",
+            self.feature_count
+        );
+        let mut out = String::new();
+        self.dump_node(0, 0, max_depth, feature_names, &mut out);
+        out
+    }
+
+    fn dump_node(
+        &self,
+        idx: usize,
+        depth: usize,
+        max_depth: usize,
+        names: &[String],
+        out: &mut String,
+    ) {
+        let indent = "  ".repeat(depth);
+        match &self.nodes[idx] {
+            Node::Leaf { probabilities } => {
+                let probs: Vec<String> =
+                    probabilities.iter().map(|p| format!("{p:.2}")).collect();
+                out.push_str(&format!("{indent}leaf [{}]\n", probs.join(", ")));
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if depth >= max_depth {
+                    out.push_str(&format!("{indent}…\n"));
+                    return;
+                }
+                out.push_str(&format!(
+                    "{indent}{} <= {threshold:.4}\n",
+                    names[*feature]
+                ));
+                self.dump_node(*left, depth + 1, max_depth, names, out);
+                self.dump_node(*right, depth + 1, max_depth, names, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn axis_dataset() -> Dataset {
+        // Perfectly separable on feature 0 at 0.5.
+        let mut d = Dataset::new(vec!["x".into(), "noise".into()], 2);
+        for i in 0..40 {
+            let x = i as f64 / 40.0;
+            d.push(vec![x, (i % 5) as f64], (x > 0.5) as usize);
+        }
+        d
+    }
+
+    #[test]
+    fn gini_formula() {
+        assert_eq!(gini(&[5.0, 5.0], 10.0), 0.5);
+        assert_eq!(gini(&[10.0, 0.0], 10.0), 0.0);
+        assert!((gini(&[8.0, 2.0], 10.0) - 0.32).abs() < 1e-12);
+        assert_eq!(gini(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn separable_data_is_learned_exactly() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        for i in 0..d.len() {
+            assert_eq!(tree.predict(d.row(i)), d.label(i));
+        }
+        // All importance should be on the informative feature.
+        assert!(tree.importances()[0] > 0.0);
+        assert_eq!(tree.importances()[1], 0.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tree = DecisionTree::fit(&d, &idx, &params, 2, &mut rng);
+        assert!(tree.depth() <= 1);
+        assert!(tree.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let params = TreeParams {
+            min_samples_leaf: 15,
+            ..TreeParams::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tree = DecisionTree::fit(&d, &idx, &params, 2, &mut rng);
+        // With 40 samples and leaves >= 15 the tree can split at most
+        // once or twice; every leaf probability must come from >= 15
+        // samples, so no leaf can be "pure by 1 sample".
+        assert!(tree.leaf_count() <= 3);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..10 {
+            d.push(vec![i as f64], 1);
+        }
+        let idx: Vec<usize> = (0..10).collect();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 1, &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[5.0]), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_fractions() {
+        // Force a single root leaf by max_depth = 0 on a 30/70 mix.
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..10 {
+            d.push(vec![i as f64], (i >= 3) as usize);
+        }
+        let idx: Vec<usize> = (0..10).collect();
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tree = DecisionTree::fit(&d, &idx, &params, 1, &mut rng);
+        let probs = tree.predict_proba(&[0.0]);
+        assert!((probs[0] - 0.3).abs() < 1e-12);
+        assert!((probs[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let t1 = DecisionTree::fit(
+            &d,
+            &idx,
+            &TreeParams::default(),
+            1,
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let t2 = DecisionTree::fit(
+            &d,
+            &idx,
+            &TreeParams::default(),
+            1,
+            &mut SmallRng::seed_from_u64(7),
+        );
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn duplicate_indices_work() {
+        let d = axis_dataset();
+        let idx = vec![0, 0, 0, 39, 39, 39];
+        let mut rng = SmallRng::seed_from_u64(8);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        assert_eq!(tree.predict(d.row(0)), 0);
+        assert_eq!(tree.predict(d.row(39)), 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_leaf_probabilities_sum_to_one(
+                rows in prop::collection::vec((0.0..1.0_f64, 0.0..1.0_f64, 0usize..2), 2..80),
+                query in (0.0..1.0_f64, 0.0..1.0_f64),
+            ) {
+                let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+                for (a, b, label) in &rows {
+                    d.push(vec![*a, *b], *label);
+                }
+                let idx: Vec<usize> = (0..d.len()).collect();
+                let mut rng = SmallRng::seed_from_u64(1);
+                let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+                let probs = tree.predict_proba(&[query.0, query.1]);
+                let total: f64 = probs.iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                prop_assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+
+            #[test]
+            fn prop_training_rows_predict_their_leaf_majority(
+                rows in prop::collection::vec((0.0..1.0_f64, 0usize..2), 4..60),
+            ) {
+                // With unlimited depth and leaf size 1, any training row
+                // with a unique feature value is classified exactly.
+                let mut d = Dataset::new(vec!["x".into()], 2);
+                for (x, label) in &rows {
+                    d.push(vec![*x], *label);
+                }
+                let idx: Vec<usize> = (0..d.len()).collect();
+                let mut rng = SmallRng::seed_from_u64(2);
+                // Depth must exceed the row count: pathological splits
+                // can peel one row per level.
+                let params = TreeParams {
+                    max_depth: rows.len() + 1,
+                    ..TreeParams::default()
+                };
+                let tree = DecisionTree::fit(&d, &idx, &params, 1, &mut rng);
+                for i in 0..d.len() {
+                    let x = d.row(i)[0];
+                    let unique = rows.iter().filter(|(v, _)| *v == x).count() == 1;
+                    if unique {
+                        prop_assert_eq!(tree.predict(d.row(i)), d.label(i));
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_importances_nonnegative(
+                rows in prop::collection::vec((0.0..1.0_f64, 0.0..1.0_f64, 0usize..2), 2..60),
+            ) {
+                let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+                for (a, b, label) in &rows {
+                    d.push(vec![*a, *b], *label);
+                }
+                let idx: Vec<usize> = (0..d.len()).collect();
+                let mut rng = SmallRng::seed_from_u64(3);
+                let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+                prop_assert!(tree.importances().iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn dump_renders_structure() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(30);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        let names = vec!["x".to_string(), "noise".to_string()];
+        let text = tree.dump(&names, 10);
+        assert!(text.contains("x <= "), "{text}");
+        assert!(text.contains("leaf ["), "{text}");
+        // Truncation at depth 0 shows only the ellipsis.
+        let truncated = tree.dump(&names, 0);
+        assert_eq!(truncated.trim(), "…");
+    }
+
+    #[test]
+    #[should_panic]
+    fn dump_rejects_wrong_name_count() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        tree.dump(&["only-one".to_string()], 5);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        for i in 0..200 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            d.push(vec![a, b], ((a != b) as usize).min(1));
+        }
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        assert_eq!(tree.predict(&[0.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[1.0, 1.0]), 0);
+        assert_eq!(tree.predict(&[1.0, 0.0]), 1);
+        assert_eq!(tree.predict(&[0.0, 1.0]), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Proleptic-Gregorian civil dates.
+//!
+//! Conversions between `(year, month, day)` and a day serial number use
+//! Howard Hinnant's era-based algorithms, which are exact over the whole
+//! `i32` year range and branch-light.
+
+/// Day of the week. Discriminants follow the paper's 1–7 convention
+/// (Monday = 1 … Sunday = 7), which the feature pipeline emits directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Weekday {
+    /// Monday (1).
+    Monday = 1,
+    /// Tuesday (2).
+    Tuesday = 2,
+    /// Wednesday (3).
+    Wednesday = 3,
+    /// Thursday (4).
+    Thursday = 4,
+    /// Friday (5).
+    Friday = 5,
+    /// Saturday (6).
+    Saturday = 6,
+    /// Sunday (7).
+    Sunday = 7,
+}
+
+impl Weekday {
+    /// Weekday from its 1–7 number.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 7`.
+    pub fn from_number(n: u8) -> Weekday {
+        match n {
+            1 => Weekday::Monday,
+            2 => Weekday::Tuesday,
+            3 => Weekday::Wednesday,
+            4 => Weekday::Thursday,
+            5 => Weekday::Friday,
+            6 => Weekday::Saturday,
+            7 => Weekday::Sunday,
+            _ => panic!("weekday number must be 1-7, got {n}"),
+        }
+    }
+
+    /// The 1–7 number of this weekday (Monday = 1).
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// True on Saturday and Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CivilDate {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl CivilDate {
+    /// Creates a date, validating the day against the month length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid month or day.
+    pub fn new(year: i32, month: u8, day: u8) -> CivilDate {
+        assert!((1..=12).contains(&month), "month must be 1-12, got {month}");
+        let max = days_in_month(year, month);
+        assert!(
+            day >= 1 && day <= max,
+            "day must be 1-{max} for {year}-{month:02}, got {day}"
+        );
+        CivilDate { year, month, day }
+    }
+
+    /// Year.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Month, 1–12.
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Day of month, 1–31.
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since the Unix epoch (1970-01-01 is day 0; earlier dates are
+    /// negative). Hinnant's `days_from_civil`.
+    pub fn to_epoch_days(&self) -> i64 {
+        let y = if self.month <= 2 {
+            self.year as i64 - 1
+        } else {
+            self.year as i64
+        };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Date from days since the Unix epoch. Hinnant's `civil_from_days`.
+    pub fn from_epoch_days(days: i64) -> CivilDate {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        let year = (if m <= 2 { y + 1 } else { y }) as i32;
+        CivilDate {
+            year,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Day of the week.
+    pub fn weekday(&self) -> Weekday {
+        // 1970-01-01 was a Thursday (ISO number 4).
+        let days = self.to_epoch_days();
+        let dow = (days + 3).rem_euclid(7) + 1; // Monday = 1
+        Weekday::from_number(dow as u8)
+    }
+
+    /// Day of the year, 1-based (1–366).
+    pub fn day_of_year(&self) -> u16 {
+        let jan1 = CivilDate::new(self.year, 1, 1);
+        (self.to_epoch_days() - jan1.to_epoch_days() + 1) as u16
+    }
+
+    /// ISO-8601 week of the year, 1–53 (the paper's "week of the year
+    /// (1-52)" feature; ISO weeks occasionally number 53).
+    pub fn iso_week(&self) -> u8 {
+        // ISO week: the week containing the year's first Thursday is
+        // week 1; weeks start on Monday.
+        let doy = self.day_of_year() as i64;
+        let dow = self.weekday().number() as i64;
+        let week = (doy - dow + 10) / 7;
+        if week < 1 {
+            // Belongs to the last week of the previous year.
+            CivilDate::new(self.year - 1, 12, 31).iso_week()
+        } else if week > 52 {
+            // Week 53 exists only in "long" ISO years: those starting on
+            // a Thursday, or leap years starting on a Wednesday.
+            let jan1 = CivilDate::new(self.year, 1, 1).weekday();
+            let long_year = jan1 == Weekday::Thursday
+                || (is_leap_year(self.year) && jan1 == Weekday::Wednesday);
+            if long_year {
+                53
+            } else {
+                1
+            }
+        } else {
+            week as u8
+        }
+    }
+
+    /// The date `n` days later (or earlier for negative `n`).
+    pub fn plus_days(&self, n: i64) -> CivilDate {
+        CivilDate::from_epoch_days(self.to_epoch_days() + n)
+    }
+}
+
+impl std::fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in a month.
+///
+/// # Panics
+///
+/// Panics on an invalid month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month must be 1-12, got {month}"),
+    }
+}
+
+/// A civil date with a time of day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CivilDateTime {
+    /// The calendar date.
+    pub date: CivilDate,
+    /// Hour, 0–23.
+    pub hour: u8,
+    /// Minute, 0–59.
+    pub minute: u8,
+    /// Second, 0–59.
+    pub second: u8,
+}
+
+impl CivilDateTime {
+    /// Creates a date-time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range time components.
+    pub fn new(date: CivilDate, hour: u8, minute: u8, second: u8) -> CivilDateTime {
+        assert!(hour < 24, "hour must be 0-23, got {hour}");
+        assert!(minute < 60, "minute must be 0-59, got {minute}");
+        assert!(second < 60, "second must be 0-59, got {second}");
+        CivilDateTime {
+            date,
+            hour,
+            minute,
+            second,
+        }
+    }
+}
+
+impl std::fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(CivilDate::new(1970, 1, 1).to_epoch_days(), 0);
+        assert_eq!(CivilDate::from_epoch_days(0), CivilDate::new(1970, 1, 1));
+    }
+
+    #[test]
+    fn known_serials() {
+        // 2000-03-01 is day 11017 (post-leap-day of a century leap year).
+        assert_eq!(CivilDate::new(2000, 3, 1).to_epoch_days(), 11_017);
+        assert_eq!(CivilDate::new(2017, 1, 1).to_epoch_days(), 17_167);
+    }
+
+    #[test]
+    fn known_weekdays() {
+        assert_eq!(CivilDate::new(1970, 1, 1).weekday(), Weekday::Thursday);
+        assert_eq!(CivilDate::new(2017, 6, 1).weekday(), Weekday::Thursday);
+        assert_eq!(CivilDate::new(2018, 6, 10).weekday(), Weekday::Sunday); // SIGMOD'18 start
+        assert_eq!(CivilDate::new(2000, 2, 29).weekday(), Weekday::Tuesday);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2016));
+        assert!(!is_leap_year(2017));
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2017, 2), 28);
+    }
+
+    #[test]
+    fn day_of_year_boundaries() {
+        assert_eq!(CivilDate::new(2017, 1, 1).day_of_year(), 1);
+        assert_eq!(CivilDate::new(2017, 12, 31).day_of_year(), 365);
+        assert_eq!(CivilDate::new(2016, 12, 31).day_of_year(), 366);
+    }
+
+    #[test]
+    fn iso_week_reference_dates() {
+        // 2017-01-01 was a Sunday — ISO week 52 of 2016.
+        assert_eq!(CivilDate::new(2017, 1, 1).iso_week(), 52);
+        // 2017-01-02 (Monday) starts ISO week 1.
+        assert_eq!(CivilDate::new(2017, 1, 2).iso_week(), 1);
+        // 2015-12-31 (Thursday) is in ISO week 53.
+        assert_eq!(CivilDate::new(2015, 12, 31).iso_week(), 53);
+        // 2018-12-31 (Monday) is ISO week 1 of 2019.
+        assert_eq!(CivilDate::new(2018, 12, 31).iso_week(), 1);
+        // Mid-year sanity: 2017-06-15 is week 24.
+        assert_eq!(CivilDate::new(2017, 6, 15).iso_week(), 24);
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        let d = CivilDate::new(2016, 12, 30).plus_days(3);
+        assert_eq!(d, CivilDate::new(2017, 1, 2));
+        let e = CivilDate::new(2016, 3, 1).plus_days(-1);
+        assert_eq!(e, CivilDate::new(2016, 2, 29));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_day() {
+        CivilDate::new(2017, 2, 29);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CivilDate::new(2017, 6, 1).to_string(), "2017-06-01");
+        let dt = CivilDateTime::new(CivilDate::new(2017, 6, 1), 9, 5, 0);
+        assert_eq!(dt.to_string(), "2017-06-01 09:05:00");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_days(days in -300_000_i64..300_000) {
+            let date = CivilDate::from_epoch_days(days);
+            prop_assert_eq!(date.to_epoch_days(), days);
+        }
+
+        #[test]
+        fn prop_roundtrip_ymd(year in 1600_i32..2400, month in 1_u8..=12, day_seed in 0_u8..31) {
+            let day = day_seed % days_in_month(year, month) + 1;
+            let date = CivilDate::new(year, month, day);
+            let back = CivilDate::from_epoch_days(date.to_epoch_days());
+            prop_assert_eq!(date, back);
+        }
+
+        #[test]
+        fn prop_weekday_advances_by_one(days in -300_000_i64..300_000) {
+            let today = CivilDate::from_epoch_days(days).weekday().number();
+            let tomorrow = CivilDate::from_epoch_days(days + 1).weekday().number();
+            prop_assert_eq!(tomorrow, today % 7 + 1);
+        }
+
+        #[test]
+        fn prop_iso_week_in_range(days in -300_000_i64..300_000) {
+            let w = CivilDate::from_epoch_days(days).iso_week();
+            prop_assert!((1..=53).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Regional holiday calendars.
+//!
+//! The paper (§5.4) observes that databases created during regional
+//! holidays are more likely to be automated creations; the fleet
+//! simulator uses these calendars to suppress human activity on
+//! holidays, and the feature pipeline can ask "was the creation date a
+//! holiday in its region".
+
+use crate::civil::{CivilDate, Weekday};
+
+/// A rule generating one holiday occurrence per year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HolidayRule {
+    /// The same month/day every year (e.g. January 1).
+    FixedDate {
+        /// Month, 1–12.
+        month: u8,
+        /// Day of month.
+        day: u8,
+    },
+    /// The nth (1-based) given weekday of a month (e.g. 4th Thursday of
+    /// November).
+    NthWeekday {
+        /// Month, 1–12.
+        month: u8,
+        /// Which weekday.
+        weekday: Weekday,
+        /// 1-based ordinal within the month.
+        nth: u8,
+    },
+    /// The last given weekday of a month (e.g. last Monday of May).
+    LastWeekday {
+        /// Month, 1–12.
+        month: u8,
+        /// Which weekday.
+        weekday: Weekday,
+    },
+}
+
+impl HolidayRule {
+    /// The holiday's date in a given year.
+    pub fn date_in(&self, year: i32) -> CivilDate {
+        match *self {
+            HolidayRule::FixedDate { month, day } => CivilDate::new(year, month, day),
+            HolidayRule::NthWeekday {
+                month,
+                weekday,
+                nth,
+            } => {
+                assert!(nth >= 1 && nth <= 5, "nth must be 1-5, got {nth}");
+                let first = CivilDate::new(year, month, 1);
+                let offset =
+                    (weekday.number() as i64 - first.weekday().number() as i64).rem_euclid(7);
+                let date = first.plus_days(offset + 7 * (nth as i64 - 1));
+                assert_eq!(
+                    date.month(),
+                    month,
+                    "{year}-{month} has no {nth}th {weekday:?}"
+                );
+                date
+            }
+            HolidayRule::LastWeekday { month, weekday } => {
+                let last_day = crate::civil::days_in_month(year, month);
+                let last = CivilDate::new(year, month, last_day);
+                let offset =
+                    (last.weekday().number() as i64 - weekday.number() as i64).rem_euclid(7);
+                last.plus_days(-offset)
+            }
+        }
+    }
+}
+
+/// A named calendar of holiday rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HolidayCalendar {
+    name: String,
+    rules: Vec<HolidayRule>,
+}
+
+impl HolidayCalendar {
+    /// Creates a calendar from rules.
+    pub fn new(name: impl Into<String>, rules: Vec<HolidayRule>) -> HolidayCalendar {
+        HolidayCalendar {
+            name: name.into(),
+            rules,
+        }
+    }
+
+    /// Calendar name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True if `date` is a holiday under this calendar.
+    pub fn is_holiday(&self, date: CivilDate) -> bool {
+        self.rules.iter().any(|r| r.date_in(date.year()) == date)
+    }
+
+    /// All holiday dates within `[start, end]` inclusive.
+    pub fn holidays_between(&self, start: CivilDate, end: CivilDate) -> Vec<CivilDate> {
+        let mut out = Vec::new();
+        for year in start.year()..=end.year() {
+            for rule in &self.rules {
+                let d = rule.date_in(year);
+                if d >= start && d <= end {
+                    out.push(d);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// A US-like calendar (used for the simulated "Region-1").
+    pub fn us_like() -> HolidayCalendar {
+        HolidayCalendar::new(
+            "us-like",
+            vec![
+                HolidayRule::FixedDate { month: 1, day: 1 },
+                HolidayRule::NthWeekday {
+                    month: 1,
+                    weekday: Weekday::Monday,
+                    nth: 3,
+                }, // MLK-like
+                HolidayRule::LastWeekday {
+                    month: 5,
+                    weekday: Weekday::Monday,
+                }, // Memorial-like
+                HolidayRule::FixedDate { month: 7, day: 4 },
+                HolidayRule::NthWeekday {
+                    month: 9,
+                    weekday: Weekday::Monday,
+                    nth: 1,
+                }, // Labor-like
+                HolidayRule::NthWeekday {
+                    month: 11,
+                    weekday: Weekday::Thursday,
+                    nth: 4,
+                }, // Thanksgiving-like
+                HolidayRule::FixedDate { month: 12, day: 25 },
+            ],
+        )
+    }
+
+    /// A European-like calendar (simulated "Region-2").
+    pub fn europe_like() -> HolidayCalendar {
+        HolidayCalendar::new(
+            "europe-like",
+            vec![
+                HolidayRule::FixedDate { month: 1, day: 1 },
+                HolidayRule::FixedDate { month: 5, day: 1 },
+                HolidayRule::FixedDate { month: 8, day: 15 },
+                HolidayRule::FixedDate { month: 11, day: 1 },
+                HolidayRule::FixedDate { month: 12, day: 25 },
+                HolidayRule::FixedDate { month: 12, day: 26 },
+            ],
+        )
+    }
+
+    /// An Asia-Pacific-like calendar (simulated "Region-3").
+    pub fn apac_like() -> HolidayCalendar {
+        HolidayCalendar::new(
+            "apac-like",
+            vec![
+                HolidayRule::FixedDate { month: 1, day: 1 },
+                HolidayRule::FixedDate { month: 1, day: 26 },
+                HolidayRule::NthWeekday {
+                    month: 6,
+                    weekday: Weekday::Monday,
+                    nth: 2,
+                },
+                HolidayRule::FixedDate { month: 10, day: 2 },
+                HolidayRule::FixedDate { month: 12, day: 25 },
+                HolidayRule::FixedDate { month: 12, day: 26 },
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_date_rule() {
+        let rule = HolidayRule::FixedDate { month: 7, day: 4 };
+        assert_eq!(rule.date_in(2017), CivilDate::new(2017, 7, 4));
+    }
+
+    #[test]
+    fn nth_weekday_rule() {
+        // Thanksgiving 2017: 4th Thursday of November = Nov 23.
+        let rule = HolidayRule::NthWeekday {
+            month: 11,
+            weekday: Weekday::Thursday,
+            nth: 4,
+        };
+        assert_eq!(rule.date_in(2017), CivilDate::new(2017, 11, 23));
+        // MLK 2018: 3rd Monday of January = Jan 15.
+        let mlk = HolidayRule::NthWeekday {
+            month: 1,
+            weekday: Weekday::Monday,
+            nth: 3,
+        };
+        assert_eq!(mlk.date_in(2018), CivilDate::new(2018, 1, 15));
+    }
+
+    #[test]
+    fn last_weekday_rule() {
+        // Memorial Day 2017: last Monday of May = May 29.
+        let rule = HolidayRule::LastWeekday {
+            month: 5,
+            weekday: Weekday::Monday,
+        };
+        assert_eq!(rule.date_in(2017), CivilDate::new(2017, 5, 29));
+        // Last Sunday of Feb 2016 (leap): Feb 28.
+        let feb = HolidayRule::LastWeekday {
+            month: 2,
+            weekday: Weekday::Sunday,
+        };
+        assert_eq!(feb.date_in(2016), CivilDate::new(2016, 2, 28));
+    }
+
+    #[test]
+    fn calendar_membership() {
+        let cal = HolidayCalendar::us_like();
+        assert!(cal.is_holiday(CivilDate::new(2017, 7, 4)));
+        assert!(cal.is_holiday(CivilDate::new(2017, 11, 23)));
+        assert!(!cal.is_holiday(CivilDate::new(2017, 7, 5)));
+    }
+
+    #[test]
+    fn holidays_between_window() {
+        let cal = HolidayCalendar::us_like();
+        let hs = cal.holidays_between(CivilDate::new(2017, 5, 1), CivilDate::new(2017, 9, 30));
+        assert_eq!(
+            hs,
+            vec![
+                CivilDate::new(2017, 5, 29),
+                CivilDate::new(2017, 7, 4),
+                CivilDate::new(2017, 9, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn regional_calendars_differ() {
+        let d = CivilDate::new(2017, 5, 1);
+        assert!(HolidayCalendar::europe_like().is_holiday(d));
+        assert!(!HolidayCalendar::us_like().is_holiday(d));
+    }
+}

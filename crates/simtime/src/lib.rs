@@ -1,0 +1,37 @@
+//! Civil time substrate for the survivability study.
+//!
+//! The fleet simulator and the feature pipeline need deterministic,
+//! timezone-localized calendar arithmetic: day-of-week, day-of-month,
+//! ISO week-of-year, hour-of-day, and regional holiday calendars
+//! (paper §4.2, "Creation time" features; §5.4 notes holiday-time
+//! creation correlates with automation). The needs are small and must be
+//! bit-for-bit reproducible, so we implement them here rather than pull
+//! in a calendar dependency.
+//!
+//! * [`Timestamp`] — seconds since the Unix epoch, with [`Duration`]
+//!   arithmetic.
+//! * [`CivilDate`] / [`CivilDateTime`] — proleptic-Gregorian calendar
+//!   conversions (Howard Hinnant's `days_from_civil` algorithms).
+//! * [`holidays`] — per-region holiday calendars built from fixed-date
+//!   and nth-weekday rules.
+//!
+//! # Example
+//!
+//! ```
+//! use simtime::{Timestamp, Duration, HolidayCalendar};
+//!
+//! let created = Timestamp::from_ymd_hms(2017, 7, 4, 9, 30, 0);
+//! let date = created.date();
+//! assert_eq!(date.weekday().number(), 2); // Tuesday
+//! assert!(HolidayCalendar::us_like().is_holiday(date));
+//! let prediction_at = created + Duration::days(2);
+//! assert_eq!(prediction_at.to_string(), "2017-07-06 09:30:00");
+//! ```
+
+pub mod civil;
+pub mod holidays;
+pub mod timestamp;
+
+pub use civil::{CivilDate, CivilDateTime, Weekday};
+pub use holidays::{HolidayCalendar, HolidayRule};
+pub use timestamp::{Duration, Timestamp};

@@ -1,0 +1,273 @@
+//! Timestamps and durations with second resolution.
+
+use crate::civil::{CivilDate, CivilDateTime};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A signed span of time with second resolution.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
+    serde::Serialize, serde::Deserialize,
+)]
+pub struct Duration {
+    seconds: i64,
+}
+
+impl Duration {
+    /// Span of `n` seconds.
+    pub const fn seconds(n: i64) -> Duration {
+        Duration { seconds: n }
+    }
+
+    /// Span of `n` minutes.
+    pub const fn minutes(n: i64) -> Duration {
+        Duration::seconds(n * 60)
+    }
+
+    /// Span of `n` hours.
+    pub const fn hours(n: i64) -> Duration {
+        Duration::seconds(n * 3600)
+    }
+
+    /// Span of `n` days.
+    pub const fn days(n: i64) -> Duration {
+        Duration::seconds(n * 86_400)
+    }
+
+    /// Fractional days (rounded to the nearest second). The simulator
+    /// draws lifespans in fractional days from continuous distributions.
+    pub fn days_f64(days: f64) -> Duration {
+        assert!(days.is_finite(), "non-finite day count");
+        Duration::seconds((days * 86_400.0).round() as i64)
+    }
+
+    /// Total seconds in this span.
+    pub const fn as_seconds(self) -> i64 {
+        self.seconds
+    }
+
+    /// This span in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.seconds as f64 / 86_400.0
+    }
+
+    /// This span in whole days, truncated toward zero.
+    pub const fn whole_days(self) -> i64 {
+        self.seconds / 86_400
+    }
+
+    /// True for spans of zero or negative length.
+    pub const fn is_non_positive(self) -> bool {
+        self.seconds <= 0
+    }
+}
+
+/// An instant in time: seconds since the Unix epoch (UTC-like; the
+/// simulator treats each region's clock as already localized, so no
+/// timezone offsets appear anywhere downstream).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
+    serde::Serialize, serde::Deserialize,
+)]
+pub struct Timestamp {
+    seconds: i64,
+}
+
+impl Timestamp {
+    /// Timestamp from raw epoch seconds.
+    pub const fn from_epoch_seconds(seconds: i64) -> Timestamp {
+        Timestamp { seconds }
+    }
+
+    /// Raw epoch seconds.
+    pub const fn epoch_seconds(self) -> i64 {
+        self.seconds
+    }
+
+    /// Timestamp at midnight of a civil date.
+    pub fn from_date(date: CivilDate) -> Timestamp {
+        Timestamp {
+            seconds: date.to_epoch_days() * 86_400,
+        }
+    }
+
+    /// Timestamp from date and time-of-day components.
+    pub fn from_ymd_hms(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Timestamp {
+        let dt = CivilDateTime::new(CivilDate::new(year, month, day), hour, minute, second);
+        Timestamp::from_datetime(dt)
+    }
+
+    /// Timestamp from a [`CivilDateTime`].
+    pub fn from_datetime(dt: CivilDateTime) -> Timestamp {
+        Timestamp {
+            seconds: dt.date.to_epoch_days() * 86_400
+                + dt.hour as i64 * 3600
+                + dt.minute as i64 * 60
+                + dt.second as i64,
+        }
+    }
+
+    /// The civil date containing this instant.
+    pub fn date(self) -> CivilDate {
+        CivilDate::from_epoch_days(self.seconds.div_euclid(86_400))
+    }
+
+    /// Full civil decomposition of this instant.
+    pub fn datetime(self) -> CivilDateTime {
+        let date = self.date();
+        let tod = self.seconds.rem_euclid(86_400);
+        CivilDateTime::new(
+            date,
+            (tod / 3600) as u8,
+            ((tod % 3600) / 60) as u8,
+            (tod % 60) as u8,
+        )
+    }
+
+    /// Hour of the day, 0–23.
+    pub fn hour(self) -> u8 {
+        self.datetime().hour
+    }
+
+    /// Elapsed time from `earlier` to `self`.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::seconds(self.seconds - earlier.seconds)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp {
+            seconds: self.seconds + d.seconds,
+        }
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, d: Duration) {
+        self.seconds += d.seconds;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, d: Duration) -> Timestamp {
+        Timestamp {
+            seconds: self.seconds - d.seconds,
+        }
+    }
+}
+
+impl SubAssign<Duration> for Timestamp {
+    fn sub_assign(&mut self, d: Duration) {
+        self.seconds -= d.seconds;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, other: Timestamp) -> Duration {
+        self.since(other)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, other: Duration) -> Duration {
+        Duration::seconds(self.seconds + other.seconds)
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    fn sub(self, other: Duration) -> Duration {
+        Duration::seconds(self.seconds - other.seconds)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.datetime())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        let t = Timestamp::from_ymd_hms(1970, 1, 1, 0, 0, 0);
+        assert_eq!(t.epoch_seconds(), 0);
+        assert_eq!(t.datetime().to_string(), "1970-01-01 00:00:00");
+    }
+
+    #[test]
+    fn paper_example_timeline() {
+        // Figure 4: created June 1 10:00, prediction June 3 10:00 (2
+        // days), boundary July 1 10:00 (30 days).
+        let created = Timestamp::from_ymd_hms(2017, 6, 1, 10, 0, 0);
+        let prediction = created + Duration::days(2);
+        assert_eq!(prediction.datetime().to_string(), "2017-06-03 10:00:00");
+        let boundary = created + Duration::days(30);
+        assert_eq!(boundary.datetime().to_string(), "2017-07-01 10:00:00");
+        assert_eq!((boundary - created).whole_days(), 30);
+    }
+
+    #[test]
+    fn negative_timestamps_decompose() {
+        let t = Timestamp::from_epoch_seconds(-1);
+        assert_eq!(t.datetime().to_string(), "1969-12-31 23:59:59");
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::days(2).as_seconds(), 172_800);
+        assert_eq!(Duration::hours(3).as_seconds(), 10_800);
+        assert!((Duration::days_f64(1.5).as_days_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(Duration::days_f64(2.999).whole_days(), 2);
+        assert!(Duration::seconds(0).is_non_positive());
+        assert!(!Duration::seconds(1).is_non_positive());
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let t = Timestamp::from_ymd_hms(2017, 3, 15, 12, 30, 45);
+        let d = Duration::hours(36);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        let mut m = t;
+        m += d;
+        m -= d;
+        assert_eq!(m, t);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_datetime_roundtrip(secs in -20_000_000_000_i64..20_000_000_000) {
+            let t = Timestamp::from_epoch_seconds(secs);
+            let back = Timestamp::from_datetime(t.datetime());
+            prop_assert_eq!(t, back);
+        }
+
+        #[test]
+        fn prop_add_sub_inverse(secs in -1_000_000_000_i64..1_000_000_000, d in -10_000_000_i64..10_000_000) {
+            let t = Timestamp::from_epoch_seconds(secs);
+            let dur = Duration::seconds(d);
+            prop_assert_eq!((t + dur) - dur, t);
+        }
+
+        #[test]
+        fn prop_hour_in_range(secs in -20_000_000_000_i64..20_000_000_000) {
+            prop_assert!(Timestamp::from_epoch_seconds(secs).hour() < 24);
+        }
+    }
+}

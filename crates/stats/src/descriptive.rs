@@ -1,0 +1,346 @@
+//! Numerically stable descriptive statistics, quantiles, and histograms.
+
+/// A one-pass summary of a numeric sample, computed with Welford's
+/// algorithm so that the variance is numerically stable even for large
+/// samples with a big mean (e.g. database sizes in megabytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary; statistics of an empty sample are defined as 0
+    /// (a deliberate choice matching the paper's feature pipeline, where
+    /// "no prior databases" must yield usable feature values).
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for samples of size < 2).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (0 for samples of size < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum (0 for an empty sample).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum (0 for an empty sample).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default) of an
+/// **unsorted** sample. `q` must be in `[0, 1]`.
+///
+/// Returns `None` for an empty sample.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile requires 0 <= q <= 1");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Same as [`quantile`] but assumes `sorted` is already ascending.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the first/last bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram needs hi > lo");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation, clamping out-of-range values into the edge
+    /// bins.
+    pub fn push(&mut self, v: f64) {
+        let bins = self.counts.len();
+        let idx = if v < self.lo {
+            0
+        } else if v >= self.hi {
+            bins - 1
+        } else {
+            (((v - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bin_center, fraction)` pairs; fractions sum to 1 when non-empty.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * width;
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
+                (center, frac)
+            })
+            .collect()
+    }
+}
+
+/// Convenience: histogram of a slice.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
+    let mut h = Histogram::new(lo, hi, bins);
+    for &v in values {
+        h.push(v);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeros() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let a = [1.0, 2.0, 3.5, -1.0];
+        let b = [10.0, 0.25];
+        let mut left = Summary::of(&a);
+        let right = Summary::of(&b);
+        left.merge(&right);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let bulk = Summary::of(&all);
+        assert!((left.mean() - bulk.mean()).abs() < 1e-12);
+        assert!((left.variance() - bulk.variance()).abs() < 1e-12);
+        assert_eq!(left.count(), bulk.count());
+    }
+
+    #[test]
+    fn quantile_median_and_edges() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.5), Some(2.0));
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(3.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        // numpy.quantile([1,2,3,4], 0.25) == 1.75
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let h = histogram(&[-5.0, 0.0, 0.5, 0.99, 1.0, 99.0], 0.0, 1.0, 2);
+        // -5 clamps to bin 0; 0.5 and 0.99 land in bin 1; 1.0 and 99.0
+        // clamp into bin 1.
+        assert_eq!(h.counts(), &[2, 4]);
+        assert_eq!(h.total(), 6);
+        let norm = h.normalized();
+        let total: f64 = norm.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_matches_naive(values in prop::collection::vec(-1e6..1e6_f64, 1..200)) {
+            let s = Summary::of(&values);
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+
+        #[test]
+        fn prop_quantile_monotone(
+            values in prop::collection::vec(-1e6..1e6_f64, 1..100),
+            q1 in 0.0..1.0_f64,
+            q2 in 0.0..1.0_f64,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let a = quantile(&values, lo).unwrap();
+            let b = quantile(&values, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn prop_quantile_within_range(values in prop::collection::vec(-1e6..1e6_f64, 1..100), q in 0.0..1.0_f64) {
+            let v = quantile(&values, q).unwrap();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+
+        #[test]
+        fn prop_histogram_total(values in prop::collection::vec(-10.0..10.0_f64, 0..100)) {
+            let h = histogram(&values, -5.0, 5.0, 7);
+            prop_assert_eq!(h.total() as usize, values.len());
+            prop_assert_eq!(h.counts().iter().sum::<u64>() as usize, values.len());
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Beta distribution.
+
+use super::{ContinuousDistribution, Normal};
+use crate::special::{incomplete_beta, ln_gamma};
+use rand::Rng;
+
+/// Beta distribution on `[0, 1]` with shapes `alpha`, `beta` — the
+/// natural model for latent per-customer propensities (the simulator's
+/// longevity traits are power-transformed uniforms, which are Beta
+/// special cases: `u^k ~ Beta(1/k, 1)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates a Beta distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either shape is non-positive or non-finite.
+    pub fn new(alpha: f64, beta: f64) -> Beta {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive, got {alpha}"
+        );
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "beta must be positive, got {beta}"
+        );
+        Beta { alpha, beta }
+    }
+
+    /// Shape α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Samples a Gamma(shape, 1) variate via Marsaglia–Tsang (with the
+    /// Johnk-style boost for shape < 1).
+    fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        if shape < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            return Self::sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let std = Normal::standard();
+        loop {
+            let x = std.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl ContinuousDistribution for Beta {
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return match self.alpha.partial_cmp(&1.0).unwrap() {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => self.beta,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        if x == 1.0 {
+            return match self.beta.partial_cmp(&1.0).unwrap() {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => self.alpha,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        let ln_b = ln_gamma(self.alpha + self.beta) - ln_gamma(self.alpha) - ln_gamma(self.beta);
+        (ln_b + (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            incomplete_beta(self.alpha, self.beta, x)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        // Bisection on the CDF over [0, 1].
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-14 {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = Self::sample_gamma(self.alpha, rng);
+        let y = Self::sample_gamma(self.beta, rng);
+        x / (x + y)
+    }
+
+    fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{check_quantile_roundtrip, check_sampler};
+    use super::*;
+
+    #[test]
+    fn uniform_special_case() {
+        let b = Beta::new(1.0, 1.0);
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((b.cdf(x) - x).abs() < 1e-12);
+            assert!((b.pdf(x) - 1.0).abs() < 1e-10);
+        }
+        assert!((b.mean() - 0.5).abs() < 1e-12);
+        assert!((b.variance() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_of_uniform_special_case() {
+        // u² ~ Beta(1/2, 1): cdf(x) = sqrt(x).
+        let b = Beta::new(0.5, 1.0);
+        for &x in &[0.04, 0.25, 0.81] {
+            assert!((b.cdf(x) - x.sqrt()).abs() < 1e-9, "cdf({x})");
+        }
+    }
+
+    #[test]
+    fn moments_closed_form() {
+        let b = Beta::new(2.0, 5.0);
+        assert!((b.mean() - 2.0 / 7.0).abs() < 1e-12);
+        assert!((b.variance() - 10.0 / (49.0 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Beta::new(2.0, 5.0), 1e-9);
+        check_quantile_roundtrip(&Beta::new(0.5, 0.5), 1e-9);
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler(&Beta::new(2.0, 5.0), 31, 0.03);
+        check_sampler(&Beta::new(0.7, 1.3), 32, 0.03);
+        check_sampler(&Beta::new(4.0, 4.0), 33, 0.03);
+    }
+
+    #[test]
+    fn pdf_boundaries() {
+        assert_eq!(Beta::new(0.5, 2.0).pdf(0.0), f64::INFINITY);
+        assert_eq!(Beta::new(2.0, 2.0).pdf(0.0), 0.0);
+        assert_eq!(Beta::new(2.0, 2.0).pdf(1.0), 0.0);
+        assert_eq!(Beta::new(2.0, 2.0).pdf(-0.1), 0.0);
+        assert_eq!(Beta::new(2.0, 2.0).pdf(1.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_shape() {
+        Beta::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Categorical (finite discrete) distribution.
+
+use super::DiscreteDistribution;
+use rand::Rng;
+
+/// A categorical distribution over `0..weights.len()`.
+///
+/// Weights need not be normalized. Sampling is by linear scan over the
+/// cumulative weights — the archetype and edition tables this models
+/// have < 20 categories, so a scan beats an alias table in both code
+/// size and real cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        let probs = weights.iter().map(|&w| w / total).collect();
+        Categorical { cumulative, probs }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True if there is exactly one category (never truly empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Normalized probability of each category.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+impl DiscreteDistribution for Categorical {
+    fn pmf(&self, x: usize) -> f64 {
+        self.probs.get(x).copied().unwrap_or(0.0)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_weights() {
+        let c = Categorical::new(&[1.0, 3.0]);
+        assert!((c.pmf(0) - 0.25).abs() < 1e-12);
+        assert!((c.pmf(1) - 0.75).abs() < 1e-12);
+        assert_eq!(c.pmf(2), 0.0);
+    }
+
+    #[test]
+    fn sampling_frequencies_converge() {
+        let c = Categorical::new(&[0.2, 0.5, 0.3]);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 30_000;
+        let mut counts = [0_u64; 3];
+        for _ in 0..n {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!(
+                (freq - c.pmf(i)).abs() < 0.01,
+                "category {i}: {freq} vs {}",
+                c.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let c = Categorical::new(&[1.0, 0.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert_ne!(c.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative() {
+        Categorical::new(&[0.5, -0.1]);
+    }
+}

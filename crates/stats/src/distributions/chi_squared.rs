@@ -1,0 +1,149 @@
+//! Chi-squared distribution.
+
+use super::{ContinuousDistribution, Normal};
+use crate::special::{gamma_p, gamma_q, ln_gamma};
+use rand::Rng;
+
+/// Chi-squared distribution with `k` degrees of freedom.
+///
+/// Its survival function turns log-rank statistics into p-values. The
+/// sampler sums squared standard normals (exact, and `k` is small in all
+/// our uses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates a chi-squared distribution with `k > 0` degrees of
+    /// freedom (fractional degrees are allowed for pdf/cdf, but sampling
+    /// requires an integer `k`).
+    pub fn new(k: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "degrees of freedom must be positive, got {k}");
+        ChiSquared { k }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+}
+
+impl ContinuousDistribution for ChiSquared {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.k < 2.0 {
+                f64::INFINITY
+            } else if self.k == 2.0 {
+                0.5
+            } else {
+                0.0
+            };
+        }
+        let half_k = self.k / 2.0;
+        ((half_k - 1.0) * x.ln() - x / 2.0 - half_k * std::f64::consts::LN_2 - ln_gamma(half_k))
+            .exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.k / 2.0, x / 2.0)
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            gamma_q(self.k / 2.0, x / 2.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        // Bisection on the CDF: robust and plenty fast for our use.
+        let (mut lo, mut hi) = (0.0, self.k.max(1.0));
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let k = self.k.round() as u64;
+        assert!(
+            (self.k - k as f64).abs() < 1e-9 && k >= 1,
+            "sampling requires integer degrees of freedom, got {}",
+            self.k
+        );
+        let std = Normal::standard();
+        (0..k)
+            .map(|_| {
+                let z = std.sample(rng);
+                z * z
+            })
+            .sum()
+    }
+
+    fn mean(&self) -> f64 {
+        self.k
+    }
+
+    fn variance(&self) -> f64 {
+        2.0 * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::check_sampler;
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        // chi2(1) at 3.841458... is 0.95 (the classic 5% critical value).
+        let c = ChiSquared::new(1.0);
+        assert!((c.cdf(3.841_458_820_694_124) - 0.95).abs() < 1e-9);
+        // chi2(2) is exponential with mean 2.
+        let c2 = ChiSquared::new(2.0);
+        assert!((c2.cdf(2.0) - (1.0 - (-1.0_f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let c = ChiSquared::new(5.0);
+        for &p in &[0.01, 0.5, 0.95, 0.999] {
+            let x = c.quantile(p);
+            assert!((c.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sf_tail_accuracy() {
+        let c = ChiSquared::new(1.0);
+        // sf(30) ≈ 4.32e-8; must be positive and in the right ballpark.
+        let s = c.sf(30.0);
+        assert!(s > 1e-9 && s < 1e-7, "sf = {s}");
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler(&ChiSquared::new(3.0), 5, 0.035);
+    }
+}

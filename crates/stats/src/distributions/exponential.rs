@@ -1,0 +1,127 @@
+//! Exponential distribution.
+
+use super::ContinuousDistribution;
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// The exponential is the constant-hazard lifetime model; the survival
+/// crate's parametric fitter uses it as the simplest censored-MLE
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0` or non-finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// Rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        -(-p).ln_1p() / self.rate
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform on (0, 1]; 1 - gen::<f64>() avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{check_quantile_roundtrip, check_sampler};
+    use super::*;
+
+    #[test]
+    fn cdf_and_sf_sum_to_one() {
+        let e = Exponential::new(0.3);
+        for &x in &[0.0, 0.5, 2.0, 10.0] {
+            assert!((e.cdf(x) + e.sf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_is_ln2_over_rate() {
+        let e = Exponential::new(2.0);
+        assert!((e.quantile(0.5) - std::f64::consts::LN_2 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_mean_matches() {
+        let e = Exponential::with_mean(5.0);
+        assert!((e.mean() - 5.0).abs() < 1e-12);
+        assert!((e.variance() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Exponential::new(0.7), 1e-10);
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler(&Exponential::new(1.3), 7, 0.03);
+    }
+
+    #[test]
+    fn negative_x_has_zero_mass() {
+        let e = Exponential::new(1.0);
+        assert_eq!(e.pdf(-1.0), 0.0);
+        assert_eq!(e.cdf(-1.0), 0.0);
+        assert_eq!(e.sf(-1.0), 1.0);
+    }
+}

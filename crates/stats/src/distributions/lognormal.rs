@@ -1,0 +1,122 @@
+//! Log-normal distribution.
+
+use super::{ContinuousDistribution, Normal};
+use rand::Rng;
+
+/// Log-normal distribution: `ln X ~ N(mu, sigma²)`.
+///
+/// Mid-life database populations (small production apps, startups) have
+/// heavy-tailed lifespans that straddle the paper's 30-day boundary; the
+/// simulator models them log-normally, which is what makes databases
+/// "near day 30" genuinely hard to classify (paper §5.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-mean `mu` and log-std `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0` or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            mu,
+            sigma,
+            norm: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal from its **median** and log-std. The median
+    /// of a log-normal is `exp(mu)`, so this is the natural way to say
+    /// "half of these databases live longer than `median` days".
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Log-scale mean μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-scale standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.norm.pdf(x.ln()) / x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.norm.cdf(x.ln())
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.norm.quantile(p).exp()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{check_quantile_roundtrip, check_sampler};
+    use super::*;
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(2.0, 0.7);
+        assert!((d.quantile(0.5) - 2.0_f64.exp()).abs() < 1e-9);
+        let m = LogNormal::with_median(30.0, 1.0);
+        assert!((m.quantile(0.5) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moments_match_closed_form() {
+        let d = LogNormal::new(0.5, 0.25);
+        assert!((d.mean() - (0.5 + 0.03125_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_negative_have_no_mass() {
+        let d = LogNormal::new(0.0, 1.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.cdf(-3.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&LogNormal::new(3.0, 1.2), 1e-9);
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler(&LogNormal::new(1.0, 0.5), 19, 0.03);
+    }
+}

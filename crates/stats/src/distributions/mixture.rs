@@ -1,0 +1,267 @@
+//! Finite mixtures of heterogeneous continuous distributions.
+
+use super::{
+    Categorical, ChiSquared, ContinuousDistribution, DiscreteDistribution, Exponential,
+    LogNormal, Normal, Uniform, Weibull,
+};
+use rand::Rng;
+
+/// A closed set of mixture components.
+///
+/// An enum (rather than `Box<dyn ContinuousDistribution>`) keeps mixtures
+/// `Copy`-free but `Clone`, comparable, and dispatch-cheap; the simulator
+/// builds thousands of these per fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Component {
+    /// Normal component.
+    Normal(Normal),
+    /// Exponential component.
+    Exponential(Exponential),
+    /// Weibull component.
+    Weibull(Weibull),
+    /// Log-normal component.
+    LogNormal(LogNormal),
+    /// Uniform component.
+    Uniform(Uniform),
+    /// Chi-squared component.
+    ChiSquared(ChiSquared),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $d:ident => $body:expr) => {
+        match $self {
+            Component::Normal($d) => $body,
+            Component::Exponential($d) => $body,
+            Component::Weibull($d) => $body,
+            Component::LogNormal($d) => $body,
+            Component::Uniform($d) => $body,
+            Component::ChiSquared($d) => $body,
+        }
+    };
+}
+
+impl ContinuousDistribution for Component {
+    fn pdf(&self, x: f64) -> f64 {
+        dispatch!(self, d => d.pdf(x))
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        dispatch!(self, d => d.cdf(x))
+    }
+    fn sf(&self, x: f64) -> f64 {
+        dispatch!(self, d => d.sf(x))
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        dispatch!(self, d => d.quantile(p))
+    }
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        dispatch!(self, d => d.sample(rng))
+    }
+    fn mean(&self) -> f64 {
+        dispatch!(self, d => d.mean())
+    }
+    fn variance(&self) -> f64 {
+        dispatch!(self, d => d.variance())
+    }
+}
+
+impl From<Normal> for Component {
+    fn from(d: Normal) -> Self {
+        Component::Normal(d)
+    }
+}
+impl From<Exponential> for Component {
+    fn from(d: Exponential) -> Self {
+        Component::Exponential(d)
+    }
+}
+impl From<Weibull> for Component {
+    fn from(d: Weibull) -> Self {
+        Component::Weibull(d)
+    }
+}
+impl From<LogNormal> for Component {
+    fn from(d: LogNormal) -> Self {
+        Component::LogNormal(d)
+    }
+}
+impl From<Uniform> for Component {
+    fn from(d: Uniform) -> Self {
+        Component::Uniform(d)
+    }
+}
+impl From<ChiSquared> for Component {
+    fn from(d: ChiSquared) -> Self {
+        Component::ChiSquared(d)
+    }
+}
+
+/// A finite mixture distribution: pick a component by weight, then draw
+/// from it. The pdf/cdf are the weight-convex combinations of the
+/// component pdf/cdfs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mixture {
+    selector: Categorical,
+    components: Vec<Component>,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same weight conditions as [`Categorical::new`],
+    /// or if `parts` is empty.
+    pub fn new(parts: Vec<(f64, Component)>) -> Self {
+        let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+        let components = parts.into_iter().map(|(_, c)| c).collect();
+        Mixture {
+            selector: Categorical::new(&weights),
+            components,
+        }
+    }
+
+    /// The mixture's components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The normalized component weights.
+    pub fn weights(&self) -> &[f64] {
+        self.selector.probs()
+    }
+}
+
+impl ContinuousDistribution for Mixture {
+    fn pdf(&self, x: f64) -> f64 {
+        self.weights()
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.pdf(x))
+            .sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.weights()
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.cdf(x))
+            .sum()
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        self.weights()
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.sf(x))
+            .sum()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        // Bracket using component quantiles, then bisect the mixture CDF.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in &self.components {
+            lo = lo.min(c.quantile(p.min(0.5) * 0.5));
+            hi = hi.max(c.quantile(0.5 + p.max(0.5) * 0.499_999));
+        }
+        // Widen until the bracket certainly contains the quantile.
+        while self.cdf(lo) > p {
+            lo -= (hi - lo).abs().max(1.0);
+        }
+        while self.cdf(hi) < p {
+            hi += (hi - lo).abs().max(1.0);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-10 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let idx = self.selector.sample(rng);
+        self.components[idx].sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.weights()
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.mean())
+            .sum()
+    }
+
+    fn variance(&self) -> f64 {
+        // Law of total variance.
+        let mean = self.mean();
+        self.weights()
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| {
+                let d = c.mean() - mean;
+                w * (c.variance() + d * d)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{check_quantile_roundtrip, check_sampler};
+    use super::*;
+
+    fn bimodal() -> Mixture {
+        Mixture::new(vec![
+            (0.3, Normal::new(-5.0, 1.0).into()),
+            (0.7, Normal::new(5.0, 2.0).into()),
+        ])
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let m = bimodal();
+        assert!((m.mean() - (0.3 * -5.0 + 0.7 * 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_law_of_total_variance() {
+        let m = bimodal();
+        // Var = E[Var] + Var[E] = (0.3·1 + 0.7·4) + (0.3·(−5−2)² + 0.7·(5−2)²)
+        let expected = (0.3 + 2.8) + (0.3 * 49.0 + 0.7 * 9.0);
+        assert!((m.variance() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_convex_combination() {
+        let m = bimodal();
+        let a = Normal::new(-5.0, 1.0);
+        let b = Normal::new(5.0, 2.0);
+        for &x in &[-7.0, -5.0, 0.0, 4.0, 10.0] {
+            let expected = 0.3 * a.cdf(x) + 0.7 * b.cdf(x);
+            assert!((m.cdf(x) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&bimodal(), 1e-7);
+    }
+
+    #[test]
+    fn heterogeneous_mixture_samples() {
+        let m = Mixture::new(vec![
+            (0.5, Weibull::new(0.7, 10.0).into()),
+            (0.3, LogNormal::new(3.0, 0.5).into()),
+            (0.2, Normal::new(120.0, 5.0).into()),
+        ]);
+        check_sampler(&m, 23, 0.035);
+    }
+}

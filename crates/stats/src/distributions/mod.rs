@@ -1,0 +1,102 @@
+//! Probability distributions with pdf/cdf/quantile/sampling.
+//!
+//! The fleet simulator samples database lifespans, sizes, and
+//! inter-arrival times from these distributions; the survival crate uses
+//! their CDFs as analytic oracles in tests. Sampling goes through
+//! inverse-transform or standard exact methods so that a seeded
+//! [`rand::Rng`] yields fully reproducible fleets.
+
+mod beta;
+mod categorical;
+mod chi_squared;
+mod exponential;
+mod lognormal;
+mod mixture;
+mod normal;
+mod uniform;
+mod weibull;
+
+pub use beta::Beta;
+pub use categorical::Categorical;
+pub use chi_squared::ChiSquared;
+pub use exponential::Exponential;
+pub use lognormal::LogNormal;
+pub use mixture::Mixture;
+pub use normal::Normal;
+pub use uniform::Uniform;
+pub use weibull::Weibull;
+
+use rand::Rng;
+
+/// A continuous univariate distribution.
+pub trait ContinuousDistribution {
+    /// Probability density function at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile (inverse CDF) at probability `p`, `0 < p < 1`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+
+    /// Survival function `P(X > x)`; overridable when a tail-accurate
+    /// form exists.
+    fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+}
+
+/// A discrete distribution over `0..k`.
+pub trait DiscreteDistribution {
+    /// Probability mass at `x`.
+    fn pmf(&self, x: usize) -> f64;
+
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::ContinuousDistribution;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Empirically checks that `dist.sample` agrees with `dist.cdf` via a
+    /// one-sample Kolmogorov–Smirnov-style bound on a few thousand draws.
+    pub fn check_sampler<D: ContinuousDistribution>(dist: &D, seed: u64, tol: f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 4000;
+        let mut xs: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut max_gap = 0.0_f64;
+        for (i, &x) in xs.iter().enumerate() {
+            let emp = (i as f64 + 0.5) / n as f64;
+            let gap = (emp - dist.cdf(x)).abs();
+            if gap > max_gap {
+                max_gap = gap;
+            }
+        }
+        assert!(max_gap < tol, "KS gap {max_gap} exceeds tolerance {tol}");
+    }
+
+    /// Checks quantile/cdf are mutual inverses on a probability grid.
+    pub fn check_quantile_roundtrip<D: ContinuousDistribution>(dist: &D, tol: f64) {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = dist.quantile(p);
+            let back = dist.cdf(x);
+            assert!(
+                (back - p).abs() < tol,
+                "cdf(quantile({p})) = {back}, expected {p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Normal (Gaussian) distribution.
+
+use super::ContinuousDistribution;
+use crate::special::{std_normal_cdf, std_normal_quantile};
+use rand::Rng;
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev <= 0` or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite(), "non-finite parameter");
+        assert!(std_dev > 0.0, "std_dev must be positive, got {std_dev}");
+        Normal { mean, std_dev }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal::new(0.0, 1.0)
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mean) / self.std_dev)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std_dev * std_normal_quantile(p)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method: exact, no trig, two uniforms per pair.
+        // We draw pairs until one is accepted and discard the spare for
+        // statelessness (the cost is irrelevant at our scales).
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{check_quantile_roundtrip, check_sampler};
+    use super::*;
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        let n = Normal::new(2.0, 3.0);
+        let peak = n.pdf(2.0);
+        assert!((peak - 1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt())).abs() < 1e-12);
+        assert!((n.pdf(2.0 + 1.7) - n.pdf(2.0 - 1.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_known_points() {
+        let n = Normal::standard();
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((n.cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Normal::new(-4.0, 0.5), 1e-9);
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler(&Normal::new(10.0, 2.0), 42, 0.03);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_std() {
+        Normal::new(0.0, 0.0);
+    }
+}

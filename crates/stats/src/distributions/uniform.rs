@@ -1,0 +1,104 @@
+//! Continuous uniform distribution.
+
+use super::ContinuousDistribution;
+use rand::Rng;
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "non-finite bound");
+        assert!(hi > lo, "uniform requires hi > lo, got [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x >= self.hi {
+            0.0
+        } else {
+            1.0 / (self.hi - self.lo)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        self.lo + p * (self.hi - self.lo)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{check_quantile_roundtrip, check_sampler};
+    use super::*;
+
+    #[test]
+    fn cdf_is_linear() {
+        let u = Uniform::new(2.0, 6.0);
+        assert_eq!(u.cdf(1.0), 0.0);
+        assert_eq!(u.cdf(4.0), 0.5);
+        assert_eq!(u.cdf(7.0), 1.0);
+        assert!((u.mean() - 4.0).abs() < 1e-12);
+        assert!((u.variance() - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Uniform::new(-1.0, 9.0), 1e-12);
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler(&Uniform::new(0.0, 5.0), 3, 0.03);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_interval() {
+        Uniform::new(1.0, 1.0);
+    }
+}

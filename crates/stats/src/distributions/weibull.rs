@@ -1,0 +1,144 @@
+//! Weibull distribution.
+
+use super::ContinuousDistribution;
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// The Weibull is the workhorse lifetime model: `k < 1` gives a
+/// decreasing hazard (infant mortality — most cloud databases that die,
+/// die young), `k = 1` is exponential, `k > 1` gives wear-out. The fleet
+/// simulator composes Weibull components into per-archetype lifespan
+/// mixtures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or non-finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "shape must be positive, got {shape}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive, got {scale}"
+        );
+        Weibull { shape, scale }
+    }
+
+    /// Shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Limit depends on shape; return the correct boundary value.
+            return match self.shape.partial_cmp(&1.0).unwrap() {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => 1.0 / self.scale,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = (ln_gamma(1.0 + 1.0 / self.shape)).exp();
+        let g2 = (ln_gamma(1.0 + 2.0 / self.shape)).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{check_quantile_roundtrip, check_sampler};
+    use super::*;
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0);
+        for &x in &[0.1, 1.0, 3.0] {
+            let expected = 1.0 - (-x / 2.0_f64).exp();
+            assert!((w.cdf(x) - expected).abs() < 1e-12);
+        }
+        assert!((w.mean() - 2.0).abs() < 1e-10);
+        assert!((w.variance() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rayleigh_mean() {
+        // k = 2 (Rayleigh): mean = λ √π / 2.
+        let w = Weibull::new(2.0, 3.0);
+        let expected = 3.0 * std::f64::consts::PI.sqrt() / 2.0;
+        assert!((w.mean() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        check_quantile_roundtrip(&Weibull::new(0.6, 40.0), 1e-10);
+        check_quantile_roundtrip(&Weibull::new(3.0, 1.0), 1e-10);
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        check_sampler(&Weibull::new(0.8, 25.0), 11, 0.03);
+    }
+
+    #[test]
+    fn pdf_boundary_values() {
+        assert_eq!(Weibull::new(0.5, 1.0).pdf(0.0), f64::INFINITY);
+        assert!((Weibull::new(1.0, 4.0).pdf(0.0) - 0.25).abs() < 1e-12);
+        assert_eq!(Weibull::new(2.0, 1.0).pdf(0.0), 0.0);
+    }
+}

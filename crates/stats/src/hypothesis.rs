@@ -1,0 +1,178 @@
+//! Hypothesis-testing helpers.
+//!
+//! The survival crate's log-rank test reduces to a chi-squared statistic;
+//! this module converts statistics into p-values and provides the small
+//! amount of shared test machinery (significance levels, two-sample z).
+
+use crate::distributions::{ChiSquared, ContinuousDistribution};
+use crate::special::std_normal_cdf;
+
+/// Survival function of the chi-squared distribution: the p-value of a
+/// chi-squared-distributed statistic `x` with `dof` degrees of freedom.
+///
+/// Tail-accurate (does not underflow to zero for the `p < 1e-7` values
+/// the paper reports).
+pub fn chi_squared_sf(x: f64, dof: f64) -> f64 {
+    ChiSquared::new(dof).sf(x)
+}
+
+/// Two-sided p-value of a standard-normal-distributed statistic.
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    2.0 * std_normal_cdf(-z.abs())
+}
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// The p-value under the null hypothesis.
+    pub p_value: f64,
+    /// Degrees of freedom of the reference distribution (0 if N/A).
+    pub dof: f64,
+}
+
+impl TestResult {
+    /// True if the null hypothesis is rejected at significance `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test: are two samples drawn from the
+/// same continuous distribution?
+///
+/// The statistic is the supremum gap between the two empirical CDFs;
+/// the p-value uses the asymptotic Kolmogorov distribution
+/// `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}` with the effective sample size
+/// `n = n₁n₂/(n₁+n₂)` — accurate for moderate-to-large samples, which
+/// is how this workspace uses it (distribution-shift checks between
+/// generated populations).
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains non-finite values.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut a_sorted = a.to_vec();
+    let mut b_sorted = b.to_vec();
+    a_sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite sample values"));
+    b_sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite sample values"));
+
+    let (n1, n2) = (a_sorted.len(), b_sorted.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut statistic = 0.0_f64;
+    while i < n1 && j < n2 {
+        let x = a_sorted[i].min(b_sorted[j]);
+        while i < n1 && a_sorted[i] <= x {
+            i += 1;
+        }
+        while j < n2 && b_sorted[j] <= x {
+            j += 1;
+        }
+        let gap = (i as f64 / n1 as f64 - j as f64 / n2 as f64).abs();
+        if gap > statistic {
+            statistic = gap;
+        }
+    }
+
+    let effective = (n1 * n2) as f64 / (n1 + n2) as f64;
+    let lambda = (effective.sqrt() + 0.12 + 0.11 / effective.sqrt()) * statistic;
+    let p_value = kolmogorov_sf(lambda);
+    TestResult {
+        statistic,
+        p_value,
+        dof: 0.0,
+    }
+}
+
+/// Survival function of the Kolmogorov distribution.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0_f64;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi2_sf_critical_value() {
+        // 3.8415 is the 5% critical value for 1 dof.
+        let p = chi_squared_sf(3.841_458_820_694_124, 1.0);
+        assert!((p - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_sf_deep_tail_nonzero() {
+        let p = chi_squared_sf(80.0, 1.0);
+        assert!(p > 0.0 && p < 1e-15);
+    }
+
+    #[test]
+    fn normal_two_sided_symmetric() {
+        assert!((normal_two_sided_p(1.96) - 0.05).abs() < 1e-3);
+        assert_eq!(normal_two_sided_p(2.5), normal_two_sided_p(-2.5));
+    }
+
+    #[test]
+    fn ks_identical_samples_not_significant() {
+        let a: Vec<f64> = (0..500).map(|i| (i as f64) * 0.37 % 13.0).collect();
+        let r = ks_two_sample(&a, &a.clone());
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_detects_location_shift() {
+        use crate::distributions::{ContinuousDistribution, Normal};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n0 = Normal::new(0.0, 1.0);
+        let n1 = Normal::new(0.8, 1.0);
+        let a: Vec<f64> = (0..400).map(|_| n0.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..400).map(|_| n1.sample(&mut rng)).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+
+        // Same distribution: not significant.
+        let c: Vec<f64> = (0..400).map(|_| n0.sample(&mut rng)).collect();
+        let same = ks_two_sample(&a, &c);
+        assert!(same.p_value > 0.01, "p = {}", same.p_value);
+    }
+
+    #[test]
+    fn ks_statistic_bounds() {
+        // Completely disjoint supports: statistic = 1.
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 11.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.2);
+    }
+
+    #[test]
+    fn significance_threshold() {
+        let r = TestResult {
+            statistic: 5.0,
+            p_value: 0.03,
+            dof: 1.0,
+        };
+        assert!(r.significant_at(0.05));
+        assert!(!r.significant_at(0.01));
+    }
+}

@@ -1,0 +1,44 @@
+//! Statistical substrate for the cloud-database survivability study.
+//!
+//! This crate provides, from scratch (no external numeric dependencies):
+//!
+//! * [`special`] — special functions: log-gamma, regularized incomplete
+//!   gamma, error function, and the inverse of the standard normal CDF.
+//! * [`distributions`] — continuous and discrete probability
+//!   distributions with pdf/cdf/quantile/sampling, plus finite mixtures.
+//! * [`descriptive`] — numerically stable descriptive statistics,
+//!   quantiles, and histograms.
+//! * [`hypothesis`] — p-value helpers for chi-squared distributed test
+//!   statistics (used by the log-rank test in the `survival` crate).
+//!
+//! Everything is deterministic given a seeded RNG, which the rest of the
+//! workspace relies on for reproducible experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use stats::{ContinuousDistribution, Weibull, Summary};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // An infant-mortality lifetime model: shape < 1.
+//! let lifetimes = Weibull::new(0.8, 30.0);
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut summary = Summary::new();
+//! for _ in 0..1000 {
+//!     summary.push(lifetimes.sample(&mut rng));
+//! }
+//! assert!((summary.mean() - lifetimes.mean()).abs() < 5.0);
+//! assert!(lifetimes.sf(0.0) == 1.0);
+//! ```
+
+pub mod descriptive;
+pub mod distributions;
+pub mod hypothesis;
+pub mod special;
+
+pub use descriptive::{histogram, quantile, Histogram, Summary};
+pub use distributions::{
+    Beta, Categorical, ChiSquared, ContinuousDistribution, DiscreteDistribution, Exponential,
+    LogNormal, Mixture, Normal, Uniform, Weibull,
+};
+pub use hypothesis::{chi_squared_sf, ks_two_sample};

@@ -1,0 +1,473 @@
+//! Cox proportional-hazards regression (extension).
+//!
+//! The paper measures factor effects indirectly through random-forest
+//! feature importance; Cox regression measures them directly as hazard
+//! ratios. We implement the Breslow tie approximation with Newton–
+//! Raphson optimization of the partial likelihood — adequate for the
+//! handful of covariates the study report uses (edition, DTUs,
+//! automation signals).
+
+use stats::hypothesis::normal_two_sided_p;
+
+/// Model specification: covariate rows plus survival outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct CoxModel {
+    rows: Vec<Vec<f64>>,
+    durations: Vec<f64>,
+    events: Vec<bool>,
+    names: Vec<String>,
+}
+
+impl CoxModel {
+    /// Creates an empty model with named covariates.
+    pub fn new(covariate_names: &[&str]) -> CoxModel {
+        CoxModel {
+            rows: Vec::new(),
+            durations: Vec::new(),
+            events: Vec::new(),
+            names: covariate_names.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Adds one subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covariate count mismatches or the duration is
+    /// negative/non-finite.
+    pub fn push(&mut self, covariates: &[f64], duration: f64, event: bool) {
+        assert_eq!(
+            covariates.len(),
+            self.names.len(),
+            "expected {} covariates, got {}",
+            self.names.len(),
+            covariates.len()
+        );
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid duration {duration}"
+        );
+        self.rows.push(covariates.to_vec());
+        self.durations.push(duration);
+        self.events.push(event);
+    }
+
+    /// Number of subjects.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no subjects were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Covariate names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Fits the model by Newton–Raphson on the Breslow partial
+    /// likelihood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no events or no covariates.
+    pub fn fit(&self) -> CoxFit {
+        let p = self.names.len();
+        assert!(p > 0, "Cox model needs at least one covariate");
+        let n_events = self.events.iter().filter(|&&e| e).count();
+        assert!(n_events > 0, "Cox model needs at least one event");
+
+        // Standardize covariates for optimization stability; un-scale
+        // the coefficients afterwards.
+        let mut means = vec![0.0_f64; p];
+        let mut sds = vec![0.0_f64; p];
+        for j in 0..p {
+            let mut s = stats::Summary::new();
+            for row in &self.rows {
+                s.push(row[j]);
+            }
+            means[j] = s.mean();
+            sds[j] = if s.std_dev() > 1e-12 { s.std_dev() } else { 1.0 };
+        }
+        let std_rows: Vec<Vec<f64>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                (0..p)
+                    .map(|j| (row[j] - means[j]) / sds[j])
+                    .collect()
+            })
+            .collect();
+
+        // Order subjects by duration descending so the risk set grows as
+        // we sweep forward.
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.durations[b]
+                .partial_cmp(&self.durations[a])
+                .expect("finite durations")
+        });
+
+        let mut beta = vec![0.0_f64; p];
+        let mut last_hess = vec![vec![0.0_f64; p]; p];
+        let mut ll = f64::NEG_INFINITY;
+
+        for _iter in 0..50 {
+            let (new_ll, grad, hess) = self.breslow_derivatives(&std_rows, &order, &beta);
+            last_hess = hess.clone();
+
+            // Newton step: solve H δ = g (H is negative-definite; we
+            // solve with −H to keep pivots positive).
+            let neg_hess: Vec<Vec<f64>> = hess
+                .iter()
+                .map(|row| row.iter().map(|v| -v).collect())
+                .collect();
+            let delta = solve(&neg_hess, &grad);
+
+            // Step-halving line search on the partial likelihood.
+            let mut step = 1.0;
+            let mut improved = false;
+            for _ in 0..30 {
+                let cand: Vec<f64> = beta
+                    .iter()
+                    .zip(&delta)
+                    .map(|(b, d)| b + step * d)
+                    .collect();
+                let (cand_ll, _, _) = self.breslow_derivatives(&std_rows, &order, &cand);
+                if cand_ll > new_ll - 1e-12 {
+                    beta = cand;
+                    ll = cand_ll;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                ll = new_ll;
+                break;
+            }
+            let grad_norm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if grad_norm < 1e-8 {
+                break;
+            }
+        }
+
+        // Standard errors from the inverse negative Hessian, then
+        // un-standardize coefficients and SEs.
+        let neg_hess: Vec<Vec<f64>> = last_hess
+            .iter()
+            .map(|row| row.iter().map(|v| -v).collect())
+            .collect();
+        let cov = invert(&neg_hess);
+        let mut coefficients = vec![0.0_f64; p];
+        let mut std_errors = vec![0.0_f64; p];
+        for j in 0..p {
+            coefficients[j] = beta[j] / sds[j];
+            std_errors[j] = cov[j][j].max(0.0).sqrt() / sds[j];
+        }
+
+        CoxFit {
+            names: self.names.clone(),
+            coefficients,
+            std_errors,
+            log_likelihood: ll,
+            n: self.len(),
+            events: n_events,
+        }
+    }
+
+    /// Breslow partial log-likelihood with gradient and Hessian at
+    /// `beta`, over standardized rows.
+    fn breslow_derivatives(
+        &self,
+        rows: &[Vec<f64>],
+        order: &[usize],
+        beta: &[f64],
+    ) -> (f64, Vec<f64>, Vec<Vec<f64>>) {
+        let p = beta.len();
+        let mut ll = 0.0;
+        let mut grad = vec![0.0_f64; p];
+        let mut hess = vec![vec![0.0_f64; p]; p];
+
+        // Risk-set accumulators.
+        let mut s0 = 0.0_f64;
+        let mut s1 = vec![0.0_f64; p];
+        let mut s2 = vec![vec![0.0_f64; p]; p];
+
+        let n = order.len();
+        let mut i = 0;
+        while i < n {
+            let t = self.durations[order[i]];
+            // Add everyone with this duration to the risk set.
+            let mut j = i;
+            while j < n && self.durations[order[j]] == t {
+                let idx = order[j];
+                let eta: f64 = rows[idx]
+                    .iter()
+                    .zip(beta)
+                    .map(|(x, b)| x * b)
+                    .sum();
+                let w = eta.exp();
+                s0 += w;
+                for a in 0..p {
+                    s1[a] += w * rows[idx][a];
+                    for b in 0..p {
+                        s2[a][b] += w * rows[idx][a] * rows[idx][b];
+                    }
+                }
+                j += 1;
+            }
+            // Process deaths at this time.
+            let mut d = 0usize;
+            let mut death_x_sum = vec![0.0_f64; p];
+            let mut death_eta_sum = 0.0;
+            for &idx in &order[i..j] {
+                if self.events[idx] {
+                    d += 1;
+                    death_eta_sum += rows[idx]
+                        .iter()
+                        .zip(beta)
+                        .map(|(x, b)| x * b)
+                        .sum::<f64>();
+                    for a in 0..p {
+                        death_x_sum[a] += rows[idx][a];
+                    }
+                }
+            }
+            if d > 0 {
+                let df = d as f64;
+                ll += death_eta_sum - df * s0.ln();
+                for a in 0..p {
+                    let mean_a = s1[a] / s0;
+                    grad[a] += death_x_sum[a] - df * mean_a;
+                    for b in 0..p {
+                        let mean_b = s1[b] / s0;
+                        hess[a][b] -= df * (s2[a][b] / s0 - mean_a * mean_b);
+                    }
+                }
+            }
+            i = j;
+        }
+        (ll, grad, hess)
+    }
+}
+
+/// A fitted Cox model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoxFit {
+    names: Vec<String>,
+    coefficients: Vec<f64>,
+    std_errors: Vec<f64>,
+    log_likelihood: f64,
+    n: usize,
+    events: usize,
+}
+
+impl CoxFit {
+    /// Covariate names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Log hazard-ratio coefficients β̂.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Hazard ratios `exp(β̂)`.
+    pub fn hazard_ratios(&self) -> Vec<f64> {
+        self.coefficients.iter().map(|b| b.exp()).collect()
+    }
+
+    /// Standard errors of the coefficients.
+    pub fn std_errors(&self) -> &[f64] {
+        &self.std_errors
+    }
+
+    /// Wald two-sided p-values per coefficient.
+    pub fn p_values(&self) -> Vec<f64> {
+        self.coefficients
+            .iter()
+            .zip(&self.std_errors)
+            .map(|(b, se)| {
+                if *se > 0.0 {
+                    normal_two_sided_p(b / se)
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Maximized partial log-likelihood.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// Subjects / events in the fit.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.n, self.events)
+    }
+}
+
+/// Solves `A x = b` for small dense symmetric positive-definite-ish `A`
+/// with partial-pivot Gaussian elimination. Singular columns get a
+/// zero solution component (dropped covariate).
+fn solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut rhs = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        let mut pivot = col;
+        for row in col + 1..n {
+            if m[row][col].abs() > m[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot][col].abs() < 1e-12 {
+            // Singular direction: freeze it.
+            m[col][col] = 1.0;
+            for r in col + 1..n {
+                m[r][col] = 0.0;
+            }
+            rhs[col] = 0.0;
+            continue;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        perm.swap(col, pivot);
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            for c in col..n {
+                m[row][c] -= f * m[col][c];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut x = vec![0.0_f64; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for c in row + 1..n {
+            acc -= m[row][c] * x[c];
+        }
+        x[row] = acc / m[row][row];
+    }
+    x
+}
+
+/// Inverts a small dense matrix column-by-column via [`solve`].
+fn invert(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut inv = vec![vec![0.0_f64; n]; n];
+    for col in 0..n {
+        let mut e = vec![0.0_f64; n];
+        e[col] = 1.0;
+        let x = solve(a, &e);
+        for row in 0..n {
+            inv[row][col] = x[row];
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Simulates exponential lifetimes whose rate is `exp(β x)`, the
+    /// exact proportional-hazards data-generating process.
+    fn ph_sample(beta: &[f64], n: usize, censor: f64, seed: u64) -> CoxModel {
+        let names: Vec<String> = (0..beta.len()).map(|j| format!("x{j}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut model = CoxModel::new(&name_refs);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let x: Vec<f64> = beta.iter().map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let eta: f64 = x.iter().zip(beta).map(|(xi, b)| xi * b).sum();
+            let rate = 0.1 * eta.exp();
+            let t = -(1.0 - rng.gen::<f64>()).ln() / rate;
+            if t <= censor {
+                model.push(&x, t, true);
+            } else {
+                model.push(&x, censor, false);
+            }
+        }
+        model
+    }
+
+    #[test]
+    fn recovers_single_coefficient() {
+        let model = ph_sample(&[0.8], 3000, 60.0, 21);
+        let fit = model.fit();
+        let b = fit.coefficients()[0];
+        assert!((b - 0.8).abs() < 0.12, "beta = {b}");
+        assert!(fit.p_values()[0] < 1e-6);
+    }
+
+    #[test]
+    fn recovers_multiple_coefficients() {
+        let model = ph_sample(&[0.5, -1.0, 0.0], 4000, 80.0, 22);
+        let fit = model.fit();
+        let b = fit.coefficients();
+        assert!((b[0] - 0.5).abs() < 0.15, "b0 = {}", b[0]);
+        assert!((b[1] + 1.0).abs() < 0.15, "b1 = {}", b[1]);
+        assert!(b[2].abs() < 0.15, "b2 = {}", b[2]);
+        // Null covariate should not be significant.
+        assert!(fit.p_values()[2] > 0.01);
+    }
+
+    #[test]
+    fn hazard_ratios_exponentiate() {
+        let model = ph_sample(&[0.7], 1500, 60.0, 23);
+        let fit = model.fit();
+        let hr = fit.hazard_ratios()[0];
+        assert!((hr - fit.coefficients()[0].exp()).abs() < 1e-12);
+        assert!(hr > 1.0);
+    }
+
+    #[test]
+    fn null_model_coefficient_near_zero() {
+        let model = ph_sample(&[0.0], 2000, 50.0, 24);
+        let fit = model.fit();
+        assert!(fit.coefficients()[0].abs() < 0.1);
+    }
+
+    #[test]
+    fn counts_reported() {
+        let model = ph_sample(&[0.3], 500, 30.0, 25);
+        let fit = model.fit();
+        let (n, events) = fit.counts();
+        assert_eq!(n, 500);
+        assert!(events > 0 && events <= 500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_covariate_mismatch() {
+        let mut m = CoxModel::new(&["a", "b"]);
+        m.push(&[1.0], 5.0, true);
+    }
+
+    #[test]
+    fn solve_and_invert_small_system() {
+        let a = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(&a, &[1.0, 2.0]);
+        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-10);
+        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-10);
+        let inv = invert(&a);
+        // A · A⁻¹ = I.
+        for i in 0..2 {
+            for j in 0..2 {
+                let v: f64 = (0..2).map(|k| a[i][k] * inv[k][j]).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expected).abs() < 1e-10);
+            }
+        }
+    }
+}

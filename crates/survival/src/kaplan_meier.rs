@@ -1,0 +1,417 @@
+//! The Kaplan–Meier product-limit estimator.
+
+use crate::types::SurvivalData;
+use stats::special::std_normal_quantile;
+
+/// A fitted Kaplan–Meier survival curve.
+///
+/// `S(t)` is estimated as `∏_{i: t_i <= t} (n_i − d_i) / n_i` over the
+/// distinct event times `t_i`, with `n_i` subjects at risk and `d_i`
+/// events (paper §3.2). Right-censored subjects shrink later risk sets
+/// without contributing steps.
+///
+/// The fit also carries Greenwood's variance estimate, from which
+/// [`KaplanMeier::confidence_interval_at`] derives log-log transformed
+/// pointwise confidence bounds (the transform keeps bounds inside
+/// `[0, 1]`, matching Lifelines' default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaplanMeier {
+    /// Distinct event times, ascending.
+    times: Vec<f64>,
+    /// `S(t_i)` after the drop at each event time.
+    survival: Vec<f64>,
+    /// Greenwood cumulative sum `Σ d / (n (n − d))` at each event time.
+    greenwood: Vec<f64>,
+    /// Subjects at risk just before each event time.
+    at_risk: Vec<usize>,
+    /// Events at each event time.
+    deaths: Vec<usize>,
+    /// Total subjects in the fit.
+    n: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator to survival data.
+    ///
+    /// An empty sample yields a degenerate curve with `S(t) = 1`
+    /// everywhere.
+    pub fn fit(data: &SurvivalData) -> KaplanMeier {
+        let table = data.event_table();
+        let mut times = Vec::new();
+        let mut survival = Vec::new();
+        let mut greenwood = Vec::new();
+        let mut at_risk = Vec::new();
+        let mut deaths = Vec::new();
+
+        let mut s = 1.0_f64;
+        let mut gw = 0.0_f64;
+        for row in table.death_rows() {
+            let n_i = row.at_risk as f64;
+            let d_i = row.deaths as f64;
+            s *= (n_i - d_i) / n_i;
+            if n_i > d_i {
+                gw += d_i / (n_i * (n_i - d_i));
+            } else {
+                // Curve hit zero; variance of log is undefined — carry a
+                // sentinel that yields a zero-width interval at S = 0.
+                gw = f64::INFINITY;
+            }
+            times.push(row.time);
+            survival.push(s);
+            greenwood.push(gw);
+            at_risk.push(row.at_risk);
+            deaths.push(row.deaths);
+        }
+
+        KaplanMeier {
+            times,
+            survival,
+            greenwood,
+            at_risk,
+            deaths,
+            n: data.len(),
+        }
+    }
+
+    /// Number of subjects the curve was fitted on.
+    pub fn subjects(&self) -> usize {
+        self.n
+    }
+
+    /// The distinct event times (curve step locations), ascending.
+    pub fn event_times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The survival probabilities after each event time, aligned with
+    /// [`KaplanMeier::event_times`].
+    pub fn survival_probabilities(&self) -> &[f64] {
+        &self.survival
+    }
+
+    /// `S(t)`: the estimated probability of surviving beyond `t`.
+    ///
+    /// The estimate is a right-continuous step function equal to 1
+    /// before the first event time.
+    pub fn survival_at(&self, t: f64) -> f64 {
+        match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(idx) => self.survival[idx],
+            Err(0) => 1.0,
+            Err(idx) => self.survival[idx - 1],
+        }
+    }
+
+    /// Greenwood variance of `S(t)`.
+    pub fn variance_at(&self, t: f64) -> f64 {
+        let (s, gw) = match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(idx) => (self.survival[idx], self.greenwood[idx]),
+            Err(0) => (1.0, 0.0),
+            Err(idx) => (self.survival[idx - 1], self.greenwood[idx - 1]),
+        };
+        if gw.is_infinite() {
+            0.0
+        } else {
+            s * s * gw
+        }
+    }
+
+    /// Pointwise `(lo, hi)` confidence interval for `S(t)` at level
+    /// `1 − alpha`, using the log(−log) transform.
+    pub fn confidence_interval_at(&self, t: f64, alpha: f64) -> (f64, f64) {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let s = self.survival_at(t);
+        if s <= 0.0 {
+            return (0.0, 0.0);
+        }
+        if s >= 1.0 {
+            return (1.0, 1.0);
+        }
+        let gw = match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(idx) => self.greenwood[idx],
+            Err(0) => 0.0,
+            Err(idx) => self.greenwood[idx - 1],
+        };
+        if gw.is_infinite() {
+            return (0.0, s);
+        }
+        let z = std_normal_quantile(1.0 - alpha / 2.0);
+        // θ = z · sqrt(gw) / |ln S|; bounds are S^{exp(±θ)}.
+        let theta = z * gw.sqrt() / s.ln().abs();
+        let lo = s.powf((theta).exp());
+        let hi = s.powf((-theta).exp());
+        (lo.min(hi), lo.max(hi))
+    }
+
+    /// The smallest time at which `S(t) <= p`, if the curve ever drops
+    /// that far. `median_survival()` is `quantile(0.5)`.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        self.survival
+            .iter()
+            .position(|&s| s <= p)
+            .map(|idx| self.times[idx])
+    }
+
+    /// Median survival time: the first time at which `S(t) <= 0.5`, or
+    /// `None` if more than half the population outlives the observation
+    /// window (common in our fleets).
+    pub fn median_survival(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Restricted mean survival time up to `horizon`: the area under the
+    /// step curve over `[0, horizon]`. A standard summary when the
+    /// median is not reached.
+    pub fn restricted_mean(&self, horizon: f64) -> f64 {
+        assert!(horizon >= 0.0, "horizon must be non-negative");
+        let mut area = 0.0;
+        let mut prev_t = 0.0;
+        let mut prev_s = 1.0;
+        for (&t, &s) in self.times.iter().zip(&self.survival) {
+            if t >= horizon {
+                break;
+            }
+            area += prev_s * (t - prev_t);
+            prev_t = t;
+            prev_s = s;
+        }
+        area + prev_s * (horizon - prev_t)
+    }
+
+    /// Samples the curve at `points` evenly spaced times over
+    /// `[0, max_t]`, returning `(t, S(t))` pairs — the series the bench
+    /// harness prints for every KM figure.
+    pub fn sample_curve(&self, max_t: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least 2 points");
+        (0..points)
+            .map(|i| {
+                let t = max_t * i as f64 / (points - 1) as f64;
+                (t, self.survival_at(t))
+            })
+            .collect()
+    }
+
+    /// At-risk counts aligned with [`KaplanMeier::event_times`].
+    pub fn at_risk_counts(&self) -> &[usize] {
+        &self.at_risk
+    }
+
+    /// Death counts aligned with [`KaplanMeier::event_times`].
+    pub fn death_counts(&self) -> &[usize] {
+        &self.deaths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SurvivalData;
+    use proptest::prelude::*;
+
+    /// Freireich (1963) 6-MP arm: the canonical textbook KM example.
+    fn freireich_6mp() -> SurvivalData {
+        // Remission durations in weeks; + indicates censored.
+        // 6, 6, 6, 6+, 7, 9+, 10, 10+, 11+, 13, 16, 17+, 19+, 20+, 22,
+        // 23, 25+, 32+, 32+, 34+, 35+
+        SurvivalData::from_pairs(&[
+            (6.0, true),
+            (6.0, true),
+            (6.0, true),
+            (6.0, false),
+            (7.0, true),
+            (9.0, false),
+            (10.0, true),
+            (10.0, false),
+            (11.0, false),
+            (13.0, true),
+            (16.0, true),
+            (17.0, false),
+            (19.0, false),
+            (20.0, false),
+            (22.0, true),
+            (23.0, true),
+            (25.0, false),
+            (32.0, false),
+            (32.0, false),
+            (34.0, false),
+            (35.0, false),
+        ])
+    }
+
+    #[test]
+    fn freireich_reference_values() {
+        // Published KM values for this arm (Kleinbaum & Klein).
+        let km = KaplanMeier::fit(&freireich_6mp());
+        let close = |t: f64, expected: f64| {
+            let got = km.survival_at(t);
+            assert!((got - expected).abs() < 5e-4, "S({t}) = {got}, want {expected}");
+        };
+        close(6.0, 0.8571);
+        close(7.0, 0.8067);
+        close(10.0, 0.7529);
+        close(13.0, 0.6902);
+        close(16.0, 0.6275);
+        close(22.0, 0.5378);
+        close(23.0, 0.4482);
+        // Median is reached at t = 23.
+        assert_eq!(km.median_survival(), Some(23.0));
+    }
+
+    #[test]
+    fn no_censoring_matches_empirical_survivor() {
+        let d = SurvivalData::from_pairs(&[(1.0, true), (2.0, true), (3.0, true), (4.0, true)]);
+        let km = KaplanMeier::fit(&d);
+        assert!((km.survival_at(1.0) - 0.75).abs() < 1e-12);
+        assert!((km.survival_at(2.5) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(4.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn before_first_event_is_one() {
+        let km = KaplanMeier::fit(&freireich_6mp());
+        assert_eq!(km.survival_at(0.0), 1.0);
+        assert_eq!(km.survival_at(5.9), 1.0);
+    }
+
+    #[test]
+    fn empty_fit_is_unit_curve() {
+        let km = KaplanMeier::fit(&SurvivalData::default());
+        assert_eq!(km.survival_at(100.0), 1.0);
+        assert_eq!(km.median_survival(), None);
+        assert_eq!(km.subjects(), 0);
+    }
+
+    #[test]
+    fn all_censored_never_drops() {
+        let d = SurvivalData::from_pairs(&[(5.0, false), (9.0, false)]);
+        let km = KaplanMeier::fit(&d);
+        assert_eq!(km.survival_at(100.0), 1.0);
+        assert_eq!(km.median_survival(), None);
+    }
+
+    #[test]
+    fn greenwood_variance_freireich() {
+        // Known Greenwood SE at t = 13 for the 6-MP arm is about 0.1060.
+        let km = KaplanMeier::fit(&freireich_6mp());
+        let se = km.variance_at(13.0).sqrt();
+        assert!((se - 0.1060).abs() < 3e-3, "se = {se}");
+        // Variance before any event is zero.
+        assert_eq!(km.variance_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_estimate() {
+        let km = KaplanMeier::fit(&freireich_6mp());
+        for &t in &[6.0, 10.0, 16.0, 23.0] {
+            let s = km.survival_at(t);
+            let (lo, hi) = km.confidence_interval_at(t, 0.05);
+            assert!(lo <= s && s <= hi, "S({t}) = {s} outside [{lo}, {hi}]");
+            assert!(lo >= 0.0 && hi <= 1.0);
+        }
+        // Wider alpha → narrower interval.
+        let (lo95, hi95) = km.confidence_interval_at(13.0, 0.05);
+        let (lo50, hi50) = km.confidence_interval_at(13.0, 0.50);
+        assert!(lo50 > lo95 && hi50 < hi95);
+    }
+
+    #[test]
+    fn restricted_mean_simple() {
+        // Single death at t=1 among two subjects: S = 1 on [0,1), 0.5 after.
+        let d = SurvivalData::from_pairs(&[(1.0, true), (2.0, false)]);
+        let km = KaplanMeier::fit(&d);
+        // RMST(2) = 1·1 + 0.5·1 = 1.5.
+        assert!((km.restricted_mean(2.0) - 1.5).abs() < 1e-12);
+        // Horizon before first event: area = horizon.
+        assert!((km.restricted_mean(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_curve_shape() {
+        let km = KaplanMeier::fit(&freireich_6mp());
+        let pts = km.sample_curve(35.0, 36);
+        assert_eq!(pts.len(), 36);
+        assert_eq!(pts[0], (0.0, 1.0));
+        // Non-increasing.
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_km_is_monotone_in_unit_interval(
+            pairs in prop::collection::vec((0.0..100.0_f64, any::<bool>()), 1..120)
+        ) {
+            let data = SurvivalData::from_pairs(&pairs);
+            let km = KaplanMeier::fit(&data);
+            let mut prev = 1.0;
+            for (&_t, &s) in km.event_times().iter().zip(km.survival_probabilities()) {
+                prop_assert!(s >= -1e-12 && s <= 1.0 + 1e-12);
+                prop_assert!(s <= prev + 1e-12);
+                prev = s;
+            }
+        }
+
+        #[test]
+        fn prop_km_without_censoring_is_empirical(
+            durations in prop::collection::vec(0.1..50.0_f64, 1..60)
+        ) {
+            let pairs: Vec<(f64, bool)> = durations.iter().map(|&d| (d, true)).collect();
+            let data = SurvivalData::from_pairs(&pairs);
+            let km = KaplanMeier::fit(&data);
+            let n = durations.len() as f64;
+            for &t in &[0.5, 5.0, 20.0, 49.0] {
+                let empirical = durations.iter().filter(|&&d| d > t).count() as f64 / n;
+                prop_assert!((km.survival_at(t) - empirical).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_ci_brackets_estimate(
+            pairs in prop::collection::vec((0.1..80.0_f64, any::<bool>()), 3..60),
+            t in 0.0..90.0_f64,
+            alpha in 0.01..0.5_f64,
+        ) {
+            let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
+            let s = km.survival_at(t);
+            let (lo, hi) = km.confidence_interval_at(t, alpha);
+            prop_assert!(lo >= -1e-12 && hi <= 1.0 + 1e-12);
+            prop_assert!(lo <= s + 1e-9 && s <= hi + 1e-9, "S({t})={s} not in [{lo},{hi}]");
+        }
+
+        #[test]
+        fn prop_restricted_mean_monotone_in_horizon(
+            pairs in prop::collection::vec((0.1..50.0_f64, any::<bool>()), 1..60),
+            h1 in 0.0..60.0_f64,
+            h2 in 0.0..60.0_f64,
+        ) {
+            let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
+            let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+            prop_assert!(km.restricted_mean(lo) <= km.restricted_mean(hi) + 1e-9);
+            // RMST is bounded by the horizon.
+            prop_assert!(km.restricted_mean(hi) <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_quantile_consistent_with_curve(
+            pairs in prop::collection::vec((0.0..100.0_f64, any::<bool>()), 5..80),
+            p in 0.05..0.95_f64,
+        ) {
+            let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
+            if let Some(t) = km.quantile(p) {
+                prop_assert!(km.survival_at(t) <= p + 1e-12);
+                // Strictly before t the curve is above p.
+                prop_assert!(km.survival_at(t - 1e-9) > p - 1e-12);
+            }
+        }
+    }
+}

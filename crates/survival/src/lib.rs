@@ -1,0 +1,51 @@
+//! Survival analysis for cloud-database lifespans.
+//!
+//! Implements, from scratch, the statistical toolkit the paper uses via
+//! Python's Lifelines — plus several standard extensions:
+//!
+//! * [`kaplan_meier`] — the Kaplan–Meier product-limit estimator with
+//!   Greenwood variance and log-log confidence intervals, median and
+//!   quantile survival times (paper §3.2, Figures 1–3, 6, 8, 9).
+//! * [`nelson_aalen`] — the Nelson–Aalen cumulative-hazard estimator.
+//! * [`logrank`] — two-sample and k-sample log-rank tests, with the
+//!   Gehan–Breslow–Wilcoxon, Tarone–Ware, and Fleming–Harrington
+//!   weighted families (paper §5.2/§5.3 significance testing).
+//! * [`parametric`] — censored maximum-likelihood fits of exponential
+//!   and Weibull lifetime models with AIC model comparison.
+//! * [`cox`] — Cox proportional-hazards regression (Breslow ties), an
+//!   extension for measuring *factor* effects directly.
+//! * [`lifetable`] — actuarial life tables over day-granularity bins.
+//!
+//! All estimators handle right-censoring, the central data problem the
+//! paper highlights: databases still alive when the observation window
+//! closes have unknown lifespans.
+//!
+//! # Example
+//!
+//! ```
+//! use survival::{SurvivalData, KaplanMeier};
+//!
+//! // Three dropped databases and two still alive at day 40.
+//! let data = SurvivalData::from_pairs(&[
+//!     (5.0, true), (12.0, true), (33.0, true), (40.0, false), (40.0, false),
+//! ]);
+//! let km = KaplanMeier::fit(&data);
+//! assert!(km.survival_at(10.0) > km.survival_at(35.0));
+//! assert_eq!(km.survival_at(0.0), 1.0);
+//! ```
+
+pub mod cox;
+pub mod kaplan_meier;
+pub mod lifetable;
+pub mod logrank;
+pub mod nelson_aalen;
+pub mod parametric;
+pub mod types;
+
+pub use cox::{CoxFit, CoxModel};
+pub use kaplan_meier::KaplanMeier;
+pub use lifetable::LifeTable;
+pub use logrank::{logrank_test, logrank_test_k, weighted_logrank_test, LogRankWeight};
+pub use nelson_aalen::NelsonAalen;
+pub use parametric::{ExponentialFit, WeibullFit};
+pub use types::{Observation, SurvivalData};

@@ -1,0 +1,172 @@
+//! Actuarial life tables over fixed-width time intervals.
+//!
+//! A complement to Kaplan–Meier used in the study report: grouping
+//! database lifespans into day/week bins gives interval-level hazard
+//! ("what fraction of databases alive at day d die within the next
+//! week") which is how provisioning policy thresholds are discussed.
+
+use crate::types::SurvivalData;
+
+/// One interval `[start, start + width)` of a life table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifeTableRow {
+    /// Interval start time.
+    pub start: f64,
+    /// Interval width.
+    pub width: f64,
+    /// Subjects entering the interval.
+    pub entering: usize,
+    /// Events within the interval.
+    pub deaths: usize,
+    /// Censorings within the interval.
+    pub censored: usize,
+    /// Effective exposure (entering − censored/2, the actuarial
+    /// adjustment).
+    pub exposure: f64,
+    /// Conditional probability of dying in the interval given alive at
+    /// its start.
+    pub hazard: f64,
+    /// Cumulative survival at the interval's **end**.
+    pub survival: f64,
+}
+
+/// An actuarial life table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifeTable {
+    rows: Vec<LifeTableRow>,
+}
+
+impl LifeTable {
+    /// Builds a life table with `intervals` bins of `width` starting at
+    /// zero. Observations beyond the last interval are treated as
+    /// censored at the table's end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or `intervals == 0`.
+    pub fn fit(data: &SurvivalData, width: f64, intervals: usize) -> LifeTable {
+        assert!(width > 0.0, "width must be positive");
+        assert!(intervals > 0, "need at least one interval");
+
+        let mut deaths = vec![0usize; intervals];
+        let mut censored = vec![0usize; intervals];
+        let mut beyond = 0usize; // survived past the whole table
+
+        for o in data.observations() {
+            let idx = (o.duration / width) as usize;
+            if idx >= intervals {
+                beyond += 1;
+            } else if o.event {
+                deaths[idx] += 1;
+            } else {
+                censored[idx] += 1;
+            }
+        }
+
+        let mut rows = Vec::with_capacity(intervals);
+        let mut entering = data.len();
+        let mut survival = 1.0_f64;
+        for i in 0..intervals {
+            let exposure = entering as f64 - censored[i] as f64 / 2.0;
+            let hazard = if exposure > 0.0 {
+                deaths[i] as f64 / exposure
+            } else {
+                0.0
+            };
+            survival *= 1.0 - hazard;
+            rows.push(LifeTableRow {
+                start: i as f64 * width,
+                width,
+                entering,
+                deaths: deaths[i],
+                censored: censored[i],
+                exposure,
+                hazard,
+                survival,
+            });
+            entering -= deaths[i] + censored[i];
+        }
+        debug_assert_eq!(entering, beyond);
+        LifeTable { rows }
+    }
+
+    /// The table rows in time order.
+    pub fn rows(&self) -> &[LifeTableRow] {
+        &self.rows
+    }
+
+    /// Cumulative survival at the end of the interval containing `t`
+    /// (1.0 before the table starts).
+    pub fn survival_at(&self, t: f64) -> f64 {
+        let mut s = 1.0;
+        for row in &self.rows {
+            if t < row.start {
+                break;
+            }
+            s = row.survival;
+            if t < row.start + row.width {
+                break;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_interval_table() {
+        // 4 subjects: deaths at 0.5 and 1.5, censored at 1.2, survives past 2.
+        let d = SurvivalData::from_pairs(&[
+            (0.5, true),
+            (1.2, false),
+            (1.5, true),
+            (5.0, false),
+        ]);
+        let lt = LifeTable::fit(&d, 1.0, 2);
+        let rows = lt.rows();
+        assert_eq!(rows[0].entering, 4);
+        assert_eq!(rows[0].deaths, 1);
+        assert_eq!(rows[0].censored, 0);
+        assert!((rows[0].hazard - 0.25).abs() < 1e-12);
+        assert!((rows[0].survival - 0.75).abs() < 1e-12);
+
+        assert_eq!(rows[1].entering, 3);
+        assert_eq!(rows[1].deaths, 1);
+        assert_eq!(rows[1].censored, 1);
+        // exposure = 3 − 0.5 = 2.5; hazard = 0.4.
+        assert!((rows[1].hazard - 0.4).abs() < 1e-12);
+        assert!((rows[1].survival - 0.75 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_lookup() {
+        let d = SurvivalData::from_pairs(&[(0.5, true), (10.0, false)]);
+        let lt = LifeTable::fit(&d, 1.0, 3);
+        assert_eq!(lt.survival_at(0.0), 0.5); // first interval's end value
+        assert_eq!(lt.survival_at(2.5), lt.rows()[2].survival);
+    }
+
+    #[test]
+    fn survival_is_monotone() {
+        let pairs: Vec<(f64, bool)> = (0..100)
+            .map(|i| ((i as f64) * 0.37 % 20.0, i % 3 != 0))
+            .collect();
+        let lt = LifeTable::fit(&SurvivalData::from_pairs(&pairs), 2.0, 12);
+        let mut prev = 1.0;
+        for row in lt.rows() {
+            assert!(row.survival <= prev + 1e-12);
+            assert!((0.0..=1.0).contains(&row.survival));
+            prev = row.survival;
+        }
+    }
+
+    #[test]
+    fn empty_data() {
+        let lt = LifeTable::fit(&SurvivalData::default(), 1.0, 5);
+        assert_eq!(lt.rows().len(), 5);
+        assert_eq!(lt.survival_at(3.0), 1.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Log-rank tests comparing the survival distributions of groups.
+//!
+//! The paper uses the (unweighted) two-sample log-rank test to certify
+//! that predicted short-lived vs long-lived groupings differ
+//! significantly (Figures 6, 8, 9 and Table 2). We also provide the
+//! standard weighted family and the k-sample generalization.
+
+use crate::kaplan_meier::KaplanMeier;
+use crate::types::SurvivalData;
+use stats::hypothesis::{chi_squared_sf, TestResult};
+
+/// Weight function families for the weighted log-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LogRankWeight {
+    /// `w = 1`: the classic log-rank test (equal weight at all times).
+    LogRank,
+    /// `w = n_j`: Gehan–Breslow–Wilcoxon, emphasizing early differences.
+    GehanBreslow,
+    /// `w = sqrt(n_j)`: Tarone–Ware, intermediate emphasis.
+    TaroneWare,
+    /// `w = S(t−)^p (1 − S(t−))^q` with the pooled left-continuous KM
+    /// estimate: Fleming–Harrington, tunable early/late emphasis.
+    FlemingHarrington {
+        /// Early-difference exponent `p`.
+        p: f64,
+        /// Late-difference exponent `q`.
+        q: f64,
+    },
+}
+
+/// Classic two-sample log-rank test.
+///
+/// Null hypothesis: the two groups share one survival distribution.
+/// Returns a chi-squared statistic with 1 degree of freedom.
+///
+/// # Panics
+///
+/// Panics if either group is empty.
+pub fn logrank_test(a: &SurvivalData, b: &SurvivalData) -> TestResult {
+    weighted_logrank_test(a, b, LogRankWeight::LogRank)
+}
+
+/// Two-sample weighted log-rank test.
+///
+/// # Panics
+///
+/// Panics if either group is empty.
+pub fn weighted_logrank_test(a: &SurvivalData, b: &SurvivalData, weight: LogRankWeight) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "both groups must be non-empty");
+
+    // Pool the samples, remembering group membership.
+    let mut subjects: Vec<(f64, bool, usize)> = Vec::with_capacity(a.len() + b.len());
+    for o in a.observations() {
+        subjects.push((o.duration, o.event, 0));
+    }
+    for o in b.observations() {
+        subjects.push((o.duration, o.event, 1));
+    }
+    subjects.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite durations"));
+
+    // Pooled KM (left-continuous) for Fleming–Harrington weights.
+    let pooled_km = match weight {
+        LogRankWeight::FlemingHarrington { .. } => {
+            let mut pooled = a.clone();
+            for o in b.observations() {
+                pooled.push(*o);
+            }
+            Some(KaplanMeier::fit(&pooled))
+        }
+        _ => None,
+    };
+
+    let total = subjects.len();
+    let mut at_risk_a = a.len();
+    let mut at_risk = total;
+    let mut u = 0.0_f64; // Σ w (d_a − E[d_a])
+    let mut var = 0.0_f64; // Σ w² V
+
+    let mut i = 0;
+    while i < total {
+        let t = subjects[i].0;
+        let mut deaths = 0usize;
+        let mut deaths_a = 0usize;
+        let mut leaving = 0usize;
+        let mut leaving_a = 0usize;
+        let mut j = i;
+        while j < total && subjects[j].0 == t {
+            let (_, event, group) = subjects[j];
+            leaving += 1;
+            if group == 0 {
+                leaving_a += 1;
+            }
+            if event {
+                deaths += 1;
+                if group == 0 {
+                    deaths_a += 1;
+                }
+            }
+            j += 1;
+        }
+
+        if deaths > 0 && at_risk > 1 {
+            let n = at_risk as f64;
+            let n_a = at_risk_a as f64;
+            let d = deaths as f64;
+            let expected_a = d * n_a / n;
+            let v = d * (n_a / n) * (1.0 - n_a / n) * (n - d) / (n - 1.0);
+            let w = match weight {
+                LogRankWeight::LogRank => 1.0,
+                LogRankWeight::GehanBreslow => n,
+                LogRankWeight::TaroneWare => n.sqrt(),
+                LogRankWeight::FlemingHarrington { p, q } => {
+                    // Left-continuous survival: value just before t.
+                    let s_minus = pooled_km
+                        .as_ref()
+                        .expect("pooled KM built for FH")
+                        .survival_at(t - f64::EPSILON.max(t * 1e-12));
+                    s_minus.powf(p) * (1.0 - s_minus).powf(q)
+                }
+            };
+            u += w * (deaths_a as f64 - expected_a);
+            var += w * w * v;
+        }
+
+        at_risk -= leaving;
+        at_risk_a -= leaving_a;
+        i = j;
+    }
+
+    let statistic = if var > 0.0 { u * u / var } else { 0.0 };
+    TestResult {
+        statistic,
+        p_value: chi_squared_sf(statistic, 1.0),
+        dof: 1.0,
+    }
+}
+
+/// K-sample log-rank test: are `k` survival distributions identical?
+///
+/// Uses the vector of observed-minus-expected death counts over the
+/// first `k − 1` groups with its estimated covariance; the statistic is
+/// chi-squared with `k − 1` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if fewer than two groups are given or any group is empty.
+pub fn logrank_test_k(groups: &[&SurvivalData]) -> TestResult {
+    assert!(groups.len() >= 2, "need at least two groups");
+    for (g, data) in groups.iter().enumerate() {
+        assert!(!data.is_empty(), "group {g} is empty");
+    }
+    let k = groups.len();
+
+    let mut subjects: Vec<(f64, bool, usize)> = Vec::new();
+    for (g, data) in groups.iter().enumerate() {
+        for o in data.observations() {
+            subjects.push((o.duration, o.event, g));
+        }
+    }
+    subjects.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite durations"));
+
+    let total = subjects.len();
+    let mut at_risk_g: Vec<usize> = groups.iter().map(|d| d.len()).collect();
+    let mut at_risk = total;
+
+    // z = O − E over first k−1 groups; v = covariance matrix.
+    let dim = k - 1;
+    let mut z = vec![0.0_f64; dim];
+    let mut cov = vec![vec![0.0_f64; dim]; dim];
+
+    let mut i = 0;
+    while i < total {
+        let t = subjects[i].0;
+        let mut deaths = 0usize;
+        let mut deaths_g = vec![0usize; k];
+        let mut leaving = 0usize;
+        let mut leaving_g = vec![0usize; k];
+        let mut j = i;
+        while j < total && subjects[j].0 == t {
+            let (_, event, group) = subjects[j];
+            leaving += 1;
+            leaving_g[group] += 1;
+            if event {
+                deaths += 1;
+                deaths_g[group] += 1;
+            }
+            j += 1;
+        }
+
+        if deaths > 0 && at_risk > 1 {
+            let n = at_risk as f64;
+            let d = deaths as f64;
+            let frac = d * (n - d) / (n - 1.0);
+            for a in 0..dim {
+                let p_a = at_risk_g[a] as f64 / n;
+                z[a] += deaths_g[a] as f64 - d * p_a;
+                for b in 0..dim {
+                    let p_b = at_risk_g[b] as f64 / n;
+                    let delta = if a == b { 1.0 } else { 0.0 };
+                    cov[a][b] += frac * p_a * (delta - p_b);
+                }
+            }
+        }
+
+        at_risk -= leaving;
+        for g in 0..k {
+            at_risk_g[g] -= leaving_g[g];
+        }
+        i = j;
+    }
+
+    let statistic = quadratic_form_inv(&z, &cov);
+    TestResult {
+        statistic,
+        p_value: chi_squared_sf(statistic, dim as f64),
+        dof: dim as f64,
+    }
+}
+
+/// Computes `z' C⁻¹ z` by solving `C x = z` with partial-pivot Gaussian
+/// elimination (C is (k−1)×(k−1), tiny in practice). Returns 0 when C is
+/// singular (all groups identical at every event time).
+fn quadratic_form_inv(z: &[f64], cov: &[Vec<f64>]) -> f64 {
+    let n = z.len();
+    let mut a: Vec<Vec<f64>> = cov.to_vec();
+    let mut x: Vec<f64> = z.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return 0.0;
+        }
+        a.swap(col, pivot);
+        x.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for c in col..n {
+                a[row][c] -= f * a[col][c];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    let mut sol = vec![0.0_f64; n];
+    for row in (0..n).rev() {
+        let mut acc = x[row];
+        for c in row + 1..n {
+            acc -= a[row][c] * sol[c];
+        }
+        sol[row] = acc / a[row][row];
+    }
+    z.iter().zip(&sol).map(|(zi, si)| zi * si).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Textbook example (Kleinbaum & Klein ch. 2): two small remission
+    /// groups with a known log-rank statistic around 3.77.
+    fn kk_groups() -> (SurvivalData, SurvivalData) {
+        // Group 1 (treatment-like), group 2 (control-like).
+        let g1 = SurvivalData::from_pairs(&[
+            (6.0, true),
+            (6.0, true),
+            (6.0, true),
+            (7.0, true),
+            (10.0, true),
+            (13.0, true),
+            (16.0, true),
+            (22.0, true),
+            (23.0, true),
+            (6.0, false),
+            (9.0, false),
+            (10.0, false),
+            (11.0, false),
+            (17.0, false),
+            (19.0, false),
+            (20.0, false),
+            (25.0, false),
+            (32.0, false),
+            (32.0, false),
+            (34.0, false),
+            (35.0, false),
+        ]);
+        let g2 = SurvivalData::from_pairs(&[
+            (1.0, true),
+            (1.0, true),
+            (2.0, true),
+            (2.0, true),
+            (3.0, true),
+            (4.0, true),
+            (4.0, true),
+            (5.0, true),
+            (5.0, true),
+            (8.0, true),
+            (8.0, true),
+            (8.0, true),
+            (8.0, true),
+            (11.0, true),
+            (11.0, true),
+            (12.0, true),
+            (12.0, true),
+            (15.0, true),
+            (17.0, true),
+            (22.0, true),
+            (23.0, true),
+        ]);
+        (g1, g2)
+    }
+
+    #[test]
+    fn remission_example_is_highly_significant() {
+        let (g1, g2) = kk_groups();
+        let r = logrank_test(&g1, &g2);
+        // Published chi-squared for this dataset is 16.79.
+        assert!((r.statistic - 16.79).abs() < 0.05, "stat = {}", r.statistic);
+        assert!(r.p_value < 1e-4);
+        assert_eq!(r.dof, 1.0);
+    }
+
+    #[test]
+    fn identical_groups_not_significant() {
+        let d = SurvivalData::from_pairs(&[
+            (1.0, true),
+            (2.0, true),
+            (3.0, false),
+            (4.0, true),
+            (9.0, false),
+        ]);
+        let r = logrank_test(&d, &d.clone());
+        assert!(r.statistic < 1e-9);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn symmetric_in_group_order() {
+        let (g1, g2) = kk_groups();
+        let ab = logrank_test(&g1, &g2);
+        let ba = logrank_test(&g2, &g1);
+        assert!((ab.statistic - ba.statistic).abs() < 1e-9);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_sample_reduces_to_two_sample() {
+        let (g1, g2) = kk_groups();
+        let two = logrank_test(&g1, &g2);
+        let k = logrank_test_k(&[&g1, &g2]);
+        assert!((two.statistic - k.statistic).abs() < 1e-6);
+        assert_eq!(k.dof, 1.0);
+    }
+
+    #[test]
+    fn k_sample_three_groups() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let gen = |scale: f64, rng: &mut SmallRng| {
+            SurvivalData::from_pairs(
+                &(0..200)
+                    .map(|_| {
+                        let t: f64 = -(1.0 - rng.gen::<f64>()).ln() * scale;
+                        (t, t < 50.0)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let a = gen(5.0, &mut rng);
+        let b = gen(5.0, &mut rng);
+        let c = gen(25.0, &mut rng);
+        // a vs b similar; adding c makes it significant.
+        let same = logrank_test_k(&[&a, &b]);
+        assert!(same.p_value > 0.01);
+        let diff = logrank_test_k(&[&a, &b, &c]);
+        assert_eq!(diff.dof, 2.0);
+        assert!(diff.p_value < 1e-6);
+    }
+
+    #[test]
+    fn weighted_variants_agree_on_direction() {
+        let (g1, g2) = kk_groups();
+        for w in [
+            LogRankWeight::LogRank,
+            LogRankWeight::GehanBreslow,
+            LogRankWeight::TaroneWare,
+            LogRankWeight::FlemingHarrington { p: 1.0, q: 0.0 },
+        ] {
+            let r = weighted_logrank_test(&g1, &g2, w);
+            assert!(r.p_value < 0.01, "{w:?}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn detects_separated_exponentials() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let sample = |mean: f64, rng: &mut SmallRng| {
+            SurvivalData::from_pairs(
+                &(0..500)
+                    .map(|_| {
+                        let t: f64 = -(1.0 - rng.gen::<f64>()).ln() * mean;
+                        let c = 100.0;
+                        if t <= c {
+                            (t, true)
+                        } else {
+                            (c, false)
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let short = sample(10.0, &mut rng);
+        let long = sample(40.0, &mut rng);
+        let r = logrank_test(&short, &long);
+        assert!(r.p_value < 1e-10, "p = {}", r.p_value);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_statistic_nonnegative_p_in_unit(
+            a in prop::collection::vec((0.1..50.0_f64, any::<bool>()), 2..60),
+            b in prop::collection::vec((0.1..50.0_f64, any::<bool>()), 2..60),
+        ) {
+            let r = logrank_test(
+                &SurvivalData::from_pairs(&a),
+                &SurvivalData::from_pairs(&b),
+            );
+            prop_assert!(r.statistic >= 0.0);
+            prop_assert!(r.p_value >= 0.0 && r.p_value <= 1.0);
+        }
+
+        #[test]
+        fn prop_symmetry(
+            a in prop::collection::vec((0.1..50.0_f64, any::<bool>()), 2..40),
+            b in prop::collection::vec((0.1..50.0_f64, any::<bool>()), 2..40),
+        ) {
+            let da = SurvivalData::from_pairs(&a);
+            let db = SurvivalData::from_pairs(&b);
+            let ab = logrank_test(&da, &db);
+            let ba = logrank_test(&db, &da);
+            prop_assert!((ab.statistic - ba.statistic).abs() < 1e-7);
+        }
+    }
+}

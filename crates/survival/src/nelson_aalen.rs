@@ -1,0 +1,154 @@
+//! The Nelson–Aalen cumulative-hazard estimator.
+
+use crate::types::SurvivalData;
+
+/// A fitted Nelson–Aalen cumulative hazard `H(t) = Σ_{t_i <= t} d_i / n_i`.
+///
+/// Complements Kaplan–Meier: hazard slopes make "infant mortality vs
+/// incentive-cliff" regimes in the database population visible directly.
+/// `exp(−H(t))` is the Fleming–Harrington survival estimate, which
+/// agrees closely with KM on large samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelsonAalen {
+    times: Vec<f64>,
+    cumulative_hazard: Vec<f64>,
+    variance: Vec<f64>,
+    n: usize,
+}
+
+impl NelsonAalen {
+    /// Fits the estimator.
+    pub fn fit(data: &SurvivalData) -> NelsonAalen {
+        let table = data.event_table();
+        let mut times = Vec::new();
+        let mut cumulative_hazard = Vec::new();
+        let mut variance = Vec::new();
+        let mut h = 0.0;
+        let mut v = 0.0;
+        for row in table.death_rows() {
+            let n_i = row.at_risk as f64;
+            let d_i = row.deaths as f64;
+            h += d_i / n_i;
+            // Aalen's variance estimator.
+            v += d_i * (n_i - d_i) / (n_i * n_i * n_i);
+            times.push(row.time);
+            cumulative_hazard.push(h);
+            variance.push(v);
+        }
+        NelsonAalen {
+            times,
+            cumulative_hazard,
+            variance,
+            n: data.len(),
+        }
+    }
+
+    /// Event times (step locations).
+    pub fn event_times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Cumulative hazards aligned with [`NelsonAalen::event_times`].
+    pub fn cumulative_hazards(&self) -> &[f64] {
+        &self.cumulative_hazard
+    }
+
+    /// `H(t)`: cumulative hazard at `t` (0 before the first event).
+    pub fn cumulative_hazard_at(&self, t: f64) -> f64 {
+        match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(idx) => self.cumulative_hazard[idx],
+            Err(0) => 0.0,
+            Err(idx) => self.cumulative_hazard[idx - 1],
+        }
+    }
+
+    /// Variance of `H(t)`.
+    pub fn variance_at(&self, t: f64) -> f64 {
+        match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(idx) => self.variance[idx],
+            Err(0) => 0.0,
+            Err(idx) => self.variance[idx - 1],
+        }
+    }
+
+    /// The Fleming–Harrington survival estimate `exp(−H(t))`.
+    pub fn survival_at(&self, t: f64) -> f64 {
+        (-self.cumulative_hazard_at(t)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kaplan_meier::KaplanMeier;
+    use crate::types::SurvivalData;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hand_computed_example() {
+        // Deaths at 1 (n=4), 3 (n=2): H = 1/4 + 1/2 = 0.75.
+        let d = SurvivalData::from_pairs(&[(1.0, true), (2.0, false), (3.0, true), (4.0, false)]);
+        let na = NelsonAalen::fit(&d);
+        assert!((na.cumulative_hazard_at(0.5) - 0.0).abs() < 1e-12);
+        assert!((na.cumulative_hazard_at(1.0) - 0.25).abs() < 1e-12);
+        assert!((na.cumulative_hazard_at(10.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hazard_is_nondecreasing() {
+        let d = SurvivalData::from_pairs(&[(1.0, true), (1.0, true), (2.0, true), (5.0, false)]);
+        let na = NelsonAalen::fit(&d);
+        let mut prev = 0.0;
+        for &h in na.cumulative_hazards() {
+            assert!(h >= prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn agrees_with_km_on_large_samples() {
+        // Exponential lifetimes, 30% random censoring.
+        let mut rng = SmallRng::seed_from_u64(17);
+        let pairs: Vec<(f64, bool)> = (0..5000)
+            .map(|_| {
+                let t: f64 = -(1.0 - rng.gen::<f64>()).ln() * 10.0;
+                let c: f64 = rng.gen::<f64>() * 30.0;
+                if t <= c {
+                    (t, true)
+                } else {
+                    (c, false)
+                }
+            })
+            .collect();
+        let data = SurvivalData::from_pairs(&pairs);
+        let km = KaplanMeier::fit(&data);
+        let na = NelsonAalen::fit(&data);
+        for &t in &[1.0, 5.0, 10.0, 20.0] {
+            let diff = (km.survival_at(t) - na.survival_at(t)).abs();
+            assert!(diff < 0.01, "at t={t}: km vs fh differ by {diff}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_variance_nonnegative_and_monotone(
+            pairs in prop::collection::vec((0.0..50.0_f64, any::<bool>()), 1..100)
+        ) {
+            let na = NelsonAalen::fit(&SurvivalData::from_pairs(&pairs));
+            let mut prev = 0.0;
+            for (&t, _) in na.event_times().iter().zip(na.cumulative_hazards()) {
+                let v = na.variance_at(t);
+                prop_assert!(v >= prev - 1e-15);
+                prev = v;
+            }
+        }
+    }
+}

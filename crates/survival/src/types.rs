@@ -1,0 +1,293 @@
+//! Core survival-data types.
+
+/// One subject's follow-up: how long it was observed and whether the
+/// event of interest (for us: "the database was dropped") occurred at
+/// the end of that span.
+///
+/// `event == false` means the subject is **right-censored**: it was
+/// still alive when observation ended, so its true lifespan is only
+/// known to exceed `duration`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Observed duration (days, in this workspace's convention).
+    pub duration: f64,
+    /// Whether the event occurred (`true`) or the subject was censored
+    /// (`false`).
+    pub event: bool,
+}
+
+impl Observation {
+    /// An observed event (death / drop) at `duration`.
+    pub fn event(duration: f64) -> Observation {
+        Observation {
+            duration,
+            event: true,
+        }
+    }
+
+    /// A right-censored observation at `duration`.
+    pub fn censored(duration: f64) -> Observation {
+        Observation {
+            duration,
+            event: false,
+        }
+    }
+}
+
+/// A sample of survival observations.
+///
+/// Construction validates that durations are finite and non-negative;
+/// every estimator in this crate relies on that invariant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SurvivalData {
+    observations: Vec<Observation>,
+}
+
+impl SurvivalData {
+    /// Creates survival data from observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is negative or non-finite.
+    pub fn new(observations: Vec<Observation>) -> SurvivalData {
+        for o in &observations {
+            assert!(
+                o.duration.is_finite() && o.duration >= 0.0,
+                "invalid duration {}",
+                o.duration
+            );
+        }
+        SurvivalData { observations }
+    }
+
+    /// Creates survival data from `(duration, event)` pairs.
+    pub fn from_pairs(pairs: &[(f64, bool)]) -> SurvivalData {
+        SurvivalData::new(
+            pairs
+                .iter()
+                .map(|&(duration, event)| Observation { duration, event })
+                .collect(),
+        )
+    }
+
+    /// All durations where the event occurred.
+    pub fn event_durations(&self) -> impl Iterator<Item = f64> + '_ {
+        self.observations
+            .iter()
+            .filter(|o| o.event)
+            .map(|o| o.duration)
+    }
+
+    /// The observations.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of subjects.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True if there are no subjects.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Number of events (non-censored observations).
+    pub fn event_count(&self) -> usize {
+        self.observations.iter().filter(|o| o.event).count()
+    }
+
+    /// Number of censored observations.
+    pub fn censored_count(&self) -> usize {
+        self.len() - self.event_count()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, obs: Observation) {
+        assert!(
+            obs.duration.is_finite() && obs.duration >= 0.0,
+            "invalid duration {}",
+            obs.duration
+        );
+        self.observations.push(obs);
+    }
+
+    /// The distinct event times in ascending order together with, at
+    /// each time `t`: the number at risk just before `t` and the number
+    /// of events at `t`. Censored subjects leave the risk set *after*
+    /// events at the same time (the standard convention).
+    ///
+    /// This is the shared preprocessing step for KM, Nelson–Aalen, the
+    /// life table, and log-rank.
+    pub fn event_table(&self) -> EventTable {
+        let mut sorted: Vec<Observation> = self.observations.clone();
+        sorted.sort_by(|a, b| {
+            a.duration
+                .partial_cmp(&b.duration)
+                .expect("durations are finite")
+        });
+        let n = sorted.len();
+        let mut rows: Vec<EventTableRow> = Vec::new();
+        let mut i = 0;
+        let mut removed_before = 0usize; // subjects that left the risk set
+        while i < n {
+            let t = sorted[i].duration;
+            let mut deaths = 0usize;
+            let mut censored = 0usize;
+            let mut j = i;
+            while j < n && sorted[j].duration == t {
+                if sorted[j].event {
+                    deaths += 1;
+                } else {
+                    censored += 1;
+                }
+                j += 1;
+            }
+            let at_risk = n - removed_before;
+            if deaths > 0 {
+                rows.push(EventTableRow {
+                    time: t,
+                    at_risk,
+                    deaths,
+                    censored,
+                });
+            } else {
+                // Pure-censoring times don't get KM steps but still
+                // shrink the risk set; record them for life tables.
+                rows.push(EventTableRow {
+                    time: t,
+                    at_risk,
+                    deaths: 0,
+                    censored,
+                });
+            }
+            removed_before += deaths + censored;
+            i = j;
+        }
+        EventTable { rows, total: n }
+    }
+}
+
+/// One row of an [`EventTable`]: the risk-set accounting at one distinct
+/// observed time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventTableRow {
+    /// The distinct observation time.
+    pub time: f64,
+    /// Subjects at risk just before `time`.
+    pub at_risk: usize,
+    /// Events (deaths) at `time`.
+    pub deaths: usize,
+    /// Censorings at `time`.
+    pub censored: usize,
+}
+
+/// Risk-set accounting at every distinct observed time, sorted
+/// ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventTable {
+    rows: Vec<EventTableRow>,
+    total: usize,
+}
+
+impl EventTable {
+    /// The rows, ascending in time.
+    pub fn rows(&self) -> &[EventTableRow] {
+        &self.rows
+    }
+
+    /// Total number of subjects.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Rows at which at least one event occurred.
+    pub fn death_rows(&self) -> impl Iterator<Item = &EventTableRow> {
+        self.rows.iter().filter(|r| r.deaths > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let d = SurvivalData::from_pairs(&[(1.0, true), (2.0, false), (2.0, true)]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.event_count(), 2);
+        assert_eq!(d.censored_count(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn event_table_groups_ties() {
+        let d = SurvivalData::from_pairs(&[
+            (1.0, true),
+            (1.0, true),
+            (1.0, false),
+            (3.0, false),
+            (5.0, true),
+        ]);
+        let t = d.event_table();
+        let rows = t.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows[0],
+            EventTableRow {
+                time: 1.0,
+                at_risk: 5,
+                deaths: 2,
+                censored: 1
+            }
+        );
+        assert_eq!(
+            rows[1],
+            EventTableRow {
+                time: 3.0,
+                at_risk: 2,
+                deaths: 0,
+                censored: 1
+            }
+        );
+        assert_eq!(
+            rows[2],
+            EventTableRow {
+                time: 5.0,
+                at_risk: 1,
+                deaths: 1,
+                censored: 0
+            }
+        );
+        assert_eq!(t.death_rows().count(), 2);
+    }
+
+    #[test]
+    fn empty_data_is_fine() {
+        let d = SurvivalData::default();
+        assert!(d.is_empty());
+        assert!(d.event_table().rows().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_duration() {
+        SurvivalData::from_pairs(&[(-1.0, true)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan_duration() {
+        SurvivalData::from_pairs(&[(f64::NAN, true)]);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Observation::event(3.0).event);
+        assert!(!Observation::censored(3.0).event);
+        let mut d = SurvivalData::default();
+        d.push(Observation::event(1.0));
+        assert_eq!(d.len(), 1);
+    }
+}

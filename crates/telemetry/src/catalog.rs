@@ -1,0 +1,248 @@
+//! The edition / service-level-objective catalog.
+//!
+//! Mirrors the public Azure SQL DB singleton-database offering at the
+//! time of the paper: three editions (Basic on remote storage, Standard
+//! on remote storage, Premium on local storage), each with one or more
+//! service level objectives (SLOs) rated in database transaction units
+//! (DTUs) and a maximum database size.
+
+use serde::Serialize;
+
+/// Database edition (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, serde::Deserialize)]
+pub enum Edition {
+    /// Entry tier, remote storage.
+    Basic,
+    /// Mid tier, remote storage.
+    Standard,
+    /// Top tier, local storage.
+    Premium,
+}
+
+impl Edition {
+    /// All editions, cheapest first.
+    pub const ALL: [Edition; 3] = [Edition::Basic, Edition::Standard, Edition::Premium];
+
+    /// Ladder position (Basic = 0 … Premium = 2); the feature pipeline
+    /// uses the difference of these as "edition difference".
+    pub fn rank(self) -> usize {
+        match self {
+            Edition::Basic => 0,
+            Edition::Standard => 1,
+            Edition::Premium => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Edition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Edition::Basic => write!(f, "Basic"),
+            Edition::Standard => write!(f, "Standard"),
+            Edition::Premium => write!(f, "Premium"),
+        }
+    }
+}
+
+/// One purchasable service level objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServiceLevelObjective {
+    /// SLO name as sold (e.g. "S2").
+    pub name: &'static str,
+    /// Owning edition.
+    pub edition: Edition,
+    /// Database transaction units (the paper's DTU feature source).
+    pub dtus: u32,
+    /// Maximum database size in megabytes.
+    pub max_size_mb: f64,
+}
+
+/// The full SLO ladder, ascending in DTUs within each edition.
+///
+/// DTU ratings and size caps match the public 2017-era catalog.
+pub const SLOS: [ServiceLevelObjective; 13] = [
+    ServiceLevelObjective {
+        name: "B",
+        edition: Edition::Basic,
+        dtus: 5,
+        max_size_mb: 2_048.0,
+    },
+    ServiceLevelObjective {
+        name: "S0",
+        edition: Edition::Standard,
+        dtus: 10,
+        max_size_mb: 256_000.0,
+    },
+    ServiceLevelObjective {
+        name: "S1",
+        edition: Edition::Standard,
+        dtus: 20,
+        max_size_mb: 256_000.0,
+    },
+    ServiceLevelObjective {
+        name: "S2",
+        edition: Edition::Standard,
+        dtus: 50,
+        max_size_mb: 256_000.0,
+    },
+    ServiceLevelObjective {
+        name: "S3",
+        edition: Edition::Standard,
+        dtus: 100,
+        max_size_mb: 256_000.0,
+    },
+    ServiceLevelObjective {
+        name: "P1",
+        edition: Edition::Premium,
+        dtus: 125,
+        max_size_mb: 512_000.0,
+    },
+    ServiceLevelObjective {
+        name: "P2",
+        edition: Edition::Premium,
+        dtus: 250,
+        max_size_mb: 512_000.0,
+    },
+    ServiceLevelObjective {
+        name: "P4",
+        edition: Edition::Premium,
+        dtus: 500,
+        max_size_mb: 512_000.0,
+    },
+    ServiceLevelObjective {
+        name: "P6",
+        edition: Edition::Premium,
+        dtus: 1_000,
+        max_size_mb: 512_000.0,
+    },
+    ServiceLevelObjective {
+        name: "P11",
+        edition: Edition::Premium,
+        dtus: 1_750,
+        max_size_mb: 1_048_576.0,
+    },
+    ServiceLevelObjective {
+        name: "P15",
+        edition: Edition::Premium,
+        dtus: 4_000,
+        max_size_mb: 1_048_576.0,
+    },
+    // Extended Standard rungs sold late in the trace period.
+    ServiceLevelObjective {
+        name: "S4",
+        edition: Edition::Standard,
+        dtus: 200,
+        max_size_mb: 256_000.0,
+    },
+    ServiceLevelObjective {
+        name: "S6",
+        edition: Edition::Standard,
+        dtus: 400,
+        max_size_mb: 256_000.0,
+    },
+];
+
+/// Catalog lookup helpers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloCatalog;
+
+impl SloCatalog {
+    /// Index of an SLO in [`SLOS`] by name.
+    pub fn index_of(name: &str) -> Option<usize> {
+        SLOS.iter().position(|s| s.name == name)
+    }
+
+    /// The SLO at a [`SLOS`] index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn get(index: usize) -> &'static ServiceLevelObjective {
+        &SLOS[index]
+    }
+
+    /// Indices of all SLOs in one edition, ascending by DTUs.
+    pub fn edition_slos(edition: Edition) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..SLOS.len())
+            .filter(|&i| SLOS[i].edition == edition)
+            .collect();
+        idx.sort_by_key(|&i| SLOS[i].dtus);
+        idx
+    }
+
+    /// The cheapest SLO index of an edition.
+    pub fn entry_slo(edition: Edition) -> usize {
+        Self::edition_slos(edition)[0]
+    }
+
+    /// A neighbouring SLO one rung up (`up = true`) or down within the
+    /// same edition, or `None` at the ladder's end.
+    pub fn neighbour(index: usize, up: bool) -> Option<usize> {
+        let ladder = Self::edition_slos(SLOS[index].edition);
+        let pos = ladder.iter().position(|&i| i == index)?;
+        if up {
+            ladder.get(pos + 1).copied()
+        } else {
+            pos.checked_sub(1).map(|p| ladder[p])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn editions_are_ordered() {
+        assert!(Edition::Basic.rank() < Edition::Standard.rank());
+        assert!(Edition::Standard.rank() < Edition::Premium.rank());
+        assert_eq!(Edition::Premium.to_string(), "Premium");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let idx = SloCatalog::index_of("P11").unwrap();
+        let slo = SloCatalog::get(idx);
+        assert_eq!(slo.dtus, 1750);
+        assert_eq!(slo.edition, Edition::Premium);
+        assert!(SloCatalog::index_of("nope").is_none());
+    }
+
+    #[test]
+    fn edition_ladders_ascend() {
+        for edition in Edition::ALL {
+            let ladder = SloCatalog::edition_slos(edition);
+            assert!(!ladder.is_empty());
+            for w in ladder.windows(2) {
+                assert!(SLOS[w[0]].dtus < SLOS[w[1]].dtus);
+            }
+            assert!(ladder.iter().all(|&i| SLOS[i].edition == edition));
+        }
+    }
+
+    #[test]
+    fn entry_slos() {
+        assert_eq!(SloCatalog::get(SloCatalog::entry_slo(Edition::Basic)).name, "B");
+        assert_eq!(
+            SloCatalog::get(SloCatalog::entry_slo(Edition::Standard)).name,
+            "S0"
+        );
+        assert_eq!(
+            SloCatalog::get(SloCatalog::entry_slo(Edition::Premium)).name,
+            "P1"
+        );
+    }
+
+    #[test]
+    fn neighbours_walk_the_ladder() {
+        let s0 = SloCatalog::index_of("S0").unwrap();
+        let s1 = SloCatalog::neighbour(s0, true).unwrap();
+        assert_eq!(SloCatalog::get(s1).name, "S1");
+        assert!(SloCatalog::neighbour(s0, false).is_none());
+        let s6 = SloCatalog::index_of("S6").unwrap();
+        assert!(SloCatalog::neighbour(s6, true).is_none());
+        // Neighbours never cross editions.
+        let b = SloCatalog::index_of("B").unwrap();
+        assert!(SloCatalog::neighbour(b, true).is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! Census: the paper's population filters and lifespan labels.
+//!
+//! From §3.3: "Let T be the lifespan of database I. We label I as
+//! ephemeral if T ≤ 2 days, short-lived if 2 < T ≤ 30 days, and
+//! long-lived if T > 30 days." The census applies the study filters —
+//! **singleton** databases only (elastic-pool databases are excluded,
+//! §2) belonging to **external** clients only (internal subscriptions
+//! are excluded, §3.3), plus, for survival curves, the 2-day survival
+//! minimum — and derives labeled views of a fleet using only
+//! information observable inside the window.
+
+use crate::catalog::Edition;
+use crate::database::DatabaseRecord;
+use crate::fleet::Fleet;
+use crate::subscription::SubscriptionId;
+use simtime::{Duration, Timestamp};
+use std::collections::HashMap;
+
+/// Lifespan class boundaries (days).
+pub const EPHEMERAL_MAX_DAYS: f64 = 2.0;
+/// Short-lived / long-lived boundary (days), the paper's `y`.
+pub const LONG_LIVED_MIN_DAYS: f64 = 30.0;
+
+/// The paper's lifespan classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifespanClass {
+    /// `T <= 2` days.
+    Ephemeral,
+    /// `2 < T <= 30` days.
+    ShortLived,
+    /// `T > 30` days.
+    LongLived,
+}
+
+impl std::fmt::Display for LifespanClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifespanClass::Ephemeral => write!(f, "ephemeral"),
+            LifespanClass::ShortLived => write!(f, "short-lived"),
+            LifespanClass::LongLived => write!(f, "long-lived"),
+        }
+    }
+}
+
+/// A view over a generated fleet applying the paper's filters and
+/// labels. All judgments use only telemetry observable inside the
+/// window (a censored database whose 30th day lies beyond the window
+/// end has an *unknown* class).
+#[derive(Debug, Clone, Copy)]
+pub struct Census<'a> {
+    fleet: &'a Fleet,
+    window_end: Timestamp,
+}
+
+impl<'a> Census<'a> {
+    /// Builds a census over a fleet.
+    pub fn new(fleet: &'a Fleet) -> Census<'a> {
+        Census {
+            fleet,
+            window_end: fleet.window_end(),
+        }
+    }
+
+    /// The underlying fleet.
+    pub fn fleet(&self) -> &'a Fleet {
+        self.fleet
+    }
+
+    /// Observation horizon.
+    pub fn window_end(&self) -> Timestamp {
+        self.window_end
+    }
+
+    /// The paper's population filter: singleton (non-pooled) databases
+    /// of external (non-internal) subscriptions.
+    pub fn in_study(&self, db: &DatabaseRecord) -> bool {
+        db.elastic_pool.is_none() && !db.is_internal
+    }
+
+    /// Iterator over `(index, record)` pairs of the study population.
+    pub fn study_population(&self) -> impl Iterator<Item = (usize, &'a DatabaseRecord)> + '_ {
+        self.fleet
+            .databases
+            .iter()
+            .enumerate()
+            .filter(|(_, db)| self.in_study(db))
+    }
+
+    /// Number of databases in the study population (after filters).
+    pub fn study_population_size(&self) -> usize {
+        self.study_population().count()
+    }
+
+    /// The lifespan class of a record, when decidable inside the
+    /// window:
+    ///
+    /// * dropped at `T` → its class;
+    /// * alive with ≥ 30 observed days → `LongLived` (already outlived
+    ///   the boundary);
+    /// * alive with < 30 observed days → `None` (unknown).
+    pub fn classify(&self, db: &DatabaseRecord) -> Option<LifespanClass> {
+        self.classify_with_boundary(db, LONG_LIVED_MIN_DAYS)
+    }
+
+    /// [`Census::classify`] with a custom short/long boundary `y` (the
+    /// paper's §4.1 `y`, which it also varied experimentally).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `boundary_days > EPHEMERAL_MAX_DAYS`.
+    pub fn classify_with_boundary(
+        &self,
+        db: &DatabaseRecord,
+        boundary_days: f64,
+    ) -> Option<LifespanClass> {
+        assert!(
+            boundary_days > EPHEMERAL_MAX_DAYS,
+            "boundary must exceed the ephemeral threshold"
+        );
+        let (duration, event) = db.observed_lifespan(self.window_end);
+        let days = duration.as_days_f64();
+        if event {
+            Some(if days <= EPHEMERAL_MAX_DAYS {
+                LifespanClass::Ephemeral
+            } else if days <= boundary_days {
+                LifespanClass::ShortLived
+            } else {
+                LifespanClass::LongLived
+            })
+        } else if days > boundary_days {
+            Some(LifespanClass::LongLived)
+        } else {
+            None
+        }
+    }
+
+    /// `(observed days, event)` pairs for all databases surviving at
+    /// least `min_days` — the input to Kaplan–Meier fits. Figure 1 uses
+    /// `min_days = 2` ("2 day survival minimum").
+    pub fn survival_pairs(&self, min_days: f64) -> Vec<(f64, bool)> {
+        self.survival_pairs_where(min_days, |_| true)
+    }
+
+    /// Like [`Census::survival_pairs`] but filtered by a predicate.
+    pub fn survival_pairs_where(
+        &self,
+        min_days: f64,
+        mut pred: impl FnMut(&DatabaseRecord) -> bool,
+    ) -> Vec<(f64, bool)> {
+        self.fleet
+            .databases
+            .iter()
+            .filter_map(|db| {
+                if !self.in_study(db) || !pred(db) {
+                    return None;
+                }
+                let (duration, event) = db.observed_lifespan(self.window_end);
+                let days = duration.as_days_f64();
+                (days >= min_days).then_some((days, event))
+            })
+            .collect()
+    }
+
+    /// Indices of databases in the prediction population for observation
+    /// prefix `x_days`: alive at `created + x_days` with the full prefix
+    /// inside the window, and with a decidable class label.
+    ///
+    /// (The paper: "As we are making a prediction x days after database
+    /// I is created, we assume that I lives longer than x days.")
+    pub fn prediction_population(&self, x_days: f64) -> Vec<usize> {
+        self.prediction_population_with_boundary(x_days, LONG_LIVED_MIN_DAYS)
+    }
+
+    /// [`Census::prediction_population`] with a custom class boundary
+    /// `y` (decidability depends on `y`: alive databases need `y`
+    /// observed days before their label is known).
+    pub fn prediction_population_with_boundary(
+        &self,
+        x_days: f64,
+        boundary_days: f64,
+    ) -> Vec<usize> {
+        let x = Duration::days_f64(x_days);
+        self.fleet
+            .databases
+            .iter()
+            .enumerate()
+            .filter_map(|(i, db)| {
+                if !self.in_study(db) {
+                    return None;
+                }
+                let prediction_at = db.created_at + x;
+                if prediction_at > self.window_end {
+                    return None;
+                }
+                if !db.alive_at(prediction_at) {
+                    return None;
+                }
+                self.classify_with_boundary(db, boundary_days).map(|_| i)
+            })
+            .collect()
+    }
+
+    /// Binary label for the prediction task: `true` = long-lived
+    /// (positive class).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's class is undecidable (callers must first
+    /// filter with [`Census::prediction_population`]).
+    pub fn is_long_lived(&self, db: &DatabaseRecord) -> bool {
+        match self.classify(db) {
+            Some(LifespanClass::LongLived) => true,
+            Some(_) => false,
+            None => panic!("undecidable class for database {}", db.id),
+        }
+    }
+
+    /// Per-subscription class sets: for every subscription with at least
+    /// one decidable database, which classes it produced.
+    pub fn subscription_class_sets(&self) -> HashMap<SubscriptionId, Vec<LifespanClass>> {
+        let mut map: HashMap<SubscriptionId, Vec<LifespanClass>> = HashMap::new();
+        for (_, db) in self.study_population() {
+            if let Some(class) = self.classify(db) {
+                let classes = map.entry(db.subscription_id).or_default();
+                if !classes.contains(&class) {
+                    classes.push(class);
+                }
+            }
+        }
+        map
+    }
+
+    /// Observation 3.1 accounting: `(ephemeral-only subscription share,
+    /// share of all databases owned by those subscriptions)`.
+    pub fn ephemeral_only_stats(&self) -> (f64, f64) {
+        let sets = self.subscription_class_sets();
+        if sets.is_empty() {
+            return (0.0, 0.0);
+        }
+        let ephemeral_only: std::collections::HashSet<SubscriptionId> = sets
+            .iter()
+            .filter(|(_, classes)| classes == &&vec![LifespanClass::Ephemeral])
+            .map(|(&id, _)| id)
+            .collect();
+        let sub_share = ephemeral_only.len() as f64 / sets.len() as f64;
+        let total_dbs = self.study_population_size();
+        let owned = self
+            .study_population()
+            .filter(|(_, db)| ephemeral_only.contains(&db.subscription_id))
+            .count();
+        (sub_share, owned as f64 / total_dbs.max(1) as f64)
+    }
+
+    /// Fraction of databases (per creation edition) that changed edition
+    /// during their observed life — Observation 3.3's quantity.
+    pub fn edition_change_rate(&self, edition: Edition) -> f64 {
+        let mut total = 0usize;
+        let mut changed = 0usize;
+        for (_, db) in self.study_population() {
+            if db.creation_edition() == edition {
+                total += 1;
+                if db.changed_edition() {
+                    changed += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            changed as f64 / total as f64
+        }
+    }
+
+    /// Iterator over records with their indices, restricted to one
+    /// creation edition.
+    pub fn edition_records(
+        &self,
+        edition: Edition,
+    ) -> impl Iterator<Item = (usize, &'a DatabaseRecord)> + '_ {
+        self.study_population()
+            .filter(move |(_, db)| db.creation_edition() == edition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use crate::region::RegionConfig;
+
+    fn fleet() -> Fleet {
+        Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.05), 13))
+    }
+
+    #[test]
+    fn classes_partition_decidable_records() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let mut unknown = 0;
+        for db in &f.databases {
+            match census.classify(db) {
+                Some(_) => {}
+                None => {
+                    unknown += 1;
+                    // Undecidable records must be censored with < 30
+                    // observed days.
+                    let (d, event) = db.observed_lifespan(census.window_end());
+                    assert!(!event && d.as_days_f64() <= LONG_LIVED_MIN_DAYS);
+                }
+            }
+        }
+        // A 5-month window leaves only the last ~30 days undecidable.
+        assert!(unknown < f.databases.len() / 2);
+    }
+
+    #[test]
+    fn survival_pairs_respect_minimum() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let pairs = census.survival_pairs(2.0);
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().all(|(d, _)| *d >= 2.0));
+        // The unfiltered population is strictly larger (cyclers exist).
+        assert!(census.survival_pairs(0.0).len() > pairs.len());
+    }
+
+    #[test]
+    fn prediction_population_is_alive_and_labeled() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let pop = census.prediction_population(2.0);
+        assert!(!pop.is_empty());
+        for &i in &pop {
+            let db = &f.databases[i];
+            let at = db.created_at + Duration::days(2);
+            assert!(db.alive_at(at));
+            // Label must not panic.
+            let _ = census.is_long_lived(db);
+        }
+    }
+
+    #[test]
+    fn ephemeral_only_subscriptions_match_obs31() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let (sub_share, db_share) = census.ephemeral_only_stats();
+        // "A low percentage of all subscriptions create only ephemeral
+        // databases … these databases represent a significant percentage
+        // of the total population."
+        assert!(sub_share > 0.0 && sub_share < 0.25, "sub share {sub_share}");
+        assert!(db_share > 0.10, "db share {db_share}");
+        assert!(db_share > 2.0 * sub_share, "{db_share} vs {sub_share}");
+    }
+
+    #[test]
+    fn premium_changes_edition_most() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let basic = census.edition_change_rate(Edition::Basic);
+        let standard = census.edition_change_rate(Edition::Standard);
+        let premium = census.edition_change_rate(Edition::Premium);
+        assert!(premium > standard && premium > basic, "{basic} {standard} {premium}");
+    }
+
+    #[test]
+    fn edition_records_are_exclusive_and_exhaustive() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let total: usize = Edition::ALL
+            .iter()
+            .map(|&e| census.edition_records(e).count())
+            .sum();
+        assert_eq!(total, census.study_population_size());
+        // The filters are real: some databases are pooled or internal.
+        assert!(total < f.databases.len());
+    }
+
+    #[test]
+    fn study_filters_exclude_pooled_and_internal() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let pooled = f.databases.iter().filter(|d| d.elastic_pool.is_some()).count();
+        let internal = f.databases.iter().filter(|d| d.is_internal).count();
+        assert!(pooled > 0, "generator produced no pooled databases");
+        assert!(internal > 0, "generator produced no internal databases");
+        for (_, db) in census.study_population() {
+            assert!(db.elastic_pool.is_none() && !db.is_internal);
+        }
+        // Prediction population respects the filter too.
+        for idx in census.prediction_population(2.0) {
+            assert!(census.in_study(&f.databases[idx]));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-database records: the unit of study.
+
+use crate::catalog::{Edition, SloCatalog, SLOS};
+use crate::sizetrace::SizeTrace;
+use crate::utilization::UtilizationTrace;
+use crate::subscription::{SubscriptionId, SubscriptionType};
+use crate::region::RegionId;
+use simtime::{Duration, Timestamp};
+
+/// One service-level-objective assignment in a database's history.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SloChange {
+    /// When the SLO took effect (the first entry is the creation).
+    pub at: Timestamp,
+    /// Index into [`SLOS`].
+    pub slo_index: usize,
+}
+
+impl SloChange {
+    /// The edition of this SLO.
+    pub fn edition(&self) -> Edition {
+        SLOS[self.slo_index].edition
+    }
+
+    /// The DTU rating of this SLO.
+    pub fn dtus(&self) -> u32 {
+        SLOS[self.slo_index].dtus
+    }
+}
+
+/// The full telemetry-derived record of one singleton database.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatabaseRecord {
+    /// Unique id within the fleet.
+    pub id: u64,
+    /// Hosting region.
+    pub region: RegionId,
+    /// Logical server name (user-chosen).
+    pub server_name: String,
+    /// Database name (user-chosen).
+    pub database_name: String,
+    /// Owning subscription.
+    pub subscription_id: SubscriptionId,
+    /// Offer type of the owning subscription at creation.
+    pub subscription_type: SubscriptionType,
+    /// Creation instant (region-local).
+    pub created_at: Timestamp,
+    /// Drop instant, or `None` if still alive at the window end
+    /// (right-censored).
+    pub dropped_at: Option<Timestamp>,
+    /// SLO history; the first entry is at `created_at`. Sorted by time.
+    pub slo_history: Vec<SloChange>,
+    /// Size telemetry.
+    pub size_trace: SizeTrace,
+    /// DTU-utilization telemetry.
+    pub utilization_trace: UtilizationTrace,
+    /// Elastic-pool membership: `Some(pool ordinal within the
+    /// subscription)` for pooled databases, `None` for singletons. The
+    /// paper studies singletons only.
+    pub elastic_pool: Option<u32>,
+    /// True when the owning subscription is Microsoft-internal.
+    pub is_internal: bool,
+}
+
+impl DatabaseRecord {
+    /// The edition the database was created under (the paper groups
+    /// sub-experiments by creation edition, keeping subgroups mutually
+    /// exclusive even when editions change later).
+    pub fn creation_edition(&self) -> Edition {
+        self.slo_history[0].edition()
+    }
+
+    /// The SLO index in effect at `at` (clamped to the creation SLO for
+    /// earlier instants).
+    pub fn slo_at(&self, at: Timestamp) -> usize {
+        let mut current = self.slo_history[0].slo_index;
+        for change in &self.slo_history {
+            if change.at <= at {
+                current = change.slo_index;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The edition in effect at `at`.
+    pub fn edition_at(&self, at: Timestamp) -> Edition {
+        SLOS[self.slo_at(at)].edition
+    }
+
+    /// True if the database ever changed edition during its observed
+    /// life (the paper's "changed" vs "always" sub-categorization).
+    pub fn changed_edition(&self) -> bool {
+        let first = self.creation_edition();
+        self.slo_history.iter().any(|c| c.edition() != first)
+    }
+
+    /// Number of SLO assignments after creation (i.e. changes).
+    pub fn slo_change_count(&self) -> usize {
+        self.slo_history.len() - 1
+    }
+
+    /// Observed duration and event flag relative to the observation
+    /// window end: `(duration, true)` when dropped inside the window,
+    /// `(window_end − created_at, false)` when right-censored.
+    pub fn observed_lifespan(&self, window_end: Timestamp) -> (Duration, bool) {
+        match self.dropped_at {
+            Some(dropped) if dropped <= window_end => (dropped - self.created_at, true),
+            _ => (window_end - self.created_at, false),
+        }
+    }
+
+    /// True lifespan in days when the drop was observed.
+    pub fn lifespan_days(&self, window_end: Timestamp) -> Option<f64> {
+        let (d, event) = self.observed_lifespan(window_end);
+        event.then(|| d.as_days_f64())
+    }
+
+    /// Whether the database was still alive at `at` (clamped into the
+    /// window; creation counts as alive).
+    pub fn alive_at(&self, at: Timestamp) -> bool {
+        at >= self.created_at && self.dropped_at.map_or(true, |d| d > at)
+    }
+
+    /// Minimum/maximum DTUs ever assigned.
+    pub fn dtu_range(&self) -> (u32, u32) {
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for c in &self.slo_history {
+            lo = lo.min(c.dtus());
+            hi = hi.max(c.dtus());
+        }
+        (lo, hi)
+    }
+
+    /// Convenience: creation SLO object.
+    pub fn creation_slo(&self) -> &'static crate::catalog::ServiceLevelObjective {
+        SloCatalog::get(self.slo_history[0].slo_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(dropped: Option<i64>) -> DatabaseRecord {
+        let created = Timestamp::from_ymd_hms(2017, 6, 1, 10, 0, 0);
+        DatabaseRecord {
+            id: 1,
+            region: RegionId::Region1,
+            server_name: "srv".into(),
+            database_name: "db".into(),
+            subscription_id: SubscriptionId(7),
+            subscription_type: SubscriptionType::PayAsYouGo,
+            created_at: created,
+            dropped_at: dropped.map(|days| created + Duration::days(days)),
+            slo_history: vec![
+                SloChange {
+                    at: created,
+                    slo_index: SloCatalog::index_of("S1").unwrap(),
+                },
+                SloChange {
+                    at: created + Duration::days(10),
+                    slo_index: SloCatalog::index_of("S0").unwrap(),
+                },
+                SloChange {
+                    at: created + Duration::days(20),
+                    slo_index: SloCatalog::index_of("P1").unwrap(),
+                },
+            ],
+            size_trace: SizeTrace::new(vec![(Duration::seconds(0), 100.0)]),
+            utilization_trace: UtilizationTrace::new(vec![(Duration::seconds(0), 50.0)]),
+            elastic_pool: None,
+            is_internal: false,
+        }
+    }
+
+    #[test]
+    fn creation_edition_and_changes() {
+        let r = record(Some(40));
+        assert_eq!(r.creation_edition(), Edition::Standard);
+        assert!(r.changed_edition());
+        assert_eq!(r.slo_change_count(), 2);
+        let (lo, hi) = r.dtu_range();
+        assert_eq!((lo, hi), (10, 125));
+    }
+
+    #[test]
+    fn slo_lookup_over_time() {
+        let r = record(Some(40));
+        let t0 = r.created_at;
+        assert_eq!(SLOS[r.slo_at(t0)].name, "S1");
+        assert_eq!(SLOS[r.slo_at(t0 + Duration::days(10))].name, "S0");
+        assert_eq!(SLOS[r.slo_at(t0 + Duration::days(15))].name, "S0");
+        assert_eq!(r.edition_at(t0 + Duration::days(25)), Edition::Premium);
+        // Before creation clamps to creation SLO.
+        assert_eq!(SLOS[r.slo_at(t0 - Duration::days(1))].name, "S1");
+    }
+
+    #[test]
+    fn observed_lifespan_event() {
+        let r = record(Some(40));
+        let window_end = r.created_at + Duration::days(100);
+        let (d, event) = r.observed_lifespan(window_end);
+        assert!(event);
+        assert_eq!(d.whole_days(), 40);
+        assert_eq!(r.lifespan_days(window_end), Some(40.0));
+    }
+
+    #[test]
+    fn observed_lifespan_censored() {
+        let r = record(None);
+        let window_end = r.created_at + Duration::days(100);
+        let (d, event) = r.observed_lifespan(window_end);
+        assert!(!event);
+        assert_eq!(d.whole_days(), 100);
+        assert_eq!(r.lifespan_days(window_end), None);
+
+        // Dropped after the window end also counts as censored.
+        let r2 = record(Some(150));
+        let (d2, event2) = r2.observed_lifespan(window_end);
+        assert!(!event2);
+        assert_eq!(d2.whole_days(), 100);
+    }
+
+    #[test]
+    fn aliveness() {
+        let r = record(Some(40));
+        assert!(r.alive_at(r.created_at));
+        assert!(r.alive_at(r.created_at + Duration::days(39)));
+        assert!(!r.alive_at(r.created_at + Duration::days(40)));
+        assert!(!r.alive_at(r.created_at - Duration::seconds(1)));
+    }
+}

@@ -1,0 +1,258 @@
+//! Dataset export / import.
+//!
+//! A real release of this study ships its (synthetic) dataset so that
+//! downstream users can analyze it with their own tooling. This module
+//! serializes database records as JSON Lines (one record per line) and
+//! as a flat CSV summary, and reads the JSONL form back.
+//!
+//! Deserialized records are re-validated: JSONL input is data, not a
+//! trusted in-process invariant carrier.
+
+use crate::database::DatabaseRecord;
+use crate::catalog::SLOS;
+use std::io::{BufRead, Write};
+
+/// Errors from reading an exported dataset.
+#[derive(Debug)]
+pub enum ImportError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse as a record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// A parsed record violated an invariant.
+    Invalid {
+        /// 1-based line number.
+        line: usize,
+        /// What was violated.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "i/o error: {e}"),
+            ImportError::Parse { line, message } => {
+                write!(f, "line {line}: parse error: {message}")
+            }
+            ImportError::Invalid { line, message } => {
+                write!(f, "line {line}: invalid record: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<std::io::Error> for ImportError {
+    fn from(e: std::io::Error) -> Self {
+        ImportError::Io(e)
+    }
+}
+
+/// Writes records as JSON Lines.
+pub fn write_records_jsonl<W: Write>(
+    records: &[DatabaseRecord],
+    mut out: W,
+) -> std::io::Result<()> {
+    for record in records {
+        let line = serde_json::to_string(record).expect("records are serializable");
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads records from JSON Lines, validating invariants the rest of the
+/// workspace assumes (non-empty ordered SLO history starting at
+/// creation, valid SLO indices, drop after creation).
+pub fn read_records_jsonl<R: BufRead>(input: R) -> Result<Vec<DatabaseRecord>, ImportError> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: DatabaseRecord =
+            serde_json::from_str(&line).map_err(|e| ImportError::Parse {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+        validate(&record).map_err(|message| ImportError::Invalid {
+            line: line_no,
+            message,
+        })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+fn validate(record: &DatabaseRecord) -> Result<(), String> {
+    if record.slo_history.is_empty() {
+        return Err("empty SLO history".into());
+    }
+    if record.slo_history[0].at != record.created_at {
+        return Err("first SLO entry is not at creation".into());
+    }
+    for w in record.slo_history.windows(2) {
+        if w[1].at <= w[0].at {
+            return Err("SLO history not strictly ordered".into());
+        }
+    }
+    for change in &record.slo_history {
+        if change.slo_index >= SLOS.len() {
+            return Err(format!("SLO index {} out of range", change.slo_index));
+        }
+    }
+    if let Some(dropped) = record.dropped_at {
+        if dropped <= record.created_at {
+            return Err("drop at or before creation".into());
+        }
+    }
+    if record.size_trace.samples().is_empty() {
+        return Err("empty size trace".into());
+    }
+    if record.utilization_trace.samples().is_empty() {
+        return Err("empty utilization trace".into());
+    }
+    Ok(())
+}
+
+/// Writes a flat CSV summary (one row per database) for spreadsheet and
+/// dataframe consumption: identity, creation metadata, lifespan, and
+/// aggregate telemetry. Names are quoted; quotes inside names doubled.
+pub fn write_summary_csv<W: Write>(
+    records: &[DatabaseRecord],
+    window_end: simtime::Timestamp,
+    mut out: W,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "id,region,subscription_id,subscription_type,server_name,database_name,\
+         created_at,creation_edition,creation_slo,observed_days,dropped,\
+         changed_edition,slo_changes,initial_size_mb"
+    )?;
+    for record in records {
+        let (duration, event) = record.observed_lifespan(window_end);
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{:.1}",
+            record.id,
+            record.region,
+            record.subscription_id.0,
+            record.subscription_type,
+            csv_quote(&record.server_name),
+            csv_quote(&record.database_name),
+            record.created_at.epoch_seconds(),
+            record.creation_edition(),
+            record.creation_slo().name,
+            duration.as_days_f64(),
+            event,
+            record.changed_edition(),
+            record.slo_change_count(),
+            record.size_trace.initial_size_mb(),
+        )?;
+    }
+    Ok(())
+}
+
+fn csv_quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{Fleet, FleetConfig};
+    use crate::region::RegionConfig;
+
+    fn fleet() -> Fleet {
+        Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.02), 99))
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless() {
+        let f = fleet();
+        let mut buffer = Vec::new();
+        write_records_jsonl(&f.databases, &mut buffer).unwrap();
+        let back = read_records_jsonl(buffer.as_slice()).unwrap();
+        assert_eq!(back, f.databases);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let f = fleet();
+        let mut buffer = Vec::new();
+        write_records_jsonl(&f.databases[..3], &mut buffer).unwrap();
+        buffer.extend_from_slice(b"\n\n");
+        let back = read_records_jsonl(buffer.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn garbage_line_reports_position() {
+        let f = fleet();
+        let mut buffer = Vec::new();
+        write_records_jsonl(&f.databases[..2], &mut buffer).unwrap();
+        buffer.extend_from_slice(b"not json\n");
+        let err = read_records_jsonl(buffer.as_slice()).unwrap_err();
+        match err {
+            ImportError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_records_are_rejected() {
+        let f = fleet();
+        let mut record = f.databases[0].clone();
+        record.slo_history[0].slo_index = 9999;
+        let mut buffer = Vec::new();
+        write_records_jsonl(&[record], &mut buffer).unwrap();
+        let err = read_records_jsonl(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ImportError::Invalid { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn drop_before_creation_rejected() {
+        let f = fleet();
+        let mut record = f
+            .databases
+            .iter()
+            .find(|d| d.dropped_at.is_some())
+            .unwrap()
+            .clone();
+        record.dropped_at = Some(record.created_at - simtime::Duration::days(1));
+        let mut buffer = Vec::new();
+        write_records_jsonl(&[record], &mut buffer).unwrap();
+        assert!(read_records_jsonl(buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let f = fleet();
+        let mut buffer = Vec::new();
+        write_summary_csv(&f.databases[..5], f.window_end(), &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("id,region,"));
+        // Every data row has the full column count.
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "{row}");
+        }
+    }
+
+    #[test]
+    fn csv_quotes_names() {
+        assert_eq!(csv_quote("plain"), "\"plain\"");
+        assert_eq!(csv_quote("we\"ird"), "\"we\"\"ird\"");
+    }
+}

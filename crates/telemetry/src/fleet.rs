@@ -1,0 +1,488 @@
+//! Fleet generation: subscriptions and their databases over the
+//! observation window.
+
+use crate::archetype::Archetype;
+use crate::catalog::SloCatalog;
+use crate::database::{DatabaseRecord, SloChange};
+use crate::region::RegionConfig;
+use crate::sizetrace::SizeTrace;
+use crate::subscription::{Subscription, SubscriptionId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simtime::{CivilDate, Duration, Timestamp};
+use stats::distributions::{Categorical, ContinuousDistribution, DiscreteDistribution, LogNormal};
+
+/// Fleet generation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The region being simulated.
+    pub region: RegionConfig,
+    /// Master seed; the entire fleet is a pure function of
+    /// `(region, seed)`.
+    pub seed: u64,
+    /// How many days of size telemetry to retain per database (only the
+    /// observation prefix is consumed by features; default 4).
+    pub size_trace_days: u32,
+}
+
+impl FleetConfig {
+    /// Config with default telemetry retention.
+    pub fn new(region: RegionConfig, seed: u64) -> FleetConfig {
+        FleetConfig {
+            region,
+            seed,
+            size_trace_days: 4,
+        }
+    }
+}
+
+/// A fully generated region population.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// Generation parameters.
+    pub config: FleetConfig,
+    /// All subscriptions.
+    pub subscriptions: Vec<Subscription>,
+    /// All singleton databases, sorted by creation time.
+    pub databases: Vec<DatabaseRecord>,
+}
+
+impl Fleet {
+    /// Generates the fleet for a config. Deterministic in
+    /// `(region, seed)`.
+    pub fn generate(config: FleetConfig) -> Fleet {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let region = &config.region;
+        let window_start = Timestamp::from_date(region.window_start);
+        let window_end = Timestamp::from_date(region.window_end());
+
+        let archetype_dist = Categorical::new(&region.archetype_weights);
+
+        let mut subscriptions = Vec::with_capacity(region.subscription_count);
+        let mut databases = Vec::new();
+        let mut db_id = 0u64;
+
+        for sub_idx in 0..region.subscription_count {
+            let archetype = Archetype::ALL[archetype_dist.sample(&mut rng)];
+            let subscription_type = archetype.sample_subscription_type(&mut rng);
+            let longevity_trait = archetype.sample_trait(&mut rng);
+            let name_style = archetype.sample_name_style(longevity_trait, &mut rng);
+            let is_internal = rng.gen_bool(region.internal_fraction);
+            let uses_pools = rng.gen_bool(archetype.elastic_pool_affinity());
+            let id = SubscriptionId(sub_idx as u64);
+
+            // One to three logical servers per subscription.
+            let server_count = 1 + (rng.gen::<f64>() * rng.gen::<f64>() * 3.0) as usize;
+            let server_names: Vec<String> = (0..server_count)
+                .map(|k| {
+                    format!(
+                        "{}-sql",
+                        name_style.generate(&mut rng, (sub_idx * 7 + k) as u64)
+                    )
+                })
+                .collect();
+
+            let subscription = Subscription {
+                id,
+                region: region.id,
+                subscription_type,
+                archetype,
+                longevity_trait,
+                name_style,
+                server_names,
+                is_internal,
+            };
+
+            let db_count = archetype.sample_db_count(&mut rng);
+            for ordinal in 0..db_count {
+                let created_at = sample_creation_time(region, archetype, &mut rng);
+                let edition = archetype.sample_edition(&mut rng);
+                let lifespan_days =
+                    archetype.sample_lifespan_days(longevity_trait, edition, &mut rng);
+                // Pool-using subscriptions put most of their databases
+                // into one of a few shared pools.
+                let elastic_pool = (uses_pools && rng.gen_bool(0.7))
+                    .then(|| rng.gen_range(0..3u32));
+                let record = build_database(
+                    db_id,
+                    &subscription,
+                    ordinal as u64,
+                    created_at,
+                    edition,
+                    lifespan_days,
+                    elastic_pool,
+                    window_end,
+                    config.size_trace_days,
+                    &mut rng,
+                );
+                databases.push(record);
+                db_id += 1;
+            }
+            subscriptions.push(subscription);
+        }
+
+        databases.sort_by_key(|d| (d.created_at, d.id));
+        let _ = window_start;
+        Fleet {
+            config,
+            subscriptions,
+            databases,
+        }
+    }
+
+    /// Window end timestamp (observation horizon).
+    pub fn window_end(&self) -> Timestamp {
+        Timestamp::from_date(self.config.region.window_end())
+    }
+
+    /// Window start timestamp.
+    pub fn window_start(&self) -> Timestamp {
+        Timestamp::from_date(self.config.region.window_start)
+    }
+
+    /// The subscription owning a database record.
+    pub fn subscription(&self, id: SubscriptionId) -> &Subscription {
+        &self.subscriptions[id.0 as usize]
+    }
+}
+
+/// Samples a creation timestamp honouring the archetype's weekly,
+/// holiday, and hour-of-day activity profile.
+fn sample_creation_time(
+    region: &RegionConfig,
+    archetype: Archetype,
+    rng: &mut SmallRng,
+) -> Timestamp {
+    // Rejection-sample the day: uniform proposal over the window,
+    // accepted with the archetype's weekday/holiday factor.
+    let date: CivilDate = loop {
+        let offset = rng.gen_range(0..region.window_days as i64);
+        let date = region.window_start.plus_days(offset);
+        let factor = if region.holidays.is_holiday(date) {
+            archetype.holiday_activity_factor()
+        } else if date.weekday().is_weekend() {
+            archetype.weekend_activity_factor()
+        } else {
+            1.0
+        };
+        if rng.gen::<f64>() < factor {
+            break date;
+        }
+    };
+    let hour = archetype.sample_creation_hour(rng);
+    let minute = rng.gen_range(0..60);
+    let second = rng.gen_range(0..60);
+    Timestamp::from_datetime(simtime::CivilDateTime::new(date, hour, minute, second))
+}
+
+/// Builds one database record.
+#[allow(clippy::too_many_arguments)]
+fn build_database(
+    id: u64,
+    subscription: &Subscription,
+    ordinal: u64,
+    created_at: Timestamp,
+    edition: crate::catalog::Edition,
+    lifespan_days: f64,
+    elastic_pool: Option<u32>,
+    window_end: Timestamp,
+    size_trace_days: u32,
+    rng: &mut SmallRng,
+) -> DatabaseRecord {
+    let archetype = subscription.archetype;
+    let true_drop = created_at + Duration::days_f64(lifespan_days);
+    let dropped_at = (true_drop <= window_end).then_some(true_drop);
+    let observed_until = dropped_at.unwrap_or(window_end);
+    let observed_days = (observed_until - created_at).as_days_f64();
+
+    // --- SLO history -----------------------------------------------
+    // Entry rung or a higher one, biased toward cheaper rungs.
+    let ladder = SloCatalog::edition_slos(edition);
+    let rung = {
+        let mut r = 0usize;
+        while r + 1 < ladder.len() && rng.gen_bool(0.35) {
+            r += 1;
+        }
+        r
+    };
+    let mut slo_history = vec![SloChange {
+        at: created_at,
+        slo_index: ladder[rung],
+    }];
+
+    // Within-edition SLO elasticity: Poisson-ish count from the
+    // archetype's per-30-day rate over the observed life.
+    let expected_changes = archetype.slo_change_rate() * observed_days / 30.0;
+    let n_changes = sample_poisson(expected_changes.min(20.0), rng);
+    let mut current_rung = rung;
+    let mut change_times: Vec<f64> = (0..n_changes)
+        .map(|_| rng.gen::<f64>() * observed_days)
+        .collect();
+    change_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    for offset_days in change_times {
+        if ladder.len() < 2 {
+            break; // Basic has a single rung: nowhere to move within-edition
+        }
+        // Walk one rung, preferring to return toward the entry rung
+        // (scale-up for load, scale-down for cost — both happen).
+        let go_up = if current_rung == 0 {
+            true
+        } else if current_rung + 1 >= ladder.len() {
+            false
+        } else {
+            rng.gen_bool(0.5)
+        };
+        current_rung = if go_up {
+            current_rung + 1
+        } else {
+            current_rung - 1
+        };
+        slo_history.push(SloChange {
+            at: created_at + Duration::days_f64(offset_days),
+            slo_index: ladder[current_rung],
+        });
+    }
+
+    // Edition changes (Obs 3.3): mostly Premium, a downgrade for a
+    // low-utilization period and often an upgrade back.
+    if rng.gen_bool(archetype.edition_change_probability(edition)) && observed_days > 2.0 {
+        let other = match edition {
+            crate::catalog::Edition::Premium => crate::catalog::Edition::Standard,
+            crate::catalog::Edition::Standard => {
+                if rng.gen_bool(0.6) {
+                    crate::catalog::Edition::Premium
+                } else {
+                    crate::catalog::Edition::Basic
+                }
+            }
+            crate::catalog::Edition::Basic => crate::catalog::Edition::Standard,
+        };
+        let down_at = rng.gen::<f64>() * (observed_days - 1.0);
+        slo_history.push(SloChange {
+            at: created_at + Duration::days_f64(down_at),
+            slo_index: SloCatalog::entry_slo(other),
+        });
+        // Upgrade back after a few days, if life permits.
+        let back_at = down_at + 1.0 + rng.gen::<f64>() * 6.0;
+        if back_at < observed_days && rng.gen_bool(0.7) {
+            slo_history.push(SloChange {
+                at: created_at + Duration::days_f64(back_at),
+                slo_index: ladder[current_rung],
+            });
+        }
+    }
+
+    slo_history.sort_by_key(|c| c.at);
+    dedup_slo_times(&mut slo_history);
+
+    // --- Size trace -------------------------------------------------
+    let initial = archetype.sample_initial_size_mb(edition, rng);
+    let growth = archetype.daily_growth_rate();
+    let trace_horizon_days = (size_trace_days as f64).min(observed_days.max(0.01));
+    let mut samples = Vec::new();
+    let mut size = initial;
+    let mut offset_h = 0i64;
+    loop {
+        let offset = Duration::hours(offset_h);
+        if offset.as_days_f64() > trace_horizon_days {
+            break;
+        }
+        samples.push((offset, size));
+        // Quarter-day growth with multiplicative measurement/churn
+        // noise large enough that short horizons cannot read the
+        // growth rate cleanly (size is a weak clue, paper §5.4).
+        let noise = 1.0 + (rng.gen::<f64>() - 0.5) * 0.06;
+        size = (size * (1.0 + growth / 4.0) * noise).max(1.0);
+        offset_h += 6;
+    }
+
+    // --- Utilization trace -------------------------------------------
+    // Per-database level spread: two databases of the same customer can
+    // serve very different workloads, so the 2-day utilization average
+    // is a noisy trait readout, not an oracle.
+    let mut utilization_profile = archetype.utilization_profile(subscription.longevity_trait);
+    let level_spread = LogNormal::new(0.0, 0.5).sample(rng);
+    utilization_profile.base_level = (utilization_profile.base_level * level_spread).clamp(1.0, 95.0);
+    let utilization_trace = utilization_profile.generate(
+        created_at,
+        Duration::days_f64(trace_horizon_days),
+        Duration::hours(6),
+        rng,
+    );
+
+    // --- Names ------------------------------------------------------
+    let server_name =
+        subscription.server_names[rng.gen_range(0..subscription.server_names.len())].clone();
+    let database_name = subscription
+        .name_style
+        .generate(rng, subscription.id.0 * 1_000 + ordinal);
+
+    DatabaseRecord {
+        id,
+        region: subscription.region,
+        server_name,
+        database_name,
+        subscription_id: subscription.id,
+        subscription_type: subscription.subscription_type,
+        created_at,
+        dropped_at,
+        slo_history,
+        size_trace: SizeTrace::new(samples),
+        utilization_trace,
+        elastic_pool,
+        is_internal: subscription.is_internal,
+    }
+}
+
+/// Drops history entries that collide on the same timestamp, keeping
+/// the last (`SizeTrace`/`slo_at` need strictly ordered times).
+fn dedup_slo_times(history: &mut Vec<SloChange>) {
+    history.dedup_by(|b, a| {
+        if a.at == b.at {
+            a.slo_index = b.slo_index;
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// Knuth Poisson sampler (small means only).
+fn sample_poisson(mean: f64, rng: &mut SmallRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 200 {
+            return k; // numerical guard; unreachable for our means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SLOS;
+    use crate::region::RegionConfig;
+
+    fn small_fleet(seed: u64) -> Fleet {
+        Fleet::generate(FleetConfig::new(
+            RegionConfig::region_1().scaled(0.05),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_fleet(42);
+        let b = small_fleet(42);
+        assert_eq!(a.databases.len(), b.databases.len());
+        assert_eq!(a.databases[0], b.databases[0]);
+        assert_eq!(
+            a.databases[a.databases.len() / 2],
+            b.databases[b.databases.len() / 2]
+        );
+    }
+
+    #[test]
+    fn seeds_change_the_fleet() {
+        let a = small_fleet(1);
+        let b = small_fleet(2);
+        assert_ne!(a.databases.len(), 0);
+        // Same config, different seed: essentially impossible to match.
+        assert!(a.databases.len() != b.databases.len() || a.databases[0] != b.databases[0]);
+    }
+
+    #[test]
+    fn creations_are_inside_window() {
+        let fleet = small_fleet(3);
+        let start = fleet.window_start();
+        let end = fleet.window_end();
+        for db in &fleet.databases {
+            assert!(db.created_at >= start && db.created_at < end + Duration::days(1));
+            if let Some(d) = db.dropped_at {
+                assert!(d > db.created_at, "drop before creation");
+                assert!(d <= end, "unobservable drop leaked into the record");
+            }
+        }
+    }
+
+    #[test]
+    fn databases_sorted_by_creation() {
+        let fleet = small_fleet(4);
+        for w in fleet.databases.windows(2) {
+            assert!(w[0].created_at <= w[1].created_at);
+        }
+    }
+
+    #[test]
+    fn slo_history_is_ordered_and_nonempty() {
+        let fleet = small_fleet(5);
+        for db in &fleet.databases {
+            assert!(!db.slo_history.is_empty());
+            assert_eq!(db.slo_history[0].at, db.created_at);
+            for w in db.slo_history.windows(2) {
+                assert!(w[0].at < w[1].at, "unsorted or duplicate SLO times");
+            }
+        }
+    }
+
+    #[test]
+    fn slo_indices_valid_and_first_sample_at_creation() {
+        let fleet = small_fleet(6);
+        for db in &fleet.databases {
+            for c in &db.slo_history {
+                assert!(c.slo_index < SLOS.len());
+            }
+            assert_eq!(db.size_trace.samples()[0].0, Duration::seconds(0));
+            assert!(db.size_trace.initial_size_mb() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn subscription_lookup_round_trips() {
+        let fleet = small_fleet(7);
+        for db in fleet.databases.iter().take(100) {
+            let sub = fleet.subscription(db.subscription_id);
+            assert_eq!(sub.id, db.subscription_id);
+            assert!(sub.server_names.contains(&db.server_name));
+            assert_eq!(sub.subscription_type, db.subscription_type);
+        }
+    }
+
+    #[test]
+    fn cyclers_produce_many_databases() {
+        let fleet = small_fleet(8);
+        let cycler_dbs = fleet
+            .databases
+            .iter()
+            .filter(|d| fleet.subscription(d.subscription_id).archetype == Archetype::CiCdCycler)
+            .count();
+        let cycler_subs = fleet
+            .subscriptions
+            .iter()
+            .filter(|s| s.archetype == Archetype::CiCdCycler)
+            .count();
+        if cycler_subs > 0 {
+            assert!(cycler_dbs / cycler_subs >= 25);
+        }
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_poisson(3.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+}

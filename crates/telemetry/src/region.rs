@@ -1,0 +1,177 @@
+//! Region configurations.
+//!
+//! The paper studies "three of the largest Azure regions around the
+//! world", anonymized as Region-1/2/3. Our regions differ in population
+//! size, archetype mix (which shifts class balances the way the paper's
+//! per-region panels differ), and holiday calendar.
+
+use crate::archetype::Archetype;
+use simtime::{CivilDate, HolidayCalendar};
+
+/// Region identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum RegionId {
+    /// Largest region, US-like calendar.
+    Region1,
+    /// Europe-like calendar.
+    Region2,
+    /// APAC-like calendar.
+    Region3,
+}
+
+impl RegionId {
+    /// All study regions.
+    pub const ALL: [RegionId; 3] = [RegionId::Region1, RegionId::Region2, RegionId::Region3];
+}
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionId::Region1 => write!(f, "Region-1"),
+            RegionId::Region2 => write!(f, "Region-2"),
+            RegionId::Region3 => write!(f, "Region-3"),
+        }
+    }
+}
+
+/// Static configuration of one simulated region.
+#[derive(Debug, Clone)]
+pub struct RegionConfig {
+    /// Identifier.
+    pub id: RegionId,
+    /// Number of external subscriptions active over the window.
+    pub subscription_count: usize,
+    /// Archetype weights, aligned with [`Archetype::ALL`].
+    pub archetype_weights: [f64; 6],
+    /// Holiday calendar used to suppress human creations.
+    pub holidays: HolidayCalendar,
+    /// First day of the five-month observation window.
+    pub window_start: CivilDate,
+    /// Length of the observation window in days (five months ≈ 153).
+    pub window_days: u32,
+    /// Share of subscriptions that are Microsoft-internal (excluded
+    /// from the study population by the census).
+    pub internal_fraction: f64,
+}
+
+impl RegionConfig {
+    /// The canonical Region-1 (largest; the region behind Figures 1/2).
+    pub fn region_1() -> RegionConfig {
+        RegionConfig {
+            id: RegionId::Region1,
+            subscription_count: 3_000,
+            // [CiCd, DevTester, Trial, Startup, Production, Incentive]
+            archetype_weights: [0.045, 0.23, 0.18, 0.19, 0.24, 0.115],
+            holidays: HolidayCalendar::us_like(),
+            window_start: CivilDate::new(2017, 5, 1),
+            window_days: 153,
+            internal_fraction: 0.06,
+        }
+    }
+
+    /// The canonical Region-2 (slightly smaller, more dev/test).
+    pub fn region_2() -> RegionConfig {
+        RegionConfig {
+            id: RegionId::Region2,
+            subscription_count: 2_400,
+            archetype_weights: [0.05, 0.25, 0.18, 0.18, 0.22, 0.12],
+            holidays: HolidayCalendar::europe_like(),
+            window_start: CivilDate::new(2017, 5, 1),
+            window_days: 153,
+            internal_fraction: 0.05,
+        }
+    }
+
+    /// The canonical Region-3 (smallest, more trial traffic).
+    pub fn region_3() -> RegionConfig {
+        RegionConfig {
+            id: RegionId::Region3,
+            subscription_count: 1_900,
+            archetype_weights: [0.045, 0.23, 0.21, 0.19, 0.21, 0.115],
+            holidays: HolidayCalendar::apac_like(),
+            window_start: CivilDate::new(2017, 5, 1),
+            window_days: 153,
+            internal_fraction: 0.05,
+        }
+    }
+
+    /// Configuration for a region id.
+    pub fn canonical(id: RegionId) -> RegionConfig {
+        match id {
+            RegionId::Region1 => RegionConfig::region_1(),
+            RegionId::Region2 => RegionConfig::region_2(),
+            RegionId::Region3 => RegionConfig::region_3(),
+        }
+    }
+
+    /// Returns a copy scaled to `fraction` of the canonical population
+    /// (used by tests and benches to keep runtimes bounded).
+    pub fn scaled(mut self, fraction: f64) -> RegionConfig {
+        assert!(fraction > 0.0, "fraction must be positive");
+        self.subscription_count =
+            ((self.subscription_count as f64 * fraction).round() as usize).max(10);
+        self
+    }
+
+    /// Last day inside the observation window.
+    pub fn window_end(&self) -> CivilDate {
+        self.window_start.plus_days(self.window_days as i64)
+    }
+
+    /// The archetype weights zipped with archetypes.
+    pub fn archetype_mix(&self) -> impl Iterator<Item = (Archetype, f64)> + '_ {
+        Archetype::ALL
+            .into_iter()
+            .zip(self.archetype_weights.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_regions_resolve() {
+        for id in RegionId::ALL {
+            let cfg = RegionConfig::canonical(id);
+            assert_eq!(cfg.id, id);
+            assert!(cfg.subscription_count > 0);
+            let total: f64 = cfg.archetype_weights.iter().sum();
+            assert!((total - 1.0).abs() < 0.01, "{id}: weights sum {total}");
+        }
+    }
+
+    #[test]
+    fn region_sizes_descend() {
+        assert!(
+            RegionConfig::region_1().subscription_count
+                > RegionConfig::region_2().subscription_count
+        );
+        assert!(
+            RegionConfig::region_2().subscription_count
+                > RegionConfig::region_3().subscription_count
+        );
+    }
+
+    #[test]
+    fn window_covers_five_months() {
+        let cfg = RegionConfig::region_1();
+        let end = cfg.window_end();
+        assert_eq!(end, CivilDate::new(2017, 10, 1));
+    }
+
+    #[test]
+    fn scaling_clamps() {
+        let cfg = RegionConfig::region_1().scaled(0.001);
+        assert_eq!(cfg.subscription_count, 10);
+        let cfg2 = RegionConfig::region_1().scaled(0.5);
+        assert_eq!(cfg2.subscription_count, 1_500);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RegionId::Region1.to_string(), "Region-1");
+    }
+}

@@ -1,0 +1,106 @@
+//! Database size telemetry.
+//!
+//! Each database reports its file size periodically. The feature
+//! pipeline consumes the samples inside the observation prefix (the
+//! paper's first-x-days window): max/min/avg/std of absolute size and
+//! the rate of change from creation to prediction time.
+
+use simtime::Duration;
+
+/// Periodic size samples for one database, as offsets from its creation
+/// time. Samples are strictly increasing in offset.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SizeTrace {
+    /// `(offset since creation, size in MB)` pairs, ascending.
+    samples: Vec<(Duration, f64)>,
+}
+
+impl SizeTrace {
+    /// Creates a trace from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, offsets are not strictly
+    /// increasing, or any size is negative/non-finite.
+    pub fn new(samples: Vec<(Duration, f64)>) -> SizeTrace {
+        assert!(!samples.is_empty(), "size trace needs at least one sample");
+        for w in samples.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "sample offsets must be strictly increasing"
+            );
+        }
+        for (_, size) in &samples {
+            assert!(size.is_finite() && *size >= 0.0, "invalid size {size}");
+        }
+        SizeTrace { samples }
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(Duration, f64)] {
+        &self.samples
+    }
+
+    /// Samples with offsets `<= horizon` (the observation prefix).
+    pub fn prefix(&self, horizon: Duration) -> &[(Duration, f64)] {
+        let end = self
+            .samples
+            .partition_point(|(offset, _)| *offset <= horizon);
+        &self.samples[..end]
+    }
+
+    /// Size at creation (the first sample).
+    pub fn initial_size_mb(&self) -> f64 {
+        self.samples[0].1
+    }
+
+    /// Last reported size at or before `horizon` (falls back to the
+    /// initial size when the horizon precedes every later sample).
+    pub fn size_at(&self, horizon: Duration) -> f64 {
+        let prefix = self.prefix(horizon);
+        prefix.last().unwrap_or(&self.samples[0]).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> SizeTrace {
+        SizeTrace::new(vec![
+            (Duration::hours(0), 100.0),
+            (Duration::hours(6), 110.0),
+            (Duration::hours(12), 120.0),
+            (Duration::hours(48), 150.0),
+        ])
+    }
+
+    #[test]
+    fn prefix_selects_window() {
+        let t = trace();
+        assert_eq!(t.prefix(Duration::hours(12)).len(), 3);
+        assert_eq!(t.prefix(Duration::hours(11)).len(), 2);
+        assert_eq!(t.prefix(Duration::days(10)).len(), 4);
+        assert_eq!(t.prefix(Duration::seconds(0)).len(), 1);
+    }
+
+    #[test]
+    fn lookups() {
+        let t = trace();
+        assert_eq!(t.initial_size_mb(), 100.0);
+        assert_eq!(t.size_at(Duration::hours(13)), 120.0);
+        assert_eq!(t.size_at(Duration::days(2)), 150.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unordered() {
+        SizeTrace::new(vec![(Duration::hours(6), 1.0), (Duration::hours(6), 2.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        SizeTrace::new(vec![]);
+    }
+}

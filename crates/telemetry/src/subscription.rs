@@ -1,0 +1,114 @@
+//! Subscriptions: the customer-side owner of databases.
+
+use crate::archetype::Archetype;
+use crate::names::NameStyle;
+use crate::region::RegionId;
+
+/// Opaque subscription identifier, unique within a fleet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct SubscriptionId(pub u64);
+
+/// Azure-like subscription offer types (paper §4.2 "Subscription type":
+/// "trial, consumption, benefit programs, etc."). Internal Microsoft
+/// subscriptions are excluded from the study population, so the
+/// simulator only generates external types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SubscriptionType {
+    /// Free trial offer.
+    Trial,
+    /// Pay-as-you-go consumption.
+    PayAsYouGo,
+    /// Enterprise agreement.
+    Enterprise,
+    /// Developer-benefit program (MSDN-like).
+    DevBenefit,
+    /// Partner / CSP offer.
+    Partner,
+}
+
+impl SubscriptionType {
+    /// All external subscription types.
+    pub const ALL: [SubscriptionType; 5] = [
+        SubscriptionType::Trial,
+        SubscriptionType::PayAsYouGo,
+        SubscriptionType::Enterprise,
+        SubscriptionType::DevBenefit,
+        SubscriptionType::Partner,
+    ];
+
+    /// Stable index (used for one-hot features).
+    pub fn index(self) -> usize {
+        match self {
+            SubscriptionType::Trial => 0,
+            SubscriptionType::PayAsYouGo => 1,
+            SubscriptionType::Enterprise => 2,
+            SubscriptionType::DevBenefit => 3,
+            SubscriptionType::Partner => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for SubscriptionType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SubscriptionType::Trial => "Trial",
+            SubscriptionType::PayAsYouGo => "PayAsYouGo",
+            SubscriptionType::Enterprise => "Enterprise",
+            SubscriptionType::DevBenefit => "DevBenefit",
+            SubscriptionType::Partner => "Partner",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One customer subscription.
+///
+/// The `longevity_trait` is the latent per-customer variable that makes
+/// subscription-history features the most predictive factor (paper
+/// §5.4): databases of the same subscription share it, so a
+/// subscription's past database lifespans carry real information about
+/// its future ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// Identifier.
+    pub id: SubscriptionId,
+    /// Hosting region.
+    pub region: RegionId,
+    /// Offer type.
+    pub subscription_type: SubscriptionType,
+    /// Behaviour archetype (latent; never exposed to features).
+    pub archetype: Archetype,
+    /// Latent longevity trait in `[0, 1]` (latent; never exposed).
+    pub longevity_trait: f64,
+    /// Naming style of this customer's tooling or habits.
+    pub name_style: NameStyle,
+    /// True for Microsoft-internal subscriptions (provisioned for
+    /// internal users and for serving other products); the paper
+    /// excludes these from the study population.
+    pub is_internal: bool,
+    /// Logical server names owned by this subscription.
+    pub server_names: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_indices_are_dense_and_distinct() {
+        let mut seen = [false; 5];
+        for t in SubscriptionType::ALL {
+            assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SubscriptionType::Trial.to_string(), "Trial");
+        assert_eq!(SubscriptionType::DevBenefit.to_string(), "DevBenefit");
+    }
+}

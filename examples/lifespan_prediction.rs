@@ -1,0 +1,68 @@
+//! The §4–§5 prediction pipeline on one region: per-edition random
+//! forests vs the weighted-random baseline, confidence partitioning,
+//! KM validation of the predicted groups, and the feature-importance
+//! ranking.
+//!
+//! ```text
+//! cargo run --release -p survdb-core --example lifespan_prediction
+//! ```
+
+use survdb::experiment::{Experiment, ExperimentConfig, GridPreset};
+use survdb::report::{ascii_km_series, p_value_cell, subgroup_block};
+use survdb::study::{Study, StudyConfig};
+use telemetry::{Edition, RegionId};
+
+fn main() {
+    let study = Study::load_region(
+        StudyConfig {
+            scale: 0.4,
+            seed: 811,
+        },
+        RegionId::Region1,
+    );
+    let census = study.census(RegionId::Region1);
+    let experiment = Experiment::new(ExperimentConfig {
+        repetitions: 3,
+        grid: GridPreset::Light,
+        ..ExperimentConfig::default()
+    });
+
+    println!("predicting: after x = 2 observed days, will the database live y > 30 days?\n");
+
+    for edition in Edition::ALL {
+        let result = experiment.run(&census, Some(edition));
+        println!("{}", subgroup_block(&result));
+
+        if edition == Edition::Standard {
+            println!("KM curves of the predicted groups (whole population):");
+            println!(
+                "{}",
+                ascii_km_series(
+                    &[
+                        &result.whole_grouping.long_curve,
+                        &result.whole_grouping.short_curve
+                    ],
+                    72,
+                    14
+                )
+            );
+            println!(
+                "separation significance: whole {}  confident {}  uncertain {}\n",
+                p_value_cell(result.whole_grouping.logrank_p),
+                p_value_cell(result.confident_grouping.logrank_p),
+                p_value_cell(result.uncertain_grouping.logrank_p),
+            );
+            println!("top predictive features:");
+            for (name, importance) in result.importances.iter().take(10) {
+                println!("  {name:<28} {importance:.4}");
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "reading guide: 'confident' rows should dominate 'all'; 'uncertain' rows fall toward\n\
+         the baseline and their KM separation is often insignificant — that is the paper's\n\
+         §5.3 result, and the basis for routing uncertain databases to a designated pool."
+    );
+}

@@ -1,0 +1,98 @@
+//! The §3.1 motivation, end to end: train a lifespan classifier, bucket
+//! every incoming database as short / long / uncertain, and compare a
+//! longevity-guided placement policy against a longevity-agnostic one
+//! on wasted update disruptions and wasted load-balancer moves.
+//!
+//! ```text
+//! cargo run --release -p survdb-core --example provisioning_policy
+//! ```
+
+use features::{FeatureConfig, FeatureExtractor};
+use forest::{confidence_threshold, RandomForest, RandomForestParams};
+use std::collections::HashMap;
+use survdb::provisioning::{
+    simulate, PlacementPolicy, PredictedLongevity, ProvisioningConfig, ProvisioningOutcome,
+};
+use survdb::study::{Study, StudyConfig};
+use telemetry::RegionId;
+
+fn main() {
+    let study = Study::load_region(
+        StudyConfig {
+            scale: 0.4,
+            seed: 31,
+        },
+        RegionId::Region1,
+    );
+    let census = study.census(RegionId::Region1);
+
+    // Train the lifespan model on the region's labeled population.
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    let (dataset, _) = extractor.build_dataset(&census, None);
+    let model = RandomForest::fit(&dataset, &RandomForestParams::default(), 7);
+    let threshold = confidence_threshold(dataset.class_fraction(1));
+    println!(
+        "model trained on {} databases (positive fraction {:.2}, confidence threshold {:.2})",
+        dataset.len(),
+        dataset.class_fraction(1),
+        threshold
+    );
+
+    // Bucket every placeable database.
+    let mut predictions: HashMap<usize, PredictedLongevity> = HashMap::new();
+    let mut buckets = [0usize; 3];
+    for idx in census.prediction_population(2.0) {
+        let db = &census.fleet().databases[idx];
+        let p = model.predict_positive_proba(&extractor.extract(&census, db));
+        let bucket = PredictedLongevity::from_probability(p, threshold);
+        buckets[match bucket {
+            PredictedLongevity::Short => 0,
+            PredictedLongevity::Long => 1,
+            PredictedLongevity::Uncertain => 2,
+        }] += 1;
+        predictions.insert(idx, bucket);
+    }
+    println!(
+        "buckets: {} short, {} long, {} uncertain\n",
+        buckets[0], buckets[1], buckets[2]
+    );
+
+    // Simulate both policies against the actual drop times.
+    let config = ProvisioningConfig::default();
+    let agnostic = simulate(&census, &predictions, PlacementPolicy::Agnostic, &config);
+    let guided = simulate(
+        &census,
+        &predictions,
+        PlacementPolicy::LongevityGuided,
+        &config,
+    );
+
+    let print_outcome = |label: &str, o: &ProvisioningOutcome| {
+        println!("{label}:");
+        println!("  clusters opened        {:>7}", o.clusters_opened);
+        println!(
+            "  update disruptions     {:>7}  (wasted on dying databases: {})",
+            o.disruptions, o.wasted_disruptions
+        );
+        println!(
+            "  load-balancer moves    {:>7}  (wasted on dying databases: {})",
+            o.moves, o.wasted_moves
+        );
+    };
+    print_outcome("longevity-agnostic policy", &agnostic);
+    print_outcome("longevity-guided policy", &guided);
+
+    let pct = |a: usize, g: usize| {
+        if a == 0 {
+            0.0
+        } else {
+            100.0 * (a as f64 - g as f64) / a as f64
+        }
+    };
+    println!(
+        "\nguided placement avoids {:.0}% of wasted disruptions and {:.0}% of wasted moves\n\
+         — the operational payoff the paper's §3.1 argues for.",
+        pct(agnostic.wasted_disruptions, guided.wasted_disruptions),
+        pct(agnostic.wasted_moves, guided.wasted_moves)
+    );
+}

@@ -1,0 +1,90 @@
+//! The §3.3 survivability study: Observations 3.1–3.3 across the three
+//! regions, with per-edition Kaplan–Meier curves and log-rank tests —
+//! plus parametric lifetime fits as an extension.
+//!
+//! ```text
+//! cargo run --release -p survdb-core --example survival_study
+//! ```
+
+use survdb::observations::ObservationReport;
+use survdb::report::ascii_km_chart;
+use survdb::study::{Study, StudyConfig};
+use survival::{ExponentialFit, KaplanMeier, SurvivalData, WeibullFit};
+use telemetry::{Edition, RegionId};
+
+fn main() {
+    let study = Study::load(StudyConfig {
+        scale: 0.3,
+        seed: 20_180_610,
+    });
+    println!(
+        "study population: {} databases across 3 regions\n",
+        study.database_count()
+    );
+
+    for region in RegionId::ALL {
+        let census = study.census(region);
+        let report = ObservationReport::compute(&census);
+        println!("================ {region}");
+        println!(
+            "Obs 3.1: {:.1}% of subscriptions create only ephemeral databases; \
+             they own {:.1}% of all databases",
+            report.ephemeral_only_subscription_share * 100.0,
+            report.ephemeral_only_database_share * 100.0
+        );
+        println!(
+            "Obs 3.2: survival differs per edition (log-rank p = {:.2e}):",
+            report.edition_logrank_p
+        );
+        for e in &report.edition_survival {
+            println!(
+                "  {:<8} n = {:>6}  S(30) = {:.3}  S(60) = {:.3}  S(120) = {:.3}",
+                e.edition, e.n, e.s30, e.s60, e.s120
+            );
+        }
+        println!("Obs 3.3: edition-change rates:");
+        for (edition, rate) in &report.edition_change_rates {
+            println!("  {edition:<8} {:.1}%", rate * 100.0);
+        }
+        println!("all observations hold: {}\n", report.all_hold());
+    }
+
+    // Per-edition KM curves for Region-1, as one chart.
+    let census = study.census(RegionId::Region1);
+    let mut curves = Vec::new();
+    for edition in Edition::ALL {
+        let pairs = census.survival_pairs_where(2.0, |db| db.creation_edition() == edition);
+        let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
+        curves.push((edition.to_string(), km.sample_curve(150.0, 76)));
+    }
+    let chart_input: Vec<(&str, &[(f64, f64)])> = curves
+        .iter()
+        .map(|(label, pts)| (label.as_str(), pts.as_slice()))
+        .collect();
+    println!("Region-1 per-edition survival (2-day minimum):");
+    println!("{}", ascii_km_chart(&chart_input, 76, 16));
+
+    // Extension: which parametric lifetime family fits the dropped
+    // population best? A Weibull shape < 1 confirms the infant-
+    // mortality regime visible in the KM curve.
+    let pairs = census.survival_pairs(0.0);
+    let data = SurvivalData::from_pairs(&pairs);
+    let weibull = WeibullFit::fit(&data);
+    let exponential = ExponentialFit::fit(&data);
+    println!("parametric lifetime fits (all databases, censored MLE):");
+    println!(
+        "  weibull      shape = {:.3}, scale = {:.1} days, AIC = {:.0}",
+        weibull.shape(),
+        weibull.scale(),
+        weibull.aic()
+    );
+    println!(
+        "  exponential  rate = {:.4} /day, AIC = {:.0}",
+        exponential.rate(),
+        exponential.aic()
+    );
+    println!(
+        "  Weibull wins by ΔAIC = {:.0}; shape < 1 ⇒ decreasing hazard (most databases that die, die young)",
+        exponential.aic() - weibull.aic()
+    );
+}

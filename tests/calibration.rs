@@ -1,0 +1,108 @@
+//! Calibration assertions: the generated populations land inside the
+//! bands DESIGN.md §5 derives from the paper's reported numbers. These
+//! are the tests that would catch a regression in the generator that
+//! silently breaks the reproduction's shape.
+
+use survdb::observations::ObservationReport;
+use survdb::study::{Study, StudyConfig};
+use survival::{KaplanMeier, SurvivalData};
+use telemetry::{Census, Edition, LifespanClass, RegionId};
+
+fn study() -> Study {
+    Study::load(StudyConfig {
+        scale: 0.35,
+        seed: 0xCA11B,
+    })
+}
+
+fn q(census: &Census<'_>, edition: Edition) -> f64 {
+    let mut short = 0usize;
+    let mut long = 0usize;
+    for (_, db) in census.edition_records(edition) {
+        match census.classify(db) {
+            Some(LifespanClass::ShortLived) => short += 1,
+            Some(LifespanClass::LongLived) => long += 1,
+            _ => {}
+        }
+    }
+    long as f64 / (short + long).max(1) as f64
+}
+
+#[test]
+fn class_balances_match_paper_derived_targets() {
+    // Baseline scores in the paper imply q ≈ 0.68 / 0.55 / 0.35 for
+    // Basic / Standard / Premium (accuracy ≈ q² + (1−q)²; precision ≈
+    // q). Allow generous sampling bands.
+    let study = study();
+    for region in RegionId::ALL {
+        let census = study.census(region);
+        let basic = q(&census, Edition::Basic);
+        let standard = q(&census, Edition::Standard);
+        let premium = q(&census, Edition::Premium);
+        assert!((0.60..0.80).contains(&basic), "{region} basic q = {basic}");
+        assert!(
+            (0.50..0.70).contains(&standard),
+            "{region} standard q = {standard}"
+        );
+        assert!(
+            (0.25..0.48).contains(&premium),
+            "{region} premium q = {premium}"
+        );
+    }
+}
+
+#[test]
+fn km_curve_has_the_figure1_shape() {
+    // Decaying curve with a visible cliff near day 120 and a plateau in
+    // the 0.25–0.45 band by day 130 (paper: "flatten around 0.4").
+    let study = study();
+    let census = study.census(RegionId::Region1);
+    let km = KaplanMeier::fit(&SurvivalData::from_pairs(&census.survival_pairs(2.0)));
+    let s110 = km.survival_at(110.0);
+    let s130 = km.survival_at(130.0);
+    assert!(
+        (0.25..0.45).contains(&s130),
+        "plateau S(130) = {s130}"
+    );
+    // The incentive cliff: a marked drop between day 110 and 130.
+    assert!(
+        s110 - s130 > 0.04,
+        "no cliff: S(110) = {s110}, S(130) = {s130}"
+    );
+    // And the curve is genuinely flat before the cliff region compared
+    // to the early decay.
+    let early_decay = km.survival_at(5.0) - km.survival_at(35.0);
+    let late_decay = km.survival_at(60.0) - km.survival_at(90.0);
+    assert!(early_decay > late_decay, "{early_decay} vs {late_decay}");
+}
+
+#[test]
+fn premium_population_smallest_in_every_region() {
+    let study = study();
+    for region in RegionId::ALL {
+        let census = study.census(region);
+        let count = |e: Edition| census.edition_records(e).count();
+        assert!(count(Edition::Premium) < count(Edition::Basic), "{region}");
+        assert!(count(Edition::Premium) < count(Edition::Standard), "{region}");
+    }
+}
+
+#[test]
+fn observations_hold_at_calibration_scale() {
+    let study = study();
+    for region in RegionId::ALL {
+        let report = ObservationReport::compute(&study.census(region));
+        assert!(report.all_hold(), "{region}: {report:?}");
+    }
+}
+
+#[test]
+fn ephemeral_share_is_significant_but_not_dominant() {
+    let study = study();
+    for region in RegionId::ALL {
+        let census = study.census(region);
+        let (subs, dbs) = census.ephemeral_only_stats();
+        assert!((0.01..0.20).contains(&subs), "{region} sub share {subs}");
+        assert!((0.15..0.55).contains(&dbs), "{region} db share {dbs}");
+    }
+}

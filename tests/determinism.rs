@@ -1,0 +1,78 @@
+//! Reproducibility guarantees: every stage of the reproduction is a
+//! pure function of its seed, including parallel forest training.
+
+use features::{FeatureConfig, FeatureExtractor};
+use forest::{train_test_split, RandomForest, RandomForestParams};
+use survdb::experiment::{Experiment, ExperimentConfig, GridPreset};
+use survdb::study::{Study, StudyConfig};
+use telemetry::{Census, Fleet, FleetConfig, RegionConfig, RegionId};
+
+#[test]
+fn fleets_are_bit_identical_across_generations() {
+    let make = || Fleet::generate(FleetConfig::new(RegionConfig::region_2().scaled(0.05), 77));
+    let a = make();
+    let b = make();
+    assert_eq!(a.databases, b.databases);
+    assert_eq!(a.subscriptions, b.subscriptions);
+}
+
+#[test]
+fn feature_matrices_are_identical() {
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.05), 8));
+    let census = Census::new(&fleet);
+    let e1 = FeatureExtractor::new(&census, FeatureConfig::default());
+    let e2 = FeatureExtractor::new(&census, FeatureConfig::default());
+    let (d1, s1) = e1.build_dataset(&census, None);
+    let (d2, s2) = e2.build_dataset(&census, None);
+    assert_eq!(d1, d2);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn forests_are_identical_despite_threading() {
+    // Tree seeds derive from (seed, tree index), so scheduling cannot
+    // change results.
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.05), 9));
+    let census = Census::new(&fleet);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    let (dataset, _) = extractor.build_dataset(&census, None);
+    let (train, test) = train_test_split(&dataset, 0.3, 1);
+    let m1 = RandomForest::fit(&train, &RandomForestParams::default(), 99);
+    let m2 = RandomForest::fit(&train, &RandomForestParams::default(), 99);
+    for i in 0..test.len() {
+        assert_eq!(m1.predict_proba(test.row(i)), m2.predict_proba(test.row(i)));
+    }
+    assert_eq!(m1.feature_importances(), m2.feature_importances());
+    assert_eq!(m1.oob_accuracy(), m2.oob_accuracy());
+}
+
+#[test]
+fn whole_experiments_reproduce_exactly() {
+    let study = Study::load_region(
+        StudyConfig {
+            scale: 0.06,
+            seed: 1234,
+        },
+        RegionId::Region1,
+    );
+    let census = study.census(RegionId::Region1);
+    let config = ExperimentConfig {
+        repetitions: 2,
+        grid: GridPreset::Off,
+        ..ExperimentConfig::default()
+    };
+    let r1 = Experiment::new(config.clone()).run(&census, None);
+    let r2 = Experiment::new(config).run(&census, None);
+    assert_eq!(r1.forest, r2.forest);
+    assert_eq!(r1.baseline, r2.baseline);
+    assert_eq!(r1.confident_fraction, r2.confident_fraction);
+    assert_eq!(r1.whole_grouping.logrank_p, r2.whole_grouping.logrank_p);
+    assert_eq!(r1.importances, r2.importances);
+}
+
+#[test]
+fn different_seeds_give_different_fleets() {
+    let a = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.05), 1));
+    let b = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.05), 2));
+    assert!(a.databases != b.databases);
+}

@@ -1,0 +1,140 @@
+//! Cross-crate model checks: the forest on real pipeline features, the
+//! baseline's analytic behaviour, grid search, and the confidence
+//! partition's paper identities.
+
+use features::{FeatureConfig, FeatureExtractor};
+use forest::tree::TreeParams;
+use forest::{
+    confidence_threshold, cross_val_accuracy, roc_auc, train_test_split, ConfusionMatrix,
+    GridSearch, PartitionedPredictions, RandomForest, RandomForestParams,
+    WeightedRandomClassifier,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
+
+fn pipeline_dataset() -> (forest::Dataset, Vec<(f64, bool)>) {
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.1), 0xF0));
+    let census = Census::new(&fleet);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    extractor.build_dataset(&census, None)
+}
+
+#[test]
+fn forest_beats_baseline_on_pipeline_features() {
+    let (dataset, _) = pipeline_dataset();
+    let (train, test) = train_test_split(&dataset, 0.2, 3);
+    let model = RandomForest::fit(&train, &RandomForestParams::default(), 3);
+    let baseline = WeightedRandomClassifier::fit(&train);
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    let forest_preds: Vec<usize> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+    let baseline_preds = baseline.predict_many(test.len(), &mut rng);
+    let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
+
+    let forest_acc = ConfusionMatrix::from_predictions(&forest_preds, &actual).accuracy();
+    let baseline_acc = ConfusionMatrix::from_predictions(&baseline_preds, &actual).accuracy();
+    assert!(
+        forest_acc > baseline_acc + 0.1,
+        "forest {forest_acc} vs baseline {baseline_acc}"
+    );
+
+    // Probabilities carry ranking information: AUC well above chance.
+    let probs: Vec<f64> = (0..test.len())
+        .map(|i| model.predict_positive_proba(test.row(i)))
+        .collect();
+    let auc = roc_auc(&probs, &actual);
+    assert!(auc > 0.72, "auc = {auc}");
+}
+
+#[test]
+fn grid_search_improves_or_matches_default() {
+    let (dataset, _) = pipeline_dataset();
+    let (train, _) = train_test_split(&dataset, 0.5, 9);
+    let shallow = RandomForestParams {
+        n_trees: 10,
+        tree: TreeParams {
+            max_depth: 3,
+            ..TreeParams::default()
+        },
+        ..RandomForestParams::default()
+    };
+    let strong = RandomForestParams {
+        n_trees: 40,
+        ..RandomForestParams::default()
+    };
+    let result = GridSearch::new(vec![shallow, strong], 3).run(&train, 5);
+    let shallow_cv = cross_val_accuracy(&train, &shallow, 3, 5);
+    assert!(result.best_score >= shallow_cv - 1e-9);
+}
+
+#[test]
+fn confidence_partition_matches_paper_identities() {
+    let (dataset, _) = pipeline_dataset();
+    let (train, test) = train_test_split(&dataset, 0.2, 11);
+    let model = RandomForest::fit(&train, &RandomForestParams::default(), 11);
+    let probs: Vec<f64> = (0..test.len())
+        .map(|i| model.predict_positive_proba(test.row(i)))
+        .collect();
+    let q = train.class_fraction(1);
+    let partition = PartitionedPredictions::partition(&probs, q);
+
+    // t = max(q, 1 − q).
+    assert!((partition.threshold - confidence_threshold(q)).abs() < 1e-12);
+    // Exhaustive and disjoint.
+    assert_eq!(
+        partition.confident.len() + partition.uncertain.len(),
+        test.len()
+    );
+    // Confident accuracy >= uncertain accuracy (the entire point).
+    let acc = |subset: &[(usize, f64, usize)]| -> f64 {
+        if subset.is_empty() {
+            return 1.0;
+        }
+        let correct = subset
+            .iter()
+            .filter(|&&(i, _, pred)| pred == test.label(i))
+            .count();
+        correct as f64 / subset.len() as f64
+    };
+    assert!(acc(&partition.confident) >= acc(&partition.uncertain));
+}
+
+#[test]
+fn oob_estimate_close_to_holdout() {
+    let (dataset, _) = pipeline_dataset();
+    let (train, test) = train_test_split(&dataset, 0.3, 13);
+    let model = RandomForest::fit(&train, &RandomForestParams::default(), 13);
+    let oob = model.oob_accuracy().expect("bootstrap on");
+    let preds: Vec<usize> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+    let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
+    let holdout = ConfusionMatrix::from_predictions(&preds, &actual).accuracy();
+    assert!(
+        (oob - holdout).abs() < 0.08,
+        "oob {oob} vs holdout {holdout}"
+    );
+}
+
+#[test]
+fn importances_rank_history_family_first() {
+    // The paper's §5.4 headline finding, at the family level:
+    // subscription history > names > creation time.
+    let (dataset, _) = pipeline_dataset();
+    let model = RandomForest::fit(&dataset, &RandomForestParams::default(), 17);
+    let mut history = 0.0;
+    let mut names = 0.0;
+    let mut time = 0.0;
+    for (name, importance) in model.ranked_importances() {
+        if name.starts_with("hist_") {
+            history += importance;
+        } else if name.starts_with("server_") || name.starts_with("db_") {
+            names += importance;
+        } else if name.starts_with("created_") {
+            time += importance;
+        }
+    }
+    assert!(
+        history > names && names > time,
+        "family importances: history {history:.3}, names {names:.3}, time {time:.3}"
+    );
+}

@@ -1,0 +1,130 @@
+//! Feature-pipeline integration: schema stability, leakage guards, and
+//! the relationship between census filters and dataset contents.
+
+use features::{FeatureConfig, FeatureExtractor, NgramVocabulary};
+use simtime::Duration;
+use telemetry::{Census, Edition, Fleet, FleetConfig, LifespanClass, RegionId};
+
+fn fleet(region: RegionId, scale: f64, seed: u64) -> Fleet {
+    Fleet::generate(FleetConfig::new(
+        telemetry::RegionConfig::canonical(region).scaled(scale),
+        seed,
+    ))
+}
+
+#[test]
+fn schema_is_stable_across_fleets_and_regions() {
+    let f1 = fleet(RegionId::Region1, 0.05, 1);
+    let f2 = fleet(RegionId::Region3, 0.05, 2);
+    let c1 = Census::new(&f1);
+    let c2 = Census::new(&f2);
+    let e1 = FeatureExtractor::new(&c1, FeatureConfig::default());
+    let e2 = FeatureExtractor::new(&c2, FeatureConfig::default());
+    assert_eq!(e1.feature_names(), e2.feature_names());
+}
+
+#[test]
+fn dataset_excludes_ephemeral_and_undecidable() {
+    let f = fleet(RegionId::Region1, 0.08, 3);
+    let census = Census::new(&f);
+    let population = census.prediction_population(2.0);
+    for &idx in &population {
+        let db = &f.databases[idx];
+        let class = census.classify(db).expect("decidable");
+        assert_ne!(class, LifespanClass::Ephemeral);
+        // Alive at prediction time.
+        assert!(db.alive_at(db.created_at + Duration::days(2)));
+    }
+    // Every ephemeral database is excluded.
+    for (idx, db) in f.databases.iter().enumerate() {
+        if census.classify(db) == Some(LifespanClass::Ephemeral) {
+            assert!(!population.contains(&idx));
+        }
+    }
+}
+
+#[test]
+fn features_do_not_leak_the_future() {
+    // Censor a record's own drop time out of its features: two records
+    // identical up to day 2 but dropping at day 3 vs day 300 must
+    // produce identical feature vectors. We emulate this by checking
+    // that features only read the 2-day prefix: recompute features with
+    // the record's drop erased and compare.
+    let f = fleet(RegionId::Region1, 0.08, 4);
+    let census = Census::new(&f);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+
+    let mut mutated = f.clone();
+    for db in &mut mutated.databases {
+        // Push every drop far beyond the window: the observable 2-day
+        // prefix (creation time, names, sizes, SLO prefix) is untouched
+        // because the generator fixed those before the drop was known…
+        // except SLO histories, which extend over the observed life.
+        // Truncate them to the prefix to build the counterfactual.
+        let horizon = db.created_at + Duration::days(2);
+        db.dropped_at = None;
+        db.slo_history.retain(|c| c.at <= horizon);
+    }
+    let census2 = Census::new(&mutated);
+    let extractor2 = FeatureExtractor::new(&census2, FeatureConfig::default());
+
+    // Subscription-history features DO legitimately depend on sibling
+    // drops before Tp; to isolate per-record leakage we compare only
+    // the non-history columns.
+    let history_start = extractor
+        .feature_names()
+        .iter()
+        .position(|n| n.starts_with("sub_type"))
+        .unwrap();
+    let mut checked = 0;
+    for (idx, db) in f.databases.iter().enumerate() {
+        // Only records whose drop is after the 2-day prefix are
+        // feature-identical by construction.
+        let (dur, event) = db.observed_lifespan(census.window_end());
+        if event && dur.as_days_f64() <= 2.0 {
+            continue;
+        }
+        let original = extractor.extract(&census, db);
+        let counterfactual = extractor2.extract(&census2, &mutated.databases[idx]);
+        assert_eq!(
+            &original[..history_start],
+            &counterfactual[..history_start],
+            "record {idx} leaks its own future into non-history features"
+        );
+        checked += 1;
+        if checked > 400 {
+            break;
+        }
+    }
+    assert!(checked > 100);
+}
+
+#[test]
+fn ngram_vocabulary_is_deterministic_across_runs() {
+    let f = fleet(RegionId::Region2, 0.05, 5);
+    let names: Vec<&str> = f.databases.iter().map(|d| d.database_name.as_str()).collect();
+    let a = NgramVocabulary::fit(names.iter().copied(), 3, 25);
+    let b = NgramVocabulary::fit(names.iter().copied(), 3, 25);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 25);
+}
+
+#[test]
+fn per_edition_datasets_have_expected_balances() {
+    // The calibration targets from DESIGN.md §5, at reduced scale with
+    // loose bands.
+    let f = fleet(RegionId::Region1, 0.3, 6);
+    let census = Census::new(&f);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    let q = |edition| {
+        let (d, _) = extractor.build_dataset(&census, Some(edition));
+        d.class_fraction(1)
+    };
+    let basic = q(Edition::Basic);
+    let standard = q(Edition::Standard);
+    let premium = q(Edition::Premium);
+    assert!((0.55..0.85).contains(&basic), "basic q = {basic}");
+    assert!((0.45..0.75).contains(&standard), "standard q = {standard}");
+    assert!((0.2..0.5).contains(&premium), "premium q = {premium}");
+    assert!(basic > standard && standard > premium);
+}

@@ -1,0 +1,121 @@
+//! Cross-crate survival-analysis checks: estimators vs the generator's
+//! analytic ground truth, and agreement between independent estimators
+//! on fleet data.
+
+use stats::distributions::{ContinuousDistribution, Weibull};
+use survival::{
+    logrank_test, CoxModel, ExponentialFit, KaplanMeier, LifeTable, NelsonAalen, SurvivalData,
+    WeibullFit,
+};
+use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn fleet() -> Fleet {
+    Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.1), 0x5A))
+}
+
+#[test]
+fn km_recovers_known_weibull_survival() {
+    // Generate censored Weibull data with a known survival function and
+    // check the KM estimate tracks it within sampling error.
+    let truth = Weibull::new(0.8, 40.0);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let pairs: Vec<(f64, bool)> = (0..20_000)
+        .map(|_| {
+            let t = truth.sample(&mut rng);
+            let c: f64 = rng.gen::<f64>() * 150.0;
+            if t <= c {
+                (t, true)
+            } else {
+                (c, false)
+            }
+        })
+        .collect();
+    let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
+    for &t in &[5.0, 20.0, 50.0, 100.0] {
+        let estimated = km.survival_at(t);
+        let exact = truth.sf(t);
+        assert!(
+            (estimated - exact).abs() < 0.02,
+            "S({t}): km {estimated} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn km_and_nelson_aalen_agree_on_fleet_data() {
+    let f = fleet();
+    let census = Census::new(&f);
+    let data = SurvivalData::from_pairs(&census.survival_pairs(0.0));
+    let km = KaplanMeier::fit(&data);
+    let na = NelsonAalen::fit(&data);
+    for &t in &[1.0, 10.0, 50.0, 120.0] {
+        let diff = (km.survival_at(t) - na.survival_at(t)).abs();
+        assert!(diff < 0.01, "at {t}: {diff}");
+    }
+}
+
+#[test]
+fn life_table_tracks_km() {
+    let f = fleet();
+    let census = Census::new(&f);
+    let data = SurvivalData::from_pairs(&census.survival_pairs(0.0));
+    let km = KaplanMeier::fit(&data);
+    let lt = LifeTable::fit(&data, 10.0, 15);
+    for row in lt.rows() {
+        let end = row.start + row.width;
+        let diff = (row.survival - km.survival_at(end)).abs();
+        assert!(diff < 0.05, "interval ending {end}: lt {} km {}", row.survival, km.survival_at(end));
+    }
+}
+
+#[test]
+fn weibull_fit_on_fleet_shows_infant_mortality() {
+    let f = fleet();
+    let census = Census::new(&f);
+    let data = SurvivalData::from_pairs(&census.survival_pairs(0.0));
+    let weib = WeibullFit::fit(&data);
+    let expo = ExponentialFit::fit(&data);
+    // Cloud-database lifespans have a strongly decreasing hazard.
+    assert!(weib.shape() < 0.9, "shape = {}", weib.shape());
+    assert!(weib.aic() < expo.aic());
+}
+
+#[test]
+fn logrank_separates_editions_on_fleet() {
+    use telemetry::Edition;
+    let f = fleet();
+    let census = Census::new(&f);
+    let basic = SurvivalData::from_pairs(
+        &census.survival_pairs_where(2.0, |db| db.creation_edition() == Edition::Basic),
+    );
+    let premium = SurvivalData::from_pairs(
+        &census.survival_pairs_where(2.0, |db| db.creation_edition() == Edition::Premium),
+    );
+    let r = logrank_test(&basic, &premium);
+    assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+}
+
+#[test]
+fn cox_recovers_edition_effect() {
+    // Fit Cox PH with a "premium" indicator on the fleet: Premium
+    // databases must show an elevated hazard (Obs 3.2's direction).
+    use telemetry::Edition;
+    let f = fleet();
+    let census = Census::new(&f);
+    let mut model = CoxModel::new(&["is_premium"]);
+    for db in &f.databases {
+        let (duration, event) = db.observed_lifespan(census.window_end());
+        let days = duration.as_days_f64();
+        if days < 2.0 {
+            continue; // match the 2-day-minimum population
+        }
+        let premium = (db.creation_edition() == Edition::Premium) as u8 as f64;
+        model.push(&[premium], days, event);
+    }
+    let fit = model.fit();
+    let hr = fit.hazard_ratios()[0];
+    assert!(hr > 1.1, "premium hazard ratio = {hr}");
+    assert!(fit.p_values()[0] < 0.01);
+}
