@@ -11,13 +11,14 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use features::{FeatureConfig, FeatureExtractor};
 use forest::tree::TreeParams;
-use forest::{
-    train_test_split, ConfusionMatrix, Dataset, RandomForest, RandomForestParams,
-};
+use forest::{train_test_split, ConfusionMatrix, Dataset, RandomForest, RandomForestParams};
 use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
 
 fn study_dataset() -> Dataset {
-    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.15), 2018));
+    let fleet = Fleet::generate(FleetConfig::new(
+        RegionConfig::region_1().scaled(0.15),
+        2018,
+    ));
     let census = Census::new(&fleet);
     let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
     extractor.build_dataset(&census, None).0
@@ -26,7 +27,9 @@ fn study_dataset() -> Dataset {
 fn holdout_accuracy(data: &Dataset, params: &RandomForestParams) -> f64 {
     let (train, test) = train_test_split(data, 0.25, 7);
     let model = RandomForest::fit(&train, params, 7);
-    let preds: Vec<usize> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+    let preds: Vec<usize> = (0..test.len())
+        .map(|i| model.predict(test.row(i)))
+        .collect();
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     ConfusionMatrix::from_predictions(&preds, &actual).accuracy()
 }
@@ -89,33 +92,28 @@ fn ablate_bootstrap(c: &mut Criterion) {
             "[ablation] bootstrap = {bootstrap}: holdout accuracy {:.3}",
             holdout_accuracy(&data, &params)
         );
-        group.bench_with_input(
-            BenchmarkId::new("fit", bootstrap),
-            &params,
-            |b, params| b.iter(|| RandomForest::fit(black_box(&data), params, 42)),
-        );
+        group.bench_with_input(BenchmarkId::new("fit", bootstrap), &params, |b, params| {
+            b.iter(|| RandomForest::fit(black_box(&data), params, 42))
+        });
     }
     group.finish();
 }
+
+/// Predicate selecting which feature names a family keeps.
+type FamilyFilter = Box<dyn Fn(&str) -> bool>;
 
 fn ablate_feature_families(c: &mut Criterion) {
     // Dropping a family measures its contribution — the ablation behind
     // the paper's §5.4 importance ranking.
     let data = study_dataset();
-    let families: Vec<(&str, Box<dyn Fn(&str) -> bool>)> = vec![
+    let families: Vec<(&str, FamilyFilter)> = vec![
         ("full", Box::new(|_: &str| true)),
-        (
-            "no-history",
-            Box::new(|n: &str| !n.starts_with("hist_")),
-        ),
+        ("no-history", Box::new(|n: &str| !n.starts_with("hist_"))),
         (
             "no-names",
             Box::new(|n: &str| !(n.starts_with("server_") || n.starts_with("db_"))),
         ),
-        (
-            "no-time",
-            Box::new(|n: &str| !n.starts_with("created_")),
-        ),
+        ("no-time", Box::new(|n: &str| !n.starts_with("created_"))),
     ];
     let mut group = c.benchmark_group("ablation_families");
     group.sample_size(10);

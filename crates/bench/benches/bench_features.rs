@@ -31,8 +31,7 @@ fn bench_history_index(c: &mut Criterion) {
     let db = &f.databases[f.databases.len() / 2];
     group.bench_function("history_features", |b| {
         b.iter(|| {
-            black_box(&index)
-                .history_features(black_box(db), db.created_at + Duration::days(2))
+            black_box(&index).history_features(black_box(db), db.created_at + Duration::days(2))
         })
     });
     group.finish();

@@ -4,7 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use forest::tree::TreeParams;
-use forest::{Dataset, DecisionTree, GbmParams, GradientBoosting, MaxFeatures, RandomForest, RandomForestParams};
+use forest::{
+    Dataset, DecisionTree, GbmParams, GradientBoosting, MaxFeatures, RandomForest,
+    RandomForestParams,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,13 +33,7 @@ fn bench_tree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fit", n), &data, |b, data| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(7);
-                DecisionTree::fit(
-                    black_box(data),
-                    &idx,
-                    &TreeParams::default(),
-                    7,
-                    &mut rng,
-                )
+                DecisionTree::fit(black_box(data), &idx, &TreeParams::default(), 7, &mut rng)
             })
         });
     }

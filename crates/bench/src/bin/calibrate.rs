@@ -22,7 +22,11 @@ fn main() {
     ] {
         let fleet = Fleet::generate(FleetConfig::new(region.scaled(scale), 20_180_610));
         let census = Census::new(&fleet);
-        println!("== {name}: {} dbs, {} subs", fleet.databases.len(), fleet.subscriptions.len());
+        println!(
+            "== {name}: {} dbs, {} subs",
+            fleet.databases.len(),
+            fleet.subscriptions.len()
+        );
 
         let (sub_share, db_share) = census.ephemeral_only_stats();
         println!(

@@ -13,8 +13,7 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use telemetry::{
-    write_records_jsonl, write_summary_csv, EventStream, Fleet, FleetConfig, RegionConfig,
-    RegionId,
+    write_records_jsonl, write_summary_csv, EventStream, Fleet, FleetConfig, RegionConfig, RegionId,
 };
 
 struct Options {

@@ -19,7 +19,7 @@ use bench::{parse_options, Harness};
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use survdb::experiment::{ExperimentConfig, Experiment, GridPreset};
+use survdb::experiment::{Experiment, ExperimentConfig, GridPreset};
 use survdb::observations::ObservationReport;
 use survdb::provisioning::{
     simulate, PlacementPolicy, PredictedLongevity, ProvisioningConfig, ProvisioningOutcome,
@@ -94,7 +94,11 @@ struct CurveArtifact {
     points: Vec<(f64, f64)>,
 }
 
-fn km_points(census: &Census<'_>, min_days: f64, pred: impl FnMut(&telemetry::DatabaseRecord) -> bool) -> (usize, Vec<(f64, f64)>) {
+fn km_points(
+    census: &Census<'_>,
+    min_days: f64,
+    pred: impl FnMut(&telemetry::DatabaseRecord) -> bool,
+) -> (usize, Vec<(f64, f64)>) {
     let pairs = census.survival_pairs_where(min_days, pred);
     let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
     (pairs.len(), km.sample_curve(150.0, 76))
@@ -129,8 +133,12 @@ fn fig1(h: &mut Harness) {
 
 /// Figure 2: KM curves of one subgroup split by predicted class.
 fn fig2(h: &mut Harness) {
-    println!("\n================ Figure 2: KM curves of predicted groupings (Region-1, Standard)\n");
-    let result = h.subgroup(RegionId::Region1, Some(Edition::Standard)).clone();
+    println!(
+        "\n================ Figure 2: KM curves of predicted groupings (Region-1, Standard)\n"
+    );
+    let result = h
+        .subgroup(RegionId::Region1, Some(Edition::Standard))
+        .clone();
     let g = &result.whole_grouping;
     println!(
         "{}",
@@ -146,7 +154,9 @@ fn fig2(h: &mut Harness) {
 
 /// Figure 3: KM per edition × always/changed, three regions.
 fn fig3(h: &mut Harness) {
-    println!("\n================ Figure 3: KM curves by edition, sub-categorized by edition change\n");
+    println!(
+        "\n================ Figure 3: KM curves by edition, sub-categorized by edition change\n"
+    );
     let mut artifact: BTreeMap<String, Vec<CurveArtifact>> = BTreeMap::new();
     for region in RegionId::ALL {
         let census = h.study().census(region);
@@ -160,7 +170,11 @@ fn fig3(h: &mut Harness) {
                 db.creation_edition() == edition && db.changed_edition()
             });
             let s60 = |pts: &[(f64, f64)]| {
-                pts.iter().take_while(|(t, _)| *t <= 60.0).last().map(|(_, s)| *s).unwrap_or(1.0)
+                pts.iter()
+                    .take_while(|(t, _)| *t <= 60.0)
+                    .last()
+                    .map(|(_, s)| *s)
+                    .unwrap_or(1.0)
             };
             println!(
                 "  {edition:<8} always: n = {n_a:>6}, S(60) = {:.3}   changed: n = {n_c:>5}, S(60) = {:.3}",
@@ -234,12 +248,21 @@ fn fig6(h: &mut Harness) {
             p_value_cell(g.logrank_p),
             p_value_cell(r.baseline_grouping.logrank_p)
         );
-        println!("{}", ascii_km_series(&[&g.long_curve, &g.short_curve], 66, 11));
+        println!(
+            "{}",
+            ascii_km_series(&[&g.long_curve, &g.short_curve], 66, 11)
+        );
     }
     println!("  paper: all forest groupings p < 1e-7; baseline groupings p > 0.05");
     let artifact: Vec<_> = panels
         .iter()
-        .map(|r| (r.region.clone(), r.edition.clone(), r.whole_grouping.clone()))
+        .map(|r| {
+            (
+                r.region.clone(),
+                r.edition.clone(),
+                r.whole_grouping.clone(),
+            )
+        })
         .collect();
     h.write_artifact("fig6", &artifact);
 }
@@ -277,12 +300,21 @@ fn fig8(h: &mut Harness) {
             r.edition,
             p_value_cell(g.logrank_p)
         );
-        println!("{}", ascii_km_series(&[&g.long_curve, &g.short_curve], 66, 11));
+        println!(
+            "{}",
+            ascii_km_series(&[&g.long_curve, &g.short_curve], 66, 11)
+        );
     }
     println!("  paper: confident groupings separate cleanly, p < 1e-7");
     let artifact: Vec<_> = panels
         .iter()
-        .map(|r| (r.region.clone(), r.edition.clone(), r.confident_grouping.clone()))
+        .map(|r| {
+            (
+                r.region.clone(),
+                r.edition.clone(),
+                r.confident_grouping.clone(),
+            )
+        })
         .collect();
     h.write_artifact("fig8", &artifact);
 }
@@ -299,12 +331,21 @@ fn fig9(h: &mut Harness) {
             r.edition,
             p_value_cell(g.logrank_p)
         );
-        println!("{}", ascii_km_series(&[&g.long_curve, &g.short_curve], 66, 11));
+        println!(
+            "{}",
+            ascii_km_series(&[&g.long_curve, &g.short_curve], 66, 11)
+        );
     }
     println!("  paper: uncertain groupings' curves sit close together; separation often insignificant (Table 2)");
     let artifact: Vec<_> = panels
         .iter()
-        .map(|r| (r.region.clone(), r.edition.clone(), r.uncertain_grouping.clone()))
+        .map(|r| {
+            (
+                r.region.clone(),
+                r.edition.clone(),
+                r.uncertain_grouping.clone(),
+            )
+        })
         .collect();
     h.write_artifact("fig9", &artifact);
 }
@@ -312,7 +353,10 @@ fn fig9(h: &mut Harness) {
 /// Table 1: percentage of confident vs uncertain predictions.
 fn tab1(h: &mut Harness) {
     println!("\n================ Table 1: percentage of confident and uncertain predictions\n");
-    println!("  {:<10} {:<10} {:>10} {:>10}", "Edition", "Region", "Confident", "Uncertain");
+    println!(
+        "  {:<10} {:<10} {:>10} {:>10}",
+        "Edition", "Region", "Confident", "Uncertain"
+    );
     let panels = h.nine_panels();
     let mut artifact = Vec::new();
     for r in &panels {
@@ -424,7 +468,9 @@ fn ranked_family_top(pairs: &[(String, f64)]) -> String {
 /// §5.4: feature-importance ranking and the n-gram ablation.
 fn factors(h: &mut Harness) {
     println!("\n================ §5.4: predictive factors (gini importance) and n-gram ablation\n");
-    let result = h.subgroup(RegionId::Region1, Some(Edition::Standard)).clone();
+    let result = h
+        .subgroup(RegionId::Region1, Some(Edition::Standard))
+        .clone();
     println!("--- top 15 features (Region-1 / Standard):");
     for (name, importance) in result.importances.iter().take(15) {
         println!("  {name:<28} {importance:.4}");
@@ -471,10 +517,17 @@ fn factors(h: &mut Harness) {
             println!("  {fam:<24} {importance:.4}");
         }
         let gini_top = ranked_family_top(&ranked_to_owned(&result.importances));
-        let perm_top = perm_ranked.first().map(|(f, _)| f.to_string()).unwrap_or_default();
+        let perm_top = perm_ranked
+            .first()
+            .map(|(f, _)| f.to_string())
+            .unwrap_or_default();
         println!(
             "  top family by gini: {gini_top}; by permutation: {perm_top}{}",
-            if gini_top == perm_top { "  (agreement)" } else { "" }
+            if gini_top == perm_top {
+                "  (agreement)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -573,7 +626,12 @@ fn prov(h: &mut Harness) {
 
     let config = ProvisioningConfig::default();
     let agnostic = simulate(&census, &predictions, PlacementPolicy::Agnostic, &config);
-    let guided = simulate(&census, &predictions, PlacementPolicy::LongevityGuided, &config);
+    let guided = simulate(
+        &census,
+        &predictions,
+        PlacementPolicy::LongevityGuided,
+        &config,
+    );
     let guided_oracle = simulate(&census, &oracle, PlacementPolicy::LongevityGuided, &config);
 
     let row = |o: &ProvisioningOutcome| {
@@ -597,9 +655,7 @@ fn prov(h: &mut Harness) {
         saved(agnostic.wasted_disruptions, guided.wasted_disruptions),
         saved(agnostic.wasted_moves, guided.wasted_moves)
     );
-    println!(
-        "  (the oracle row is the upper bound a perfect classifier would reach)"
-    );
+    println!("  (the oracle row is the upper bound a perfect classifier would reach)");
     h.write_artifact("prov", &vec![agnostic, guided, guided_oracle]);
 }
 
@@ -683,10 +739,8 @@ fn sweep(h: &mut Harness) {
     for &window_days in &[92u32, 153, 214] {
         let mut region = telemetry::RegionConfig::region_1().scaled(h.options().scale);
         region.window_days = window_days;
-        let fleet = telemetry::Fleet::generate(telemetry::FleetConfig::new(
-            region,
-            h.options().seed,
-        ));
+        let fleet =
+            telemetry::Fleet::generate(telemetry::FleetConfig::new(region, h.options().seed));
         let census = telemetry::Census::new(&fleet);
         let labeled = census.prediction_population(2.0);
         let positives = labeled
@@ -720,7 +774,9 @@ fn sweep(h: &mut Harness) {
 /// as confidence levels (§5.3's premise)? Reliability diagram + Brier
 /// score on a held-out set.
 fn calib(h: &mut Harness) {
-    println!("\n================ probability calibration of the forest (Region-1, whole population)\n");
+    println!(
+        "\n================ probability calibration of the forest (Region-1, whole population)\n"
+    );
     let study = h.study().clone();
     let census = study.census(RegionId::Region1);
     let extractor = features::FeatureExtractor::new(&census, features::FeatureConfig::default());
@@ -737,7 +793,10 @@ fn calib(h: &mut Harness) {
     let labels: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     let diagram = forest::ReliabilityDiagram::build(&probs, &labels, 10);
 
-    println!("  {:>10} {:>10} {:>10} {:>8}", "bin", "predicted", "observed", "count");
+    println!(
+        "  {:>10} {:>10} {:>10} {:>8}",
+        "bin", "predicted", "observed", "count"
+    );
     for bin in diagram.bins() {
         if bin.count == 0 {
             continue;
@@ -783,7 +842,9 @@ fn calib(h: &mut Harness) {
 /// approaches"). Random forest vs gradient boosting vs a single tree vs
 /// the weighted-random baseline, on one held-out split.
 fn models(h: &mut Harness) {
-    println!("\n================ model-family comparison (Region-1, whole population, extension)\n");
+    println!(
+        "\n================ model-family comparison (Region-1, whole population, extension)\n"
+    );
     let study = h.study().clone();
     let census = study.census(RegionId::Region1);
     let extractor = features::FeatureExtractor::new(&census, features::FeatureConfig::default());
@@ -868,7 +929,9 @@ fn models(h: &mut Harness) {
 /// §7's actionable conclusion: segment subscriptions from their first
 /// half-window of history and validate the segments on the second half.
 fn segments(h: &mut Harness) {
-    println!("\n================ subscription segmentation (§7 conclusion, out-of-time validated)\n");
+    println!(
+        "\n================ subscription segmentation (§7 conclusion, out-of-time validated)\n"
+    );
     use survdb::segments::{segment_report, SegmentConfig};
     let mut artifact = Vec::new();
     for region in RegionId::ALL {

@@ -148,9 +148,7 @@ pub fn parse_options(args: &[String]) -> Result<HarnessOptions, String> {
         };
         match flag {
             "--scale" => {
-                options.scale = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?;
+                options.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                 i += 2;
             }
             "--seed" => {
@@ -158,8 +156,7 @@ pub fn parse_options(args: &[String]) -> Result<HarnessOptions, String> {
                 i += 2;
             }
             "--reps" => {
-                options.repetitions =
-                    value()?.parse().map_err(|e| format!("bad --reps: {e}"))?;
+                options.repetitions = value()?.parse().map_err(|e| format!("bad --reps: {e}"))?;
                 i += 2;
             }
             "--grid" => {
@@ -189,10 +186,12 @@ mod tests {
     fn parse_defaults_and_flags() {
         let opts = parse_options(&[]).unwrap();
         assert_eq!(opts.repetitions, 5);
-        let args: Vec<String> = ["--scale", "0.1", "--seed", "7", "--grid", "full", "--reps", "2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--scale", "0.1", "--seed", "7", "--grid", "full", "--reps", "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let opts = parse_options(&args).unwrap();
         assert_eq!(opts.scale, 0.1);
         assert_eq!(opts.seed, 7);

@@ -2,11 +2,11 @@
 //! subgroup.
 
 use features::{FeatureConfig, FeatureExtractor, NgramVocabulary};
+use forest::tree::TreeParams;
 use forest::{
     train_test_split, ClassificationScores, ConfusionMatrix, Dataset, GridSearch, MaxFeatures,
     PartitionedPredictions, RandomForest, RandomForestParams, WeightedRandomClassifier,
 };
-use forest::tree::TreeParams;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -188,6 +188,31 @@ pub struct Experiment {
     config: ExperimentConfig,
 }
 
+/// Why an experiment could not run on a subgroup. Degraded-telemetry
+/// sweeps hit these routinely (quarantines shrink populations), so
+/// they are errors rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// Fewer examples than the evaluation protocol can split and
+    /// cross-validate (minimum 40).
+    SubgroupTooSmall {
+        /// Examples available.
+        examples: usize,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::SubgroupTooSmall { examples } => {
+                write!(f, "subgroup too small to evaluate ({examples} examples)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
 impl Experiment {
     /// Creates an experiment runner.
     pub fn new(config: ExperimentConfig) -> Experiment {
@@ -196,8 +221,23 @@ impl Experiment {
     }
 
     /// Runs on the given region census, restricted to one creation
-    /// edition (`None` = the whole region population).
+    /// edition (`None` = the whole region population). Panics when the
+    /// subgroup is too small — use [`Experiment::try_run`] for
+    /// populations that may not be evaluable (e.g. degraded streams).
     pub fn run(&self, census: &Census<'_>, edition: Option<Edition>) -> SubgroupResult {
+        match self.try_run(census, edition) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs on the given region census, returning an error instead of
+    /// panicking when the subgroup cannot be evaluated.
+    pub fn try_run(
+        &self,
+        census: &Census<'_>,
+        edition: Option<Edition>,
+    ) -> Result<SubgroupResult, ExperimentError> {
         let ngrams = self.config.ngrams.map(|(n, k)| {
             NgramVocabulary::fit(
                 census
@@ -219,12 +259,12 @@ impl Experiment {
             },
         );
         let (dataset, survival) = extractor.build_dataset(census, edition);
-        assert!(
-            dataset.len() >= 40,
-            "subgroup too small to evaluate ({} examples)",
-            dataset.len()
-        );
-        self.run_on_dataset(dataset, survival, census, edition)
+        if dataset.len() < 40 {
+            return Err(ExperimentError::SubgroupTooSmall {
+                examples: dataset.len(),
+            });
+        }
+        Ok(self.run_on_dataset(dataset, survival, census, edition))
     }
 
     /// Runs the protocol on an explicit dataset (exposed for ablations).
@@ -264,7 +304,7 @@ impl Experiment {
         let indexed = with_index_column(&dataset);
 
         for rep in 0..cfg.repetitions {
-            let split_seed = cfg.seed ^ (rep as u64).wrapping_mul(0x1000_0000_1b3);
+            let split_seed = cfg.seed ^ (rep as u64).wrapping_mul(0x0100_0000_01b3);
             let (train_ix, test_ix) = train_test_split(&indexed, cfg.test_fraction, split_seed);
             let train = strip_index_column(&train_ix);
             let test = strip_index_column(&test_ix);
@@ -306,8 +346,7 @@ impl Experiment {
                 .collect();
             let predicted: Vec<usize> = probs.iter().map(|&p| (p > 0.5) as usize).collect();
             let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
-            forest_scores
-                .push(ConfusionMatrix::from_predictions(&predicted, &actual).scores());
+            forest_scores.push(ConfusionMatrix::from_predictions(&predicted, &actual).scores());
 
             // Baseline.
             let baseline = WeightedRandomClassifier::fit(&train);
@@ -356,7 +395,9 @@ impl Experiment {
             .cloned()
             .zip(importance_acc)
             .collect();
-        importances.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importance"));
+        // total_cmp: importances can be NaN-free by construction today,
+        // but a degenerate dataset must not turn a sort into a panic.
+        importances.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         SubgroupResult {
             region: census.fleet().config.region.id.to_string(),
@@ -374,7 +415,11 @@ impl Experiment {
             baseline_grouping: pool_baseline.analyze(),
             confident_grouping: pool_confident.analyze(),
             uncertain_grouping: pool_uncertain.analyze(),
-            oob_accuracy: if oob_n > 0 { oob_sum / oob_n as f64 } else { 0.0 },
+            oob_accuracy: if oob_n > 0 {
+                oob_sum / oob_n as f64
+            } else {
+                0.0
+            },
             importances,
             tuned_params: tuned_desc,
         }
@@ -507,15 +552,24 @@ mod tests {
         let study = study();
         let census = study.census(RegionId::Region1);
         let result = Experiment::new(quick_config()).run(&census, None);
-        for g in [
-            &result.whole_grouping,
-            &result.confident_grouping,
-        ] {
+        for g in [&result.whole_grouping, &result.confident_grouping] {
             assert_eq!(g.long_curve.points.len(), 51);
             assert_eq!(g.long_curve.points[0].1, 1.0);
             // Long group survives better at day 30.
-            let s_long = g.long_curve.points.iter().find(|(t, _)| *t >= 30.0).unwrap().1;
-            let s_short = g.short_curve.points.iter().find(|(t, _)| *t >= 30.0).unwrap().1;
+            let s_long = g
+                .long_curve
+                .points
+                .iter()
+                .find(|(t, _)| *t >= 30.0)
+                .unwrap()
+                .1;
+            let s_short = g
+                .short_curve
+                .points
+                .iter()
+                .find(|(t, _)| *t >= 30.0)
+                .unwrap()
+                .1;
             assert!(s_long > s_short, "{s_long} vs {s_short}");
         }
     }

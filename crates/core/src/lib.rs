@@ -14,6 +14,9 @@
 //!   tuning with 5-fold cross-validation, five repetitions, random
 //!   forest vs weighted-random baseline, confidence partitioning, KM
 //!   curves of the predicted groups, and log-rank significance.
+//! * [`degradation`] — robustness: the §5 protocol re-run on
+//!   fault-injected telemetry recovered through lenient ingest, with
+//!   score deltas against the clean baseline.
 //! * [`observations`] — the §3.3 observations (3.1–3.3) as checkable
 //!   statistics.
 //! * [`provisioning`] — the §3.1 motivation made concrete: a
@@ -40,6 +43,7 @@
 //!          result.forest.accuracy, result.baseline.accuracy);
 //! ```
 
+pub mod degradation;
 pub mod experiment;
 pub mod observations;
 pub mod provisioning;
@@ -47,7 +51,8 @@ pub mod report;
 pub mod segments;
 pub mod study;
 
-pub use experiment::{Experiment, ExperimentConfig, GridPreset, SubgroupResult};
+pub use degradation::{run_degradation_sweep, DegradationConfig, RobustnessReport};
+pub use experiment::{Experiment, ExperimentConfig, ExperimentError, GridPreset, SubgroupResult};
 pub use observations::ObservationReport;
 pub use provisioning::{PlacementPolicy, ProvisioningConfig, ProvisioningOutcome};
 pub use segments::{segment_report, Segment, SegmentConfig, SegmentReport};

@@ -57,14 +57,12 @@ impl ObservationReport {
         let mut edition_data = Vec::new();
         for edition in Edition::ALL {
             let pairs = census.survival_pairs_where(2.0, |db| db.creation_edition() == edition);
-            let always =
-                census.survival_pairs_where(2.0, |db| {
-                    db.creation_edition() == edition && !db.changed_edition()
-                });
-            let changed =
-                census.survival_pairs_where(2.0, |db| {
-                    db.creation_edition() == edition && db.changed_edition()
-                });
+            let always = census.survival_pairs_where(2.0, |db| {
+                db.creation_edition() == edition && !db.changed_edition()
+            });
+            let changed = census.survival_pairs_where(2.0, |db| {
+                db.creation_edition() == edition && db.changed_edition()
+            });
             let km = KaplanMeier::fit(&SurvivalData::from_pairs(&pairs));
             let km_always = KaplanMeier::fit(&SurvivalData::from_pairs(&always));
             let km_changed = KaplanMeier::fit(&SurvivalData::from_pairs(&changed));
@@ -105,8 +103,7 @@ impl ObservationReport {
     /// significantly; 3.3 Premium changes edition far more often.
     pub fn all_hold(&self) -> bool {
         let obs31 = self.ephemeral_only_subscription_share < 0.25
-            && self.ephemeral_only_database_share
-                > 2.0 * self.ephemeral_only_subscription_share;
+            && self.ephemeral_only_database_share > 2.0 * self.ephemeral_only_subscription_share;
         let obs32 = self.edition_logrank_p < 0.001;
         let basic = self.edition_change_rates[0].1;
         let standard = self.edition_change_rates[1].1;
@@ -131,10 +128,7 @@ mod tests {
         for id in RegionId::ALL {
             let census = study.census(id);
             let report = ObservationReport::compute(&census);
-            assert!(
-                report.all_hold(),
-                "{id}: {report:?}"
-            );
+            assert!(report.all_hold(), "{id}: {report:?}");
         }
     }
 

@@ -166,9 +166,7 @@ pub fn simulate(
         let now = start + Duration::days(day);
 
         // 1. Place databases whose prediction instant has arrived.
-        while next_placement < placements.len()
-            && placements[next_placement].placed_at <= now
-        {
+        while next_placement < placements.len() && placements[next_placement].placed_at <= now {
             let pool = placements[next_placement].pool;
             let slot = clusters
                 .iter_mut()
@@ -191,7 +189,7 @@ pub fn simulate(
         for cluster in &mut clusters {
             cluster
                 .live
-                .retain(|&i| placements[i].drop_at.map_or(true, |d| d > now));
+                .retain(|&i| placements[i].drop_at.is_none_or(|d| d > now));
         }
 
         // 3. Non-critical update wave.

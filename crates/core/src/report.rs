@@ -21,6 +21,10 @@ pub fn ascii_km_chart(curves: &[(&str, &[(f64, f64)])], width: usize, height: us
     let mut grid = vec![vec![' '; width]; height];
     for (ci, (_, pts)) in curves.iter().enumerate() {
         let glyph = GLYPHS[ci % GLYPHS.len()];
+        // `col` picks both the x position and (via the looked-up
+        // survival) a per-column row, so an iterator over `grid` —
+        // which is row-major — cannot replace it.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let t = max_t * col as f64 / (width - 1) as f64;
             // Step-function lookup over the sampled points.
@@ -55,7 +59,11 @@ pub fn ascii_km_chart(curves: &[(&str, &[(f64, f64)])], width: usize, height: us
     out.push_str("    +");
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!("     0 days {:>w$.0} days\n", max_t, w = width - 8));
+    out.push_str(&format!(
+        "     0 days {:>w$.0} days\n",
+        max_t,
+        w = width - 8
+    ));
     for (ci, (name, _)) in curves.iter().enumerate() {
         out.push_str(&format!("     {} {}\n", GLYPHS[ci % GLYPHS.len()], name));
     }
@@ -95,7 +103,11 @@ pub fn subgroup_block(r: &SubgroupResult) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "--- {} / {} (n = {}, q = {:.3}, t = {:.3}, tuned: {})\n",
-        r.region, r.edition, r.population, r.positive_fraction, r.confidence_threshold,
+        r.region,
+        r.edition,
+        r.population,
+        r.positive_fraction,
+        r.confidence_threshold,
         r.tuned_params
     ));
     out.push_str(&score_row("  forest", &r.forest));

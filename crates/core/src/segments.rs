@@ -288,6 +288,9 @@ mod tests {
         let accuracy = report.out_of_time_accuracy.expect("evaluated > 0");
         assert!(accuracy > 0.75, "out-of-time accuracy {accuracy}");
         let cycler_precision = report.cycler_precision.expect("cyclers exist");
-        assert!(cycler_precision > 0.8, "cycler precision {cycler_precision}");
+        assert!(
+            cycler_precision > 0.8,
+            "cycler precision {cycler_precision}"
+        );
     }
 }

@@ -17,7 +17,7 @@ impl Default for StudyConfig {
     fn default() -> Self {
         StudyConfig {
             scale: 1.0,
-            seed: 0x5_DB_2018,
+            seed: 0x05DB_2018,
         }
     }
 }

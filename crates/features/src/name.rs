@@ -187,7 +187,7 @@ mod tests {
         let vocab = NgramVocabulary::fit(["abcabc", "abcd"].iter().copied(), 3, 2);
         let f = vocab.features("xxabcxx");
         assert_eq!(f.len(), 2);
-        assert!(f.iter().any(|&v| v == 1.0));
+        assert!(f.contains(&1.0));
         let none = vocab.features("zzzz");
         assert!(none.iter().all(|&v| v == 0.0));
     }

@@ -140,9 +140,14 @@ impl FeatureExtractor {
                     continue;
                 }
             }
-            let class = census
-                .classify_with_boundary(db, y)
-                .expect("prediction population is decidable");
+            // The population filter guarantees decidability on
+            // generated fleets; recovered fleets from degraded
+            // telemetry can violate it (e.g. a lost Dropped event
+            // leaves the lifespan open inside the window), so skip
+            // such rows instead of panicking.
+            let Some(class) = census.classify_with_boundary(db, y) else {
+                continue;
+            };
             // Ephemeral databases never reach the prediction instant
             // alive; the population filter guarantees this.
             debug_assert_ne!(class, LifespanClass::Ephemeral);
@@ -208,8 +213,7 @@ mod tests {
         let census = Census::new(&f);
         let ex = FeatureExtractor::new(&census, FeatureConfig::default());
         let (data, survival) = ex.build_dataset(&census, None);
-        for i in 0..data.len().min(200) {
-            let (days, event) = survival[i];
+        for (i, &(days, event)) in survival.iter().take(200).enumerate() {
             if event {
                 assert_eq!(
                     data.label(i),
@@ -230,11 +234,8 @@ mod tests {
         let f = fleet();
         let census = Census::new(&f);
         let base = FeatureExtractor::new(&census, FeatureConfig::default());
-        let vocab = NgramVocabulary::fit(
-            f.databases.iter().map(|d| d.database_name.as_str()),
-            3,
-            20,
-        );
+        let vocab =
+            NgramVocabulary::fit(f.databases.iter().map(|d| d.database_name.as_str()), 3, 20);
         let with = FeatureExtractor::new(
             &census,
             FeatureConfig {
@@ -242,10 +243,7 @@ mod tests {
                 ..FeatureConfig::default()
             },
         );
-        assert_eq!(
-            with.feature_names().len(),
-            base.feature_names().len() + 20
-        );
+        assert_eq!(with.feature_names().len(), base.feature_names().len() + 20);
         let db = &f.databases[0];
         assert_eq!(with.extract(&census, db).len(), with.feature_names().len());
     }

@@ -75,10 +75,7 @@ mod tests {
 
     #[test]
     fn flat_trace_has_zero_change() {
-        let t = SizeTrace::new(vec![
-            (Duration::hours(0), 50.0),
-            (Duration::hours(6), 50.0),
-        ]);
+        let t = SizeTrace::new(vec![(Duration::hours(0), 50.0), (Duration::hours(6), 50.0)]);
         let f = size_features(&t, Duration::days(2));
         assert_eq!(f[3], 0.0);
         assert_eq!(f[4], 0.0);

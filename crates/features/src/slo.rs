@@ -27,13 +27,20 @@ pub const SLO_FEATURE_NAMES: [&str; 11] = [
 /// Extracts SLO features from the history prefix up to `prediction_at`.
 pub fn slo_features(db: &DatabaseRecord, prediction_at: Timestamp) -> Vec<f64> {
     // History entries in effect during [created, prediction].
-    let prefix: Vec<usize> = db
+    let mut prefix: Vec<usize> = db
         .slo_history
         .iter()
         .filter(|c| c.at <= prediction_at)
         .map(|c| c.slo_index)
         .collect();
-    debug_assert!(!prefix.is_empty(), "creation entry is always in prefix");
+    // Generated records always carry their creation entry at
+    // `created_at <= prediction_at`, but recovered records from
+    // degraded telemetry may not (a reordered creation can land after
+    // the horizon). Fall back to the earliest known SLO so the feature
+    // vector stays defined instead of panicking on index 0 below.
+    if prefix.is_empty() {
+        prefix.push(db.slo_history.first().map_or(0, |c| c.slo_index));
+    }
 
     let mut edition_changes = 0usize;
     let mut slo_changes = 0usize;
@@ -52,7 +59,7 @@ pub fn slo_features(db: &DatabaseRecord, prediction_at: Timestamp) -> Vec<f64> {
     slos.dedup();
 
     let first = prefix[0];
-    let last = *prefix.last().expect("non-empty prefix");
+    let last = *prefix.last().unwrap_or(&first);
     let dtus: Vec<f64> = prefix.iter().map(|&i| SLOS[i].dtus as f64).collect();
     let dtu_max = dtus.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let dtu_min = dtus.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -78,7 +85,9 @@ mod tests {
     use super::*;
     use simtime::Duration;
     use telemetry::catalog::SloCatalog;
-    use telemetry::{RegionId, SizeTrace, SloChange, SubscriptionId, SubscriptionType, UtilizationTrace};
+    use telemetry::{
+        RegionId, SizeTrace, SloChange, SubscriptionId, SubscriptionType, UtilizationTrace,
+    };
 
     fn db_with_history(names: &[(&str, i64)]) -> DatabaseRecord {
         let created = Timestamp::from_ymd_hms(2017, 6, 1, 0, 0, 0);
@@ -138,12 +147,24 @@ mod tests {
     }
 
     #[test]
+    fn pre_creation_horizon_falls_back_to_first_slo() {
+        // Recovered records from degraded telemetry can put the
+        // horizon before the (re-dated) creation; the features must
+        // stay defined.
+        let db = db_with_history(&[("S1", 0)]);
+        let f = slo_features(&db, db.created_at - Duration::days(1));
+        assert_eq!(f[1], 0.0); // no changes visible
+        assert_eq!(f[4], 1.0); // Standard rank from the fallback entry
+        assert_eq!(f[5], 20.0);
+    }
+
+    #[test]
     fn changes_after_prediction_are_invisible() {
         let db = db_with_history(&[("S1", 0), ("P1", 5)]);
         let f = slo_features(&db, db.created_at + Duration::days(2));
         assert_eq!(f[0], 0.0);
         assert_eq!(f[4], 1.0); // still Standard at Tp
-        // And they ARE visible at a later horizon.
+                               // And they ARE visible at a later horizon.
         let g = slo_features(&db, db.created_at + Duration::days(6));
         assert_eq!(g[0], 1.0);
         assert_eq!(g[4], 2.0);

@@ -14,8 +14,8 @@
 
 use simtime::Timestamp;
 use stats::Summary;
-use telemetry::{DatabaseRecord, Fleet, SubscriptionId, SubscriptionType};
 use std::collections::HashMap;
+use telemetry::{DatabaseRecord, Fleet, SubscriptionId, SubscriptionType};
 
 /// Names of the subscription features (type one-hot + history groups).
 pub fn subscription_feature_names() -> Vec<String> {
@@ -160,8 +160,8 @@ pub fn subscription_type_features(t: SubscriptionType) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use telemetry::{Fleet, FleetConfig, RegionConfig};
     use simtime::Duration;
+    use telemetry::{Fleet, FleetConfig, RegionConfig};
 
     fn fleet() -> Fleet {
         Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.03), 5))

@@ -36,7 +36,10 @@ impl WeightedRandomClassifier {
     ///
     /// Panics unless `0 <= p <= 1`.
     pub fn with_probability(p: f64) -> WeightedRandomClassifier {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
         WeightedRandomClassifier {
             positive_probability: p,
         }

@@ -131,7 +131,11 @@ mod tests {
             }
         }
         let d = ReliabilityDiagram::build(&probs, &labels, 10);
-        assert!(d.expected_calibration_error() < 0.01, "ece = {}", d.expected_calibration_error());
+        assert!(
+            d.expected_calibration_error() < 0.01,
+            "ece = {}",
+            d.expected_calibration_error()
+        );
         for bin in d.bins() {
             assert!((bin.mean_predicted - bin.observed_frequency).abs() < 0.01);
         }
@@ -140,7 +144,9 @@ mod tests {
     #[test]
     fn overconfident_probabilities_show_large_ece() {
         // Predicts 0.99/0.01 while truth is a coin flip.
-        let probs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 0.99 } else { 0.01 }).collect();
+        let probs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 0.99 } else { 0.01 })
+            .collect();
         let labels: Vec<usize> = (0..1000).map(|i| ((i / 2) % 2 == 0) as usize).collect();
         let d = ReliabilityDiagram::build(&probs, &labels, 10);
         assert!(d.expected_calibration_error() > 0.3);

@@ -37,7 +37,10 @@ pub fn confidence_threshold(positive_fraction: f64) -> f64 {
 ///
 /// Panics unless `0.5 <= t <= 1`.
 pub fn classify_confidence(p: f64, t: f64) -> ConfidenceSplit {
-    assert!((0.5..=1.0).contains(&t), "threshold must be in [0.5,1], got {t}");
+    assert!(
+        (0.5..=1.0).contains(&t),
+        "threshold must be in [0.5,1], got {t}"
+    );
     if p >= t || p <= 1.0 - t {
         ConfidenceSplit::Confident
     } else {

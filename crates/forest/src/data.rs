@@ -21,7 +21,10 @@ impl Dataset {
     ///
     /// Panics if there are no features or fewer than two classes.
     pub fn new(feature_names: Vec<String>, class_count: usize) -> Dataset {
-        assert!(!feature_names.is_empty(), "dataset needs at least one feature");
+        assert!(
+            !feature_names.is_empty(),
+            "dataset needs at least one feature"
+        );
         assert!(class_count >= 2, "dataset needs at least two classes");
         Dataset {
             feature_names,

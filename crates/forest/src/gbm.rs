@@ -76,6 +76,7 @@ impl RegressionTree {
         tree
     }
 
+    #[allow(clippy::too_many_arguments)] // recursive kernel threads its full state
     fn grow(
         &mut self,
         data: &Dataset,
@@ -102,7 +103,10 @@ impl RegressionTree {
         let mut pairs: Vec<(f64, f64, f64)> = Vec::with_capacity(rows.len());
         for feature in 0..data.feature_count() {
             pairs.clear();
-            pairs.extend(rows.iter().map(|&i| (data.row(i)[feature], grad[i], hess[i])));
+            pairs.extend(
+                rows.iter()
+                    .map(|&i| (data.row(i)[feature], grad[i], hess[i])),
+            );
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
             if pairs[0].0 == pairs[pairs.len() - 1].0 {
                 continue;
@@ -122,11 +126,14 @@ impl RegressionTree {
                 }
                 let gr = g_sum - gl;
                 let hr = h_sum - hl;
-                let gain =
-                    gl * gl / (hl + 1e-9) + gr * gr / (hr + 1e-9) - parent_score;
+                let gain = gl * gl / (hl + 1e-9) + gr * gr / (hr + 1e-9) - parent_score;
                 if gain > 1e-12 {
                     let mid = pairs[k].0 + (pairs[k + 1].0 - pairs[k].0) / 2.0;
-                    let threshold = if mid >= pairs[k + 1].0 { pairs[k].0 } else { mid };
+                    let threshold = if mid >= pairs[k + 1].0 {
+                        pairs[k].0
+                    } else {
+                        mid
+                    };
                     match best {
                         Some((_, _, best_gain)) if best_gain >= gain => {}
                         _ => best = Some((feature, threshold, gain)),
@@ -152,8 +159,24 @@ impl RegressionTree {
         self.nodes.push(RegNode::Leaf { value: 0.0 }); // placeholder
         let me = self.nodes.len() - 1;
         let (left_rows, right_rows) = rows.split_at_mut(mid);
-        let left = self.grow(data, left_rows, grad, hess, depth + 1, max_depth, min_samples_leaf);
-        let right = self.grow(data, right_rows, grad, hess, depth + 1, max_depth, min_samples_leaf);
+        let left = self.grow(
+            data,
+            left_rows,
+            grad,
+            hess,
+            depth + 1,
+            max_depth,
+            min_samples_leaf,
+        );
+        let right = self.grow(
+            data,
+            right_rows,
+            grad,
+            hess,
+            depth + 1,
+            max_depth,
+            min_samples_leaf,
+        );
         self.nodes[me] = RegNode::Split {
             feature,
             threshold,
@@ -258,8 +281,8 @@ impl GradientBoosting {
                 params.max_depth,
                 params.min_samples_leaf,
             );
-            for i in 0..n {
-                scores[i] += params.learning_rate * tree.predict(data.row(i));
+            for (i, score) in scores.iter_mut().enumerate() {
+                *score += params.learning_rate * tree.predict(data.row(i));
             }
             trees.push(tree);
         }
@@ -304,10 +327,7 @@ mod tests {
     use super::*;
 
     fn dataset(n: usize, seed: u64) -> Dataset {
-        let mut d = Dataset::new(
-            vec!["x0".into(), "x1".into(), "noise".into()],
-            2,
-        );
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "noise".into()], 2);
         let mut rng = SmallRng::seed_from_u64(seed);
         for _ in 0..n {
             let x0: f64 = rng.gen();
@@ -359,7 +379,9 @@ mod tests {
             5,
         );
         let acc = |m: &GradientBoosting| {
-            (0..d.len()).filter(|&i| m.predict(d.row(i)) == d.label(i)).count() as f64
+            (0..d.len())
+                .filter(|&i| m.predict(d.row(i)) == d.label(i))
+                .count() as f64
                 / d.len() as f64
         };
         assert!(acc(&strong) > acc(&weak));

@@ -26,7 +26,9 @@ pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Datas
 
     // Shuffle within each class, then cut.
     for class in 0..data.class_count() {
-        let mut members: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        let mut members: Vec<usize> = (0..data.len())
+            .filter(|&i| data.label(i) == class)
+            .collect();
         shuffle(&mut members, &mut rng);
         let n_test = (members.len() as f64 * test_fraction).round() as usize;
         test_idx.extend_from_slice(&members[..n_test]);
@@ -67,8 +69,9 @@ impl KFold {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
         for class in 0..data.class_count() {
-            let mut members: Vec<usize> =
-                (0..data.len()).filter(|&i| data.label(i) == class).collect();
+            let mut members: Vec<usize> = (0..data.len())
+                .filter(|&i| data.label(i) == class)
+                .collect();
             shuffle(&mut members, &mut rng);
             for (pos, idx) in members.into_iter().enumerate() {
                 folds[pos % k].push(idx);
@@ -99,12 +102,7 @@ impl KFold {
 
 /// Mean validation accuracy of a parameter setting under stratified
 /// k-fold cross-validation.
-pub fn cross_val_accuracy(
-    data: &Dataset,
-    params: &RandomForestParams,
-    k: usize,
-    seed: u64,
-) -> f64 {
+pub fn cross_val_accuracy(data: &Dataset, params: &RandomForestParams, k: usize, seed: u64) -> f64 {
     let kfold = KFold::new(data, k, seed);
     let mut total = 0.0;
     for fold in 0..k {

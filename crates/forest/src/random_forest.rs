@@ -108,8 +108,9 @@ impl RandomForest {
                         chunk
                             .iter()
                             .map(|&tree_idx| {
-                                let mut rng =
-                                    SmallRng::seed_from_u64(seed ^ (tree_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                                let mut rng = SmallRng::seed_from_u64(
+                                    seed ^ (tree_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                );
                                 let indices: Vec<usize> = if params.bootstrap {
                                     (0..n).map(|_| rng.gen_range(0..n)).collect()
                                 } else {
@@ -128,7 +129,10 @@ impl RandomForest {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("tree-training thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tree-training thread panicked"))
+                .collect()
         });
 
         // Collect trees and out-of-bag votes.
@@ -180,7 +184,10 @@ impl RandomForest {
         };
 
         RandomForest {
-            trees: trees.into_iter().map(|t| t.expect("every tree trained")).collect(),
+            trees: trees
+                .into_iter()
+                .map(|t| t.expect("every tree trained"))
+                .collect(),
             feature_names: data.feature_names().to_vec(),
             class_count: data.class_count(),
             oob_accuracy,
@@ -269,10 +276,7 @@ mod tests {
 
     fn noisy_dataset(n: usize) -> Dataset {
         // Class 1 iff x0 + x1 > 1, with two noise features.
-        let mut d = Dataset::new(
-            vec!["x0".into(), "x1".into(), "n0".into(), "n1".into()],
-            2,
-        );
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "n0".into(), "n1".into()], 2);
         let mut rng = SmallRng::seed_from_u64(1234);
         for _ in 0..n {
             let x0: f64 = rng.gen();
@@ -346,8 +350,8 @@ mod tests {
         let d = noisy_dataset(200);
         let m1 = RandomForest::fit(&d, &RandomForestParams::default(), 1);
         let m2 = RandomForest::fit(&d, &RandomForestParams::default(), 2);
-        let differs = (0..d.len())
-            .any(|i| m1.predict_proba(d.row(i)) != m2.predict_proba(d.row(i)));
+        let differs =
+            (0..d.len()).any(|i| m1.predict_proba(d.row(i)) != m2.predict_proba(d.row(i)));
         assert!(differs);
     }
 

@@ -152,7 +152,15 @@ impl DecisionTree {
             return make_leaf(self, counts);
         }
 
-        let best = self.best_split(data, &work[start..end], &counts, node_gini, max_features, params, rng);
+        let best = self.best_split(
+            data,
+            &work[start..end],
+            &counts,
+            node_gini,
+            max_features,
+            params,
+            rng,
+        );
         let Some((feature, threshold, decrease)) = best else {
             return make_leaf(self, counts);
         };
@@ -210,6 +218,7 @@ impl DecisionTree {
     /// Finds the best `(feature, threshold, impurity decrease)` over a
     /// random subset of features, or `None` if no valid split improves
     /// impurity.
+    #[allow(clippy::too_many_arguments)] // split search threads the parent's cached stats
     fn best_split<R: Rng + ?Sized>(
         &self,
         data: &Dataset,
@@ -386,8 +395,7 @@ impl DecisionTree {
         let indent = "  ".repeat(depth);
         match &self.nodes[idx] {
             Node::Leaf { probabilities } => {
-                let probs: Vec<String> =
-                    probabilities.iter().map(|p| format!("{p:.2}")).collect();
+                let probs: Vec<String> = probabilities.iter().map(|p| format!("{p:.2}")).collect();
                 out.push_str(&format!("{indent}leaf [{}]\n", probs.join(", ")));
             }
             Node::Split {
@@ -400,10 +408,7 @@ impl DecisionTree {
                     out.push_str(&format!("{indent}…\n"));
                     return;
                 }
-                out.push_str(&format!(
-                    "{indent}{} <= {threshold:.4}\n",
-                    names[*feature]
-                ));
+                out.push_str(&format!("{indent}{} <= {threshold:.4}\n", names[*feature]));
                 self.dump_node(*left, depth + 1, max_depth, names, out);
                 self.dump_node(*right, depth + 1, max_depth, names, out);
             }

@@ -47,7 +47,7 @@ impl HolidayRule {
                 weekday,
                 nth,
             } => {
-                assert!(nth >= 1 && nth <= 5, "nth must be 1-5, got {nth}");
+                assert!((1..=5).contains(&nth), "nth must be 1-5, got {nth}");
                 let first = CivilDate::new(year, month, 1);
                 let offset =
                     (weekday.number() as i64 - first.weekday().number() as i64).rem_euclid(7);

@@ -5,8 +5,17 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A signed span of time with second resolution.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-    serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Duration {
     seconds: i64,
@@ -65,8 +74,17 @@ impl Duration {
 /// simulator treats each region's clock as already localized, so no
 /// timezone offsets appear anywhere downstream).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-    serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Timestamp {
     seconds: i64,

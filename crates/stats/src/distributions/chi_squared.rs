@@ -19,7 +19,10 @@ impl ChiSquared {
     /// freedom (fractional degrees are allowed for pdf/cdf, but sampling
     /// requires an integer `k`).
     pub fn new(k: f64) -> Self {
-        assert!(k.is_finite() && k > 0.0, "degrees of freedom must be positive, got {k}");
+        assert!(
+            k.is_finite() && k > 0.0,
+            "degrees of freedom must be positive, got {k}"
+        );
         ChiSquared { k }
     }
 

@@ -20,13 +20,19 @@ impl Exponential {
     ///
     /// Panics if `rate <= 0` or non-finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
         Exponential { rate }
     }
 
     /// Creates an exponential distribution with the given mean.
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         Exponential { rate: 1.0 / mean }
     }
 

@@ -1,8 +1,8 @@
 //! Finite mixtures of heterogeneous continuous distributions.
 
 use super::{
-    Categorical, ChiSquared, ContinuousDistribution, DiscreteDistribution, Exponential,
-    LogNormal, Normal, Uniform, Weibull,
+    Categorical, ChiSquared, ContinuousDistribution, DiscreteDistribution, Exponential, LogNormal,
+    Normal, Uniform, Weibull,
 };
 use rand::Rng;
 

@@ -18,7 +18,10 @@ impl Normal {
     ///
     /// Panics if `std_dev <= 0` or either parameter is non-finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(mean.is_finite() && std_dev.is_finite(), "non-finite parameter");
+        assert!(
+            mean.is_finite() && std_dev.is_finite(),
+            "non-finite parameter"
+        );
         assert!(std_dev > 0.0, "std_dev must be positive, got {std_dev}");
         Normal { mean, std_dev }
     }

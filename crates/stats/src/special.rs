@@ -17,10 +17,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     // Lanczos coefficients for g = 7.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -148,17 +148,12 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-        + a * x.ln()
-        + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
     } else {
-        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-            + b * (1.0 - x).ln()
-            + a * x.ln())
-        .exp()
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + b * (1.0 - x).ln() + a * x.ln()).exp()
             * beta_cf(b, a, 1.0 - x)
             / b
     }
@@ -377,7 +372,11 @@ mod tests {
         }
         // I_x(2, 2) = 3x² − 2x³.
         for &x in &[0.2, 0.5, 0.8] {
-            close(incomplete_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-10);
+            close(
+                incomplete_beta(2.0, 2.0, x),
+                3.0 * x * x - 2.0 * x * x * x,
+                1e-10,
+            );
         }
         // Symmetry I_x(a,b) = 1 − I_{1−x}(b,a).
         for &(a, b, x) in &[(2.5, 1.5, 0.3), (0.5, 3.0, 0.8)] {

@@ -89,16 +89,16 @@ impl CoxModel {
                 s.push(row[j]);
             }
             means[j] = s.mean();
-            sds[j] = if s.std_dev() > 1e-12 { s.std_dev() } else { 1.0 };
+            sds[j] = if s.std_dev() > 1e-12 {
+                s.std_dev()
+            } else {
+                1.0
+            };
         }
         let std_rows: Vec<Vec<f64>> = self
             .rows
             .iter()
-            .map(|row| {
-                (0..p)
-                    .map(|j| (row[j] - means[j]) / sds[j])
-                    .collect()
-            })
+            .map(|row| (0..p).map(|j| (row[j] - means[j]) / sds[j]).collect())
             .collect();
 
         // Order subjects by duration descending so the risk set grows as
@@ -130,11 +130,7 @@ impl CoxModel {
             let mut step = 1.0;
             let mut improved = false;
             for _ in 0..30 {
-                let cand: Vec<f64> = beta
-                    .iter()
-                    .zip(&delta)
-                    .map(|(b, d)| b + step * d)
-                    .collect();
+                let cand: Vec<f64> = beta.iter().zip(&delta).map(|(b, d)| b + step * d).collect();
                 let (cand_ll, _, _) = self.breslow_derivatives(&std_rows, &order, &cand);
                 if cand_ll > new_ll - 1e-12 {
                     beta = cand;
@@ -204,11 +200,7 @@ impl CoxModel {
             let mut j = i;
             while j < n && self.durations[order[j]] == t {
                 let idx = order[j];
-                let eta: f64 = rows[idx]
-                    .iter()
-                    .zip(beta)
-                    .map(|(x, b)| x * b)
-                    .sum();
+                let eta: f64 = rows[idx].iter().zip(beta).map(|(x, b)| x * b).sum();
                 let w = eta.exp();
                 s0 += w;
                 for a in 0..p {
@@ -226,11 +218,7 @@ impl CoxModel {
             for &idx in &order[i..j] {
                 if self.events[idx] {
                     d += 1;
-                    death_eta_sum += rows[idx]
-                        .iter()
-                        .zip(beta)
-                        .map(|(x, b)| x * b)
-                        .sum::<f64>();
+                    death_eta_sum += rows[idx].iter().zip(beta).map(|(x, b)| x * b).sum::<f64>();
                     for a in 0..p {
                         death_x_sum[a] += rows[idx][a];
                     }
@@ -315,6 +303,7 @@ impl CoxFit {
 /// Solves `A x = b` for small dense symmetric positive-definite-ish `A`
 /// with partial-pivot Gaussian elimination. Singular columns get a
 /// zero solution component (dropped covariate).
+#[allow(clippy::needless_range_loop)] // elimination reads clearest with row/col indices
 fn solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
     let n = b.len();
     let mut m: Vec<Vec<f64>> = a.to_vec();
@@ -455,6 +444,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // 2×2 identity check with explicit indices
     fn solve_and_invert_small_system() {
         let a = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
         let x = solve(&a, &[1.0, 2.0]);

@@ -253,7 +253,10 @@ mod tests {
         let km = KaplanMeier::fit(&freireich_6mp());
         let close = |t: f64, expected: f64| {
             let got = km.survival_at(t);
-            assert!((got - expected).abs() < 5e-4, "S({t}) = {got}, want {expected}");
+            assert!(
+                (got - expected).abs() < 5e-4,
+                "S({t}) = {got}, want {expected}"
+            );
         };
         close(6.0, 0.8571);
         close(7.0, 0.8067);
@@ -355,7 +358,7 @@ mod tests {
             let km = KaplanMeier::fit(&data);
             let mut prev = 1.0;
             for (&_t, &s) in km.event_times().iter().zip(km.survival_probabilities()) {
-                prop_assert!(s >= -1e-12 && s <= 1.0 + 1e-12);
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s));
                 prop_assert!(s <= prev + 1e-12);
                 prev = s;
             }

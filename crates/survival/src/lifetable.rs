@@ -119,12 +119,7 @@ mod tests {
     #[test]
     fn simple_two_interval_table() {
         // 4 subjects: deaths at 0.5 and 1.5, censored at 1.2, survives past 2.
-        let d = SurvivalData::from_pairs(&[
-            (0.5, true),
-            (1.2, false),
-            (1.5, true),
-            (5.0, false),
-        ]);
+        let d = SurvivalData::from_pairs(&[(0.5, true), (1.2, false), (1.5, true), (5.0, false)]);
         let lt = LifeTable::fit(&d, 1.0, 2);
         let rows = lt.rows();
         assert_eq!(rows[0].entering, 4);

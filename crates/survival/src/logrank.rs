@@ -45,8 +45,15 @@ pub fn logrank_test(a: &SurvivalData, b: &SurvivalData) -> TestResult {
 /// # Panics
 ///
 /// Panics if either group is empty.
-pub fn weighted_logrank_test(a: &SurvivalData, b: &SurvivalData, weight: LogRankWeight) -> TestResult {
-    assert!(!a.is_empty() && !b.is_empty(), "both groups must be non-empty");
+pub fn weighted_logrank_test(
+    a: &SurvivalData,
+    b: &SurvivalData,
+    weight: LogRankWeight,
+) -> TestResult {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "both groups must be non-empty"
+    );
 
     // Pool the samples, remembering group membership.
     let mut subjects: Vec<(f64, bool, usize)> = Vec::with_capacity(a.len() + b.len());
@@ -220,6 +227,7 @@ pub fn logrank_test_k(groups: &[&SurvivalData]) -> TestResult {
 /// Computes `z' C⁻¹ z` by solving `C x = z` with partial-pivot Gaussian
 /// elimination (C is (k−1)×(k−1), tiny in practice). Returns 0 when C is
 /// singular (all groups identical at every event time).
+#[allow(clippy::needless_range_loop)] // elimination reads clearest with row/col indices
 fn quadratic_form_inv(z: &[f64], cov: &[Vec<f64>]) -> f64 {
     let n = z.len();
     let mut a: Vec<Vec<f64>> = cov.to_vec();

@@ -30,7 +30,10 @@ impl ExponentialFit {
         let events = data.event_count();
         let total_time: f64 = data.observations().iter().map(|o| o.duration).sum();
         assert!(events > 0, "exponential MLE requires at least one event");
-        assert!(total_time > 0.0, "exponential MLE requires positive total time");
+        assert!(
+            total_time > 0.0,
+            "exponential MLE requires positive total time"
+        );
         let rate = events as f64 / total_time;
         let log_likelihood = events as f64 * rate.ln() - rate * total_time;
         ExponentialFit {
@@ -100,11 +103,7 @@ impl WeibullFit {
             .map(|o| (o.duration.max(T_FLOOR), o.event))
             .collect();
 
-        let sum_delta_ln: f64 = obs
-            .iter()
-            .filter(|(_, e)| *e)
-            .map(|(t, _)| t.ln())
-            .sum();
+        let sum_delta_ln: f64 = obs.iter().filter(|(_, e)| *e).map(|(t, _)| t.ln()).sum();
 
         // Profile score in k:
         //   g(k) = Σ t^k ln t / Σ t^k − 1/k − (Σ δ ln t)/r
@@ -231,11 +230,7 @@ mod tests {
         let truth = Exponential::new(0.25);
         let data = censored_sample(&truth, 12.0, 4000, 1);
         let fit = ExponentialFit::fit(&data);
-        assert!(
-            (fit.rate() - 0.25).abs() < 0.02,
-            "rate = {}",
-            fit.rate()
-        );
+        assert!((fit.rate() - 0.25).abs() < 0.02, "rate = {}", fit.rate());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 use serde::Serialize;
 
 /// Database edition (paper §2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, serde::Deserialize,
+)]
 pub enum Edition {
     /// Entry tier, remote storage.
     Basic,
@@ -222,7 +224,10 @@ mod tests {
 
     #[test]
     fn entry_slos() {
-        assert_eq!(SloCatalog::get(SloCatalog::entry_slo(Edition::Basic)).name, "B");
+        assert_eq!(
+            SloCatalog::get(SloCatalog::entry_slo(Edition::Basic)).name,
+            "B"
+        );
         assert_eq!(
             SloCatalog::get(SloCatalog::entry_slo(Edition::Standard)).name,
             "S0"

@@ -359,7 +359,10 @@ mod tests {
         let basic = census.edition_change_rate(Edition::Basic);
         let standard = census.edition_change_rate(Edition::Standard);
         let premium = census.edition_change_rate(Edition::Premium);
-        assert!(premium > standard && premium > basic, "{basic} {standard} {premium}");
+        assert!(
+            premium > standard && premium > basic,
+            "{basic} {standard} {premium}"
+        );
     }
 
     #[test]
@@ -379,7 +382,11 @@ mod tests {
     fn study_filters_exclude_pooled_and_internal() {
         let f = fleet();
         let census = Census::new(&f);
-        let pooled = f.databases.iter().filter(|d| d.elastic_pool.is_some()).count();
+        let pooled = f
+            .databases
+            .iter()
+            .filter(|d| d.elastic_pool.is_some())
+            .count();
         let internal = f.databases.iter().filter(|d| d.is_internal).count();
         assert!(pooled > 0, "generator produced no pooled databases");
         assert!(internal > 0, "generator produced no internal databases");

@@ -1,10 +1,10 @@
 //! Per-database records: the unit of study.
 
 use crate::catalog::{Edition, SloCatalog, SLOS};
-use crate::sizetrace::SizeTrace;
-use crate::utilization::UtilizationTrace;
-use crate::subscription::{SubscriptionId, SubscriptionType};
 use crate::region::RegionId;
+use crate::sizetrace::SizeTrace;
+use crate::subscription::{SubscriptionId, SubscriptionType};
+use crate::utilization::UtilizationTrace;
 use simtime::{Duration, Timestamp};
 
 /// One service-level-objective assignment in a database's history.
@@ -120,7 +120,7 @@ impl DatabaseRecord {
     /// Whether the database was still alive at `at` (clamped into the
     /// window; creation counts as alive).
     pub fn alive_at(&self, at: Timestamp) -> bool {
-        at >= self.created_at && self.dropped_at.map_or(true, |d| d > at)
+        at >= self.created_at && self.dropped_at.is_none_or(|d| d > at)
     }
 
     /// Minimum/maximum DTUs ever assigned.

@@ -72,9 +72,43 @@ pub enum TelemetryEvent {
     },
 }
 
+impl TelemetryEvent {
+    /// The database this event belongs to.
+    pub fn db_id(&self) -> u64 {
+        match self {
+            TelemetryEvent::Created { db_id, .. }
+            | TelemetryEvent::SizeSample { db_id, .. }
+            | TelemetryEvent::UtilizationSample { db_id, .. }
+            | TelemetryEvent::SloChanged { db_id, .. }
+            | TelemetryEvent::Dropped { db_id } => *db_id,
+        }
+    }
+
+    /// The SLO label the event carries, if any.
+    pub fn slo_name(&self) -> Option<&'static str> {
+        match self {
+            TelemetryEvent::Created { slo, .. } | TelemetryEvent::SloChanged { slo, .. } => {
+                Some(slo)
+            }
+            _ => None,
+        }
+    }
+
+    /// Replaces the SLO label on label-carrying events; a no-op on the
+    /// rest. Used by fault injection to corrupt labels.
+    pub fn set_slo_name(&mut self, name: &'static str) {
+        match self {
+            TelemetryEvent::Created { slo, .. } | TelemetryEvent::SloChanged { slo, .. } => {
+                *slo = name;
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Ordering rank for events sharing a timestamp: creations first,
 /// drops last.
-fn event_rank(e: &TelemetryEvent) -> u8 {
+pub(crate) fn event_rank(e: &TelemetryEvent) -> u8 {
     match e {
         TelemetryEvent::Created { .. } => 0,
         TelemetryEvent::SloChanged { .. } => 1,
@@ -146,7 +180,10 @@ impl EventStream {
         if let Some(at) = db.dropped_at {
             events.push((at, TelemetryEvent::Dropped { db_id: db.id }));
         }
-        events.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| event_rank(&a.1).cmp(&event_rank(&b.1))));
+        events.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| event_rank(&a.1).cmp(&event_rank(&b.1)))
+        });
         EventStream { events }
     }
 
@@ -163,7 +200,18 @@ impl EventStream {
     /// Builds a stream from pre-collected events, re-sorting into
     /// canonical order (used by ingestion tests and external loaders).
     pub fn from_events(mut events: Vec<(Timestamp, TelemetryEvent)>) -> EventStream {
-        events.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| event_rank(&a.1).cmp(&event_rank(&b.1))));
+        events.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| event_rank(&a.1).cmp(&event_rank(&b.1)))
+        });
+        EventStream { events }
+    }
+
+    /// Builds a stream that preserves the given *arrival* order
+    /// verbatim — no sorting. Fault injection uses this so reordering
+    /// perturbations survive into ingestion instead of being silently
+    /// repaired by the constructor.
+    pub fn from_events_unsorted(events: Vec<(Timestamp, TelemetryEvent)>) -> EventStream {
         EventStream { events }
     }
 
@@ -214,7 +262,11 @@ mod tests {
         let creates = s.count_where(|e| matches!(e, TelemetryEvent::Created { .. }));
         let drops = s.count_where(|e| matches!(e, TelemetryEvent::Dropped { .. }));
         assert_eq!(creates, f.databases.len());
-        let observed_drops = f.databases.iter().filter(|d| d.dropped_at.is_some()).count();
+        let observed_drops = f
+            .databases
+            .iter()
+            .filter(|d| d.dropped_at.is_some())
+            .count();
         assert_eq!(drops, observed_drops);
     }
 
@@ -241,9 +293,15 @@ mod tests {
     fn edition_change_flags_are_consistent() {
         let f = fleet();
         let s = EventStream::of_fleet(&f);
-        let edition_changes = s.count_where(
-            |e| matches!(e, TelemetryEvent::SloChanged { edition_changed: true, .. }),
-        );
+        let edition_changes = s.count_where(|e| {
+            matches!(
+                e,
+                TelemetryEvent::SloChanged {
+                    edition_changed: true,
+                    ..
+                }
+            )
+        });
         let changed_dbs = f.databases.iter().filter(|d| d.changed_edition()).count();
         // Every edition-changing database contributes at least one
         // edition-change event (it may change back, adding another).

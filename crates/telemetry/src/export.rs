@@ -8,8 +8,8 @@
 //! Deserialized records are re-validated: JSONL input is data, not a
 //! trusted in-process invariant carrier.
 
-use crate::database::DatabaseRecord;
 use crate::catalog::SLOS;
+use crate::database::DatabaseRecord;
 use std::io::{BufRead, Write};
 
 /// Errors from reading an exported dataset.

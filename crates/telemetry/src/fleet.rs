@@ -101,8 +101,8 @@ impl Fleet {
                     archetype.sample_lifespan_days(longevity_trait, edition, &mut rng);
                 // Pool-using subscriptions put most of their databases
                 // into one of a few shared pools.
-                let elastic_pool = (uses_pools && rng.gen_bool(0.7))
-                    .then(|| rng.gen_range(0..3u32));
+                let elastic_pool =
+                    (uses_pools && rng.gen_bool(0.7)).then(|| rng.gen_range(0..3u32));
                 let record = build_database(
                     db_id,
                     &subscription,
@@ -302,7 +302,8 @@ fn build_database(
     // is a noisy trait readout, not an oracle.
     let mut utilization_profile = archetype.utilization_profile(subscription.longevity_trait);
     let level_spread = LogNormal::new(0.0, 0.5).sample(rng);
-    utilization_profile.base_level = (utilization_profile.base_level * level_spread).clamp(1.0, 95.0);
+    utilization_profile.base_level =
+        (utilization_profile.base_level * level_spread).clamp(1.0, 95.0);
     let utilization_trace = utilization_profile.generate(
         created_at,
         Duration::days_f64(trace_horizon_days),
@@ -472,7 +473,7 @@ mod tests {
             .filter(|s| s.archetype == Archetype::CiCdCycler)
             .count();
         if cycler_subs > 0 {
-            assert!(cycler_dbs / cycler_subs >= 25);
+            assert!(cycler_dbs >= 25 * cycler_subs);
         }
     }
 

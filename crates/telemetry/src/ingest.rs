@@ -2,19 +2,28 @@
 //!
 //! The paper's pipeline starts from "telemetry that is emitted from
 //! each unique database" (§2); the study tables are views materialized
-//! from that stream. This module is that materializer: it folds a
-//! time-ordered [`TelemetryEvent`] stream back into
-//! [`DatabaseRecord`]s. Round-trip tests
-//! (`reconstruct(of_fleet(f)) == f.databases`) pin that the stream is a
-//! complete, faithful representation of the simulated service.
+//! from that stream. This module is that materializer, in two modes:
+//!
+//! * [`reconstruct_records`] — the strict path. It folds a
+//!   time-ordered [`TelemetryEvent`] stream back into
+//!   [`DatabaseRecord`]s and rejects the first malformed event it
+//!   meets. Round-trip tests (`reconstruct(of_fleet(f)) ==
+//!   f.databases`) pin that the stream is a complete, faithful
+//!   representation of the simulated service.
+//! * [`reconstruct_records_lenient`] — the recovery path. Production
+//!   telemetry is never pristine (events are dropped, duplicated and
+//!   reordered in transit; see [`crate::faults`]), so this path
+//!   repairs what it can, quarantines databases it cannot, and never
+//!   aborts. An [`IngestReport`] accounts for every repair and
+//!   quarantine so degradation is measurable rather than silent.
 
 use crate::catalog::SloCatalog;
 use crate::database::{DatabaseRecord, SloChange};
-use crate::events::{EventStream, TelemetryEvent};
+use crate::events::{event_rank, EventStream, TelemetryEvent};
 use crate::sizetrace::SizeTrace;
 use crate::utilization::UtilizationTrace;
 use simtime::Timestamp;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors from ingesting a telemetry stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +39,34 @@ pub enum IngestError {
     DuplicateCreate {
         /// The database id.
         db_id: u64,
+    },
+    /// A second `Dropped` arrived for the same id.
+    DuplicateDrop {
+        /// The database id.
+        db_id: u64,
+    },
+    /// A size or utilization sample arrived after the database's
+    /// `Dropped` event.
+    SampleAfterDrop {
+        /// The database id.
+        db_id: u64,
+        /// Short description of the sample kind.
+        kind: &'static str,
+    },
+    /// A sample's offset did not advance past the previous sample of
+    /// the same kind.
+    NonMonotonicSample {
+        /// The database id.
+        db_id: u64,
+        /// Short description of the sample kind.
+        kind: &'static str,
+    },
+    /// A sample carried a non-finite or out-of-range value.
+    InvalidSample {
+        /// The database id.
+        db_id: u64,
+        /// Short description of the sample kind.
+        kind: &'static str,
     },
     /// An SLO name in the stream is not in the catalog.
     UnknownSlo {
@@ -55,6 +92,18 @@ impl std::fmt::Display for IngestError {
             IngestError::DuplicateCreate { db_id } => {
                 write!(f, "duplicate create for database {db_id}")
             }
+            IngestError::DuplicateDrop { db_id } => {
+                write!(f, "duplicate drop for database {db_id}")
+            }
+            IngestError::SampleAfterDrop { db_id, kind } => {
+                write!(f, "{kind} for database {db_id} after its drop")
+            }
+            IngestError::NonMonotonicSample { db_id, kind } => {
+                write!(f, "non-monotonic {kind} offsets for database {db_id}")
+            }
+            IngestError::InvalidSample { db_id, kind } => {
+                write!(f, "invalid {kind} value for database {db_id}")
+            }
             IngestError::UnknownSlo { db_id, name } => {
                 write!(f, "unknown SLO {name} for database {db_id}")
             }
@@ -67,6 +116,16 @@ impl std::fmt::Display for IngestError {
 
 impl std::error::Error for IngestError {}
 
+/// True for a finite size value a [`SizeTrace`] accepts.
+fn size_value_ok(v: f64) -> bool {
+    v.is_finite() && v >= 0.0
+}
+
+/// True for a finite utilization value a [`UtilizationTrace`] accepts.
+fn utilization_value_ok(v: f64) -> bool {
+    v.is_finite() && (0.0..=100.0).contains(&v)
+}
+
 #[derive(Debug)]
 struct Partial {
     record_seed: DatabaseRecord,
@@ -74,8 +133,52 @@ struct Partial {
     utilizations: Vec<(simtime::Duration, f64)>,
 }
 
+impl Partial {
+    #[allow(clippy::too_many_arguments)] // mirrors the Created event's fields
+    fn new(
+        at: Timestamp,
+        db_id: u64,
+        subscription: crate::subscription::SubscriptionId,
+        subscription_type: crate::subscription::SubscriptionType,
+        region: crate::region::RegionId,
+        server_name: &str,
+        database_name: &str,
+        slo_index: usize,
+        elastic_pool: Option<u32>,
+        is_internal: bool,
+    ) -> Partial {
+        Partial {
+            record_seed: DatabaseRecord {
+                id: db_id,
+                region,
+                server_name: server_name.to_string(),
+                database_name: database_name.to_string(),
+                subscription_id: subscription,
+                subscription_type,
+                created_at: at,
+                dropped_at: None,
+                slo_history: vec![SloChange { at, slo_index }],
+                // Placeholder traces; replaced at finish.
+                size_trace: SizeTrace::new(vec![(simtime::Duration::seconds(0), 0.0)]),
+                utilization_trace: UtilizationTrace::new(vec![(
+                    simtime::Duration::seconds(0),
+                    0.0,
+                )]),
+                elastic_pool,
+                is_internal,
+            },
+            sizes: Vec::new(),
+            utilizations: Vec::new(),
+        }
+    }
+}
+
 /// Folds a time-ordered stream into records, sorted by
 /// `(created_at, id)` like [`crate::Fleet::generate`]'s output.
+///
+/// Strict: the first malformed event aborts ingestion with the
+/// matching [`IngestError`]. Use [`reconstruct_records_lenient`] for
+/// degraded streams.
 pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, IngestError> {
     let mut partials: BTreeMap<u64, Partial> = BTreeMap::new();
 
@@ -103,35 +206,18 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
                     })?;
                 partials.insert(
                     *db_id,
-                    Partial {
-                        record_seed: DatabaseRecord {
-                            id: *db_id,
-                            region: *region,
-                            server_name: server_name.clone(),
-                            database_name: database_name.clone(),
-                            subscription_id: *subscription,
-                            subscription_type: *subscription_type,
-                            created_at: *at,
-                            dropped_at: None,
-                            slo_history: vec![SloChange {
-                                at: *at,
-                                slo_index,
-                            }],
-                            // Placeholder traces; replaced at finish.
-                            size_trace: SizeTrace::new(vec![(
-                                simtime::Duration::seconds(0),
-                                0.0,
-                            )]),
-                            utilization_trace: UtilizationTrace::new(vec![(
-                                simtime::Duration::seconds(0),
-                                0.0,
-                            )]),
-                            elastic_pool: *elastic_pool,
-                            is_internal: *is_internal,
-                        },
-                        sizes: Vec::new(),
-                        utilizations: Vec::new(),
-                    },
+                    Partial::new(
+                        *at,
+                        *db_id,
+                        *subscription,
+                        *subscription_type,
+                        *region,
+                        server_name,
+                        database_name,
+                        slo_index,
+                        *elastic_pool,
+                        *is_internal,
+                    ),
                 );
             }
             TelemetryEvent::SloChanged { db_id, slo, .. } => {
@@ -144,17 +230,37 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
                         db_id: *db_id,
                         name: slo.to_string(),
                     })?;
-                partial.record_seed.slo_history.push(SloChange {
-                    at: *at,
-                    slo_index,
-                });
+                partial
+                    .record_seed
+                    .slo_history
+                    .push(SloChange { at: *at, slo_index });
             }
             TelemetryEvent::SizeSample { db_id, size_mb } => {
                 let partial = partials.get_mut(db_id).ok_or(IngestError::OrphanEvent {
                     db_id: *db_id,
                     kind: "size-sample",
                 })?;
+                if partial.record_seed.dropped_at.is_some() {
+                    return Err(IngestError::SampleAfterDrop {
+                        db_id: *db_id,
+                        kind: "size-sample",
+                    });
+                }
+                if !size_value_ok(*size_mb) {
+                    return Err(IngestError::InvalidSample {
+                        db_id: *db_id,
+                        kind: "size-sample",
+                    });
+                }
                 let offset = *at - partial.record_seed.created_at;
+                if let Some(&(last, _)) = partial.sizes.last() {
+                    if offset <= last {
+                        return Err(IngestError::NonMonotonicSample {
+                            db_id: *db_id,
+                            kind: "size-sample",
+                        });
+                    }
+                }
                 partial.sizes.push((offset, *size_mb));
             }
             TelemetryEvent::UtilizationSample { db_id, dtu_percent } => {
@@ -162,7 +268,27 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
                     db_id: *db_id,
                     kind: "utilization-sample",
                 })?;
+                if partial.record_seed.dropped_at.is_some() {
+                    return Err(IngestError::SampleAfterDrop {
+                        db_id: *db_id,
+                        kind: "utilization-sample",
+                    });
+                }
+                if !utilization_value_ok(*dtu_percent) {
+                    return Err(IngestError::InvalidSample {
+                        db_id: *db_id,
+                        kind: "utilization-sample",
+                    });
+                }
                 let offset = *at - partial.record_seed.created_at;
+                if let Some(&(last, _)) = partial.utilizations.last() {
+                    if offset <= last {
+                        return Err(IngestError::NonMonotonicSample {
+                            db_id: *db_id,
+                            kind: "utilization-sample",
+                        });
+                    }
+                }
                 partial.utilizations.push((offset, *dtu_percent));
             }
             TelemetryEvent::Dropped { db_id } => {
@@ -170,6 +296,9 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
                     db_id: *db_id,
                     kind: "drop",
                 })?;
+                if partial.record_seed.dropped_at.is_some() {
+                    return Err(IngestError::DuplicateDrop { db_id: *db_id });
+                }
                 partial.record_seed.dropped_at = Some(*at);
             }
         }
@@ -187,6 +316,436 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
     }
     records.sort_by_key(|r| (r.created_at, r.id));
     Ok(records)
+}
+
+/// Knobs controlling [`reconstruct_records_lenient`]. The default
+/// enables every repair, which is what the degradation sweep and the
+/// recovery tests exercise; individual repairs can be switched off to
+/// measure their contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryPolicy {
+    /// Re-sort arrivals into canonical `(time, rank)` order before
+    /// folding. Off, events are folded in arrival order and anything
+    /// arriving before its creation counts as an orphan.
+    pub resort: bool,
+    /// Drop exact duplicates (second `Created`, repeated samples at
+    /// the same offset, repeated `Dropped`, repeated SLO changes).
+    pub dedup: bool,
+    /// When one trace lost every sample but the other survived,
+    /// synthesize the missing creation-time sample `(0, 0.0)` instead
+    /// of quarantining the database.
+    pub synthesize_missing_samples: bool,
+    /// Discard samples and SLO changes that arrive after the
+    /// database's `Dropped` event instead of aborting.
+    pub discard_post_drop: bool,
+    /// Clamp finite out-of-range sample values into their domain
+    /// (sizes to `[0, ∞)`, utilization to `[0, 100]`); non-finite
+    /// values are always discarded.
+    pub clamp_out_of_range: bool,
+    /// Repair a creation event whose SLO is not in the catalog by
+    /// substituting the entry SLO of its edition. Off, such databases
+    /// are quarantined.
+    pub repair_unknown_creation_slo: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            resort: true,
+            dedup: true,
+            synthesize_missing_samples: true,
+            discard_post_drop: true,
+            clamp_out_of_range: true,
+            repair_unknown_creation_slo: true,
+        }
+    }
+}
+
+/// Per-kind tallies of repairs applied by the lenient path.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RepairCounts {
+    /// Events that arrived out of time order and were re-sorted.
+    pub resorted_events: usize,
+    /// Exact duplicate samples / SLO changes discarded.
+    pub duplicate_events: usize,
+    /// Second-or-later `Created` events discarded.
+    pub duplicate_creates: usize,
+    /// Second-or-later `Dropped` events discarded (earliest wins).
+    pub duplicate_drops: usize,
+    /// Samples / SLO changes after `Dropped` discarded.
+    pub post_drop_events: usize,
+    /// Empty traces backfilled with a synthetic creation-time sample.
+    pub synthesized_creation_samples: usize,
+    /// Finite out-of-range sample values clamped into domain.
+    pub clamped_samples: usize,
+    /// Non-finite sample values discarded.
+    pub invalid_samples_discarded: usize,
+    /// Samples discarded because their offset did not advance (and
+    /// they were not exact duplicates).
+    pub out_of_order_samples: usize,
+    /// Creation events with unknown SLOs repaired to the edition's
+    /// entry SLO.
+    pub repaired_creation_slos: usize,
+    /// SLO-change events with unknown names discarded.
+    pub dropped_unknown_slo_changes: usize,
+}
+
+impl RepairCounts {
+    /// Total repairs of any kind.
+    pub fn total(&self) -> usize {
+        self.resorted_events
+            + self.duplicate_events
+            + self.duplicate_creates
+            + self.duplicate_drops
+            + self.post_drop_events
+            + self.synthesized_creation_samples
+            + self.clamped_samples
+            + self.invalid_samples_discarded
+            + self.out_of_order_samples
+            + self.repaired_creation_slos
+            + self.dropped_unknown_slo_changes
+    }
+}
+
+/// Per-reason tallies of quarantines issued by the lenient path.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct QuarantineCounts {
+    /// Events whose database never had a `Created` in the stream.
+    pub orphaned_events: usize,
+    /// Distinct databases quarantined for having only orphan events.
+    pub orphaned_databases: usize,
+    /// Databases quarantined for an unrepaired unknown creation SLO.
+    pub unknown_creation_slo: usize,
+    /// Databases quarantined because both traces lost every sample
+    /// (or one did, with synthesis disabled).
+    pub missing_samples: usize,
+}
+
+/// What the lenient path did to a stream: how much was recovered, how
+/// much was repaired, and what had to be quarantined.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct IngestReport {
+    /// Events in the input stream.
+    pub events_total: usize,
+    /// Events discarded during the fold (duplicates, orphans,
+    /// post-drop arrivals, events of quarantined databases).
+    pub events_discarded: usize,
+    /// Databases successfully reconstructed.
+    pub databases_recovered: usize,
+    /// Databases quarantined as unrecoverable.
+    pub databases_quarantined: usize,
+    /// Repair tallies.
+    pub repairs: RepairCounts,
+    /// Quarantine tallies.
+    pub quarantines: QuarantineCounts,
+    /// Ids of quarantined databases, ascending.
+    pub quarantined_ids: Vec<u64>,
+}
+
+impl IngestReport {
+    /// True when the stream needed no repair and nothing was
+    /// quarantined — lenient ingest behaved exactly like strict.
+    pub fn is_clean(&self) -> bool {
+        self.events_discarded == 0
+            && self.databases_quarantined == 0
+            && self.repairs == RepairCounts::default()
+            && self.quarantines == QuarantineCounts::default()
+    }
+}
+
+/// Folds a possibly degraded stream into as many records as can be
+/// recovered under `policy`, quarantining the rest. Never fails: the
+/// worst stream yields `(vec![], report)`.
+///
+/// On a clean, canonically ordered stream this returns exactly what
+/// [`reconstruct_records`] returns, plus a report whose
+/// [`IngestReport::is_clean`] holds — leniency costs nothing when
+/// nothing is wrong.
+pub fn reconstruct_records_lenient(
+    stream: &EventStream,
+    policy: &RecoveryPolicy,
+) -> (Vec<DatabaseRecord>, IngestReport) {
+    let mut report = IngestReport {
+        events_total: stream.len(),
+        ..IngestReport::default()
+    };
+
+    let mut events: Vec<(Timestamp, TelemetryEvent)> = stream.events().to_vec();
+    if policy.resort {
+        // Count late arrivals before repairing them: an event is late
+        // when something with a strictly greater timestamp already
+        // arrived. Clean streams count zero.
+        let mut max_seen: Option<Timestamp> = None;
+        for (at, _) in &events {
+            if let Some(m) = max_seen {
+                if *at < m {
+                    report.repairs.resorted_events += 1;
+                }
+            }
+            max_seen = Some(max_seen.map_or(*at, |m| m.max(*at)));
+        }
+        events.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| event_rank(&a.1).cmp(&event_rank(&b.1)))
+        });
+    }
+
+    let mut partials: BTreeMap<u64, Partial> = BTreeMap::new();
+    let mut quarantined: BTreeSet<u64> = BTreeSet::new();
+    let mut orphan_dbs: BTreeSet<u64> = BTreeSet::new();
+
+    for (at, event) in &events {
+        let db_id = event.db_id();
+        if quarantined.contains(&db_id) {
+            report.events_discarded += 1;
+            continue;
+        }
+        match event {
+            TelemetryEvent::Created {
+                db_id,
+                subscription,
+                subscription_type,
+                region,
+                server_name,
+                database_name,
+                edition,
+                slo,
+                elastic_pool,
+                is_internal,
+            } => {
+                if partials.contains_key(db_id) {
+                    report.repairs.duplicate_creates += 1;
+                    report.events_discarded += 1;
+                    continue;
+                }
+                let slo_index = match SloCatalog::index_of(slo) {
+                    Some(i) => i,
+                    None if policy.repair_unknown_creation_slo => {
+                        report.repairs.repaired_creation_slos += 1;
+                        SloCatalog::entry_slo(*edition)
+                    }
+                    None => {
+                        report.quarantines.unknown_creation_slo += 1;
+                        report.events_discarded += 1;
+                        quarantined.insert(*db_id);
+                        continue;
+                    }
+                };
+                // A database that looked orphaned can be rescued by a
+                // late (reordered) creation when resorting is off.
+                orphan_dbs.remove(db_id);
+                partials.insert(
+                    *db_id,
+                    Partial::new(
+                        *at,
+                        *db_id,
+                        *subscription,
+                        *subscription_type,
+                        *region,
+                        server_name,
+                        database_name,
+                        slo_index,
+                        *elastic_pool,
+                        *is_internal,
+                    ),
+                );
+            }
+            TelemetryEvent::SloChanged { db_id, slo, .. } => {
+                let Some(partial) = partials.get_mut(db_id) else {
+                    report.quarantines.orphaned_events += 1;
+                    report.events_discarded += 1;
+                    orphan_dbs.insert(*db_id);
+                    continue;
+                };
+                if policy.discard_post_drop && partial.record_seed.dropped_at.is_some() {
+                    report.repairs.post_drop_events += 1;
+                    report.events_discarded += 1;
+                    continue;
+                }
+                let Some(slo_index) = SloCatalog::index_of(slo) else {
+                    report.repairs.dropped_unknown_slo_changes += 1;
+                    report.events_discarded += 1;
+                    continue;
+                };
+                if policy.dedup {
+                    let dup = partial
+                        .record_seed
+                        .slo_history
+                        .last()
+                        .is_some_and(|c| c.at == *at && c.slo_index == slo_index);
+                    if dup {
+                        report.repairs.duplicate_events += 1;
+                        report.events_discarded += 1;
+                        continue;
+                    }
+                }
+                partial
+                    .record_seed
+                    .slo_history
+                    .push(SloChange { at: *at, slo_index });
+            }
+            TelemetryEvent::SizeSample { db_id, size_mb } => {
+                ingest_sample_lenient(
+                    &mut partials,
+                    &mut orphan_dbs,
+                    &mut report,
+                    policy,
+                    *at,
+                    *db_id,
+                    *size_mb,
+                    SampleKind::Size,
+                );
+            }
+            TelemetryEvent::UtilizationSample { db_id, dtu_percent } => {
+                ingest_sample_lenient(
+                    &mut partials,
+                    &mut orphan_dbs,
+                    &mut report,
+                    policy,
+                    *at,
+                    *db_id,
+                    *dtu_percent,
+                    SampleKind::Utilization,
+                );
+            }
+            TelemetryEvent::Dropped { db_id } => {
+                let Some(partial) = partials.get_mut(db_id) else {
+                    report.quarantines.orphaned_events += 1;
+                    report.events_discarded += 1;
+                    orphan_dbs.insert(*db_id);
+                    continue;
+                };
+                match partial.record_seed.dropped_at {
+                    Some(existing) => {
+                        report.repairs.duplicate_drops += 1;
+                        report.events_discarded += 1;
+                        // Earliest drop wins even in arrival order.
+                        if *at < existing {
+                            partial.record_seed.dropped_at = Some(*at);
+                        }
+                    }
+                    None => partial.record_seed.dropped_at = Some(*at),
+                }
+            }
+        }
+    }
+
+    let mut quarantined_ids: Vec<u64> = quarantined.into_iter().collect();
+    report.quarantines.orphaned_databases = orphan_dbs.len();
+    quarantined_ids.extend(orphan_dbs);
+
+    let mut records = Vec::with_capacity(partials.len());
+    for (db_id, partial) in partials {
+        let Partial {
+            mut record_seed,
+            mut sizes,
+            mut utilizations,
+        } = partial;
+        if sizes.is_empty() || utilizations.is_empty() {
+            let both_empty = sizes.is_empty() && utilizations.is_empty();
+            if both_empty || !policy.synthesize_missing_samples {
+                report.quarantines.missing_samples += 1;
+                quarantined_ids.push(db_id);
+                continue;
+            }
+            // One trace survived; backfill the other with a neutral
+            // creation-time sample so the record stays usable.
+            let synth = vec![(simtime::Duration::seconds(0), 0.0)];
+            if sizes.is_empty() {
+                sizes = synth;
+            } else {
+                utilizations = synth;
+            }
+            report.repairs.synthesized_creation_samples += 1;
+        }
+        record_seed.size_trace = SizeTrace::new(sizes);
+        record_seed.utilization_trace = UtilizationTrace::new(utilizations);
+        records.push(record_seed);
+    }
+    records.sort_by_key(|r| (r.created_at, r.id));
+    quarantined_ids.sort_unstable();
+    quarantined_ids.dedup();
+    report.databases_recovered = records.len();
+    report.databases_quarantined = quarantined_ids.len();
+    report.quarantined_ids = quarantined_ids;
+    (records, report)
+}
+
+#[derive(Clone, Copy)]
+enum SampleKind {
+    Size,
+    Utilization,
+}
+
+/// Shared lenient-fold logic for the two sample kinds: orphan and
+/// post-drop filtering, value clamping, offset dedup / monotonicity.
+#[allow(clippy::too_many_arguments)]
+fn ingest_sample_lenient(
+    partials: &mut BTreeMap<u64, Partial>,
+    orphan_dbs: &mut BTreeSet<u64>,
+    report: &mut IngestReport,
+    policy: &RecoveryPolicy,
+    at: Timestamp,
+    db_id: u64,
+    value: f64,
+    kind: SampleKind,
+) {
+    let Some(partial) = partials.get_mut(&db_id) else {
+        report.quarantines.orphaned_events += 1;
+        report.events_discarded += 1;
+        orphan_dbs.insert(db_id);
+        return;
+    };
+    if policy.discard_post_drop && partial.record_seed.dropped_at.is_some() {
+        report.repairs.post_drop_events += 1;
+        report.events_discarded += 1;
+        return;
+    }
+    if at < partial.record_seed.created_at {
+        // Pre-creation sample (only reachable when resorting is off
+        // and a reordered sample outran its creation's arrival).
+        report.quarantines.orphaned_events += 1;
+        report.events_discarded += 1;
+        return;
+    }
+    if !value.is_finite() {
+        report.repairs.invalid_samples_discarded += 1;
+        report.events_discarded += 1;
+        return;
+    }
+    let value = {
+        let (ok, clamped) = match kind {
+            SampleKind::Size => (size_value_ok(value), value.max(0.0)),
+            SampleKind::Utilization => (utilization_value_ok(value), value.clamp(0.0, 100.0)),
+        };
+        if ok {
+            value
+        } else if policy.clamp_out_of_range {
+            report.repairs.clamped_samples += 1;
+            clamped
+        } else {
+            report.repairs.invalid_samples_discarded += 1;
+            report.events_discarded += 1;
+            return;
+        }
+    };
+    let trace = match kind {
+        SampleKind::Size => &mut partial.sizes,
+        SampleKind::Utilization => &mut partial.utilizations,
+    };
+    let offset = at - partial.record_seed.created_at;
+    if let Some(&(last, last_value)) = trace.last() {
+        if offset <= last {
+            if policy.dedup && offset == last && value == last_value {
+                report.repairs.duplicate_events += 1;
+            } else {
+                report.repairs.out_of_order_samples += 1;
+            }
+            report.events_discarded += 1;
+            return;
+        }
+    }
+    trace.push((offset, value));
 }
 
 /// Timestamp of the last event in the stream, if any — the natural
@@ -216,7 +775,11 @@ mod tests {
     #[test]
     fn single_database_roundtrip() {
         let f = fleet();
-        let db = f.databases.iter().find(|d| d.changed_edition()).unwrap_or(&f.databases[0]);
+        let db = f
+            .databases
+            .iter()
+            .find(|d| d.changed_edition())
+            .unwrap_or(&f.databases[0]);
         let stream = EventStream::of_database(db);
         let records = reconstruct_records(&stream).unwrap();
         assert_eq!(records, vec![db.clone()]);
@@ -246,6 +809,163 @@ mod tests {
         let stream = EventStream::from_events(events);
         let err = reconstruct_records(&stream).unwrap_err();
         assert_eq!(err, IngestError::DuplicateCreate { db_id: db.id });
+    }
+
+    fn dropped_db(f: &Fleet) -> &DatabaseRecord {
+        f.databases
+            .iter()
+            .find(|d| d.dropped_at.is_some())
+            .expect("some database drops")
+    }
+
+    #[test]
+    fn duplicate_drop_rejected() {
+        let f = fleet();
+        let db = dropped_db(&f);
+        let mut events: Vec<_> = EventStream::of_database(db).events().to_vec();
+        events.push((
+            db.dropped_at.unwrap() + simtime::Duration::days(1),
+            TelemetryEvent::Dropped { db_id: db.id },
+        ));
+        let err = reconstruct_records(&EventStream::from_events(events)).unwrap_err();
+        assert_eq!(err, IngestError::DuplicateDrop { db_id: db.id });
+    }
+
+    #[test]
+    fn sample_after_drop_rejected() {
+        let f = fleet();
+        let db = dropped_db(&f);
+        let mut events: Vec<_> = EventStream::of_database(db).events().to_vec();
+        events.push((
+            db.dropped_at.unwrap() + simtime::Duration::days(1),
+            TelemetryEvent::SizeSample {
+                db_id: db.id,
+                size_mb: 10.0,
+            },
+        ));
+        let err = reconstruct_records(&EventStream::from_events(events)).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::SampleAfterDrop {
+                db_id: db.id,
+                kind: "size-sample"
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_sample_rejected_as_non_monotonic() {
+        let f = fleet();
+        let db = &f.databases[0];
+        let mut events: Vec<_> = EventStream::of_database(db).events().to_vec();
+        let dup = events
+            .iter()
+            .find(|(_, e)| matches!(e, TelemetryEvent::SizeSample { .. }))
+            .cloned()
+            .unwrap();
+        events.push(dup);
+        let err = reconstruct_records(&EventStream::from_events(events)).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::NonMonotonicSample {
+                db_id: db.id,
+                kind: "size-sample"
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_sample_rejected() {
+        let f = fleet();
+        let db = &f.databases[0];
+        let mut events: Vec<_> = EventStream::of_database(db).events().to_vec();
+        let last = events.last().unwrap().0;
+        events.push((
+            last + simtime::Duration::days(1),
+            TelemetryEvent::UtilizationSample {
+                db_id: db.id,
+                dtu_percent: 250.0,
+            },
+        ));
+        let err = reconstruct_records(&EventStream::from_events(events)).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::InvalidSample {
+                db_id: db.id,
+                kind: "utilization-sample"
+            }
+        );
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_stream() {
+        let f = fleet();
+        let stream = EventStream::of_fleet(&f);
+        let strict = reconstruct_records(&stream).unwrap();
+        let (lenient, report) = reconstruct_records_lenient(&stream, &RecoveryPolicy::default());
+        assert_eq!(lenient, strict);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.events_total, stream.len());
+        assert_eq!(report.databases_recovered, f.databases.len());
+    }
+
+    #[test]
+    fn lenient_repairs_duplicates_and_post_drop() {
+        let f = fleet();
+        let db = dropped_db(&f);
+        let mut events: Vec<_> = EventStream::of_database(db).events().to_vec();
+        let create = events[0].clone();
+        let sample = events
+            .iter()
+            .find(|(_, e)| matches!(e, TelemetryEvent::SizeSample { .. }))
+            .cloned()
+            .unwrap();
+        events.push(create);
+        events.push(sample);
+        events.push((
+            db.dropped_at.unwrap() + simtime::Duration::days(2),
+            TelemetryEvent::UtilizationSample {
+                db_id: db.id,
+                dtu_percent: 10.0,
+            },
+        ));
+        let stream = EventStream::from_events_unsorted(events);
+        let (records, report) = reconstruct_records_lenient(&stream, &RecoveryPolicy::default());
+        assert_eq!(records, vec![db.clone()]);
+        assert_eq!(report.repairs.duplicate_creates, 1);
+        assert_eq!(report.repairs.duplicate_events, 1);
+        assert_eq!(report.repairs.post_drop_events, 1);
+        assert_eq!(report.databases_quarantined, 0);
+    }
+
+    #[test]
+    fn lenient_quarantines_orphans() {
+        let f = fleet();
+        let db = &f.databases[0];
+        let mut events: Vec<_> = EventStream::of_database(db).events().to_vec();
+        events.remove(0); // lose the creation
+        let (records, report) = reconstruct_records_lenient(
+            &EventStream::from_events_unsorted(events),
+            &RecoveryPolicy::default(),
+        );
+        assert!(records.is_empty());
+        assert_eq!(report.quarantines.orphaned_databases, 1);
+        assert_eq!(report.quarantined_ids, vec![db.id]);
+        assert!(report.quarantines.orphaned_events > 0);
+    }
+
+    #[test]
+    fn lenient_resorts_shuffled_stream() {
+        let f = fleet();
+        let db = &f.databases[0];
+        let mut events: Vec<_> = EventStream::of_database(db).events().to_vec();
+        events.reverse();
+        let (records, report) = reconstruct_records_lenient(
+            &EventStream::from_events_unsorted(events),
+            &RecoveryPolicy::default(),
+        );
+        assert_eq!(records, vec![db.clone()]);
+        assert!(report.repairs.resorted_events > 0);
     }
 
     #[test]

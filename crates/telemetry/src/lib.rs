@@ -51,6 +51,7 @@ pub mod census;
 pub mod database;
 pub mod events;
 pub mod export;
+pub mod faults;
 pub mod fleet;
 pub mod ingest;
 pub mod names;
@@ -65,8 +66,12 @@ pub use census::{Census, LifespanClass};
 pub use database::{DatabaseRecord, SloChange};
 pub use events::{EventStream, TelemetryEvent};
 pub use export::{read_records_jsonl, write_records_jsonl, write_summary_csv, ImportError};
+pub use faults::{FaultClass, FaultInjector, FaultPlan, FaultSummary};
 pub use fleet::{Fleet, FleetConfig};
-pub use ingest::{reconstruct_records, stream_horizon, IngestError};
+pub use ingest::{
+    reconstruct_records, reconstruct_records_lenient, stream_horizon, IngestError, IngestReport,
+    QuarantineCounts, RecoveryPolicy, RepairCounts,
+};
 pub use names::NameStyle;
 pub use region::{RegionConfig, RegionId};
 pub use sizetrace::SizeTrace;

@@ -25,11 +25,54 @@ pub enum NameStyle {
 }
 
 const WORDS: [&str; 48] = [
-    "app", "data", "prod", "dev", "test", "web", "api", "core", "main", "shop", "store",
-    "orders", "billing", "payroll", "crm", "erp", "sales", "inventory", "report", "admin",
-    "portal", "backend", "service", "customer", "account", "user", "catalog", "finance",
-    "hr", "legal", "metrics", "events", "logs", "cache", "queue", "jobs", "sync", "feed",
-    "blog", "cms", "wiki", "forum", "game", "mobile", "iot", "ml", "etl", "stage",
+    "app",
+    "data",
+    "prod",
+    "dev",
+    "test",
+    "web",
+    "api",
+    "core",
+    "main",
+    "shop",
+    "store",
+    "orders",
+    "billing",
+    "payroll",
+    "crm",
+    "erp",
+    "sales",
+    "inventory",
+    "report",
+    "admin",
+    "portal",
+    "backend",
+    "service",
+    "customer",
+    "account",
+    "user",
+    "catalog",
+    "finance",
+    "hr",
+    "legal",
+    "metrics",
+    "events",
+    "logs",
+    "cache",
+    "queue",
+    "jobs",
+    "sync",
+    "feed",
+    "blog",
+    "cms",
+    "wiki",
+    "forum",
+    "game",
+    "mobile",
+    "iot",
+    "ml",
+    "etl",
+    "stage",
 ];
 
 const ENVS: [&str; 8] = [
@@ -147,10 +190,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..50 {
             let n = NameStyle::HumanWords.generate(&mut rng, 0).to_lowercase();
-            assert!(
-                WORDS.iter().any(|w| n.contains(w)),
-                "no known word in {n}"
-            );
+            assert!(WORDS.iter().any(|w| n.contains(w)), "no known word in {n}");
         }
     }
 

@@ -47,7 +47,9 @@ impl UtilizationTrace {
 
     /// Samples with offsets `<= horizon`.
     pub fn prefix(&self, horizon: Duration) -> &[(Duration, f64)] {
-        let end = self.samples.partition_point(|(offset, _)| *offset <= horizon);
+        let end = self
+            .samples
+            .partition_point(|(offset, _)| *offset <= horizon);
         &self.samples[..end]
     }
 }
@@ -187,7 +189,10 @@ mod tests {
         };
         let start = Timestamp::from_ymd_hms(2017, 6, 5, 0, 0, 0);
         let trace = flat.generate(start, Duration::days(3), Duration::hours(6), &mut rng);
-        assert!(trace.samples().iter().all(|&(_, v)| (v - 30.0).abs() < 1e-9));
+        assert!(trace
+            .samples()
+            .iter()
+            .all(|&(_, v)| (v - 30.0).abs() < 1e-9));
     }
 
     #[test]

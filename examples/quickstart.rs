@@ -34,7 +34,10 @@ fn main() {
     //    long do databases live after surviving their first 2 days?
     let census = Census::new(&fleet);
     let km = KaplanMeier::fit(&SurvivalData::from_pairs(&census.survival_pairs(2.0)));
-    println!("\nKaplan-Meier survival (2-day minimum, n = {}):", km.subjects());
+    println!(
+        "\nKaplan-Meier survival (2-day minimum, n = {}):",
+        km.subjects()
+    );
     for &day in &[7.0, 30.0, 60.0, 90.0, 120.0, 130.0] {
         let (lo, hi) = km.confidence_interval_at(day, 0.05);
         println!(
@@ -51,7 +54,9 @@ fn main() {
     let (dataset, _) = extractor.build_dataset(&census, None);
     let (train, test) = train_test_split(&dataset, 0.2, 1);
     let model = RandomForest::fit(&train, &RandomForestParams::default(), 1);
-    let predictions: Vec<usize> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+    let predictions: Vec<usize> = (0..test.len())
+        .map(|i| model.predict(test.row(i)))
+        .collect();
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     let scores = ConfusionMatrix::from_predictions(&predictions, &actual).scores();
     println!(

@@ -30,7 +30,10 @@ fn main() {
     // 2. ...the ingestion tier folds the stream into records...
     let records = reconstruct_records(&stream).expect("well-formed stream");
     assert_eq!(records, fleet.databases);
-    println!("ingested {} records (bit-identical to the source fleet)", records.len());
+    println!(
+        "ingested {} records (bit-identical to the source fleet)",
+        records.len()
+    );
 
     // 3. ...which can be shipped as a dataset and read back...
     let mut jsonl = Vec::new();

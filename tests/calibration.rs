@@ -60,10 +60,7 @@ fn km_curve_has_the_figure1_shape() {
     let km = KaplanMeier::fit(&SurvivalData::from_pairs(&census.survival_pairs(2.0)));
     let s110 = km.survival_at(110.0);
     let s130 = km.survival_at(130.0);
-    assert!(
-        (0.25..0.45).contains(&s130),
-        "plateau S(130) = {s130}"
-    );
+    assert!((0.25..0.45).contains(&s130), "plateau S(130) = {s130}");
     // The incentive cliff: a marked drop between day 110 and 130.
     assert!(
         s110 - s130 > 0.04,
@@ -83,7 +80,10 @@ fn premium_population_smallest_in_every_region() {
         let census = study.census(region);
         let count = |e: Edition| census.edition_records(e).count();
         assert!(count(Edition::Premium) < count(Edition::Basic), "{region}");
-        assert!(count(Edition::Premium) < count(Edition::Standard), "{region}");
+        assert!(
+            count(Edition::Premium) < count(Edition::Standard),
+            "{region}"
+        );
     }
 }
 

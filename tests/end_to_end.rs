@@ -66,7 +66,12 @@ fn full_pipeline_produces_consistent_results() {
         .collect();
     let config = ProvisioningConfig::default();
     let agnostic = simulate(&census, &predictions, PlacementPolicy::Agnostic, &config);
-    let guided = simulate(&census, &predictions, PlacementPolicy::LongevityGuided, &config);
+    let guided = simulate(
+        &census,
+        &predictions,
+        PlacementPolicy::LongevityGuided,
+        &config,
+    );
     assert_eq!(agnostic.placed, guided.placed);
     assert!(guided.wasted_disruptions <= agnostic.wasted_disruptions);
 }
@@ -84,11 +89,11 @@ fn predicted_groups_actually_differ_in_survival() {
 
     let mut short = Vec::new();
     let mut long = Vec::new();
-    for i in 0..dataset.len() {
+    for (i, &pair) in survival.iter().enumerate() {
         if model.predict(dataset.row(i)) == 1 {
-            long.push(survival[i]);
+            long.push(pair);
         } else {
-            short.push(survival[i]);
+            short.push(pair);
         }
     }
     assert!(short.len() > 20 && long.len() > 20);
@@ -111,8 +116,7 @@ fn census_labels_agree_with_survival_pairs() {
     let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
     let (dataset, survival) = extractor.build_dataset(&census, None);
     assert_eq!(dataset.len(), survival.len());
-    for i in 0..dataset.len() {
-        let (days, event) = survival[i];
+    for (i, &(days, event)) in survival.iter().enumerate() {
         match (dataset.label(i), event) {
             (1, true) => assert!(days > 30.0),
             (0, true) => assert!(days <= 30.0 && days > 2.0 - 1e-9),

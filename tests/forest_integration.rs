@@ -6,8 +6,7 @@ use features::{FeatureConfig, FeatureExtractor};
 use forest::tree::TreeParams;
 use forest::{
     confidence_threshold, cross_val_accuracy, roc_auc, train_test_split, ConfusionMatrix,
-    GridSearch, PartitionedPredictions, RandomForest, RandomForestParams,
-    WeightedRandomClassifier,
+    GridSearch, PartitionedPredictions, RandomForest, RandomForestParams, WeightedRandomClassifier,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -28,7 +27,9 @@ fn forest_beats_baseline_on_pipeline_features() {
     let baseline = WeightedRandomClassifier::fit(&train);
     let mut rng = SmallRng::seed_from_u64(3);
 
-    let forest_preds: Vec<usize> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+    let forest_preds: Vec<usize> = (0..test.len())
+        .map(|i| model.predict(test.row(i)))
+        .collect();
     let baseline_preds = baseline.predict_many(test.len(), &mut rng);
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
 
@@ -106,7 +107,9 @@ fn oob_estimate_close_to_holdout() {
     let (train, test) = train_test_split(&dataset, 0.3, 13);
     let model = RandomForest::fit(&train, &RandomForestParams::default(), 13);
     let oob = model.oob_accuracy().expect("bootstrap on");
-    let preds: Vec<usize> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+    let preds: Vec<usize> = (0..test.len())
+        .map(|i| model.predict(test.row(i)))
+        .collect();
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     let holdout = ConfusionMatrix::from_predictions(&preds, &actual).accuracy();
     assert!(

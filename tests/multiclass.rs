@@ -19,7 +19,10 @@ fn class_index(class: LifespanClass) -> usize {
 }
 
 fn creation_time_dataset() -> Dataset {
-    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.12), 0x3C1A55));
+    let fleet = Fleet::generate(FleetConfig::new(
+        RegionConfig::region_1().scaled(0.12),
+        0x3C1A55,
+    ));
     let census = Census::new(&fleet);
     let holidays = &fleet.config.region.holidays;
 
@@ -47,7 +50,10 @@ fn creation_time_dataset() -> Dataset {
 fn three_class_forest_beats_majority_vote() {
     let data = creation_time_dataset();
     let dist = data.class_distribution();
-    assert!(dist.iter().all(|&c| c > 30), "need all three classes: {dist:?}");
+    assert!(
+        dist.iter().all(|&c| c > 30),
+        "need all three classes: {dist:?}"
+    );
 
     let (train, test) = train_test_split(&data, 0.25, 9);
     let model = RandomForest::fit(&train, &RandomForestParams::default(), 9);
@@ -56,12 +62,8 @@ fn three_class_forest_beats_majority_vote() {
         .filter(|&i| model.predict(test.row(i)) == test.label(i))
         .count();
     let accuracy = correct as f64 / test.len() as f64;
-    let majority = *train
-        .class_distribution()
-        .iter()
-        .max()
-        .expect("non-empty") as f64
-        / train.len() as f64;
+    let majority =
+        *train.class_distribution().iter().max().expect("non-empty") as f64 / train.len() as f64;
     assert!(
         accuracy > majority + 0.05,
         "3-class accuracy {accuracy:.3} vs majority {majority:.3}"

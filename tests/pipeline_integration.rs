@@ -102,7 +102,11 @@ fn features_do_not_leak_the_future() {
 #[test]
 fn ngram_vocabulary_is_deterministic_across_runs() {
     let f = fleet(RegionId::Region2, 0.05, 5);
-    let names: Vec<&str> = f.databases.iter().map(|d| d.database_name.as_str()).collect();
+    let names: Vec<&str> = f
+        .databases
+        .iter()
+        .map(|d| d.database_name.as_str())
+        .collect();
     let a = NgramVocabulary::fit(names.iter().copied(), 3, 25);
     let b = NgramVocabulary::fit(names.iter().copied(), 3, 25);
     assert_eq!(a, b);

@@ -2,14 +2,14 @@
 //! analytic ground truth, and agreement between independent estimators
 //! on fleet data.
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use stats::distributions::{ContinuousDistribution, Weibull};
 use survival::{
     logrank_test, CoxModel, ExponentialFit, KaplanMeier, LifeTable, NelsonAalen, SurvivalData,
     WeibullFit,
 };
 use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn fleet() -> Fleet {
     Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.1), 0x5A))
@@ -66,7 +66,12 @@ fn life_table_tracks_km() {
     for row in lt.rows() {
         let end = row.start + row.width;
         let diff = (row.survival - km.survival_at(end)).abs();
-        assert!(diff < 0.05, "interval ending {end}: lt {} km {}", row.survival, km.survival_at(end));
+        assert!(
+            diff < 0.05,
+            "interval ending {end}: lt {} km {}",
+            row.survival,
+            km.survival_at(end)
+        );
     }
 }
 
