@@ -28,7 +28,7 @@ fn holdout_accuracy(data: &Dataset, params: &RandomForestParams) -> f64 {
     let (train, test) = train_test_split(data, 0.25, 7);
     let model = RandomForest::fit(&train, params, 7);
     let preds: Vec<usize> = (0..test.len())
-        .map(|i| model.predict(test.row(i)))
+        .map(|i| model.predict_row(&test, i))
         .collect();
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     ConfusionMatrix::from_predictions(&preds, &actual).accuracy()
@@ -131,7 +131,8 @@ fn ablate_feature_families(c: &mut Criterion) {
             .collect();
         let mut subset = Dataset::new(names, 2);
         for r in 0..data.len() {
-            let row: Vec<f64> = keep_idx.iter().map(|&i| data.row(r)[i]).collect();
+            let full = data.row(r);
+            let row: Vec<f64> = keep_idx.iter().map(|&i| full[i]).collect();
             subset.push(row, data.label(r));
         }
         let params = RandomForestParams {

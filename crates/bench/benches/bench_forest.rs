@@ -65,7 +65,7 @@ fn bench_forest_predict(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("predict_proba", |b| {
         let row = data.row(17);
-        b.iter(|| black_box(&model).predict_proba(black_box(row)))
+        b.iter(|| black_box(&model).predict_proba(black_box(&row)))
     });
     group.finish();
 }
@@ -116,7 +116,7 @@ fn bench_gbm(c: &mut Criterion) {
     let model = GradientBoosting::fit(&data, &GbmParams::default(), 42);
     group.bench_function("predict_proba", |b| {
         let row = data.row(11);
-        b.iter(|| black_box(&model).predict_positive_proba(black_box(row)))
+        b.iter(|| black_box(&model).predict_positive_proba(black_box(&row)))
     });
     group.finish();
 }

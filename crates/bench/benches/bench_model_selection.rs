@@ -1,0 +1,87 @@
+//! Criterion benches for the model-selection path: zero-copy
+//! cross-validation, grid search over the (candidate × fold) work
+//! queue, and the view-based forest fit the folds use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use forest::tree::TreeParams;
+use forest::{cross_val_accuracy, Dataset, GridSearch, RandomForest, RandomForestParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, features: usize, seed: u64) -> Dataset {
+    let names: Vec<String> = (0..features).map(|j| format!("f{j}")).collect();
+    let mut data = Dataset::new(names, 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..features).map(|_| rng.gen::<f64>()).collect();
+        let signal = row[0] * 2.0 + row[1] - row[2] * 0.5 + rng.gen::<f64>() * 0.4;
+        data.push(row, (signal > 1.45) as usize);
+    }
+    data
+}
+
+fn bench_cross_val(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_val_accuracy");
+    group.sample_size(10);
+    for &n in &[1_000usize, 3_000] {
+        let data = dataset(n, 30, 1);
+        let params = RandomForestParams {
+            n_trees: 20,
+            ..RandomForestParams::default()
+        };
+        group.bench_with_input(BenchmarkId::new("k5", n), &data, |b, data| {
+            b.iter(|| cross_val_accuracy(black_box(data), &params, 5, 42))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_search(c: &mut Criterion) {
+    let data = dataset(2_000, 30, 2);
+    let candidates = vec![
+        RandomForestParams {
+            n_trees: 10,
+            tree: TreeParams {
+                max_depth: 8,
+                ..TreeParams::default()
+            },
+            ..RandomForestParams::default()
+        },
+        RandomForestParams {
+            n_trees: 20,
+            ..RandomForestParams::default()
+        },
+    ];
+    let mut group = c.benchmark_group("grid_search");
+    group.sample_size(10);
+    group.bench_function("2cand_k3", |b| {
+        b.iter(|| GridSearch::new(candidates.clone(), 3).run(black_box(&data), 42))
+    });
+    group.finish();
+}
+
+fn bench_view_fit(c: &mut Criterion) {
+    // The per-fold cost: fit on a borrowed 80% view vs a materialized
+    // copy of the same rows.
+    let data = dataset(3_000, 30, 3);
+    let rows: Vec<usize> = (0..data.len()).filter(|i| i % 5 != 0).collect();
+    let params = RandomForestParams {
+        n_trees: 20,
+        ..RandomForestParams::default()
+    };
+    let mut group = c.benchmark_group("fold_fit");
+    group.sample_size(10);
+    group.bench_function("view", |b| {
+        b.iter(|| RandomForest::fit_view(&black_box(&data).view(&rows), &params, 42))
+    });
+    group.bench_function("materialized", |b| {
+        b.iter(|| {
+            let subset = black_box(&data).select(&rows);
+            RandomForest::fit(&subset, &params, 42)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_val, bench_grid_search, bench_view_fit);
+criterion_main!(benches);

@@ -17,9 +17,9 @@
 
 use bench::{parse_options, Harness};
 use rand::SeedableRng;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use survdb::experiment::{Experiment, ExperimentConfig, GridPreset};
+use survdb::json::{Json, ToJson};
 use survdb::observations::ObservationReport;
 use survdb::provisioning::{
     simulate, PlacementPolicy, PredictedLongevity, ProvisioningConfig, ProvisioningOutcome,
@@ -87,11 +87,20 @@ fn main() {
     }
 }
 
-#[derive(Serialize)]
 struct CurveArtifact {
     label: String,
     n: usize,
     points: Vec<(f64, f64)>,
+}
+
+impl ToJson for CurveArtifact {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json_value()),
+            ("n", self.n.to_json_value()),
+            ("points", self.points.to_json_value()),
+        ])
+    }
 }
 
 fn km_points(
@@ -563,12 +572,27 @@ fn factors(h: &mut Harness) {
         result.forest.accuracy, with_util.forest.accuracy
     );
 
-    #[derive(Serialize)]
     struct FactorsArtifact {
         importances: Vec<(String, f64)>,
         families: Vec<(String, f64)>,
         accuracy_without_ngrams: f64,
         accuracy_with_ngrams: f64,
+    }
+    impl ToJson for FactorsArtifact {
+        fn to_json_value(&self) -> Json {
+            Json::obj(vec![
+                ("importances", self.importances.to_json_value()),
+                ("families", self.families.to_json_value()),
+                (
+                    "accuracy_without_ngrams",
+                    self.accuracy_without_ngrams.to_json_value(),
+                ),
+                (
+                    "accuracy_with_ngrams",
+                    self.accuracy_with_ngrams.to_json_value(),
+                ),
+            ])
+        }
     }
     h.write_artifact(
         "factors",
@@ -669,7 +693,6 @@ fn sweep(h: &mut Harness) {
     let reps = h.options().repetitions.min(3);
     let seed = h.options().seed;
 
-    #[derive(Serialize)]
     struct SweepPoint {
         x_days: f64,
         y_days: f64,
@@ -677,6 +700,18 @@ fn sweep(h: &mut Harness) {
         positive_fraction: f64,
         forest_accuracy: f64,
         baseline_accuracy: f64,
+    }
+    impl ToJson for SweepPoint {
+        fn to_json_value(&self) -> Json {
+            Json::obj(vec![
+                ("x_days", self.x_days.to_json_value()),
+                ("y_days", self.y_days.to_json_value()),
+                ("population", self.population.to_json_value()),
+                ("positive_fraction", self.positive_fraction.to_json_value()),
+                ("forest_accuracy", self.forest_accuracy.to_json_value()),
+                ("baseline_accuracy", self.baseline_accuracy.to_json_value()),
+            ])
+        }
     }
     let mut artifact: Vec<SweepPoint> = Vec::new();
 
@@ -727,13 +762,23 @@ fn sweep(h: &mut Harness) {
         "  {:>8} {:>9} {:>9} {:>8} {:>8}",
         "window", "dbs", "labeled", "q", "S(cliff)"
     );
-    #[derive(Serialize)]
     struct WindowPoint {
         window_days: u32,
         databases: usize,
         labeled: usize,
         positive_fraction: f64,
         survival_at_130: f64,
+    }
+    impl ToJson for WindowPoint {
+        fn to_json_value(&self) -> Json {
+            Json::obj(vec![
+                ("window_days", self.window_days.to_json_value()),
+                ("databases", self.databases.to_json_value()),
+                ("labeled", self.labeled.to_json_value()),
+                ("positive_fraction", self.positive_fraction.to_json_value()),
+                ("survival_at_130", self.survival_at_130.to_json_value()),
+            ])
+        }
     }
     let mut window_artifact = Vec::new();
     for &window_days in &[92u32, 153, 214] {
@@ -788,7 +833,7 @@ fn calib(h: &mut Harness) {
         h.options().seed,
     );
     let probs: Vec<f64> = (0..test.len())
-        .map(|i| model.predict_positive_proba(test.row(i)))
+        .map(|i| model.predict_positive_proba_row(&test, i))
         .collect();
     let labels: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     let diagram = forest::ReliabilityDiagram::build(&probs, &labels, 10);
@@ -817,11 +862,19 @@ fn calib(h: &mut Harness) {
     );
     println!("  paper premise (§5.3, citing Zadrozny & Elkan): forest probabilities are usable as confidence levels without recalibration");
 
-    #[derive(Serialize)]
     struct CalibArtifact {
         brier: f64,
         ece: f64,
         bins: Vec<(f64, f64, f64, usize)>,
+    }
+    impl ToJson for CalibArtifact {
+        fn to_json_value(&self) -> Json {
+            Json::obj(vec![
+                ("brier", self.brier.to_json_value()),
+                ("ece", self.ece.to_json_value()),
+                ("bins", self.bins.to_json_value()),
+            ])
+        }
     }
     h.write_artifact(
         "calib",
@@ -859,13 +912,23 @@ fn models(h: &mut Harness) {
         (m.scores(), auc)
     };
 
-    #[derive(Serialize)]
     struct ModelRow {
         model: String,
         accuracy: f64,
         precision: f64,
         recall: f64,
         auc: Option<f64>,
+    }
+    impl ToJson for ModelRow {
+        fn to_json_value(&self) -> Json {
+            Json::obj(vec![
+                ("model", self.model.to_json_value()),
+                ("accuracy", self.accuracy.to_json_value()),
+                ("precision", self.precision.to_json_value()),
+                ("recall", self.recall.to_json_value()),
+                ("auc", self.auc.to_json_value()),
+            ])
+        }
     }
     let mut artifact: Vec<ModelRow> = Vec::new();
     let mut report = |name: &str, scores: forest::ClassificationScores, auc: Option<f64>| {
@@ -888,7 +951,7 @@ fn models(h: &mut Harness) {
     // Random forest.
     let rf = forest::RandomForest::fit(&train, &forest::RandomForestParams::default(), seed);
     let rf_probs: Vec<f64> = (0..test.len())
-        .map(|i| rf.predict_positive_proba(test.row(i)))
+        .map(|i| rf.predict_positive_proba_row(&test, i))
         .collect();
     let rf_preds: Vec<usize> = rf_probs.iter().map(|&p| (p > 0.5) as usize).collect();
     let (s, auc) = score(&rf_preds, Some(&rf_probs));
@@ -897,7 +960,7 @@ fn models(h: &mut Harness) {
     // Gradient boosting.
     let gbm = forest::GradientBoosting::fit(&train, &forest::GbmParams::default(), seed);
     let gbm_probs: Vec<f64> = (0..test.len())
-        .map(|i| gbm.predict_positive_proba(test.row(i)))
+        .map(|i| gbm.predict_positive_proba(&test.row(i)))
         .collect();
     let gbm_preds: Vec<usize> = gbm_probs.iter().map(|&p| (p > 0.5) as usize).collect();
     let (s, auc) = score(&gbm_preds, Some(&gbm_probs));
@@ -911,7 +974,9 @@ fn models(h: &mut Harness) {
         ..forest::RandomForestParams::default()
     };
     let tree = forest::RandomForest::fit(&train, &single, seed);
-    let tree_preds: Vec<usize> = (0..test.len()).map(|i| tree.predict(test.row(i))).collect();
+    let tree_preds: Vec<usize> = (0..test.len())
+        .map(|i| tree.predict_row(&test, i))
+        .collect();
     let (s, _) = score(&tree_preds, None);
     report("single tree", s, None);
 

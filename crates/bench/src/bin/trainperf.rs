@@ -1,0 +1,252 @@
+//! `trainperf` — measures the columnar training path against the
+//! frozen pre-change path and writes `artifacts/bench_training.json`.
+//!
+//! ```text
+//! cargo run -p bench --release --bin trainperf -- [flags]
+//!
+//! flags: --scale F   population scale for the benchmark fleet (default 0.25)
+//!        --seed N    master seed (default 2018)
+//!        --out DIR   artifact directory (default artifacts/)
+//! ```
+//!
+//! Both paths consume the same `derive_seed` chain, so before any
+//! timing is reported the binary asserts they agree: identical forest
+//! predictions on every row and identical grid-search scores. The JSON
+//! artifact has a deterministic shape (same keys, same candidate
+//! count); the timing values themselves naturally vary run to run.
+
+use bench::legacy::{legacy_grid_search, LegacyDataset, LegacyForest};
+use features::{FeatureConfig, FeatureExtractor};
+use forest::tree::TreeParams;
+use forest::{Dataset, GridSearch, MaxFeatures, RandomForest, RandomForestParams};
+use std::path::PathBuf;
+use std::time::Instant;
+use survdb::json::{Json, ToJson};
+use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        scale: 0.25,
+        seed: 2018,
+        out: PathBuf::from("artifacts"),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--scale" => {
+                options.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                options.out = PathBuf::from(value()?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(options)
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Repetitions per timed section; the best (minimum) time is reported,
+/// for both paths alike, to damp scheduler and cache noise. The two
+/// paths' repetitions are interleaved (legacy, columnar, legacy, ...)
+/// so slow system phases hit both sides rather than skewing the ratio.
+const REPS: usize = 4;
+
+fn best_of_pair<A, B>(
+    mut legacy: impl FnMut() -> A,
+    mut columnar: impl FnMut() -> B,
+) -> ((A, f64), (B, f64)) {
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    let (mut out_a, mut out_b) = (None, None);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        out_a = Some(legacy());
+        best_a = best_a.min(ms(t));
+        let t = Instant::now();
+        out_b = Some(columnar());
+        best_b = best_b.min(ms(t));
+    }
+    (
+        (out_a.expect("at least one rep"), best_a),
+        (out_b.expect("at least one rep"), best_b),
+    )
+}
+
+fn timing(label: &str, legacy_ms: f64, new_ms: f64) -> (Json, f64) {
+    let speedup = if new_ms > 0.0 {
+        legacy_ms / new_ms
+    } else {
+        0.0
+    };
+    println!("  {label:<22} legacy {legacy_ms:>9.1} ms   columnar {new_ms:>9.1} ms   speedup {speedup:>5.2}x");
+    (
+        Json::obj(vec![
+            ("legacy_ms", Json::Float(legacy_ms)),
+            ("columnar_ms", Json::Float(new_ms)),
+            ("speedup", Json::Float(speedup)),
+        ]),
+        speedup,
+    )
+}
+
+fn grid_candidates() -> Vec<RandomForestParams> {
+    // A small but realistic tuning surface: tree count × depth.
+    let mut out = Vec::new();
+    for &n_trees in &[20usize, 40] {
+        for &max_depth in &[8usize, 24] {
+            out.push(RandomForestParams {
+                n_trees,
+                tree: TreeParams {
+                    max_depth,
+                    ..TreeParams::default()
+                },
+                max_features: MaxFeatures::Sqrt,
+                bootstrap: true,
+            });
+        }
+    }
+    out
+}
+
+fn benchmark_dataset(scale: f64, seed: u64) -> Dataset {
+    let fleet = Fleet::generate(FleetConfig::new(
+        RegionConfig::region_1().scaled(scale),
+        seed,
+    ));
+    let census = Census::new(&fleet);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    extractor.build_dataset(&census, None).0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: trainperf [--scale F] [--seed N] [--out DIR]");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "[trainperf] building benchmark dataset (scale {}, seed {})",
+        options.scale, options.seed
+    );
+    let data = benchmark_dataset(options.scale, options.seed);
+    let legacy_data = LegacyDataset::from_columnar(&data);
+    println!(
+        "[trainperf] {} examples x {} features",
+        data.len(),
+        data.feature_count()
+    );
+
+    // --- forest fit ---------------------------------------------------
+    let params = RandomForestParams::default();
+    let ((legacy_model, legacy_fit_ms), (model, fit_ms)) = best_of_pair(
+        || LegacyForest::fit(&legacy_data, &params, options.seed),
+        || RandomForest::fit(&data, &params, options.seed),
+    );
+
+    let mut mismatches = 0usize;
+    for i in 0..data.len() {
+        if legacy_model.predict_proba(&data.row(i)) != model.predict_proba_row(&data, i) {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "columnar forest diverged from the legacy path on {mismatches} rows"
+    );
+    assert_eq!(
+        legacy_model.oob_accuracy(),
+        model.oob_accuracy(),
+        "out-of-bag accuracy diverged"
+    );
+    assert_eq!(
+        legacy_model.feature_importances(),
+        model.feature_importances(),
+        "gini feature importances diverged"
+    );
+    println!(
+        "[trainperf] forest predictions identical on all {} rows",
+        data.len()
+    );
+
+    // --- grid search --------------------------------------------------
+    let candidates = grid_candidates();
+    let k = 5;
+    let ((legacy_grid, legacy_grid_ms), (grid, grid_ms)) = best_of_pair(
+        || legacy_grid_search(&data, &legacy_data, &candidates, k, options.seed),
+        || GridSearch::new(candidates.clone(), k).run(&data, options.seed),
+    );
+
+    assert_eq!(
+        legacy_grid.best_score, grid.best_score,
+        "grid-search best score diverged"
+    );
+    assert_eq!(
+        candidates[legacy_grid.best_index], grid.best_params,
+        "grid-search winner diverged"
+    );
+    let new_scores: Vec<f64> = grid.all_scores.iter().map(|(_, s)| *s).collect();
+    assert_eq!(
+        legacy_grid.all_scores, new_scores,
+        "per-candidate CV scores diverged"
+    );
+    println!(
+        "[trainperf] grid-search scores identical across {} candidates x {k} folds",
+        candidates.len()
+    );
+
+    println!("\n[trainperf] timings:");
+    let (fit_json, _) = timing("forest fit", legacy_fit_ms, fit_ms);
+    let (grid_json, grid_speedup) = timing("grid search", legacy_grid_ms, grid_ms);
+
+    let artifact = Json::obj(vec![
+        ("scale", Json::Float(options.scale)),
+        ("seed", Json::UInt(options.seed)),
+        ("examples", data.len().to_json_value()),
+        ("features", data.feature_count().to_json_value()),
+        ("grid_candidates", candidates.len().to_json_value()),
+        ("cv_folds", k.to_json_value()),
+        ("results_match", Json::Bool(true)),
+        ("forest_fit", fit_json),
+        ("grid_search", grid_json),
+    ]);
+
+    if let Err(e) = std::fs::create_dir_all(&options.out) {
+        eprintln!("[trainperf] cannot create {}: {e}", options.out.display());
+        std::process::exit(1);
+    }
+    let path = options.out.join("bench_training.json");
+    if let Err(e) = std::fs::write(&path, artifact.render()) {
+        eprintln!("[trainperf] write {} failed: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\n[trainperf] wrote {}", path.display());
+
+    if grid_speedup < 3.0 {
+        eprintln!(
+            "[trainperf] WARNING: grid-search speedup {grid_speedup:.2}x is below the 3x acceptance bar"
+        );
+    }
+}

@@ -1,0 +1,569 @@
+//! The pre-columnar training path, frozen for benchmarking.
+//!
+//! `trainperf` times the current training path (columnar storage,
+//! per-tree presorted split search, zero-copy views) against this
+//! frozen copy of its predecessor: row-major storage, a split search
+//! that re-sorts `(value, label)` pairs at every node, deep-copied
+//! fold datasets, and strictly sequential execution.
+//!
+//! The legacy code deliberately uses the same `derive_seed` chain as
+//! the current path, so both consume identical random streams and must
+//! produce identical trees, predictions, and cross-validation scores.
+//! `trainperf` asserts that equality before reporting timings: any
+//! divergence is a correctness bug in the optimized path, not a
+//! seeding artifact.
+
+use forest::parallel::derive_seed;
+use forest::tree::TreeParams;
+use forest::{Dataset, KFold, RandomForestParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Row-major feature storage — the pre-change `Dataset` layout.
+#[derive(Debug, Clone)]
+pub struct LegacyDataset {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    class_count: usize,
+}
+
+impl LegacyDataset {
+    /// Gathers a columnar dataset into row-major form.
+    pub fn from_columnar(data: &Dataset) -> LegacyDataset {
+        LegacyDataset {
+            rows: (0..data.len()).map(|i| data.row(i)).collect(),
+            labels: (0..data.len()).map(|i| data.label(i)).collect(),
+            class_count: data.class_count(),
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    pub fn feature_count(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Label of example `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Deep-copies a row subset — the per-(candidate × fold) cost the
+    /// old fold machinery paid.
+    pub fn select(&self, indices: &[usize]) -> LegacyDataset {
+        LegacyDataset {
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            class_count: self.class_count,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum LegacyNode {
+    Leaf {
+        probabilities: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+fn threshold_between(lo: f64, hi: f64) -> f64 {
+    let mid = lo + (hi - lo) / 2.0;
+    if mid >= hi {
+        lo
+    } else {
+        mid
+    }
+}
+
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = counts.iter().map(|c| c * c).sum();
+    1.0 - sum_sq / (total * total)
+}
+
+/// A CART tree grown with the old per-node re-sorting split search.
+#[derive(Debug, Clone)]
+pub struct LegacyTree {
+    nodes: Vec<LegacyNode>,
+    class_count: usize,
+    importances: Vec<f64>,
+}
+
+impl LegacyTree {
+    /// Fits a tree exactly as the pre-change `DecisionTree::fit` did:
+    /// every node's split search gathers and sorts `(value, label)`
+    /// pairs for each candidate feature.
+    pub fn fit<R: Rng + ?Sized>(
+        data: &LegacyDataset,
+        indices: &[usize],
+        params: &TreeParams,
+        max_features: usize,
+        rng: &mut R,
+    ) -> LegacyTree {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let mut tree = LegacyTree {
+            nodes: Vec::new(),
+            class_count: data.class_count,
+            importances: vec![0.0; data.feature_count()],
+        };
+        let mut work: Vec<usize> = indices.to_vec();
+        let len = work.len();
+        let total = len as f64;
+        tree.grow(data, &mut work, 0, len, 0, params, max_features, total, rng);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow<R: Rng + ?Sized>(
+        &mut self,
+        data: &LegacyDataset,
+        work: &mut Vec<usize>,
+        start: usize,
+        end: usize,
+        depth: usize,
+        params: &TreeParams,
+        max_features: usize,
+        total: f64,
+        rng: &mut R,
+    ) -> usize {
+        let n = end - start;
+        let mut counts = vec![0.0_f64; self.class_count];
+        for &i in &work[start..end] {
+            counts[data.labels[i]] += 1.0;
+        }
+        let node_gini = gini(&counts, n as f64);
+
+        let make_leaf = |tree: &mut LegacyTree, counts: Vec<f64>| -> usize {
+            let probabilities = counts.iter().map(|c| c / n as f64).collect();
+            tree.nodes.push(LegacyNode::Leaf { probabilities });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= params.max_depth
+            || n < params.min_samples_split
+            || node_gini <= 0.0
+            || n < 2 * params.min_samples_leaf
+        {
+            return make_leaf(self, counts);
+        }
+
+        let best = self.best_split(
+            data,
+            &work[start..end],
+            &counts,
+            node_gini,
+            max_features,
+            params,
+            rng,
+        );
+        let Some((feature, threshold, decrease)) = best else {
+            return make_leaf(self, counts);
+        };
+
+        let slice = &mut work[start..end];
+        let mut mid = 0usize;
+        for i in 0..slice.len() {
+            if data.rows[slice[i]][feature] <= threshold {
+                slice.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < n, "split produced an empty child");
+
+        self.importances[feature] += (n as f64 / total) * decrease;
+
+        self.nodes.push(LegacyNode::Leaf {
+            probabilities: Vec::new(),
+        });
+        let me = self.nodes.len() - 1;
+        let left = self.grow(
+            data,
+            work,
+            start,
+            start + mid,
+            depth + 1,
+            params,
+            max_features,
+            total,
+            rng,
+        );
+        let right = self.grow(
+            data,
+            work,
+            start + mid,
+            end,
+            depth + 1,
+            params,
+            max_features,
+            total,
+            rng,
+        );
+        self.nodes[me] = LegacyNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn best_split<R: Rng + ?Sized>(
+        &self,
+        data: &LegacyDataset,
+        samples: &[usize],
+        parent_counts: &[f64],
+        parent_gini: f64,
+        max_features: usize,
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Option<(usize, f64, f64)> {
+        let n = samples.len();
+        let nf = data.feature_count();
+
+        let mut candidates: Vec<usize> = (0..nf).collect();
+        for i in 0..max_features.min(nf) {
+            let j = rng.gen_range(i..nf);
+            candidates.swap(i, j);
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(n);
+
+        for &feature in &candidates[..max_features] {
+            pairs.clear();
+            pairs.extend(
+                samples
+                    .iter()
+                    .map(|&i| (data.rows[i][feature], data.labels[i])),
+            );
+            // The per-node O(n log n) re-sort the presorted path removed.
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            if pairs[0].0 == pairs[n - 1].0 {
+                continue;
+            }
+
+            let mut left_counts = vec![0.0_f64; self.class_count];
+            let mut right_counts = parent_counts.to_vec();
+            let mut left_n = 0.0;
+            let mut right_n = n as f64;
+
+            for k in 0..n - 1 {
+                let (value, label) = pairs[k];
+                left_counts[label] += 1.0;
+                right_counts[label] -= 1.0;
+                left_n += 1.0;
+                right_n -= 1.0;
+
+                let next_value = pairs[k + 1].0;
+                if value == next_value {
+                    continue;
+                }
+                let left_size = (k + 1) as f64;
+                let right_size = (n - k - 1) as f64;
+                if (left_size as usize) < params.min_samples_leaf
+                    || (right_size as usize) < params.min_samples_leaf
+                {
+                    continue;
+                }
+                let weighted = (left_n / n as f64) * gini(&left_counts, left_n)
+                    + (right_n / n as f64) * gini(&right_counts, right_n);
+                let decrease = (parent_gini - weighted).max(0.0);
+                match best {
+                    Some((_, _, best_dec)) if best_dec >= decrease => {}
+                    _ => best = Some((feature, threshold_between(value, next_value), decrease)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Class probabilities for one row-major feature vector.
+    pub fn predict_proba(&self, features: &[f64]) -> &[f64] {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                LegacyNode::Leaf { probabilities } => return probabilities,
+                LegacyNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicted class (argmax of probabilities, same tie rule as the
+    /// current `DecisionTree::predict`).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        self.predict_proba(features)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i)
+            .expect("at least two classes")
+    }
+}
+
+/// A forest of legacy trees, trained strictly sequentially.
+#[derive(Debug, Clone)]
+pub struct LegacyForest {
+    trees: Vec<LegacyTree>,
+    class_count: usize,
+    oob_accuracy: Option<f64>,
+}
+
+impl LegacyForest {
+    /// Trains one tree after another, bootstrap and tree seeds drawn
+    /// from the same `derive_seed(seed, t)` chain as the current path.
+    pub fn fit(data: &LegacyDataset, params: &RandomForestParams, seed: u64) -> LegacyForest {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let n = data.len();
+        let max_features = params.max_features.resolve(data.feature_count());
+        let mut trees = Vec::with_capacity(params.n_trees);
+        // Out-of-bag bookkeeping, exactly as the pre-change fit did it:
+        // per tree, reset the bag, mark bootstrap rows, and vote with
+        // every tree on the rows it never saw.
+        let mut in_bag = vec![false; n];
+        let mut oob_votes: Vec<Vec<usize>> = vec![vec![0; data.class_count]; n];
+        for t in 0..params.n_trees {
+            let mut rng = SmallRng::seed_from_u64(derive_seed(seed, t as u64));
+            let indices: Vec<usize> = if params.bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            let tree = LegacyTree::fit(data, &indices, &params.tree, max_features, &mut rng);
+            if params.bootstrap {
+                in_bag.iter_mut().for_each(|b| *b = false);
+                for &i in &indices {
+                    in_bag[i] = true;
+                }
+                for (i, bagged) in in_bag.iter().enumerate() {
+                    if !bagged {
+                        let pred = tree.predict(&data.rows[i]);
+                        oob_votes[i][pred] += 1;
+                    }
+                }
+            }
+            trees.push(tree);
+        }
+        let oob_accuracy = if params.bootstrap {
+            let mut correct = 0usize;
+            let mut voted = 0usize;
+            for (i, votes) in oob_votes.iter().enumerate() {
+                let total: usize = votes.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                voted += 1;
+                let pred = votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .map(|(c, _)| c)
+                    .expect("non-empty votes");
+                if pred == data.label(i) {
+                    correct += 1;
+                }
+            }
+            if voted > 0 {
+                Some(correct as f64 / voted as f64)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        LegacyForest {
+            trees,
+            class_count: data.class_count,
+            oob_accuracy,
+        }
+    }
+
+    /// Out-of-bag accuracy, when trained with bootstrap sampling.
+    pub fn oob_accuracy(&self) -> Option<f64> {
+        self.oob_accuracy
+    }
+
+    /// Normalized gini feature importances, aggregated exactly as the
+    /// current forest does (tree order, then one normalizing sum).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let nf = self.trees.first().map_or(0, |t| t.importances.len());
+        let mut acc = vec![0.0_f64; nf];
+        for tree in &self.trees {
+            for (a, v) in acc.iter_mut().zip(&tree.importances) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            acc.iter_mut().for_each(|a| *a /= total);
+        }
+        acc
+    }
+
+    /// Average class probabilities over all trees.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0_f64; self.class_count];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(features)) {
+                *a += p;
+            }
+        }
+        let nt = self.trees.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= nt);
+        acc
+    }
+
+    /// Predicted class for row `i` of a legacy dataset (argmax, ties to
+    /// the later class — matching the current forest's rule).
+    pub fn predict_row(&self, data: &LegacyDataset, i: usize) -> usize {
+        let probs = self.predict_proba(&data.rows[i]);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i)
+            .expect("at least two classes")
+    }
+}
+
+/// A legacy grid-search outcome, index-based for comparison against
+/// the current `GridSearchResult`.
+#[derive(Debug, Clone)]
+pub struct LegacyGridOutcome {
+    /// Index of the winning candidate.
+    pub best_index: usize,
+    /// Its mean cross-validated accuracy.
+    pub best_score: f64,
+    /// Mean CV accuracy per candidate, in candidate order.
+    pub all_scores: Vec<f64>,
+}
+
+/// Sequential grid search over the old path: per (candidate × fold),
+/// deep-copy the train and validation subsets and fit a sequential
+/// legacy forest. Unit `(c, f)` uses `derive_seed(seed, c·k + f)` and
+/// the fold assignment comes from the same stratified `KFold`, so the
+/// scores must equal the current `GridSearch::run`'s.
+pub fn legacy_grid_search(
+    data: &Dataset,
+    legacy: &LegacyDataset,
+    candidates: &[RandomForestParams],
+    k: usize,
+    seed: u64,
+) -> LegacyGridOutcome {
+    let kfold = KFold::new(data, k, seed);
+    let splits: Vec<(Vec<usize>, Vec<usize>)> = (0..k).map(|f| kfold.split(f)).collect();
+
+    let mut all_scores = Vec::with_capacity(candidates.len());
+    let mut best: Option<(usize, f64)> = None;
+    for (c, params) in candidates.iter().enumerate() {
+        let mut sum = 0.0;
+        for (f, (train_idx, validation_idx)) in splits.iter().enumerate() {
+            let train = legacy.select(train_idx);
+            let validation = legacy.select(validation_idx);
+            let model = LegacyForest::fit(&train, params, derive_seed(seed, (c * k + f) as u64));
+            let correct = (0..validation.len())
+                .filter(|&i| model.predict_row(&validation, i) == validation.label(i))
+                .count();
+            sum += correct as f64 / validation.len() as f64;
+        }
+        let score = sum / k as f64;
+        all_scores.push(score);
+        match best {
+            Some((_, best_score)) if best_score >= score => {}
+            _ => best = Some((c, score)),
+        }
+    }
+    let (best_index, best_score) = best.expect("at least one candidate");
+    LegacyGridOutcome {
+        best_index,
+        best_score,
+        all_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forest::RandomForest;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "n0".into()], 2);
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            let n0: f64 = rng.gen();
+            d.push(vec![x0, x1, n0], ((x0 + x1) > 1.0) as usize);
+        }
+        d
+    }
+
+    #[test]
+    fn legacy_forest_matches_current_forest() {
+        let d = dataset(300);
+        let legacy_data = LegacyDataset::from_columnar(&d);
+        let params = RandomForestParams {
+            n_trees: 12,
+            ..RandomForestParams::default()
+        };
+        let current = RandomForest::fit(&d, &params, 42);
+        let legacy = LegacyForest::fit(&legacy_data, &params, 42);
+        for i in 0..d.len() {
+            assert_eq!(
+                legacy.predict_proba(&d.row(i)),
+                current.predict_proba(&d.row(i)),
+                "row {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_grid_matches_current_grid() {
+        let d = dataset(240);
+        let legacy_data = LegacyDataset::from_columnar(&d);
+        let candidates = vec![
+            RandomForestParams {
+                n_trees: 8,
+                ..RandomForestParams::default()
+            },
+            RandomForestParams {
+                n_trees: 16,
+                ..RandomForestParams::default()
+            },
+        ];
+        let current = forest::GridSearch::new(candidates.clone(), 3).run(&d, 9);
+        let legacy = legacy_grid_search(&d, &legacy_data, &candidates, 3, 9);
+        assert_eq!(legacy.best_score, current.best_score);
+        assert_eq!(candidates[legacy.best_index], current.best_params);
+        let current_scores: Vec<f64> = current.all_scores.iter().map(|(_, s)| *s).collect();
+        assert_eq!(legacy.all_scores, current_scores);
+    }
+}

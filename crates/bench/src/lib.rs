@@ -6,11 +6,13 @@
 //! Figures 5–9 and Tables 1–2 are all views over the same runs, so the
 //! harness computes each subgroup once and caches it.
 
-use serde::Serialize;
+pub mod legacy;
+
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 use survdb::experiment::{Experiment, ExperimentConfig, GridPreset, SubgroupResult};
+use survdb::json::ToJson;
 use survdb::study::{Study, StudyConfig};
 use telemetry::{Edition, RegionId};
 
@@ -114,8 +116,10 @@ impl Harness {
         out
     }
 
-    /// Writes a JSON artifact for an experiment id.
-    pub fn write_artifact<T: Serialize>(&self, id: &str, value: &T) {
+    /// Writes a JSON artifact for an experiment id. Artifacts render
+    /// through [`survdb::json`] so repeated runs with the same seed
+    /// produce byte-identical files.
+    pub fn write_artifact<T: ToJson>(&self, id: &str, value: &T) {
         let dir = &self.options.artifact_dir;
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("[harness] cannot create {}: {e}", dir.display());
@@ -124,7 +128,7 @@ impl Harness {
         let path = dir.join(format!("{id}.json"));
         match std::fs::File::create(&path) {
             Ok(mut f) => {
-                let json = serde_json::to_string_pretty(value).expect("serializable artifact");
+                let json = value.to_json_value().render();
                 if let Err(e) = f.write_all(json.as_bytes()) {
                     eprintln!("[harness] write {} failed: {e}", path.display());
                 } else {

@@ -11,6 +11,7 @@
 //! `crates/bench` renders the result as `artifacts/robustness.json`.
 
 use crate::experiment::{Experiment, ExperimentConfig, ExperimentError, GridPreset};
+use forest::parallel::run_units;
 use forest::ClassificationScores;
 use telemetry::{
     reconstruct_records_lenient, Census, EventStream, FaultClass, FaultInjector, FaultPlan,
@@ -138,27 +139,33 @@ pub fn run_degradation_sweep(
     let baseline_result = experiment.try_run(&Census::new(&clean_fleet), None)?;
     let baseline = Scores::of(&baseline_result.forest);
 
-    let mut cells = Vec::with_capacity(config.classes.len() * config.fault_rates.len());
-    for &class in &config.classes {
-        for &rate in &config.fault_rates {
-            let injector = FaultInjector::new(FaultPlan::single(class, rate, config.seed));
-            let (faulted, faults) = injector.inject(&stream);
-            let (records, ingest) = reconstruct_records_lenient(&faulted, &config.policy);
-            let cell_fleet = recovered_fleet(&fleet, records);
-            let scores = experiment
-                .try_run(&Census::new(&cell_fleet), None)
-                .ok()
-                .map(|r| Scores::of(&r.forest));
-            cells.push(DegradationCell {
-                class,
-                rate,
-                faults,
-                ingest,
-                delta: scores.map(|s| s.delta(baseline)),
-                scores,
-            });
+    // Cells are independent given (class, rate): each derives its own
+    // fault plan from the shared seed, so they can run on the work
+    // queue and still land in deterministic (classes outermost) order.
+    let grid: Vec<(FaultClass, f64)> = config
+        .classes
+        .iter()
+        .flat_map(|&class| config.fault_rates.iter().map(move |&rate| (class, rate)))
+        .collect();
+    let cells = run_units(grid.len(), |unit| {
+        let (class, rate) = grid[unit];
+        let injector = FaultInjector::new(FaultPlan::single(class, rate, config.seed));
+        let (faulted, faults) = injector.inject(&stream);
+        let (records, ingest) = reconstruct_records_lenient(&faulted, &config.policy);
+        let cell_fleet = recovered_fleet(&fleet, records);
+        let scores = experiment
+            .try_run(&Census::new(&cell_fleet), None)
+            .ok()
+            .map(|r| Scores::of(&r.forest));
+        DegradationCell {
+            class,
+            rate,
+            faults,
+            ingest,
+            delta: scores.map(|s| s.delta(baseline)),
+            scores,
         }
-    }
+    });
 
     Ok(RobustnessReport {
         scale: config.scale,

@@ -2,10 +2,12 @@
 //! subgroup.
 
 use features::{FeatureConfig, FeatureExtractor, NgramVocabulary};
+use forest::parallel::{derive_seed, run_units};
 use forest::tree::TreeParams;
 use forest::{
-    train_test_split, ClassificationScores, ConfusionMatrix, Dataset, GridSearch, MaxFeatures,
-    PartitionedPredictions, RandomForest, RandomForestParams, WeightedRandomClassifier,
+    train_test_split_indices, ClassificationScores, ConfusionMatrix, Dataset, GridSearch,
+    MaxFeatures, PartitionedPredictions, RandomForest, RandomForestParams,
+    WeightedRandomClassifier,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -268,6 +270,13 @@ impl Experiment {
     }
 
     /// Runs the protocol on an explicit dataset (exposed for ablations).
+    ///
+    /// Repetitions are independent work units: repetition `r` derives
+    /// every seed it needs (split, grid search, model, baseline) from
+    /// `derive_seed(cfg.seed, r)`, and results are merged in repetition
+    /// order — so the outcome is identical whatever the thread count.
+    /// Splits, folds, and training sets are index views over the one
+    /// dataset; no feature value is copied per repetition.
     pub fn run_on_dataset(
         &self,
         dataset: Dataset,
@@ -279,86 +288,49 @@ impl Experiment {
         let q = dataset.class_fraction(1);
         let threshold = forest::confidence_threshold(q);
 
-        let mut forest_scores = Vec::new();
-        let mut baseline_scores = Vec::new();
-        let mut confident_scores = Vec::new();
-        let mut uncertain_scores = Vec::new();
-        let mut confident_counts = (0usize, 0usize);
-        let mut oob_sum = 0.0;
-        let mut oob_n = 0usize;
-        let mut importance_acc: Vec<f64> = vec![0.0; dataset.feature_count()];
-        let mut tuned_desc = String::new();
-
-        // Pooled-over-repetitions survival groupings: (duration, event)
-        // keyed by predicted class and confidence.
-        let mut pool_whole = GroupPool::default();
-        let mut pool_baseline = GroupPool::default();
-        let mut pool_confident = GroupPool::default();
-        let mut pool_uncertain = GroupPool::default();
-
-        // We need test-row → survival-pair alignment, so we split
-        // indices manually (train_test_split shuffles rows away from
-        // their survival pairs otherwise). Build an indexed dataset: the
-        // last "feature" smuggles the row index through the split, then
-        // is stripped before training.
-        let indexed = with_index_column(&dataset);
-
-        for rep in 0..cfg.repetitions {
-            let split_seed = cfg.seed ^ (rep as u64).wrapping_mul(0x0100_0000_01b3);
-            let (train_ix, test_ix) = train_test_split(&indexed, cfg.test_fraction, split_seed);
-            let train = strip_index_column(&train_ix);
-            let test = strip_index_column(&test_ix);
-            let test_rows: Vec<usize> = (0..test_ix.len())
-                .map(|i| *test_ix.row(i).last().expect("index column") as usize)
-                .collect();
+        let reps = run_units(cfg.repetitions, |rep| {
+            let rep_seed = derive_seed(cfg.seed, rep as u64);
+            let (train_rows, test_rows) =
+                train_test_split_indices(&dataset, cfg.test_fraction, rep_seed);
+            let train = dataset.view(&train_rows);
 
             // Tune on the training set.
             let params = match cfg.grid {
                 GridPreset::Off => RandomForestParams::default(),
                 preset => {
-                    let result = GridSearch::new(preset.candidates(), preset.folds())
-                        .run(&train, split_seed);
-                    result.best_params
+                    GridSearch::new(preset.candidates(), preset.folds())
+                        .run_on(&dataset, &train_rows, derive_seed(rep_seed, 1))
+                        .best_params
                 }
             };
-            if rep == 0 {
-                tuned_desc = format!(
-                    "trees={} depth={} leaf={} max_features={:?}",
-                    params.n_trees,
-                    params.tree.max_depth,
-                    params.tree.min_samples_leaf,
-                    params.max_features
-                );
-            }
+            let tuned = format!(
+                "trees={} depth={} leaf={} max_features={:?}",
+                params.n_trees,
+                params.tree.max_depth,
+                params.tree.min_samples_leaf,
+                params.max_features
+            );
 
-            let model = RandomForest::fit(&train, &params, split_seed ^ 0xF0F0);
-            if let Some(oob) = model.oob_accuracy() {
-                oob_sum += oob;
-                oob_n += 1;
-            }
-            for (acc, v) in importance_acc.iter_mut().zip(model.feature_importances()) {
-                *acc += v;
-            }
+            let model = RandomForest::fit_view(&train, &params, derive_seed(rep_seed, 2));
 
             // Forest predictions on the test set.
-            let probs: Vec<f64> = (0..test.len())
-                .map(|i| model.predict_positive_proba(test.row(i)))
+            let probs: Vec<f64> = test_rows
+                .iter()
+                .map(|&i| model.predict_positive_proba_row(&dataset, i))
                 .collect();
             let predicted: Vec<usize> = probs.iter().map(|&p| (p > 0.5) as usize).collect();
-            let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
-            forest_scores.push(ConfusionMatrix::from_predictions(&predicted, &actual).scores());
+            let actual: Vec<usize> = test_rows.iter().map(|&i| dataset.label(i)).collect();
+            let forest_scores = ConfusionMatrix::from_predictions(&predicted, &actual).scores();
 
             // Baseline.
-            let baseline = WeightedRandomClassifier::fit(&train);
-            let mut rng = SmallRng::seed_from_u64(split_seed ^ 0xBA5E);
-            let baseline_preds = baseline.predict_many(test.len(), &mut rng);
-            baseline_scores
-                .push(ConfusionMatrix::from_predictions(&baseline_preds, &actual).scores());
+            let baseline = WeightedRandomClassifier::fit_view(&train);
+            let mut rng = SmallRng::seed_from_u64(derive_seed(rep_seed, 3));
+            let baseline_preds = baseline.predict_many(test_rows.len(), &mut rng);
+            let baseline_scores =
+                ConfusionMatrix::from_predictions(&baseline_preds, &actual).scores();
 
             // Confidence partition.
             let partition = PartitionedPredictions::partition(&probs, train.class_fraction(1));
-            confident_counts.0 += partition.confident.len();
-            confident_counts.1 += partition.uncertain.len();
             let score_of = |subset: &[(usize, f64, usize)]| -> ClassificationScores {
                 let mut m = ConfusionMatrix::default();
                 for &(i, _, pred) in subset {
@@ -366,22 +338,86 @@ impl Experiment {
                 }
                 m.scores()
             };
-            confident_scores.push(score_of(&partition.confident));
-            uncertain_scores.push(score_of(&partition.uncertain));
+            let confident_scores = score_of(&partition.confident);
+            let uncertain_scores = score_of(&partition.uncertain);
 
-            // Pool survival groupings.
+            // Survival groupings for this repetition's test set.
+            let mut whole = Vec::with_capacity(test_rows.len());
+            let mut confident_pool = Vec::new();
+            let mut uncertain_pool = Vec::new();
             for (i, (&pred, &p)) in predicted.iter().zip(&probs).enumerate() {
                 let pair = survival[test_rows[i]];
-                pool_whole.push(pred, pair);
+                whole.push((pred, pair));
                 let confident = p >= threshold || p <= 1.0 - threshold;
                 if confident {
-                    pool_confident.push(pred, pair);
+                    confident_pool.push((pred, pair));
                 } else {
-                    pool_uncertain.push(pred, pair);
+                    uncertain_pool.push((pred, pair));
                 }
             }
-            for (i, &pred) in baseline_preds.iter().enumerate() {
-                pool_baseline.push(pred, survival[test_rows[i]]);
+            let baseline_pool: Vec<(usize, (f64, bool))> = baseline_preds
+                .iter()
+                .enumerate()
+                .map(|(i, &pred)| (pred, survival[test_rows[i]]))
+                .collect();
+
+            RepOutcome {
+                forest: forest_scores,
+                baseline: baseline_scores,
+                confident: confident_scores,
+                uncertain: uncertain_scores,
+                confident_count: partition.confident.len(),
+                uncertain_count: partition.uncertain.len(),
+                oob: model.oob_accuracy(),
+                importances: model.feature_importances(),
+                tuned,
+                whole,
+                baseline_pool,
+                confident_pool,
+                uncertain_pool,
+            }
+        });
+
+        // Merge in repetition order.
+        let mut forest_scores = Vec::with_capacity(reps.len());
+        let mut baseline_scores = Vec::with_capacity(reps.len());
+        let mut confident_scores = Vec::with_capacity(reps.len());
+        let mut uncertain_scores = Vec::with_capacity(reps.len());
+        let mut confident_counts = (0usize, 0usize);
+        let mut oob_sum = 0.0;
+        let mut oob_n = 0usize;
+        let mut importance_acc: Vec<f64> = vec![0.0; dataset.feature_count()];
+        let mut pool_whole = GroupPool::default();
+        let mut pool_baseline = GroupPool::default();
+        let mut pool_confident = GroupPool::default();
+        let mut pool_uncertain = GroupPool::default();
+        let tuned_desc = reps.first().map_or_else(String::new, |r| r.tuned.clone());
+
+        for rep in &reps {
+            forest_scores.push(rep.forest);
+            baseline_scores.push(rep.baseline);
+            confident_scores.push(rep.confident);
+            uncertain_scores.push(rep.uncertain);
+            confident_counts.0 += rep.confident_count;
+            confident_counts.1 += rep.uncertain_count;
+            if let Some(oob) = rep.oob {
+                oob_sum += oob;
+                oob_n += 1;
+            }
+            for (acc, v) in importance_acc.iter_mut().zip(&rep.importances) {
+                *acc += v;
+            }
+            for &(pred, pair) in &rep.whole {
+                pool_whole.push(pred, pair);
+            }
+            for &(pred, pair) in &rep.baseline_pool {
+                pool_baseline.push(pred, pair);
+            }
+            for &(pred, pair) in &rep.confident_pool {
+                pool_confident.push(pred, pair);
+            }
+            for &(pred, pair) in &rep.uncertain_pool {
+                pool_uncertain.push(pred, pair);
             }
         }
 
@@ -426,6 +462,24 @@ impl Experiment {
     }
 }
 
+/// Everything one repetition contributes to the subgroup result.
+#[derive(Debug, Clone)]
+struct RepOutcome {
+    forest: ClassificationScores,
+    baseline: ClassificationScores,
+    confident: ClassificationScores,
+    uncertain: ClassificationScores,
+    confident_count: usize,
+    uncertain_count: usize,
+    oob: Option<f64>,
+    importances: Vec<f64>,
+    tuned: String,
+    whole: Vec<(usize, (f64, bool))>,
+    baseline_pool: Vec<(usize, (f64, bool))>,
+    confident_pool: Vec<(usize, (f64, bool))>,
+    uncertain_pool: Vec<(usize, (f64, bool))>,
+}
+
 /// Survival pairs pooled per predicted class.
 #[derive(Debug, Clone, Default)]
 struct GroupPool {
@@ -467,31 +521,6 @@ impl GroupPool {
             logrank_statistic: stat,
         }
     }
-}
-
-/// Appends a row-index column so stratified splitting can carry row
-/// identity (needed to join test rows back to their survival pairs).
-fn with_index_column(data: &Dataset) -> Dataset {
-    let mut names = data.feature_names().to_vec();
-    names.push("__row_index".into());
-    let mut out = Dataset::new(names, data.class_count());
-    for i in 0..data.len() {
-        let mut row = data.row(i).to_vec();
-        row.push(i as f64);
-        out.push(row, data.label(i));
-    }
-    out
-}
-
-/// Removes the smuggled index column.
-fn strip_index_column(data: &Dataset) -> Dataset {
-    let names: Vec<String> = data.feature_names()[..data.feature_count() - 1].to_vec();
-    let mut out = Dataset::new(names, data.class_count());
-    for i in 0..data.len() {
-        let row = data.row(i);
-        out.push(row[..row.len() - 1].to_vec(), data.label(i));
-    }
-    out
 }
 
 #[cfg(test)]
@@ -587,14 +616,23 @@ mod tests {
     }
 
     #[test]
-    fn index_column_roundtrip() {
-        let mut d = Dataset::new(vec!["a".into()], 2);
-        d.push(vec![1.0], 0);
-        d.push(vec![2.0], 1);
-        let ix = with_index_column(&d);
-        assert_eq!(ix.feature_count(), 2);
-        assert_eq!(ix.row(1), &[2.0, 1.0]);
-        let back = strip_index_column(&ix);
-        assert_eq!(back, d);
+    fn repetitions_are_thread_count_invariant() {
+        let study = study();
+        let census = study.census(RegionId::Region1);
+        let experiment = Experiment::new(quick_config());
+        forest::set_thread_limit(Some(1));
+        let sequential = experiment.run(&census, None);
+        forest::set_thread_limit(Some(4));
+        let threaded = experiment.run(&census, None);
+        forest::set_thread_limit(None);
+        assert_eq!(sequential.forest, threaded.forest);
+        assert_eq!(sequential.baseline, threaded.baseline);
+        assert_eq!(sequential.confident_fraction, threaded.confident_fraction);
+        assert_eq!(sequential.oob_accuracy, threaded.oob_accuracy);
+        assert_eq!(sequential.importances, threaded.importances);
+        assert_eq!(
+            sequential.whole_grouping.logrank_p,
+            threaded.whole_grouping.logrank_p
+        );
     }
 }

@@ -1,0 +1,494 @@
+//! Deterministic JSON rendering for artifacts.
+//!
+//! The reproduction's acceptance bar is byte-determinism: re-running
+//! `repro` or `faultsweep` with the same seed must leave every
+//! `artifacts/*.json` byte-identical. A generic serializer makes that
+//! promise fragile — map iteration order and float formatting are
+//! implementation details — so artifacts render through this small
+//! value tree instead. Floats follow one rule everywhere (finite
+//! integral values print with a trailing `.0`, everything else prints
+//! Rust's shortest roundtrip form, non-finite prints `null`), object
+//! keys appear in the order the code pushes them, and hash maps are
+//! sorted before rendering.
+
+use crate::degradation::Scores;
+use crate::experiment::{GroupingAnalysis, KmSeries, SubgroupResult};
+use crate::observations::{EditionSurvival, ObservationReport};
+use crate::provisioning::{PlacementPolicy, ProvisioningOutcome};
+use crate::segments::SegmentReport;
+use forest::ClassificationScores;
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON value with deterministic rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (renders without a decimal point).
+    UInt(u64),
+    /// A signed integer (renders without a decimal point).
+    Int(i64),
+    /// A float (renders with at least one decimal; non-finite → null).
+    Float(f64),
+    /// A string (escaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in push order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent),
+    /// with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => push_f64(out, *v),
+            Json::Str(s) => push_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    push_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// The one float rule (shared with `RobustnessReport::to_json`):
+/// integral finite values keep a decimal point so they read as floats
+/// downstream; everything else uses Rust's shortest-roundtrip Display;
+/// non-finite values become `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the deterministic JSON tree. Every artifact type
+/// implements this; the harness's `write_artifact` accepts any
+/// implementor.
+pub trait ToJson {
+    /// The value as a JSON tree.
+    fn to_json_value(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json_value(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json_value(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json_value(&self) -> Json {
+        Json::UInt(u64::from(*self))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json_value(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json_value(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json_value(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json_value(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json_value(&self) -> Json {
+        (*self).to_json_value()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+            self.3.to_json_value(),
+        ])
+    }
+}
+
+impl<T: ToJson> ToJson for BTreeMap<String, T> {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: ToJson> ToJson for HashMap<String, T> {
+    fn to_json_value(&self) -> Json {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Json::Obj(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl ToJson for ClassificationScores {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("accuracy", Json::Float(self.accuracy)),
+            ("precision", Json::Float(self.precision)),
+            ("recall", Json::Float(self.recall)),
+            ("support", Json::UInt(self.support as u64)),
+        ])
+    }
+}
+
+impl ToJson for Scores {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("accuracy", Json::Float(self.accuracy)),
+            ("precision", Json::Float(self.precision)),
+            ("recall", Json::Float(self.recall)),
+        ])
+    }
+}
+
+impl ToJson for KmSeries {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json_value()),
+            ("n", self.n.to_json_value()),
+            ("points", self.points.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for GroupingAnalysis {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("short_curve", self.short_curve.to_json_value()),
+            ("long_curve", self.long_curve.to_json_value()),
+            ("logrank_p", Json::Float(self.logrank_p)),
+            ("logrank_statistic", Json::Float(self.logrank_statistic)),
+        ])
+    }
+}
+
+impl ToJson for SubgroupResult {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("region", self.region.to_json_value()),
+            ("edition", self.edition.to_json_value()),
+            ("positive_fraction", Json::Float(self.positive_fraction)),
+            (
+                "confidence_threshold",
+                Json::Float(self.confidence_threshold),
+            ),
+            ("population", self.population.to_json_value()),
+            ("forest", self.forest.to_json_value()),
+            ("baseline", self.baseline.to_json_value()),
+            ("confident", self.confident.to_json_value()),
+            ("uncertain", self.uncertain.to_json_value()),
+            ("confident_fraction", Json::Float(self.confident_fraction)),
+            ("whole_grouping", self.whole_grouping.to_json_value()),
+            ("baseline_grouping", self.baseline_grouping.to_json_value()),
+            (
+                "confident_grouping",
+                self.confident_grouping.to_json_value(),
+            ),
+            (
+                "uncertain_grouping",
+                self.uncertain_grouping.to_json_value(),
+            ),
+            ("oob_accuracy", Json::Float(self.oob_accuracy)),
+            ("importances", self.importances.to_json_value()),
+            ("tuned_params", self.tuned_params.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for EditionSurvival {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("edition", self.edition.to_json_value()),
+            ("n", self.n.to_json_value()),
+            ("s30", Json::Float(self.s30)),
+            ("s60", Json::Float(self.s60)),
+            ("s120", Json::Float(self.s120)),
+            ("always_s60", Json::Float(self.always_s60)),
+            ("always_n", self.always_n.to_json_value()),
+            ("changed_s60", Json::Float(self.changed_s60)),
+            ("changed_n", self.changed_n.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for ObservationReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("region", self.region.to_json_value()),
+            (
+                "ephemeral_only_subscription_share",
+                Json::Float(self.ephemeral_only_subscription_share),
+            ),
+            (
+                "ephemeral_only_database_share",
+                Json::Float(self.ephemeral_only_database_share),
+            ),
+            ("edition_survival", self.edition_survival.to_json_value()),
+            ("edition_logrank_p", Json::Float(self.edition_logrank_p)),
+            (
+                "edition_change_rates",
+                self.edition_change_rates.to_json_value(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for PlacementPolicy {
+    fn to_json_value(&self) -> Json {
+        Json::Str(
+            match self {
+                PlacementPolicy::Agnostic => "Agnostic",
+                PlacementPolicy::LongevityGuided => "LongevityGuided",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for ProvisioningOutcome {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("policy", self.policy.to_json_value()),
+            ("placed", self.placed.to_json_value()),
+            ("clusters_opened", self.clusters_opened.to_json_value()),
+            ("disruptions", self.disruptions.to_json_value()),
+            (
+                "wasted_disruptions",
+                self.wasted_disruptions.to_json_value(),
+            ),
+            ("moves", self.moves.to_json_value()),
+            ("wasted_moves", self.wasted_moves.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for SegmentReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("cutoff_epoch_seconds", Json::Int(self.cutoff_epoch_seconds)),
+            ("segment_sizes", self.segment_sizes.to_json_value()),
+            (
+                "out_of_time_accuracy",
+                self.out_of_time_accuracy.to_json_value(),
+            ),
+            ("cycler_precision", self.cycler_precision.to_json_value()),
+            ("evaluated", self.evaluated.to_json_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::UInt(17).render(), "17\n");
+        assert_eq!(Json::Int(-3).render(), "-3\n");
+        assert_eq!(Json::Float(17.0).render(), "17.0\n");
+        assert_eq!(Json::Float(0.125).render(), "0.125\n");
+        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Str("a\"b".into()).render(), "\"a\\\"b\"\n");
+    }
+
+    #[test]
+    fn nested_pretty_layout() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("x".into())),
+            ("points", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\n  \"name\": \"x\",\n  \"points\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn hash_maps_render_sorted() {
+        let mut m: HashMap<String, usize> = HashMap::new();
+        m.insert("zeta".into(), 1);
+        m.insert("alpha".into(), 2);
+        m.insert("mid".into(), 3);
+        let rendered = m.to_json_value().render();
+        let alpha = rendered.find("alpha").unwrap();
+        let mid = rendered.find("mid").unwrap();
+        let zeta = rendered.find("zeta").unwrap();
+        assert!(alpha < mid && mid < zeta, "{rendered}");
+    }
+
+    #[test]
+    fn rendering_is_reproducible() {
+        let scores = ClassificationScores {
+            accuracy: 0.875,
+            precision: 1.0 / 3.0,
+            recall: 1.0,
+            support: 40,
+        };
+        let a = scores.to_json_value().render();
+        let b = scores.to_json_value().render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"support\": 40"));
+        assert!(a.contains("\"recall\": 1.0"));
+    }
+}

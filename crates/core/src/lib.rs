@@ -27,6 +27,9 @@
 //!   time.
 //! * [`report`] — plain-text tables and ASCII survival curves used by
 //!   the `repro` harness and the examples.
+//! * [`json`] — deterministic JSON rendering (stable key order,
+//!   one float rule) so re-running a harness leaves artifacts
+//!   byte-identical.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 
 pub mod degradation;
 pub mod experiment;
+pub mod json;
 pub mod observations;
 pub mod provisioning;
 pub mod report;
@@ -53,6 +57,7 @@ pub mod study;
 
 pub use degradation::{run_degradation_sweep, DegradationConfig, RobustnessReport};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentError, GridPreset, SubgroupResult};
+pub use json::{Json, ToJson};
 pub use observations::ObservationReport;
 pub use provisioning::{PlacementPolicy, ProvisioningConfig, ProvisioningOutcome};
 pub use segments::{segment_report, Segment, SegmentConfig, SegmentReport};

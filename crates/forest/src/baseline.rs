@@ -30,6 +30,19 @@ impl WeightedRandomClassifier {
         }
     }
 
+    /// Fits the baseline from a borrowed view (zero-copy training
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty view.
+    pub fn fit_view(view: &crate::data::DatasetView<'_>) -> WeightedRandomClassifier {
+        assert!(!view.is_empty(), "cannot fit baseline on empty data");
+        WeightedRandomClassifier {
+            positive_probability: view.class_fraction(1),
+        }
+    }
+
     /// Creates a baseline with an explicit positive probability.
     ///
     /// # Panics

@@ -1,7 +1,13 @@
 //! Feature-matrix dataset for classification.
 
-/// A dense, row-major dataset: one feature vector and one class label
-/// per example.
+/// A dense, columnar dataset: one feature vector and one class label
+/// per example, stored struct-of-arrays (`columns[feature][example]`).
+///
+/// Columnar storage is what makes the training path fast: split search
+/// scans one feature column at a time (sequential memory traffic), and
+/// folds / bootstrap samples / grid-search candidates are represented
+/// as index slices over a shared dataset ([`DatasetView`]) instead of
+/// deep row copies.
 ///
 /// Labels are `0..class_count`. The paper's task is binary (positive =
 /// "lives more than 30 days"), but the implementation is k-class so the
@@ -10,7 +16,7 @@
 pub struct Dataset {
     feature_names: Vec<String>,
     class_count: usize,
-    rows: Vec<Vec<f64>>,
+    columns: Vec<Vec<f64>>,
     labels: Vec<usize>,
 }
 
@@ -26,10 +32,11 @@ impl Dataset {
             "dataset needs at least one feature"
         );
         assert!(class_count >= 2, "dataset needs at least two classes");
+        let columns = vec![Vec::new(); feature_names.len()];
         Dataset {
             feature_names,
             class_count,
-            rows: Vec::new(),
+            columns,
             labels: Vec::new(),
         }
     }
@@ -60,18 +67,20 @@ impl Dataset {
             "label {label} out of range (class_count = {})",
             self.class_count
         );
-        self.rows.push(features);
+        for (column, v) in self.columns.iter_mut().zip(features) {
+            column.push(v);
+        }
         self.labels.push(label);
     }
 
     /// Number of examples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.labels.len()
     }
 
     /// True if no examples have been added.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.labels.is_empty()
     }
 
     /// Number of features.
@@ -89,9 +98,25 @@ impl Dataset {
         &self.feature_names
     }
 
-    /// One example's features.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.rows[i]
+    /// One feature's value for one example.
+    pub fn value(&self, i: usize, feature: usize) -> f64 {
+        self.columns[feature][i]
+    }
+
+    /// One feature's values across all examples.
+    pub fn column(&self, feature: usize) -> &[f64] {
+        &self.columns[feature]
+    }
+
+    /// One example's features, gathered from the columns.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[i]).collect()
+    }
+
+    /// Gathers one example's features into a reusable buffer.
+    pub fn gather_row_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c[i]));
     }
 
     /// One example's label.
@@ -122,14 +147,103 @@ impl Dataset {
     }
 
     /// A new dataset containing the rows at `indices` (duplicates
-    /// allowed — this is how bootstrap samples are built).
+    /// allowed).
+    ///
+    /// This copies data; the training path works on [`DatasetView`]s
+    /// instead and only materialises when a caller genuinely needs an
+    /// owned dataset (e.g. feature ablations that change the schema).
     pub fn select(&self, indices: &[usize]) -> Dataset {
         let mut out = Dataset::new(self.feature_names.clone(), self.class_count);
-        for &i in indices {
-            out.rows.push(self.rows[i].clone());
-            out.labels.push(self.labels[i]);
+        for (column, source) in out.columns.iter_mut().zip(&self.columns) {
+            column.extend(indices.iter().map(|&i| source[i]));
         }
+        out.labels.extend(indices.iter().map(|&i| self.labels[i]));
         out
+    }
+
+    /// A borrowed view over the rows at `indices` (duplicates allowed —
+    /// this is how bootstrap samples are built).
+    pub fn view<'a>(&'a self, indices: &'a [usize]) -> DatasetView<'a> {
+        DatasetView {
+            data: self,
+            indices,
+        }
+    }
+}
+
+/// A borrowed, zero-copy subset of a [`Dataset`]: the underlying
+/// columns plus a slice of row indices (duplicates allowed).
+///
+/// Folds, train/test splits, and bootstrap samples are all views; no
+/// feature value is copied when slicing a dataset for training.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetView<'a> {
+    data: &'a Dataset,
+    indices: &'a [usize],
+}
+
+impl<'a> DatasetView<'a> {
+    /// Creates a view of `data` over `indices`.
+    pub fn new(data: &'a Dataset, indices: &'a [usize]) -> DatasetView<'a> {
+        DatasetView { data, indices }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// The row indices this view covers, in order.
+    pub fn indices(&self) -> &'a [usize] {
+        self.indices
+    }
+
+    /// Number of examples in the view.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if the view covers no examples.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of features.
+    pub fn feature_count(&self) -> usize {
+        self.data.feature_count()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.data.class_count()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &'a [String] {
+        self.data.feature_names()
+    }
+
+    /// One feature's value for the view's `i`-th example.
+    pub fn value(&self, i: usize, feature: usize) -> f64 {
+        self.data.value(self.indices[i], feature)
+    }
+
+    /// The view's `i`-th example's label.
+    pub fn label(&self, i: usize) -> usize {
+        self.data.label(self.indices[i])
+    }
+
+    /// Fraction of the view's examples with the given label.
+    pub fn class_fraction(&self, label: usize) -> f64 {
+        if self.indices.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .indices
+            .iter()
+            .filter(|&&i| self.data.label(i) == label)
+            .count();
+        hits as f64 / self.indices.len() as f64
     }
 }
 
@@ -150,10 +264,20 @@ mod tests {
         let d = tiny();
         assert_eq!(d.len(), 3);
         assert_eq!(d.feature_count(), 2);
-        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.row(1), vec![3.0, 4.0]);
+        assert_eq!(d.value(1, 0), 3.0);
+        assert_eq!(d.column(1), &[2.0, 4.0, 6.0]);
         assert_eq!(d.label(2), 1);
         assert_eq!(d.class_distribution(), vec![1, 2]);
         assert!((d.class_fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_row_reuses_buffer() {
+        let d = tiny();
+        let mut buf = vec![9.0; 7];
+        d.gather_row_into(2, &mut buf);
+        assert_eq!(buf, vec![5.0, 6.0]);
     }
 
     #[test]
@@ -163,6 +287,22 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.row(0), s.row(1));
         assert_eq!(s.label(2), 1);
+    }
+
+    #[test]
+    fn view_matches_select() {
+        let d = tiny();
+        let indices = [2usize, 0, 2];
+        let v = d.view(&indices);
+        let s = d.select(&indices);
+        assert_eq!(v.len(), s.len());
+        for i in 0..v.len() {
+            assert_eq!(v.label(i), s.label(i));
+            for f in 0..d.feature_count() {
+                assert_eq!(v.value(i, f), s.value(i, f));
+            }
+        }
+        assert!((v.class_fraction(1) - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -190,5 +330,7 @@ mod tests {
     fn empty_class_fraction_is_zero() {
         let d = Dataset::new(vec!["x".into()], 2);
         assert_eq!(d.class_fraction(1), 0.0);
+        let indices: [usize; 0] = [];
+        assert_eq!(d.view(&indices).class_fraction(1), 0.0);
     }
 }

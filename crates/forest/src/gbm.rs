@@ -102,11 +102,9 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64)> = None;
         let mut pairs: Vec<(f64, f64, f64)> = Vec::with_capacity(rows.len());
         for feature in 0..data.feature_count() {
+            let column = data.column(feature);
             pairs.clear();
-            pairs.extend(
-                rows.iter()
-                    .map(|&i| (data.row(i)[feature], grad[i], hess[i])),
-            );
+            pairs.extend(rows.iter().map(|&i| (column[i], grad[i], hess[i])));
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
             if pairs[0].0 == pairs[pairs.len() - 1].0 {
                 continue;
@@ -147,9 +145,10 @@ impl RegressionTree {
             return self.nodes.len() - 1;
         };
 
+        let column = data.column(feature);
         let mut mid = 0usize;
         for i in 0..rows.len() {
-            if data.row(rows[i])[feature] <= threshold {
+            if column[rows[i]] <= threshold {
                 rows.swap(i, mid);
                 mid += 1;
             }
@@ -198,6 +197,28 @@ impl RegressionTree {
                     right,
                 } => {
                     idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Prediction for row `i` of a columnar dataset (no row gather).
+    fn predict_row(&self, data: &Dataset, i: usize) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                RegNode::Leaf { value } => return *value,
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if data.value(i, *feature) <= *threshold {
                         *left
                     } else {
                         *right
@@ -282,7 +303,7 @@ impl GradientBoosting {
                 params.min_samples_leaf,
             );
             for (i, score) in scores.iter_mut().enumerate() {
-                *score += params.learning_rate * tree.predict(data.row(i));
+                *score += params.learning_rate * tree.predict_row(data, i);
             }
             trees.push(tree);
         }
@@ -343,7 +364,7 @@ mod tests {
         let d = dataset(800, 1);
         let model = GradientBoosting::fit(&d, &GbmParams::default(), 7);
         let correct = (0..d.len())
-            .filter(|&i| model.predict(d.row(i)) == d.label(i))
+            .filter(|&i| model.predict(&d.row(i)) == d.label(i))
             .count();
         let acc = correct as f64 / d.len() as f64;
         assert!(acc > 0.95, "train accuracy {acc}");
@@ -354,7 +375,7 @@ mod tests {
         let d = dataset(300, 2);
         let model = GradientBoosting::fit(&d, &GbmParams::default(), 3);
         for i in 0..d.len() {
-            let p = model.predict_positive_proba(d.row(i));
+            let p = model.predict_positive_proba(&d.row(i));
             assert!((0.0..=1.0).contains(&p));
         }
     }
@@ -380,7 +401,7 @@ mod tests {
         );
         let acc = |m: &GradientBoosting| {
             (0..d.len())
-                .filter(|&i| m.predict(d.row(i)) == d.label(i))
+                .filter(|&i| m.predict(&d.row(i)) == d.label(i))
                 .count() as f64
                 / d.len() as f64
         };
@@ -394,8 +415,8 @@ mod tests {
         let b = GradientBoosting::fit(&d, &GbmParams::default(), 9);
         for i in (0..d.len()).step_by(17) {
             assert_eq!(
-                a.predict_positive_proba(d.row(i)),
-                b.predict_positive_proba(d.row(i))
+                a.predict_positive_proba(&d.row(i)),
+                b.predict_positive_proba(&d.row(i))
             );
         }
     }
@@ -446,8 +467,8 @@ mod tests {
         let b = GradientBoosting::fit(&d, &params, 2);
         for i in (0..d.len()).step_by(13) {
             assert_eq!(
-                a.predict_positive_proba(d.row(i)),
-                b.predict_positive_proba(d.row(i))
+                a.predict_positive_proba(&d.row(i)),
+                b.predict_positive_proba(&d.row(i))
             );
         }
     }

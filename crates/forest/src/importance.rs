@@ -67,12 +67,11 @@ fn accuracy(model: &RandomForest, data: &Dataset, shuffled: Option<usize>, seed:
     for i in 0..n {
         let prediction = match (shuffled, &permutation) {
             (Some(feature), Some(perm)) => {
-                row_buf.clear();
-                row_buf.extend_from_slice(data.row(i));
-                row_buf[feature] = data.row(perm[i])[feature];
+                data.gather_row_into(i, &mut row_buf);
+                row_buf[feature] = data.value(perm[i], feature);
                 model.predict(&row_buf)
             }
-            _ => model.predict(data.row(i)),
+            _ => model.predict_row(data, i),
         };
         if prediction == data.label(i) {
             correct += 1;

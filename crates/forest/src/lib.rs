@@ -35,6 +35,7 @@ pub mod gbm;
 pub mod importance;
 pub mod metrics;
 pub mod model_selection;
+pub mod parallel;
 pub mod tree;
 
 mod random_forest;
@@ -42,12 +43,14 @@ mod random_forest;
 pub use baseline::WeightedRandomClassifier;
 pub use calibration::{ReliabilityBin, ReliabilityDiagram};
 pub use confidence::{confidence_threshold, ConfidenceSplit, PartitionedPredictions};
-pub use data::Dataset;
+pub use data::{Dataset, DatasetView};
 pub use gbm::{GbmParams, GradientBoosting};
 pub use importance::{permutation_importance, ranked_permutation_importance};
 pub use metrics::{roc_auc, ClassificationScores, ConfusionMatrix};
 pub use model_selection::{
-    cross_val_accuracy, train_test_split, GridSearch, GridSearchResult, KFold,
+    cross_val_accuracy, train_test_split, train_test_split_indices, GridSearch, GridSearchResult,
+    KFold,
 };
+pub use parallel::{derive_seed, set_thread_limit, splitmix64};
 pub use random_forest::{MaxFeatures, RandomForest, RandomForestParams};
 pub use tree::{DecisionTree, TreeParams};

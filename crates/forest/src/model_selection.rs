@@ -1,19 +1,38 @@
 //! Train/test splitting, stratified k-fold cross-validation, and grid
 //! search — the paper's §5.1 evaluation protocol.
+//!
+//! Splits and folds are index sets over a shared [`Dataset`]; training
+//! happens through borrowed [`crate::DatasetView`]s, so no feature
+//! value is copied per fold, candidate, or repetition. Every fold /
+//! candidate work unit derives its seed from the base seed and the
+//! unit index via [`derive_seed`], which keeps results identical
+//! across thread counts and fixes the old `seed ^ fold` scheme (fold 0
+//! collided with the k-fold shuffle seed).
 
 use crate::data::Dataset;
+use crate::parallel::{derive_seed, run_units};
 use crate::random_forest::{RandomForest, RandomForestParams};
+use crate::tree::SplitPrecompute;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Splits a dataset into `(train, test)` with `test_fraction` of the
-/// examples (stratified by class so both sides keep the class balance —
-/// important for the imbalanced Premium subgroup).
+/// Splits a dataset into `(train, test)` index sets with
+/// `test_fraction` of the examples (stratified by class so both sides
+/// keep the class balance — important for the imbalanced Premium
+/// subgroup).
+///
+/// Any class with at least two members gets at least one example on
+/// each side, regardless of rounding; singleton classes go to the
+/// training side.
 ///
 /// # Panics
 ///
 /// Panics unless `0 < test_fraction < 1` or if the dataset is empty.
-pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+pub fn train_test_split_indices(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     assert!(
         test_fraction > 0.0 && test_fraction < 1.0,
         "test_fraction must be in (0,1), got {test_fraction}"
@@ -30,13 +49,28 @@ pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Datas
             .filter(|&i| data.label(i) == class)
             .collect();
         shuffle(&mut members, &mut rng);
-        let n_test = (members.len() as f64 * test_fraction).round() as usize;
+        // Rounding alone can starve one side of a small class (e.g. 4
+        // members at 10% rounds to 0 test examples); clamp so every
+        // class with >= 2 members appears on both sides.
+        let n_test = if members.len() >= 2 {
+            let rounded = (members.len() as f64 * test_fraction).round() as usize;
+            rounded.clamp(1, members.len() - 1)
+        } else {
+            0
+        };
         test_idx.extend_from_slice(&members[..n_test]);
         train_idx.extend_from_slice(&members[n_test..]);
     }
     // Keep downstream iteration order independent of class grouping.
     shuffle(&mut train_idx, &mut rng);
     shuffle(&mut test_idx, &mut rng);
+    (train_idx, test_idx)
+}
+
+/// Materialized variant of [`train_test_split_indices`] for callers
+/// that need owned datasets.
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    let (train_idx, test_idx) = train_test_split_indices(data, test_fraction, seed);
     (data.select(&train_idx), data.select(&test_idx))
 }
 
@@ -60,16 +94,30 @@ impl KFold {
     ///
     /// Panics if `k < 2` or `k` exceeds the dataset size.
     pub fn new(data: &Dataset, k: usize, seed: u64) -> KFold {
+        let rows: Vec<usize> = (0..data.len()).collect();
+        KFold::over(data, &rows, k, seed)
+    }
+
+    /// Builds `k` stratified folds over the rows of `data` selected by
+    /// `rows` — folds contain values drawn from `rows`, so nested
+    /// protocols (grid search inside a train split) stay zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k` exceeds `rows.len()`.
+    pub fn over(data: &Dataset, rows: &[usize], k: usize, seed: u64) -> KFold {
         assert!(k >= 2, "k-fold needs k >= 2, got {k}");
         assert!(
-            k <= data.len(),
+            k <= rows.len(),
             "k = {k} exceeds dataset size {}",
-            data.len()
+            rows.len()
         );
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
         for class in 0..data.class_count() {
-            let mut members: Vec<usize> = (0..data.len())
+            let mut members: Vec<usize> = rows
+                .iter()
+                .copied()
                 .filter(|&i| data.label(i) == class)
                 .collect();
             shuffle(&mut members, &mut rng);
@@ -100,22 +148,50 @@ impl KFold {
     }
 }
 
+/// Accuracy of `params` trained on the `train` indices and scored on
+/// the `validation` indices, both views over `data`. `pre` is a
+/// rank-code precompute over (a superset of) the training rows, shared
+/// across folds and candidates. Candidates are ranked purely by
+/// validation accuracy, so fold fits skip the out-of-bag tally.
+fn fold_accuracy(
+    data: &Dataset,
+    pre: &SplitPrecompute,
+    train: &[usize],
+    validation: &[usize],
+    params: &RandomForestParams,
+    seed: u64,
+) -> f64 {
+    let model = RandomForest::fit_shared(data, pre, train, params, seed, false);
+    let correct = validation
+        .iter()
+        .filter(|&&i| model.predict_row(data, i) == data.label(i))
+        .count();
+    correct as f64 / validation.len() as f64
+}
+
 /// Mean validation accuracy of a parameter setting under stratified
 /// k-fold cross-validation.
+///
+/// Folds run as parallel work units; fold `f`'s forest is seeded with
+/// `derive_seed(seed, f)` and the mean is accumulated in fold order,
+/// so the result is independent of thread count.
 pub fn cross_val_accuracy(data: &Dataset, params: &RandomForestParams, k: usize, seed: u64) -> f64 {
     let kfold = KFold::new(data, k, seed);
-    let mut total = 0.0;
-    for fold in 0..k {
-        let (train_idx, val_idx) = kfold.split(fold);
-        let train = data.select(&train_idx);
-        let model = RandomForest::fit(&train, params, seed ^ fold as u64);
-        let correct = val_idx
-            .iter()
-            .filter(|&&i| model.predict(data.row(i)) == data.label(i))
-            .count();
-        total += correct as f64 / val_idx.len() as f64;
-    }
-    total / k as f64
+    let splits: Vec<(Vec<usize>, Vec<usize>)> = (0..k).map(|f| kfold.split(f)).collect();
+    let rows: Vec<usize> = (0..data.len()).collect();
+    let pre = SplitPrecompute::build(data, &rows);
+    let scores = run_units(k, |fold| {
+        let (train, validation) = &splits[fold];
+        fold_accuracy(
+            data,
+            &pre,
+            train,
+            validation,
+            params,
+            derive_seed(seed, fold as u64),
+        )
+    });
+    scores.iter().sum::<f64>() / k as f64
 }
 
 /// The outcome of a grid search.
@@ -149,14 +225,46 @@ impl GridSearch {
         GridSearch { candidates, folds }
     }
 
-    /// Runs the search, returning the best setting by mean CV accuracy
-    /// (first candidate wins ties, so candidate order is a tiebreak
-    /// preference).
+    /// Runs the search over the full dataset.
     pub fn run(&self, data: &Dataset, seed: u64) -> GridSearchResult {
+        let rows: Vec<usize> = (0..data.len()).collect();
+        self.run_on(data, &rows, seed)
+    }
+
+    /// Runs the search over the rows of `data` selected by `rows`,
+    /// returning the best setting by mean CV accuracy (first candidate
+    /// wins ties, so candidate order is a tiebreak preference).
+    ///
+    /// All `candidates × folds` fits are independent work units; unit
+    /// `(c, f)` is seeded with `derive_seed(seed, c·k + f)`, so the
+    /// result is a pure function of `(data, rows, candidates, seed)`
+    /// whatever the thread count. Folds are built once and shared by
+    /// every candidate.
+    pub fn run_on(&self, data: &Dataset, rows: &[usize], seed: u64) -> GridSearchResult {
+        let k = self.folds;
+        let kfold = KFold::over(data, rows, k, seed);
+        let splits: Vec<(Vec<usize>, Vec<usize>)> = (0..k).map(|f| kfold.split(f)).collect();
+        let pre = SplitPrecompute::build(data, rows);
+
+        let units = self.candidates.len() * k;
+        let fold_scores = run_units(units, |u| {
+            let candidate = u / k;
+            let fold = u % k;
+            let (train, validation) = &splits[fold];
+            fold_accuracy(
+                data,
+                &pre,
+                train,
+                validation,
+                &self.candidates[candidate],
+                derive_seed(seed, u as u64),
+            )
+        });
+
         let mut all_scores = Vec::with_capacity(self.candidates.len());
         let mut best: Option<(RandomForestParams, f64)> = None;
-        for params in &self.candidates {
-            let score = cross_val_accuracy(data, params, self.folds, seed);
+        for (c, params) in self.candidates.iter().enumerate() {
+            let score = fold_scores[c * k..(c + 1) * k].iter().sum::<f64>() / k as f64;
             all_scores.push((*params, score));
             match best {
                 Some((_, best_score)) if best_score >= score => {}
@@ -210,6 +318,51 @@ mod tests {
         let (tr2, te2) = train_test_split(&d, 0.25, 4);
         assert_eq!(tr1, tr2);
         assert_eq!(te1, te2);
+        let (train_idx, test_idx) = train_test_split_indices(&d, 0.25, 4);
+        let mut seen = vec![false; d.len()];
+        for &i in train_idx.iter().chain(&test_idx) {
+            assert!(!seen[i], "index {i} appears twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tiny_classes_land_on_both_sides() {
+        // 4 members at 10% would round to 0 test examples; the clamp
+        // must keep one on each side.
+        let mut d = Dataset::new(vec!["x".into()], 2);
+        for i in 0..50 {
+            d.push(vec![i as f64], 0);
+        }
+        for i in 0..4 {
+            d.push(vec![100.0 + i as f64], 1);
+        }
+        let (train, test) = train_test_split(&d, 0.1, 7);
+        assert!(
+            train.class_distribution()[1] >= 1,
+            "train lost the small class"
+        );
+        assert!(
+            test.class_distribution()[1] >= 1,
+            "test lost the small class"
+        );
+
+        // The mirror case: 90% test would round the small class to 4,
+        // starving the training side.
+        let (train, test) = train_test_split(&d, 0.9, 7);
+        assert!(train.class_distribution()[1] >= 1);
+        assert!(test.class_distribution()[1] >= 1);
+
+        // A singleton class cannot be on both sides; it trains.
+        let mut s = Dataset::new(vec!["x".into()], 2);
+        for i in 0..20 {
+            s.push(vec![i as f64], 0);
+        }
+        s.push(vec![99.0], 1);
+        let (train, test) = train_test_split(&s, 0.2, 7);
+        assert_eq!(train.class_distribution()[1], 1);
+        assert_eq!(test.class_distribution()[1], 0);
     }
 
     #[test]
@@ -233,6 +386,23 @@ mod tests {
     }
 
     #[test]
+    fn kfold_over_subset_stays_inside_it() {
+        let d = dataset(120, 0.5);
+        let rows: Vec<usize> = (0..120).filter(|i| i % 3 != 0).collect();
+        let kf = KFold::over(&d, &rows, 4, 5);
+        let mut seen = 0usize;
+        for fold in 0..kf.k() {
+            let (train, val) = kf.split(fold);
+            assert_eq!(train.len() + val.len(), rows.len());
+            for &i in train.iter().chain(&val) {
+                assert!(rows.contains(&i), "index {i} not in the subset");
+            }
+            seen += val.len();
+        }
+        assert_eq!(seen, rows.len());
+    }
+
+    #[test]
     fn cross_val_scores_learnable_data_high() {
         let d = dataset(400, 0.5);
         let params = RandomForestParams {
@@ -244,12 +414,22 @@ mod tests {
     }
 
     #[test]
+    fn fold_seeds_avoid_shuffle_seed() {
+        // Regression for the old `seed ^ fold` scheme: fold 0's model
+        // seed must differ from the k-fold shuffle seed.
+        let seed = 11u64;
+        assert_ne!(derive_seed(seed, 0), seed);
+    }
+
+    #[test]
     fn grid_search_picks_reasonable_candidate() {
         let d = dataset(300, 0.5);
+        // A majority-vote stump (depth 0 leaves ≈ class prior) against
+        // a real forest: the forest must win for any rng stream.
         let stump = RandomForestParams {
             n_trees: 2,
             tree: TreeParams {
-                max_depth: 1,
+                max_depth: 0,
                 ..TreeParams::default()
             },
             max_features: MaxFeatures::Count(1),
@@ -265,5 +445,20 @@ mod tests {
         assert_eq!(result.all_scores.len(), 2);
         assert_eq!(result.best_params.n_trees, 25);
         assert!(result.best_score >= result.all_scores[0].1);
+    }
+
+    #[test]
+    fn grid_search_candidate_zero_matches_cross_val() {
+        // Unit (0, f) uses derive_seed(seed, f) — the same seeds
+        // cross_val_accuracy assigns — so the first candidate's grid
+        // score equals its standalone CV score.
+        let d = dataset(150, 0.5);
+        let params = RandomForestParams {
+            n_trees: 5,
+            ..RandomForestParams::default()
+        };
+        let standalone = cross_val_accuracy(&d, &params, 3, 21);
+        let result = GridSearch::new(vec![params], 3).run(&d, 21);
+        assert_eq!(result.all_scores[0].1, standalone);
     }
 }

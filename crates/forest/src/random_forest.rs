@@ -1,7 +1,8 @@
 //! Bootstrap-aggregated random forests.
 
-use crate::data::Dataset;
-use crate::tree::{DecisionTree, TreeParams};
+use crate::data::{Dataset, DatasetView};
+use crate::parallel::{derive_seed, run_units};
+use crate::tree::{DecisionTree, SplitPrecompute, TreeParams};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,91 +75,130 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Trains a forest. Deterministic for a given `(data, params, seed)`
-    /// triple regardless of thread count: each tree's RNG is seeded from
-    /// `seed` and the tree index.
+    /// Trains a forest on the full dataset. Deterministic for a given
+    /// `(data, params, seed)` triple regardless of thread count: tree
+    /// `t`'s RNG is seeded with `derive_seed(seed, t)` and trees are
+    /// dispatched as independent work units.
     ///
     /// # Panics
     ///
     /// Panics if `data` is empty or `params.n_trees` is zero.
     pub fn fit(data: &Dataset, params: &RandomForestParams, seed: u64) -> RandomForest {
-        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let rows: Vec<usize> = (0..data.len()).collect();
+        Self::fit_on(data, &rows, params, seed)
+    }
+
+    /// Trains a forest on a borrowed view — the zero-copy path used by
+    /// folds, splits, and the degradation sweep.
+    pub fn fit_view(
+        view: &DatasetView<'_>,
+        params: &RandomForestParams,
+        seed: u64,
+    ) -> RandomForest {
+        Self::fit_on(view.dataset(), view.indices(), params, seed)
+    }
+
+    /// Trains a forest on the rows of `data` selected by `rows`
+    /// (duplicates allowed), without copying any feature data.
+    ///
+    /// Fitting on `rows` is numerically identical to fitting on
+    /// `data.select(rows)`: trees are a function of the per-slot row
+    /// contents, which match in both formulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or `params.n_trees` is zero.
+    pub fn fit_on(
+        data: &Dataset,
+        rows: &[usize],
+        params: &RandomForestParams,
+        seed: u64,
+    ) -> RandomForest {
+        // Rank-code every feature once; all trees share the precompute.
+        let pre = SplitPrecompute::build(data, rows);
+        Self::fit_shared(data, &pre, rows, params, seed, true)
+    }
+
+    /// Trains a forest reusing a [`SplitPrecompute`] built over (a
+    /// superset of) `rows` — the path cross-validation and grid search
+    /// use to rank-code the feature columns once for every
+    /// (candidate × fold) fit.
+    ///
+    /// `compute_oob` controls whether out-of-bag votes are tallied.
+    /// Model selection scores candidates on held-out validation rows
+    /// and never reads the OOB estimate, so fold fits pass `false` and
+    /// skip the tally entirely; the trees themselves are unaffected
+    /// (recording bags consumes no randomness).
+    pub(crate) fn fit_shared(
+        data: &Dataset,
+        pre: &SplitPrecompute,
+        rows: &[usize],
+        params: &RandomForestParams,
+        seed: u64,
+        compute_oob: bool,
+    ) -> RandomForest {
+        assert!(!rows.is_empty(), "cannot train on an empty dataset");
         assert!(params.n_trees > 0, "need at least one tree");
 
-        let n = data.len();
+        let n = rows.len();
         let max_features = params.max_features.resolve(data.feature_count());
 
-        // Train trees in parallel batches; results keep tree order.
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(params.n_trees);
-        let mut trees: Vec<Option<DecisionTree>> = vec![None; params.n_trees];
-        let mut oob_votes: Vec<Vec<usize>> = vec![vec![0; data.class_count()]; n];
-
-        let chunks: Vec<Vec<usize>> = (0..threads)
-            .map(|t| (t..params.n_trees).step_by(threads).collect())
-            .collect();
-
-        let results: Vec<Vec<(usize, DecisionTree, Vec<usize>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|&tree_idx| {
-                                let mut rng = SmallRng::seed_from_u64(
-                                    seed ^ (tree_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                                );
-                                let indices: Vec<usize> = if params.bootstrap {
-                                    (0..n).map(|_| rng.gen_range(0..n)).collect()
-                                } else {
-                                    (0..n).collect()
-                                };
-                                let tree = DecisionTree::fit(
-                                    data,
-                                    &indices,
-                                    &params.tree,
-                                    max_features,
-                                    &mut rng,
-                                );
-                                (tree_idx, tree, indices)
-                            })
-                            .collect()
+        // One work unit per tree. Each unit returns the tree plus the
+        // in-bag flags (by view position) its bootstrap drew.
+        let results: Vec<(DecisionTree, Option<Vec<bool>>)> = run_units(params.n_trees, |t| {
+            let mut rng = SmallRng::seed_from_u64(derive_seed(seed, t as u64));
+            let (indices, in_bag) = if params.bootstrap {
+                let mut in_bag = if compute_oob {
+                    vec![false; n]
+                } else {
+                    Vec::new()
+                };
+                let indices: Vec<usize> = (0..n)
+                    .map(|_| {
+                        let p = rng.gen_range(0..n);
+                        if compute_oob {
+                            in_bag[p] = true;
+                        }
+                        rows[p]
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("tree-training thread panicked"))
-                .collect()
+                    .collect();
+                (indices, compute_oob.then_some(in_bag))
+            } else {
+                (rows.to_vec(), None)
+            };
+            let tree = DecisionTree::fit_presorted(
+                data,
+                pre,
+                &indices,
+                &params.tree,
+                max_features,
+                &mut rng,
+            );
+            (tree, in_bag)
         });
 
-        // Collect trees and out-of-bag votes.
-        let mut in_bag = vec![false; n];
-        for batch in results {
-            for (tree_idx, tree, indices) in batch {
-                if params.bootstrap {
-                    in_bag.iter_mut().for_each(|b| *b = false);
-                    for &i in &indices {
-                        in_bag[i] = true;
-                    }
-                    for (i, bagged) in in_bag.iter().enumerate() {
-                        if !bagged {
-                            let pred = tree.predict(data.row(i));
-                            oob_votes[i][pred] += 1;
-                        }
-                    }
-                }
-                trees[tree_idx] = Some(tree);
-            }
-        }
-
-        let oob_accuracy = if params.bootstrap {
+        // Out-of-bag votes, tallied row-major so each row is gathered
+        // once and every tree walks the same contiguous buffer (vote
+        // counts are order-independent, so this matches a per-tree
+        // merge exactly).
+        let oob_accuracy = if params.bootstrap && compute_oob {
+            let mut row = Vec::with_capacity(data.feature_count());
+            let mut votes = vec![0usize; data.class_count()];
             let mut correct = 0usize;
             let mut voted = 0usize;
-            for (i, votes) in oob_votes.iter().enumerate() {
+            for p in 0..n {
+                votes.iter_mut().for_each(|v| *v = 0);
+                let mut gathered = false;
+                for (tree, in_bag) in &results {
+                    let in_bag = in_bag.as_ref().expect("bootstrap trees record bags");
+                    if !in_bag[p] {
+                        if !gathered {
+                            data.gather_row_into(rows[p], &mut row);
+                            gathered = true;
+                        }
+                        votes[tree.predict(&row)] += 1;
+                    }
+                }
                 let total: usize = votes.iter().sum();
                 if total == 0 {
                     continue;
@@ -170,7 +210,7 @@ impl RandomForest {
                     .max_by_key(|(_, &v)| v)
                     .map(|(c, _)| c)
                     .expect("non-empty votes");
-                if pred == data.label(i) {
+                if pred == data.label(rows[p]) {
                     correct += 1;
                 }
             }
@@ -184,10 +224,7 @@ impl RandomForest {
         };
 
         RandomForest {
-            trees: trees
-                .into_iter()
-                .map(|t| t.expect("every tree trained"))
-                .collect(),
+            trees: results.into_iter().map(|(tree, _)| tree).collect(),
             feature_names: data.feature_names().to_vec(),
             class_count: data.class_count(),
             oob_accuracy,
@@ -196,9 +233,26 @@ impl RandomForest {
 
     /// Average class probabilities over all trees.
     pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        self.average_probas(|tree| tree.predict_proba(features))
+    }
+
+    /// Average class probabilities for row `i` of a columnar dataset.
+    /// The row is gathered once into a contiguous buffer shared by all
+    /// trees, so each tree walk reads warm cache lines instead of
+    /// hopping between columns.
+    pub fn predict_proba_row(&self, data: &Dataset, i: usize) -> Vec<f64> {
+        let mut row = Vec::with_capacity(data.feature_count());
+        data.gather_row_into(i, &mut row);
+        self.predict_proba(&row)
+    }
+
+    fn average_probas<'a, F>(&'a self, per_tree: F) -> Vec<f64>
+    where
+        F: Fn(&'a DecisionTree) -> &'a [f64],
+    {
         let mut acc = vec![0.0_f64; self.class_count];
         for tree in &self.trees {
-            for (a, p) in acc.iter_mut().zip(tree.predict_proba(features)) {
+            for (a, p) in acc.iter_mut().zip(per_tree(tree)) {
                 *a += p;
             }
         }
@@ -210,7 +264,16 @@ impl RandomForest {
     /// Predicted class: argmax of [`RandomForest::predict_proba`]
     /// (probability > 0.5 in the binary case, matching the paper).
     pub fn predict(&self, features: &[f64]) -> usize {
-        self.predict_proba(features)
+        Self::argmax(&self.predict_proba(features))
+    }
+
+    /// Predicted class for row `i` of a columnar dataset.
+    pub fn predict_row(&self, data: &Dataset, i: usize) -> usize {
+        Self::argmax(&self.predict_proba_row(data, i))
+    }
+
+    fn argmax(probs: &[f64]) -> usize {
+        probs
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
@@ -222,6 +285,12 @@ impl RandomForest {
     /// convenience used throughout the prediction pipeline.
     pub fn predict_positive_proba(&self, features: &[f64]) -> f64 {
         self.predict_proba(features)[1]
+    }
+
+    /// Probability of the positive class for row `i` of a columnar
+    /// dataset.
+    pub fn predict_positive_proba_row(&self, data: &Dataset, i: usize) -> f64 {
+        self.predict_proba_row(data, i)[1]
     }
 
     /// Normalized gini feature importances (sum to 1 when any split
@@ -294,7 +363,7 @@ mod tests {
         let model = RandomForest::fit(&d, &RandomForestParams::default(), 7);
         let mut correct = 0;
         for i in 0..d.len() {
-            if model.predict(d.row(i)) == d.label(i) {
+            if model.predict_row(&d, i) == d.label(i) {
                 correct += 1;
             }
         }
@@ -310,10 +379,11 @@ mod tests {
         let d = noisy_dataset(300);
         let model = RandomForest::fit(&d, &RandomForestParams::default(), 3);
         for i in (0..d.len()).step_by(37) {
-            let p = model.predict_proba(d.row(i));
+            let p = model.predict_proba(&d.row(i));
             let sum: f64 = p.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
             assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert_eq!(model.predict_proba_row(&d, i), p);
         }
     }
 
@@ -340,7 +410,7 @@ mod tests {
         let m1 = RandomForest::fit(&d, &params, 99);
         let m2 = RandomForest::fit(&d, &params, 99);
         for i in 0..d.len() {
-            assert_eq!(m1.predict_proba(d.row(i)), m2.predict_proba(d.row(i)));
+            assert_eq!(m1.predict_proba(&d.row(i)), m2.predict_proba(&d.row(i)));
         }
         assert_eq!(m1.oob_accuracy(), m2.oob_accuracy());
     }
@@ -351,8 +421,29 @@ mod tests {
         let m1 = RandomForest::fit(&d, &RandomForestParams::default(), 1);
         let m2 = RandomForest::fit(&d, &RandomForestParams::default(), 2);
         let differs =
-            (0..d.len()).any(|i| m1.predict_proba(d.row(i)) != m2.predict_proba(d.row(i)));
+            (0..d.len()).any(|i| m1.predict_proba(&d.row(i)) != m2.predict_proba(&d.row(i)));
         assert!(differs);
+    }
+
+    #[test]
+    fn view_fit_matches_materialized_fit() {
+        let d = noisy_dataset(240);
+        // An arbitrary subset with a duplicate, as folds/bootstraps see.
+        let indices: Vec<usize> = (0..200).map(|i| (i * 7) % 240).collect();
+        let params = RandomForestParams {
+            n_trees: 12,
+            ..RandomForestParams::default()
+        };
+        let from_view = RandomForest::fit_view(&d.view(&indices), &params, 42);
+        let materialized = d.select(&indices);
+        let from_copy = RandomForest::fit(&materialized, &params, 42);
+        assert_eq!(from_view.oob_accuracy(), from_copy.oob_accuracy());
+        for i in 0..d.len() {
+            assert_eq!(
+                from_view.predict_proba(&d.row(i)),
+                from_copy.predict_proba(&d.row(i))
+            );
+        }
     }
 
     #[test]

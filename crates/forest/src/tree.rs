@@ -1,4 +1,13 @@
 //! CART decision trees with gini impurity.
+//!
+//! Split search runs over a [`SplitPrecompute`]: every feature's
+//! values are sorted **once per forest** and replaced by dense rank
+//! codes, so a node's split scan is a counting pass over its rows plus
+//! a sweep of the occupied ranks in ascending order — no per-node
+//! re-sort, no per-node feature copies. The boundary sequence, count
+//! arithmetic, threshold placement, and rng consumption are identical
+//! to the classic per-node-sort formulation, so fitted trees are
+//! bit-for-bit the same.
 
 use crate::data::Dataset;
 use rand::Rng;
@@ -75,6 +84,179 @@ pub(crate) fn gini(counts: &[f64], total: f64) -> f64 {
     1.0 - sum_sq / (total * total)
 }
 
+/// Rank-coded feature columns, computed once per forest and shared by
+/// all of its trees.
+///
+/// For each feature the training rows' values are sorted once; the
+/// sorted distinct values become `uniques[f]` and every row stores the
+/// rank of its value in that list (`codes[f][row]`). Ranks are all a
+/// split search needs: class counts per rank reproduce the classic
+/// sorted scan, and `value <= threshold` becomes `code <= split_code`.
+/// Codes don't depend on the bootstrap sample, so the O(f · n log n)
+/// sort cost is paid once per forest instead of per node or per tree.
+pub(crate) struct SplitPrecompute {
+    /// Per feature: sorted distinct values present in the training rows.
+    uniques: Vec<Vec<f64>>,
+    /// Per feature: rank of each dataset row's value in `uniques`,
+    /// indexed by dataset row id (rows outside the training set keep 0).
+    codes: Vec<Vec<u32>>,
+    /// Per feature: `code × class_count + label` per dataset row — the
+    /// value's histogram slot, so a split scan is one lookup per row.
+    coded_labels: Vec<Vec<u32>>,
+    /// Largest `uniques` length over all features (histogram sizing).
+    max_distinct: usize,
+}
+
+impl SplitPrecompute {
+    /// Builds codes for the rows of `data` listed in `rows` (duplicates
+    /// allowed — they just repeat work).
+    pub(crate) fn build(data: &Dataset, rows: &[usize]) -> SplitPrecompute {
+        let c = data.class_count();
+        let labels = data.labels();
+        let mut uniques = Vec::with_capacity(data.feature_count());
+        let mut codes = Vec::with_capacity(data.feature_count());
+        let mut coded_labels = Vec::with_capacity(data.feature_count());
+        let mut max_distinct = 0;
+        let mut sorted: Vec<u32> = Vec::with_capacity(rows.len());
+        for f in 0..data.feature_count() {
+            let column = data.column(f);
+            sorted.clear();
+            sorted.extend(rows.iter().map(|&r| r as u32));
+            sorted.sort_unstable_by(|&a, &b| {
+                column[a as usize]
+                    .partial_cmp(&column[b as usize])
+                    .expect("finite features")
+            });
+            let mut uniq: Vec<f64> = Vec::new();
+            let mut code_col = vec![0u32; data.len()];
+            let mut cl_col = vec![0u32; data.len()];
+            for &r in &sorted {
+                let v = column[r as usize];
+                if uniq.last() != Some(&v) {
+                    uniq.push(v);
+                }
+                let code = (uniq.len() - 1) as u32;
+                code_col[r as usize] = code;
+                cl_col[r as usize] = code * c as u32 + labels[r as usize] as u32;
+            }
+            max_distinct = max_distinct.max(uniq.len());
+            uniques.push(uniq);
+            codes.push(code_col);
+            coded_labels.push(cl_col);
+        }
+        SplitPrecompute {
+            uniques,
+            codes,
+            coded_labels,
+            max_distinct,
+        }
+    }
+
+    fn feature_count(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// Per-tree training state.
+///
+/// `order` holds the tree's training rows (bootstrap draws, duplicates
+/// allowed) and is partitioned in place as the tree grows, so a node
+/// always owns a contiguous `[start, end)` range. The histogram and
+/// touched-code scratch buffers are reused across every split search.
+struct GrowContext<'a> {
+    pre: &'a SplitPrecompute,
+    /// Label per dataset row (borrowed from the dataset).
+    labels: &'a [usize],
+    /// Training rows, partitioned down the tree.
+    order: Vec<u32>,
+    scratch: Vec<u32>,
+    /// `max_distinct × class_count` class counts, indexed directly by
+    /// the precomputed `coded_labels` slots and zeroed between uses.
+    /// Counts are exact small integers, so u32 arithmetic here converts
+    /// losslessly to the f64 counts the gini formula consumes.
+    hist: Vec<u32>,
+    /// Gathered `coded_labels` of a small node, sorted to scan runs.
+    sorted_slots: Vec<u32>,
+    /// Reusable prefix/suffix class-count buffers for the sweep.
+    left_buf: Vec<f64>,
+    right_buf: Vec<f64>,
+    /// Left-child class counts of the best boundary found so far.
+    split_counts: Vec<f64>,
+    /// Reusable identity permutation for the per-node feature draw.
+    feature_order: Vec<usize>,
+    /// Per-feature "constant in the current subtree" flags. A feature
+    /// with one rank in a node has one rank in every descendant (they
+    /// hold row subsets), so descendants skip it without a scan — a
+    /// constant feature yields no boundaries either way.
+    constant: Vec<bool>,
+    /// Undo stack of features marked constant, unwound per node.
+    constant_marks: Vec<u32>,
+    /// Recycled class-count vectors (one live per recursion level), so
+    /// threading counts through `grow` allocates only at peak depth.
+    counts_free: Vec<Vec<f64>>,
+}
+
+impl<'a> GrowContext<'a> {
+    fn build(pre: &'a SplitPrecompute, data: &'a Dataset, indices: &[usize]) -> GrowContext<'a> {
+        GrowContext {
+            pre,
+            labels: data.labels(),
+            order: indices.iter().map(|&i| i as u32).collect(),
+            scratch: Vec::with_capacity(indices.len()),
+            hist: vec![0; pre.max_distinct * data.class_count()],
+            sorted_slots: Vec::with_capacity(indices.len()),
+            left_buf: vec![0.0; data.class_count()],
+            right_buf: vec![0.0; data.class_count()],
+            split_counts: vec![0.0; data.class_count()],
+            feature_order: Vec::with_capacity(pre.feature_count()),
+            constant: pre.uniques.iter().map(|u| u.len() < 2).collect(),
+            constant_marks: Vec::new(),
+            counts_free: Vec::new(),
+        }
+    }
+
+    /// Class counts over the node `[start, end)`.
+    fn counts(&self, start: usize, end: usize, class_count: usize) -> Vec<f64> {
+        let mut counts = vec![0.0_f64; class_count];
+        for &row in &self.order[start..end] {
+            counts[self.labels[row as usize]] += 1.0;
+        }
+        counts
+    }
+
+    /// Stably partitions the node `[start, end)` so rows going left
+    /// (`code <= split_code` on the split feature) occupy the front.
+    /// Returns the left child's size.
+    fn partition(
+        &mut self,
+        start: usize,
+        end: usize,
+        split_feature: usize,
+        split_code: u32,
+    ) -> usize {
+        let GrowContext {
+            pre,
+            order,
+            scratch,
+            ..
+        } = self;
+        let codes = &pre.codes[split_feature];
+        scratch.clear();
+        let mut write = start;
+        for k in start..end {
+            let row = order[k];
+            if codes[row as usize] <= split_code {
+                order[write] = row;
+                write += 1;
+            } else {
+                scratch.push(row);
+            }
+        }
+        order[write..end].copy_from_slice(scratch);
+        write - start
+    }
+}
+
 impl DecisionTree {
     /// Fits a tree on the rows of `data` selected by `indices`
     /// (duplicates allowed: bootstrap), considering `max_features`
@@ -86,6 +268,21 @@ impl DecisionTree {
     /// the feature count.
     pub fn fit<R: Rng + ?Sized>(
         data: &Dataset,
+        indices: &[usize],
+        params: &TreeParams,
+        max_features: usize,
+        rng: &mut R,
+    ) -> DecisionTree {
+        let pre = SplitPrecompute::build(data, indices);
+        Self::fit_presorted(data, &pre, indices, params, max_features, rng)
+    }
+
+    /// Fits a tree reusing a [`SplitPrecompute`] built over (a superset
+    /// of) `indices` — the forest path, which shares one precompute
+    /// across all trees.
+    pub(crate) fn fit_presorted<R: Rng + ?Sized>(
+        data: &Dataset,
+        pre: &SplitPrecompute,
         indices: &[usize],
         params: &TreeParams,
         max_features: usize,
@@ -106,22 +303,36 @@ impl DecisionTree {
             node_count_leaves: 0,
             max_depth_reached: 0,
         };
-        let mut work: Vec<usize> = indices.to_vec();
-        let total = work.len() as f64;
-        let len = work.len();
-        tree.grow(data, &mut work, 0, len, 0, params, max_features, total, rng);
+        let mut ctx = GrowContext::build(pre, data, indices);
+        let len = indices.len();
+        let total = len as f64;
+        let root_counts = ctx.counts(0, len, data.class_count());
+        tree.grow(
+            &mut ctx,
+            0,
+            len,
+            root_counts,
+            0,
+            params,
+            max_features,
+            total,
+            rng,
+        );
         tree
     }
 
-    /// Recursively grows the subtree over `work[start..end]`, returning
-    /// the new node's index. `work` is partitioned in place.
+    /// Recursively grows the subtree over the samples in
+    /// `ctx[start..end]`, returning the new node's index. The presorted
+    /// columns are partitioned in place. `counts` holds this node's
+    /// class counts, threaded down from the parent's split scan so no
+    /// per-node counting pass is needed.
     #[allow(clippy::too_many_arguments)]
     fn grow<R: Rng + ?Sized>(
         &mut self,
-        data: &Dataset,
-        work: &mut Vec<usize>,
+        ctx: &mut GrowContext,
         start: usize,
         end: usize,
+        counts: Vec<f64>,
         depth: usize,
         params: &TreeParams,
         max_features: usize,
@@ -131,52 +342,55 @@ impl DecisionTree {
         let n = end - start;
         self.max_depth_reached = self.max_depth_reached.max(depth);
 
-        let mut counts = vec![0.0_f64; self.class_count];
-        for &i in &work[start..end] {
-            counts[data.label(i)] += 1.0;
-        }
         let node_gini = gini(&counts, n as f64);
-
-        let make_leaf = |tree: &mut DecisionTree, counts: Vec<f64>| -> usize {
-            let probabilities = counts.iter().map(|c| c / n as f64).collect();
-            tree.nodes.push(Node::Leaf { probabilities });
-            tree.node_count_leaves += 1;
-            tree.nodes.len() - 1
-        };
 
         if depth >= params.max_depth
             || n < params.min_samples_split
             || node_gini <= 0.0
             || n < 2 * params.min_samples_leaf
         {
-            return make_leaf(self, counts);
+            return self.make_leaf(ctx, counts, n);
         }
 
+        // Constant-feature marks made while scanning this node apply to
+        // the whole subtree below it; unwind them before returning so
+        // siblings start from their own parent's state.
+        let marks_before = ctx.constant_marks.len();
         let best = self.best_split(
-            data,
-            &work[start..end],
+            ctx,
+            start,
+            end,
             &counts,
             node_gini,
             max_features,
             params,
             rng,
         );
-        let Some((feature, threshold, decrease)) = best else {
-            return make_leaf(self, counts);
+        let Some((feature, threshold, decrease, left_len, split_code)) = best else {
+            Self::unwind_constant_marks(ctx, marks_before);
+            return self.make_leaf(ctx, counts, n);
         };
+        debug_assert!(
+            left_len > 0 && left_len < n,
+            "split produced an empty child"
+        );
 
-        // Partition work[start..end] in place: left = value <= threshold.
-        let slice = &mut work[start..end];
-        let mut mid = 0usize;
-        for i in 0..slice.len() {
-            if data.row(slice[i])[feature] <= threshold {
-                slice.swap(i, mid);
-                mid += 1;
-            }
-        }
-        debug_assert!(mid > 0 && mid < n, "split produced an empty child");
-
+        let moved = ctx.partition(start, end, feature, split_code);
+        debug_assert_eq!(moved, left_len, "partition disagreed with the split scan");
         self.importances[feature] += (n as f64 / total) * decrease;
+
+        // Child counts come straight from the winning boundary's prefix
+        // scan: the left prefix counts are exact small integers, so the
+        // right side is an exact subtraction from the parent. Count
+        // vectors are recycled through a free list; one lives per level
+        // of the recursion, so the pool stays tree-depth sized.
+        let mut left_counts = ctx.counts_free.pop().unwrap_or_default();
+        left_counts.clear();
+        left_counts.extend_from_slice(&ctx.split_counts);
+        let mut right_counts = ctx.counts_free.pop().unwrap_or_default();
+        right_counts.clear();
+        right_counts.extend(counts.iter().zip(&left_counts).map(|(p, l)| p - l));
+        ctx.counts_free.push(counts);
 
         // Reserve this node's slot before growing children.
         self.nodes.push(Node::Leaf {
@@ -184,11 +398,12 @@ impl DecisionTree {
         });
         let me = self.nodes.len() - 1;
 
+        let mid = start + left_len;
         let left = self.grow(
-            data,
-            work,
+            ctx,
             start,
-            start + mid,
+            mid,
+            left_counts,
             depth + 1,
             params,
             max_features,
@@ -196,16 +411,17 @@ impl DecisionTree {
             rng,
         );
         let right = self.grow(
-            data,
-            work,
-            start + mid,
+            ctx,
+            mid,
             end,
+            right_counts,
             depth + 1,
             params,
             max_features,
             total,
             rng,
         );
+        Self::unwind_constant_marks(ctx, marks_before);
         self.nodes[me] = Node::Split {
             feature,
             threshold,
@@ -215,79 +431,502 @@ impl DecisionTree {
         me
     }
 
-    /// Finds the best `(feature, threshold, impurity decrease)` over a
-    /// random subset of features, or `None` if no valid split improves
-    /// impurity.
+    /// Pushes a leaf holding `counts / n` and recycles the counts
+    /// vector into the context's free list.
+    fn make_leaf(&mut self, ctx: &mut GrowContext, counts: Vec<f64>, n: usize) -> usize {
+        let probabilities = counts.iter().map(|c| c / n as f64).collect();
+        ctx.counts_free.push(counts);
+        self.nodes.push(Node::Leaf { probabilities });
+        self.node_count_leaves += 1;
+        self.nodes.len() - 1
+    }
+
+    fn unwind_constant_marks(ctx: &mut GrowContext, to_len: usize) {
+        while ctx.constant_marks.len() > to_len {
+            let f = ctx.constant_marks.pop().expect("non-empty mark stack");
+            ctx.constant[f as usize] = false;
+        }
+    }
+
+    /// Finds the best `(feature, threshold, impurity decrease, left
+    /// size, split code)` over a random subset of features, or `None`
+    /// if no valid split exists.
+    ///
+    /// For each candidate feature, one counting pass over the node's
+    /// rows builds per-rank class counts, then the occupied ranks are
+    /// swept in ascending order maintaining prefix counts. Boundaries
+    /// fall between *distinct* present values and the prefix counts at
+    /// a boundary are a function of the (value, label) multiset, so the
+    /// result matches a per-node re-sort exactly regardless of tie
+    /// order.
     #[allow(clippy::too_many_arguments)] // split search threads the parent's cached stats
     fn best_split<R: Rng + ?Sized>(
         &self,
-        data: &Dataset,
-        samples: &[usize],
+        ctx: &mut GrowContext,
+        start: usize,
+        end: usize,
         parent_counts: &[f64],
         parent_gini: f64,
         max_features: usize,
         params: &TreeParams,
         rng: &mut R,
-    ) -> Option<(usize, f64, f64)> {
-        let n = samples.len();
-        let nf = data.feature_count();
+    ) -> Option<(usize, f64, f64, usize, u32)> {
+        let nf = ctx.pre.feature_count();
 
-        // Partial Fisher–Yates: the first `max_features` entries become
-        // the candidate features.
-        let mut candidates: Vec<usize> = (0..nf).collect();
+        // Partial Fisher–Yates over a reused identity permutation: the
+        // first `max_features` entries become the candidate features.
+        ctx.feature_order.clear();
+        ctx.feature_order.extend(0..nf);
         for i in 0..max_features.min(nf) {
             let j = rng.gen_range(i..nf);
-            candidates.swap(i, j);
+            ctx.feature_order.swap(i, j);
         }
 
-        let mut best: Option<(usize, f64, f64)> = None;
-        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(n);
+        // The common class counts get a monomorphized scan whose count
+        // buffers are fixed-size arrays (registers, no bounds checks).
+        // Every arithmetic operation runs in the same order as the
+        // dynamic scan, so the results are bitwise identical.
+        match self.class_count {
+            2 => Self::scan_features::<2>(
+                ctx,
+                start,
+                end,
+                parent_counts,
+                parent_gini,
+                max_features,
+                params,
+            ),
+            3 => Self::scan_features::<3>(
+                ctx,
+                start,
+                end,
+                parent_counts,
+                parent_gini,
+                max_features,
+                params,
+            ),
+            _ => self.scan_features_dyn(
+                ctx,
+                start,
+                end,
+                parent_counts,
+                parent_gini,
+                max_features,
+                params,
+            ),
+        }
+    }
 
-        for &feature in &candidates[..max_features] {
-            pairs.clear();
-            pairs.extend(
-                samples
-                    .iter()
-                    .map(|&i| (data.row(i)[feature], data.label(i))),
-            );
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
-            if pairs[0].0 == pairs[n - 1].0 {
-                continue; // constant feature here
+    /// Split scan monomorphized over the class count. Must stay in
+    /// operation-for-operation lockstep with [`Self::scan_features_dyn`].
+    #[allow(clippy::too_many_arguments)]
+    fn scan_features<const C: usize>(
+        ctx: &mut GrowContext,
+        start: usize,
+        end: usize,
+        parent_counts: &[f64],
+        parent_gini: f64,
+        max_features: usize,
+        params: &TreeParams,
+    ) -> Option<(usize, f64, f64, usize, u32)> {
+        let n = end - start;
+        let parent: [f64; C] = parent_counts.try_into().expect("class count");
+        let GrowContext {
+            pre,
+            order,
+            hist,
+            sorted_slots,
+            split_counts,
+            feature_order,
+            constant,
+            constant_marks,
+            ..
+        } = ctx;
+        let node = &order[start..end];
+        let mut best: Option<(usize, f64, f64, usize, u32)> = None;
+
+        let evaluate = |left: &[f64; C],
+                        right: &[f64; C],
+                        left_n: f64,
+                        right_n: f64,
+                        code: usize,
+                        next_code: usize,
+                        feature: usize,
+                        uniq: &[f64],
+                        best: &mut Option<(usize, f64, f64, usize, u32)>,
+                        best_counts: &mut [f64]| {
+            let left_size = left_n as usize;
+            let right_size = n - left_size;
+            if left_size < params.min_samples_leaf || right_size < params.min_samples_leaf {
+                return;
             }
+            let weighted = (left_n / n as f64) * gini(left, left_n)
+                + (right_n / n as f64) * gini(right, right_n);
+            let decrease = (parent_gini - weighted).max(0.0);
+            match best {
+                Some((_, _, best_dec, _, _)) if *best_dec >= decrease => {}
+                _ => {
+                    *best = Some((
+                        feature,
+                        threshold_between(uniq[code], uniq[next_code]),
+                        decrease,
+                        left_size,
+                        code as u32,
+                    ));
+                    best_counts.copy_from_slice(left);
+                }
+            }
+        };
 
-            let mut left_counts = vec![0.0_f64; self.class_count];
-            let mut right_counts = parent_counts.to_vec();
+        for &feature in &feature_order[..max_features] {
+            if constant[feature] {
+                continue; // constant globally or within this subtree
+            }
+            let uniq = &pre.uniques[feature][..];
+            let k = uniq.len();
+            let slots = &pre.coded_labels[feature];
+
+            let mut left = [0.0_f64; C];
+            let mut right = parent;
             let mut left_n = 0.0;
             let mut right_n = n as f64;
+            let mut prev: Option<usize> = None;
 
-            for k in 0..n - 1 {
-                let (value, label) = pairs[k];
-                left_counts[label] += 1.0;
-                right_counts[label] -= 1.0;
-                left_n += 1.0;
-                right_n -= 1.0;
+            // Histogram (dense) sweep when the node's occupied rank
+            // range is small relative to its size; sorted-run (sparse)
+            // scan otherwise. Both formulations are bitwise-identical,
+            // so this is purely a cost choice. When the global distinct
+            // count `k` is already small the histogram fill doubles as
+            // the range probe; otherwise probe first — nodes purify as
+            // they split, so deep nodes often occupy a narrow range of
+            // a large `k`. The probe aborts once the range provably
+            // exceeds the dense threshold (the sparse path needs no
+            // range).
+            let (code_lo, code_hi, dense) = if 4 * n >= k {
+                let mut min_slot = u32::MAX;
+                let mut max_slot = 0u32;
+                for &row in node {
+                    let slot = slots[row as usize];
+                    hist[slot as usize] += 1;
+                    min_slot = min_slot.min(slot);
+                    max_slot = max_slot.max(slot);
+                }
+                (min_slot as usize / C, max_slot as usize / C, true)
+            } else {
+                let wide = ((4 * n + 1) * C) as u32;
+                let mut min_slot = u32::MAX;
+                let mut max_slot = 0u32;
+                let mut aborted = false;
+                for &row in node {
+                    let slot = slots[row as usize];
+                    min_slot = min_slot.min(slot);
+                    max_slot = max_slot.max(slot);
+                    if max_slot - min_slot >= wide {
+                        aborted = true;
+                        break;
+                    }
+                }
+                let lo = min_slot as usize / C;
+                let hi = max_slot as usize / C;
+                if !aborted && 4 * n > hi - lo {
+                    for &row in node {
+                        hist[slots[row as usize] as usize] += 1;
+                    }
+                    (lo, hi, true)
+                } else {
+                    (lo, hi, false)
+                }
+            };
 
-                let next_value = pairs[k + 1].0;
-                if value == next_value {
-                    continue; // can't split between equal values
+            if dense && code_lo == code_hi {
+                // One rank in this node: constant for the subtree.
+                constant[feature] = true;
+                constant_marks.push(feature as u32);
+                hist[code_lo * C..(code_hi + 1) * C]
+                    .iter_mut()
+                    .for_each(|v| *v = 0);
+                continue;
+            }
+
+            if dense {
+                for code in code_lo..=code_hi {
+                    let base = code * C;
+                    let bucket: &[u32; C] =
+                        (&hist[base..base + C]).try_into().expect("bucket width");
+                    let mut bucket_n = 0u32;
+                    for &count in bucket {
+                        bucket_n += count;
+                    }
+                    if bucket_n == 0 {
+                        continue;
+                    }
+                    if let Some(p) = prev {
+                        evaluate(
+                            &left,
+                            &right,
+                            left_n,
+                            right_n,
+                            p,
+                            code,
+                            feature,
+                            uniq,
+                            &mut best,
+                            split_counts,
+                        );
+                    }
+                    for j in 0..C {
+                        let cnt = bucket[j] as f64;
+                        left[j] += cnt;
+                        right[j] -= cnt;
+                    }
+                    left_n += bucket_n as f64;
+                    right_n -= bucket_n as f64;
+                    prev = Some(code);
                 }
-                let left_size = (k + 1) as f64;
-                let right_size = (n - k - 1) as f64;
-                if (left_size as usize) < params.min_samples_leaf
-                    || (right_size as usize) < params.min_samples_leaf
-                {
-                    continue;
+                hist[code_lo * C..(code_hi + 1) * C]
+                    .iter_mut()
+                    .for_each(|v| *v = 0);
+            } else {
+                sorted_slots.clear();
+                sorted_slots.extend(node.iter().map(|&row| slots[row as usize]));
+                sorted_slots.sort_unstable();
+                let mut i = 0;
+                while i < sorted_slots.len() {
+                    let code = sorted_slots[i] as usize / C;
+                    if let Some(p) = prev {
+                        evaluate(
+                            &left,
+                            &right,
+                            left_n,
+                            right_n,
+                            p,
+                            code,
+                            feature,
+                            uniq,
+                            &mut best,
+                            split_counts,
+                        );
+                    }
+                    let stop = ((code + 1) * C) as u32;
+                    let base = code * C;
+                    while i < sorted_slots.len() && sorted_slots[i] < stop {
+                        let label = sorted_slots[i] as usize - base;
+                        left[label] += 1.0;
+                        right[label] -= 1.0;
+                        left_n += 1.0;
+                        right_n -= 1.0;
+                        i += 1;
+                    }
+                    prev = Some(code);
                 }
-                let weighted = (left_n / n as f64) * gini(&left_counts, left_n)
-                    + (right_n / n as f64) * gini(&right_counts, right_n);
-                // Zero-gain splits are admissible (as in scikit-learn's
-                // CART): children may become separable even when this
-                // level's gain is zero (e.g. XOR). Termination is still
-                // guaranteed because both children are strictly smaller.
-                let decrease = (parent_gini - weighted).max(0.0);
-                match best {
-                    Some((_, _, best_dec)) if best_dec >= decrease => {}
-                    _ => best = Some((feature, threshold_between(value, next_value), decrease)),
+            }
+        }
+        best
+    }
+
+    /// Dynamic-class-count split scan; the fallback for datasets whose
+    /// class count has no monomorphized variant.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_features_dyn(
+        &self,
+        ctx: &mut GrowContext,
+        start: usize,
+        end: usize,
+        parent_counts: &[f64],
+        parent_gini: f64,
+        max_features: usize,
+        params: &TreeParams,
+    ) -> Option<(usize, f64, f64, usize, u32)> {
+        let n = end - start;
+        let c = self.class_count;
+
+        let GrowContext {
+            pre,
+            order,
+            hist,
+            sorted_slots,
+            left_buf,
+            right_buf,
+            split_counts,
+            feature_order,
+            constant,
+            constant_marks,
+            ..
+        } = ctx;
+        let node = &order[start..end];
+        let mut best: Option<(usize, f64, f64, usize, u32)> = None;
+
+        // Scores one boundary between consecutive present ranks `code`
+        // and `next_code`, given the prefix counts up to and including
+        // `code`'s bucket. Zero-gain splits are admissible (as in
+        // scikit-learn's CART): children may become separable even when
+        // this level's gain is zero (e.g. XOR). Termination is still
+        // guaranteed because both children are strictly smaller.
+        let evaluate = |left_buf: &[f64],
+                        right_buf: &[f64],
+                        left_n: f64,
+                        right_n: f64,
+                        code: usize,
+                        next_code: usize,
+                        feature: usize,
+                        uniq: &[f64],
+                        best: &mut Option<(usize, f64, f64, usize, u32)>,
+                        best_counts: &mut [f64]| {
+            let left_size = left_n as usize;
+            let right_size = n - left_size;
+            if left_size < params.min_samples_leaf || right_size < params.min_samples_leaf {
+                return;
+            }
+            let weighted = (left_n / n as f64) * gini(left_buf, left_n)
+                + (right_n / n as f64) * gini(right_buf, right_n);
+            let decrease = (parent_gini - weighted).max(0.0);
+            match best {
+                Some((_, _, best_dec, _, _)) if *best_dec >= decrease => {}
+                _ => {
+                    *best = Some((
+                        feature,
+                        threshold_between(uniq[code], uniq[next_code]),
+                        decrease,
+                        left_size,
+                        code as u32,
+                    ));
+                    best_counts.copy_from_slice(left_buf);
+                }
+            }
+        };
+
+        for &feature in &feature_order[..max_features] {
+            if constant[feature] {
+                continue; // constant globally or within this subtree
+            }
+            let uniq = &pre.uniques[feature][..];
+            let k = uniq.len();
+            let slots = &pre.coded_labels[feature];
+
+            left_buf.iter_mut().for_each(|v| *v = 0.0);
+            right_buf.copy_from_slice(parent_counts);
+            let mut left_n = 0.0;
+            let mut right_n = n as f64;
+            let mut prev: Option<usize> = None;
+
+            // Same dense/sparse choice as the monomorphized scan; see
+            // the comment there.
+            let (code_lo, code_hi, dense) = if 4 * n >= k {
+                let mut min_slot = u32::MAX;
+                let mut max_slot = 0u32;
+                for &row in node {
+                    let slot = slots[row as usize];
+                    hist[slot as usize] += 1;
+                    min_slot = min_slot.min(slot);
+                    max_slot = max_slot.max(slot);
+                }
+                (min_slot as usize / c, max_slot as usize / c, true)
+            } else {
+                let wide = ((4 * n + 1) * c) as u32;
+                let mut min_slot = u32::MAX;
+                let mut max_slot = 0u32;
+                let mut aborted = false;
+                for &row in node {
+                    let slot = slots[row as usize];
+                    min_slot = min_slot.min(slot);
+                    max_slot = max_slot.max(slot);
+                    if max_slot - min_slot >= wide {
+                        aborted = true;
+                        break;
+                    }
+                }
+                let lo = min_slot as usize / c;
+                let hi = max_slot as usize / c;
+                if !aborted && 4 * n > hi - lo {
+                    for &row in node {
+                        hist[slots[row as usize] as usize] += 1;
+                    }
+                    (lo, hi, true)
+                } else {
+                    (lo, hi, false)
+                }
+            };
+
+            if dense && code_lo == code_hi {
+                // One rank in this node: constant for the subtree.
+                constant[feature] = true;
+                constant_marks.push(feature as u32);
+                hist[code_lo * c..(code_hi + 1) * c]
+                    .iter_mut()
+                    .for_each(|v| *v = 0);
+                continue;
+            }
+
+            if dense {
+                for code in code_lo..=code_hi {
+                    let base = code * c;
+                    let mut bucket_n = 0u32;
+                    for j in 0..c {
+                        bucket_n += hist[base + j];
+                    }
+                    if bucket_n == 0 {
+                        continue;
+                    }
+                    if let Some(p) = prev {
+                        evaluate(
+                            left_buf,
+                            right_buf,
+                            left_n,
+                            right_n,
+                            p,
+                            code,
+                            feature,
+                            uniq,
+                            &mut best,
+                            split_counts,
+                        );
+                    }
+                    for j in 0..c {
+                        let cnt = hist[base + j] as f64;
+                        left_buf[j] += cnt;
+                        right_buf[j] -= cnt;
+                    }
+                    left_n += bucket_n as f64;
+                    right_n -= bucket_n as f64;
+                    prev = Some(code);
+                }
+                hist[code_lo * c..(code_hi + 1) * c]
+                    .iter_mut()
+                    .for_each(|v| *v = 0);
+            } else {
+                // Sparse (small node, many ranks): gather the node's
+                // slots and sort them; equal ranks form contiguous runs.
+                sorted_slots.clear();
+                sorted_slots.extend(node.iter().map(|&row| slots[row as usize]));
+                sorted_slots.sort_unstable();
+                let mut i = 0;
+                while i < sorted_slots.len() {
+                    let code = sorted_slots[i] as usize / c;
+                    if let Some(p) = prev {
+                        evaluate(
+                            left_buf,
+                            right_buf,
+                            left_n,
+                            right_n,
+                            p,
+                            code,
+                            feature,
+                            uniq,
+                            &mut best,
+                            split_counts,
+                        );
+                    }
+                    let stop = ((code + 1) * c) as u32;
+                    let base = code * c;
+                    while i < sorted_slots.len() && sorted_slots[i] < stop {
+                        let label = sorted_slots[i] as usize - base;
+                        left_buf[label] += 1.0;
+                        right_buf[label] -= 1.0;
+                        left_n += 1.0;
+                        right_n -= 1.0;
+                        i += 1;
+                    }
+                    prev = Some(code);
                 }
             }
         }
@@ -323,10 +962,49 @@ impl DecisionTree {
         }
     }
 
+    /// Class-probability estimates for row `i` of a columnar dataset,
+    /// reading only the features the tree path touches (no row
+    /// gather).
+    pub fn predict_proba_row(&self, data: &Dataset, i: usize) -> &[f64] {
+        assert_eq!(
+            data.feature_count(),
+            self.feature_count,
+            "expected {} features, got {}",
+            self.feature_count,
+            data.feature_count()
+        );
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { probabilities } => return probabilities,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if data.value(i, *feature) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
     /// Predicted class (argmax of probabilities; ties go to the lower
     /// class index).
     pub fn predict(&self, features: &[f64]) -> usize {
-        let probs = self.predict_proba(features);
+        Self::argmax(self.predict_proba(features))
+    }
+
+    /// Predicted class for row `i` of a columnar dataset.
+    pub fn predict_row(&self, data: &Dataset, i: usize) -> usize {
+        Self::argmax(self.predict_proba_row(data, i))
+    }
+
+    fn argmax(probs: &[f64]) -> usize {
         probs
             .iter()
             .enumerate()
@@ -447,7 +1125,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
         for i in 0..d.len() {
-            assert_eq!(tree.predict(d.row(i)), d.label(i));
+            assert_eq!(tree.predict(&d.row(i)), d.label(i));
+            assert_eq!(tree.predict_row(&d, i), d.label(i));
         }
         // All importance should be on the informative feature.
         assert!(tree.importances()[0] > 0.0);
@@ -543,8 +1222,21 @@ mod tests {
         let idx = vec![0, 0, 0, 39, 39, 39];
         let mut rng = SmallRng::seed_from_u64(8);
         let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
-        assert_eq!(tree.predict(d.row(0)), 0);
-        assert_eq!(tree.predict(d.row(39)), 1);
+        assert_eq!(tree.predict(&d.row(0)), 0);
+        assert_eq!(tree.predict(&d.row(39)), 1);
+    }
+
+    #[test]
+    fn row_predictions_match_slice_predictions() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        for i in 0..d.len() {
+            let row = d.row(i);
+            assert_eq!(tree.predict_proba_row(&d, i), tree.predict_proba(&row));
+            assert_eq!(tree.predict_row(&d, i), tree.predict(&row));
+        }
     }
 
     mod props {
@@ -590,10 +1282,10 @@ mod tests {
                 };
                 let tree = DecisionTree::fit(&d, &idx, &params, 1, &mut rng);
                 for i in 0..d.len() {
-                    let x = d.row(i)[0];
+                    let x = d.value(i, 0);
                     let unique = rows.iter().filter(|(v, _)| *v == x).count() == 1;
                     if unique {
-                        prop_assert_eq!(tree.predict(d.row(i)), d.label(i));
+                        prop_assert_eq!(tree.predict(&d.row(i)), d.label(i));
                     }
                 }
             }

@@ -55,7 +55,7 @@ fn main() {
     let (train, test) = train_test_split(&dataset, 0.2, 1);
     let model = RandomForest::fit(&train, &RandomForestParams::default(), 1);
     let predictions: Vec<usize> = (0..test.len())
-        .map(|i| model.predict(test.row(i)))
+        .map(|i| model.predict_row(&test, i))
         .collect();
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     let scores = ConfusionMatrix::from_predictions(&predictions, &actual).scores();

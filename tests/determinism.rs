@@ -2,7 +2,8 @@
 //! pure function of its seed, including parallel forest training.
 
 use features::{FeatureConfig, FeatureExtractor};
-use forest::{train_test_split, RandomForest, RandomForestParams};
+use forest::tree::TreeParams;
+use forest::{set_thread_limit, train_test_split, GridSearch, RandomForest, RandomForestParams};
 use survdb::experiment::{Experiment, ExperimentConfig, GridPreset};
 use survdb::study::{Study, StudyConfig};
 use telemetry::{Census, Fleet, FleetConfig, RegionConfig, RegionId};
@@ -40,7 +41,10 @@ fn forests_are_identical_despite_threading() {
     let m1 = RandomForest::fit(&train, &RandomForestParams::default(), 99);
     let m2 = RandomForest::fit(&train, &RandomForestParams::default(), 99);
     for i in 0..test.len() {
-        assert_eq!(m1.predict_proba(test.row(i)), m2.predict_proba(test.row(i)));
+        assert_eq!(
+            m1.predict_proba(&test.row(i)),
+            m2.predict_proba(&test.row(i))
+        );
     }
     assert_eq!(m1.feature_importances(), m2.feature_importances());
     assert_eq!(m1.oob_accuracy(), m2.oob_accuracy());
@@ -68,6 +72,78 @@ fn whole_experiments_reproduce_exactly() {
     assert_eq!(r1.confident_fraction, r2.confident_fraction);
     assert_eq!(r1.whole_grouping.logrank_p, r2.whole_grouping.logrank_p);
     assert_eq!(r1.importances, r2.importances);
+}
+
+#[test]
+fn results_are_thread_count_invariant() {
+    // Every work unit (tree, fold, candidate × fold, repetition) is
+    // seeded from its index, so 1, 2, and 8 worker threads must give
+    // bitwise-identical forests, grid searches, and experiments.
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.05), 9));
+    let census = Census::new(&fleet);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    let (dataset, _) = extractor.build_dataset(&census, None);
+    let (train, test) = train_test_split(&dataset, 0.3, 1);
+    let candidates = vec![
+        RandomForestParams {
+            n_trees: 8,
+            tree: TreeParams {
+                max_depth: 8,
+                ..TreeParams::default()
+            },
+            ..RandomForestParams::default()
+        },
+        RandomForestParams {
+            n_trees: 16,
+            ..RandomForestParams::default()
+        },
+    ];
+    let study = Study::load_region(
+        StudyConfig {
+            scale: 0.06,
+            seed: 1234,
+        },
+        RegionId::Region1,
+    );
+    let study_census = study.census(RegionId::Region1);
+    let config = ExperimentConfig {
+        repetitions: 2,
+        grid: GridPreset::Off,
+        ..ExperimentConfig::default()
+    };
+
+    let run_all = || {
+        let model = RandomForest::fit(&train, &RandomForestParams::default(), 99);
+        let predictions: Vec<Vec<f64>> = (0..test.len())
+            .map(|i| model.predict_proba_row(&test, i))
+            .collect();
+        let grid = GridSearch::new(candidates.clone(), 3).run(&train, 5);
+        let grid_scores: Vec<f64> = grid.all_scores.iter().map(|(_, s)| *s).collect();
+        let result = Experiment::new(config.clone()).run(&study_census, None);
+        (predictions, grid.best_params, grid_scores, result)
+    };
+
+    set_thread_limit(Some(1));
+    let single = run_all();
+    set_thread_limit(Some(2));
+    let dual = run_all();
+    set_thread_limit(Some(8));
+    let many = run_all();
+    set_thread_limit(None);
+
+    for other in [&dual, &many] {
+        assert_eq!(single.0, other.0, "forest predictions diverged");
+        assert_eq!(single.1, other.1, "grid winner diverged");
+        assert_eq!(single.2, other.2, "grid scores diverged");
+        assert_eq!(single.3.forest, other.3.forest);
+        assert_eq!(single.3.baseline, other.3.baseline);
+        assert_eq!(single.3.oob_accuracy, other.3.oob_accuracy);
+        assert_eq!(single.3.importances, other.3.importances);
+        assert_eq!(
+            single.3.whole_grouping.logrank_p,
+            other.3.whole_grouping.logrank_p
+        );
+    }
 }
 
 #[test]

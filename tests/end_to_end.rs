@@ -90,7 +90,7 @@ fn predicted_groups_actually_differ_in_survival() {
     let mut short = Vec::new();
     let mut long = Vec::new();
     for (i, &pair) in survival.iter().enumerate() {
-        if model.predict(dataset.row(i)) == 1 {
+        if model.predict_row(&dataset, i) == 1 {
             long.push(pair);
         } else {
             short.push(pair);

@@ -28,7 +28,7 @@ fn forest_beats_baseline_on_pipeline_features() {
     let mut rng = SmallRng::seed_from_u64(3);
 
     let forest_preds: Vec<usize> = (0..test.len())
-        .map(|i| model.predict(test.row(i)))
+        .map(|i| model.predict_row(&test, i))
         .collect();
     let baseline_preds = baseline.predict_many(test.len(), &mut rng);
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
@@ -42,7 +42,7 @@ fn forest_beats_baseline_on_pipeline_features() {
 
     // Probabilities carry ranking information: AUC well above chance.
     let probs: Vec<f64> = (0..test.len())
-        .map(|i| model.predict_positive_proba(test.row(i)))
+        .map(|i| model.predict_positive_proba_row(&test, i))
         .collect();
     let auc = roc_auc(&probs, &actual);
     assert!(auc > 0.72, "auc = {auc}");
@@ -75,7 +75,7 @@ fn confidence_partition_matches_paper_identities() {
     let (train, test) = train_test_split(&dataset, 0.2, 11);
     let model = RandomForest::fit(&train, &RandomForestParams::default(), 11);
     let probs: Vec<f64> = (0..test.len())
-        .map(|i| model.predict_positive_proba(test.row(i)))
+        .map(|i| model.predict_positive_proba_row(&test, i))
         .collect();
     let q = train.class_fraction(1);
     let partition = PartitionedPredictions::partition(&probs, q);
@@ -108,7 +108,7 @@ fn oob_estimate_close_to_holdout() {
     let model = RandomForest::fit(&train, &RandomForestParams::default(), 13);
     let oob = model.oob_accuracy().expect("bootstrap on");
     let preds: Vec<usize> = (0..test.len())
-        .map(|i| model.predict(test.row(i)))
+        .map(|i| model.predict_row(&test, i))
         .collect();
     let actual: Vec<usize> = (0..test.len()).map(|i| test.label(i)).collect();
     let holdout = ConfusionMatrix::from_predictions(&preds, &actual).accuracy();

@@ -59,7 +59,7 @@ fn three_class_forest_beats_majority_vote() {
     let model = RandomForest::fit(&train, &RandomForestParams::default(), 9);
 
     let correct = (0..test.len())
-        .filter(|&i| model.predict(test.row(i)) == test.label(i))
+        .filter(|&i| model.predict_row(&test, i) == test.label(i))
         .count();
     let accuracy = correct as f64 / test.len() as f64;
     let majority =
@@ -75,7 +75,7 @@ fn three_class_probabilities_are_proper() {
     let data = creation_time_dataset();
     let model = RandomForest::fit(&data, &RandomForestParams::default(), 5);
     for i in (0..data.len()).step_by(97) {
-        let probs = model.predict_proba(data.row(i));
+        let probs = model.predict_proba(&data.row(i));
         assert_eq!(probs.len(), 3);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -95,7 +95,7 @@ fn ephemeral_class_is_recognizable_from_names() {
     for i in 0..test.len() {
         if test.label(i) == 0 {
             actual += 1;
-            if model.predict(test.row(i)) == 0 {
+            if model.predict_row(&test, i) == 0 {
                 tp += 1;
             }
         }
