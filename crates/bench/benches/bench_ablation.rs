@@ -43,8 +43,9 @@ fn ablate_trees(c: &mut Criterion) {
             n_trees,
             ..RandomForestParams::default()
         };
-        eprintln!(
-            "[ablation] trees = {n_trees:>4}: holdout accuracy {:.3}",
+        obs::info!(
+            "ablation",
+            "trees = {n_trees:>4}: holdout accuracy {:.3}",
             holdout_accuracy(&data, &params)
         );
         group.bench_with_input(BenchmarkId::new("fit", n_trees), &params, |b, params| {
@@ -67,8 +68,9 @@ fn ablate_depth(c: &mut Criterion) {
             },
             ..RandomForestParams::default()
         };
-        eprintln!(
-            "[ablation] depth = {max_depth:>3}: holdout accuracy {:.3}",
+        obs::info!(
+            "ablation",
+            "depth = {max_depth:>3}: holdout accuracy {:.3}",
             holdout_accuracy(&data, &params)
         );
         group.bench_with_input(BenchmarkId::new("fit", max_depth), &params, |b, params| {
@@ -88,8 +90,9 @@ fn ablate_bootstrap(c: &mut Criterion) {
             bootstrap,
             ..RandomForestParams::default()
         };
-        eprintln!(
-            "[ablation] bootstrap = {bootstrap}: holdout accuracy {:.3}",
+        obs::info!(
+            "ablation",
+            "bootstrap = {bootstrap}: holdout accuracy {:.3}",
             holdout_accuracy(&data, &params)
         );
         group.bench_with_input(BenchmarkId::new("fit", bootstrap), &params, |b, params| {
@@ -139,8 +142,9 @@ fn ablate_feature_families(c: &mut Criterion) {
             n_trees: 40,
             ..RandomForestParams::default()
         };
-        eprintln!(
-            "[ablation] features = {label:<12}: holdout accuracy {:.3} ({} features)",
+        obs::info!(
+            "ablation",
+            "features = {label:<12}: holdout accuracy {:.3} ({} features)",
             holdout_accuracy(&subset, &params),
             subset.feature_count()
         );

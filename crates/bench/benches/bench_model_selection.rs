@@ -36,6 +36,30 @@ fn bench_cross_val(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cross_val_obs(c: &mut Criterion) {
+    // The observability acceptance surface: the same cross-validation
+    // loop with all obs probes off (no registry installed — one relaxed
+    // atomic load per probe) versus with a registry recording spans,
+    // counters, and events. The two timings bound the instrumentation
+    // overhead; DESIGN.md §9 records the budget (<1% disabled).
+    let data = dataset(2_000, 30, 4);
+    let params = RandomForestParams {
+        n_trees: 20,
+        ..RandomForestParams::default()
+    };
+    let mut group = c.benchmark_group("cross_val_obs");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| cross_val_accuracy(black_box(&data), &params, 5, 42))
+    });
+    group.bench_function("enabled", |b| {
+        let registry = obs::Registry::new();
+        let _guard = registry.install();
+        b.iter(|| cross_val_accuracy(black_box(&data), &params, 5, 42))
+    });
+    group.finish();
+}
+
 fn bench_grid_search(c: &mut Criterion) {
     let data = dataset(2_000, 30, 2);
     let candidates = vec![
@@ -83,5 +107,11 @@ fn bench_view_fit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cross_val, bench_grid_search, bench_view_fit);
+criterion_group!(
+    benches,
+    bench_cross_val,
+    bench_cross_val_obs,
+    bench_grid_search,
+    bench_view_fit
+);
 criterion_main!(benches);

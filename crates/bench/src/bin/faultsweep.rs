@@ -77,11 +77,19 @@ fn main() {
     let options = match parse(&args) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("faultsweep: {e}");
-            eprintln!("usage: faultsweep [--scale F] [--seed N] [--rates R1,R2,...] [--out PATH]");
+            obs::error!("faultsweep", "{e}");
+            obs::error!(
+                "faultsweep",
+                "usage: faultsweep [--scale F] [--seed N] [--rates R1,R2,...] [--out PATH]"
+            );
             std::process::exit(2);
         }
     };
+
+    // Record spans/counters/events for the whole run; Info events keep
+    // echoing to stderr as the un-instrumented binary's prints did.
+    let registry = obs::Registry::with_stderr_level(obs::Level::Info);
+    let _trace = registry.install();
 
     let config = DegradationConfig {
         scale: options.scale,
@@ -89,8 +97,9 @@ fn main() {
         fault_rates: options.rates,
         ..DegradationConfig::default()
     };
-    eprintln!(
-        "faultsweep: scale {} seed {} — {} classes x {} rates",
+    obs::info!(
+        "faultsweep",
+        "scale {} seed {} — {} classes x {} rates",
         config.scale,
         config.seed,
         config.classes.len(),
@@ -100,7 +109,7 @@ fn main() {
     let report = match run_degradation_sweep(&config) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("faultsweep: {e}");
+            obs::error!("faultsweep", "{e}");
             std::process::exit(1);
         }
     };
@@ -114,7 +123,8 @@ fn main() {
                     d.accuracy, d.precision, d.recall
                 )
             });
-        eprintln!(
+        obs::info!(
+            "faultsweep",
             "  {:>18} @ {:<4} recovered {:>5} quarantined {:>4}  {delta}",
             cell.class.to_string(),
             cell.rate,
@@ -130,8 +140,17 @@ fn main() {
         }
     }
     fs::write(&options.out, &json).expect("write robustness report");
-    eprintln!(
-        "faultsweep: baseline acc {:.3} — wrote {}",
-        report.baseline.accuracy, options.out
+    obs::info!(
+        "faultsweep",
+        "baseline acc {:.3} — wrote {}",
+        report.baseline.accuracy,
+        options.out
     );
+
+    let artifact_dir = Path::new(&options.out)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf();
+    bench::finish_trace(&registry, "faultsweep", &artifact_dir);
 }

@@ -69,8 +69,9 @@ fn main() {
     let options = match parse(&args) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!(
+            obs::error!("fleetgen", "{e}");
+            obs::error!(
+                "fleetgen",
                 "usage: fleetgen [--region 1|2|3] [--scale F] [--seed N] \
                  [--jsonl PATH] [--csv PATH] [--events PATH]"
             );
@@ -82,7 +83,8 @@ fn main() {
         RegionConfig::canonical(options.region).scaled(options.scale),
         options.seed,
     ));
-    eprintln!(
+    obs::info!(
+        "fleetgen",
         "generated {}: {} subscriptions, {} databases",
         options.region,
         fleet.subscriptions.len(),
@@ -92,12 +94,12 @@ fn main() {
     if let Some(path) = &options.jsonl {
         let file = BufWriter::new(File::create(path).expect("create jsonl file"));
         write_records_jsonl(&fleet.databases, file).expect("write jsonl");
-        eprintln!("wrote {path}");
+        obs::info!("fleetgen", "wrote {path}");
     }
     if let Some(path) = &options.csv {
         let file = BufWriter::new(File::create(path).expect("create csv file"));
         write_summary_csv(&fleet.databases, fleet.window_end(), file).expect("write csv");
-        eprintln!("wrote {path}");
+        obs::info!("fleetgen", "wrote {path}");
     }
     if let Some(path) = &options.events {
         let mut file = BufWriter::new(File::create(path).expect("create events file"));
@@ -105,6 +107,6 @@ fn main() {
         for (at, event) in stream.events() {
             writeln!(file, "{at}\t{event:?}").expect("write event");
         }
-        eprintln!("wrote {path} ({} events)", stream.len());
+        obs::info!("fleetgen", "wrote {path} ({} events)", stream.len());
     }
 }

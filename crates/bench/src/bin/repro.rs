@@ -31,16 +31,22 @@ use telemetry::{Census, Edition, RegionId};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: repro <fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|tab1|tab2|obs|factors|prov|sweep|calib|models|segments|all> [flags]");
+        obs::error!("repro", "usage: repro <fig1|fig2|fig3|fig5|fig6|fig7|fig8|fig9|tab1|tab2|obs|factors|prov|sweep|calib|models|segments|all> [flags]");
         std::process::exit(2);
     };
     let options = match parse_options(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error!("repro", "{e}");
             std::process::exit(2);
         }
     };
+
+    // Record spans/counters/events for the whole run; Info events keep
+    // echoing to stderr as the un-instrumented binary's prints did.
+    let registry = obs::Registry::with_stderr_level(obs::Level::Info);
+    let _trace = registry.install();
+    let artifact_dir = options.artifact_dir.clone();
 
     let mut harness = Harness::new(options);
     match command.as_str() {
@@ -81,10 +87,12 @@ fn main() {
             segments(&mut harness);
         }
         other => {
-            eprintln!("unknown experiment id {other}");
+            obs::error!("repro", "unknown experiment id {other}");
             std::process::exit(2);
         }
     }
+
+    bench::finish_trace(&registry, "repro", &artifact_dir);
 }
 
 struct CurveArtifact {

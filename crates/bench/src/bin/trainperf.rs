@@ -18,7 +18,9 @@
 use bench::legacy::{legacy_grid_search, LegacyDataset, LegacyForest};
 use features::{FeatureConfig, FeatureExtractor};
 use forest::tree::TreeParams;
-use forest::{Dataset, GridSearch, MaxFeatures, RandomForest, RandomForestParams};
+use forest::{
+    cross_val_accuracy, Dataset, GridSearch, MaxFeatures, RandomForest, RandomForestParams,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 use survdb::json::{Json, ToJson};
@@ -141,8 +143,11 @@ fn main() {
     let options = match parse(&args) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("usage: trainperf [--scale F] [--seed N] [--out DIR]");
+            obs::error!("trainperf", "{e}");
+            obs::error!(
+                "trainperf",
+                "usage: trainperf [--scale F] [--seed N] [--out DIR]"
+            );
             std::process::exit(2);
         }
     };
@@ -159,8 +164,43 @@ fn main() {
         data.feature_count()
     );
 
-    // --- forest fit ---------------------------------------------------
+    // --- obs overhead -------------------------------------------------
+    // Measured before this run's own trace registry is installed, so
+    // the "disabled" side is the true all-probes-off fast path (one
+    // relaxed atomic load per probe). Interleaved best-of-REPS on the
+    // instrumented cross-validation loop, which exercises every hot
+    // probe: span enters, tree-build counter flushes, fold counters.
     let params = RandomForestParams::default();
+    let k = 5;
+    let overhead_registry = obs::Registry::new();
+    let ((acc_off, obs_off_ms), (acc_on, obs_on_ms)) = best_of_pair(
+        || cross_val_accuracy(&data, &params, k, options.seed),
+        || {
+            let _g = overhead_registry.install();
+            cross_val_accuracy(&data, &params, k, options.seed)
+        },
+    );
+    assert_eq!(
+        acc_off, acc_on,
+        "obs probes changed cross-validation results"
+    );
+    let obs_overhead_pct = if obs_off_ms > 0.0 {
+        (obs_on_ms / obs_off_ms - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "[trainperf] obs overhead on cross_val: disabled {obs_off_ms:.1} ms, \
+         enabled {obs_on_ms:.1} ms ({obs_overhead_pct:+.2}%)"
+    );
+
+    // Record spans/counters for the rest of the run (the comparison
+    // sections time legacy vs columnar, where both sides carry the same
+    // sub-1% enabled cost).
+    let registry = obs::Registry::with_stderr_level(obs::Level::Info);
+    let _trace = registry.install();
+
+    // --- forest fit ---------------------------------------------------
     let ((legacy_model, legacy_fit_ms), (model, fit_ms)) = best_of_pair(
         || LegacyForest::fit(&legacy_data, &params, options.seed),
         || RandomForest::fit(&data, &params, options.seed),
@@ -193,7 +233,6 @@ fn main() {
 
     // --- grid search --------------------------------------------------
     let candidates = grid_candidates();
-    let k = 5;
     let ((legacy_grid, legacy_grid_ms), (grid, grid_ms)) = best_of_pair(
         || legacy_grid_search(&data, &legacy_data, &candidates, k, options.seed),
         || GridSearch::new(candidates.clone(), k).run(&data, options.seed),
@@ -231,22 +270,33 @@ fn main() {
         ("results_match", Json::Bool(true)),
         ("forest_fit", fit_json),
         ("grid_search", grid_json),
+        (
+            "obs_overhead",
+            Json::obj(vec![
+                ("disabled_ms", Json::Float(obs_off_ms)),
+                ("enabled_ms", Json::Float(obs_on_ms)),
+                ("overhead_pct", Json::Float(obs_overhead_pct)),
+            ]),
+        ),
     ]);
 
     if let Err(e) = std::fs::create_dir_all(&options.out) {
-        eprintln!("[trainperf] cannot create {}: {e}", options.out.display());
+        obs::error!("trainperf", "cannot create {}: {e}", options.out.display());
         std::process::exit(1);
     }
     let path = options.out.join("bench_training.json");
     if let Err(e) = std::fs::write(&path, artifact.render()) {
-        eprintln!("[trainperf] write {} failed: {e}", path.display());
+        obs::error!("trainperf", "write {} failed: {e}", path.display());
         std::process::exit(1);
     }
     println!("\n[trainperf] wrote {}", path.display());
 
     if grid_speedup < 3.0 {
-        eprintln!(
-            "[trainperf] WARNING: grid-search speedup {grid_speedup:.2}x is below the 3x acceptance bar"
+        obs::warn!(
+            "trainperf",
+            "grid-search speedup {grid_speedup:.2}x is below the 3x acceptance bar"
         );
     }
+
+    bench::finish_trace(&registry, "trainperf", &options.out);
 }

@@ -57,8 +57,9 @@ impl Harness {
             scale: options.scale,
             seed: options.seed,
         });
-        eprintln!(
-            "[harness] generated {} databases across {} regions (scale {})",
+        obs::info!(
+            "harness",
+            "generated {} databases across {} regions (scale {})",
             study.database_count(),
             study.fleets().len(),
             options.scale
@@ -97,7 +98,7 @@ impl Harness {
             edition.map_or_else(|| "all".to_string(), |e| e.to_string()),
         );
         if !self.subgroups.contains_key(&key) {
-            eprintln!("[harness] running experiment {} / {} ...", key.0, key.1);
+            obs::info!("harness", "running experiment {} / {} ...", key.0, key.1);
             let census = self.study.census(region);
             let result = Experiment::new(self.experiment_config()).run(&census, edition);
             self.subgroups.insert(key.clone(), result);
@@ -122,7 +123,7 @@ impl Harness {
     pub fn write_artifact<T: ToJson>(&self, id: &str, value: &T) {
         let dir = &self.options.artifact_dir;
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("[harness] cannot create {}: {e}", dir.display());
+            obs::error!("harness", "cannot create {}: {e}", dir.display());
             return;
         }
         let path = dir.join(format!("{id}.json"));
@@ -130,13 +131,45 @@ impl Harness {
             Ok(mut f) => {
                 let json = value.to_json_value().render();
                 if let Err(e) = f.write_all(json.as_bytes()) {
-                    eprintln!("[harness] write {} failed: {e}", path.display());
+                    obs::error!("harness", "write {} failed: {e}", path.display());
                 } else {
-                    eprintln!("[harness] wrote {}", path.display());
+                    obs::info!("harness", "wrote {}", path.display());
                 }
             }
-            Err(e) => eprintln!("[harness] create {} failed: {e}", path.display()),
+            Err(e) => obs::error!("harness", "create {} failed: {e}", path.display()),
         }
+    }
+}
+
+/// Shared epilogue of the `repro` / `trainperf` / `faultsweep`
+/// binaries: prints the per-phase timing breakdown and the counter
+/// table from `registry`, then writes `artifact_dir/run_trace.json`
+/// for `binary`.
+pub fn finish_trace(registry: &obs::Registry, binary: &str, artifact_dir: &std::path::Path) {
+    let snapshot = registry.snapshot();
+    println!("\n================ Run trace ({binary})\n");
+    print!("{}", survdb::report::phase_table(&snapshot));
+    println!();
+    print!("{}", survdb::report::counter_table(&snapshot));
+    match obs::trace::write_run_trace(
+        artifact_dir,
+        binary,
+        &snapshot,
+        forest::parallel::thread_limit(),
+    ) {
+        Ok(path) => println!("\n[{binary}] wrote {}", path.display()),
+        Err(e) => obs::error!(binary_target(binary), "cannot write run trace: {e}"),
+    }
+}
+
+/// Maps a binary name to its static event target (event targets are
+/// `&'static str`).
+fn binary_target(binary: &str) -> &'static str {
+    match binary {
+        "repro" => "repro",
+        "trainperf" => "trainperf",
+        "faultsweep" => "faultsweep",
+        _ => "bench",
     }
 }
 

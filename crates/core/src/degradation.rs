@@ -124,6 +124,7 @@ pub struct RobustnessReport {
 pub fn run_degradation_sweep(
     config: &DegradationConfig,
 ) -> Result<RobustnessReport, ExperimentError> {
+    let _span = obs::span!("degradation_sweep");
     let fleet = Fleet::generate(FleetConfig::new(
         RegionConfig::region_1().scaled(config.scale),
         config.seed,
@@ -148,6 +149,7 @@ pub fn run_degradation_sweep(
         .flat_map(|&class| config.fault_rates.iter().map(move |&rate| (class, rate)))
         .collect();
     let cells = run_units(grid.len(), |unit| {
+        let _span = obs::span!("cell");
         let (class, rate) = grid[unit];
         let injector = FaultInjector::new(FaultPlan::single(class, rate, config.seed));
         let (faulted, faults) = injector.inject(&stream);
@@ -167,6 +169,7 @@ pub fn run_degradation_sweep(
         }
     });
 
+    obs::count("core.degradation_cells", cells.len() as u64);
     Ok(RobustnessReport {
         scale: config.scale,
         seed: config.seed,

@@ -284,11 +284,13 @@ impl Experiment {
         census: &Census<'_>,
         edition: Option<Edition>,
     ) -> SubgroupResult {
+        let _span = obs::span!("experiment");
         let cfg = &self.config;
         let q = dataset.class_fraction(1);
         let threshold = forest::confidence_threshold(q);
 
         let reps = run_units(cfg.repetitions, |rep| {
+            let _span = obs::span!("repetition");
             let rep_seed = derive_seed(cfg.seed, rep as u64);
             let (train_rows, test_rows) =
                 train_test_split_indices(&dataset, cfg.test_fraction, rep_seed);
@@ -377,6 +379,7 @@ impl Experiment {
                 uncertain_pool,
             }
         });
+        obs::count("core.repetitions_completed", reps.len() as u64);
 
         // Merge in repetition order.
         let mut forest_scores = Vec::with_capacity(reps.len());

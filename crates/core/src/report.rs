@@ -1,5 +1,7 @@
 //! Plain-text reporting: paper-style score tables and ASCII survival
-//! curves for the `repro` harness and the examples.
+//! curves for the `repro` harness and the examples, plus human-readable
+//! renderings of an [`obs`] snapshot (per-phase timing breakdown and
+//! counter table).
 
 use crate::experiment::{KmSeries, SubgroupResult};
 use forest::ClassificationScores;
@@ -133,9 +135,100 @@ pub fn subgroup_block(r: &SubgroupResult) -> String {
     out
 }
 
+/// Renders an indented span-tree timing table from an [`obs`]
+/// snapshot: one row per span path, indented by nesting depth, with
+/// call count, total and mean wall time, and the number of distinct
+/// threads that recorded under the path. Span paths are
+/// lexicographically sorted, which groups children under their parent
+/// (a child path extends its parent's with `/`).
+pub fn phase_table(snapshot: &obs::Snapshot) -> String {
+    if snapshot.spans.is_empty() {
+        return "  (no spans recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    for (path, span) in &snapshot.spans {
+        let depth = path.matches('/').count();
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let total_ms = span.total_ns as f64 / 1e6;
+        let mean_ms = total_ms / span.count.max(1) as f64;
+        out.push_str(&format!(
+            "  {:indent$}{name:<width$} {:>7} calls  {total_ms:>10.2} ms total  \
+             {mean_ms:>9.3} ms/call  {} thread{}\n",
+            "",
+            span.count,
+            span.threads,
+            if span.threads == 1 { "" } else { "s" },
+            indent = depth * 2,
+            width = 24usize.saturating_sub(depth * 2),
+        ));
+    }
+    out
+}
+
+/// Renders the counter and gauge table from an [`obs`] snapshot, one
+/// `name = value` row per entry in name order.
+pub fn counter_table(snapshot: &obs::Snapshot) -> String {
+    if snapshot.counters.is_empty() && snapshot.gauges.is_empty() {
+        return "  (no counters recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!("  {name:<44} = {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str(&format!("  {name:<44} = {value}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_and_counter_tables_render() {
+        let mut snapshot = obs::Snapshot::default();
+        snapshot.spans.insert(
+            "experiment".to_string(),
+            obs::SpanSnapshot {
+                count: 1,
+                total_ns: 2_500_000,
+                threads: 1,
+            },
+        );
+        snapshot.spans.insert(
+            "experiment/repetition".to_string(),
+            obs::SpanSnapshot {
+                count: 5,
+                total_ns: 2_000_000,
+                threads: 2,
+            },
+        );
+        snapshot
+            .counters
+            .insert("forest.trees_built".to_string(), 40);
+        snapshot.gauges.insert("grid.best_score".to_string(), 0.75);
+
+        let phases = phase_table(&snapshot);
+        assert!(phases.contains("experiment"), "{phases}");
+        assert!(phases.contains("repetition"), "{phases}");
+        assert!(phases.contains("5 calls"), "{phases}");
+        assert!(phases.contains("2 threads"), "{phases}");
+
+        let counters = counter_table(&snapshot);
+        assert!(counters.contains("forest.trees_built"), "{counters}");
+        assert!(counters.contains("= 40"), "{counters}");
+        assert!(counters.contains("grid.best_score"), "{counters}");
+
+        assert_eq!(
+            phase_table(&obs::Snapshot::default()),
+            "  (no spans recorded)\n"
+        );
+        assert_eq!(
+            counter_table(&obs::Snapshot::default()),
+            "  (no counters recorded)\n"
+        );
+    }
 
     #[test]
     fn chart_renders_monotone_curve() {

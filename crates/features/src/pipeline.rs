@@ -129,8 +129,10 @@ impl FeatureExtractor {
         census: &Census<'_>,
         edition: Option<Edition>,
     ) -> (Dataset, Vec<(f64, bool)>) {
+        let _span = obs::span!("build_dataset");
         let mut dataset = Dataset::new(self.feature_names.clone(), 2);
         let mut survival = Vec::new();
+        let mut skipped_undecidable = 0u64;
         let fleet = census.fleet();
         let y = self.config.y_days;
         for idx in census.prediction_population_with_boundary(self.config.x_days, y) {
@@ -146,6 +148,7 @@ impl FeatureExtractor {
             // leaves the lifespan open inside the window), so skip
             // such rows instead of panicking.
             let Some(class) = census.classify_with_boundary(db, y) else {
+                skipped_undecidable += 1;
                 continue;
             };
             // Ephemeral databases never reach the prediction instant
@@ -155,6 +158,13 @@ impl FeatureExtractor {
             dataset.push(self.extract(census, db), label);
             let (duration, event) = db.observed_lifespan(census.window_end());
             survival.push((duration.as_days_f64(), event));
+        }
+        if obs::enabled() {
+            obs::count_many(&[
+                ("features.datasets_built", 1),
+                ("features.rows_extracted", dataset.len() as u64),
+                ("features.rows_skipped_undecidable", skipped_undecidable),
+            ]);
         }
         (dataset, survival)
     }

@@ -21,8 +21,11 @@ pub struct ConfusionMatrix {
 }
 
 impl ConfusionMatrix {
-    /// Builds a confusion matrix from parallel prediction/truth slices,
-    /// where class 1 is positive.
+    /// Builds a confusion matrix from parallel prediction/truth slices.
+    /// Class 0 is negative; every nonzero class is positive. Binary
+    /// labels behave as before, and a stray multiclass label (say a 2
+    /// leaking out of a >2-class experiment) counts as positive instead
+    /// of silently landing in the negative cells via `label == 1`.
     ///
     /// # Panics
     ///
@@ -35,7 +38,7 @@ impl ConfusionMatrix {
         );
         let mut m = ConfusionMatrix::default();
         for (&p, &a) in predicted.iter().zip(actual) {
-            m.record(p == 1, a == 1);
+            m.record(p != 0, a != 0);
         }
         m
     }
@@ -209,6 +212,18 @@ mod tests {
         assert_eq!(m.precision(), 1.0);
         assert_eq!(m.recall(), 1.0);
         assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn multiclass_labels_count_as_positive() {
+        // Regression: class 2 used to fail `label == 1` and fall into
+        // the *negative* cells, so [2] vs [2] scored as a true negative.
+        let m = ConfusionMatrix::from_predictions(&[2, 0, 1, 2], &[2, 2, 0, 1]);
+        assert_eq!(m.tp, 2); // (2,2) and (2,1)
+        assert_eq!(m.fp, 1); // (1,0)
+        assert_eq!(m.fn_, 1); // (0,2)
+        assert_eq!(m.tn, 0);
+        assert_eq!(m.accuracy(), 0.5);
     }
 
     #[test]

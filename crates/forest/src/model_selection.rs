@@ -161,11 +161,13 @@ fn fold_accuracy(
     params: &RandomForestParams,
     seed: u64,
 ) -> f64 {
+    let _span = obs::span!("fold");
     let model = RandomForest::fit_shared(data, pre, train, params, seed, false);
     let correct = validation
         .iter()
         .filter(|&&i| model.predict_row(data, i) == data.label(i))
         .count();
+    obs::count("forest.cv_folds_completed", 1);
     correct as f64 / validation.len() as f64
 }
 
@@ -176,6 +178,7 @@ fn fold_accuracy(
 /// `derive_seed(seed, f)` and the mean is accumulated in fold order,
 /// so the result is independent of thread count.
 pub fn cross_val_accuracy(data: &Dataset, params: &RandomForestParams, k: usize, seed: u64) -> f64 {
+    let _span = obs::span!("cross_val");
     let kfold = KFold::new(data, k, seed);
     let splits: Vec<(Vec<usize>, Vec<usize>)> = (0..k).map(|f| kfold.split(f)).collect();
     let rows: Vec<usize> = (0..data.len()).collect();
@@ -241,6 +244,7 @@ impl GridSearch {
     /// whatever the thread count. Folds are built once and shared by
     /// every candidate.
     pub fn run_on(&self, data: &Dataset, rows: &[usize], seed: u64) -> GridSearchResult {
+        let _span = obs::span!("grid_search");
         let k = self.folds;
         let kfold = KFold::over(data, rows, k, seed);
         let splits: Vec<(Vec<usize>, Vec<usize>)> = (0..k).map(|f| kfold.split(f)).collect();

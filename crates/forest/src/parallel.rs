@@ -141,9 +141,16 @@ where
         local
     };
 
+    // Workers adopt the submitting thread's span path so obs spans
+    // opened inside units aggregate under the same path regardless of
+    // which thread ran them (the caller's own drain already has it).
+    let parent_path = obs::SpanPath::capture();
+    let drain_ref = &drain;
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(drain)).collect();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| scope.spawn(|| parent_path.scoped(drain_ref)))
+            .collect();
         for (i, value) in drain() {
             slots[i] = Some(value);
         }

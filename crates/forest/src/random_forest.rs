@@ -140,6 +140,7 @@ impl RandomForest {
         assert!(!rows.is_empty(), "cannot train on an empty dataset");
         assert!(params.n_trees > 0, "need at least one tree");
 
+        let _span = obs::span!("forest_fit");
         let n = rows.len();
         let max_features = params.max_features.resolve(data.feature_count());
 
@@ -214,6 +215,7 @@ impl RandomForest {
                     correct += 1;
                 }
             }
+            obs::count("forest.oob_rows_tallied", voted as u64);
             if voted > 0 {
                 Some(correct as f64 / voted as f64)
             } else {

@@ -194,6 +194,22 @@ struct GrowContext<'a> {
     /// Recycled class-count vectors (one live per recursion level), so
     /// threading counts through `grow` allocates only at peak depth.
     counts_free: Vec<Vec<f64>>,
+    /// Plain build counters, flushed to `obs` once per fitted tree so
+    /// the hot paths never touch a lock.
+    stats: TreeBuildStats,
+}
+
+/// Counters accumulated while growing one tree. Kept as plain integers
+/// on the context (no atomics, no locks) and published in a single
+/// `obs::count_many` call when `fit_presorted` returns.
+#[derive(Default)]
+struct TreeBuildStats {
+    nodes_expanded: u64,
+    leaves_created: u64,
+    dense_scans: u64,
+    sparse_scans: u64,
+    counts_reused: u64,
+    counts_allocated: u64,
 }
 
 impl<'a> GrowContext<'a> {
@@ -212,6 +228,7 @@ impl<'a> GrowContext<'a> {
             constant: pre.uniques.iter().map(|u| u.len() < 2).collect(),
             constant_marks: Vec::new(),
             counts_free: Vec::new(),
+            stats: TreeBuildStats::default(),
         }
     }
 
@@ -254,6 +271,21 @@ impl<'a> GrowContext<'a> {
         }
         order[write..end].copy_from_slice(scratch);
         write - start
+    }
+
+    /// Takes a counts vector from the free list, tracking whether the
+    /// request was served by reuse or a fresh allocation.
+    fn pop_counts_vec(&mut self) -> Vec<f64> {
+        match self.counts_free.pop() {
+            Some(v) => {
+                self.stats.counts_reused += 1;
+                v
+            }
+            None => {
+                self.stats.counts_allocated += 1;
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -318,6 +350,17 @@ impl DecisionTree {
             total,
             rng,
         );
+        if obs::enabled() {
+            obs::count_many(&[
+                ("forest.trees_built", 1),
+                ("forest.nodes_expanded", ctx.stats.nodes_expanded),
+                ("forest.leaves_created", ctx.stats.leaves_created),
+                ("forest.split_scan.dense", ctx.stats.dense_scans),
+                ("forest.split_scan.sparse", ctx.stats.sparse_scans),
+                ("forest.counts_reused", ctx.stats.counts_reused),
+                ("forest.counts_allocated", ctx.stats.counts_allocated),
+            ]);
+        }
         tree
     }
 
@@ -384,15 +427,16 @@ impl DecisionTree {
         // right side is an exact subtraction from the parent. Count
         // vectors are recycled through a free list; one lives per level
         // of the recursion, so the pool stays tree-depth sized.
-        let mut left_counts = ctx.counts_free.pop().unwrap_or_default();
+        let mut left_counts = ctx.pop_counts_vec();
         left_counts.clear();
         left_counts.extend_from_slice(&ctx.split_counts);
-        let mut right_counts = ctx.counts_free.pop().unwrap_or_default();
+        let mut right_counts = ctx.pop_counts_vec();
         right_counts.clear();
         right_counts.extend(counts.iter().zip(&left_counts).map(|(p, l)| p - l));
         ctx.counts_free.push(counts);
 
         // Reserve this node's slot before growing children.
+        ctx.stats.nodes_expanded += 1;
         self.nodes.push(Node::Leaf {
             probabilities: Vec::new(),
         });
@@ -436,6 +480,7 @@ impl DecisionTree {
     fn make_leaf(&mut self, ctx: &mut GrowContext, counts: Vec<f64>, n: usize) -> usize {
         let probabilities = counts.iter().map(|c| c / n as f64).collect();
         ctx.counts_free.push(counts);
+        ctx.stats.leaves_created += 1;
         self.nodes.push(Node::Leaf { probabilities });
         self.node_count_leaves += 1;
         self.nodes.len() - 1
@@ -540,6 +585,7 @@ impl DecisionTree {
             feature_order,
             constant,
             constant_marks,
+            stats,
             ..
         } = ctx;
         let node = &order[start..end];
@@ -637,6 +683,12 @@ impl DecisionTree {
                     (lo, hi, false)
                 }
             };
+
+            if dense {
+                stats.dense_scans += 1;
+            } else {
+                stats.sparse_scans += 1;
+            }
 
             if dense && code_lo == code_hi {
                 // One rank in this node: constant for the subtree.
@@ -751,6 +803,7 @@ impl DecisionTree {
             feature_order,
             constant,
             constant_marks,
+            stats,
             ..
         } = ctx;
         let node = &order[start..end];
@@ -846,6 +899,12 @@ impl DecisionTree {
                     (lo, hi, false)
                 }
             };
+
+            if dense {
+                stats.dense_scans += 1;
+            } else {
+                stats.sparse_scans += 1;
+            }
 
             if dense && code_lo == code_hi {
                 // One rank in this node: constant for the subtree.

@@ -1,0 +1,40 @@
+//! `trace-schema-check` — validates the structure of a
+//! `run_trace.json` so sink drift fails the build.
+//!
+//! ```text
+//! cargo run -p survdb-obs --bin trace-schema-check -- [PATH ...]
+//! ```
+//!
+//! Each PATH (default `artifacts/run_trace.json`) must parse and
+//! satisfy the `survdb-run-trace/v1` schema (see `obs::trace`). Exits
+//! nonzero on the first violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() {
+        vec!["artifacts/run_trace.json".to_string()]
+    } else {
+        args
+    };
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs::error!("schema-check", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = obs::trace::validate_run_trace(&text) {
+            obs::error!("schema-check", "{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "[schema-check] {path}: valid {}",
+            obs::trace::RUN_TRACE_SCHEMA
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,82 @@
+//! Structured events with levels and a machine-readable sink.
+
+use crate::registry;
+use std::fmt;
+use std::io::Write;
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Diagnostic detail; recorded, never echoed by default.
+    Debug,
+    /// Progress and milestones.
+    Info,
+    /// Something degraded but the run continues.
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+impl Level {
+    /// Lowercase name (`"warn"`), as rendered in the run trace.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses the lowercase name back into a level.
+    pub fn parse_name(s: &str) -> Option<Level> {
+        Some(match s {
+            "debug" => Level::Debug,
+            "info" => Level::Info,
+            "warn" => Level::Warn,
+            "error" => Level::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Records a structured event.
+///
+/// With a registry installed the event lands in its machine-readable
+/// log and echoes to stderr at the registry's echo level and above
+/// (default `Warn`). With none installed, `Info` and above echo to
+/// stderr so command-line tools stay usable without wiring a registry
+/// first.
+pub fn event(level: Level, target: &'static str, message: String) {
+    match registry::record_event(level, target, message.clone()) {
+        Some(true) => emit_stderr(level, target, &message),
+        Some(false) => {}
+        None => {
+            if level >= Level::Info {
+                emit_stderr(level, target, &message);
+            }
+        }
+    }
+}
+
+/// Like [`event`], but only renders the message when it will be
+/// recorded or echoed — the form the level macros expand to.
+pub fn event_with(level: Level, target: &'static str, message: impl FnOnce() -> String) {
+    if registry::enabled() || level >= Level::Info {
+        event(level, target, message());
+    }
+}
+
+fn emit_stderr(level: Level, target: &'static str, message: &str) {
+    // Deliberately a locked writeln rather than the std stderr print
+    // macro: this sink is the one place obs writes to stderr, and CI
+    // grep-gates that macro out of `crates/`.
+    let stderr = std::io::stderr();
+    let _ = writeln!(stderr.lock(), "[{level} {target}] {message}");
+}

@@ -1,0 +1,389 @@
+//! A minimal deterministic JSON tree: renderer and parser.
+//!
+//! `obs` sits below every other workspace crate, so it cannot use
+//! `survdb::json`; this module mirrors its rendering rules (two-space
+//! pretty printing, keys in push order, the one float rule: finite
+//! integral values keep a `.1` decimal, everything else prints Rust's
+//! shortest roundtrip form, non-finite becomes `null`). The parser
+//! exists so the `trace-schema-check` binary can validate
+//! `run_trace.json` without external dependencies.
+
+/// A JSON value with deterministic rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonV {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (renders without a decimal point).
+    UInt(u64),
+    /// A float (renders with at least one decimal; non-finite → null).
+    Float(f64),
+    /// A string (escaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonV>),
+    /// An object; keys render in push order.
+    Obj(Vec<(String, JsonV)>),
+}
+
+impl JsonV {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, JsonV)>) -> JsonV {
+        JsonV::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders as pretty-printed JSON (two-space indent) with a
+    /// trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Looks up a key of an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonV> {
+        match self {
+            JsonV::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonV::Null => out.push_str("null"),
+            JsonV::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonV::UInt(v) => out.push_str(&v.to_string()),
+            JsonV::Float(v) => push_f64(out, *v),
+            JsonV::Str(s) => push_escaped(out, s),
+            JsonV::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonV::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    push_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`JsonV`] tree. Object key order is
+/// preserved. Numbers without `.`/`e` and without a sign parse as
+/// [`JsonV::UInt`]; everything else numeric parses as [`JsonV::Float`].
+pub fn parse(text: &str) -> Result<JsonV, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonV) -> Result<JsonV, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonV, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonV::Null),
+            Some(b't') => self.literal("true", JsonV::Bool(true)),
+            Some(b'f') => self.literal("false", JsonV::Bool(false)),
+            Some(b'"') => Ok(JsonV::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "surrogate \\u escape".to_string())?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonV, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !text.contains(['.', 'e', 'E', '-']) {
+            text.parse::<u64>()
+                .map(JsonV::UInt)
+                .map_err(|e| format!("bad integer {text}: {e}"))
+        } else {
+            text.parse::<f64>()
+                .map(JsonV::Float)
+                .map_err(|e| format!("bad number {text}: {e}"))
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonV, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonV::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonV::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonV, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonV::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonV::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_like_survdb_json() {
+        let v = JsonV::obj(vec![
+            ("name", JsonV::Str("x".into())),
+            ("points", JsonV::Arr(vec![JsonV::UInt(1), JsonV::UInt(2)])),
+            ("empty", JsonV::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\n  \"name\": \"x\",\n  \"points\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}\n"
+        );
+        let mut f = String::new();
+        push_f64(&mut f, 17.0);
+        assert_eq!(f, "17.0");
+    }
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let v = JsonV::obj(vec![
+            ("a", JsonV::UInt(7)),
+            ("b", JsonV::Float(0.125)),
+            ("c", JsonV::Str("two\nlines \"quoted\"".into())),
+            (
+                "d",
+                JsonV::Arr(vec![JsonV::Null, JsonV::Bool(true), JsonV::Obj(vec![])]),
+            ),
+        ]);
+        let text = v.render();
+        let back = parse(&text).expect("parses");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_distinguishes_uint_and_float() {
+        assert_eq!(parse("42").unwrap(), JsonV::UInt(42));
+        assert_eq!(parse("42.0").unwrap(), JsonV::Float(42.0));
+        assert_eq!(parse("-1").unwrap(), JsonV::Float(-1.0));
+        assert_eq!(parse("1e3").unwrap(), JsonV::Float(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! The metrics registry and its scoped process-wide installation.
+
+use crate::event::Level;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// One span path's accumulated statistics.
+#[derive(Debug, Default, Clone)]
+struct SpanStat {
+    count: u64,
+    total_ns: u128,
+    threads: BTreeSet<u64>,
+}
+
+/// One recorded structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Arrival order within the registry (0-based).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// The subsystem that emitted the event (static, lowercase).
+    pub target: &'static str,
+    /// Rendered message text.
+    pub message: String,
+}
+
+pub(crate) struct Inner {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    events: Mutex<Vec<EventRecord>>,
+    event_seq: AtomicU64,
+    stderr_level: Level,
+}
+
+impl Inner {
+    fn new(stderr_level: Level) -> Inner {
+        Inner {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+            event_seq: AtomicU64::new(0),
+            stderr_level,
+        }
+    }
+
+    pub(crate) fn record_span(&self, path: String, elapsed: Duration, thread: u64) {
+        let mut spans = lock(&self.spans);
+        let stat = spans.entry(path).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed.as_nanos();
+        stat.threads.insert(thread);
+    }
+
+    pub(crate) fn record_event(&self, level: Level, target: &'static str, message: String) -> bool {
+        let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
+        lock(&self.events).push(EventRecord {
+            seq,
+            level,
+            target,
+            message,
+        });
+        level >= self.stderr_level
+    }
+}
+
+/// A collection of counters, gauges, span statistics, and events.
+///
+/// Global-free: create one where the run starts, [`install`] it for
+/// the duration, and [`snapshot`] it at the end. Dropping the registry
+/// (after its guard) releases everything.
+///
+/// [`install`]: Registry::install
+/// [`snapshot`]: Registry::snapshot
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry. Events at `Warn` and above are echoed
+    /// to stderr while this registry is installed.
+    pub fn new() -> Registry {
+        Registry::with_stderr_level(Level::Warn)
+    }
+
+    /// A registry echoing events at `level` and above to stderr while
+    /// installed (use `Level::Error` to quieten, `Level::Debug` for
+    /// everything).
+    pub fn with_stderr_level(level: Level) -> Registry {
+        Registry {
+            inner: Arc::new(Inner::new(level)),
+        }
+    }
+
+    /// Installs this registry into the process-wide slot until the
+    /// returned guard drops. Instrumentation throughout the workspace
+    /// reports to the installed registry; with none installed every
+    /// probe is a single relaxed atomic load.
+    ///
+    /// Installs nest: dropping the guard restores whatever was
+    /// installed before. The guard should drop on the thread that
+    /// created it, after all parallel work under it has joined.
+    #[must_use = "the registry is uninstalled when the guard drops"]
+    pub fn install(&self) -> InstallGuard {
+        let mut slot = SLOT.write().unwrap_or_else(|e| e.into_inner());
+        let prev = slot.replace(Arc::clone(&self.inner));
+        ENABLED.store(true, Ordering::Release);
+        InstallGuard { prev }
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let spans = lock(&self.inner.spans)
+            .iter()
+            .map(|(path, stat)| {
+                (
+                    path.clone(),
+                    SpanSnapshot {
+                        count: stat.count,
+                        total_ns: stat.total_ns,
+                        threads: stat.threads.len() as u64,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters: lock(&self.inner.counters)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: lock(&self.inner.gauges)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            spans,
+            events: lock(&self.inner.events).clone(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// Scoped-install guard; see [`Registry::install`].
+pub struct InstallGuard {
+    prev: Option<Arc<Inner>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let mut slot = SLOT.write().unwrap_or_else(|e| e.into_inner());
+        *slot = self.prev.take();
+        ENABLED.store(slot.is_some(), Ordering::Release);
+    }
+}
+
+static SLOT: RwLock<Option<Arc<Inner>>> = RwLock::new(None);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a registry is currently installed (one relaxed load — this
+/// is the fast path every instrumentation probe starts with).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Inner) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    let slot = SLOT.read().unwrap_or_else(|e| e.into_inner());
+    slot.as_ref().map(|inner| f(inner))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Adds `delta` to the named counter of the installed registry.
+///
+/// Counter names are `'static` dotted paths (`"forest.trees_built"`).
+/// Counts must describe deterministic work so the trace's
+/// deterministic section stays byte-identical across runs.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_current(|inner| {
+        *lock(&inner.counters).entry(name).or_insert(0) += delta;
+    });
+}
+
+/// Adds several counters under one registry access — use when flushing
+/// locally accumulated statistics (for example per-tree build stats).
+#[inline]
+pub fn count_many(entries: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    with_current(|inner| {
+        let mut counters = lock(&inner.counters);
+        for &(name, delta) in entries {
+            *counters.entry(name).or_insert(0) += delta;
+        }
+    });
+}
+
+/// Sets the named gauge (last write wins). Gauge values land in the
+/// deterministic trace section: set them only from deterministic
+/// quantities (population sizes, configuration), never timings.
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_current(|inner| {
+        lock(&inner.gauges).insert(name, value);
+    });
+}
+
+pub(crate) fn record_span(path: String, elapsed: Duration, thread: u64) {
+    with_current(|inner| inner.record_span(path, elapsed, thread));
+}
+
+/// Records an event; returns whether it should echo to stderr, or
+/// `None` when no registry is installed.
+pub(crate) fn record_event(level: Level, target: &'static str, message: String) -> Option<bool> {
+    with_current(|inner| inner.record_event(level, target, message))
+}
+
+static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense per-thread id for span attribution (assignment order
+/// is scheduling-dependent, so thread data is nondeterministic-only).
+pub(crate) fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// One span path's statistics in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Times the span was entered (deterministic).
+    pub count: u64,
+    /// Total wall-clock nanoseconds across entries (nondeterministic).
+    pub total_ns: u128,
+    /// Distinct threads that executed the span (nondeterministic).
+    pub threads: u64,
+}
+
+/// A point-in-time copy of a registry's contents.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Span statistics by `/`-joined path.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Every recorded event in arrival order.
+    pub events: Vec<EventRecord>,
+}
+
+impl Snapshot {
+    /// Event tallies keyed `"<level>:<target>"` — the deterministic
+    /// view of the event log (arrival order and message text may vary
+    /// across schedules; the set of events emitted does not).
+    pub fn event_counts(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            *out.entry(format!("{}:{}", e.level, e.target)).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::INSTALL_LOCK;
+
+    #[test]
+    fn disabled_probes_are_no_ops() {
+        let _serial = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!enabled());
+        count("nope", 3);
+        gauge("nope", 1.0);
+        crate::event_with(Level::Debug, "nope", || unreachable!("must not render"));
+        let registry = Registry::new();
+        assert!(registry.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _serial = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let registry = Registry::new();
+        let guard = registry.install();
+        count("a.one", 2);
+        count("a.one", 3);
+        count_many(&[("a.one", 1), ("b.two", 10)]);
+        gauge("g", 0.5);
+        gauge("g", 1.5);
+        drop(guard);
+        count("a.one", 100); // after uninstall: dropped
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["a.one"], 6);
+        assert_eq!(snapshot.counters["b.two"], 10);
+        assert_eq!(snapshot.gauges["g"], 1.5);
+    }
+
+    #[test]
+    fn installs_nest_and_restore() {
+        let _serial = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let outer = Registry::new();
+        let inner = Registry::new();
+        let outer_guard = outer.install();
+        count("seen", 1);
+        {
+            let inner_guard = inner.install();
+            count("seen", 1);
+            drop(inner_guard);
+        }
+        count("seen", 1);
+        drop(outer_guard);
+        assert_eq!(outer.snapshot().counters["seen"], 2);
+        assert_eq!(inner.snapshot().counters["seen"], 1);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn events_record_with_levels() {
+        let _serial = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let registry = Registry::with_stderr_level(Level::Error);
+        let guard = registry.install();
+        crate::debug!("ingest", "repaired {} rows", 4);
+        crate::warn!("ingest", "quarantined {}", "db-1");
+        crate::warn!("ingest", "quarantined {}", "db-2");
+        drop(guard);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.events.len(), 3);
+        assert_eq!(snapshot.events[0].message, "repaired 4 rows");
+        let counts = snapshot.event_counts();
+        assert_eq!(counts["debug:ingest"], 1);
+        assert_eq!(counts["warn:ingest"], 2);
+        // Sequence numbers are dense and ordered on one thread.
+        let seqs: Vec<u64> = snapshot.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

@@ -231,6 +231,7 @@ impl FaultInjector {
     /// the faulted *arrival* order (it is not re-sorted), so reordering
     /// faults survive into ingestion.
     pub fn inject(&self, stream: &EventStream) -> (EventStream, FaultSummary) {
+        let _span = obs::span!("inject_faults");
         let plan = &self.plan;
         let mut summary = FaultSummary {
             events_in: stream.len(),
@@ -338,6 +339,26 @@ impl FaultInjector {
         }
 
         summary.events_out = out.len();
+        if obs::enabled() {
+            obs::count_many(&[
+                ("faults.injections_run", 1),
+                ("faults.events_in", summary.events_in as u64),
+                ("faults.events_out", summary.events_out as u64),
+                ("faults.events_dropped", summary.dropped_events as u64),
+                ("faults.events_duplicated", summary.duplicated_events as u64),
+                ("faults.events_reordered", summary.reordered_events as u64),
+                ("faults.slos_corrupted", summary.corrupted_slos as u64),
+                (
+                    "faults.databases_truncated",
+                    summary.truncated_databases as u64,
+                ),
+                ("faults.events_truncated", summary.truncated_events as u64),
+                (
+                    "faults.databases_orphaned",
+                    summary.orphaned_databases as u64,
+                ),
+            ]);
+        }
         (EventStream::from_events_unsorted(out), summary)
     }
 }

@@ -451,6 +451,72 @@ impl IngestReport {
             && self.repairs == RepairCounts::default()
             && self.quarantines == QuarantineCounts::default()
     }
+
+    /// This report as `obs` counter entries, one per field. The lenient
+    /// path publishes exactly these, so a `run_trace.json` section can
+    /// be reconciled 1:1 against the report (the metrics-consistency
+    /// test does).
+    pub fn metric_entries(&self) -> [(&'static str, u64); 19] {
+        let r = &self.repairs;
+        let q = &self.quarantines;
+        [
+            ("ingest.events_total", self.events_total as u64),
+            ("ingest.events_discarded", self.events_discarded as u64),
+            (
+                "ingest.databases_recovered",
+                self.databases_recovered as u64,
+            ),
+            (
+                "ingest.databases_quarantined",
+                self.databases_quarantined as u64,
+            ),
+            ("ingest.repair.resorted_events", r.resorted_events as u64),
+            ("ingest.repair.duplicate_events", r.duplicate_events as u64),
+            (
+                "ingest.repair.duplicate_creates",
+                r.duplicate_creates as u64,
+            ),
+            ("ingest.repair.duplicate_drops", r.duplicate_drops as u64),
+            ("ingest.repair.post_drop_events", r.post_drop_events as u64),
+            (
+                "ingest.repair.synthesized_creation_samples",
+                r.synthesized_creation_samples as u64,
+            ),
+            ("ingest.repair.clamped_samples", r.clamped_samples as u64),
+            (
+                "ingest.repair.invalid_samples_discarded",
+                r.invalid_samples_discarded as u64,
+            ),
+            (
+                "ingest.repair.out_of_order_samples",
+                r.out_of_order_samples as u64,
+            ),
+            (
+                "ingest.repair.repaired_creation_slos",
+                r.repaired_creation_slos as u64,
+            ),
+            (
+                "ingest.repair.dropped_unknown_slo_changes",
+                r.dropped_unknown_slo_changes as u64,
+            ),
+            (
+                "ingest.quarantine.orphaned_events",
+                q.orphaned_events as u64,
+            ),
+            (
+                "ingest.quarantine.orphaned_databases",
+                q.orphaned_databases as u64,
+            ),
+            (
+                "ingest.quarantine.unknown_creation_slo",
+                q.unknown_creation_slo as u64,
+            ),
+            (
+                "ingest.quarantine.missing_samples",
+                q.missing_samples as u64,
+            ),
+        ]
+    }
 }
 
 /// Folds a possibly degraded stream into as many records as can be
@@ -465,6 +531,7 @@ pub fn reconstruct_records_lenient(
     stream: &EventStream,
     policy: &RecoveryPolicy,
 ) -> (Vec<DatabaseRecord>, IngestReport) {
+    let _span = obs::span!("ingest");
     let mut report = IngestReport {
         events_total: stream.len(),
         ..IngestReport::default()
@@ -668,6 +735,20 @@ pub fn reconstruct_records_lenient(
     report.databases_recovered = records.len();
     report.databases_quarantined = quarantined_ids.len();
     report.quarantined_ids = quarantined_ids;
+    if obs::enabled() {
+        obs::count_many(&report.metric_entries());
+        if !report.is_clean() {
+            obs::info!(
+                "ingest",
+                "recovered {} databases ({} quarantined, {} repairs, {} of {} events discarded)",
+                report.databases_recovered,
+                report.databases_quarantined,
+                report.repairs.total(),
+                report.events_discarded,
+                report.events_total
+            );
+        }
+    }
     (records, report)
 }
 

@@ -1,0 +1,91 @@
+//! Pins the run trace's determinism contract: the `deterministic`
+//! section must be byte-identical across consecutive runs and across
+//! thread limits, and the full rendered trace must pass the schema
+//! validator the `trace-schema-check` binary applies in CI.
+//!
+//! Everything runs inside one `#[test]` because the registry slot is
+//! process-wide: concurrent installs from parallel test threads would
+//! cross-contaminate the snapshots being compared.
+
+use forest::parallel::{set_thread_limit, thread_limit};
+use survdb::experiment::{Experiment, ExperimentConfig, GridPreset};
+use telemetry::{
+    reconstruct_records_lenient, Census, EventStream, FaultInjector, FaultPlan, Fleet, FleetConfig,
+    RecoveryPolicy, RegionConfig,
+};
+
+/// One instrumented pass over every layer: fleet generation, fault
+/// injection, lenient ingest, feature extraction, and the repeated
+/// train/evaluate experiment (which fans out over the parallel work
+/// queue, so thread scheduling varies run to run).
+fn traced_pipeline() -> obs::Snapshot {
+    let registry = obs::Registry::with_stderr_level(obs::Level::Error);
+    let guard = registry.install();
+
+    let fleet = Fleet::generate(FleetConfig::new(RegionConfig::region_1().scaled(0.08), 11));
+    let stream = EventStream::of_fleet(&fleet);
+    let plan = FaultPlan {
+        drop_size: 0.10,
+        drop_utilization: 0.10,
+        duplicate: 0.05,
+        reorder: 0.05,
+        orphan: 0.02,
+        ..FaultPlan::none(77)
+    };
+    let (degraded, _faults) = FaultInjector::new(plan).inject(&stream);
+    let (_records, _report) = reconstruct_records_lenient(&degraded, &RecoveryPolicy::default());
+
+    let census = Census::new(&fleet);
+    let experiment = Experiment::new(ExperimentConfig {
+        repetitions: 2,
+        grid: GridPreset::Off,
+        ..ExperimentConfig::default()
+    });
+    let _result = experiment.run(&census, None);
+
+    drop(guard);
+    registry.snapshot()
+}
+
+#[test]
+fn deterministic_section_is_stable_across_runs_and_thread_counts() {
+    let baseline = traced_pipeline();
+    assert!(
+        !baseline.counters.is_empty(),
+        "instrumented pipeline recorded no counters"
+    );
+    assert!(
+        baseline.spans.contains_key("experiment"),
+        "experiment span missing; got {:?}",
+        baseline.spans.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        baseline.spans.contains_key("experiment/repetition"),
+        "repetition spans must nest under the experiment span"
+    );
+    let det = obs::trace::deterministic_section(&baseline);
+
+    // Consecutive runs agree byte for byte.
+    let again = obs::trace::deterministic_section(&traced_pipeline());
+    assert_eq!(det, again, "deterministic section drifted between runs");
+
+    // A serial run and a wide run agree too: counters derive from
+    // seeded index-slotted work, span paths propagate across the
+    // worker threads, and thread attribution stays out of the
+    // deterministic section.
+    set_thread_limit(Some(1));
+    let serial = obs::trace::deterministic_section(&traced_pipeline());
+    set_thread_limit(Some(8));
+    let wide = obs::trace::deterministic_section(&traced_pipeline());
+    set_thread_limit(None);
+    assert_eq!(
+        det, serial,
+        "1-thread run changed the deterministic section"
+    );
+    assert_eq!(det, wide, "8-thread run changed the deterministic section");
+
+    // The full rendering (including the nondeterministic side) passes
+    // the same structural validation CI applies to emitted artifacts.
+    let text = obs::trace::render_run_trace("test", &baseline, thread_limit());
+    obs::trace::validate_run_trace(&text).expect("rendered run trace must be schema-valid");
+}
