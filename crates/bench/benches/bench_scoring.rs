@@ -1,0 +1,71 @@
+//! Criterion benches for the serving layer: batch-scoring throughput
+//! and the model format's render/parse round trip.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use forest::{Dataset, RandomForest, RandomForestParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serve::{score_batch, ModelMeta, SavedModel};
+
+fn dataset(n: usize, features: usize, seed: u64) -> Dataset {
+    let names: Vec<String> = (0..features).map(|j| format!("f{j}")).collect();
+    let mut data = Dataset::new(names, 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..features).map(|_| rng.gen::<f64>()).collect();
+        let signal = row[0] * 2.0 + row[1] - row[2] * 0.5 + rng.gen::<f64>() * 0.4;
+        data.push(row, (signal > 1.45) as usize);
+    }
+    data
+}
+
+fn fitted(data: &Dataset) -> RandomForest {
+    let params = RandomForestParams {
+        n_trees: 40,
+        ..RandomForestParams::default()
+    };
+    RandomForest::fit(data, &params, 42)
+}
+
+fn bench_score_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_throughput");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let data = dataset(n, 30, 1);
+        let model = fitted(&data);
+        let q = data.class_fraction(1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("score_batch", n), &data, |b, data| {
+            b.iter(|| score_batch(black_box(&model), black_box(data), q))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_format(c: &mut Criterion) {
+    let data = dataset(2_000, 30, 2);
+    let model = SavedModel {
+        forest: fitted(&data),
+        meta: ModelMeta {
+            positive_fraction: data.class_fraction(1),
+            seed: 42,
+            params: RandomForestParams {
+                n_trees: 40,
+                ..RandomForestParams::default()
+            },
+            grid: None,
+        },
+    };
+    let text = model.render();
+    let mut group = c.benchmark_group("model_format");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("render", |b| b.iter(|| black_box(&model).render()));
+    group.bench_function("parse", |b| {
+        b.iter(|| SavedModel::parse(black_box(&text)).expect("own render parses"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_throughput, bench_model_format);
+criterion_main!(benches);

@@ -1,0 +1,254 @@
+//! `scored` — loads (or trains and saves) a `survdb-model/v1` forest,
+//! streams feature rows through the batched scoring engine, and writes
+//! `artifacts/scoring.json`.
+//!
+//! ```text
+//! cargo run -p bench --release --bin scored -- [flags]
+//!
+//! flags: --scale F      population scale for the scoring fleet (default 0.25)
+//!        --seed N       master seed (default 2018)
+//!        --out DIR      artifact directory (default artifacts/)
+//!        --model PATH   load an existing model instead of training one
+//!        --tune         when training, grid-search the hyper-parameters
+//!                       and persist the provenance (default: single fit)
+//! ```
+//!
+//! Without `--model`, the binary trains on the fixture fleet, saves the
+//! model to `OUT/model.json`, reloads it from disk, and scores with the
+//! **loaded** copy — asserting first that the loaded forest reproduces
+//! the in-memory predictions bitwise and that save→load→save is
+//! byte-identical. The deterministic section of `scoring.json` is
+//! byte-stable across thread counts; throughput lives in the
+//! nondeterministic section.
+
+use features::{FeatureConfig, FeatureExtractor};
+use forest::tree::TreeParams;
+use forest::{Dataset, GridSearch, MaxFeatures, RandomForest, RandomForestParams};
+use serve::{score_batch, GridProvenance, ModelMeta, SavedModel, ScoringTiming, MODEL_FILE};
+use std::path::PathBuf;
+use std::time::Instant;
+use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+    model: Option<PathBuf>,
+    tune: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        scale: 0.25,
+        seed: 2018,
+        out: PathBuf::from("artifacts"),
+        model: None,
+        tune: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--scale" => {
+                options.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                options.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                options.out = PathBuf::from(value()?);
+                i += 2;
+            }
+            "--model" => {
+                options.model = Some(PathBuf::from(value()?));
+                i += 2;
+            }
+            "--tune" => {
+                options.tune = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn scoring_dataset(scale: f64, seed: u64) -> Dataset {
+    let fleet = Fleet::generate(FleetConfig::new(
+        RegionConfig::region_1().scaled(scale),
+        seed,
+    ));
+    let census = Census::new(&fleet);
+    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+    extractor.build_dataset(&census, None).0
+}
+
+fn tuning_candidates() -> Vec<RandomForestParams> {
+    let mut out = Vec::new();
+    for &n_trees in &[20usize, 40] {
+        for &max_depth in &[8usize, 24] {
+            out.push(RandomForestParams {
+                n_trees,
+                tree: TreeParams {
+                    max_depth,
+                    ..TreeParams::default()
+                },
+                max_features: MaxFeatures::Sqrt,
+                bootstrap: true,
+            });
+        }
+    }
+    out
+}
+
+/// Trains on `data`, saves to `OUT/model.json`, reloads from disk, and
+/// verifies the loaded copy against the in-memory one bitwise. Returns
+/// the loaded model.
+fn train_and_persist(data: &Dataset, options: &Options) -> SavedModel {
+    let (params, grid) = if options.tune {
+        println!(
+            "[scored] tuning over {} candidates ...",
+            tuning_candidates().len()
+        );
+        let result = GridSearch::new(tuning_candidates(), 5).run(data, options.seed);
+        (
+            result.best_params,
+            Some(GridProvenance::from_result(&result)),
+        )
+    } else {
+        (RandomForestParams::default(), None)
+    };
+    println!(
+        "[scored] training {} trees on {} examples x {} features",
+        params.n_trees,
+        data.len(),
+        data.feature_count()
+    );
+    let forest = RandomForest::fit(data, &params, options.seed);
+    let saved = SavedModel {
+        forest,
+        meta: ModelMeta {
+            positive_fraction: data.class_fraction(1),
+            seed: options.seed,
+            params,
+            grid,
+        },
+    };
+
+    let path = options.out.join(MODEL_FILE);
+    if let Err(e) = saved.save(&path) {
+        obs::error!("scored", "cannot save model to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let loaded = match SavedModel::load(&path) {
+        Ok(m) => m,
+        Err(e) => {
+            obs::error!("scored", "cannot reload {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+
+    // The tentpole guarantee: persistence is lossless.
+    for i in 0..data.len() {
+        assert_eq!(
+            loaded.forest.predict_proba_row(data, i),
+            saved.forest.predict_proba_row(data, i),
+            "loaded model diverged from the in-memory forest on row {i}"
+        );
+    }
+    assert_eq!(
+        loaded.render(),
+        saved.render(),
+        "save-load-save is not byte-identical"
+    );
+    println!(
+        "[scored] wrote {} and verified the reload bitwise on {} rows",
+        path.display(),
+        data.len()
+    );
+    loaded
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("scored", "{e}");
+            obs::error!(
+                "scored",
+                "usage: scored [--scale F] [--seed N] [--out DIR] [--model PATH] [--tune]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let registry = obs::Registry::with_stderr_level(obs::Level::Info);
+    let _trace = registry.install();
+
+    println!(
+        "[scored] building scoring dataset (scale {}, seed {})",
+        options.scale, options.seed
+    );
+    let data = scoring_dataset(options.scale, options.seed);
+
+    let model = match &options.model {
+        Some(path) => match SavedModel::load(path) {
+            Ok(m) => {
+                println!(
+                    "[scored] loaded {} ({} trees, {} features)",
+                    path.display(),
+                    m.forest.tree_count(),
+                    m.forest.feature_names().len()
+                );
+                m
+            }
+            Err(e) => {
+                obs::error!("scored", "cannot load {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => train_and_persist(&data, &options),
+    };
+
+    if model.forest.feature_names() != data.feature_names() {
+        obs::error!(
+            "scored",
+            "model was trained on a different feature schema than this fleet produces"
+        );
+        std::process::exit(1);
+    }
+
+    let started = Instant::now();
+    let batch = score_batch(&model.forest, &data, model.meta.positive_fraction);
+    let elapsed = started.elapsed().as_secs_f64();
+    let summary = batch.summary();
+
+    println!();
+    print!("{}", survdb::report::scoring_block(&summary));
+
+    let timing = ScoringTiming {
+        thread_limit: forest::parallel::thread_limit(),
+        elapsed_ms: elapsed * 1000.0,
+        rows_per_second: if elapsed > 0.0 {
+            summary.rows as f64 / elapsed
+        } else {
+            0.0
+        },
+    };
+    match serve::write_scoring(&options.out, "scored", &model, &summary, &timing) {
+        Ok(path) => println!("\n[scored] wrote {}", path.display()),
+        Err(e) => {
+            obs::error!("scored", "cannot write scoring artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    bench::finish_trace(&registry, "scored", &options.out);
+}

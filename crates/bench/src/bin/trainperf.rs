@@ -256,6 +256,71 @@ fn main() {
         candidates.len()
     );
 
+    // --- model persistence --------------------------------------------
+    // Save the fitted forest through the survdb-model/v1 format, reload
+    // it from disk, and require the loaded copy to be indistinguishable
+    // from the in-memory one: bitwise-equal predictions on every row,
+    // the same confident/uncertain partition, and a byte-identical
+    // re-render.
+    let saved = serve::SavedModel {
+        forest: model.clone(),
+        meta: serve::ModelMeta {
+            positive_fraction: data.class_fraction(1),
+            seed: options.seed,
+            params,
+            grid: Some(serve::GridProvenance::from_result(&grid)),
+        },
+    };
+    let model_path = options.out.join(serve::MODEL_FILE);
+    if let Err(e) = saved.save(&model_path) {
+        obs::error!(
+            "trainperf",
+            "cannot save model to {}: {e}",
+            model_path.display()
+        );
+        std::process::exit(1);
+    }
+    let loaded = match serve::SavedModel::load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            obs::error!("trainperf", "cannot reload {}: {e}", model_path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut persisted_mismatches = 0usize;
+    for i in 0..data.len() {
+        if loaded.forest.predict_proba_row(&data, i) != model.predict_proba_row(&data, i) {
+            persisted_mismatches += 1;
+        }
+    }
+    assert_eq!(
+        persisted_mismatches, 0,
+        "loaded model diverged from the in-memory forest on {persisted_mismatches} rows"
+    );
+    let q = saved.meta.positive_fraction;
+    let in_memory_positives: Vec<f64> = (0..data.len())
+        .map(|i| model.predict_positive_proba_row(&data, i))
+        .collect();
+    let loaded_positives: Vec<f64> = (0..data.len())
+        .map(|i| loaded.forest.predict_positive_proba_row(&data, i))
+        .collect();
+    assert_eq!(
+        forest::PartitionedPredictions::partition(&loaded_positives, q),
+        forest::PartitionedPredictions::partition(&in_memory_positives, q),
+        "confident/uncertain partition diverged after reload"
+    );
+    let rendered = saved.render();
+    assert_eq!(
+        loaded.render(),
+        rendered,
+        "save-load-save is not byte-identical"
+    );
+    println!(
+        "[trainperf] persisted model round-trips bitwise on all {} rows ({} bytes)",
+        data.len(),
+        rendered.len()
+    );
+
     println!("\n[trainperf] timings:");
     let (fit_json, _) = timing("forest fit", legacy_fit_ms, fit_ms);
     let (grid_json, grid_speedup) = timing("grid search", legacy_grid_ms, grid_ms);
@@ -268,6 +333,13 @@ fn main() {
         ("grid_candidates", candidates.len().to_json_value()),
         ("cv_folds", k.to_json_value()),
         ("results_match", Json::Bool(true)),
+        (
+            "model_roundtrip",
+            Json::obj(vec![
+                ("bytes", Json::UInt(rendered.len() as u64)),
+                ("bitwise_identical", Json::Bool(true)),
+            ]),
+        ),
         ("forest_fit", fit_json),
         ("grid_search", grid_json),
         (

@@ -169,6 +169,7 @@ fn binary_target(binary: &str) -> &'static str {
         "repro" => "repro",
         "trainperf" => "trainperf",
         "faultsweep" => "faultsweep",
+        "scored" => "scored",
         _ => "bench",
     }
 }

@@ -135,6 +135,50 @@ pub fn subgroup_block(r: &SubgroupResult) -> String {
     out
 }
 
+/// Plain-text block for a batch-scoring run (`scored` binary): counts,
+/// confident coverage, and the positive-probability spectrum.
+pub fn scoring_block(s: &serve::ScoreSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "--- scored {} rows (q = {:.3}, t = {:.3})\n",
+        s.rows, s.positive_fraction, s.threshold
+    ));
+    let pct = |part: usize| {
+        if s.rows == 0 {
+            0.0
+        } else {
+            part as f64 * 100.0 / s.rows as f64
+        }
+    };
+    out.push_str(&format!(
+        "  predicted   {} positive / {} negative   mean p+ {:.3}\n",
+        s.predicted_positive, s.predicted_negative, s.mean_positive
+    ));
+    out.push_str(&format!(
+        "  confident   {} ({:.1}%)   positive {} / negative {}\n",
+        s.confident,
+        pct(s.confident),
+        s.confident_positive,
+        s.confident_negative
+    ));
+    out.push_str(&format!(
+        "  uncertain   {} ({:.1}%)\n",
+        s.uncertain,
+        pct(s.uncertain)
+    ));
+    let peak = s.histogram.iter().copied().max().unwrap_or(0).max(1);
+    for (b, &count) in s.histogram.iter().enumerate() {
+        let close = if b == 9 { ']' } else { ')' };
+        let bar = "#".repeat((count * 40 / peak) as usize);
+        out.push_str(&format!(
+            "  p+ [{:.1}, {:.1}{close} {count:>7}  {bar}\n",
+            b as f64 / 10.0,
+            (b + 1) as f64 / 10.0,
+        ));
+    }
+    out
+}
+
 /// Renders an indented span-tree timing table from an [`obs`]
 /// snapshot: one row per span path, indented by nesting depth, with
 /// call count, total and mean wall time, and the number of distinct
@@ -250,6 +294,31 @@ mod tests {
         let b: Vec<(f64, f64)> = vec![(0.0, 1.0), (10.0, 0.2)];
         let chart = ascii_km_chart(&[("high", &a), ("low", &b)], 30, 8);
         assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn scoring_block_renders_counts_and_histogram() {
+        let summary = serve::ScoreSummary {
+            rows: 100,
+            confident: 80,
+            uncertain: 20,
+            predicted_positive: 60,
+            predicted_negative: 40,
+            confident_positive: 50,
+            confident_negative: 30,
+            positive_fraction: 0.6,
+            threshold: 0.6,
+            mean_positive: 0.55,
+            histogram: [5, 5, 10, 10, 10, 10, 10, 10, 20, 20],
+        };
+        let block = scoring_block(&summary);
+        assert!(block.contains("scored 100 rows"), "{block}");
+        assert!(block.contains("confident   80 (80.0%)"), "{block}");
+        assert!(block.contains("uncertain   20 (20.0%)"), "{block}");
+        assert!(block.contains("p+ [0.0, 0.1)"), "{block}");
+        assert!(block.contains("p+ [0.9, 1.0]"), "{block}");
+        // The fullest bucket gets the longest bar.
+        assert!(block.contains(&"#".repeat(40)), "{block}");
     }
 
     #[test]

@@ -152,6 +152,49 @@ mod tests {
         assert_eq!(p.confident_fraction(), 0.0);
     }
 
+    #[test]
+    fn partition_is_symmetric_in_q() {
+        // t = max(q, 1 − q) makes q and 1 − q equivalent: the q > 0.5
+        // partition must be identical to its q < 0.5 mirror.
+        let probs = [0.95, 0.6, 0.1, 0.35, 0.7, 0.3, 0.5];
+        let above = PartitionedPredictions::partition(&probs, 0.7);
+        let below = PartitionedPredictions::partition(&probs, 0.3);
+        assert_eq!(above, below);
+        assert_eq!(above.threshold, 0.7);
+    }
+
+    #[test]
+    fn ties_at_exactly_t_are_confident_for_q_above_half() {
+        // q = 0.75 ⇒ t = 0.75. Probabilities landing exactly on t or
+        // on 1 − t sit on the closed boundary of the confident region.
+        // (0.75 so both boundaries are exactly representable: the
+        // lower edge is the *computed* `1.0 - t`, which for a q like
+        // 0.8 rounds to 0.19999999999999996 and would make a literal
+        // 0.2 fall just inside the uncertain interval.)
+        let t = confidence_threshold(0.75);
+        assert_eq!(classify_confidence(0.75, t), ConfidenceSplit::Confident);
+        assert_eq!(classify_confidence(0.25, t), ConfidenceSplit::Confident);
+        // Just inside the open interval (1 − t, t) stays uncertain.
+        assert_eq!(
+            classify_confidence(0.75 - 1e-12, t),
+            ConfidenceSplit::Uncertain
+        );
+        assert_eq!(
+            classify_confidence(0.25 + 1e-12, t),
+            ConfidenceSplit::Uncertain
+        );
+
+        let p = PartitionedPredictions::partition(&[0.75, 0.25, 0.74, 0.26], 0.75);
+        let confident_idx: Vec<usize> = p.confident.iter().map(|c| c.0).collect();
+        assert_eq!(confident_idx, vec![0, 1]);
+        let uncertain_idx: Vec<usize> = p.uncertain.iter().map(|c| c.0).collect();
+        assert_eq!(uncertain_idx, vec![2, 3]);
+        // The tie at t predicts positive (p > 0.5); the tie at 1 − t
+        // predicts negative — the decision rule is independent of t.
+        assert_eq!(p.confident[0].2, 1);
+        assert_eq!(p.confident[1].2, 0);
+    }
+
     proptest! {
         #[test]
         fn prop_partition_is_exhaustive_and_disjoint(
@@ -164,6 +207,16 @@ mod tests {
             for (i, _, _) in p.confident.iter().chain(p.uncertain.iter()) {
                 prop_assert!(seen.insert(*i));
             }
+        }
+
+        #[test]
+        fn prop_partition_symmetric_under_q_reflection(
+            probs in prop::collection::vec(0.0..=1.0_f64, 0..100),
+            q in 0.0..=1.0_f64,
+        ) {
+            let a = PartitionedPredictions::partition(&probs, q);
+            let b = PartitionedPredictions::partition(&probs, 1.0 - q);
+            prop_assert_eq!(a, b);
         }
 
         #[test]

@@ -53,4 +53,4 @@ pub use model_selection::{
 };
 pub use parallel::{derive_seed, set_thread_limit, splitmix64};
 pub use random_forest::{MaxFeatures, RandomForest, RandomForestParams};
-pub use tree::{DecisionTree, TreeParams};
+pub use tree::{DecisionTree, FlatTree, TreeParams};

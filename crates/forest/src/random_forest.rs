@@ -339,6 +339,64 @@ impl RandomForest {
     pub fn feature_names(&self) -> &[String] {
         &self.feature_names
     }
+
+    /// Number of classes in the leaf distributions.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// The fitted trees, in training order.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Reassembles a forest from deserialized parts, validating that
+    /// every tree matches the feature schema and class count — the
+    /// inverse of reading [`RandomForest::trees`] and
+    /// [`RandomForest::feature_names`] out of a fitted model, used by
+    /// the `survdb-serve` on-disk format.
+    pub fn from_parts(
+        trees: Vec<DecisionTree>,
+        feature_names: Vec<String>,
+        class_count: usize,
+        oob_accuracy: Option<f64>,
+    ) -> Result<RandomForest, String> {
+        if trees.is_empty() {
+            return Err("forest needs at least one tree".to_string());
+        }
+        if feature_names.is_empty() {
+            return Err("forest needs at least one feature".to_string());
+        }
+        if class_count < 2 {
+            return Err(format!("class count must be >= 2, got {class_count}"));
+        }
+        for (t, tree) in trees.iter().enumerate() {
+            if tree.feature_count() != feature_names.len() {
+                return Err(format!(
+                    "tree {t} tests {} features, schema has {}",
+                    tree.feature_count(),
+                    feature_names.len()
+                ));
+            }
+            if tree.class_count() != class_count {
+                return Err(format!(
+                    "tree {t} has {} classes, forest has {class_count}",
+                    tree.class_count()
+                ));
+            }
+        }
+        if let Some(oob) = oob_accuracy {
+            if !oob.is_finite() || !(0.0..=1.0).contains(&oob) {
+                return Err(format!("oob accuracy {oob} outside [0, 1]"));
+            }
+        }
+        Ok(RandomForest {
+            trees,
+            feature_names,
+            class_count,
+            oob_accuracy,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +515,53 @@ mod tests {
         assert_eq!(MaxFeatures::Count(3).resolve(10), 3);
         assert_eq!(MaxFeatures::Count(99).resolve(10), 10);
         assert_eq!(MaxFeatures::Log2.resolve(1), 1);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let d = noisy_dataset(200);
+        let params = RandomForestParams {
+            n_trees: 8,
+            ..RandomForestParams::default()
+        };
+        let model = RandomForest::fit(&d, &params, 13);
+        let rebuilt = RandomForest::from_parts(
+            model.trees().to_vec(),
+            model.feature_names().to_vec(),
+            2,
+            model.oob_accuracy(),
+        )
+        .expect("valid parts");
+        for i in 0..d.len() {
+            assert_eq!(
+                rebuilt.predict_proba_row(&d, i),
+                model.predict_proba_row(&d, i)
+            );
+        }
+        assert_eq!(rebuilt.oob_accuracy(), model.oob_accuracy());
+
+        // No trees.
+        assert!(RandomForest::from_parts(vec![], vec!["x".into()], 2, None).is_err());
+        // Schema width mismatch.
+        assert!(
+            RandomForest::from_parts(model.trees().to_vec(), vec!["x0".into()], 2, None).is_err()
+        );
+        // Class count mismatch.
+        assert!(RandomForest::from_parts(
+            model.trees().to_vec(),
+            model.feature_names().to_vec(),
+            3,
+            None
+        )
+        .is_err());
+        // Out-of-range OOB estimate.
+        assert!(RandomForest::from_parts(
+            model.trees().to_vec(),
+            model.feature_names().to_vec(),
+            2,
+            Some(1.5)
+        )
+        .is_err());
     }
 
     #[test]

@@ -61,6 +61,40 @@ pub struct DecisionTree {
     max_depth_reached: usize,
 }
 
+/// A fitted tree flattened into parallel per-node arrays — the
+/// serialization layout of the `survdb-model/v1` on-disk format.
+///
+/// Node `i` is a split when `kind[i] == 1` (its `feature`, `threshold`,
+/// `left`, and `right` entries are live) and a leaf when `kind[i] == 0`
+/// (its `class_count` probabilities are the next unconsumed run of
+/// `leaf_probabilities`, in node order; its split columns hold zeros).
+/// The tree builder pushes a parent's slot before growing its children,
+/// so child indices are always strictly greater than the parent's;
+/// [`DecisionTree::from_flat`] re-checks that invariant, which bounds
+/// every prediction walk on a loaded tree by the node count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatTree {
+    /// Number of features the tree tests.
+    pub feature_count: usize,
+    /// Number of classes in each leaf distribution.
+    pub class_count: usize,
+    /// Per node: 0 = leaf, 1 = split.
+    pub kind: Vec<u8>,
+    /// Per node: feature index tested (splits only).
+    pub feature: Vec<u32>,
+    /// Per node: split threshold (`value <= threshold` goes left).
+    pub threshold: Vec<f64>,
+    /// Per node: left child index (splits only).
+    pub left: Vec<u32>,
+    /// Per node: right child index (splits only).
+    pub right: Vec<u32>,
+    /// Leaf class distributions, `class_count` values per leaf,
+    /// concatenated in node order.
+    pub leaf_probabilities: Vec<f64>,
+    /// Unnormalized gini importances, one per feature.
+    pub importances: Vec<f64>,
+}
+
 /// Midpoint threshold between two adjacent distinct feature values.
 ///
 /// When the values are so close that the midpoint rounds up to `hi`
@@ -1092,6 +1126,186 @@ impl DecisionTree {
         self.max_depth_reached
     }
 
+    /// Number of features the tree was trained on.
+    pub fn feature_count(&self) -> usize {
+        self.feature_count
+    }
+
+    /// Number of classes in the leaf distributions.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Flattens the tree into the parallel-array [`FlatTree`] layout.
+    /// Lossless: [`DecisionTree::from_flat`] rebuilds an equal tree.
+    pub fn to_flat(&self) -> FlatTree {
+        let n = self.nodes.len();
+        let mut flat = FlatTree {
+            feature_count: self.feature_count,
+            class_count: self.class_count,
+            kind: Vec::with_capacity(n),
+            feature: Vec::with_capacity(n),
+            threshold: Vec::with_capacity(n),
+            left: Vec::with_capacity(n),
+            right: Vec::with_capacity(n),
+            leaf_probabilities: Vec::with_capacity(self.node_count_leaves * self.class_count),
+            importances: self.importances.clone(),
+        };
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { probabilities } => {
+                    flat.kind.push(0);
+                    flat.feature.push(0);
+                    flat.threshold.push(0.0);
+                    flat.left.push(0);
+                    flat.right.push(0);
+                    flat.leaf_probabilities.extend_from_slice(probabilities);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    flat.kind.push(1);
+                    flat.feature.push(*feature as u32);
+                    flat.threshold.push(*threshold);
+                    flat.left.push(*left as u32);
+                    flat.right.push(*right as u32);
+                }
+            }
+        }
+        flat
+    }
+
+    /// Rebuilds a tree from the flat layout, validating every
+    /// structural invariant the predictor relies on: column lengths
+    /// match the node count, split features are in range, thresholds
+    /// are finite, child indices point strictly forward (so prediction
+    /// walks terminate), and leaf distributions are probabilities.
+    ///
+    /// Untrusted input (a corrupted model file) gets an `Err`; it never
+    /// panics and an `Ok` tree can never send `predict` out of bounds
+    /// or into a cycle.
+    pub fn from_flat(flat: &FlatTree) -> Result<DecisionTree, String> {
+        let n = flat.kind.len();
+        if n == 0 {
+            return Err("tree has no nodes".to_string());
+        }
+        if flat.feature_count == 0 {
+            return Err("tree must test at least one feature".to_string());
+        }
+        if flat.class_count < 2 {
+            return Err(format!("class count must be >= 2, got {}", flat.class_count));
+        }
+        for (name, len) in [
+            ("feature", flat.feature.len()),
+            ("threshold", flat.threshold.len()),
+            ("left", flat.left.len()),
+            ("right", flat.right.len()),
+        ] {
+            if len != n {
+                return Err(format!("{name} column has {len} entries for {n} nodes"));
+            }
+        }
+        if flat.importances.len() != flat.feature_count {
+            return Err(format!(
+                "{} importances for {} features",
+                flat.importances.len(),
+                flat.feature_count
+            ));
+        }
+        if flat.importances.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err("importances must be finite and non-negative".to_string());
+        }
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut offset = 0usize;
+        let mut leaves = 0usize;
+        for i in 0..n {
+            match flat.kind[i] {
+                0 => {
+                    let end = offset + flat.class_count;
+                    if end > flat.leaf_probabilities.len() {
+                        return Err(format!(
+                            "leaf probabilities exhausted at node {i}: need {end}, have {}",
+                            flat.leaf_probabilities.len()
+                        ));
+                    }
+                    let probabilities = &flat.leaf_probabilities[offset..end];
+                    if probabilities
+                        .iter()
+                        .any(|p| !p.is_finite() || !(0.0..=1.0).contains(p))
+                    {
+                        return Err(format!("leaf {i} has probabilities outside [0, 1]"));
+                    }
+                    offset = end;
+                    leaves += 1;
+                    nodes.push(Node::Leaf {
+                        probabilities: probabilities.to_vec(),
+                    });
+                }
+                1 => {
+                    let feature = flat.feature[i] as usize;
+                    if feature >= flat.feature_count {
+                        return Err(format!(
+                            "split {i} tests feature {feature} of {}",
+                            flat.feature_count
+                        ));
+                    }
+                    if !flat.threshold[i].is_finite() {
+                        return Err(format!("split {i} has a non-finite threshold"));
+                    }
+                    let (left, right) = (flat.left[i] as usize, flat.right[i] as usize);
+                    if left <= i || left >= n || right <= i || right >= n {
+                        return Err(format!(
+                            "split {i} children ({left}, {right}) must lie strictly \
+                             between {i} and {n}"
+                        ));
+                    }
+                    nodes.push(Node::Split {
+                        feature,
+                        threshold: flat.threshold[i],
+                        left,
+                        right,
+                    });
+                }
+                k => return Err(format!("node {i} has unknown kind {k}")),
+            }
+        }
+        if offset != flat.leaf_probabilities.len() {
+            return Err(format!(
+                "{} leaf probabilities for {leaves} leaves of {} classes",
+                flat.leaf_probabilities.len(),
+                flat.class_count
+            ));
+        }
+
+        // Depth of the deepest node reachable from the root. The
+        // builder creates no unreachable nodes, so for flats produced
+        // by `to_flat` this equals the growth-time depth; the
+        // forward-pointing child check above guarantees the walk
+        // terminates even on crafted input.
+        let mut max_depth = 0usize;
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((idx, depth)) = stack.pop() {
+            max_depth = max_depth.max(depth);
+            if let Node::Split { left, right, .. } = &nodes[idx] {
+                stack.push((*left, depth + 1));
+                stack.push((*right, depth + 1));
+            }
+        }
+
+        Ok(DecisionTree {
+            nodes,
+            feature_count: flat.feature_count,
+            class_count: flat.class_count,
+            importances: flat.importances.clone(),
+            node_count_leaves: leaves,
+            max_depth_reached: max_depth,
+        })
+    }
+
     /// Renders the tree as indented text, resolving feature indices to
     /// `feature_names` — the classic interpretability dump:
     ///
@@ -1296,6 +1510,94 @@ mod tests {
             assert_eq!(tree.predict_proba_row(&d, i), tree.predict_proba(&row));
             assert_eq!(tree.predict_row(&d, i), tree.predict(&row));
         }
+    }
+
+    #[test]
+    fn flat_roundtrip_is_lossless() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        let flat = tree.to_flat();
+        assert_eq!(flat.kind.len(), tree.node_count());
+        assert_eq!(
+            flat.leaf_probabilities.len(),
+            tree.leaf_count() * tree.class_count()
+        );
+        let back = DecisionTree::from_flat(&flat).expect("valid flat");
+        assert_eq!(back, tree);
+        assert_eq!(back.to_flat(), flat);
+        assert_eq!(back.depth(), tree.depth());
+    }
+
+    #[test]
+    fn from_flat_rejects_malformed_layouts() {
+        let d = axis_dataset();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let tree = DecisionTree::fit(&d, &idx, &TreeParams::default(), 2, &mut rng);
+        let good = tree.to_flat();
+        assert!(DecisionTree::from_flat(&good).is_ok());
+        let split = good
+            .kind
+            .iter()
+            .position(|&k| k == 1)
+            .expect("tree has a split");
+
+        // Empty tree.
+        let mut bad = good.clone();
+        bad.kind.clear();
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Ragged columns.
+        let mut bad = good.clone();
+        bad.left.pop();
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Unknown node kind.
+        let mut bad = good.clone();
+        bad.kind[0] = 7;
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Feature out of range.
+        let mut bad = good.clone();
+        bad.feature[split] = bad.feature_count as u32;
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Self-referential child (would loop forever unchecked).
+        let mut bad = good.clone();
+        bad.left[split] = split as u32;
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Backward child edge (a cycle through an earlier node).
+        let mut bad = good.clone();
+        bad.right[split] = 0;
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Child index past the node array.
+        let mut bad = good.clone();
+        bad.right[split] = bad.kind.len() as u32;
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Non-finite threshold.
+        let mut bad = good.clone();
+        bad.threshold[split] = f64::NAN;
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Leaf distribution too short.
+        let mut bad = good.clone();
+        bad.leaf_probabilities.pop();
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Probability outside [0, 1].
+        let mut bad = good.clone();
+        bad.leaf_probabilities[0] = 1.5;
+        assert!(DecisionTree::from_flat(&bad).is_err());
+
+        // Importances misaligned with the feature count.
+        let mut bad = good.clone();
+        bad.importances.push(0.0);
+        assert!(DecisionTree::from_flat(&bad).is_err());
     }
 
     mod props {

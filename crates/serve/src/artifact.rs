@@ -1,0 +1,435 @@
+//! The scoring artifact: `artifacts/scoring.json`.
+//!
+//! Layout (schema `survdb-scoring/v1`), mirroring the run-trace
+//! two-section convention:
+//!
+//! ```text
+//! {
+//!   "schema": "survdb-scoring/v1",
+//!   "binary": "<emitting binary>",
+//!   "deterministic": {           // byte-identical across runs & thread counts
+//!     "model": { "tree_count", "feature_count", "class_count",
+//!                "seed", "positive_fraction", "confidence_threshold" },
+//!     "counts": { "rows", "confident", "uncertain",
+//!                 "predicted_positive", "predicted_negative",
+//!                 "confident_positive", "confident_negative" },
+//!     "mean_positive_probability": f64,
+//!     "probability_histogram": [10 × u64]
+//!   },
+//!   "nondeterministic": {        // wall-clock throughput
+//!     "thread_limit": u64,
+//!     "elapsed_ms": f64,
+//!     "rows_per_second": f64
+//!   }
+//! }
+//! ```
+//!
+//! Everything under `deterministic` is a pure function of
+//! `(model, dataset, q)`; timings and thread counts live only under
+//! `nondeterministic`. The schema check enforces the split plus the
+//! counting identities (confident + uncertain = rows, histogram sums
+//! to rows, …) so a drifting producer fails CI instead of shipping
+//! silently inconsistent artifacts.
+
+use crate::format::SavedModel;
+use crate::score::ScoreSummary;
+use obs::jsonv::{self, JsonV};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier for `scoring.json`.
+pub const SCORING_SCHEMA: &str = "survdb-scoring/v1";
+
+/// File name the artifact is written under.
+pub const SCORING_FILE: &str = "scoring.json";
+
+/// Wall-clock measurements of a scoring run — the nondeterministic
+/// section of the artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoringTiming {
+    /// Worker-thread cap in effect (`forest::parallel::thread_limit()`).
+    pub thread_limit: usize,
+    /// Total scoring wall time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Scored rows per second (0 for an instantaneous/empty batch).
+    pub rows_per_second: f64,
+}
+
+fn deterministic_json(model: &SavedModel, summary: &ScoreSummary) -> JsonV {
+    JsonV::obj(vec![
+        (
+            "model",
+            JsonV::obj(vec![
+                ("tree_count", JsonV::UInt(model.forest.tree_count() as u64)),
+                (
+                    "feature_count",
+                    JsonV::UInt(model.forest.feature_names().len() as u64),
+                ),
+                (
+                    "class_count",
+                    JsonV::UInt(model.forest.class_count() as u64),
+                ),
+                ("seed", JsonV::UInt(model.meta.seed)),
+                (
+                    "positive_fraction",
+                    JsonV::Float(model.meta.positive_fraction),
+                ),
+                ("confidence_threshold", JsonV::Float(model.threshold())),
+            ]),
+        ),
+        (
+            "counts",
+            JsonV::obj(vec![
+                ("rows", JsonV::UInt(summary.rows as u64)),
+                ("confident", JsonV::UInt(summary.confident as u64)),
+                ("uncertain", JsonV::UInt(summary.uncertain as u64)),
+                (
+                    "predicted_positive",
+                    JsonV::UInt(summary.predicted_positive as u64),
+                ),
+                (
+                    "predicted_negative",
+                    JsonV::UInt(summary.predicted_negative as u64),
+                ),
+                (
+                    "confident_positive",
+                    JsonV::UInt(summary.confident_positive as u64),
+                ),
+                (
+                    "confident_negative",
+                    JsonV::UInt(summary.confident_negative as u64),
+                ),
+            ]),
+        ),
+        (
+            "mean_positive_probability",
+            JsonV::Float(summary.mean_positive),
+        ),
+        (
+            "probability_histogram",
+            JsonV::Arr(summary.histogram.iter().map(|&v| JsonV::UInt(v)).collect()),
+        ),
+    ])
+}
+
+/// Renders only the deterministic section — the byte string tests pin
+/// across thread counts.
+pub fn deterministic_scoring_section(model: &SavedModel, summary: &ScoreSummary) -> String {
+    deterministic_json(model, summary).render()
+}
+
+/// Renders the full scoring artifact for `binary`.
+pub fn render_scoring(
+    binary: &str,
+    model: &SavedModel,
+    summary: &ScoreSummary,
+    timing: &ScoringTiming,
+) -> String {
+    JsonV::obj(vec![
+        ("schema", JsonV::Str(SCORING_SCHEMA.to_string())),
+        ("binary", JsonV::Str(binary.to_string())),
+        ("deterministic", deterministic_json(model, summary)),
+        (
+            "nondeterministic",
+            JsonV::obj(vec![
+                ("thread_limit", JsonV::UInt(timing.thread_limit as u64)),
+                ("elapsed_ms", JsonV::Float(timing.elapsed_ms)),
+                ("rows_per_second", JsonV::Float(timing.rows_per_second)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Writes `dir/scoring.json` for `binary`, creating `dir` if needed.
+/// Returns the written path.
+pub fn write_scoring(
+    dir: &Path,
+    binary: &str,
+    model: &SavedModel,
+    summary: &ScoreSummary,
+    timing: &ScoringTiming,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(SCORING_FILE);
+    std::fs::write(&path, render_scoring(binary, model, summary, timing))?;
+    Ok(path)
+}
+
+fn expect_obj<'a>(value: &'a JsonV, what: &str) -> Result<&'a [(String, JsonV)], String> {
+    match value {
+        JsonV::Obj(fields) => Ok(fields),
+        other => Err(format!("{what} must be an object, found {other:?}")),
+    }
+}
+
+fn expect_keys(fields: &[(String, JsonV)], keys: &[&str], what: &str) -> Result<(), String> {
+    let found: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    if found != keys {
+        return Err(format!("{what} must have keys {keys:?}, found {found:?}"));
+    }
+    Ok(())
+}
+
+fn expect_uint(value: &JsonV, what: &str) -> Result<u64, String> {
+    match value {
+        JsonV::UInt(v) => Ok(*v),
+        other => Err(format!(
+            "{what} must be an unsigned integer, found {other:?}"
+        )),
+    }
+}
+
+fn expect_float(value: &JsonV, what: &str) -> Result<f64, String> {
+    match value {
+        JsonV::Float(v) => Ok(*v),
+        other => Err(format!("{what} must be a float, found {other:?}")),
+    }
+}
+
+/// Structurally validates a rendered `scoring.json`: schema id, the
+/// deterministic/nondeterministic split, field types, and the counting
+/// identities. Used by the `scoring-schema-check` binary in CI.
+pub fn validate_scoring(text: &str) -> Result<(), String> {
+    let root = jsonv::parse(text)?;
+    let fields = expect_obj(&root, "scoring artifact")?;
+    expect_keys(
+        fields,
+        &["schema", "binary", "deterministic", "nondeterministic"],
+        "scoring artifact",
+    )?;
+
+    match root.get("schema") {
+        Some(JsonV::Str(s)) if s == SCORING_SCHEMA => {}
+        other => {
+            return Err(format!(
+                "schema must be {SCORING_SCHEMA:?}, found {other:?}"
+            ))
+        }
+    }
+    match root.get("binary") {
+        Some(JsonV::Str(s)) if !s.is_empty() => {}
+        other => {
+            return Err(format!(
+                "binary must be a non-empty string, found {other:?}"
+            ))
+        }
+    }
+
+    let det = root.get("deterministic").expect("keys checked");
+    let det_fields = expect_obj(det, "deterministic")?;
+    expect_keys(
+        det_fields,
+        &[
+            "model",
+            "counts",
+            "mean_positive_probability",
+            "probability_histogram",
+        ],
+        "deterministic",
+    )?;
+
+    let model = det.get("model").expect("keys checked");
+    let model_fields = expect_obj(model, "model")?;
+    expect_keys(
+        model_fields,
+        &[
+            "tree_count",
+            "feature_count",
+            "class_count",
+            "seed",
+            "positive_fraction",
+            "confidence_threshold",
+        ],
+        "model",
+    )?;
+    for key in ["tree_count", "feature_count", "class_count"] {
+        if expect_uint(model.get(key).expect("keys checked"), key)? == 0 {
+            return Err(format!("model.{key} must be nonzero"));
+        }
+    }
+    expect_uint(model.get("seed").expect("keys checked"), "seed")?;
+    let q = expect_float(
+        model.get("positive_fraction").expect("keys checked"),
+        "positive_fraction",
+    )?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(format!("positive_fraction {q} outside [0, 1]"));
+    }
+    let t = expect_float(
+        model.get("confidence_threshold").expect("keys checked"),
+        "confidence_threshold",
+    )?;
+    if !(0.5..=1.0).contains(&t) {
+        return Err(format!("confidence_threshold {t} outside [0.5, 1]"));
+    }
+
+    let counts = det.get("counts").expect("keys checked");
+    let count_fields = expect_obj(counts, "counts")?;
+    expect_keys(
+        count_fields,
+        &[
+            "rows",
+            "confident",
+            "uncertain",
+            "predicted_positive",
+            "predicted_negative",
+            "confident_positive",
+            "confident_negative",
+        ],
+        "counts",
+    )?;
+    let get_count = |key: &str| expect_uint(counts.get(key).expect("keys checked"), key);
+    let rows = get_count("rows")?;
+    let confident = get_count("confident")?;
+    if confident + get_count("uncertain")? != rows {
+        return Err("confident + uncertain must equal rows".to_string());
+    }
+    if get_count("predicted_positive")? + get_count("predicted_negative")? != rows {
+        return Err("predicted_positive + predicted_negative must equal rows".to_string());
+    }
+    if get_count("confident_positive")? + get_count("confident_negative")? != confident {
+        return Err("confident_positive + confident_negative must equal confident".to_string());
+    }
+
+    let mean = expect_float(
+        det.get("mean_positive_probability").expect("keys checked"),
+        "mean_positive_probability",
+    )?;
+    if !(0.0..=1.0).contains(&mean) {
+        return Err(format!("mean_positive_probability {mean} outside [0, 1]"));
+    }
+
+    let histogram = match det.get("probability_histogram") {
+        Some(JsonV::Arr(items)) => items,
+        other => {
+            return Err(format!(
+                "probability_histogram must be an array, found {other:?}"
+            ))
+        }
+    };
+    if histogram.len() != 10 {
+        return Err(format!(
+            "probability_histogram must have 10 buckets, found {}",
+            histogram.len()
+        ));
+    }
+    let mut total = 0u64;
+    for (i, bucket) in histogram.iter().enumerate() {
+        total += expect_uint(bucket, &format!("probability_histogram[{i}]"))?;
+    }
+    if total != rows {
+        return Err(format!(
+            "probability_histogram sums to {total}, counts.rows is {rows}"
+        ));
+    }
+
+    let nondet = root.get("nondeterministic").expect("keys checked");
+    let nondet_fields = expect_obj(nondet, "nondeterministic")?;
+    expect_keys(
+        nondet_fields,
+        &["thread_limit", "elapsed_ms", "rows_per_second"],
+        "nondeterministic",
+    )?;
+    expect_uint(
+        nondet.get("thread_limit").expect("keys checked"),
+        "thread_limit",
+    )?;
+    for key in ["elapsed_ms", "rows_per_second"] {
+        if !matches!(
+            nondet.get(key).expect("keys checked"),
+            JsonV::Float(_) | JsonV::Null
+        ) {
+            return Err(format!("{key} must be a float"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ModelMeta;
+    use crate::score::score_batch;
+    use forest::{set_thread_limit, Dataset, RandomForest, RandomForestParams};
+
+    fn fixture() -> (Dataset, SavedModel) {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()], 2);
+        for i in 0..200 {
+            let x0 = i as f64 / 200.0;
+            let x1 = ((i * 29) % 200) as f64 / 200.0;
+            d.push(vec![x0, x1], (x0 + 0.1 * x1 > 0.5) as usize);
+        }
+        let params = RandomForestParams {
+            n_trees: 10,
+            ..RandomForestParams::default()
+        };
+        let forest = RandomForest::fit(&d, &params, 11);
+        let meta = ModelMeta {
+            positive_fraction: d.class_fraction(1),
+            seed: 11,
+            params,
+            grid: None,
+        };
+        (d, SavedModel { forest, meta })
+    }
+
+    fn sample_timing() -> ScoringTiming {
+        ScoringTiming {
+            thread_limit: 4,
+            elapsed_ms: 1.25,
+            rows_per_second: 160000.0,
+        }
+    }
+
+    #[test]
+    fn rendered_scoring_validates() {
+        let (data, model) = fixture();
+        let summary = score_batch(&model.forest, &data, model.meta.positive_fraction).summary();
+        let text = render_scoring("scored", &model, &summary, &sample_timing());
+        validate_scoring(&text).expect("schema-valid");
+        assert!(text.contains("\"rows\": 200"));
+        assert!(text.contains("\"probability_histogram\""));
+    }
+
+    #[test]
+    fn deterministic_section_is_thread_invariant() {
+        let (data, model) = fixture();
+        set_thread_limit(Some(1));
+        let serial = score_batch(&model.forest, &data, model.meta.positive_fraction).summary();
+        set_thread_limit(Some(8));
+        let parallel = score_batch(&model.forest, &data, model.meta.positive_fraction).summary();
+        set_thread_limit(None);
+        assert_eq!(
+            deterministic_scoring_section(&model, &serial),
+            deterministic_scoring_section(&model, &parallel)
+        );
+        // Timings are excluded from the deterministic section.
+        assert!(!deterministic_scoring_section(&model, &serial).contains("elapsed_ms"));
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let (data, model) = fixture();
+        let summary = score_batch(&model.forest, &data, model.meta.positive_fraction).summary();
+        let good = render_scoring("scored", &model, &summary, &sample_timing());
+        assert!(validate_scoring(&good.replace(SCORING_SCHEMA, "survdb-scoring/v2")).is_err());
+        assert!(validate_scoring(&good.replace("\"counts\"", "\"tallies\"")).is_err());
+        // Break the histogram/rows identity.
+        assert!(validate_scoring(&good.replace("\"rows\": 200", "\"rows\": 201")).is_err());
+        assert!(validate_scoring("{}").is_err());
+        assert!(validate_scoring("nonsense").is_err());
+    }
+
+    #[test]
+    fn write_scoring_creates_the_artifact() {
+        let (data, model) = fixture();
+        let summary = score_batch(&model.forest, &data, model.meta.positive_fraction).summary();
+        let dir = std::env::temp_dir().join(format!("survdb-scoring-{}", std::process::id()));
+        let path =
+            write_scoring(&dir, "scored", &model, &summary, &sample_timing()).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        validate_scoring(&text).expect("valid on disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

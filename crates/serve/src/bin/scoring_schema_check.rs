@@ -1,0 +1,37 @@
+//! `scoring-schema-check` — validates the structure of a
+//! `scoring.json` so producer drift fails the build.
+//!
+//! ```text
+//! cargo run -p survdb-serve --bin scoring-schema-check -- [PATH ...]
+//! ```
+//!
+//! Each PATH (default `artifacts/scoring.json`) must parse and satisfy
+//! the `survdb-scoring/v1` schema (see `serve::artifact`), including
+//! the counting identities. Exits nonzero on the first violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() {
+        vec!["artifacts/scoring.json".to_string()]
+    } else {
+        args
+    };
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs::error!("schema-check", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = serve::validate_scoring(&text) {
+            obs::error!("schema-check", "{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[schema-check] {path}: valid {}", serve::SCORING_SCHEMA);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,265 @@
+//! Batched parallel scoring with thread-count-invariant output.
+//!
+//! [`score_batch`] dispatches contiguous row chunks through
+//! `forest::parallel::run_units`; results come back index-slotted, so
+//! concatenating them yields rows in dataset order no matter how many
+//! worker threads ran. Per row it emits the full class-probability
+//! vector, the positive-class probability, the paper's decision rule
+//! (`p > 0.5`), and the §5.3 confident/uncertain split under
+//! `t = max(q, 1 − q)`.
+
+use forest::confidence::classify_confidence;
+use forest::{
+    confidence_threshold, ConfidenceSplit, Dataset, PartitionedPredictions, RandomForest,
+};
+
+/// Rows per parallel work unit — large enough to amortize dispatch,
+/// small enough to balance across workers on modest batches.
+const CHUNK_ROWS: usize = 64;
+
+/// One scored example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredRow {
+    /// Row index in the scored dataset.
+    pub index: usize,
+    /// Averaged per-class probabilities from the forest.
+    pub probabilities: Vec<f64>,
+    /// Probability of the positive class (class 1).
+    pub positive: f64,
+    /// Predicted class under the paper's `p > 0.5` rule.
+    pub predicted: usize,
+    /// Confident or uncertain under `t = max(q, 1 − q)`.
+    pub split: ConfidenceSplit,
+}
+
+/// The result of scoring a dataset: rows in dataset order plus the
+/// threshold context they were classified under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredBatch {
+    /// Training positive fraction the threshold derives from.
+    pub positive_fraction: f64,
+    /// The §5.3 threshold `max(q, 1 − q)`.
+    pub threshold: f64,
+    /// Scored rows, index `i` at position `i`.
+    pub rows: Vec<ScoredRow>,
+}
+
+impl ScoredBatch {
+    /// Positive-class probabilities in row order.
+    pub fn positives(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.positive).collect()
+    }
+
+    /// The batch as a [`PartitionedPredictions`] — exactly what
+    /// `PartitionedPredictions::partition` over [`ScoredBatch::positives`]
+    /// produces, so persisted-and-rescored output can be compared
+    /// directly against the in-memory pipeline.
+    pub fn partition(&self) -> PartitionedPredictions {
+        PartitionedPredictions::partition(&self.positives(), self.positive_fraction)
+    }
+
+    /// Deterministic count aggregates for reports and artifacts.
+    pub fn summary(&self) -> ScoreSummary {
+        let mut summary = ScoreSummary {
+            rows: self.rows.len(),
+            confident: 0,
+            uncertain: 0,
+            predicted_positive: 0,
+            predicted_negative: 0,
+            confident_positive: 0,
+            confident_negative: 0,
+            positive_fraction: self.positive_fraction,
+            threshold: self.threshold,
+            mean_positive: 0.0,
+            histogram: [0; 10],
+        };
+        let mut sum = 0.0;
+        for row in &self.rows {
+            sum += row.positive;
+            let bucket = ((row.positive * 10.0).floor() as usize).min(9);
+            summary.histogram[bucket] += 1;
+            if row.predicted == 1 {
+                summary.predicted_positive += 1;
+            } else {
+                summary.predicted_negative += 1;
+            }
+            match row.split {
+                ConfidenceSplit::Confident => {
+                    summary.confident += 1;
+                    if row.predicted == 1 {
+                        summary.confident_positive += 1;
+                    } else {
+                        summary.confident_negative += 1;
+                    }
+                }
+                ConfidenceSplit::Uncertain => summary.uncertain += 1,
+            }
+        }
+        if !self.rows.is_empty() {
+            summary.mean_positive = sum / self.rows.len() as f64;
+        }
+        summary
+    }
+}
+
+/// Count aggregates of a scored batch. Every field is a deterministic
+/// function of `(model, dataset, q)` — thread count never shows up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreSummary {
+    /// Rows scored.
+    pub rows: usize,
+    /// Rows with `p >= t` or `p <= 1 − t`.
+    pub confident: usize,
+    /// Rows strictly inside `(1 − t, t)`.
+    pub uncertain: usize,
+    /// Rows predicted positive (`p > 0.5`).
+    pub predicted_positive: usize,
+    /// Rows predicted negative.
+    pub predicted_negative: usize,
+    /// Confident rows predicted positive.
+    pub confident_positive: usize,
+    /// Confident rows predicted negative.
+    pub confident_negative: usize,
+    /// Training positive fraction `q`.
+    pub positive_fraction: f64,
+    /// `max(q, 1 − q)`.
+    pub threshold: f64,
+    /// Mean positive-class probability (0 when the batch is empty).
+    pub mean_positive: f64,
+    /// Positive-probability histogram: bucket `b` counts rows with
+    /// `p` in `[b/10, (b+1)/10)` (the last bucket includes 1.0).
+    pub histogram: [u64; 10],
+}
+
+/// Scores every row of `data` with `model`, partitioning by the
+/// threshold derived from `positive_fraction`.
+///
+/// Deterministic: output rows are in dataset order and bitwise
+/// identical across thread counts — chunks are index-slotted work
+/// units, and each row's probabilities come from the same sequential
+/// tree walk regardless of which worker ran it.
+///
+/// # Panics
+///
+/// Panics if `positive_fraction` is outside `[0, 1]`.
+pub fn score_batch(model: &RandomForest, data: &Dataset, positive_fraction: f64) -> ScoredBatch {
+    let _span = obs::span!("score_batch");
+    let threshold = confidence_threshold(positive_fraction);
+    let n = data.len();
+    let chunks = n.div_ceil(CHUNK_ROWS);
+    let scored: Vec<Vec<ScoredRow>> = forest::parallel::run_units(chunks, |c| {
+        let lo = c * CHUNK_ROWS;
+        let hi = (lo + CHUNK_ROWS).min(n);
+        let mut out = Vec::with_capacity(hi - lo);
+        for index in lo..hi {
+            let probabilities = model.predict_proba_row(data, index);
+            let positive = probabilities[1];
+            out.push(ScoredRow {
+                index,
+                positive,
+                predicted: (positive > 0.5) as usize,
+                split: classify_confidence(positive, threshold),
+                probabilities,
+            });
+        }
+        out
+    });
+    let rows: Vec<ScoredRow> = scored.into_iter().flatten().collect();
+    let confident = rows
+        .iter()
+        .filter(|r| r.split == ConfidenceSplit::Confident)
+        .count();
+    obs::count("serve.rows_scored", rows.len() as u64);
+    obs::count("serve.score_chunks", chunks as u64);
+    obs::count("serve.rows_confident", confident as u64);
+    obs::count("serve.rows_uncertain", (rows.len() - confident) as u64);
+    ScoredBatch {
+        positive_fraction,
+        threshold,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forest::{set_thread_limit, RandomForestParams};
+
+    fn fixture() -> (Dataset, RandomForest, f64) {
+        // Big enough to span several chunks, with some noise so the
+        // probability spectrum is not degenerate.
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into(), "n0".into()], 2);
+        for i in 0..300 {
+            let x0 = i as f64 / 300.0;
+            let x1 = ((i * 53) % 300) as f64 / 300.0;
+            let n0 = ((i * 17) % 300) as f64 / 300.0;
+            d.push(vec![x0, x1, n0], (x0 + 0.3 * x1 > 0.6) as usize);
+        }
+        let params = RandomForestParams {
+            n_trees: 12,
+            ..RandomForestParams::default()
+        };
+        let model = RandomForest::fit(&d, &params, 7);
+        let q = d.class_fraction(1);
+        (d, model, q)
+    }
+
+    #[test]
+    fn matches_sequential_scoring() {
+        let (data, model, q) = fixture();
+        let batch = score_batch(&model, &data, q);
+        assert_eq!(batch.rows.len(), data.len());
+        for (i, row) in batch.rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+            assert_eq!(row.probabilities, model.predict_proba_row(&data, i));
+            assert_eq!(row.positive, row.probabilities[1]);
+        }
+        // The partition is exactly the in-memory pipeline's partition.
+        assert_eq!(
+            batch.partition(),
+            PartitionedPredictions::partition(&batch.positives(), q)
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let (data, model, q) = fixture();
+        set_thread_limit(Some(1));
+        let serial = score_batch(&model, &data, q);
+        set_thread_limit(Some(8));
+        let parallel = score_batch(&model, &data, q);
+        set_thread_limit(None);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.summary(), parallel.summary());
+    }
+
+    #[test]
+    fn summary_invariants() {
+        let (data, model, q) = fixture();
+        let summary = score_batch(&model, &data, q).summary();
+        assert_eq!(summary.rows, data.len());
+        assert_eq!(summary.confident + summary.uncertain, summary.rows);
+        assert_eq!(
+            summary.predicted_positive + summary.predicted_negative,
+            summary.rows
+        );
+        assert_eq!(
+            summary.confident_positive + summary.confident_negative,
+            summary.confident
+        );
+        assert_eq!(summary.histogram.iter().sum::<u64>(), summary.rows as u64);
+        assert!((0.0..=1.0).contains(&summary.mean_positive));
+        assert_eq!(summary.threshold, confidence_threshold(q));
+    }
+
+    #[test]
+    fn empty_dataset_scores_empty() {
+        let (_, model, q) = fixture();
+        let empty = Dataset::new(vec!["x0".into(), "x1".into(), "n0".into()], 2);
+        let batch = score_batch(&model, &empty, q);
+        assert!(batch.rows.is_empty());
+        let summary = batch.summary();
+        assert_eq!(summary.rows, 0);
+        assert_eq!(summary.mean_positive, 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Cross-estimator property tests (PR 4 satellite).
+//!
+//! Each property here ties two estimators together rather than checking
+//! one in isolation:
+//!
+//! 1. the Kaplan–Meier curve is non-increasing and stays in `[0, 1]`;
+//! 2. on integral-duration, fully-observed samples the unit-width life
+//!    table reproduces KM exactly (ties included) — the actuarial
+//!    censoring adjustment vanishes when nobody is censored;
+//! 3. the Fleming–Harrington transform of Nelson–Aalen dominates KM
+//!    pointwise (`1 − x ≤ e⁻ˣ` term by term);
+//! 4. the log-rank statistic is invariant under relabeling the groups,
+//!    both two-sample and k-sample.
+
+use proptest::prelude::*;
+use survival::{logrank_test, logrank_test_k, KaplanMeier, LifeTable, NelsonAalen, SurvivalData};
+
+/// The bounded follow-up window every strategy below draws from.
+const MAX_T: f64 = 60.0;
+
+fn data(pairs: &[(f64, bool)]) -> SurvivalData {
+    SurvivalData::from_pairs(pairs)
+}
+
+proptest! {
+    /// Property 1: S(t) starts at 1, never increases, and never leaves
+    /// the unit interval — checked at every step and between steps.
+    #[test]
+    fn km_survival_is_nonincreasing(
+        pairs in prop::collection::vec((0.0..MAX_T, any::<bool>()), 1..150)
+    ) {
+        let km = KaplanMeier::fit(&data(&pairs));
+        prop_assert_eq!(km.survival_at(0.0), 1.0);
+        let mut prev = 1.0_f64;
+        for &t in km.event_times() {
+            // Just before the step the curve still holds its old value.
+            prop_assert!(km.survival_at(t - 1e-9) >= km.survival_at(t) - 1e-12);
+            let s = km.survival_at(t);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s), "S({t}) = {s}");
+            prop_assert!(s <= prev + 1e-12, "S({t}) = {s} rose above {prev}");
+            prev = s;
+        }
+        // Beyond the last event the curve is flat.
+        prop_assert_eq!(km.survival_at(MAX_T * 2.0), prev);
+    }
+
+    /// Property 2: with integral durations and no censoring, deaths at
+    /// time `i` are exactly the deaths of life-table interval
+    /// `[i, i+1)`, and the risk set entering that interval is the KM
+    /// risk set at `i` — so the two survival curves agree at every
+    /// interval end, ties and all.
+    #[test]
+    fn km_matches_unit_lifetable_on_tied_uncensored_data(
+        raw in prop::collection::vec(any::<u8>(), 1..120)
+    ) {
+        // Integral durations in 0..30 with heavy ties.
+        let pairs: Vec<(f64, bool)> = raw.iter().map(|&b| ((b % 30) as f64, true)).collect();
+        let sample = data(&pairs);
+        let km = KaplanMeier::fit(&sample);
+        let lt = LifeTable::fit(&sample, 1.0, 30);
+        for (i, row) in lt.rows().iter().enumerate() {
+            let t = i as f64;
+            // KM is a right-continuous step function, so its value at the
+            // integer time equals the life-table survival at interval end.
+            prop_assert!(
+                (km.survival_at(t) - row.survival).abs() < 1e-9,
+                "interval {i}: km {} vs lifetable {}",
+                km.survival_at(t),
+                row.survival
+            );
+        }
+    }
+
+    /// Property 3: exp(−H(t)) ≥ S(t) pointwise. Term by term,
+    /// `1 − d/n ≤ exp(−d/n)`, and both estimators multiply/sum over the
+    /// same event table, so the ordering is exact up to rounding.
+    #[test]
+    fn fleming_harrington_dominates_km(
+        pairs in prop::collection::vec((0.0..MAX_T, any::<bool>()), 1..150),
+        probe in 0.0..(2.0 * MAX_T),
+    ) {
+        let sample = data(&pairs);
+        let km = KaplanMeier::fit(&sample);
+        let na = NelsonAalen::fit(&sample);
+        for &t in km.event_times() {
+            prop_assert!(
+                na.survival_at(t) >= km.survival_at(t) - 1e-12,
+                "at t={t}: fh {} < km {}",
+                na.survival_at(t),
+                km.survival_at(t)
+            );
+        }
+        // Also at an arbitrary probe time, not just the step locations.
+        prop_assert!(na.survival_at(probe) >= km.survival_at(probe) - 1e-12);
+        // And H itself is nonnegative and nondecreasing.
+        let mut prev = 0.0;
+        for &h in na.cumulative_hazards() {
+            prop_assert!(h >= prev - 1e-15);
+            prev = h;
+        }
+    }
+
+    /// Property 4a: swapping the two groups leaves the two-sample
+    /// statistic (and hence the p-value) unchanged.
+    #[test]
+    fn logrank_is_invariant_under_group_swap(
+        a in prop::collection::vec((0.1..MAX_T, any::<bool>()), 2..60),
+        b in prop::collection::vec((0.1..MAX_T, any::<bool>()), 2..60),
+    ) {
+        let (da, db) = (data(&a), data(&b));
+        let ab = logrank_test(&da, &db);
+        let ba = logrank_test(&db, &da);
+        prop_assert!(
+            (ab.statistic - ba.statistic).abs() < 1e-7 * (1.0 + ab.statistic),
+            "{} vs {}",
+            ab.statistic,
+            ba.statistic
+        );
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        prop_assert_eq!(ab.dof, ba.dof);
+    }
+
+    /// Property 4b: the k-sample statistic is a function of the
+    /// *partition*, not the group labels — every permutation of three
+    /// groups yields the same chi-squared value, even though the
+    /// internal O−E vector and covariance matrix are built over
+    /// different "first k−1 groups" each time.
+    #[test]
+    fn logrank_k_is_invariant_under_relabeling(
+        a in prop::collection::vec((0.1..MAX_T, any::<bool>()), 2..40),
+        b in prop::collection::vec((0.1..MAX_T, any::<bool>()), 2..40),
+        c in prop::collection::vec((0.1..MAX_T, any::<bool>()), 2..40),
+    ) {
+        let (da, db, dc) = (data(&a), data(&b), data(&c));
+        let reference = logrank_test_k(&[&da, &db, &dc]);
+        prop_assert_eq!(reference.dof, 2.0);
+        for order in [
+            [&da, &dc, &db],
+            [&db, &da, &dc],
+            [&db, &dc, &da],
+            [&dc, &da, &db],
+            [&dc, &db, &da],
+        ] {
+            let permuted = logrank_test_k(&order);
+            prop_assert!(
+                (permuted.statistic - reference.statistic).abs()
+                    < 1e-6 * (1.0 + reference.statistic),
+                "relabeled statistic {} != {}",
+                permuted.statistic,
+                reference.statistic
+            );
+        }
+    }
+}
+
+/// Deterministic spot-check of property 2 on a hand-built tied sample,
+/// so a proptest regression has a minimal companion to bisect against.
+#[test]
+fn tied_uncensored_example_agrees_exactly() {
+    // Deaths: 3 at t=1, 2 at t=2, 1 at t=4 — n = 6.
+    let sample = data(&[
+        (1.0, true),
+        (1.0, true),
+        (1.0, true),
+        (2.0, true),
+        (2.0, true),
+        (4.0, true),
+    ]);
+    let km = KaplanMeier::fit(&sample);
+    let lt = LifeTable::fit(&sample, 1.0, 5);
+    // S(1) = 3/6, S(2) = 3/6 · 1/3 = 1/6, S(4) = 0.
+    assert!((km.survival_at(1.0) - 0.5).abs() < 1e-12);
+    assert!((km.survival_at(2.0) - 1.0 / 6.0).abs() < 1e-12);
+    assert_eq!(km.survival_at(4.0), 0.0);
+    for (i, row) in lt.rows().iter().enumerate() {
+        assert!(
+            (km.survival_at(i as f64) - row.survival).abs() < 1e-12,
+            "interval {i}"
+        );
+    }
+}

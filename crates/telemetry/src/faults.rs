@@ -205,7 +205,26 @@ fn pick(seed: u64, db_id: u64, ordinal: u64, salt: u64, n: usize) -> usize {
     (h % n as u64) as usize
 }
 
+/// Deterministically corrupts a byte buffer in place: each of the
+/// `count` picks XORs a hash-chosen nonzero mask into a hash-chosen
+/// position. Reuses the splitmix64 decision scheme, so the same
+/// `(seed, count, buf.len())` always corrupts the same bytes — the
+/// robustness tests for the on-disk model format lean on this to
+/// enumerate reproducible corruption cases. A no-op on empty buffers.
+pub fn flip_bytes(buf: &mut [u8], count: usize, seed: u64) {
+    if buf.is_empty() {
+        return;
+    }
+    for k in 0..count as u64 {
+        let pos = pick(seed, k, 0, SALT_FLIP_POS, buf.len());
+        let mask = (mix(mix(seed ^ SALT_FLIP_MASK).wrapping_add(k)) % 255 + 1) as u8;
+        buf[pos] ^= mask;
+    }
+}
+
 // Decision salts: one namespace per fault kind.
+const SALT_FLIP_POS: u64 = 0xF11B;
+const SALT_FLIP_MASK: u64 = 0xF11C;
 const SALT_DROP: u64 = 0xD809;
 const SALT_DUP: u64 = 0xD0B1;
 const SALT_REORDER: u64 = 0x5EA7;
@@ -455,6 +474,32 @@ mod tests {
         let creates_out = out.count_where(|e| matches!(e, TelemetryEvent::Created { .. }));
         assert_eq!(creates_in - creates_out, summary.orphaned_databases);
         assert_eq!(s.len() - out.len(), summary.orphaned_databases);
+    }
+
+    #[test]
+    fn flip_bytes_is_deterministic_and_bounded() {
+        let clean: Vec<u8> = (0u8..=255).cycle().take(4096).collect();
+
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        flip_bytes(&mut a, 16, 7);
+        flip_bytes(&mut b, 16, 7);
+        assert_eq!(a, b, "same seed must corrupt the same bytes");
+        assert_ne!(a, clean, "a nonzero mask always changes the buffer");
+
+        let mut c = clean.clone();
+        flip_bytes(&mut c, 16, 8);
+        assert_ne!(a, c, "different seeds should corrupt differently");
+
+        // At most `count` positions change (fewer if picks collide).
+        let changed = a.iter().zip(&clean).filter(|(x, y)| x != y).count();
+        assert!((1..=16).contains(&changed), "changed {changed} bytes");
+
+        // Degenerate inputs are no-ops, never panics.
+        flip_bytes(&mut [], 10, 1);
+        let mut untouched = clean.clone();
+        flip_bytes(&mut untouched, 0, 1);
+        assert_eq!(untouched, clean);
     }
 
     #[test]

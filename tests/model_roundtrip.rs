@@ -1,0 +1,217 @@
+//! Round-trip and robustness tests for the `survdb-model/v1` on-disk
+//! format (PR 4 tentpole acceptance).
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. save → load → save is byte-identical, grid provenance included;
+//! 2. a loaded forest reproduces the in-memory predictions — per-row
+//!    probability vectors, batch scores, and the confident/uncertain
+//!    partition — bitwise;
+//! 3. a truncated or corrupted model file yields a typed
+//!    [`serve::ModelError`], never a panic. Corruption cases are
+//!    enumerated deterministically with [`telemetry::faults::flip_bytes`].
+
+use forest::tree::TreeParams;
+use forest::{
+    Dataset, GridSearch, MaxFeatures, PartitionedPredictions, RandomForest, RandomForestParams,
+};
+use serve::{score_batch, GridProvenance, ModelError, ModelMeta, SavedModel};
+use std::path::PathBuf;
+
+/// Deterministic two-class dataset: no RNG, so every test binary sees
+/// the exact same bytes on disk.
+fn fixture_dataset() -> Dataset {
+    let names = vec!["age".to_string(), "ops".to_string(), "bytes".to_string()];
+    let mut data = Dataset::new(names, 2);
+    for i in 0..180 {
+        let x0 = (i % 17) as f64 / 17.0;
+        let x1 = (i % 29) as f64 / 29.0;
+        let x2 = ((i * 7) % 13) as f64 / 13.0;
+        let label = (x0 + 0.4 * x1 - 0.2 * x2 > 0.5) as usize;
+        data.push(vec![x0, x1, x2], label);
+    }
+    data
+}
+
+fn fixture_model(data: &Dataset) -> SavedModel {
+    // A real (tiny) grid search so provenance round-trips too.
+    let candidates = vec![
+        RandomForestParams {
+            n_trees: 8,
+            tree: TreeParams {
+                max_depth: 6,
+                ..TreeParams::default()
+            },
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+        },
+        RandomForestParams {
+            n_trees: 12,
+            tree: TreeParams {
+                max_depth: 10,
+                ..TreeParams::default()
+            },
+            max_features: MaxFeatures::All,
+            bootstrap: true,
+        },
+    ];
+    let grid = GridSearch::new(candidates, 3).run(data, 41);
+    let forest = RandomForest::fit(data, &grid.best_params, 41);
+    SavedModel {
+        forest,
+        meta: ModelMeta {
+            positive_fraction: data.class_fraction(1),
+            seed: 41,
+            params: grid.best_params,
+            grid: Some(GridProvenance::from_result(&grid)),
+        },
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "survdb_roundtrip_{tag}_{}.json",
+        std::process::id()
+    ))
+}
+
+struct TempFile(PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn save_load_save_is_byte_identical() {
+    let data = fixture_dataset();
+    let saved = fixture_model(&data);
+    let path = temp_path("identity");
+    let _guard = TempFile(path.clone());
+
+    saved.save(&path).expect("save");
+    let first_bytes = std::fs::read(&path).expect("read saved model");
+    let loaded = SavedModel::load(&path).expect("load");
+    assert_eq!(loaded.meta, saved.meta, "metadata must round-trip");
+
+    // Save the *loaded* model again: the file must not drift by a byte.
+    loaded.save(&path).expect("re-save");
+    let second_bytes = std::fs::read(&path).expect("read re-saved model");
+    assert_eq!(first_bytes, second_bytes, "save-load-save drifted");
+    assert_eq!(loaded.render(), saved.render());
+}
+
+#[test]
+fn loaded_forest_reproduces_predictions_and_partition() {
+    let data = fixture_dataset();
+    let saved = fixture_model(&data);
+    let path = temp_path("predict");
+    let _guard = TempFile(path.clone());
+    saved.save(&path).expect("save");
+    let loaded = SavedModel::load(&path).expect("load");
+
+    // Per-row probability vectors, bitwise.
+    for i in 0..data.len() {
+        assert_eq!(
+            loaded.forest.predict_proba_row(&data, i),
+            saved.forest.predict_proba_row(&data, i),
+            "row {i} diverged after the round trip"
+        );
+    }
+
+    // The batched scoring engine sees the same model.
+    let q = saved.meta.positive_fraction;
+    let before = score_batch(&saved.forest, &data, q);
+    let after = score_batch(&loaded.forest, &data, q);
+    assert_eq!(before.rows, after.rows);
+    assert_eq!(before.summary(), after.summary());
+
+    // And the §5.3 confident/uncertain partition is identical.
+    let positives: Vec<f64> = (0..data.len())
+        .map(|i| saved.forest.predict_positive_proba_row(&data, i))
+        .collect();
+    let reloaded: Vec<f64> = (0..data.len())
+        .map(|i| loaded.forest.predict_positive_proba_row(&data, i))
+        .collect();
+    assert_eq!(
+        PartitionedPredictions::partition(&positives, q),
+        PartitionedPredictions::partition(&reloaded, q)
+    );
+}
+
+#[test]
+fn truncated_files_return_typed_errors_never_panic() {
+    let data = fixture_dataset();
+    let saved = fixture_model(&data);
+    let text = saved.render();
+    let path = temp_path("truncate");
+    let _guard = TempFile(path.clone());
+
+    // Cut the file at a spread of prefix lengths from empty up to (but
+    // not including) the closing brace — the render ends in "}\n", so
+    // any shorter prefix is structurally incomplete JSON and every one
+    // must be rejected with a typed error.
+    let n = text.len();
+    let cuts: Vec<usize> = (0..32).map(|k| k * (n - 2) / 31).collect();
+    for cut in cuts {
+        // Truncate on a char boundary so the prefix stays valid UTF-8
+        // (the fixture is ASCII, but don't rely on that).
+        let mut end = cut;
+        while !text.is_char_boundary(end) {
+            end -= 1;
+        }
+        let prefix = &text[..end];
+        let err = SavedModel::parse(prefix).expect_err("truncated model must not parse");
+        assert!(
+            matches!(err, ModelError::Parse(_) | ModelError::Schema(_)),
+            "prefix of {end} bytes produced unexpected error {err}"
+        );
+        // Same through the file path.
+        std::fs::write(&path, prefix).expect("write truncated file");
+        assert!(SavedModel::load(&path).is_err());
+    }
+
+    // A missing file is an Io error, not a panic.
+    std::fs::remove_file(&path).expect("cleanup");
+    assert!(matches!(SavedModel::load(&path), Err(ModelError::Io(_))));
+}
+
+#[test]
+fn corrupted_files_are_rejected_or_load_safely() {
+    let data = fixture_dataset();
+    let saved = fixture_model(&data);
+    let clean = saved.render().into_bytes();
+    let path = temp_path("corrupt");
+    let _guard = TempFile(path.clone());
+
+    let mut rejected = 0usize;
+    let mut survived = 0usize;
+    for seed in 0..50u64 {
+        let mut bytes = clean.clone();
+        telemetry::faults::flip_bytes(&mut bytes, 4, seed);
+        std::fs::write(&path, &bytes).expect("write corrupted file");
+        // The only contract: load never panics and returns a typed
+        // result. Corruption that lands in a float's mantissa can still
+        // parse — such a model must then be safely usable.
+        match SavedModel::load(&path) {
+            Err(_) => rejected += 1,
+            Ok(model) => {
+                survived += 1;
+                assert_eq!(model.forest.feature_names().len(), data.feature_count());
+                for i in 0..data.len().min(8) {
+                    let probs = model.forest.predict_proba_row(&data, i);
+                    assert_eq!(probs.len(), model.forest.class_count());
+                    assert!(probs.iter().all(|p| p.is_finite()));
+                }
+            }
+        }
+    }
+    assert_eq!(rejected + survived, 50);
+    // Flipping 4 bytes of structural JSON almost always breaks it; if
+    // every single corruption parsed, validation is not doing its job.
+    assert!(
+        rejected > 25,
+        "only {rejected}/50 corruptions were rejected"
+    );
+}
