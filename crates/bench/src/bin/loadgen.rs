@@ -1,0 +1,458 @@
+//! `loadgen` — closed-loop load generator for the scoring daemon.
+//!
+//! ```text
+//! cargo run -p bench --release --bin loadgen -- [flags]
+//!
+//! flags: --requests N        total requests to issue (default 200)
+//!        --connections N     concurrent closed-loop clients (default 4)
+//!        --rows N            feature rows per request (default 4)
+//!        --scale F           population scale for the fixture fleet (default 0.25)
+//!        --seed N            master seed (default 2018)
+//!        --model PATH        load an existing model instead of training one
+//!        --tune              when training, grid-search the hyper-parameters
+//!        --workers N         daemon worker threads (default 4)
+//!        --queue N           daemon admission-queue capacity (default 128)
+//!        --batch-rows N      daemon micro-batch row threshold (default 64)
+//!        --batch-wait-ms N   daemon micro-batch flush deadline (default 2)
+//!        --out DIR           artifact directory (default artifacts/)
+//! ```
+//!
+//! The generator spawns the daemon in-process on a loopback port,
+//! builds a deterministic request corpus from the fixture fleet's
+//! feature rows (request `i` carries corpus rows `(i*R + j) % len`),
+//! and drives it closed-loop: each connection issues its next request
+//! only after the previous response lands. Every 200 response is
+//! verified **bitwise** against offline `serve::score_rows` output —
+//! any probability mismatch, shed, or transport error fails the run
+//! with a nonzero exit. On success it writes
+//! `artifacts/serving.json` (`survdb-serving/v1`): deterministic
+//! counts + score histogram, wall-clock latency/throughput under
+//! `nondeterministic`.
+
+use bench::model_source::{fixture_dataset, obtain_model, ModelSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use survd::{
+    BatchPolicy, Client, RowScore, ServerConfig, ServingCorpus, ServingCounts, ServingRunConfig,
+    ServingTiming,
+};
+
+struct Options {
+    requests: usize,
+    connections: usize,
+    rows_per_request: usize,
+    scale: f64,
+    seed: u64,
+    model: Option<PathBuf>,
+    tune: bool,
+    workers: usize,
+    queue: usize,
+    batch_rows: usize,
+    batch_wait_ms: u64,
+    out: PathBuf,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        requests: 200,
+        connections: 4,
+        rows_per_request: 4,
+        scale: 0.25,
+        seed: 2018,
+        model: None,
+        tune: false,
+        workers: 4,
+        queue: 128,
+        batch_rows: 64,
+        batch_wait_ms: 2,
+        out: PathBuf::from("artifacts"),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--requests" => {
+                options.requests = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+                i += 2;
+            }
+            "--connections" => {
+                options.connections = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+                i += 2;
+            }
+            "--rows" => {
+                options.rows_per_request =
+                    value()?.parse().map_err(|e| format!("bad --rows: {e}"))?;
+                i += 2;
+            }
+            "--scale" => {
+                options.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                options.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                i += 2;
+            }
+            "--model" => {
+                options.model = Some(PathBuf::from(value()?));
+                i += 2;
+            }
+            "--tune" => {
+                options.tune = true;
+                i += 1;
+            }
+            "--workers" => {
+                options.workers = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                i += 2;
+            }
+            "--queue" => {
+                options.queue = value()?.parse().map_err(|e| format!("bad --queue: {e}"))?;
+                i += 2;
+            }
+            "--batch-rows" => {
+                options.batch_rows = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-rows: {e}"))?;
+                i += 2;
+            }
+            "--batch-wait-ms" => {
+                options.batch_wait_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-wait-ms: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                options.out = PathBuf::from(value()?);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if options.requests == 0 || options.connections == 0 || options.rows_per_request == 0 {
+        return Err("--requests, --connections, and --rows must be nonzero".to_string());
+    }
+    Ok(options)
+}
+
+/// What one closed-loop connection observed.
+#[derive(Default)]
+struct ConnectionOutcome {
+    ok: u64,
+    shed: u64,
+    error: u64,
+    mismatches: u64,
+    histogram: [u64; 10],
+    latencies_ms: Vec<f64>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("loadgen", "{e}");
+            obs::error!(
+                "loadgen",
+                "usage: loadgen [--requests N] [--connections N] [--rows N] [--scale F] \
+                 [--seed N] [--model PATH] [--tune] [--workers N] [--queue N] \
+                 [--batch-rows N] [--batch-wait-ms N] [--out DIR]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let registry = Arc::new(obs::Registry::with_stderr_level(obs::Level::Info));
+    let _guard = registry.install();
+
+    println!(
+        "[loadgen] building corpus fleet (scale {}, seed {})",
+        options.scale, options.seed
+    );
+    let data = fixture_dataset(options.scale, options.seed);
+    let spec = ModelSpec {
+        load_from: options.model.clone(),
+        seed: options.seed,
+        tune: options.tune,
+        save_dir: options.out.clone(),
+    };
+    let model = match obtain_model(&data, &spec) {
+        Ok(m) => m,
+        Err(e) => {
+            obs::error!("loadgen", "{e}");
+            std::process::exit(1);
+        }
+    };
+
+    // The deterministic corpus: every feature row of the fixture fleet,
+    // in dataset order. Request i carries rows (i*R + j) % len.
+    let corpus: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i)).collect();
+    println!(
+        "[loadgen] corpus: {} rows x {} features",
+        corpus.len(),
+        data.feature_count()
+    );
+
+    // Offline ground truth, computed once: the daemon must reproduce
+    // these probabilities bitwise no matter how requests coalesce.
+    let offline = serve::score_rows(&model.forest, &corpus, model.meta.positive_fraction);
+    let expected: Vec<RowScore> = offline.rows.iter().map(RowScore::from_scored).collect();
+    let expected_threshold = model.threshold();
+
+    let serving_model = model.clone();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: options.workers,
+        queue_capacity: options.queue,
+        batch: BatchPolicy {
+            max_rows: options.batch_rows,
+            max_wait_ms: options.batch_wait_ms,
+        },
+        ..ServerConfig::default()
+    };
+    let handle = match survd::start(serving_model, config, Some(Arc::clone(&registry))) {
+        Ok(h) => h,
+        Err(e) => {
+            obs::error!("loadgen", "cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    println!(
+        "[loadgen] daemon on {addr} ({} workers, queue {}, batch {} rows / {} ms)",
+        options.workers, options.queue, options.batch_rows, options.batch_wait_ms
+    );
+    println!(
+        "[loadgen] issuing {} requests x {} rows over {} connections ...",
+        options.requests, options.rows_per_request, options.connections
+    );
+
+    let corpus = Arc::new(corpus);
+    let expected = Arc::new(expected);
+    let started = Instant::now();
+    let mut threads = Vec::with_capacity(options.connections);
+    for c in 0..options.connections {
+        let corpus = Arc::clone(&corpus);
+        let expected = Arc::clone(&expected);
+        let requests = options.requests;
+        let connections = options.connections;
+        let rows_per_request = options.rows_per_request;
+        let thread = std::thread::Builder::new()
+            .name(format!("loadgen-{c}"))
+            .spawn(move || {
+                let mut outcome = ConnectionOutcome::default();
+                let mut client = match Client::connect(addr, Some(Duration::from_secs(30))) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        obs::error!("loadgen", "connection {c}: connect failed: {e}");
+                        outcome.error = ((requests + connections - 1 - c) / connections) as u64;
+                        return outcome;
+                    }
+                };
+                for i in (c..requests).step_by(connections) {
+                    let indices: Vec<usize> = (0..rows_per_request)
+                        .map(|j| (i * rows_per_request + j) % corpus.len())
+                        .collect();
+                    let rows: Vec<Vec<f64>> =
+                        indices.iter().map(|&idx| corpus[idx].clone()).collect();
+                    let body = survd::render_score_request(&rows);
+                    let sent = Instant::now();
+                    let response = match client.score(&body) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            obs::error!("loadgen", "request {i}: {e}");
+                            outcome.error += 1;
+                            continue;
+                        }
+                    };
+                    let latency_ms = sent.elapsed().as_secs_f64() * 1000.0;
+                    match response.status {
+                        200 => {
+                            let text = match response.text() {
+                                Ok(t) => t,
+                                Err(_) => {
+                                    obs::error!("loadgen", "request {i}: non-UTF-8 body");
+                                    outcome.error += 1;
+                                    continue;
+                                }
+                            };
+                            match survd::parse_score_response(text) {
+                                Ok((threshold, results)) => {
+                                    outcome.ok += 1;
+                                    outcome.latencies_ms.push(latency_ms);
+                                    let want: Vec<RowScore> =
+                                        indices.iter().map(|&idx| expected[idx].clone()).collect();
+                                    // Bitwise: f64 == via shortest-roundtrip JSON.
+                                    if threshold != expected_threshold || results != want {
+                                        obs::error!(
+                                            "loadgen",
+                                            "request {i}: response diverged from offline scoring"
+                                        );
+                                        outcome.mismatches += 1;
+                                    }
+                                    for r in &results {
+                                        outcome.histogram[serve::histogram_bucket(r.positive)] += 1;
+                                    }
+                                }
+                                Err(e) => {
+                                    obs::error!("loadgen", "request {i}: bad response: {e}");
+                                    outcome.error += 1;
+                                }
+                            }
+                        }
+                        429 => outcome.shed += 1,
+                        status => {
+                            obs::error!("loadgen", "request {i}: HTTP {status}");
+                            outcome.error += 1;
+                        }
+                    }
+                }
+                outcome
+            })
+            .expect("spawn loadgen connection");
+        threads.push(thread);
+    }
+
+    let mut counts = ServingCounts {
+        requests_sent: options.requests as u64,
+        responses_ok: 0,
+        responses_shed: 0,
+        responses_error: 0,
+        rows_scored: 0,
+        score_histogram: [0; 10],
+    };
+    let mut mismatches = 0u64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(options.requests);
+    for thread in threads {
+        let outcome = thread.join().expect("loadgen connection panicked");
+        counts.responses_ok += outcome.ok;
+        counts.responses_shed += outcome.shed;
+        counts.responses_error += outcome.error;
+        mismatches += outcome.mismatches;
+        for (total, bucket) in counts.score_histogram.iter_mut().zip(outcome.histogram) {
+            *total += bucket;
+        }
+        latencies.extend(outcome.latencies_ms);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    counts.rows_scored = counts.score_histogram.iter().sum();
+
+    let stats = handle.shutdown();
+    println!(
+        "[loadgen] daemon drained: {} ok, {} shed, {} rows in {} batches (queue peak {})",
+        stats.score_ok, stats.score_shed, stats.rows_scored, stats.batches, stats.queue_peak
+    );
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let timing = ServingTiming {
+        elapsed_ms: elapsed * 1000.0,
+        requests_per_second: if elapsed > 0.0 {
+            counts.responses_ok as f64 / elapsed
+        } else {
+            0.0
+        },
+        rows_per_second: if elapsed > 0.0 {
+            counts.rows_scored as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency_p50_ms: percentile(&latencies, 0.50),
+        latency_p95_ms: percentile(&latencies, 0.95),
+        latency_p99_ms: percentile(&latencies, 0.99),
+        latency_max_ms: latencies.last().copied().unwrap_or(0.0),
+        latency_mean_ms: mean,
+    };
+
+    println!();
+    print!("{}", survdb::report::serving_block(&counts, &timing));
+
+    let run_config = ServingRunConfig {
+        connections: options.connections,
+        requests: options.requests,
+        rows_per_request: options.rows_per_request,
+        workers: options.workers,
+        queue_capacity: options.queue,
+        batch_max_rows: options.batch_rows,
+        batch_max_wait_ms: options.batch_wait_ms,
+    };
+    let corpus_info = ServingCorpus {
+        rows: corpus.len(),
+        seed: options.seed,
+    };
+    match survd::write_serving(
+        &options.out,
+        "loadgen",
+        &run_config,
+        &corpus_info,
+        &model,
+        &counts,
+        &timing,
+    ) {
+        Ok(path) => println!("\n[loadgen] wrote {}", path.display()),
+        Err(e) => {
+            obs::error!("loadgen", "cannot write serving artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    bench::finish_trace(&registry, "loadgen", &options.out);
+
+    let mut failed = false;
+    if counts.responses_ok != counts.requests_sent {
+        obs::error!(
+            "loadgen",
+            "{} of {} requests did not get a 200 ({} shed, {} errors)",
+            counts.requests_sent - counts.responses_ok,
+            counts.requests_sent,
+            counts.responses_shed,
+            counts.responses_error
+        );
+        failed = true;
+    }
+    if mismatches > 0 {
+        obs::error!(
+            "loadgen",
+            "{mismatches} responses diverged bitwise from offline scoring"
+        );
+        failed = true;
+    }
+    if stats.score_ok != counts.responses_ok {
+        obs::error!(
+            "loadgen",
+            "daemon counted {} ok responses, clients saw {}",
+            stats.score_ok,
+            counts.responses_ok
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "[loadgen] all {} responses bitwise-identical to offline scoring",
+        counts.responses_ok
+    );
+}

@@ -15,19 +15,16 @@
 //!
 //! Without `--model`, the binary trains on the fixture fleet, saves the
 //! model to `OUT/model.json`, reloads it from disk, and scores with the
-//! **loaded** copy — asserting first that the loaded forest reproduces
-//! the in-memory predictions bitwise and that save→load→save is
-//! byte-identical. The deterministic section of `scoring.json` is
-//! byte-stable across thread counts; throughput lives in the
-//! nondeterministic section.
+//! **loaded** copy — `bench::model_source` asserts that the loaded
+//! forest reproduces the in-memory predictions bitwise and that
+//! save→load→save is byte-identical. The deterministic section of
+//! `scoring.json` is byte-stable across thread counts; throughput
+//! lives in the nondeterministic section.
 
-use features::{FeatureConfig, FeatureExtractor};
-use forest::tree::TreeParams;
-use forest::{Dataset, GridSearch, MaxFeatures, RandomForest, RandomForestParams};
-use serve::{score_batch, GridProvenance, ModelMeta, SavedModel, ScoringTiming, MODEL_FILE};
+use bench::model_source::{fixture_dataset, obtain_model, ModelSpec};
+use serve::{score_batch, ScoringTiming};
 use std::path::PathBuf;
 use std::time::Instant;
-use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
 
 struct Options {
     scale: f64,
@@ -79,102 +76,6 @@ fn parse(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn scoring_dataset(scale: f64, seed: u64) -> Dataset {
-    let fleet = Fleet::generate(FleetConfig::new(
-        RegionConfig::region_1().scaled(scale),
-        seed,
-    ));
-    let census = Census::new(&fleet);
-    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
-    extractor.build_dataset(&census, None).0
-}
-
-fn tuning_candidates() -> Vec<RandomForestParams> {
-    let mut out = Vec::new();
-    for &n_trees in &[20usize, 40] {
-        for &max_depth in &[8usize, 24] {
-            out.push(RandomForestParams {
-                n_trees,
-                tree: TreeParams {
-                    max_depth,
-                    ..TreeParams::default()
-                },
-                max_features: MaxFeatures::Sqrt,
-                bootstrap: true,
-            });
-        }
-    }
-    out
-}
-
-/// Trains on `data`, saves to `OUT/model.json`, reloads from disk, and
-/// verifies the loaded copy against the in-memory one bitwise. Returns
-/// the loaded model.
-fn train_and_persist(data: &Dataset, options: &Options) -> SavedModel {
-    let (params, grid) = if options.tune {
-        println!(
-            "[scored] tuning over {} candidates ...",
-            tuning_candidates().len()
-        );
-        let result = GridSearch::new(tuning_candidates(), 5).run(data, options.seed);
-        (
-            result.best_params,
-            Some(GridProvenance::from_result(&result)),
-        )
-    } else {
-        (RandomForestParams::default(), None)
-    };
-    println!(
-        "[scored] training {} trees on {} examples x {} features",
-        params.n_trees,
-        data.len(),
-        data.feature_count()
-    );
-    let forest = RandomForest::fit(data, &params, options.seed);
-    let saved = SavedModel {
-        forest,
-        meta: ModelMeta {
-            positive_fraction: data.class_fraction(1),
-            seed: options.seed,
-            params,
-            grid,
-        },
-    };
-
-    let path = options.out.join(MODEL_FILE);
-    if let Err(e) = saved.save(&path) {
-        obs::error!("scored", "cannot save model to {}: {e}", path.display());
-        std::process::exit(1);
-    }
-    let loaded = match SavedModel::load(&path) {
-        Ok(m) => m,
-        Err(e) => {
-            obs::error!("scored", "cannot reload {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    };
-
-    // The tentpole guarantee: persistence is lossless.
-    for i in 0..data.len() {
-        assert_eq!(
-            loaded.forest.predict_proba_row(data, i),
-            saved.forest.predict_proba_row(data, i),
-            "loaded model diverged from the in-memory forest on row {i}"
-        );
-    }
-    assert_eq!(
-        loaded.render(),
-        saved.render(),
-        "save-load-save is not byte-identical"
-    );
-    println!(
-        "[scored] wrote {} and verified the reload bitwise on {} rows",
-        path.display(),
-        data.len()
-    );
-    loaded
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse(&args) {
@@ -196,34 +97,28 @@ fn main() {
         "[scored] building scoring dataset (scale {}, seed {})",
         options.scale, options.seed
     );
-    let data = scoring_dataset(options.scale, options.seed);
+    let data = fixture_dataset(options.scale, options.seed);
 
-    let model = match &options.model {
-        Some(path) => match SavedModel::load(path) {
-            Ok(m) => {
-                println!(
-                    "[scored] loaded {} ({} trees, {} features)",
-                    path.display(),
-                    m.forest.tree_count(),
-                    m.forest.feature_names().len()
-                );
-                m
-            }
-            Err(e) => {
-                obs::error!("scored", "cannot load {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        },
-        None => train_and_persist(&data, &options),
+    let spec = ModelSpec {
+        load_from: options.model.clone(),
+        seed: options.seed,
+        tune: options.tune,
+        save_dir: options.out.clone(),
     };
-
-    if model.forest.feature_names() != data.feature_names() {
-        obs::error!(
-            "scored",
-            "model was trained on a different feature schema than this fleet produces"
-        );
-        std::process::exit(1);
-    }
+    let model = match obtain_model(&data, &spec) {
+        Ok(m) => {
+            println!(
+                "[scored] model ready ({} trees, {} features)",
+                m.forest.tree_count(),
+                m.forest.feature_names().len()
+            );
+            m
+        }
+        Err(e) => {
+            obs::error!("scored", "{e}");
+            std::process::exit(1);
+        }
+    };
 
     let started = Instant::now();
     let batch = score_batch(&model.forest, &data, model.meta.positive_fraction);

@@ -16,15 +16,11 @@
 //! count); the timing values themselves naturally vary run to run.
 
 use bench::legacy::{legacy_grid_search, LegacyDataset, LegacyForest};
-use features::{FeatureConfig, FeatureExtractor};
-use forest::tree::TreeParams;
-use forest::{
-    cross_val_accuracy, Dataset, GridSearch, MaxFeatures, RandomForest, RandomForestParams,
-};
+use bench::model_source::{fixture_dataset, tuning_candidates, verify_persisted};
+use forest::{cross_val_accuracy, GridSearch, RandomForest, RandomForestParams};
 use std::path::PathBuf;
 use std::time::Instant;
 use survdb::json::{Json, ToJson};
-use telemetry::{Census, Fleet, FleetConfig, RegionConfig};
 
 struct Options {
     scale: f64,
@@ -109,35 +105,6 @@ fn timing(label: &str, legacy_ms: f64, new_ms: f64) -> (Json, f64) {
     )
 }
 
-fn grid_candidates() -> Vec<RandomForestParams> {
-    // A small but realistic tuning surface: tree count × depth.
-    let mut out = Vec::new();
-    for &n_trees in &[20usize, 40] {
-        for &max_depth in &[8usize, 24] {
-            out.push(RandomForestParams {
-                n_trees,
-                tree: TreeParams {
-                    max_depth,
-                    ..TreeParams::default()
-                },
-                max_features: MaxFeatures::Sqrt,
-                bootstrap: true,
-            });
-        }
-    }
-    out
-}
-
-fn benchmark_dataset(scale: f64, seed: u64) -> Dataset {
-    let fleet = Fleet::generate(FleetConfig::new(
-        RegionConfig::region_1().scaled(scale),
-        seed,
-    ));
-    let census = Census::new(&fleet);
-    let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
-    extractor.build_dataset(&census, None).0
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse(&args) {
@@ -156,7 +123,7 @@ fn main() {
         "[trainperf] building benchmark dataset (scale {}, seed {})",
         options.scale, options.seed
     );
-    let data = benchmark_dataset(options.scale, options.seed);
+    let data = fixture_dataset(options.scale, options.seed);
     let legacy_data = LegacyDataset::from_columnar(&data);
     println!(
         "[trainperf] {} examples x {} features",
@@ -232,7 +199,7 @@ fn main() {
     );
 
     // --- grid search --------------------------------------------------
-    let candidates = grid_candidates();
+    let candidates = tuning_candidates();
     let ((legacy_grid, legacy_grid_ms), (grid, grid_ms)) = best_of_pair(
         || legacy_grid_search(&data, &legacy_data, &candidates, k, options.seed),
         || GridSearch::new(candidates.clone(), k).run(&data, options.seed),
@@ -287,16 +254,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut persisted_mismatches = 0usize;
-    for i in 0..data.len() {
-        if loaded.forest.predict_proba_row(&data, i) != model.predict_proba_row(&data, i) {
-            persisted_mismatches += 1;
+    let rendered_bytes = match verify_persisted(&saved, &loaded, &data) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            obs::error!("trainperf", "{e}");
+            std::process::exit(1);
         }
-    }
-    assert_eq!(
-        persisted_mismatches, 0,
-        "loaded model diverged from the in-memory forest on {persisted_mismatches} rows"
-    );
+    };
     let q = saved.meta.positive_fraction;
     let in_memory_positives: Vec<f64> = (0..data.len())
         .map(|i| model.predict_positive_proba_row(&data, i))
@@ -309,16 +273,10 @@ fn main() {
         forest::PartitionedPredictions::partition(&in_memory_positives, q),
         "confident/uncertain partition diverged after reload"
     );
-    let rendered = saved.render();
-    assert_eq!(
-        loaded.render(),
-        rendered,
-        "save-load-save is not byte-identical"
-    );
     println!(
         "[trainperf] persisted model round-trips bitwise on all {} rows ({} bytes)",
         data.len(),
-        rendered.len()
+        rendered_bytes
     );
 
     println!("\n[trainperf] timings:");
@@ -336,7 +294,7 @@ fn main() {
         (
             "model_roundtrip",
             Json::obj(vec![
-                ("bytes", Json::UInt(rendered.len() as u64)),
+                ("bytes", Json::UInt(rendered_bytes as u64)),
                 ("bitwise_identical", Json::Bool(true)),
             ]),
         ),

@@ -7,6 +7,7 @@
 //! harness computes each subgroup once and caches it.
 
 pub mod legacy;
+pub mod model_source;
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -170,6 +171,8 @@ fn binary_target(binary: &str) -> &'static str {
         "trainperf" => "trainperf",
         "faultsweep" => "faultsweep",
         "scored" => "scored",
+        "survd" => "survd",
+        "loadgen" => "loadgen",
         _ => "bench",
     }
 }

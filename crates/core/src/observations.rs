@@ -4,6 +4,18 @@ use serde::Serialize;
 use survival::{logrank_test_k, KaplanMeier, SurvivalData};
 use telemetry::{Census, Edition};
 
+/// Obs 3.1 acceptance bound on the subscription side: the paper's §3.1
+/// finding is that a *small minority* of subscriptions create only
+/// ephemeral (≤ 30-day) databases, so the share must stay strictly
+/// below this cap.
+pub const OBS31_EPHEMERAL_SUBSCRIPTION_SHARE_MAX: f64 = 0.25;
+
+/// Obs 3.1 acceptance bound on the database side: those few
+/// subscriptions nonetheless own a *disproportionate* slice of all
+/// databases — the database share must strictly exceed the
+/// subscription share by at least this multiple.
+pub const OBS31_DATABASE_TO_SUBSCRIPTION_SHARE_RATIO: f64 = 2.0;
+
 /// Quantified observations 3.1–3.3 for one region.
 #[derive(Debug, Clone, Serialize)]
 pub struct ObservationReport {
@@ -102,8 +114,10 @@ impl ObservationReport {
     /// 3.1 few subscriptions / many databases; 3.2 editions differ
     /// significantly; 3.3 Premium changes edition far more often.
     pub fn all_hold(&self) -> bool {
-        let obs31 = self.ephemeral_only_subscription_share < 0.25
-            && self.ephemeral_only_database_share > 2.0 * self.ephemeral_only_subscription_share;
+        let obs31 = self.ephemeral_only_subscription_share < OBS31_EPHEMERAL_SUBSCRIPTION_SHARE_MAX
+            && self.ephemeral_only_database_share
+                > OBS31_DATABASE_TO_SUBSCRIPTION_SHARE_RATIO
+                    * self.ephemeral_only_subscription_share;
         let obs32 = self.edition_logrank_p < 0.001;
         let basic = self.edition_change_rates[0].1;
         let standard = self.edition_change_rates[1].1;
@@ -130,6 +144,41 @@ mod tests {
             let report = ObservationReport::compute(&census);
             assert!(report.all_hold(), "{id}: {report:?}");
         }
+    }
+
+    /// A synthetic report where Obs 3.2 and 3.3 comfortably hold, so
+    /// `all_hold` isolates the Obs 3.1 thresholds.
+    fn synthetic_report(sub_share: f64, db_share: f64) -> ObservationReport {
+        ObservationReport {
+            region: "synthetic".to_string(),
+            ephemeral_only_subscription_share: sub_share,
+            ephemeral_only_database_share: db_share,
+            edition_survival: Vec::new(),
+            edition_logrank_p: 1e-6,
+            edition_change_rates: vec![
+                ("Basic".to_string(), 0.01),
+                ("Standard".to_string(), 0.02),
+                ("Premium".to_string(), 0.50),
+            ],
+        }
+    }
+
+    #[test]
+    fn obs31_thresholds_are_pinned() {
+        // The named constants carry the §3.1 acceptance semantics; a
+        // drive-by change to either must fail here, not silently
+        // loosen the reproduction.
+        assert_eq!(OBS31_EPHEMERAL_SUBSCRIPTION_SHARE_MAX, 0.25);
+        assert_eq!(OBS31_DATABASE_TO_SUBSCRIPTION_SHARE_RATIO, 2.0);
+
+        // Comfortably inside both bounds.
+        assert!(synthetic_report(0.10, 0.30).all_hold());
+        // The subscription cap is strict: exactly 0.25 fails.
+        assert!(!synthetic_report(0.25, 0.90).all_hold());
+        assert!(synthetic_report(0.2499, 0.90).all_hold());
+        // The database-share ratio is strict: exactly 2x fails.
+        assert!(!synthetic_report(0.10, 0.20).all_hold());
+        assert!(synthetic_report(0.10, 0.2001).all_hold());
     }
 
     #[test]

@@ -179,6 +179,50 @@ pub fn scoring_block(s: &serve::ScoreSummary) -> String {
     out
 }
 
+/// Plain-text block for a closed-loop serving run (`loadgen` binary):
+/// outcome counts, throughput/latency, and the positive-probability
+/// spectrum over every scored row.
+pub fn serving_block(counts: &survd::ServingCounts, timing: &survd::ServingTiming) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "--- served {} requests: {} ok / {} shed / {} error ({} rows scored)\n",
+        counts.requests_sent,
+        counts.responses_ok,
+        counts.responses_shed,
+        counts.responses_error,
+        counts.rows_scored
+    ));
+    out.push_str(&format!(
+        "  throughput  {:.0} req/s   {:.0} rows/s   ({:.1} ms elapsed)\n",
+        timing.requests_per_second, timing.rows_per_second, timing.elapsed_ms
+    ));
+    out.push_str(&format!(
+        "  latency ms  p50 {:.2}   p95 {:.2}   p99 {:.2}   max {:.2}   mean {:.2}\n",
+        timing.latency_p50_ms,
+        timing.latency_p95_ms,
+        timing.latency_p99_ms,
+        timing.latency_max_ms,
+        timing.latency_mean_ms
+    ));
+    let peak = counts
+        .score_histogram
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    for (b, &count) in counts.score_histogram.iter().enumerate() {
+        let close = if b == 9 { ']' } else { ')' };
+        let bar = "#".repeat((count * 40 / peak) as usize);
+        out.push_str(&format!(
+            "  p+ [{:.1}, {:.1}{close} {count:>7}  {bar}\n",
+            b as f64 / 10.0,
+            (b + 1) as f64 / 10.0,
+        ));
+    }
+    out
+}
+
 /// Renders an indented span-tree timing table from an [`obs`]
 /// snapshot: one row per span path, indented by nesting depth, with
 /// call count, total and mean wall time, and the number of distinct
@@ -318,6 +362,37 @@ mod tests {
         assert!(block.contains("p+ [0.0, 0.1)"), "{block}");
         assert!(block.contains("p+ [0.9, 1.0]"), "{block}");
         // The fullest bucket gets the longest bar.
+        assert!(block.contains(&"#".repeat(40)), "{block}");
+    }
+
+    #[test]
+    fn serving_block_renders_counts_and_latency() {
+        let counts = survd::ServingCounts {
+            requests_sent: 200,
+            responses_ok: 198,
+            responses_shed: 2,
+            responses_error: 0,
+            rows_scored: 792,
+            score_histogram: [99, 99, 79, 79, 40, 40, 79, 79, 99, 99],
+        };
+        let timing = survd::ServingTiming {
+            elapsed_ms: 125.0,
+            requests_per_second: 1584.0,
+            rows_per_second: 6336.0,
+            latency_p50_ms: 1.25,
+            latency_p95_ms: 3.5,
+            latency_p99_ms: 4.75,
+            latency_max_ms: 9.0,
+            latency_mean_ms: 1.5,
+        };
+        let block = serving_block(&counts, &timing);
+        assert!(
+            block.contains("served 200 requests: 198 ok / 2 shed / 0 error"),
+            "{block}"
+        );
+        assert!(block.contains("792 rows scored"), "{block}");
+        assert!(block.contains("p50 1.25"), "{block}");
+        assert!(block.contains("p+ [0.9, 1.0]"), "{block}");
         assert!(block.contains(&"#".repeat(40)), "{block}");
     }
 

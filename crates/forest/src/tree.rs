@@ -1196,7 +1196,10 @@ impl DecisionTree {
             return Err("tree must test at least one feature".to_string());
         }
         if flat.class_count < 2 {
-            return Err(format!("class count must be >= 2, got {}", flat.class_count));
+            return Err(format!(
+                "class count must be >= 2, got {}",
+                flat.class_count
+            ));
         }
         for (name, len) in [
             ("feature", flat.feature.len()),

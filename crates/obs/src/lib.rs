@@ -33,6 +33,7 @@
 pub mod event;
 pub mod jsonv;
 pub mod registry;
+pub mod render;
 pub mod span;
 pub mod trace;
 
@@ -40,6 +41,7 @@ pub use event::{event, event_with, Level};
 pub use registry::{
     count, count_many, enabled, gauge, EventRecord, InstallGuard, Registry, Snapshot, SpanSnapshot,
 };
+pub use render::render_metrics;
 pub use span::{enter_span, SpanGuard, SpanPath};
 
 /// Opens a hierarchical span: `let _span = obs::span!("grid_search");`.

@@ -36,4 +36,4 @@ pub use artifact::{
 };
 pub use error::ModelError;
 pub use format::{GridProvenance, ModelMeta, SavedModel, MODEL_FILE, MODEL_SCHEMA};
-pub use score::{score_batch, ScoreSummary, ScoredBatch, ScoredRow};
+pub use score::{histogram_bucket, score_batch, score_rows, ScoreSummary, ScoredBatch, ScoredRow};

@@ -76,8 +76,7 @@ impl ScoredBatch {
         let mut sum = 0.0;
         for row in &self.rows {
             sum += row.positive;
-            let bucket = ((row.positive * 10.0).floor() as usize).min(9);
-            summary.histogram[bucket] += 1;
+            summary.histogram[histogram_bucket(row.positive)] += 1;
             if row.predicted == 1 {
                 summary.predicted_positive += 1;
             } else {
@@ -129,6 +128,39 @@ pub struct ScoreSummary {
     /// Positive-probability histogram: bucket `b` counts rows with
     /// `p` in `[b/10, (b+1)/10)` (the last bucket includes 1.0).
     pub histogram: [u64; 10],
+}
+
+/// The [`ScoreSummary::histogram`] bucket for a positive-class
+/// probability.
+///
+/// Buckets follow a half-open convention: bucket `b` covers
+/// `[b/10, (b+1)/10)`, except the last bucket, which closes at 1.0.
+/// Boundary probabilities therefore land deterministically in the
+/// *upper* bucket — 0.1 is bucket 1, 0.5 is bucket 5 — and exactly
+/// 1.0 folds into bucket 9 rather than a phantom bucket 10. Every
+/// artifact and report that renders the histogram shares this one
+/// definition.
+pub fn histogram_bucket(positive: f64) -> usize {
+    ((positive * 10.0).floor() as usize).min(9)
+}
+
+/// Scores raw feature rows (no labels) — the serving path's entry
+/// point. Equivalent to building a dataset from `rows` and calling
+/// [`score_batch`]; each row's probabilities are an independent
+/// sequential tree walk, so scoring a concatenation of requests is
+/// bitwise identical to scoring each request alone (the micro-batcher
+/// relies on this).
+///
+/// # Panics
+///
+/// Panics (via `Dataset::push`) if any row has the wrong feature count
+/// or a non-finite value — callers validate at the protocol boundary.
+pub fn score_rows(model: &RandomForest, rows: &[Vec<f64>], positive_fraction: f64) -> ScoredBatch {
+    let mut data = Dataset::new(model.feature_names().to_vec(), 2);
+    for row in rows {
+        data.push(row.clone(), 0);
+    }
+    score_batch(model, &data, positive_fraction)
 }
 
 /// Scores every row of `data` with `model`, partitioning by the
@@ -250,6 +282,33 @@ mod tests {
         assert_eq!(summary.histogram.iter().sum::<u64>(), summary.rows as u64);
         assert!((0.0..=1.0).contains(&summary.mean_positive));
         assert_eq!(summary.threshold, confidence_threshold(q));
+    }
+
+    #[test]
+    fn histogram_buckets_are_half_open_and_boundary_stable() {
+        // Each decade boundary k/10 lands in bucket k (half-open
+        // convention), and 1.0 folds into the last bucket instead of
+        // indexing out of range. Pinned so a refactor of the bucket
+        // arithmetic cannot silently shift boundary probabilities.
+        for k in 0..10usize {
+            assert_eq!(histogram_bucket(k as f64 / 10.0), k, "boundary {k}/10");
+        }
+        assert_eq!(histogram_bucket(0.1), 1);
+        assert_eq!(histogram_bucket(0.5), 5);
+        assert_eq!(histogram_bucket(1.0), 9);
+        // Interior values stay in their decade.
+        assert_eq!(histogram_bucket(0.099999999), 0);
+        assert_eq!(histogram_bucket(0.49999999999), 4);
+        assert_eq!(histogram_bucket(0.999999), 9);
+    }
+
+    #[test]
+    fn score_rows_matches_score_batch() {
+        let (data, model, q) = fixture();
+        let rows: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i)).collect();
+        let via_rows = score_rows(&model, &rows, q);
+        let via_dataset = score_batch(&model, &data, q);
+        assert_eq!(via_rows, via_dataset);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! `serving-schema-check` — validates the structure of a
+//! `serving.json` so producer drift fails the build.
+//!
+//! ```text
+//! cargo run -p survdb-survd --bin serving-schema-check -- [PATH ...]
+//! ```
+//!
+//! Each PATH (default `artifacts/serving.json`) must parse and satisfy
+//! the `survdb-serving/v1` schema (see `survd::artifact`), including
+//! the counting identities. Exits nonzero on the first violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() {
+        vec!["artifacts/serving.json".to_string()]
+    } else {
+        args
+    };
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs::error!("schema-check", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = survd::validate_serving(&text) {
+            obs::error!("schema-check", "{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[schema-check] {path}: valid {}", survd::SERVING_SCHEMA);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,344 @@
+//! A minimal HTTP/1.1 server protocol: request reading and response
+//! writing over any `Read`/`Write` pair.
+//!
+//! Hand-rolled on purpose (dependency policy: std only). Supports
+//! exactly what the daemon needs: request line + headers +
+//! `Content-Length` bodies, keep-alive with `Connection: close`
+//! opt-out, and bounded header/body sizes so a misbehaving client
+//! cannot balloon memory. No chunked transfer encoding, no pipelining
+//! guarantees beyond strict request-at-a-time processing.
+
+use std::io::{self, BufRead, Write};
+
+/// Size bounds applied while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes across the request line and all header lines.
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), verbatim.
+    pub path: String,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any request byte — the peer closed a
+    /// keep-alive connection between requests.
+    Closed,
+    /// The socket read timed out before any request byte arrived (an
+    /// idle keep-alive connection); safe to retry or close.
+    IdleTimeout,
+    /// Malformed or over-limit request; the caller should answer 400
+    /// and close.
+    Malformed(String),
+    /// Transport failure mid-request.
+    Io(io::Error),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, retrying through
+/// read timeouts once any byte of the line has arrived.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, ReadError> {
+    let mut raw = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => {
+                if raw.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(ReadError::Malformed("truncated line".to_string()));
+            }
+            Ok(_) => {
+                if raw.last() == Some(&b'\n') {
+                    break;
+                }
+                // Short read without a terminator (can happen at buffer
+                // boundaries); keep reading.
+            }
+            Err(e) if is_timeout(&e) => {
+                if raw.is_empty() {
+                    return Err(ReadError::IdleTimeout);
+                }
+                // Mid-line timeout: the request has started, keep
+                // waiting for the rest.
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if raw.len() > *budget {
+            return Err(ReadError::Malformed("header section too large".to_string()));
+        }
+    }
+    if raw.len() > *budget {
+        return Err(ReadError::Malformed("header section too large".to_string()));
+    }
+    *budget -= raw.len();
+    while matches!(raw.last(), Some(b'\n' | b'\r')) {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| ReadError::Malformed("non-UTF-8 header".to_string()))
+}
+
+/// Reads one full request (blocking until the body is complete).
+///
+/// Timeouts configured on the underlying stream surface as
+/// [`ReadError::IdleTimeout`] only when no byte of the request has
+/// arrived yet; once a request has started, reading retries through
+/// timeouts so a slow client cannot corrupt framing.
+pub fn read_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Request, ReadError> {
+    let mut budget = limits.max_head_bytes;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut budget) {
+            Ok(line) => line,
+            Err(ReadError::Closed | ReadError::IdleTimeout) => {
+                return Err(ReadError::Malformed("truncated headers".to_string()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(ReadError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {}-byte limit",
+            limits.max_body_bytes
+        )));
+    }
+
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(ReadError::Malformed("truncated body".to_string())),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one response with `Content-Length` framing. `extra_headers`
+/// are emitted verbatim after the standard ones.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        status_reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn read(text: &str) -> Result<Request, ReadError> {
+        read_request(
+            &mut BufReader::new(Cursor::new(text.as_bytes().to_vec())),
+            &HttpLimits::default(),
+        )
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r =
+            read("POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"extra-ignored")
+                .expect("parses");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/score");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, b"{\"a\"");
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let r = read("GET /healthz HTTP/1.1\r\nConnection: Close\r\n\r\n").expect("parses");
+        assert_eq!(r.method, "GET");
+        assert!(r.body.is_empty());
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn sequential_requests_on_one_connection() {
+        let text = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(text.as_bytes().to_vec()));
+        let limits = HttpLimits::default();
+        assert_eq!(read_request(&mut reader, &limits).unwrap().path, "/a");
+        assert_eq!(read_request(&mut reader, &limits).unwrap().path, "/b");
+        assert!(matches!(
+            read_request(&mut reader, &limits),
+            Err(ReadError::Closed)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(matches!(
+            read("NONSENSE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read("GET /x SPDY/9\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read("GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        // Body larger than the limit is refused before allocation.
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(matches!(read(&huge), Err(ReadError::Malformed(_))));
+        // Header section over budget.
+        let long = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "v".repeat(9000));
+        assert!(matches!(read(&long), Err(ReadError::Malformed(_))));
+        // Truncated body.
+        assert!(matches!(
+            read("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_is_framed_with_content_length() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            &[("retry-after", "1".to_string())],
+            b"{\"error\": \"shed\"}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("content-length: 17\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(
+            text.contains("connection: keep-alive\r\n\r\n{\"error\": \"shed\"}"),
+            "{text}"
+        );
+    }
+}

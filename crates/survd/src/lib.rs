@@ -1,0 +1,58 @@
+//! `survd` — the online scoring daemon: micro-batching, backpressure,
+//! graceful drain.
+//!
+//! The offline pipeline (train → persist → `scored`) answers "what
+//! does the model say about this fleet snapshot"; `survd` answers it
+//! *online*: a long-lived process that loads a `serve::SavedModel`
+//! once and serves `POST /score` over hand-rolled HTTP/1.1 on
+//! `std::net` (dependency policy: std only).
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`http`] — minimal HTTP/1.1 request reading / response writing
+//!   with bounded head and body sizes.
+//! - [`wire`] — the `/score` JSON request/response over `obs::jsonv`,
+//!   byte-deterministic rendering (shortest-roundtrip floats, so
+//!   loopback tests compare probabilities bitwise).
+//! - [`queue`] — the bounded MPMC queue: non-blocking admission
+//!   (full → HTTP 429 + `Retry-After`), blocking connection hand-off,
+//!   close-and-drain semantics, and a peak-depth high-water mark as
+//!   the bounded-memory witness.
+//! - [`batcher`] — the pure coalescing state machine: flush on a row
+//!   threshold or the oldest request's deadline, driven by a
+//!   [`clock::Clock`] so tests never sleep. Coalescing is transparent:
+//!   per-row probabilities are independent tree walks, so batched
+//!   scoring is bitwise identical to scoring each request alone.
+//! - [`server`] — the daemon itself: acceptor thread, fixed worker
+//!   pool, batcher thread over `serve::score_rows`, `/healthz`,
+//!   `/metrics` (an installed `obs::Registry` rendered as text), and
+//!   [`server::ServerHandle::shutdown`] which drains every admitted
+//!   request before returning.
+//! - [`client`] — the matching HTTP/1.1 client, shared by the
+//!   `loadgen` load generator and the loopback end-to-end tests.
+//! - [`artifact`] — `artifacts/serving.json` (`survdb-serving/v1`),
+//!   split deterministic/nondeterministic like every other artifact,
+//!   produced by the `loadgen` binary and validated by
+//!   `serving-schema-check` in CI.
+
+pub mod artifact;
+pub mod batcher;
+pub mod client;
+pub mod clock;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use artifact::{
+    deterministic_serving_section, render_serving, validate_serving, write_serving, ServingCorpus,
+    ServingCounts, ServingRunConfig, ServingTiming, SERVING_FILE, SERVING_SCHEMA,
+};
+pub use batcher::{BatchPolicy, BatcherCore};
+pub use client::{Client, Response};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use server::{start, ServerConfig, ServerHandle, StatsSnapshot};
+pub use wire::{
+    parse_score_request, parse_score_response, render_score_request, render_score_response,
+    RowScore, ScoreRequest, RESPONSE_SCHEMA,
+};

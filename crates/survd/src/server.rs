@@ -1,0 +1,627 @@
+//! The scoring daemon: acceptor, worker pool, micro-batcher,
+//! bounded admission, graceful drain.
+//!
+//! ```text
+//!                      ┌──────────────┐
+//!  TCP accept ───────▶ │ conn queue   │──▶ workers (parse HTTP,
+//!  (acceptor thread)   │ (blocking)   │    validate, admit)
+//!                      └──────────────┘         │ try_push
+//!                                               ▼
+//!                      ┌──────────────┐   full → 429 + Retry-After
+//!                      │ admission    │   draining → 503
+//!                      │ queue (≤ K)  │
+//!                      └──────┬───────┘
+//!                             ▼ pop (deadline-timed)
+//!                      batcher thread: coalesce → `serve::score_rows`
+//!                             │ fulfill response slots
+//!                             ▼
+//!                      workers render JSON, write responses
+//! ```
+//!
+//! Overload degrades gracefully instead of OOMing: the connection
+//! hand-off blocks the acceptor (TCP backlog backpressure), the
+//! admission queue is a hard bound with non-blocking pushes (excess
+//! requests shed with 429), and request bodies/rows are size-capped.
+//! Shutdown ([`ServerHandle::shutdown`]) is the SIGTERM-equivalent:
+//! it sets the drain flag, wakes the listener with a loopback connect,
+//! refuses new scoring work with 503, scores everything already
+//! admitted, and joins every thread before returning.
+
+use crate::batcher::{batch_size_bucket, BatchPolicy, BatcherCore};
+use crate::clock::{Clock, SystemClock};
+use crate::http::{self, HttpLimits, ReadError, Request};
+use crate::queue::{Bounded, Pop, PushError};
+use crate::wire::{self, RowScore};
+use obs::jsonv::JsonV;
+use serve::SavedModel;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity K: at most K score requests queued
+    /// ahead of the batcher; excess requests shed with 429.
+    pub queue_capacity: usize,
+    /// Micro-batcher flush policy.
+    pub batch: BatchPolicy,
+    /// Maximum feature rows in one request (413 beyond).
+    pub max_rows_per_request: usize,
+    /// HTTP framing limits.
+    pub http: HttpLimits,
+    /// Socket read-timeout granularity; bounds how long an idle
+    /// keep-alive connection can delay drain.
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 128,
+            batch: BatchPolicy::default(),
+            max_rows_per_request: 1024,
+            http: HttpLimits::default(),
+            idle_timeout_ms: 200,
+        }
+    }
+}
+
+/// Monotonic counters, all relaxed — totals are read after joins.
+#[derive(Default)]
+struct Stats {
+    connections: AtomicU64,
+    http_requests: AtomicU64,
+    score_ok: AtomicU64,
+    score_shed: AtomicU64,
+    score_unavailable: AtomicU64,
+    bad_requests: AtomicU64,
+    not_found: AtomicU64,
+    rows_scored: AtomicU64,
+    batches: AtomicU64,
+    drained_jobs: AtomicU64,
+}
+
+/// A point-in-time copy of the daemon's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted and handled.
+    pub connections: u64,
+    /// HTTP requests parsed (all endpoints).
+    pub http_requests: u64,
+    /// `/score` requests answered 200.
+    pub score_ok: u64,
+    /// `/score` requests shed with 429 (queue full).
+    pub score_shed: u64,
+    /// `/score` requests refused with 503 (draining).
+    pub score_unavailable: u64,
+    /// Requests answered 400/405/413.
+    pub bad_requests: u64,
+    /// Requests answered 404.
+    pub not_found: u64,
+    /// Rows scored by the batcher.
+    pub rows_scored: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Jobs scored after drain began (admitted before shutdown).
+    pub drained_jobs: u64,
+    /// Admission-queue high-water mark; never exceeds capacity K.
+    pub queue_peak: u64,
+}
+
+impl Stats {
+    fn snapshot(&self, queue_peak: usize) -> StatsSnapshot {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            connections: get(&self.connections),
+            http_requests: get(&self.http_requests),
+            score_ok: get(&self.score_ok),
+            score_shed: get(&self.score_shed),
+            score_unavailable: get(&self.score_unavailable),
+            bad_requests: get(&self.bad_requests),
+            not_found: get(&self.not_found),
+            rows_scored: get(&self.rows_scored),
+            batches: get(&self.batches),
+            drained_jobs: get(&self.drained_jobs),
+            queue_peak: queue_peak as u64,
+        }
+    }
+}
+
+/// A response slot one worker waits on and the batcher fulfills.
+struct Slot {
+    result: Mutex<Option<Vec<RowScore>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, scores: Vec<RowScore>) {
+        *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(scores);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Vec<RowScore> {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(scores) = guard.take() {
+                return scores;
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One admitted score request.
+struct Job {
+    rows: Vec<Vec<f64>>,
+    slot: Arc<Slot>,
+}
+
+struct Shared {
+    model: SavedModel,
+    config: ServerConfig,
+    clock: SystemClock,
+    admission: Bounded<Job>,
+    draining: AtomicBool,
+    stats: Stats,
+    registry: Option<Arc<obs::Registry>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (they keep
+/// serving); call `shutdown` for a graceful, fully joined stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    conns: Arc<Bounded<TcpStream>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+/// Starts the daemon: binds, spawns the acceptor, `config.workers`
+/// connection workers, and the batcher thread, then returns.
+///
+/// `registry` is what `GET /metrics` renders; pass the registry the
+/// caller installed (or `None` to serve an empty exposition). The
+/// server never installs a registry itself — observation scoping stays
+/// with the caller.
+pub fn start(
+    model: SavedModel,
+    config: ServerConfig,
+    registry: Option<Arc<obs::Registry>>,
+) -> io::Result<ServerHandle> {
+    assert!(config.workers > 0, "need at least one worker");
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let conns = Arc::new(Bounded::<TcpStream>::new(config.workers.max(1) * 4));
+    let shared = Arc::new(Shared {
+        admission: Bounded::new(config.queue_capacity),
+        model,
+        config,
+        clock: SystemClock::new(),
+        draining: AtomicBool::new(false),
+        stats: Stats::default(),
+        registry,
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("survd-accept".to_string())
+            .spawn(move || acceptor_loop(&listener, &shared, &conns))?
+    };
+
+    let mut workers = Vec::with_capacity(shared.config.workers);
+    for i in 0..shared.config.workers {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("survd-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &conns))?,
+        );
+    }
+
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("survd-batch".to_string())
+            .spawn(move || batcher_loop(&shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        conns,
+        acceptor: Some(acceptor),
+        workers,
+        batcher: Some(batcher),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared
+            .stats
+            .snapshot(self.shared.admission.peak_depth())
+    }
+
+    /// Pauses the batcher's intake: admitted jobs stay queued (still
+    /// occupying their admission slots) until
+    /// [`ServerHandle::resume_batcher`]. The pause is atomic under the
+    /// admission-queue lock, so with the batcher paused exactly
+    /// `queue_capacity` requests are admitted and every further one
+    /// sheds — the deterministic overload hook for tests and drills.
+    pub fn pause_batcher(&self) {
+        self.shared.admission.pause();
+    }
+
+    /// Resumes a paused batcher intake.
+    pub fn resume_batcher(&self) {
+        self.shared.admission.resume();
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new scoring work with
+    /// 503, score everything already admitted, join all threads.
+    /// Returns the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Listener wakeup: the acceptor is blocked in accept(); one
+        // loopback connect makes it re-check the drain flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // No new connections are coming; drain the hand-off queue into
+        // the workers and let them finish their keep-alive loops
+        // (draining makes every response a `connection: close`).
+        self.conns.close();
+        // Admitted jobs drain through the batcher; close overrides a
+        // paused queue, so a pause cannot hold shutdown hostage.
+        self.shared.admission.close();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared, conns: &Bounded<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                obs::count("survd.connections_accepted", 1);
+                if conns.push_wait(stream).is_err() {
+                    break; // hand-off queue closed: shutting down
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, conns: &Bounded<TcpStream>) {
+    loop {
+        match conns.pop_wait(None) {
+            Pop::Item(stream) => handle_connection(shared, stream),
+            Pop::TimedOut => unreachable!("untimed pop"),
+            Pop::Drained => break,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.idle_timeout_ms.max(1),
+    )));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, &shared.config.http) {
+            Ok(request) => {
+                shared.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+                // Close after this exchange when the client asked to
+                // or the daemon is draining.
+                let close = request.wants_close() || shared.draining();
+                if dispatch(shared, &request, &mut writer, close).is_err() || close {
+                    break;
+                }
+            }
+            Err(ReadError::Closed) => break,
+            Err(ReadError::IdleTimeout) => {
+                if shared.draining() {
+                    break;
+                }
+            }
+            Err(ReadError::Malformed(message)) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                obs::count("survd.http_400", 1);
+                let _ = respond_error(&mut writer, 400, &message, true);
+                break;
+            }
+            Err(ReadError::Io(_)) => break,
+        }
+    }
+}
+
+fn respond_error(
+    writer: &mut impl Write,
+    status: u16,
+    message: &str,
+    close: bool,
+) -> io::Result<()> {
+    http::write_response(
+        writer,
+        status,
+        "application/json",
+        &[],
+        wire::render_error(message).as_bytes(),
+        close,
+    )
+}
+
+fn dispatch(
+    shared: &Shared,
+    request: &Request,
+    writer: &mut impl Write,
+    close: bool,
+) -> io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/score") => handle_score(shared, request, writer, close),
+        ("GET", "/score") => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.http_405", 1);
+            respond_error(
+                writer,
+                405,
+                "POST a {\"rows\": [...]} body to /score",
+                close,
+            )
+        }
+        ("GET", "/healthz") => {
+            obs::count("survd.http_healthz", 1);
+            let body = healthz_body(shared);
+            http::write_response(writer, 200, "application/json", &[], body.as_bytes(), close)
+        }
+        ("GET", "/metrics") => {
+            obs::count("survd.http_metrics", 1);
+            let body = match &shared.registry {
+                Some(registry) => obs::render_metrics(&registry.snapshot()),
+                None => "# no registry installed\n".to_string(),
+            };
+            http::write_response(writer, 200, "text/plain", &[], body.as_bytes(), close)
+        }
+        _ => {
+            shared.stats.not_found.fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.http_404", 1);
+            respond_error(writer, 404, "unknown endpoint", close)
+        }
+    }
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    JsonV::obj(vec![
+        (
+            "status",
+            JsonV::Str(if shared.draining() { "draining" } else { "ok" }.to_string()),
+        ),
+        ("queue_depth", JsonV::UInt(shared.admission.len() as u64)),
+        (
+            "queue_capacity",
+            JsonV::UInt(shared.admission.capacity() as u64),
+        ),
+        (
+            "model_trees",
+            JsonV::UInt(shared.model.forest.tree_count() as u64),
+        ),
+        (
+            "model_features",
+            JsonV::UInt(shared.model.forest.feature_names().len() as u64),
+        ),
+        ("threshold", JsonV::Float(shared.model.threshold())),
+    ])
+    .render()
+}
+
+fn handle_score(
+    shared: &Shared,
+    request: &Request,
+    writer: &mut impl Write,
+    close: bool,
+) -> io::Result<()> {
+    obs::count("survd.http_score", 1);
+    let parsed = {
+        let _span = obs::span!("survd_parse");
+        let body = match std::str::from_utf8(&request.body) {
+            Ok(body) => body,
+            Err(_) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                obs::count("survd.http_400", 1);
+                return respond_error(writer, 400, "body is not UTF-8", close);
+            }
+        };
+        wire::parse_score_request(
+            body,
+            shared.model.forest.feature_names().len(),
+            shared.config.max_rows_per_request,
+        )
+    };
+    let score_request = match parsed {
+        Ok(r) => r,
+        Err(message) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let oversized = message.contains("per-request limit");
+            obs::count("survd.http_400", 1);
+            return respond_error(writer, if oversized { 413 } else { 400 }, &message, close);
+        }
+    };
+
+    if shared.draining() {
+        shared
+            .stats
+            .score_unavailable
+            .fetch_add(1, Ordering::Relaxed);
+        obs::count("survd.http_503", 1);
+        return respond_error(writer, 503, "draining: not accepting new work", close);
+    }
+
+    let slot = Arc::new(Slot::new());
+    let job = Job {
+        rows: score_request.rows,
+        slot: Arc::clone(&slot),
+    };
+    match shared.admission.try_push(job) {
+        Ok(depth) => {
+            obs::gauge("survd.queue_depth", depth as f64);
+            let results = {
+                let _span = obs::span!("survd_wait");
+                slot.wait()
+            };
+            shared.stats.score_ok.fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.http_200", 1);
+            let _span = obs::span!("survd_respond");
+            let body = wire::render_score_response(shared.model.threshold(), &results);
+            http::write_response(writer, 200, "application/json", &[], body.as_bytes(), close)
+        }
+        Err(PushError::Full(_)) => {
+            shared.stats.score_shed.fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.shed_429", 1);
+            http::write_response(
+                writer,
+                429,
+                "application/json",
+                &[("retry-after", "1".to_string())],
+                wire::render_error("admission queue full, retry later").as_bytes(),
+                close,
+            )
+        }
+        Err(PushError::Closed(_)) => {
+            shared
+                .stats
+                .score_unavailable
+                .fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.http_503", 1);
+            respond_error(writer, 503, "draining: not accepting new work", close)
+        }
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    let mut core: BatcherCore<Job> = BatcherCore::new(shared.config.batch);
+    loop {
+        let now = shared.clock.now_ms();
+        if core.due(now) {
+            flush(shared, &mut core);
+            continue;
+        }
+        let timeout = core
+            .deadline_ms()
+            .map(|deadline| Duration::from_millis(deadline.saturating_sub(now).max(1)));
+        match shared.admission.pop_wait(timeout) {
+            Pop::Item(job) => {
+                let rows = job.rows.len();
+                core.push(job, rows, shared.clock.now_ms());
+                obs::gauge("survd.queue_depth", shared.admission.len() as f64);
+            }
+            Pop::TimedOut => {} // due() decides on the next pass
+            Pop::Drained => {
+                while !core.is_empty() {
+                    flush(shared, &mut core);
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
+    let jobs = core.take_batch();
+    if jobs.is_empty() {
+        return;
+    }
+    let total_rows: usize = jobs.iter().map(|j| j.rows.len()).sum();
+    let mut all_rows = Vec::with_capacity(total_rows);
+    for job in &jobs {
+        all_rows.extend(job.rows.iter().cloned());
+    }
+    let batch = {
+        let _span = obs::span!("survd_score");
+        serve::score_rows(
+            &shared.model.forest,
+            &all_rows,
+            shared.model.meta.positive_fraction,
+        )
+    };
+    debug_assert_eq!(batch.rows.len(), total_rows);
+
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .rows_scored
+        .fetch_add(total_rows as u64, Ordering::Relaxed);
+    if shared.draining() {
+        shared
+            .stats
+            .drained_jobs
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    }
+    if obs::enabled() {
+        obs::count_many(&[
+            ("survd.batches", 1),
+            ("survd.rows_scored", total_rows as u64),
+            (batch_size_bucket(total_rows), 1),
+        ]);
+    }
+
+    let mut scored = batch.rows.into_iter();
+    for job in jobs {
+        let scores: Vec<RowScore> = scored
+            .by_ref()
+            .take(job.rows.len())
+            .map(|row| RowScore::from_scored(&row))
+            .collect();
+        job.slot.fulfill(scores);
+    }
+}

@@ -1,0 +1,375 @@
+//! Loopback end-to-end tests for the `survd` scoring daemon: real TCP
+//! connections against a running server, pinning the PR's three
+//! acceptance properties plus endpoint behavior.
+//!
+//! 1. **Coalescing transparency** — daemon responses are bitwise
+//!    identical to offline `serve::score_rows`, across worker counts
+//!    and batch policies.
+//! 2. **Deterministic load-shedding** — with the batcher paused and
+//!    queue capacity K, exactly K concurrent requests are admitted and
+//!    every further one sheds with 429 + `Retry-After`; the admission
+//!    queue's high-water mark never exceeds K (bounded memory).
+//! 3. **Graceful drain** — shutdown scores and answers every admitted
+//!    request before returning, even from a paused backlog.
+//!
+//! Tests share the process-global forest thread limit and the obs
+//! registry slot, so they serialize on one mutex.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+use survd::{BatchPolicy, Client, RowScore, ServerConfig};
+
+/// Serializes the tests: they touch process-global state (the obs
+/// registry slot) and each spins up threads; running them one at a
+/// time keeps assertions about counters and queues exact.
+fn serialized() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A small deterministic model + scoring corpus, built once.
+fn fixture() -> &'static (serve::SavedModel, Vec<Vec<f64>>) {
+    static FIXTURE: OnceLock<(serve::SavedModel, Vec<Vec<f64>>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut data = forest::Dataset::new(vec!["x0".into(), "x1".into(), "x2".into()], 2);
+        for i in 0..200 {
+            let x0 = i as f64 / 200.0;
+            let x1 = ((i * 53) % 200) as f64 / 200.0;
+            let x2 = ((i * 17) % 23) as f64 / 23.0;
+            data.push(vec![x0, x1, x2], (x0 * 0.7 + x1 * 0.3 > 0.5) as usize);
+        }
+        let params = forest::RandomForestParams {
+            n_trees: 10,
+            ..forest::RandomForestParams::default()
+        };
+        let forest = forest::RandomForest::fit(&data, &params, 11);
+        let model = serve::SavedModel {
+            forest,
+            meta: serve::ModelMeta {
+                positive_fraction: data.class_fraction(1),
+                seed: 11,
+                params,
+                grid: None,
+            },
+        };
+        let corpus = (0..data.len()).map(|i| data.row(i)).collect();
+        (model, corpus)
+    })
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    Client::connect(addr, Some(Duration::from_secs(30))).expect("connect to daemon")
+}
+
+#[test]
+fn daemon_matches_offline_scoring_across_configs() {
+    let _guard = serialized();
+    let (model, corpus) = fixture();
+    let q = model.meta.positive_fraction;
+    let offline = serve::score_rows(&model.forest, corpus, q);
+    let expected: Vec<RowScore> = offline.rows.iter().map(RowScore::from_scored).collect();
+
+    // Worker count and batch policy are the two axes coalescing varies
+    // over; none of them may leak into response bytes.
+    let configs = [(1usize, 1usize, 0u64), (4, 7, 2), (8, 64, 1)];
+    for &(workers, max_rows, max_wait_ms) in &configs {
+        let config = ServerConfig {
+            workers,
+            batch: BatchPolicy {
+                max_rows,
+                max_wait_ms,
+            },
+            ..ServerConfig::default()
+        };
+        let handle = survd::start(model.clone(), config, None).expect("start daemon");
+        let addr = handle.addr();
+
+        let connections = 3usize;
+        let requests_per_connection = 8usize;
+        let mut clients = Vec::new();
+        for c in 0..connections {
+            let expected = expected.clone();
+            let threshold = model.threshold();
+            clients.push(std::thread::spawn(move || {
+                let (_, corpus) = fixture();
+                let mut client = connect(addr);
+                for r in 0..requests_per_connection {
+                    // Request sizes 1..=5, rows drawn deterministically.
+                    let size = (c + r) % 5 + 1;
+                    let start = (c * 31 + r * 7) % corpus.len();
+                    let indices: Vec<usize> =
+                        (0..size).map(|j| (start + j) % corpus.len()).collect();
+                    let rows: Vec<Vec<f64>> = indices.iter().map(|&i| corpus[i].clone()).collect();
+                    let response = client
+                        .score(&survd::render_score_request(&rows))
+                        .expect("score request");
+                    assert_eq!(response.status, 200, "{:?}", response.text());
+                    let (t, results) = survd::parse_score_response(response.text().expect("utf8"))
+                        .expect("valid response");
+                    assert_eq!(t, threshold, "threshold drifted");
+                    let want: Vec<RowScore> =
+                        indices.iter().map(|&i| expected[i].clone()).collect();
+                    // Bitwise: f64 == through shortest-roundtrip JSON.
+                    assert_eq!(
+                        results, want,
+                        "config ({workers}, {max_rows}, {max_wait_ms}) connection {c} request {r}"
+                    );
+                }
+            }));
+        }
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        let stats = handle.shutdown();
+        assert_eq!(
+            stats.score_ok,
+            (connections * requests_per_connection) as u64
+        );
+        assert_eq!(stats.score_shed, 0);
+        assert_eq!(stats.score_unavailable, 0);
+        assert!(stats.batches >= 1);
+    }
+}
+
+#[test]
+fn overload_sheds_exactly_beyond_queue_capacity() {
+    let _guard = serialized();
+    let (model, corpus) = fixture();
+    let capacity = 4usize;
+    let in_flight = 12usize;
+    let config = ServerConfig {
+        workers: 8,
+        queue_capacity: capacity,
+        ..ServerConfig::default()
+    };
+    let handle = survd::start(model.clone(), config, None).expect("start daemon");
+    let addr = handle.addr();
+
+    // Freeze the batcher first: admitted jobs will sit in the queue,
+    // so admission fills to exactly `capacity` and stays there.
+    handle.pause_batcher();
+
+    let mut clients = Vec::new();
+    for c in 0..in_flight {
+        let row = corpus[c % corpus.len()].clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = connect(addr);
+            let response = client
+                .score(&survd::render_score_request(&[row]))
+                .expect("request");
+            let retry_after = response.header("retry-after").map(str::to_string);
+            (response.status, retry_after)
+        }));
+    }
+
+    // Wait until the excess requests have all shed (the admitted ones
+    // are parked in their response slots).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = handle.stats();
+        if stats.score_shed == (in_flight - capacity) as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sheds never reached {}: {stats:?}",
+            in_flight - capacity
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The backlog is visible and bounded while paused.
+    let mut probe = connect(addr);
+    let health = probe.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    let health_json = obs::jsonv::parse(health.text().expect("utf8")).expect("healthz json");
+    assert_eq!(
+        health_json.get("queue_depth"),
+        Some(&obs::jsonv::JsonV::UInt(capacity as u64))
+    );
+
+    // Unfreeze: the four queued requests complete normally.
+    handle.resume_batcher();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for client in clients {
+        let (status, retry_after) = client.join().expect("client thread");
+        match status {
+            200 => ok += 1,
+            429 => {
+                shed += 1;
+                assert_eq!(retry_after.as_deref(), Some("1"), "429 without Retry-After");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(ok, capacity, "exactly the queue capacity completes");
+    assert_eq!(shed, in_flight - capacity, "every excess request sheds");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.score_ok, capacity as u64);
+    assert_eq!(stats.score_shed, (in_flight - capacity) as u64);
+    // Bounded memory: the queue never grew past its capacity.
+    assert!(
+        stats.queue_peak <= capacity as u64,
+        "queue peak {} exceeded capacity {capacity}",
+        stats.queue_peak
+    );
+}
+
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    let _guard = serialized();
+    let (model, corpus) = fixture();
+    let q = model.meta.positive_fraction;
+    let backlog = 6usize;
+    let config = ServerConfig {
+        workers: 8,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    };
+    let handle = survd::start(model.clone(), config, None).expect("start daemon");
+    let addr = handle.addr();
+
+    // Build a paused backlog of admitted requests.
+    handle.pause_batcher();
+    let mut clients = Vec::new();
+    for row in corpus.iter().take(backlog) {
+        let rows = vec![row.clone()];
+        let want = serve::score_rows(&model.forest, &rows, q)
+            .rows
+            .iter()
+            .map(RowScore::from_scored)
+            .collect::<Vec<_>>();
+        clients.push(std::thread::spawn(move || {
+            let mut client = connect(addr);
+            let response = client
+                .score(&survd::render_score_request(&rows))
+                .expect("request");
+            (response.status, response.body.clone(), want)
+        }));
+    }
+    // Wait until all of the backlog is admitted (visible via healthz).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut probe = connect(addr);
+        let health = probe.request("GET", "/healthz", b"").expect("healthz");
+        let json = obs::jsonv::parse(health.text().expect("utf8")).expect("json");
+        if json.get("queue_depth") == Some(&obs::jsonv::JsonV::UInt(backlog as u64)) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "backlog never formed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Shut down WITHOUT resuming: close overrides the pause, and every
+    // admitted request must still be scored and answered.
+    let stats = handle.shutdown();
+    for client in clients {
+        let (status, body, want) = client.join().expect("client thread");
+        assert_eq!(status, 200, "an admitted request was dropped during drain");
+        let text = std::str::from_utf8(&body).expect("utf8");
+        let (_, results) = survd::parse_score_response(text).expect("valid response");
+        assert_eq!(
+            results, want,
+            "drained response diverged from offline scoring"
+        );
+    }
+    assert_eq!(stats.score_ok, backlog as u64);
+    assert_eq!(
+        stats.drained_jobs, backlog as u64,
+        "all admitted jobs scored after drain began"
+    );
+}
+
+#[test]
+fn healthz_and_metrics_report_server_state() {
+    let _guard = serialized();
+    let (model, corpus) = fixture();
+    let registry = std::sync::Arc::new(obs::Registry::new());
+    let obs_guard = registry.install();
+    let handle = survd::start(
+        model.clone(),
+        ServerConfig::default(),
+        Some(std::sync::Arc::clone(&registry)),
+    )
+    .expect("start daemon");
+    let mut client = connect(handle.addr());
+
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    let json = obs::jsonv::parse(health.text().expect("utf8")).expect("healthz json");
+    assert_eq!(
+        json.get("status"),
+        Some(&obs::jsonv::JsonV::Str("ok".to_string()))
+    );
+    assert_eq!(json.get("queue_depth"), Some(&obs::jsonv::JsonV::UInt(0)));
+    assert_eq!(
+        json.get("model_trees"),
+        Some(&obs::jsonv::JsonV::UInt(model.forest.tree_count() as u64))
+    );
+
+    // One scored request, then the exposition must carry its marks.
+    let response = client
+        .score(&survd::render_score_request(&[corpus[0].clone()]))
+        .expect("score");
+    assert_eq!(response.status, 200);
+    let metrics = client.request("GET", "/metrics", b"").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text().expect("utf8");
+    assert!(
+        text.contains("survdb_counter{name=\"survd.http_200\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("survdb_counter{name=\"survd.rows_scored\"}"),
+        "{text}"
+    );
+    assert!(text.contains("survd_score"), "{text}");
+
+    handle.shutdown();
+    drop(obs_guard);
+}
+
+#[test]
+fn protocol_errors_are_refused_cleanly() {
+    let _guard = serialized();
+    let (model, corpus) = fixture();
+    let config = ServerConfig {
+        max_rows_per_request: 4,
+        ..ServerConfig::default()
+    };
+    let handle = survd::start(model.clone(), config, None).expect("start daemon");
+    let mut client = connect(handle.addr());
+
+    // All on ONE keep-alive connection: errors must not poison it.
+    let bad_json = client.score("this is not json").expect("bad json");
+    assert_eq!(bad_json.status, 400);
+
+    let wrong_arity = client
+        .score(&survd::render_score_request(&[vec![1.0]]))
+        .expect("wrong arity");
+    assert_eq!(wrong_arity.status, 400);
+
+    let oversized = client
+        .score(&survd::render_score_request(&vec![corpus[0].clone(); 5]))
+        .expect("oversized");
+    assert_eq!(oversized.status, 413);
+
+    let not_found = client.request("GET", "/nope", b"").expect("404");
+    assert_eq!(not_found.status, 404);
+
+    let wrong_method = client.request("GET", "/score", b"").expect("405");
+    assert_eq!(wrong_method.status, 405);
+
+    // The connection still works for a valid request afterwards.
+    let good = client
+        .score(&survd::render_score_request(&[corpus[0].clone()]))
+        .expect("good request");
+    assert_eq!(good.status, 200);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.score_ok, 1);
+    assert_eq!(stats.bad_requests, 4, "400 x2, 413, 405");
+    assert_eq!(stats.not_found, 1);
+}
