@@ -1,0 +1,438 @@
+//! `chaossweep` — protocol-chaos sweep against a live scoring daemon.
+//!
+//! ```text
+//! cargo run -p bench --release --bin chaossweep -- [flags]
+//!
+//! flags: --requests N   exchanges per (class, rate) cell (default 32)
+//!        --scale F      population scale for the fixture fleet (default 0.1)
+//!        --seed N       master seed (default 2018)
+//!        --workers N    daemon worker threads (default 2)
+//!        --queue N      daemon admission-queue capacity (default 64)
+//!        --out DIR      artifact directory (default artifacts/)
+//! ```
+//!
+//! The sweep spawns the daemon in-process, then drives every chaos
+//! class (`survd::chaos`) at rates 0.5 and 1.0 — plus one clean cell —
+//! sequentially, one fresh connection per exchange. For each exchange
+//! it asserts the daemon's *typed* reaction contract: clean and
+//! slow-loris exchanges answer 200 with bodies **bitwise identical**
+//! to offline `serve::score_rows` output and the expected hot-swap
+//! generation; truncated frames 400, oversized frames 413, stalled
+//! reads 408, garbage 400, malformed JSON 400; mid-body resets are
+//! unanswerable by design. Between cells it drills the hot-swap path:
+//! a re-rendered copy of the live model must be admitted (generation
+//! increments, scores unchanged), a corrupted candidate must be
+//! refused with 422 while the old generation keeps serving.
+//!
+//! Because injection decisions derive from (seed, ordinal, class) and
+//! the sweep is closed-loop sequential, every outcome count is
+//! deterministic: the artifact's deterministic section is byte-stable
+//! across runs and across worker counts. On success it writes
+//! `artifacts/resilience.json` (`survdb-resilience/v1`); any contract
+//! violation exits nonzero.
+
+use bench::model_source::{fixture_dataset, obtain_model, ModelSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use survd::chaos::{self, ChaosClass, ChaosPlan, Expect, Outcome};
+use survd::{
+    BatchPolicy, CellOutcome, Client, ReloadOutcome, ResilienceConfig, RowScore, ServerConfig,
+};
+
+struct Options {
+    requests: usize,
+    scale: f64,
+    seed: u64,
+    workers: usize,
+    queue: usize,
+    out: PathBuf,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        requests: 32,
+        scale: 0.1,
+        seed: 2018,
+        workers: 2,
+        queue: 64,
+        out: PathBuf::from("artifacts"),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--requests" => {
+                options.requests = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+                i += 2;
+            }
+            "--scale" => {
+                options.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                options.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                i += 2;
+            }
+            "--workers" => {
+                options.workers = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                i += 2;
+            }
+            "--queue" => {
+                options.queue = value()?.parse().map_err(|e| format!("bad --queue: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                options.out = PathBuf::from(value()?);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if options.requests == 0 || options.workers == 0 {
+        return Err("--requests and --workers must be nonzero".to_string());
+    }
+    Ok(options)
+}
+
+/// How long the driver waits for each response: must comfortably cover
+/// the server's stall budget (`max_stall_reads` × idle timeout).
+const READ_TIMEOUT_MS: u64 = 5_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("chaossweep", "{e}");
+            obs::error!(
+                "chaossweep",
+                "usage: chaossweep [--requests N] [--scale F] [--seed N] [--workers N] \
+                 [--queue N] [--out DIR]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let registry = Arc::new(obs::Registry::with_stderr_level(obs::Level::Info));
+    let _guard = registry.install();
+
+    println!(
+        "[chaossweep] building corpus fleet (scale {}, seed {})",
+        options.scale, options.seed
+    );
+    let data = fixture_dataset(options.scale, options.seed);
+    let spec = ModelSpec {
+        load_from: None,
+        seed: options.seed,
+        tune: false,
+        save_dir: options.out.clone(),
+    };
+    let model = match obtain_model(&data, &spec) {
+        Ok(m) => m,
+        Err(e) => {
+            obs::error!("chaossweep", "{e}");
+            std::process::exit(1);
+        }
+    };
+
+    let corpus: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i)).collect();
+    let rows_per_request = 3usize;
+    let offline = serve::score_rows(&model.forest, &corpus, model.meta.positive_fraction);
+    let expected: Vec<RowScore> = offline.rows.iter().map(RowScore::from_scored).collect();
+    let expected_threshold = model.threshold();
+
+    // Tight stall budget so the stalled-read cells resolve fast:
+    // 12 × 25 ms ≈ 300 ms per stalled exchange.
+    let http = survd::http::HttpLimits {
+        max_stall_reads: 12,
+        ..survd::http::HttpLimits::default()
+    };
+    let max_body = http.max_body_bytes;
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: options.workers,
+        queue_capacity: options.queue,
+        batch: BatchPolicy {
+            max_rows: 64,
+            max_wait_ms: 1,
+        },
+        http,
+        idle_timeout_ms: 25,
+        ..ServerConfig::default()
+    };
+    let handle = match survd::start(model.clone(), config, Some(Arc::clone(&registry))) {
+        Ok(h) => h,
+        Err(e) => {
+            obs::error!("chaossweep", "cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    println!(
+        "[chaossweep] daemon on {addr} ({} workers, queue {})",
+        options.workers, options.queue
+    );
+
+    // The sweep grid: one clean cell, then every class at two rates.
+    let mut grid: Vec<(Option<ChaosClass>, f64)> = vec![(None, 0.0)];
+    for class in ChaosClass::ALL {
+        for rate in [0.5, 1.0] {
+            grid.push((Some(class), rate));
+        }
+    }
+
+    let started = Instant::now();
+    let mut cells: Vec<CellOutcome> = Vec::with_capacity(grid.len());
+    let mut reload = ReloadOutcome {
+        attempted: 0,
+        admitted: 0,
+        rejected: 0,
+        generations: 1,
+    };
+    let mut violations = 0u64;
+    let mut expected_generation = 1u64;
+
+    for (cell_index, &(class, rate)) in grid.iter().enumerate() {
+        let plan = match class {
+            None => ChaosPlan::none(options.seed),
+            Some(c) => ChaosPlan::single(c, rate, options.seed),
+        };
+        plan.validate();
+        let mut cell = CellOutcome {
+            class: class.map_or("none".to_string(), |c| c.name().to_string()),
+            rate,
+            sent: options.requests as u64,
+            ok: 0,
+            shed: 0,
+            faulted: 0,
+            degraded: 0,
+            mismatches: 0,
+        };
+        for ordinal in 0..options.requests as u64 {
+            let indices: Vec<usize> = (0..rows_per_request)
+                .map(|j| (ordinal as usize * rows_per_request + j) % corpus.len())
+                .collect();
+            let rows: Vec<Vec<f64>> = indices.iter().map(|&idx| corpus[idx].clone()).collect();
+            let body = survd::render_score_request(&rows);
+            let action = plan.action(ordinal);
+            let expect = chaos::expected(action);
+            let outcome = chaos::drive(addr, &plan, ordinal, &body, max_body + 1, READ_TIMEOUT_MS);
+            match outcome {
+                Outcome::Response { status: 200, body } => {
+                    cell.ok += 1;
+                    if expect != Expect::Status(200) {
+                        obs::error!(
+                            "chaossweep",
+                            "{} ordinal {ordinal}: got 200, expected {expect:?}",
+                            cell.class
+                        );
+                        violations += 1;
+                    }
+                    let want: Vec<RowScore> =
+                        indices.iter().map(|&idx| expected[idx].clone()).collect();
+                    match survd::parse_score_response(&body) {
+                        Ok(parsed)
+                            if parsed.threshold == expected_threshold
+                                && parsed.results == want
+                                && parsed.generation == expected_generation => {}
+                        Ok(parsed) => {
+                            obs::error!(
+                                "chaossweep",
+                                "{} ordinal {ordinal}: 200 body diverged \
+                                 (generation {} vs {expected_generation})",
+                                cell.class,
+                                parsed.generation
+                            );
+                            cell.mismatches += 1;
+                        }
+                        Err(e) => {
+                            obs::error!(
+                                "chaossweep",
+                                "{} ordinal {ordinal}: unparseable 200 body: {e}",
+                                cell.class
+                            );
+                            cell.mismatches += 1;
+                        }
+                    }
+                }
+                Outcome::Response { status: 429, .. } => cell.shed += 1,
+                Outcome::Response { status: 503, .. } => cell.degraded += 1,
+                Outcome::Response { status, .. } => {
+                    cell.faulted += 1;
+                    if expect != Expect::Status(status) {
+                        obs::error!(
+                            "chaossweep",
+                            "{} ordinal {ordinal}: got {status}, expected {expect:?}",
+                            cell.class
+                        );
+                        violations += 1;
+                    }
+                }
+                Outcome::NoResponse => {
+                    cell.faulted += 1;
+                    if expect != Expect::NoResponse {
+                        obs::error!(
+                            "chaossweep",
+                            "{} ordinal {ordinal}: no response, expected {expect:?}",
+                            cell.class
+                        );
+                        violations += 1;
+                    }
+                }
+                Outcome::Transport(e) => {
+                    cell.faulted += 1;
+                    obs::error!(
+                        "chaossweep",
+                        "{} ordinal {ordinal}: transport failure: {e}",
+                        cell.class
+                    );
+                    violations += 1;
+                }
+            }
+        }
+        println!(
+            "[chaossweep] cell {:>2} {:<16} rate {:.2}: {} ok / {} faulted / {} shed / {} degraded / {} mismatches",
+            cell_index, cell.class, rate, cell.ok, cell.faulted, cell.shed, cell.degraded, cell.mismatches
+        );
+        cells.push(cell);
+
+        // Hot-swap drill every few cells: one valid candidate (a
+        // re-render of the live model — same scores, next generation)
+        // and one corrupted candidate that must be refused while the
+        // old generation keeps serving.
+        if (cell_index + 1) % 5 == 0 {
+            let rendered = model.render();
+            match drill_reload(addr, &rendered, true) {
+                Ok(()) => {
+                    reload.attempted += 1;
+                    reload.admitted += 1;
+                    expected_generation += 1;
+                }
+                Err(e) => {
+                    reload.attempted += 1;
+                    obs::error!("chaossweep", "valid reload refused: {e}");
+                    violations += 1;
+                }
+            }
+            let corrupt = rendered.replace("survdb-model/v1", "survdb-model/v9");
+            match drill_reload(addr, &corrupt, false) {
+                Ok(()) => {
+                    reload.attempted += 1;
+                    reload.rejected += 1;
+                }
+                Err(e) => {
+                    reload.attempted += 1;
+                    obs::error!("chaossweep", "corrupt reload mishandled: {e}");
+                    violations += 1;
+                }
+            }
+        }
+    }
+    reload.generations = handle.generation();
+    if reload.generations != expected_generation {
+        obs::error!(
+            "chaossweep",
+            "daemon reports generation {}, sweep expected {expected_generation}",
+            reload.generations
+        );
+        violations += 1;
+    }
+
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let stats = handle.shutdown();
+    println!(
+        "[chaossweep] daemon drained: {} ok, {} bad requests, {} reloads ok, {} rejected",
+        stats.score_ok, stats.bad_requests, stats.reloads_ok, stats.reloads_rejected
+    );
+    if stats.reloads_ok != reload.admitted || stats.reloads_rejected != reload.rejected {
+        obs::error!(
+            "chaossweep",
+            "daemon reload counters ({} ok, {} rejected) disagree with the sweep ({}, {})",
+            stats.reloads_ok,
+            stats.reloads_rejected,
+            reload.admitted,
+            reload.rejected
+        );
+        violations += 1;
+    }
+
+    let run_config = ResilienceConfig {
+        requests_per_cell: options.requests,
+        seed: options.seed,
+        workers: options.workers,
+        queue_capacity: options.queue,
+    };
+    let text = survd::render_resilience(
+        "chaossweep",
+        &run_config,
+        &model,
+        &cells,
+        &reload,
+        elapsed_ms,
+    );
+    if let Err(e) = survd::validate_resilience(&text) {
+        obs::error!("chaossweep", "artifact failed its own schema: {e}");
+        violations += 1;
+    }
+    match survd::write_resilience(
+        &options.out,
+        "chaossweep",
+        &run_config,
+        &model,
+        &cells,
+        &reload,
+        elapsed_ms,
+    ) {
+        Ok(path) => println!("[chaossweep] wrote {}", path.display()),
+        Err(e) => {
+            obs::error!("chaossweep", "cannot write resilience artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    bench::finish_trace(&registry, "chaossweep", &options.out);
+
+    if violations > 0 {
+        obs::error!("chaossweep", "{violations} contract violations");
+        std::process::exit(1);
+    }
+    let total_ok: u64 = cells.iter().map(|c| c.ok).sum();
+    println!(
+        "[chaossweep] every typed reaction matched its contract; {} bodies bitwise-verified \
+         across {} generations",
+        total_ok, reload.generations
+    );
+}
+
+/// Posts one reload candidate and checks the daemon's verdict:
+/// `expect_admit` → 200, otherwise → 422. A clean probe request after
+/// the verdict must still answer 200 (the daemon keeps serving either
+/// way).
+fn drill_reload(
+    addr: std::net::SocketAddr,
+    candidate: &str,
+    expect_admit: bool,
+) -> Result<(), String> {
+    let mut client = Client::connect(addr, Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| format!("connect: {e}"))?;
+    let response = client
+        .request("POST", "/reload", candidate.as_bytes())
+        .map_err(|e| format!("reload request: {e}"))?;
+    let want = if expect_admit { 200 } else { 422 };
+    if response.status != want {
+        return Err(format!(
+            "candidate answered {}, expected {want}",
+            response.status
+        ));
+    }
+    Ok(())
+}

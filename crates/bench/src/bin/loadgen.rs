@@ -14,6 +14,9 @@
 //!        --queue N           daemon admission-queue capacity (default 128)
 //!        --batch-rows N      daemon micro-batch row threshold (default 64)
 //!        --batch-wait-ms N   daemon micro-batch flush deadline (default 2)
+//!        --retry-429 N       retry shed (429) responses up to N times with
+//!                            seeded full-jitter backoff (default 0: off, so
+//!                            shed accounting stays exact)
 //!        --out DIR           artifact directory (default artifacts/)
 //! ```
 //!
@@ -50,6 +53,7 @@ struct Options {
     queue: usize,
     batch_rows: usize,
     batch_wait_ms: u64,
+    retry_429: u32,
     out: PathBuf,
 }
 
@@ -66,6 +70,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         queue: 128,
         batch_rows: 64,
         batch_wait_ms: 2,
+        retry_429: 0,
         out: PathBuf::from("artifacts"),
     };
     let mut i = 0;
@@ -131,6 +136,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad --batch-wait-ms: {e}"))?;
                 i += 2;
             }
+            "--retry-429" => {
+                options.retry_429 = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --retry-429: {e}"))?;
+                i += 2;
+            }
             "--out" => {
                 options.out = PathBuf::from(value()?);
                 i += 2;
@@ -151,6 +162,7 @@ struct ConnectionOutcome {
     shed: u64,
     error: u64,
     mismatches: u64,
+    retries: u64,
     histogram: [u64; 10],
     latencies_ms: Vec<f64>,
 }
@@ -174,7 +186,7 @@ fn main() {
                 "loadgen",
                 "usage: loadgen [--requests N] [--connections N] [--rows N] [--scale F] \
                  [--seed N] [--model PATH] [--tune] [--workers N] [--queue N] \
-                 [--batch-rows N] [--batch-wait-ms N] [--out DIR]"
+                 [--batch-rows N] [--batch-wait-ms N] [--retry-429 N] [--out DIR]"
             );
             std::process::exit(2);
         }
@@ -255,10 +267,17 @@ fn main() {
         let requests = options.requests;
         let connections = options.connections;
         let rows_per_request = options.rows_per_request;
+        let retry_policy = (options.retry_429 > 0).then_some(survd::RetryPolicy {
+            max_retries: options.retry_429,
+            base_delay_ms: 5,
+            max_delay_ms: 200,
+            seed: options.seed ^ c as u64,
+        });
         let thread = std::thread::Builder::new()
             .name(format!("loadgen-{c}"))
             .spawn(move || {
                 let mut outcome = ConnectionOutcome::default();
+                let mut sleeper = survd::ThreadSleeper;
                 let mut client = match Client::connect(addr, Some(Duration::from_secs(30))) {
                     Ok(client) => client,
                     Err(e) => {
@@ -275,13 +294,36 @@ fn main() {
                         indices.iter().map(|&idx| corpus[idx].clone()).collect();
                     let body = survd::render_score_request(&rows);
                     let sent = Instant::now();
-                    let response = match client.score(&body) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            obs::error!("loadgen", "request {i}: {e}");
-                            outcome.error += 1;
-                            continue;
+                    // Shed responses are retried only when asked
+                    // (--retry-429); the default keeps shed accounting
+                    // exact for the determinism tests.
+                    let response = match &retry_policy {
+                        Some(policy) => {
+                            match survd::retry::score_with_retries(
+                                &mut client,
+                                &body,
+                                policy,
+                                &mut sleeper,
+                            ) {
+                                Ok(retried) => {
+                                    outcome.retries += u64::from(retried.retries);
+                                    retried.response
+                                }
+                                Err(e) => {
+                                    obs::error!("loadgen", "request {i}: {e}");
+                                    outcome.error += 1;
+                                    continue;
+                                }
+                            }
                         }
+                        None => match client.score(&body) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                obs::error!("loadgen", "request {i}: {e}");
+                                outcome.error += 1;
+                                continue;
+                            }
+                        },
                     };
                     let latency_ms = sent.elapsed().as_secs_f64() * 1000.0;
                     match response.status {
@@ -295,20 +337,22 @@ fn main() {
                                 }
                             };
                             match survd::parse_score_response(text) {
-                                Ok((threshold, results)) => {
+                                Ok(parsed) => {
                                     outcome.ok += 1;
                                     outcome.latencies_ms.push(latency_ms);
                                     let want: Vec<RowScore> =
                                         indices.iter().map(|&idx| expected[idx].clone()).collect();
                                     // Bitwise: f64 == via shortest-roundtrip JSON.
-                                    if threshold != expected_threshold || results != want {
+                                    if parsed.threshold != expected_threshold
+                                        || parsed.results != want
+                                    {
                                         obs::error!(
                                             "loadgen",
                                             "request {i}: response diverged from offline scoring"
                                         );
                                         outcome.mismatches += 1;
                                     }
-                                    for r in &results {
+                                    for r in &parsed.results {
                                         outcome.histogram[serve::histogram_bucket(r.positive)] += 1;
                                     }
                                 }
@@ -340,6 +384,7 @@ fn main() {
         score_histogram: [0; 10],
     };
     let mut mismatches = 0u64;
+    let mut retries_429 = 0u64;
     let mut latencies: Vec<f64> = Vec::with_capacity(options.requests);
     for thread in threads {
         let outcome = thread.join().expect("loadgen connection panicked");
@@ -347,6 +392,7 @@ fn main() {
         counts.responses_shed += outcome.shed;
         counts.responses_error += outcome.error;
         mismatches += outcome.mismatches;
+        retries_429 += outcome.retries;
         for (total, bucket) in counts.score_histogram.iter_mut().zip(outcome.histogram) {
             *total += bucket;
         }
@@ -379,6 +425,7 @@ fn main() {
         } else {
             0.0
         },
+        retries_429,
         latency_p50_ms: percentile(&latencies, 0.50),
         latency_p95_ms: percentile(&latencies, 0.95),
         latency_p99_ms: percentile(&latencies, 0.99),

@@ -13,6 +13,8 @@
 //!        --queue N          admission-queue capacity (default 128)
 //!        --batch-rows N     micro-batch row threshold (default 64)
 //!        --batch-wait-ms N  micro-batch flush deadline (default 2)
+//!        --deadline-ms N    request deadline; admitted work older than
+//!                           this sheds with 503 (default 0 = off)
 //!        --out DIR          model/artifact directory (default artifacts/)
 //! ```
 //!
@@ -39,6 +41,7 @@ struct Options {
     queue: usize,
     batch_rows: usize,
     batch_wait_ms: u64,
+    deadline_ms: u64,
     out: PathBuf,
 }
 
@@ -53,6 +56,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         queue: 128,
         batch_rows: 64,
         batch_wait_ms: 2,
+        deadline_ms: 0,
         out: PathBuf::from("artifacts"),
     };
     let mut i = 0;
@@ -105,6 +109,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad --batch-wait-ms: {e}"))?;
                 i += 2;
             }
+            "--deadline-ms" => {
+                options.deadline_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-ms: {e}"))?;
+                i += 2;
+            }
             "--out" => {
                 options.out = PathBuf::from(value()?);
                 i += 2;
@@ -124,7 +134,8 @@ fn main() {
             obs::error!(
                 "survd",
                 "usage: survd [--addr A:P] [--scale F] [--seed N] [--model PATH] [--tune] \
-                 [--workers N] [--queue N] [--batch-rows N] [--batch-wait-ms N] [--out DIR]"
+                 [--workers N] [--queue N] [--batch-rows N] [--batch-wait-ms N] \
+                 [--deadline-ms N] [--out DIR]"
             );
             std::process::exit(2);
         }
@@ -166,6 +177,7 @@ fn main() {
             max_rows: options.batch_rows,
             max_wait_ms: options.batch_wait_ms,
         },
+        request_deadline_ms: options.deadline_ms,
         ..ServerConfig::default()
     };
     let handle = match survd::start(model, config, Some(Arc::clone(&registry))) {
@@ -183,7 +195,9 @@ fn main() {
         options.batch_rows,
         options.batch_wait_ms
     );
-    println!("[survd] POST /score | GET /healthz | GET /metrics — enter (or close stdin) to drain and exit");
+    println!(
+        "[survd] POST /score | POST /reload | GET /healthz | GET /metrics — enter (or close stdin) to drain and exit"
+    );
 
     // Block until stdin yields a line or closes; either way, drain.
     let mut line = String::new();

@@ -57,7 +57,7 @@ impl Default for DegradationConfig {
 }
 
 /// The score triple the sweep tracks per cell.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scores {
     /// Correct classification rate.
     pub accuracy: f64,
@@ -86,7 +86,7 @@ impl Scores {
 }
 
 /// One (fault class × rate) cell of the sweep.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct DegradationCell {
     /// Fault class injected.
     pub class: FaultClass,
@@ -104,7 +104,7 @@ pub struct DegradationCell {
 }
 
 /// A full degradation sweep: clean baseline plus every cell.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct RobustnessReport {
     /// Population scale swept.
     pub scale: f64,

@@ -11,7 +11,6 @@ use forest::{
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
 use survival::{logrank_test, KaplanMeier, SurvivalData};
 use telemetry::{Census, Edition};
 
@@ -120,7 +119,7 @@ impl Default for ExperimentConfig {
 }
 
 /// A `(t, S(t))` series for one predicted grouping's KM curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KmSeries {
     /// Group label (e.g. "predicted-long").
     pub label: String,
@@ -131,7 +130,7 @@ pub struct KmSeries {
 }
 
 /// KM curves plus log-rank significance of a short/long grouping.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GroupingAnalysis {
     /// Predicted short-lived group curve.
     pub short_curve: KmSeries,
@@ -145,7 +144,7 @@ pub struct GroupingAnalysis {
 }
 
 /// The outcome of one subgroup experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SubgroupResult {
     /// Region label.
     pub region: String,

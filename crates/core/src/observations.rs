@@ -1,6 +1,5 @@
 //! The paper's §3.3 observations as checkable statistics.
 
-use serde::Serialize;
 use survival::{logrank_test_k, KaplanMeier, SurvivalData};
 use telemetry::{Census, Edition};
 
@@ -17,7 +16,7 @@ pub const OBS31_EPHEMERAL_SUBSCRIPTION_SHARE_MAX: f64 = 0.25;
 pub const OBS31_DATABASE_TO_SUBSCRIPTION_SHARE_RATIO: f64 = 2.0;
 
 /// Quantified observations 3.1–3.3 for one region.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ObservationReport {
     /// Region label.
     pub region: String,
@@ -36,7 +35,7 @@ pub struct ObservationReport {
 }
 
 /// One edition's survival snapshot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EditionSurvival {
     /// Edition label.
     pub edition: String,

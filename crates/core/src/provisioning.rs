@@ -8,13 +8,12 @@
 //! prediction-guided one on the *actual* (simulated-ground-truth) drop
 //! times.
 
-use serde::Serialize;
 use simtime::{Duration, Timestamp};
 use std::collections::HashMap;
 use telemetry::Census;
 
 /// A database's predicted longevity bucket at placement time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictedLongevity {
     /// Confidently predicted to die within 30 days.
     Short,
@@ -40,7 +39,7 @@ impl PredictedLongevity {
 }
 
 /// Placement policy under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementPolicy {
     /// One pool; every cluster receives updates and consolidation.
     Agnostic,
@@ -76,7 +75,7 @@ impl Default for ProvisioningConfig {
 }
 
 /// Metrics of one simulated policy run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProvisioningOutcome {
     /// Policy simulated.
     pub policy: PlacementPolicy,

@@ -379,6 +379,7 @@ mod tests {
             elapsed_ms: 125.0,
             requests_per_second: 1584.0,
             rows_per_second: 6336.0,
+            retries_429: 0,
             latency_p50_ms: 1.25,
             latency_p95_ms: 3.5,
             latency_p99_ms: 4.75,

@@ -12,13 +12,12 @@
 //! a subscription's first-half behaviour predict its second-half
 //! databases' lifespans?
 
-use serde::Serialize;
 use simtime::Timestamp;
 use std::collections::HashMap;
 use telemetry::{Census, DatabaseRecord, LifespanClass, SubscriptionId};
 
 /// A subscription's behavioural segment, assigned from history.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Segment {
     /// Every decided database so far was ephemeral (Obs 3.1's cyclers).
     EphemeralCycler,
@@ -51,7 +50,7 @@ impl Default for SegmentConfig {
 }
 
 /// Per-subscription class counts observed before the cutoff.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HistoryCounts {
     /// Databases decided ephemeral.
     pub ephemeral: usize,
@@ -87,7 +86,7 @@ impl HistoryCounts {
 }
 
 /// Segments assigned at a cutoff, with out-of-time validation counts.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SegmentReport {
     /// Cutoff epoch seconds.
     pub cutoff_epoch_seconds: i64,

@@ -108,7 +108,7 @@ impl ConfusionMatrix {
 }
 
 /// The score triple reported per paper panel, plus example count.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ClassificationScores {
     /// Correct classification rate.
     pub accuracy: f64,

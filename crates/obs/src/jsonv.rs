@@ -47,6 +47,47 @@ impl JsonV {
         out
     }
 
+    /// Renders as single-line compact JSON (no spaces, no trailing
+    /// newline) — the JSONL form. Value rendering (float rule, string
+    /// escapes) matches [`JsonV::render`] exactly.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonV::Null => out.push_str("null"),
+            JsonV::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonV::UInt(v) => out.push_str(&v.to_string()),
+            JsonV::Float(v) => push_f64(out, *v),
+            JsonV::Str(s) => push_escaped(out, s),
+            JsonV::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonV::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Looks up a key of an object value.
     pub fn get(&self, key: &str) -> Option<&JsonV> {
         match self {
@@ -353,6 +394,25 @@ mod tests {
         let mut f = String::new();
         push_f64(&mut f, 17.0);
         assert_eq!(f, "17.0");
+    }
+
+    #[test]
+    fn compact_rendering_matches_pretty_values() {
+        let v = JsonV::obj(vec![
+            ("name", JsonV::Str("x y".into())),
+            (
+                "points",
+                JsonV::Arr(vec![JsonV::UInt(1), JsonV::Float(2.5)]),
+            ),
+            ("empty", JsonV::Obj(vec![])),
+            ("flag", JsonV::Bool(false)),
+        ]);
+        assert_eq!(
+            v.render_compact(),
+            "{\"name\":\"x y\",\"points\":[1,2.5],\"empty\":{},\"flag\":false}"
+        );
+        // Compact output reparses to the same tree as pretty output.
+        assert_eq!(parse(&v.render_compact()).unwrap(), v);
     }
 
     #[test]

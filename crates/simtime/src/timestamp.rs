@@ -4,19 +4,7 @@ use crate::civil::{CivilDate, CivilDateTime};
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A signed span of time with second resolution.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Duration {
     seconds: i64,
 }
@@ -73,19 +61,7 @@ impl Duration {
 /// An instant in time: seconds since the Unix epoch (UTC-like; the
 /// simulator treats each region's clock as already localized, so no
 /// timezone offsets appear anywhere downstream).
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Timestamp {
     seconds: i64,
 }

@@ -101,6 +101,11 @@ pub struct ServingTiming {
     pub requests_per_second: f64,
     /// Scored rows per second.
     pub rows_per_second: f64,
+    /// 429-triggered client retries performed (0 unless the generator
+    /// ran with retries enabled). Timing-dependent — how often the
+    /// queue is full when a request lands depends on scheduling — so
+    /// it lives in the nondeterministic section.
+    pub retries_429: u64,
     /// Request latency p50, milliseconds.
     pub latency_p50_ms: f64,
     /// Request latency p95, milliseconds.
@@ -216,6 +221,7 @@ pub fn render_serving(
                     JsonV::Float(timing.requests_per_second),
                 ),
                 ("rows_per_second", JsonV::Float(timing.rows_per_second)),
+                ("retries_429", JsonV::UInt(timing.retries_429)),
                 (
                     "latency_ms",
                     JsonV::obj(vec![
@@ -450,9 +456,14 @@ pub fn validate_serving(text: &str) -> Result<(), String> {
             "elapsed_ms",
             "requests_per_second",
             "rows_per_second",
+            "retries_429",
             "latency_ms",
         ],
         "nondeterministic",
+    )?;
+    expect_uint(
+        nondet.get("retries_429").expect("keys checked"),
+        "retries_429",
     )?;
     for key in ["elapsed_ms", "requests_per_second", "rows_per_second"] {
         let v = expect_float(nondet.get(key).expect("keys checked"), key)?;
@@ -553,6 +564,7 @@ mod tests {
                 elapsed_ms: 120.5,
                 requests_per_second: 1660.0,
                 rows_per_second: 6640.0,
+                retries_429: 0,
                 latency_p50_ms: 1.2,
                 latency_p95_ms: 3.4,
                 latency_p99_ms: 5.6,

@@ -1,0 +1,38 @@
+//! `resilience-schema-check` — validates the structure of a
+//! `resilience.json` so producer drift fails the build.
+//!
+//! ```text
+//! cargo run -p survdb-survd --bin resilience-schema-check -- [PATH ...]
+//! ```
+//!
+//! Each PATH (default `artifacts/resilience.json`) must parse and
+//! satisfy the `survdb-resilience/v1` schema (see `survd::resilience`),
+//! including the per-cell accounting identity and the zero-mismatch
+//! invariant. Exits nonzero on the first violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() {
+        vec!["artifacts/resilience.json".to_string()]
+    } else {
+        args
+    };
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs::error!("schema-check", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = survd::validate_resilience(&text) {
+            obs::error!("schema-check", "{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[schema-check] {path}: valid {}", survd::RESILIENCE_SCHEMA);
+    }
+    ExitCode::SUCCESS
+}

@@ -5,8 +5,17 @@
 //! exactly what the daemon needs: request line + headers +
 //! `Content-Length` bodies, keep-alive with `Connection: close`
 //! opt-out, and bounded header/body sizes so a misbehaving client
-//! cannot balloon memory. No chunked transfer encoding, no pipelining
-//! guarantees beyond strict request-at-a-time processing.
+//! cannot balloon memory. No chunked transfer encoding (a
+//! `Transfer-Encoding` other than `identity` is refused with 501), no
+//! pipelining guarantees beyond strict request-at-a-time processing.
+//!
+//! Every refusal carries the status code the daemon should answer
+//! with, so protocol defects map to *typed* responses instead of a
+//! catch-all 400: over-budget header blocks are 431, oversized bodies
+//! 413, unimplemented transfer codings 501, and a request that starts
+//! but then stalls past the read-stall budget is 408. The chaos
+//! harness ([`crate::chaos`]) drives each of these classes
+//! deliberately and asserts the mapping.
 
 use std::io::{self, BufRead, Write};
 
@@ -17,6 +26,13 @@ pub struct HttpLimits {
     pub max_head_bytes: usize,
     /// Maximum `Content-Length` accepted.
     pub max_body_bytes: usize,
+    /// Maximum socket read timeouts tolerated *after* a request has
+    /// started arriving (mid-line or mid-body). Each stall lasts one
+    /// idle-timeout tick, so this bounds how long a slow-loris client
+    /// can hold a worker: past the budget the read fails with a typed
+    /// 408. Stalls *between* requests are ordinary keep-alive idling
+    /// and are not counted.
+    pub max_stall_reads: usize,
 }
 
 impl Default for HttpLimits {
@@ -24,6 +40,7 @@ impl Default for HttpLimits {
         HttpLimits {
             max_head_bytes: 8 * 1024,
             max_body_bytes: 1024 * 1024,
+            max_stall_reads: 50,
         }
     }
 }
@@ -67,11 +84,26 @@ pub enum ReadError {
     /// The socket read timed out before any request byte arrived (an
     /// idle keep-alive connection); safe to retry or close.
     IdleTimeout,
-    /// Malformed or over-limit request; the caller should answer 400
-    /// and close.
-    Malformed(String),
+    /// Malformed or over-limit request; the caller should answer
+    /// `status` and close. The status encodes the defect class: 400
+    /// for framing garbage, 408 for a stalled transfer, 413 for an
+    /// oversized body, 431 for an over-budget header block, 501 for
+    /// an unimplemented transfer coding.
+    Malformed {
+        /// Response status the daemon should refuse with.
+        status: u16,
+        /// Human-readable defect description (becomes the error body).
+        message: String,
+    },
     /// Transport failure mid-request.
     Io(io::Error),
+}
+
+fn malformed(status: u16, message: impl Into<String>) -> ReadError {
+    ReadError::Malformed {
+        status,
+        message: message.into(),
+    }
 }
 
 fn is_timeout(e: &io::Error) -> bool {
@@ -82,8 +114,16 @@ fn is_timeout(e: &io::Error) -> bool {
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, retrying through
-/// read timeouts once any byte of the line has arrived.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, ReadError> {
+/// read timeouts once any byte of the line has arrived. `stalls`
+/// accumulates mid-request timeouts across the whole request; past
+/// `limits.max_stall_reads` the read fails with a typed 408.
+fn read_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    stalls: &mut usize,
+    limits: &HttpLimits,
+    started: bool,
+) -> Result<String, ReadError> {
     let mut raw = Vec::new();
     loop {
         match reader.read_until(b'\n', &mut raw) {
@@ -91,7 +131,7 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, Re
                 if raw.is_empty() {
                     return Err(ReadError::Closed);
                 }
-                return Err(ReadError::Malformed("truncated line".to_string()));
+                return Err(malformed(400, "truncated line"));
             }
             Ok(_) => {
                 if raw.last() == Some(&b'\n') {
@@ -101,27 +141,31 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, Re
                 // boundaries); keep reading.
             }
             Err(e) if is_timeout(&e) => {
-                if raw.is_empty() {
+                if raw.is_empty() && !started {
                     return Err(ReadError::IdleTimeout);
                 }
-                // Mid-line timeout: the request has started, keep
-                // waiting for the rest.
+                // Mid-request timeout: the request has started; wait
+                // for the rest, but only within the stall budget.
+                *stalls += 1;
+                if *stalls > limits.max_stall_reads {
+                    return Err(malformed(408, "request stalled past the read-stall budget"));
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(ReadError::Io(e)),
         }
         if raw.len() > *budget {
-            return Err(ReadError::Malformed("header section too large".to_string()));
+            return Err(malformed(431, "header section too large"));
         }
     }
     if raw.len() > *budget {
-        return Err(ReadError::Malformed("header section too large".to_string()));
+        return Err(malformed(431, "header section too large"));
     }
     *budget -= raw.len();
     while matches!(raw.last(), Some(b'\n' | b'\r')) {
         raw.pop();
     }
-    String::from_utf8(raw).map_err(|_| ReadError::Malformed("non-UTF-8 header".to_string()))
+    String::from_utf8(raw).map_err(|_| malformed(400, "non-UTF-8 header"))
 }
 
 /// Reads one full request (blocking until the body is complete).
@@ -129,29 +173,28 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, Re
 /// Timeouts configured on the underlying stream surface as
 /// [`ReadError::IdleTimeout`] only when no byte of the request has
 /// arrived yet; once a request has started, reading retries through
-/// timeouts so a slow client cannot corrupt framing.
+/// timeouts up to `limits.max_stall_reads` and then refuses with a
+/// typed 408, so a slow client can neither corrupt framing nor hold a
+/// worker forever.
 pub fn read_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Request, ReadError> {
     let mut budget = limits.max_head_bytes;
-    let request_line = read_line(reader, &mut budget)?;
+    let mut stalls = 0usize;
+    let request_line = read_line(reader, &mut budget, &mut stalls, limits, false)?;
     let mut parts = request_line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m.to_string(), p.to_string(), v),
-        _ => {
-            return Err(ReadError::Malformed(format!(
-                "bad request line {request_line:?}"
-            )))
-        }
+        _ => return Err(malformed(400, format!("bad request line {request_line:?}"))),
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+        return Err(malformed(400, format!("bad version {version:?}")));
     }
 
     let mut headers = Vec::new();
     loop {
-        let line = match read_line(reader, &mut budget) {
+        let line = match read_line(reader, &mut budget, &mut stalls, limits, true) {
             Ok(line) => line,
             Err(ReadError::Closed | ReadError::IdleTimeout) => {
-                return Err(ReadError::Malformed("truncated headers".to_string()))
+                return Err(malformed(400, "truncated headers"))
             }
             Err(e) => return Err(e),
         };
@@ -159,31 +202,51 @@ pub fn read_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Re
             break;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+            return Err(malformed(400, format!("bad header line {line:?}")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // No chunked (or other) transfer codings: refuse with 501 rather
+    // than misinterpreting the body under Content-Length framing.
+    if let Some((_, coding)) = headers.iter().find(|(k, _)| k == "transfer-encoding") {
+        if !coding.eq_ignore_ascii_case("identity") {
+            return Err(malformed(
+                501,
+                format!("transfer-encoding {coding:?} not implemented"),
+            ));
+        }
     }
 
     let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
         None => 0,
         Some((_, v)) => v
             .parse::<usize>()
-            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
+            .map_err(|_| malformed(400, format!("bad content-length {v:?}")))?,
     };
     if content_length > limits.max_body_bytes {
-        return Err(ReadError::Malformed(format!(
-            "body of {content_length} bytes exceeds the {}-byte limit",
-            limits.max_body_bytes
-        )));
+        return Err(malformed(
+            413,
+            format!(
+                "body of {content_length} bytes exceeds the {}-byte limit",
+                limits.max_body_bytes
+            ),
+        ));
     }
 
     let mut body = vec![0u8; content_length];
     let mut filled = 0;
     while filled < content_length {
         match reader.read(&mut body[filled..]) {
-            Ok(0) => return Err(ReadError::Malformed("truncated body".to_string())),
+            Ok(0) => return Err(malformed(400, "truncated body")),
             Ok(n) => filled += n,
-            Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > limits.max_stall_reads {
+                    return Err(malformed(408, "request stalled past the read-stall budget"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(ReadError::Io(e)),
         }
     }
@@ -203,8 +266,12 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -253,6 +320,14 @@ mod tests {
         )
     }
 
+    /// The refusal status a malformed read carries, for assertions.
+    fn refused(result: Result<Request, ReadError>) -> u16 {
+        match result {
+            Err(ReadError::Malformed { status, .. }) => status,
+            other => panic!("expected a malformed refusal, got {other:?}"),
+        }
+    }
+
     #[test]
     fn parses_post_with_body() {
         let r =
@@ -287,34 +362,65 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_and_oversized() {
-        assert!(matches!(
-            read("NONSENSE\r\n\r\n"),
-            Err(ReadError::Malformed(_))
-        ));
-        assert!(matches!(
-            read("GET /x SPDY/9\r\n\r\n"),
-            Err(ReadError::Malformed(_))
-        ));
-        assert!(matches!(
-            read("GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
-            Err(ReadError::Malformed(_))
-        ));
-        assert!(matches!(
-            read("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
-            Err(ReadError::Malformed(_))
-        ));
-        // Body larger than the limit is refused before allocation.
+    fn rejects_malformed_with_typed_statuses() {
+        assert_eq!(refused(read("NONSENSE\r\n\r\n")), 400);
+        assert_eq!(refused(read("GET /x SPDY/9\r\n\r\n")), 400);
+        assert_eq!(
+            refused(read("GET /x HTTP/1.1\r\nbroken header\r\n\r\n")),
+            400
+        );
+        assert_eq!(
+            refused(read("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n")),
+            400
+        );
+        // Body larger than the limit is refused before allocation,
+        // with the payload-specific status.
         let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
-        assert!(matches!(read(&huge), Err(ReadError::Malformed(_))));
-        // Header section over budget.
+        assert_eq!(refused(read(&huge)), 413);
+        // Header section over budget is the header-specific status.
         let long = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "v".repeat(9000));
-        assert!(matches!(read(&long), Err(ReadError::Malformed(_))));
+        assert_eq!(refused(read(&long)), 431);
         // Truncated body.
-        assert!(matches!(
-            read("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
-            Err(ReadError::Malformed(_))
-        ));
+        assert_eq!(
+            refused(read("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")),
+            400
+        );
+    }
+
+    #[test]
+    fn unknown_transfer_encoding_is_501() {
+        assert_eq!(
+            refused(read(
+                "POST /score HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )),
+            501
+        );
+        assert_eq!(
+            refused(read(
+                "POST /score HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n"
+            )),
+            501
+        );
+        // `identity` is a no-op coding; Content-Length framing applies.
+        let r = read(
+            "POST /score HTTP/1.1\r\nTransfer-Encoding: identity\r\nContent-Length: 2\r\n\r\nok",
+        )
+        .expect("identity coding accepted");
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn oversized_headers_then_fresh_request_on_one_connection() {
+        // One keep-alive byte stream: the 431 refusal must not
+        // misparse the *next* request on the wire (the daemon closes
+        // after refusing, but the reader itself stays consistent).
+        let long = format!(
+            "GET /a HTTP/1.1\r\nh: {}\r\n\r\nGET /b HTTP/1.1\r\n\r\n",
+            "v".repeat(9000)
+        );
+        let mut reader = BufReader::new(Cursor::new(long.into_bytes()));
+        let limits = HttpLimits::default();
+        assert_eq!(refused(read_request(&mut reader, &limits)), 431);
     }
 
     #[test]
@@ -340,5 +446,16 @@ mod tests {
             text.contains("connection: keep-alive\r\n\r\n{\"error\": \"shed\"}"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn refusal_statuses_have_reason_phrases() {
+        for status in [400, 408, 413, 422, 429, 431, 501, 503] {
+            assert_ne!(
+                status_reason(status),
+                "Internal Server Error",
+                "status {status} must carry its own reason phrase"
+            );
+        }
     }
 }

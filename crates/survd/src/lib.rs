@@ -1,19 +1,24 @@
 //! `survd` — the online scoring daemon: micro-batching, backpressure,
-//! graceful drain.
+//! graceful drain, crash-safe model hot-swap, and a deterministic
+//! protocol chaos harness.
 //!
 //! The offline pipeline (train → persist → `scored`) answers "what
 //! does the model say about this fleet snapshot"; `survd` answers it
 //! *online*: a long-lived process that loads a `serve::SavedModel`
-//! once and serves `POST /score` over hand-rolled HTTP/1.1 on
+//! and serves `POST /score` over hand-rolled HTTP/1.1 on
 //! `std::net` (dependency policy: std only).
 //!
 //! The pieces, bottom-up:
 //!
 //! - [`http`] — minimal HTTP/1.1 request reading / response writing
-//!   with bounded head and body sizes.
+//!   with bounded head and body sizes and *typed* refusals: 431 for
+//!   over-budget headers, 413 for oversized bodies, 501 for
+//!   unimplemented transfer codings, 408 for transfers stalled past
+//!   the read-stall budget.
 //! - [`wire`] — the `/score` JSON request/response over `obs::jsonv`,
 //!   byte-deterministic rendering (shortest-roundtrip floats, so
-//!   loopback tests compare probabilities bitwise).
+//!   loopback tests compare probabilities bitwise). Every response
+//!   records the model generation that scored it.
 //! - [`queue`] — the bounded MPMC queue: non-blocking admission
 //!   (full → HTTP 429 + `Retry-After`), blocking connection hand-off,
 //!   close-and-drain semantics, and a peak-depth high-water mark as
@@ -25,22 +30,39 @@
 //!   scoring is bitwise identical to scoring each request alone.
 //! - [`server`] — the daemon itself: acceptor thread, fixed worker
 //!   pool, batcher thread over `serve::score_rows`, `/healthz`,
-//!   `/metrics` (an installed `obs::Registry` rendered as text), and
-//!   [`server::ServerHandle::shutdown`] which drains every admitted
-//!   request before returning.
+//!   `/metrics`, `POST /reload` (validate-then-swap model hot-swap
+//!   behind a generation-counted [`server::ModelSlot`]), per-request
+//!   deadline degradation (late work answered 503 before wasting a
+//!   batcher slot), and [`server::ServerHandle::shutdown`] which
+//!   drains every admitted request before returning.
 //! - [`client`] — the matching HTTP/1.1 client, shared by the
 //!   `loadgen` load generator and the loopback end-to-end tests.
+//! - [`retry`] — the client-side resilience policy: bounded 429-only
+//!   retries with seeded full-jitter backoff honoring `Retry-After`,
+//!   sleeping through an injectable [`retry::Sleeper`].
+//! - [`chaos`] — the deterministic protocol fault injector (class ×
+//!   rate, splitmix64-keyed like `telemetry::faults`) and its socket
+//!   driver: slow-loris, mid-body resets, truncated/oversized/garbage
+//!   frames, stalled reads, malformed JSON — each contracted to a
+//!   typed server reaction.
 //! - [`artifact`] — `artifacts/serving.json` (`survdb-serving/v1`),
 //!   split deterministic/nondeterministic like every other artifact,
 //!   produced by the `loadgen` binary and validated by
 //!   `serving-schema-check` in CI.
+//! - [`resilience`] — `artifacts/resilience.json`
+//!   (`survdb-resilience/v1`): per fault-class × rate outcome cells
+//!   plus hot-swap drill accounting, produced by the `chaossweep`
+//!   binary and validated by `resilience-schema-check` in CI.
 
 pub mod artifact;
 pub mod batcher;
+pub mod chaos;
 pub mod client;
 pub mod clock;
 pub mod http;
 pub mod queue;
+pub mod resilience;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
@@ -49,10 +71,16 @@ pub use artifact::{
     ServingCounts, ServingRunConfig, ServingTiming, SERVING_FILE, SERVING_SCHEMA,
 };
 pub use batcher::{BatchPolicy, BatcherCore};
+pub use chaos::{ChaosClass, ChaosPlan, Expect, Outcome};
 pub use client::{Client, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use resilience::{
+    deterministic_resilience_section, render_resilience, validate_resilience, write_resilience,
+    CellOutcome, ReloadOutcome, ResilienceConfig, RESILIENCE_FILE, RESILIENCE_SCHEMA,
+};
+pub use retry::{RetryPolicy, Sleeper, ThreadSleeper};
 pub use server::{start, ServerConfig, ServerHandle, StatsSnapshot};
 pub use wire::{
-    parse_score_request, parse_score_response, render_score_request, render_score_response,
-    RowScore, ScoreRequest, RESPONSE_SCHEMA,
+    parse_score_request, parse_score_response, render_reload_response, render_score_request,
+    render_score_response, RowScore, ScoreRequest, ScoreResponse, RESPONSE_SCHEMA,
 };

@@ -1,0 +1,279 @@
+//! Client-side retry policy for shed (`429`) responses: bounded
+//! attempts, full-jitter exponential backoff, `Retry-After` honored as
+//! a floor.
+//!
+//! Scope is deliberately narrow: only `429 Too Many Requests` is
+//! retried, and only for idempotent `/score` requests (scoring the
+//! same rows twice returns the same bytes, so a duplicate is safe).
+//! 4xx rejections are the client's own defect and 5xx means the daemon
+//! is draining or degrading — retrying those would amplify load
+//! exactly when the server is shedding it.
+//!
+//! The jitter stream is splitmix64-keyed (seed, attempt), so a retry
+//! schedule is replayable from its seed; sleeping goes through the
+//! [`Sleeper`] trait, so tests record delays instead of serving them.
+
+use crate::client::{Client, Response};
+use std::io;
+use std::time::Duration;
+
+/// Bounded-retry configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff cap base: attempt `n` draws uniformly from
+    /// `[0, min(max_delay_ms, base_delay_ms << n))` (full jitter).
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay.
+    pub max_delay_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 50,
+            max_delay_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), given the
+    /// server's `Retry-After` hint in seconds (if any). Full jitter
+    /// over the exponential cap, floored by the hint.
+    pub fn delay_ms(&self, attempt: u32, retry_after_s: Option<u64>) -> u64 {
+        let cap = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.max_delay_ms);
+        let jittered = if cap == 0 {
+            0
+        } else {
+            mix(self.seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9)) % cap
+        };
+        // Retry-After is authoritative as a lower bound: never come
+        // back sooner than the server asked.
+        jittered.max(retry_after_s.unwrap_or(0).saturating_mul(1000))
+    }
+}
+
+/// splitmix64 finalizer (same constants as `telemetry::faults`).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How waiting happens — a seam so tests never sleep.
+pub trait Sleeper {
+    /// Waits for `ms` milliseconds (or records that it would have).
+    fn sleep_ms(&mut self, ms: u64);
+}
+
+/// The production sleeper: actually sleeps.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep_ms(&mut self, ms: u64) {
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}
+
+/// A test sleeper that records requested delays instead of serving
+/// them.
+#[derive(Debug, Default)]
+pub struct RecordingSleeper {
+    /// Every delay requested, in order.
+    pub slept_ms: Vec<u64>,
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep_ms(&mut self, ms: u64) {
+        self.slept_ms.push(ms);
+    }
+}
+
+/// The outcome of a retried `/score` call.
+#[derive(Debug)]
+pub struct RetriedResponse {
+    /// The final response (any status — 429 if retries ran out).
+    pub response: Response,
+    /// Retries performed (0 when the first attempt settled it).
+    pub retries: u32,
+}
+
+/// POSTs `body` to `/score`, retrying (only) 429s per `policy`.
+/// Any non-429 response — success or failure — returns immediately.
+pub fn score_with_retries(
+    client: &mut Client,
+    body: &str,
+    policy: &RetryPolicy,
+    sleeper: &mut impl Sleeper,
+) -> io::Result<RetriedResponse> {
+    let mut retries = 0u32;
+    loop {
+        let response = client.score(body)?;
+        if response.status != 429 || retries >= policy.max_retries {
+            return Ok(RetriedResponse { response, retries });
+        }
+        let retry_after_s = response.header("retry-after").and_then(|v| v.parse().ok());
+        sleeper.sleep_ms(policy.delay_ms(retries, retry_after_s));
+        retries += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn delays_are_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_delay_ms: 100,
+            max_delay_ms: 400,
+            seed: 9,
+        };
+        for attempt in 0..5 {
+            let a = policy.delay_ms(attempt, None);
+            assert_eq!(a, policy.delay_ms(attempt, None));
+            let cap = (100u64 << attempt).min(400);
+            assert!(a < cap, "attempt {attempt}: {a} >= cap {cap}");
+        }
+        // Different seeds draw different schedules somewhere.
+        let other = RetryPolicy { seed: 10, ..policy };
+        assert!((0..5).any(|n| policy.delay_ms(n, None) != other.delay_ms(n, None)));
+    }
+
+    #[test]
+    fn retry_after_is_a_floor() {
+        let policy = RetryPolicy {
+            base_delay_ms: 1,
+            max_delay_ms: 10,
+            ..RetryPolicy::default()
+        };
+        // Jitter < 10ms, but the server asked for 2 seconds.
+        assert_eq!(policy.delay_ms(0, Some(2)), 2000);
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let policy = RetryPolicy::default();
+        let d = policy.delay_ms(u32::MAX, None);
+        assert!(d <= policy.max_delay_ms);
+    }
+
+    /// A server answering a canned script of responses, one request
+    /// per response, over a single keep-alive connection.
+    fn scripted_server(responses: Vec<String>) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            for response in responses {
+                // Consume one request: read until the body (framed by
+                // content-length) has fully arrived.
+                let mut raw = Vec::new();
+                let mut buf = [0u8; 1024];
+                loop {
+                    let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") else {
+                        match stream.read(&mut buf) {
+                            Ok(0) => return,
+                            Ok(n) => raw.extend_from_slice(&buf[..n]),
+                            Err(_) => return,
+                        }
+                        continue;
+                    };
+                    let head = String::from_utf8_lossy(&raw[..head_end]).to_ascii_lowercase();
+                    let need: usize = head
+                        .lines()
+                        .find_map(|l| l.strip_prefix("content-length:"))
+                        .and_then(|v| v.trim().parse().ok())
+                        .unwrap_or(0);
+                    if raw.len() >= head_end + 4 + need {
+                        break;
+                    }
+                    match stream.read(&mut buf) {
+                        Ok(0) => return,
+                        Ok(n) => raw.extend_from_slice(&buf[..n]),
+                        Err(_) => return,
+                    }
+                }
+                stream.write_all(response.as_bytes()).expect("write");
+            }
+        });
+        addr
+    }
+
+    fn canned(status: u16, reason: &str, headers: &str, body: &str) -> String {
+        format!(
+            "HTTP/1.1 {status} {reason}\r\ncontent-length: {}\r\n{headers}connection: keep-alive\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn retries_429_until_success_without_sleeping() {
+        let addr = scripted_server(vec![
+            canned(429, "Too Many Requests", "retry-after: 1\r\n", "{}"),
+            canned(429, "Too Many Requests", "", "{}"),
+            canned(200, "OK", "", "{\"ok\": true}"),
+        ]);
+        let mut client = Client::connect(addr, Some(Duration::from_secs(2))).expect("connect");
+        let mut sleeper = RecordingSleeper::default();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            seed: 4,
+        };
+        let out = score_with_retries(&mut client, "{\"rows\": [[0.0]]}", &policy, &mut sleeper)
+            .expect("io ok");
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.retries, 2);
+        assert_eq!(sleeper.slept_ms.len(), 2);
+        // First delay honored the 1-second Retry-After floor.
+        assert_eq!(sleeper.slept_ms[0], 1000);
+        assert_eq!(sleeper.slept_ms[1], policy.delay_ms(1, None));
+    }
+
+    #[test]
+    fn gives_up_after_max_retries_and_non_429_is_not_retried() {
+        let addr = scripted_server(vec![
+            canned(429, "Too Many Requests", "", "{}"),
+            canned(429, "Too Many Requests", "", "{}"),
+        ]);
+        let mut client = Client::connect(addr, Some(Duration::from_secs(2))).expect("connect");
+        let mut sleeper = RecordingSleeper::default();
+        let policy = RetryPolicy {
+            max_retries: 1,
+            base_delay_ms: 1,
+            max_delay_ms: 2,
+            seed: 0,
+        };
+        let out = score_with_retries(&mut client, "{\"rows\": [[0.0]]}", &policy, &mut sleeper)
+            .expect("io ok");
+        assert_eq!(out.response.status, 429);
+        assert_eq!(out.retries, 1);
+
+        // A 400 settles immediately: zero sleeps, zero retries.
+        let addr = scripted_server(vec![canned(400, "Bad Request", "", "{}")]);
+        let mut client = Client::connect(addr, Some(Duration::from_secs(2))).expect("connect");
+        let mut sleeper = RecordingSleeper::default();
+        let out = score_with_retries(&mut client, "{}", &policy, &mut sleeper).expect("io ok");
+        assert_eq!(out.response.status, 400);
+        assert_eq!(out.retries, 0);
+        assert!(sleeper.slept_ms.is_empty());
+    }
+}

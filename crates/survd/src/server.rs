@@ -1,5 +1,5 @@
 //! The scoring daemon: acceptor, worker pool, micro-batcher,
-//! bounded admission, graceful drain.
+//! bounded admission, graceful drain, crash-safe model hot-swap.
 //!
 //! ```text
 //!                      ┌──────────────┐
@@ -9,10 +9,11 @@
 //!                                               ▼
 //!                      ┌──────────────┐   full → 429 + Retry-After
 //!                      │ admission    │   draining → 503
-//!                      │ queue (≤ K)  │
+//!                      │ queue (≤ K)  │   late → 503 (degraded)
 //!                      └──────┬───────┘
 //!                             ▼ pop (deadline-timed)
-//!                      batcher thread: coalesce → `serve::score_rows`
+//!                      batcher thread: coalesce → score against ONE
+//!                      generation (`ModelSlot::current` per batch)
 //!                             │ fulfill response slots
 //!                             ▼
 //!                      workers render JSON, write responses
@@ -21,7 +22,21 @@
 //! Overload degrades gracefully instead of OOMing: the connection
 //! hand-off blocks the acceptor (TCP backlog backpressure), the
 //! admission queue is a hard bound with non-blocking pushes (excess
-//! requests shed with 429), and request bodies/rows are size-capped.
+//! requests shed with 429), request bodies/rows are size-capped, and —
+//! when a per-request deadline is configured — work that aged past its
+//! deadline while queued is answered 503 *before* wasting a batcher
+//! slot on scoring it.
+//!
+//! **Hot-swap protocol.** The live model sits behind a [`ModelSlot`]:
+//! a mutex-guarded `Arc<Generation>` with a monotonically increasing
+//! generation id. `POST /reload` validates a candidate model document
+//! (typed parse, feature-schema equality with the live generation,
+//! byte-deterministic render round-trip) and only then swaps the slot;
+//! a corrupt candidate is refused with a typed 422 while the old
+//! generation keeps serving. The batcher pins one `Arc<Generation>`
+//! per batch, so a batch is never scored by a mix of generations, and
+//! every response records the generation that scored it.
+//!
 //! Shutdown ([`ServerHandle::shutdown`]) is the SIGTERM-equivalent:
 //! it sets the drain flag, wakes the listener with a loopback connect,
 //! refuses new scoring work with 503, scores everything already
@@ -60,6 +75,11 @@ pub struct ServerConfig {
     /// Socket read-timeout granularity; bounds how long an idle
     /// keep-alive connection can delay drain.
     pub idle_timeout_ms: u64,
+    /// Per-request scoring deadline in milliseconds; `0` disables.
+    /// A request that waited in the admission queue longer than this
+    /// is answered 503 at flush time instead of being scored — late
+    /// work is shed before it wastes a batcher slot.
+    pub request_deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +92,7 @@ impl Default for ServerConfig {
             max_rows_per_request: 1024,
             http: HttpLimits::default(),
             idle_timeout_ms: 200,
+            request_deadline_ms: 0,
         }
     }
 }
@@ -84,11 +105,14 @@ struct Stats {
     score_ok: AtomicU64,
     score_shed: AtomicU64,
     score_unavailable: AtomicU64,
+    score_degraded: AtomicU64,
     bad_requests: AtomicU64,
     not_found: AtomicU64,
     rows_scored: AtomicU64,
     batches: AtomicU64,
     drained_jobs: AtomicU64,
+    reloads_ok: AtomicU64,
+    reloads_rejected: AtomicU64,
 }
 
 /// A point-in-time copy of the daemon's counters.
@@ -104,7 +128,10 @@ pub struct StatsSnapshot {
     pub score_shed: u64,
     /// `/score` requests refused with 503 (draining).
     pub score_unavailable: u64,
-    /// Requests answered 400/405/413.
+    /// `/score` requests answered 503 because they aged past the
+    /// per-request deadline before the batcher reached them.
+    pub score_degraded: u64,
+    /// Requests answered 400/405/408/413/431/501.
     pub bad_requests: u64,
     /// Requests answered 404.
     pub not_found: u64,
@@ -114,6 +141,10 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Jobs scored after drain began (admitted before shutdown).
     pub drained_jobs: u64,
+    /// `/reload` requests that validated and swapped the model.
+    pub reloads_ok: u64,
+    /// `/reload` requests refused with a typed 422.
+    pub reloads_rejected: u64,
     /// Admission-queue high-water mark; never exceeds capacity K.
     pub queue_peak: u64,
 }
@@ -127,19 +158,74 @@ impl Stats {
             score_ok: get(&self.score_ok),
             score_shed: get(&self.score_shed),
             score_unavailable: get(&self.score_unavailable),
+            score_degraded: get(&self.score_degraded),
             bad_requests: get(&self.bad_requests),
             not_found: get(&self.not_found),
             rows_scored: get(&self.rows_scored),
             batches: get(&self.batches),
             drained_jobs: get(&self.drained_jobs),
+            reloads_ok: get(&self.reloads_ok),
+            reloads_rejected: get(&self.reloads_rejected),
             queue_peak: queue_peak as u64,
         }
     }
 }
 
+/// One immutable model generation: the unit the hot-swap protocol
+/// exchanges. Ids start at 1 and increase by one per admitted reload.
+pub struct Generation {
+    /// Monotonic generation counter.
+    pub id: u64,
+    /// The model serving this generation.
+    pub model: SavedModel,
+}
+
+/// The swappable model slot. Readers clone the `Arc` (one lock hold,
+/// no copy of the forest); a swap installs a new `Arc` atomically
+/// under the same lock. In-flight batches keep their pinned `Arc`, so
+/// old generations die only after their last batch completes.
+pub struct ModelSlot {
+    current: Mutex<Arc<Generation>>,
+}
+
+impl ModelSlot {
+    /// Wraps `model` as generation 1.
+    pub fn new(model: SavedModel) -> ModelSlot {
+        ModelSlot {
+            current: Mutex::new(Arc::new(Generation { id: 1, model })),
+        }
+    }
+
+    /// The live generation.
+    pub fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Installs `model` as the next generation; returns its id.
+    pub fn swap(&self, model: SavedModel) -> u64 {
+        let mut guard = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        let id = guard.id + 1;
+        *guard = Arc::new(Generation { id, model });
+        id
+    }
+}
+
+/// What the batcher hands back through a response slot.
+enum Reply {
+    /// Scored by exactly one generation.
+    Scored {
+        generation: u64,
+        threshold: f64,
+        scores: Vec<RowScore>,
+    },
+    /// Aged past the per-request deadline before scoring; the worker
+    /// answers 503 without the batcher having spent a slot on it.
+    Degraded,
+}
+
 /// A response slot one worker waits on and the batcher fulfills.
 struct Slot {
-    result: Mutex<Option<Vec<RowScore>>>,
+    result: Mutex<Option<Reply>>,
     ready: Condvar,
 }
 
@@ -151,16 +237,16 @@ impl Slot {
         }
     }
 
-    fn fulfill(&self, scores: Vec<RowScore>) {
-        *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(scores);
+    fn fulfill(&self, reply: Reply) {
+        *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(reply);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Vec<RowScore> {
+    fn wait(&self) -> Reply {
         let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(scores) = guard.take() {
-                return scores;
+            if let Some(reply) = guard.take() {
+                return reply;
             }
             guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
@@ -171,10 +257,11 @@ impl Slot {
 struct Job {
     rows: Vec<Vec<f64>>,
     slot: Arc<Slot>,
+    admitted_ms: u64,
 }
 
 struct Shared {
-    model: SavedModel,
+    model: ModelSlot,
     config: ServerConfig,
     clock: SystemClock,
     admission: Bounded<Job>,
@@ -220,7 +307,7 @@ pub fn start(
     let conns = Arc::new(Bounded::<TcpStream>::new(config.workers.max(1) * 4));
     let shared = Arc::new(Shared {
         admission: Bounded::new(config.queue_capacity),
-        model,
+        model: ModelSlot::new(model),
         config,
         clock: SystemClock::new(),
         draining: AtomicBool::new(false),
@@ -275,6 +362,11 @@ impl ServerHandle {
         self.shared
             .stats
             .snapshot(self.shared.admission.peak_depth())
+    }
+
+    /// The live model generation id (1 until the first reload).
+    pub fn generation(&self) -> u64 {
+        self.shared.model.current().id
     }
 
     /// Pauses the batcher's intake: admitted jobs stay queued (still
@@ -347,6 +439,17 @@ fn worker_loop(shared: &Shared, conns: &Bounded<TcpStream>) {
     }
 }
 
+/// The obs counter a protocol refusal increments, by status class.
+fn refusal_counter(status: u16) -> &'static str {
+    match status {
+        408 => "survd.http_408",
+        413 => "survd.http_413",
+        431 => "survd.http_431",
+        501 => "survd.http_501",
+        _ => "survd.http_400",
+    }
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     shared.stats.connections.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(
@@ -375,10 +478,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                     break;
                 }
             }
-            Err(ReadError::Malformed(message)) => {
+            Err(ReadError::Malformed { status, message }) => {
                 shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                obs::count("survd.http_400", 1);
-                let _ = respond_error(&mut writer, 400, &message, true);
+                obs::count(refusal_counter(status), 1);
+                let _ = respond_error(&mut writer, status, &message, true);
                 break;
             }
             Err(ReadError::Io(_)) => break,
@@ -410,6 +513,7 @@ fn dispatch(
 ) -> io::Result<()> {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/score") => handle_score(shared, request, writer, close),
+        ("POST", "/reload") => handle_reload(shared, request, writer, close),
         ("GET", "/score") => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
             obs::count("survd.http_405", 1);
@@ -417,6 +521,16 @@ fn dispatch(
                 writer,
                 405,
                 "POST a {\"rows\": [...]} body to /score",
+                close,
+            )
+        }
+        ("GET", "/reload") => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.http_405", 1);
+            respond_error(
+                writer,
+                405,
+                "POST a survdb-model/v1 document to /reload",
                 close,
             )
         }
@@ -442,11 +556,13 @@ fn dispatch(
 }
 
 fn healthz_body(shared: &Shared) -> String {
+    let generation = shared.model.current();
     JsonV::obj(vec![
         (
             "status",
             JsonV::Str(if shared.draining() { "draining" } else { "ok" }.to_string()),
         ),
+        ("generation", JsonV::UInt(generation.id)),
         ("queue_depth", JsonV::UInt(shared.admission.len() as u64)),
         (
             "queue_capacity",
@@ -454,13 +570,13 @@ fn healthz_body(shared: &Shared) -> String {
         ),
         (
             "model_trees",
-            JsonV::UInt(shared.model.forest.tree_count() as u64),
+            JsonV::UInt(generation.model.forest.tree_count() as u64),
         ),
         (
             "model_features",
-            JsonV::UInt(shared.model.forest.feature_names().len() as u64),
+            JsonV::UInt(generation.model.forest.feature_names().len() as u64),
         ),
-        ("threshold", JsonV::Float(shared.model.threshold())),
+        ("threshold", JsonV::Float(generation.model.threshold())),
     ])
     .render()
 }
@@ -482,9 +598,12 @@ fn handle_score(
                 return respond_error(writer, 400, "body is not UTF-8", close);
             }
         };
+        // The feature schema is a swap invariant (reload enforces
+        // equality), so validating against the current generation is
+        // race-free even while a swap is in flight.
         wire::parse_score_request(
             body,
-            shared.model.forest.feature_names().len(),
+            shared.model.current().model.forest.feature_names().len(),
             shared.config.max_rows_per_request,
         )
     };
@@ -511,19 +630,48 @@ fn handle_score(
     let job = Job {
         rows: score_request.rows,
         slot: Arc::clone(&slot),
+        admitted_ms: shared.clock.now_ms(),
     };
     match shared.admission.try_push(job) {
         Ok(depth) => {
             obs::gauge("survd.queue_depth", depth as f64);
-            let results = {
+            let reply = {
                 let _span = obs::span!("survd_wait");
                 slot.wait()
             };
-            shared.stats.score_ok.fetch_add(1, Ordering::Relaxed);
-            obs::count("survd.http_200", 1);
-            let _span = obs::span!("survd_respond");
-            let body = wire::render_score_response(shared.model.threshold(), &results);
-            http::write_response(writer, 200, "application/json", &[], body.as_bytes(), close)
+            match reply {
+                Reply::Scored {
+                    generation,
+                    threshold,
+                    scores,
+                } => {
+                    shared.stats.score_ok.fetch_add(1, Ordering::Relaxed);
+                    obs::count("survd.http_200", 1);
+                    let _span = obs::span!("survd_respond");
+                    let body = wire::render_score_response(generation, threshold, &scores);
+                    http::write_response(
+                        writer,
+                        200,
+                        "application/json",
+                        &[],
+                        body.as_bytes(),
+                        close,
+                    )
+                }
+                Reply::Degraded => {
+                    shared.stats.score_degraded.fetch_add(1, Ordering::Relaxed);
+                    obs::count("survd.degraded_503", 1);
+                    http::write_response(
+                        writer,
+                        503,
+                        "application/json",
+                        &[("retry-after", "1".to_string())],
+                        wire::render_error("deadline exceeded before scoring, retry later")
+                            .as_bytes(),
+                        close,
+                    )
+                }
+            }
         }
         Err(PushError::Full(_)) => {
             shared.stats.score_shed.fetch_add(1, Ordering::Relaxed);
@@ -544,6 +692,80 @@ fn handle_score(
                 .fetch_add(1, Ordering::Relaxed);
             obs::count("survd.http_503", 1);
             respond_error(writer, 503, "draining: not accepting new work", close)
+        }
+    }
+}
+
+/// Validates a reload candidate against the live generation. Returns
+/// the parsed model on success, the 422 error body message otherwise.
+fn validate_candidate(shared: &Shared, body: &str) -> Result<SavedModel, String> {
+    let candidate =
+        SavedModel::parse(body).map_err(|e| format!("candidate model rejected: {e}"))?;
+    let live = shared.model.current();
+    let live_features = live.model.forest.feature_names();
+    if candidate.forest.feature_names() != live_features {
+        return Err(format!(
+            "candidate feature schema {:?} differs from the live generation's {:?}",
+            candidate.forest.feature_names(),
+            live_features
+        ));
+    }
+    // Byte-deterministic round-trip: the canonical render must parse
+    // back and re-render identically, or the candidate would not be
+    // crash-safe to persist and reload.
+    let first = candidate.render();
+    let reparsed = SavedModel::parse(&first)
+        .map_err(|e| format!("candidate render does not re-parse: {e}"))?;
+    if reparsed.render() != first {
+        return Err("candidate model does not round-trip byte-deterministically".to_string());
+    }
+    Ok(candidate)
+}
+
+fn handle_reload(
+    shared: &Shared,
+    request: &Request,
+    writer: &mut impl Write,
+    close: bool,
+) -> io::Result<()> {
+    obs::count("survd.http_reload", 1);
+    if shared.draining() {
+        shared
+            .stats
+            .score_unavailable
+            .fetch_add(1, Ordering::Relaxed);
+        obs::count("survd.http_503", 1);
+        return respond_error(writer, 503, "draining: not accepting new work", close);
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.http_400", 1);
+            return respond_error(writer, 400, "body is not UTF-8", close);
+        }
+    };
+    let candidate = {
+        let _span = obs::span!("survd_reload_validate");
+        validate_candidate(shared, body)
+    };
+    match candidate {
+        Ok(model) => {
+            let tree_count = model.forest.tree_count();
+            let feature_count = model.forest.feature_names().len();
+            let generation = shared.model.swap(model);
+            shared.stats.reloads_ok.fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.reload_200", 1);
+            let body = wire::render_reload_response(generation, tree_count, feature_count);
+            http::write_response(writer, 200, "application/json", &[], body.as_bytes(), close)
+        }
+        Err(message) => {
+            shared
+                .stats
+                .reloads_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            obs::count("survd.reload_422", 1);
+            respond_error(writer, 422, &message, close)
         }
     }
 }
@@ -581,17 +803,46 @@ fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
     if jobs.is_empty() {
         return;
     }
-    let total_rows: usize = jobs.iter().map(|j| j.rows.len()).sum();
+    if shared.draining() {
+        shared
+            .stats
+            .drained_jobs
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    }
+
+    // Degradation: answer work that aged past its deadline with 503
+    // *before* spending scoring time on it. Disabled when the deadline
+    // is 0. Drain overrides degradation — an admitted request must be
+    // scored and answered during shutdown, never dropped.
+    let deadline = shared.config.request_deadline_ms;
+    let (live, late): (Vec<Job>, Vec<Job>) = if deadline == 0 || shared.draining() {
+        (jobs, Vec::new())
+    } else {
+        let now = shared.clock.now_ms();
+        jobs.into_iter()
+            .partition(|job| now.saturating_sub(job.admitted_ms) <= deadline)
+    };
+    for job in late {
+        job.slot.fulfill(Reply::Degraded);
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Pin ONE generation for the whole batch: every row in a batch is
+    // scored by the same model, and the response records its id.
+    let generation = shared.model.current();
+    let total_rows: usize = live.iter().map(|j| j.rows.len()).sum();
     let mut all_rows = Vec::with_capacity(total_rows);
-    for job in &jobs {
+    for job in &live {
         all_rows.extend(job.rows.iter().cloned());
     }
     let batch = {
         let _span = obs::span!("survd_score");
         serve::score_rows(
-            &shared.model.forest,
+            &generation.model.forest,
             &all_rows,
-            shared.model.meta.positive_fraction,
+            generation.model.meta.positive_fraction,
         )
     };
     debug_assert_eq!(batch.rows.len(), total_rows);
@@ -601,12 +852,6 @@ fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
         .stats
         .rows_scored
         .fetch_add(total_rows as u64, Ordering::Relaxed);
-    if shared.draining() {
-        shared
-            .stats
-            .drained_jobs
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-    }
     if obs::enabled() {
         obs::count_many(&[
             ("survd.batches", 1),
@@ -615,13 +860,18 @@ fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
         ]);
     }
 
+    let threshold = generation.model.threshold();
     let mut scored = batch.rows.into_iter();
-    for job in jobs {
+    for job in live {
         let scores: Vec<RowScore> = scored
             .by_ref()
             .take(job.rows.len())
             .map(|row| RowScore::from_scored(&row))
             .collect();
-        job.slot.fulfill(scores);
+        job.slot.fulfill(Reply::Scored {
+            generation: generation.id,
+            threshold,
+            scores,
+        });
     }
 }

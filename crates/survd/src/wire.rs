@@ -7,11 +7,12 @@
 //! { "rows": [[0.1, 0.2, ...], ...] }
 //! ```
 //!
-//! Response body (`survdb-score-response/v1`):
+//! Response body (`survdb-score-response/v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "survdb-score-response/v1",
+//!   "schema": "survdb-score-response/v2",
+//!   "generation": 1,
 //!   "threshold": 0.75,
 //!   "results": [
 //!     { "positive": 0.25, "predicted": 0, "confident": true },
@@ -19,6 +20,13 @@
 //!   ]
 //! }
 //! ```
+//!
+//! `generation` is the hot-swap generation counter of the model that
+//! scored this request (see [`crate::server`]): every admitted request
+//! is scored by exactly one generation, and the response records which
+//! one, so a client racing a `/reload` can attribute each answer. v1
+//! of this schema had no `generation` field; per the format-evolution
+//! rules the breaking addition bumped the id.
 //!
 //! `positive` renders in Rust's shortest-roundtrip form, so a client
 //! parsing it back recovers the server's `f64` bitwise — the loopback
@@ -30,7 +38,7 @@ use obs::jsonv::{self, JsonV};
 use serve::ScoredRow;
 
 /// Response schema identifier.
-pub const RESPONSE_SCHEMA: &str = "survdb-score-response/v1";
+pub const RESPONSE_SCHEMA: &str = "survdb-score-response/v2";
 
 /// A parsed `/score` request: one or more feature rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +67,18 @@ impl RowScore {
             confident: row.split == ConfidenceSplit::Confident,
         }
     }
+}
+
+/// A parsed `/score` response: which model generation scored it, the
+/// confidence threshold in force, and the per-row scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreResponse {
+    /// Hot-swap generation of the scoring model.
+    pub generation: u64,
+    /// Confidence threshold `max(q, 1 - q)` of that generation.
+    pub threshold: f64,
+    /// Per-row scores, in request order.
+    pub results: Vec<RowScore>,
 }
 
 fn number(v: &JsonV, what: &str) -> Result<f64, String> {
@@ -134,10 +154,12 @@ pub fn render_score_request(rows: &[Vec<f64>]) -> String {
     .render()
 }
 
-/// Renders a `/score` response body.
-pub fn render_score_response(threshold: f64, results: &[RowScore]) -> String {
+/// Renders a `/score` response body for the model generation that
+/// scored it.
+pub fn render_score_response(generation: u64, threshold: f64, results: &[RowScore]) -> String {
     JsonV::obj(vec![
         ("schema", JsonV::Str(RESPONSE_SCHEMA.to_string())),
+        ("generation", JsonV::UInt(generation)),
         ("threshold", JsonV::Float(threshold)),
         (
             "results",
@@ -160,7 +182,7 @@ pub fn render_score_response(threshold: f64, results: &[RowScore]) -> String {
 
 /// Parses a `/score` response body — the loadgen client side and the
 /// loopback tests.
-pub fn parse_score_response(text: &str) -> Result<(f64, Vec<RowScore>), String> {
+pub fn parse_score_response(text: &str) -> Result<ScoreResponse, String> {
     let root = jsonv::parse(text)?;
     match root.get("schema") {
         Some(JsonV::Str(s)) if s == RESPONSE_SCHEMA => {}
@@ -170,6 +192,10 @@ pub fn parse_score_response(text: &str) -> Result<(f64, Vec<RowScore>), String> 
             ))
         }
     }
+    let generation = match root.get("generation") {
+        Some(JsonV::UInt(g)) => *g,
+        other => return Err(format!("generation must be a uint, found {other:?}")),
+    };
     let threshold = number(
         root.get("threshold").ok_or("missing threshold")?,
         "threshold",
@@ -206,12 +232,26 @@ pub fn parse_score_response(text: &str) -> Result<(f64, Vec<RowScore>), String> 
             confident,
         });
     }
-    Ok((threshold, results))
+    Ok(ScoreResponse {
+        generation,
+        threshold,
+        results,
+    })
 }
 
 /// Renders an error body: `{"error": "<message>"}`.
 pub fn render_error(message: &str) -> String {
     JsonV::obj(vec![("error", JsonV::Str(message.to_string()))]).render()
+}
+
+/// Renders the `/reload` success body: which generation is now live.
+pub fn render_reload_response(generation: u64, tree_count: usize, feature_count: usize) -> String {
+    JsonV::obj(vec![
+        ("generation", JsonV::UInt(generation)),
+        ("model_trees", JsonV::UInt(tree_count as u64)),
+        ("model_features", JsonV::UInt(feature_count as u64)),
+    ])
+    .render()
 }
 
 #[cfg(test)]
@@ -255,17 +295,23 @@ mod tests {
                 confident: true,
             },
         ];
-        let body = render_score_response(0.75, &results);
-        let (threshold, back) = parse_score_response(&body).expect("valid");
-        assert_eq!(threshold, 0.75);
-        assert_eq!(back, results); // f64 == — shortest roundtrip is exact
+        let body = render_score_response(3, 0.75, &results);
+        let back = parse_score_response(&body).expect("valid");
+        assert_eq!(back.generation, 3);
+        assert_eq!(back.threshold, 0.75);
+        assert_eq!(back.results, results); // f64 == — shortest roundtrip is exact
     }
 
     #[test]
     fn response_rejections() {
         assert!(parse_score_response("{}").is_err());
-        let good = render_score_response(0.75, &[]);
+        let good = render_score_response(1, 0.75, &[]);
         assert!(parse_score_response(&good.replace(RESPONSE_SCHEMA, "v0")).is_err());
+        // A v1 body (no generation) is refused, not misread.
+        let v1 = good
+            .replace(RESPONSE_SCHEMA, "survdb-score-response/v1")
+            .replace("  \"generation\": 1,\n", "");
+        assert!(parse_score_response(&v1).is_err());
     }
 
     #[test]
@@ -274,5 +320,13 @@ mod tests {
             render_error("queue full"),
             "{\n  \"error\": \"queue full\"\n}\n"
         );
+    }
+
+    #[test]
+    fn reload_body_renders() {
+        let body = render_reload_response(2, 10, 3);
+        let json = jsonv::parse(&body).expect("valid json");
+        assert_eq!(json.get("generation"), Some(&JsonV::UInt(2)));
+        assert_eq!(json.get("model_trees"), Some(&JsonV::UInt(10)));
     }
 }

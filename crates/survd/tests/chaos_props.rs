@@ -1,0 +1,160 @@
+//! `chaos_props` — property tests for protocol-level robustness.
+//!
+//! Three properties:
+//!
+//! 1. **No panic on arbitrary bytes** — `http::read_request` fed any
+//!    byte stream returns a typed verdict (`Request` or `ReadError`),
+//!    never panics, and never hands back a body larger than the
+//!    configured limit.
+//! 2. **No panic on chaos-corrupted requests** — a valid `/score`
+//!    request mangled the way `survd::chaos` mangles wire traffic
+//!    (truncation, garbage splices, header-size inflation) still
+//!    yields a typed verdict, and any `Malformed` verdict carries one
+//!    of the daemon's refusal statuses.
+//! 3. **Plan determinism** — `ChaosPlan::action` is a pure function
+//!    of (seed, ordinal): replaying a seed reproduces the decision
+//!    stream bit-for-bit, rate 0 never fires, rate 1 always fires,
+//!    and the injected class frequency tracks the configured rate.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use survd::chaos::{garbage_bytes, ChaosClass, ChaosPlan};
+use survd::http::{read_request, HttpLimits, ReadError};
+
+/// Statuses `ReadError::Malformed` is allowed to carry — the typed
+/// refusal vocabulary of the daemon.
+const REFUSAL_STATUSES: [u16; 5] = [400, 408, 413, 431, 501];
+
+/// Feeds one byte stream through `read_request` and checks the typed
+/// contract; returns whether a request parsed.
+fn feed(bytes: &[u8], limits: &HttpLimits) -> bool {
+    let mut reader = Cursor::new(bytes.to_vec());
+    match read_request(&mut reader, limits) {
+        Ok(request) => {
+            assert!(
+                request.body.len() <= limits.max_body_bytes,
+                "parsed body exceeds the configured limit"
+            );
+            assert!(!request.method.is_empty(), "parsed an empty method");
+            true
+        }
+        Err(ReadError::Malformed { status, message }) => {
+            assert!(
+                REFUSAL_STATUSES.contains(&status),
+                "malformed verdict carries untyped status {status}: {message}"
+            );
+            assert!(!message.is_empty(), "refusal without a message");
+            false
+        }
+        Err(ReadError::Closed | ReadError::IdleTimeout | ReadError::Io(_)) => false,
+    }
+}
+
+/// A well-formed `/score` request over `rows`, the daemon's own wire
+/// rendering.
+fn valid_request(rows: &[Vec<f64>]) -> Vec<u8> {
+    let body = survd::render_score_request(rows);
+    format!(
+        "POST /score HTTP/1.1\r\nhost: props\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: any byte stream yields a typed verdict, no panic.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let limits = HttpLimits::default();
+        feed(&bytes, &limits);
+        // Tiny limits exercise the over-budget paths on the same input.
+        let tiny = HttpLimits { max_head_bytes: 64, max_body_bytes: 32, max_stall_reads: 2 };
+        feed(&bytes, &tiny);
+    }
+
+    /// Property 2: chaos-style corruption of a valid request still
+    /// yields a typed verdict.
+    #[test]
+    fn corrupted_requests_never_panic_the_reader(
+        seed in any::<u64>(),
+        ordinal in 0u64..1024,
+        cut in 0usize..512,
+        garbage_len in 1usize..128,
+        n_rows in 1usize..4,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|r| vec![r as f64 * 0.25, 0.5, 1.0 - r as f64 * 0.125])
+            .collect();
+        let clean = valid_request(&rows);
+        let limits = HttpLimits::default();
+
+        // Clean request parses; echoed body matches what was framed.
+        prop_assert!(feed(&clean, &limits), "clean request must parse");
+
+        // Truncation at every offset: typed verdict, usually an error.
+        let truncated = &clean[..cut.min(clean.len())];
+        feed(truncated, &limits);
+
+        // Garbage prefix (what GarbageFrame sends): typed refusal.
+        let mut garbled = garbage_bytes(seed, ordinal, garbage_len);
+        garbled.extend_from_slice(b"\r\n\r\n");
+        prop_assert!(!feed(&garbled, &limits), "garbage must not parse as a request");
+
+        // Garbage spliced into the middle of the head.
+        let mut spliced = clean.clone();
+        let at = cut.min(spliced.len());
+        let splice = garbage_bytes(seed ^ 1, ordinal, garbage_len);
+        spliced.splice(at..at, splice);
+        feed(&spliced, &limits);
+
+        // Oversized declared length (what OversizedFrame sends).
+        let huge = format!(
+            "POST /score HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            limits.max_body_bytes + 1
+        );
+        prop_assert!(!feed(huge.as_bytes(), &limits), "oversized frame must be refused");
+    }
+
+    /// Property 3: plan decisions replay exactly and track their rate.
+    #[test]
+    fn plans_are_deterministic_and_rate_faithful(
+        seed in any::<u64>(),
+        class_index in 0usize..7,
+        rate in 0.0f64..=1.0,
+    ) {
+        let class = ChaosClass::ALL[class_index];
+        let plan = ChaosPlan::single(class, rate, seed);
+        plan.validate();
+
+        let first: Vec<Option<ChaosClass>> = (0..256).map(|o| plan.action(o)).collect();
+        let replay: Vec<Option<ChaosClass>> = (0..256).map(|o| plan.action(o)).collect();
+        prop_assert_eq!(&first, &replay, "replaying a seed must reproduce decisions");
+
+        let fired = first.iter().filter(|a| a.is_some()).count();
+        for action in &first {
+            prop_assert!(
+                action.is_none() || *action == Some(class),
+                "single-class plan injected a different class"
+            );
+        }
+        if rate == 0.0 {
+            prop_assert_eq!(fired, 0, "rate 0 must never fire");
+        }
+        if rate == 1.0 {
+            prop_assert_eq!(fired, 256, "rate 1 must always fire");
+        }
+        // Frequency tracks rate (binomial, n=256: ±0.2 is > 6 sigma).
+        let frequency = fired as f64 / 256.0;
+        prop_assert!(
+            (frequency - rate).abs() < 0.2,
+            "frequency {frequency} far from rate {rate}"
+        );
+
+        // A fresh plan with a different seed is its own stream — but
+        // the clean plan never fires regardless of seed.
+        let clean = ChaosPlan::none(seed ^ 0xDEAD_BEEF);
+        prop_assert!((0..256).all(|o| clean.action(o).is_none()));
+    }
+}

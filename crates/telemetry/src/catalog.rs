@@ -6,12 +6,8 @@
 //! service level objectives (SLOs) rated in database transaction units
 //! (DTUs) and a maximum database size.
 
-use serde::Serialize;
-
 /// Database edition (paper §2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Edition {
     /// Entry tier, remote storage.
     Basic,
@@ -47,7 +43,7 @@ impl std::fmt::Display for Edition {
 }
 
 /// One purchasable service level objective.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceLevelObjective {
     /// SLO name as sold (e.g. "S2").
     pub name: &'static str,

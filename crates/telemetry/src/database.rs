@@ -8,7 +8,7 @@ use crate::utilization::UtilizationTrace;
 use simtime::{Duration, Timestamp};
 
 /// One service-level-objective assignment in a database's history.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SloChange {
     /// When the SLO took effect (the first entry is the creation).
     pub at: Timestamp,
@@ -29,7 +29,7 @@ impl SloChange {
 }
 
 /// The full telemetry-derived record of one singleton database.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatabaseRecord {
     /// Unique id within the fleet.
     pub id: u64,

@@ -2,14 +2,23 @@
 //!
 //! A real release of this study ships its (synthetic) dataset so that
 //! downstream users can analyze it with their own tooling. This module
-//! serializes database records as JSON Lines (one record per line) and
-//! as a flat CSV summary, and reads the JSONL form back.
+//! serializes database records as JSON Lines (one record per line,
+//! rendered through the workspace's deterministic JSON tree) and as a
+//! flat CSV summary, and reads the JSONL form back.
 //!
 //! Deserialized records are re-validated: JSONL input is data, not a
-//! trusted in-process invariant carrier.
+//! trusted in-process invariant carrier. Trace samples are checked
+//! *before* the trace constructors run, so malformed input surfaces as
+//! an [`ImportError`] rather than a panic.
 
 use crate::catalog::SLOS;
-use crate::database::DatabaseRecord;
+use crate::database::{DatabaseRecord, SloChange};
+use crate::region::RegionId;
+use crate::sizetrace::SizeTrace;
+use crate::subscription::{SubscriptionId, SubscriptionType};
+use crate::utilization::UtilizationTrace;
+use obs::jsonv::{parse as parse_json, JsonV};
+use simtime::{Duration, Timestamp};
 use std::io::{BufRead, Write};
 
 /// Errors from reading an exported dataset.
@@ -61,8 +70,7 @@ pub fn write_records_jsonl<W: Write>(
     mut out: W,
 ) -> std::io::Result<()> {
     for record in records {
-        let line = serde_json::to_string(record).expect("records are serializable");
-        out.write_all(line.as_bytes())?;
+        out.write_all(record_to_json(record).render_compact().as_bytes())?;
         out.write_all(b"\n")?;
     }
     Ok(())
@@ -79,16 +87,233 @@ pub fn read_records_jsonl<R: BufRead>(input: R) -> Result<Vec<DatabaseRecord>, I
         if line.trim().is_empty() {
             continue;
         }
-        let record: DatabaseRecord =
-            serde_json::from_str(&line).map_err(|e| ImportError::Parse {
-                line: line_no,
-                message: e.to_string(),
-            })?;
+        let tree = parse_json(&line).map_err(|message| ImportError::Parse {
+            line: line_no,
+            message,
+        })?;
+        let record = record_from_json(&tree).map_err(|message| ImportError::Parse {
+            line: line_no,
+            message,
+        })?;
         validate(&record).map_err(|message| ImportError::Invalid {
             line: line_no,
             message,
         })?;
         out.push(record);
+    }
+    Ok(out)
+}
+
+/// Renders one record as a JSON tree. Timestamps are epoch seconds,
+/// trace samples `[offset_seconds, value]` pairs, and enum-like fields
+/// their `Display` names.
+fn record_to_json(record: &DatabaseRecord) -> JsonV {
+    JsonV::obj(vec![
+        ("id", JsonV::UInt(record.id)),
+        ("region", JsonV::Str(record.region.to_string())),
+        ("server_name", JsonV::Str(record.server_name.clone())),
+        ("database_name", JsonV::Str(record.database_name.clone())),
+        ("subscription_id", JsonV::UInt(record.subscription_id.0)),
+        (
+            "subscription_type",
+            JsonV::Str(record.subscription_type.to_string()),
+        ),
+        (
+            "created_at",
+            seconds_json(record.created_at.epoch_seconds()),
+        ),
+        (
+            "dropped_at",
+            match record.dropped_at {
+                Some(t) => seconds_json(t.epoch_seconds()),
+                None => JsonV::Null,
+            },
+        ),
+        (
+            "slo_history",
+            JsonV::Arr(
+                record
+                    .slo_history
+                    .iter()
+                    .map(|change| {
+                        JsonV::obj(vec![
+                            ("at", seconds_json(change.at.epoch_seconds())),
+                            ("slo_index", JsonV::UInt(change.slo_index as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("size_trace", samples_json(record.size_trace.samples())),
+        (
+            "utilization_trace",
+            samples_json(record.utilization_trace.samples()),
+        ),
+        (
+            "elastic_pool",
+            match record.elastic_pool {
+                Some(pool) => JsonV::UInt(pool as u64),
+                None => JsonV::Null,
+            },
+        ),
+        ("is_internal", JsonV::Bool(record.is_internal)),
+    ])
+}
+
+/// Rebuilds a record from its JSON tree, reporting the first malformed
+/// field. Trace invariants (ordering, ranges) are checked here so the
+/// panicking trace constructors only ever see valid data.
+fn record_from_json(v: &JsonV) -> Result<DatabaseRecord, String> {
+    let size_samples = read_samples(field(v, "size_trace")?, "size_trace")?;
+    for (_, size) in &size_samples {
+        if !size.is_finite() || *size < 0.0 {
+            return Err(format!("size_trace: invalid size {size}"));
+        }
+    }
+    let util_samples = read_samples(field(v, "utilization_trace")?, "utilization_trace")?;
+    for (_, value) in &util_samples {
+        if !value.is_finite() || !(0.0..=100.0).contains(value) {
+            return Err(format!("utilization_trace: value {value} out of range"));
+        }
+    }
+    if size_samples.is_empty() || util_samples.is_empty() {
+        return Err("empty telemetry trace".into());
+    }
+
+    let slo_history = match field(v, "slo_history")? {
+        JsonV::Arr(items) => items
+            .iter()
+            .map(|item| {
+                Ok(SloChange {
+                    at: Timestamp::from_epoch_seconds(read_i64(field(item, "at")?, "at")?),
+                    slo_index: read_u64(field(item, "slo_index")?, "slo_index")? as usize,
+                })
+            })
+            .collect::<Result<Vec<SloChange>, String>>()?,
+        _ => return Err("slo_history: expected array".into()),
+    };
+
+    Ok(DatabaseRecord {
+        id: read_u64(field(v, "id")?, "id")?,
+        region: read_region(field(v, "region")?)?,
+        server_name: read_str(field(v, "server_name")?, "server_name")?,
+        database_name: read_str(field(v, "database_name")?, "database_name")?,
+        subscription_id: SubscriptionId(read_u64(field(v, "subscription_id")?, "subscription_id")?),
+        subscription_type: read_subscription_type(field(v, "subscription_type")?)?,
+        created_at: Timestamp::from_epoch_seconds(read_i64(field(v, "created_at")?, "created_at")?),
+        dropped_at: match field(v, "dropped_at")? {
+            JsonV::Null => None,
+            other => Some(Timestamp::from_epoch_seconds(read_i64(
+                other,
+                "dropped_at",
+            )?)),
+        },
+        slo_history,
+        size_trace: SizeTrace::new(size_samples),
+        utilization_trace: UtilizationTrace::new(util_samples),
+        elastic_pool: match field(v, "elastic_pool")? {
+            JsonV::Null => None,
+            other => {
+                let pool = read_u64(other, "elastic_pool")?;
+                Some(u32::try_from(pool).map_err(|_| "elastic_pool: out of range".to_string())?)
+            }
+        },
+        is_internal: match field(v, "is_internal")? {
+            JsonV::Bool(b) => *b,
+            _ => return Err("is_internal: expected bool".into()),
+        },
+    })
+}
+
+fn seconds_json(seconds: i64) -> JsonV {
+    if seconds >= 0 {
+        JsonV::UInt(seconds as u64)
+    } else {
+        // Negative instants precede the epoch; none occur in generated
+        // fleets, but the codec stays total. f64 is exact to ±2^53.
+        JsonV::Float(seconds as f64)
+    }
+}
+
+fn samples_json(samples: &[(Duration, f64)]) -> JsonV {
+    JsonV::Arr(
+        samples
+            .iter()
+            .map(|(offset, value)| {
+                JsonV::Arr(vec![
+                    seconds_json(offset.as_seconds()),
+                    JsonV::Float(*value),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn field<'a>(v: &'a JsonV, key: &str) -> Result<&'a JsonV, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn read_u64(v: &JsonV, what: &str) -> Result<u64, String> {
+    match v {
+        JsonV::UInt(u) => Ok(*u),
+        _ => Err(format!("{what}: expected unsigned integer")),
+    }
+}
+
+fn read_i64(v: &JsonV, what: &str) -> Result<i64, String> {
+    match v {
+        JsonV::UInt(u) => i64::try_from(*u).map_err(|_| format!("{what}: out of range")),
+        JsonV::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => Ok(*f as i64),
+        _ => Err(format!("{what}: expected integer seconds")),
+    }
+}
+
+fn read_str(v: &JsonV, what: &str) -> Result<String, String> {
+    match v {
+        JsonV::Str(s) => Ok(s.clone()),
+        _ => Err(format!("{what}: expected string")),
+    }
+}
+
+fn read_region(v: &JsonV) -> Result<RegionId, String> {
+    let name = read_str(v, "region")?;
+    RegionId::ALL
+        .into_iter()
+        .find(|r| r.to_string() == name)
+        .ok_or_else(|| format!("region: unknown {name:?}"))
+}
+
+fn read_subscription_type(v: &JsonV) -> Result<SubscriptionType, String> {
+    let name = read_str(v, "subscription_type")?;
+    SubscriptionType::ALL
+        .into_iter()
+        .find(|t| t.to_string() == name)
+        .ok_or_else(|| format!("subscription_type: unknown {name:?}"))
+}
+
+fn read_samples(v: &JsonV, what: &str) -> Result<Vec<(Duration, f64)>, String> {
+    let items = match v {
+        JsonV::Arr(items) => items,
+        _ => return Err(format!("{what}: expected array")),
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = match item {
+            JsonV::Arr(pair) if pair.len() == 2 => pair,
+            _ => return Err(format!("{what}: expected [offset, value] pairs")),
+        };
+        let offset = Duration::seconds(read_i64(&pair[0], what)?);
+        let value = match &pair[1] {
+            JsonV::Float(f) => *f,
+            JsonV::UInt(u) => *u as f64,
+            _ => return Err(format!("{what}: expected numeric sample value")),
+        };
+        if let Some((last, _)) = out.last() {
+            if offset <= *last {
+                return Err(format!("{what}: offsets must be strictly increasing"));
+            }
+        }
+        out.push((offset, value));
     }
     Ok(out)
 }
@@ -186,6 +411,18 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_lines_are_single_line_json() {
+        let f = fleet();
+        let mut buffer = Vec::new();
+        write_records_jsonl(&f.databases[..2], &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with("{\"id\":"), "{line}");
+        }
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let f = fleet();
         let mut buffer = Vec::new();
@@ -217,6 +454,20 @@ mod tests {
         write_records_jsonl(&[record], &mut buffer).unwrap();
         let err = read_records_jsonl(buffer.as_slice()).unwrap_err();
         assert!(matches!(err, ImportError::Invalid { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn unordered_trace_is_a_parse_error_not_a_panic() {
+        let f = fleet();
+        let mut buffer = Vec::new();
+        write_records_jsonl(&f.databases[..1], &mut buffer).unwrap();
+        let line = String::from_utf8(buffer).unwrap();
+        // Prepend a huge first offset so the size trace is no longer
+        // strictly increasing.
+        let broken = line.replace("\"size_trace\":[[", "\"size_trace\":[[999999999,1.0],[");
+        assert_ne!(line, broken, "fixture line must contain a size trace");
+        let err = read_records_jsonl(broken.as_bytes()).unwrap_err();
+        assert!(matches!(err, ImportError::Parse { line: 1, .. }), "{err}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 pub const CORRUPT_SLO_NAMES: [&str; 4] = ["X9", "Q-EXP", "S99", "P99"];
 
 /// One class of telemetry defect, used to label degradation sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FaultClass {
     /// Size/utilization reports silently lost in transport.
     DropSamples,
@@ -66,7 +66,7 @@ impl std::fmt::Display for FaultClass {
 
 /// Per-kind fault rates driving a [`FaultInjector`]. All rates are
 /// probabilities in `[0, 1]`; the default plan injects nothing.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Seed for every injection decision.
     pub seed: u64,
@@ -157,7 +157,7 @@ impl FaultPlan {
 
 /// What an injection pass actually did — useful for asserting fault
 /// coverage in tests and reporting sweep intensity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultSummary {
     /// Events in the input stream.
     pub events_in: usize,

@@ -322,7 +322,7 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
 /// enables every repair, which is what the degradation sweep and the
 /// recovery tests exercise; individual repairs can be switched off to
 /// measure their contribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryPolicy {
     /// Re-sort arrivals into canonical `(time, rank)` order before
     /// folding. Off, events are folded in arrival order and anything
@@ -362,7 +362,7 @@ impl Default for RecoveryPolicy {
 }
 
 /// Per-kind tallies of repairs applied by the lenient path.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RepairCounts {
     /// Events that arrived out of time order and were re-sorted.
     pub resorted_events: usize,
@@ -408,7 +408,7 @@ impl RepairCounts {
 }
 
 /// Per-reason tallies of quarantines issued by the lenient path.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct QuarantineCounts {
     /// Events whose database never had a `Created` in the stream.
     pub orphaned_events: usize,
@@ -423,7 +423,7 @@ pub struct QuarantineCounts {
 
 /// What the lenient path did to a stream: how much was recovered, how
 /// much was repaired, and what had to be quarantined.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IngestReport {
     /// Events in the input stream.
     pub events_total: usize,

@@ -9,9 +9,7 @@ use crate::archetype::Archetype;
 use simtime::{CivilDate, HolidayCalendar};
 
 /// Region identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RegionId {
     /// Largest region, US-like calendar.
     Region1,

@@ -9,7 +9,7 @@ use simtime::Duration;
 
 /// Periodic size samples for one database, as offsets from its creation
 /// time. Samples are strictly increasing in offset.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SizeTrace {
     /// `(offset since creation, size in MB)` pairs, ascending.
     samples: Vec<(Duration, f64)>,

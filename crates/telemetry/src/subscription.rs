@@ -5,16 +5,14 @@ use crate::names::NameStyle;
 use crate::region::RegionId;
 
 /// Opaque subscription identifier, unique within a fleet.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubscriptionId(pub u64);
 
 /// Azure-like subscription offer types (paper §4.2 "Subscription type":
 /// "trial, consumption, benefit programs, etc."). Internal Microsoft
 /// subscriptions are excluded from the study population, so the
 /// simulator only generates external types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubscriptionType {
     /// Free trial offer.
     Trial,

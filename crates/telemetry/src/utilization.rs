@@ -14,7 +14,7 @@ use simtime::{Duration, Timestamp};
 
 /// Periodic DTU-utilization samples for one database, as offsets from
 /// creation. Values are percentages in `[0, 100]`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UtilizationTrace {
     samples: Vec<(Duration, f64)>,
 }

@@ -104,14 +104,15 @@ fn daemon_matches_offline_scoring_across_configs() {
                         .score(&survd::render_score_request(&rows))
                         .expect("score request");
                     assert_eq!(response.status, 200, "{:?}", response.text());
-                    let (t, results) = survd::parse_score_response(response.text().expect("utf8"))
+                    let parsed = survd::parse_score_response(response.text().expect("utf8"))
                         .expect("valid response");
-                    assert_eq!(t, threshold, "threshold drifted");
+                    assert_eq!(parsed.threshold, threshold, "threshold drifted");
+                    assert_eq!(parsed.generation, 1, "no reload happened in this test");
                     let want: Vec<RowScore> =
                         indices.iter().map(|&i| expected[i].clone()).collect();
                     // Bitwise: f64 == through shortest-roundtrip JSON.
                     assert_eq!(
-                        results, want,
+                        parsed.results, want,
                         "config ({workers}, {max_rows}, {max_wait_ms}) connection {c} request {r}"
                     );
                 }
@@ -269,9 +270,9 @@ fn shutdown_drains_every_admitted_request() {
         let (status, body, want) = client.join().expect("client thread");
         assert_eq!(status, 200, "an admitted request was dropped during drain");
         let text = std::str::from_utf8(&body).expect("utf8");
-        let (_, results) = survd::parse_score_response(text).expect("valid response");
+        let parsed = survd::parse_score_response(text).expect("valid response");
         assert_eq!(
-            results, want,
+            parsed.results, want,
             "drained response diverged from offline scoring"
         );
     }

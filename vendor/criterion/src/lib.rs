@@ -1,0 +1,244 @@
+//! Offline reimplementation of the `criterion` API surface this
+//! workspace's benches use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group` / `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and `black_box`.
+//!
+//! The harness is deliberately simple: each bench closure is warmed
+//! up once, then timed over a fixed iteration budget, and a
+//! `name ... median time` line is printed. There is no statistical
+//! machinery — the workspace's quantitative claims live in artifact
+//! files produced by dedicated binaries, while `cargo bench` serves
+//! as a smoke-and-relative-trend harness.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming it up, then averaging over a
+    /// small adaptive iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, also used to size the budget so slow
+        // benches (whole-fleet generation) don't run for minutes.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed();
+        let iters = if once > Duration::from_millis(200) {
+            1
+        } else if once > Duration::from_millis(10) {
+            3
+        } else if once > Duration::from_micros(100) {
+            25
+        } else {
+            200
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A bench identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped bench.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), None, f);
+        self
+    }
+}
+
+/// A group of benches sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive iteration budget
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one bench in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized bench in the group.
+    pub fn bench_with_input<F, I>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report separation only).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { last_ns: 0.0 };
+    f(&mut bencher);
+    let per_iter = bencher.last_ns;
+    let annotated = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / per_iter * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter * 1e9)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<56} {}{annotated}", format_ns(per_iter));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns")
+    }
+}
+
+/// Declares a bench group: `criterion_group!(benches, fn_a, fn_b);`
+/// defines `fn benches()` running each target against a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $(
+                {
+                    let mut c = $crate::Criterion::default();
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary entry point from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("vendor_smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).map(black_box).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter(|| black_box(k) * 2)
+        });
+        group.finish();
+        c.bench_function("ungrouped", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(smoke, quick);
+
+    #[test]
+    fn harness_runs_and_times() {
+        smoke();
+        let mut b = Bencher { last_ns: 0.0 };
+        b.iter(|| std::thread::sleep(std::time::Duration::from_micros(50)));
+        assert!(b.last_ns >= 50_000.0, "{}", b.last_ns);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 0.5).to_string(), "f/0.5");
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline reimplementation of the `proptest` API surface this
+//! workspace uses: the `proptest!` macro, range / `any` / tuple /
+//! `collection::vec` strategies, `prop_assert!`-style assertions, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: every case's inputs are a pure function of
+//!   `(test name, case index)` through SplitMix64 — reruns reproduce
+//!   failures exactly, with no persistence files.
+//! * **No shrinking**: on failure the harness prints the generating
+//!   case index and the full input values, which the determinism makes
+//!   sufficient to reproduce and debug.
+//!
+//! The strategy combinators not used by the workspace (`prop_oneof!`,
+//! `prop_map`, …) are intentionally absent.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { .. }`
+/// item becomes a `#[test]` that runs the body over `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]: peels one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(file!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __inputs = String::new();
+                // Generate in declaration order, capturing a debug
+                // rendering of each input before it is moved into its
+                // pattern.
+                $(
+                    let __value = $crate::strategy::Strategy::generate(
+                        &($strategy),
+                        &mut __rng,
+                    );
+                    __inputs.push_str(&format!(
+                        "  {} = {:?}\n",
+                        stringify!($pat),
+                        &__value,
+                    ));
+                    let $pat = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(__payload) = __outcome {
+                    println!(
+                        "proptest {} failed at case {}/{} with inputs:\n{}",
+                        stringify!($name), __case, __config.cases, __inputs,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in -5i64..5,
+            y in 0.25f64..0.75,
+            n in 1usize..=4,
+            b in any::<bool>(),
+        ) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn vec_sizes_respect_range(values in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&values.len()));
+            prop_assert!(values.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(
+            pairs in prop::collection::vec((0.0f64..1.0, any::<bool>()), 1..=8),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() <= 8);
+            for (v, _flag) in &pairs {
+                prop_assert!((0.0..1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name_and_index() {
+        let mut a = crate::test_runner::TestRng::for_case("suite::case", 3);
+        let mut b = crate::test_runner::TestRng::for_case("suite::case", 3);
+        let mut c = crate::test_runner::TestRng::for_case("suite::case", 4);
+        let mut d = crate::test_runner::TestRng::for_case("suite::other", 3);
+        let (x, y) = (a.next_u64(), b.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, c.next_u64());
+        assert_ne!(x, d.next_u64());
+    }
+
+    #[test]
+    fn failing_case_panics_through() {
+        let result = std::panic::catch_unwind(|| {
+            // A property that must fail on some case quickly.
+            let mut rng = crate::test_runner::TestRng::for_case("x", 0);
+            let v = crate::strategy::Strategy::generate(&(0u8..10), &mut rng);
+            assert!(v >= 10, "deliberate");
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The [`Strategy`] trait and the primitive strategies: numeric
+//! ranges, `any::<T>()`, and tuples.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating test inputs of one type.
+pub trait Strategy {
+    /// The generated type (must be printable for failure reports).
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Marker returned by [`any`]; the `Arbitrary`-style full-range
+/// strategy for `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-range strategy for `T` (`any::<bool>()`, `any::<u64>()`,
+/// …).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_uint {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite values only: the workspace's properties are numeric
+        // laws where NaN injection is tested explicitly elsewhere.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+macro_rules! range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full u64/i64 domain.
+                    return rng.next_u64() as $ty;
+                }
+                (lo as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u = rng.unit_f64();
+        let v = self.start + u * (self.end - self.start);
+        // Guard the half-open upper bound against rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        // Scale so the top draw can land exactly on `hi`.
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let wide: Range<f64> = self.start as f64..self.end as f64;
+        wide.generate(rng) as f32
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ranges_cover_endpoints_lawfully() {
+        let mut rng = TestRng::for_case("cover", 0);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..400 {
+            let v = (-2i64..=2).generate(&mut rng);
+            assert!((-2..=2).contains(&v));
+            hit_lo |= v == -2;
+            hit_hi |= v == 2;
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn half_open_excludes_upper() {
+        let mut rng = TestRng::for_case("upper", 0);
+        for _ in 0..400 {
+            assert!((0u8..3).generate(&mut rng) < 3);
+            assert!((0.0f64..1.0).generate(&mut rng) < 1.0);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_each_component() {
+        let mut rng = TestRng::for_case("tuple", 0);
+        let (a, b, c) = (0u8..4, -1.0f64..1.0, any::<bool>()).generate(&mut rng);
+        assert!(a < 4);
+        assert!((-1.0..1.0).contains(&b));
+        let _ = c;
+    }
+}

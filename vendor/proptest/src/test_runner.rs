@@ -1,0 +1,103 @@
+//! Runner configuration and the deterministic case generator.
+
+/// How many cases a property runs. Mirrors the upstream type's shape
+/// for the options this workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (the only knob used here).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A SplitMix64 stream keyed by `(test name, case index)`: cheap,
+/// statistically fine for test-input generation, and — the property
+/// that matters — fully deterministic across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for one case of one named property.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case ordinal.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: splitmix(h ^ splitmix(case as u64 + 1)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        splitmix(self.state)
+    }
+
+    /// A float in `[0, 1)` from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Widening multiply; the bias is far below what test-input
+        // generation can observe.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// The SplitMix64 finalizer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_stays_in_bounds_and_covers() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn unit_is_half_open() {
+        let mut rng = TestRng::for_case("unit", 0);
+        for _ in 0..1000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn default_config_is_256_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(24).cases, 24);
+    }
+}

@@ -1,0 +1,396 @@
+//! Sampling distributions: [`Standard`], [`Bernoulli`], and the
+//! uniform-range machinery behind `gen_range`, each reproducing the
+//! upstream `rand` 0.8.5 algorithm exactly.
+
+use crate::Rng;
+
+/// A type that can produce values of `T` from randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution: full-range integers, `[0, 1)` floats
+/// (53-bit multiply method for `f64`, 24-bit for `f32`), fair bools.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // 64-bit targets only (the workspace's only deployment shape).
+        rng.next_u64() as usize
+    }
+}
+
+macro_rules! standard_signed {
+    ($($s:ty => $u:ty),*) => {$(
+        impl Distribution<$s> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $s {
+                <Standard as Distribution<$u>>::sample(&Standard, rng) as $s
+            }
+        }
+    )*};
+}
+standard_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Compare the most significant bit of a u32 (least significant
+        // bits of weak generators can be patterned).
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based [0, 1): 53 most-significant bits.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 most-significant bits of a u32.
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Error returned for probabilities outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BernoulliError;
+
+impl std::fmt::Display for BernoulliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("p is outside [0, 1]")
+    }
+}
+
+impl std::error::Error for BernoulliError {}
+
+/// A boolean distribution with success probability `p`, using the
+/// fixed-point comparison `u64 < (p * 2^64)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+const BERNOULLI_SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// A Bernoulli distribution with probability `p` of `true`.
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError);
+        }
+        Ok(Bernoulli {
+            p_int: (p * BERNOULLI_SCALE) as u64,
+        })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}
+
+pub mod uniform {
+    //! `gen_range` support: per-type single-shot uniform sampling.
+
+    use super::{Distribution, Standard};
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)`.
+        fn sample_single<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples uniformly from `[low, high]`.
+        fn sample_single_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range shapes `gen_range` accepts.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        /// True when no value lies in the range.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_single_inclusive(low, high, rng)
+        }
+        fn is_empty(&self) -> bool {
+            !(self.start() <= self.end())
+        }
+    }
+
+    // Upstream's uniform_int_impl!: `$ty` is the sampled type,
+    // `$unsigned` its unsigned twin, `$u_large` the widened type the
+    // rejection loop runs in (u32 for sub-32-bit types, else the
+    // type's own width). The loop is widening-multiply rejection:
+    // draw v, split v*range into (hi, lo) halves, accept hi when the
+    // low half clears the zone.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                    // gen_range rejects empty ranges, so range >= 1.
+                    let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                        // Narrow types widened into u32: upstream
+                        // computes the exact modulo zone.
+                        let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                        <$u_large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large =
+                            <Standard as Distribution<$u_large>>::sample(&Standard, rng);
+                        let wide = (v as Wide) * (range as Wide);
+                        let hi = (wide >> <$u_large>::BITS) as $u_large;
+                        let lo = wide as $u_large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: Rng + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                    if range == 0 {
+                        // Full type range: every bit pattern is valid.
+                        return <Standard as Distribution<$ty>>::sample(&Standard, rng);
+                    }
+                    let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                        let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                        <$u_large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large =
+                            <Standard as Distribution<$u_large>>::sample(&Standard, rng);
+                        let wide = (v as Wide) * (range as Wide);
+                        let hi = (wide >> <$u_large>::BITS) as $u_large;
+                        let lo = wide as $u_large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    /// The widening-multiply carrier (u128 covers both u32 and u64
+    /// loop widths without a per-width helper trait).
+    pub type Wide = u128;
+
+    uniform_int_impl!(u8, u8, u32);
+    uniform_int_impl!(i8, u8, u32);
+    uniform_int_impl!(u16, u16, u32);
+    uniform_int_impl!(i16, u16, u32);
+    uniform_int_impl!(u32, u32, u32);
+    uniform_int_impl!(i32, u32, u32);
+    uniform_int_impl!(u64, u64, u64);
+    uniform_int_impl!(i64, u64, u64);
+    uniform_int_impl!(usize, usize, u64);
+    uniform_int_impl!(isize, usize, u64);
+
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $one_bits:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: Rng + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    // Upstream UniformFloat::sample_single: draw
+                    // value1_2 in [1, 2) from the mantissa bits, map
+                    // through value0_1 * scale + low, and on the rare
+                    // rounding collision with `high` shrink scale by
+                    // one ulp and retry.
+                    let mut scale = high - low;
+                    loop {
+                        let bits: $uty = <Standard as Distribution<$uty>>::sample(&Standard, rng);
+                        let value1_2 = <$ty>::from_bits((bits >> $bits_to_discard) | $one_bits);
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_single_inclusive<R: Rng + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    // Upstream scales so the largest mantissa draw
+                    // lands exactly on `high`.
+                    let max_rand =
+                        <$ty>::from_bits((<$uty>::MAX >> $bits_to_discard) | $one_bits) - 1.0;
+                    let scale = (high - low) / max_rand;
+                    let bits: $uty = <Standard as Distribution<$uty>>::sample(&Standard, rng);
+                    let value1_2 = <$ty>::from_bits((bits >> $bits_to_discard) | $one_bits);
+                    let value0_1 = value1_2 - 1.0;
+                    value0_1 * scale + low
+                }
+            }
+        };
+    }
+
+    uniform_float_impl!(f64, u64, 12u32, 0x3FF0000000000000u64);
+    uniform_float_impl!(f32, u32, 9u32, 0x3F800000u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{RngCore, SeedableRng};
+
+    #[test]
+    fn usize_range_matches_u64_widening_multiply() {
+        // usize sampling runs through the u64-width loop; replay the
+        // reference arithmetic next to it.
+        let mut a = SmallRng::seed_from_u64(41);
+        let mut b = SmallRng::seed_from_u64(41);
+        let got = a.gen_range(0usize..160);
+        let range = 160u64;
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        let want = loop {
+            let v = b.next_u64();
+            let wide = v as u128 * range as u128;
+            let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+            if lo <= zone {
+                break hi;
+            }
+        };
+        assert_eq!(got as u64, want);
+    }
+
+    #[test]
+    fn narrow_range_uses_u32_loop_with_exact_zone() {
+        let mut a = SmallRng::seed_from_u64(6);
+        let mut b = SmallRng::seed_from_u64(6);
+        let got = a.gen_range(0u8..6);
+        let range = 6u32;
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        let zone = u32::MAX - ints_to_reject;
+        let want = loop {
+            let v = b.next_u32();
+            let wide = v as u64 * range as u64;
+            let (hi, lo) = ((wide >> 32) as u32, wide as u32);
+            if lo <= zone {
+                break hi;
+            }
+        };
+        assert_eq!(got as u32, want);
+    }
+
+    #[test]
+    fn f64_range_matches_upstream_shape() {
+        let mut a = SmallRng::seed_from_u64(8);
+        let mut b = SmallRng::seed_from_u64(8);
+        let got = a.gen_range(-1.0f64..1.0);
+        let value1_2 = f64::from_bits((b.next_u64() >> 12) | 0x3FF0000000000000);
+        let scale = 2.0;
+        assert_eq!(got, (value1_2 - 1.0) * scale + -1.0);
+        assert!((-1.0..1.0).contains(&got));
+    }
+
+    #[test]
+    fn inclusive_integer_range_hits_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..500 {
+            match rng.gen_range(0u8..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn full_u8_inclusive_range_is_passthrough() {
+        let mut a = SmallRng::seed_from_u64(12);
+        let mut b = SmallRng::seed_from_u64(12);
+        assert_eq!(a.gen_range(0u8..=255), b.next_u32() as u8);
+    }
+
+    #[test]
+    fn bernoulli_is_fixed_point_compare() {
+        let mut a = SmallRng::seed_from_u64(2);
+        let mut b = SmallRng::seed_from_u64(2);
+        let p = 0.37;
+        let want = b.next_u64() < (p * BERNOULLI_SCALE) as u64;
+        assert_eq!(a.gen_bool(p), want);
+    }
+
+    #[test]
+    fn sample_single_direct_calls_work() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = <i32 as SampleUniform>::sample_single(-10, 10, &mut rng);
+            assert!((-10..10).contains(&v));
+        }
+    }
+}

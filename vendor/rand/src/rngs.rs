@@ -1,0 +1,96 @@
+//! Concrete generators: [`SmallRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic generator: xoshiro256++ exactly
+/// as upstream `rand` 0.8.5 ships it on 64-bit platforms, so seeded
+/// sequences here match seeded sequences there bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// The raw xoshiro state (test hook for compatibility pinning).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        // The lowest bits of xoshiro256++ have linear dependencies, so
+        // upstream takes the upper half — matching it exactly matters
+        // for every derived sampler.
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+
+        let t = self.s[1] << 17;
+
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+
+        self.s[2] ^= t;
+
+        self.s[3] = self.s[3].rotate_left(45);
+
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&last[..rest.len()]);
+        }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> SmallRng {
+        // An all-zero state is a fixed point of xoshiro; upstream
+        // redirects it through seed_from_u64(0).
+        if seed.iter().all(|&b| b == 0) {
+            return SmallRng::seed_from_u64(0);
+        }
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        SmallRng { s }
+    }
+
+    /// Expands a `u64` seed through SplitMix64, as upstream's xoshiro
+    /// implementation does (overriding the rand_core PCG32 default).
+    fn seed_from_u64(mut state: u64) -> SmallRng {
+        const PHI: u64 = 0x9e3779b97f4a7c15;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        SmallRng::from_seed(seed)
+    }
+}
