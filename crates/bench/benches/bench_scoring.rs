@@ -1,11 +1,13 @@
 //! Criterion benches for the serving layer: batch-scoring throughput
-//! and the model format's render/parse round trip.
+//! (recursive baseline vs the branchless cache-blocked kernel, with
+//! and without an amortized layout build) and the model format's
+//! render/parse round trip.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use forest::{Dataset, RandomForest, RandomForestParams};
+use forest::{Dataset, ForestKernel, RandomForest, RandomForestParams};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serve::{score_batch, ModelMeta, SavedModel};
+use serve::{score_batch, score_batch_recursive, score_batch_with, ModelMeta, SavedModel};
 
 fn dataset(n: usize, features: usize, seed: u64) -> Dataset {
     let names: Vec<String> = (0..features).map(|j| format!("f{j}")).collect();
@@ -33,10 +35,20 @@ fn bench_score_throughput(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000] {
         let data = dataset(n, 30, 1);
         let model = fitted(&data);
+        let kernel = ForestKernel::from_forest(&model);
         let q = data.class_fraction(1);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("score_batch", n), &data, |b, data| {
+        // The frozen recursive reference: pointer-chasing tree walks.
+        group.bench_with_input(BenchmarkId::new("recursive", n), &data, |b, data| {
+            b.iter(|| score_batch_recursive(black_box(&model), black_box(data), q))
+        });
+        // The default path, layout build included (cold model).
+        group.bench_with_input(BenchmarkId::new("kernel_cold", n), &data, |b, data| {
             b.iter(|| score_batch(black_box(&model), black_box(data), q))
+        });
+        // The serving steady state: layout built once, reused per batch.
+        group.bench_with_input(BenchmarkId::new("kernel_prepared", n), &data, |b, data| {
+            b.iter(|| score_batch_with(black_box(&kernel), black_box(data), q))
         });
     }
     group.finish();
@@ -44,9 +56,9 @@ fn bench_score_throughput(c: &mut Criterion) {
 
 fn bench_model_format(c: &mut Criterion) {
     let data = dataset(2_000, 30, 2);
-    let model = SavedModel {
-        forest: fitted(&data),
-        meta: ModelMeta {
+    let model = SavedModel::new(
+        fitted(&data),
+        ModelMeta {
             positive_fraction: data.class_fraction(1),
             seed: 42,
             params: RandomForestParams {
@@ -55,7 +67,7 @@ fn bench_model_format(c: &mut Criterion) {
             },
             grid: None,
         },
-    };
+    );
     let text = model.render();
     let mut group = c.benchmark_group("model_format");
     group.sample_size(10);

@@ -229,15 +229,15 @@ fn main() {
     // from the in-memory one: bitwise-equal predictions on every row,
     // the same confident/uncertain partition, and a byte-identical
     // re-render.
-    let saved = serve::SavedModel {
-        forest: model.clone(),
-        meta: serve::ModelMeta {
+    let saved = serve::SavedModel::new(
+        model.clone(),
+        serve::ModelMeta {
             positive_fraction: data.class_fraction(1),
             seed: options.seed,
             params,
             grid: Some(serve::GridProvenance::from_result(&grid)),
         },
-    };
+    );
     let model_path = options.out.join(serve::MODEL_FILE);
     if let Err(e) = saved.save(&model_path) {
         obs::error!(

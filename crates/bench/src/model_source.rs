@@ -135,15 +135,15 @@ pub fn obtain_model(data: &Dataset, spec: &ModelSpec) -> Result<SavedModel, Stri
         data.feature_count()
     );
     let forest = RandomForest::fit(data, &params, spec.seed);
-    let saved = SavedModel {
+    let saved = SavedModel::new(
         forest,
-        meta: ModelMeta {
+        ModelMeta {
             positive_fraction: data.class_fraction(1),
             seed: spec.seed,
             params,
             grid,
         },
-    };
+    );
 
     let path = model_path(&spec.save_dir);
     saved
@@ -220,15 +220,15 @@ mod tests {
             n_trees: 2,
             ..RandomForestParams::default()
         };
-        let model = SavedModel {
-            forest: RandomForest::fit(&other, &params, 1),
-            meta: ModelMeta {
+        let model = SavedModel::new(
+            RandomForest::fit(&other, &params, 1),
+            ModelMeta {
                 positive_fraction: 0.5,
                 seed: 1,
                 params,
                 grid: None,
             },
-        };
+        );
         assert!(check_schema(&model, &data).is_err());
     }
 }

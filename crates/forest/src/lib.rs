@@ -31,6 +31,7 @@ pub mod baseline;
 pub mod calibration;
 pub mod confidence;
 pub mod data;
+pub mod flatkernel;
 pub mod gbm;
 pub mod importance;
 pub mod metrics;
@@ -44,6 +45,7 @@ pub use baseline::WeightedRandomClassifier;
 pub use calibration::{ReliabilityBin, ReliabilityDiagram};
 pub use confidence::{confidence_threshold, ConfidenceSplit, PartitionedPredictions};
 pub use data::{Dataset, DatasetView};
+pub use flatkernel::{ForestKernel, KernelScratch, KernelStats, QuantizedKernel};
 pub use gbm::{GbmParams, GradientBoosting};
 pub use importance::{permutation_importance, ranked_permutation_importance};
 pub use metrics::{roc_auc, ClassificationScores, ConfusionMatrix};

@@ -120,23 +120,45 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_units_scratch(n, || (), |(), i| unit(i))
+}
+
+/// [`run_units`] with reusable per-worker scratch: `init()` runs once
+/// per participating thread (the caller's and each borrowed worker's),
+/// and `unit(&mut scratch, i)` reuses that scratch for every unit the
+/// thread drains. Hot loops can therefore hoist their allocations
+/// (tile buffers, cursors, accumulators) out of the per-unit path
+/// entirely.
+///
+/// The determinism contract is unchanged: `unit`'s *result* must
+/// depend only on `i` — scratch is working memory, not state carried
+/// between units.
+pub fn run_units_scratch<T, S, I, F>(n: usize, init: I, unit: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if n <= 1 {
-        return (0..n).map(unit).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| unit(&mut scratch, i)).collect();
     }
     let workers = acquire_workers(n - 1);
     if workers == 0 {
-        return (0..n).map(unit).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| unit(&mut scratch, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
     let drain = || {
+        let mut scratch = init();
         let mut local: Vec<(usize, T)> = Vec::new();
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
-            local.push((i, unit(i)));
+            local.push((i, unit(&mut scratch, i)));
         }
         local
     };
@@ -221,5 +243,43 @@ mod tests {
     fn empty_and_single_unit() {
         assert_eq!(run_units(0, |i| i), Vec::<usize>::new());
         assert_eq!(run_units(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn run_units_scratch_reuses_buffers_without_leaking_state() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let compute = || {
+            run_units_scratch(
+                50,
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    Vec::<u64>::with_capacity(4)
+                },
+                |scratch, i| {
+                    // Dirty scratch from a previous unit must not
+                    // change the result: clear-and-use discipline.
+                    scratch.push(derive_seed(3, i as u64));
+                    scratch.pop().expect("just pushed")
+                },
+            )
+        };
+        let out = compute();
+        assert_eq!(
+            out,
+            (0..50)
+                .map(|i| derive_seed(3, i as u64))
+                .collect::<Vec<_>>()
+        );
+        // One scratch per participating thread, not per unit.
+        assert!(inits.load(Ordering::SeqCst) <= thread_limit().max(50));
+
+        set_thread_limit(Some(1));
+        let serial = compute();
+        set_thread_limit(Some(8));
+        let wide = compute();
+        set_thread_limit(None);
+        assert_eq!(serial, wide);
+        assert_eq!(serial, out);
     }
 }

@@ -19,7 +19,15 @@
 //!   "nondeterministic": {        // wall-clock throughput
 //!     "thread_limit": u64,
 //!     "elapsed_ms": f64,
-//!     "rows_per_second": f64
+//!     "rows_per_second": f64,
+//!     "scorebench": {             // recursive vs kernel comparison
+//!       "rows": u64,
+//!       "recursive_rows_per_second":  f64,
+//!       "branchless_rows_per_second": f64,
+//!       "blocked_rows_per_second":    f64,
+//!       "branchless_speedup": f64,
+//!       "blocked_speedup":    f64
+//!     }
 //!   }
 //! }
 //! ```
@@ -53,6 +61,49 @@ pub struct ScoringTiming {
     pub elapsed_ms: f64,
     /// Scored rows per second (0 for an instantaneous/empty batch).
     pub rows_per_second: f64,
+    /// Recursive-vs-kernel throughput comparison on the same corpus.
+    pub scorebench: ScoreBench,
+}
+
+/// Throughput of each scoring implementation on one corpus — the
+/// `scorebench` object inside the nondeterministic section. All three
+/// paths score the identical rows; the recursive and branchless paths
+/// must agree bitwise with the blocked path before timings are
+/// recorded (the `scored` binary exits nonzero on mismatch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreBench {
+    /// Rows in the timed corpus.
+    pub rows: usize,
+    /// Recursive pointer-chasing baseline (`score_batch_recursive`).
+    pub recursive_rows_per_second: f64,
+    /// Branchless kernel, one row at a time (`predict_proba_into`).
+    pub branchless_rows_per_second: f64,
+    /// Cache-blocked kernel, the default path (`score_batch_with`).
+    pub blocked_rows_per_second: f64,
+}
+
+impl ScoreBench {
+    /// Branchless-over-recursive throughput ratio (0 when the
+    /// baseline measured 0 rows/sec).
+    pub fn branchless_speedup(&self) -> f64 {
+        speedup(
+            self.branchless_rows_per_second,
+            self.recursive_rows_per_second,
+        )
+    }
+
+    /// Blocked-over-recursive throughput ratio.
+    pub fn blocked_speedup(&self) -> f64 {
+        speedup(self.blocked_rows_per_second, self.recursive_rows_per_second)
+    }
+}
+
+fn speedup(fast: f64, baseline: f64) -> f64 {
+    if baseline > 0.0 {
+        fast / baseline
+    } else {
+        0.0
+    }
 }
 
 fn deterministic_json(model: &SavedModel, summary: &ScoreSummary) -> JsonV {
@@ -135,6 +186,32 @@ pub fn render_scoring(
                 ("thread_limit", JsonV::UInt(timing.thread_limit as u64)),
                 ("elapsed_ms", JsonV::Float(timing.elapsed_ms)),
                 ("rows_per_second", JsonV::Float(timing.rows_per_second)),
+                (
+                    "scorebench",
+                    JsonV::obj(vec![
+                        ("rows", JsonV::UInt(timing.scorebench.rows as u64)),
+                        (
+                            "recursive_rows_per_second",
+                            JsonV::Float(timing.scorebench.recursive_rows_per_second),
+                        ),
+                        (
+                            "branchless_rows_per_second",
+                            JsonV::Float(timing.scorebench.branchless_rows_per_second),
+                        ),
+                        (
+                            "blocked_rows_per_second",
+                            JsonV::Float(timing.scorebench.blocked_rows_per_second),
+                        ),
+                        (
+                            "branchless_speedup",
+                            JsonV::Float(timing.scorebench.branchless_speedup()),
+                        ),
+                        (
+                            "blocked_speedup",
+                            JsonV::Float(timing.scorebench.blocked_speedup()),
+                        ),
+                    ]),
+                ),
             ]),
         ),
     ])
@@ -328,7 +405,12 @@ pub fn validate_scoring(text: &str) -> Result<(), String> {
     let nondet_fields = expect_obj(nondet, "nondeterministic")?;
     expect_keys(
         nondet_fields,
-        &["thread_limit", "elapsed_ms", "rows_per_second"],
+        &[
+            "thread_limit",
+            "elapsed_ms",
+            "rows_per_second",
+            "scorebench",
+        ],
         "nondeterministic",
     )?;
     expect_uint(
@@ -341,6 +423,34 @@ pub fn validate_scoring(text: &str) -> Result<(), String> {
             JsonV::Float(_) | JsonV::Null
         ) {
             return Err(format!("{key} must be a float"));
+        }
+    }
+
+    let bench = nondet.get("scorebench").expect("keys checked");
+    let bench_fields = expect_obj(bench, "scorebench")?;
+    expect_keys(
+        bench_fields,
+        &[
+            "rows",
+            "recursive_rows_per_second",
+            "branchless_rows_per_second",
+            "blocked_rows_per_second",
+            "branchless_speedup",
+            "blocked_speedup",
+        ],
+        "scorebench",
+    )?;
+    expect_uint(bench.get("rows").expect("keys checked"), "scorebench.rows")?;
+    for key in [
+        "recursive_rows_per_second",
+        "branchless_rows_per_second",
+        "blocked_rows_per_second",
+        "branchless_speedup",
+        "blocked_speedup",
+    ] {
+        let v = expect_float(bench.get(key).expect("keys checked"), key)?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("scorebench.{key} {v} must be finite and >= 0"));
         }
     }
     Ok(())
@@ -371,7 +481,7 @@ mod tests {
             params,
             grid: None,
         };
-        (d, SavedModel { forest, meta })
+        (d, SavedModel::new(forest, meta))
     }
 
     fn sample_timing() -> ScoringTiming {
@@ -379,6 +489,12 @@ mod tests {
             thread_limit: 4,
             elapsed_ms: 1.25,
             rows_per_second: 160000.0,
+            scorebench: ScoreBench {
+                rows: 200,
+                recursive_rows_per_second: 20000.0,
+                branchless_rows_per_second: 80000.0,
+                blocked_rows_per_second: 160000.0,
+            },
         }
     }
 
@@ -419,6 +535,13 @@ mod tests {
         assert!(validate_scoring(&good.replace("\"rows\": 200", "\"rows\": 201")).is_err());
         assert!(validate_scoring("{}").is_err());
         assert!(validate_scoring("nonsense").is_err());
+        // scorebench drift: missing key, negative rate.
+        assert!(validate_scoring(&good.replace("\"scorebench\"", "\"kernelbench\"")).is_err());
+        assert!(validate_scoring(&good.replace(
+            "\"recursive_rows_per_second\": 20000",
+            "\"recursive_rows_per_second\": -1"
+        ))
+        .is_err());
     }
 
     #[test]

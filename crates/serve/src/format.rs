@@ -49,11 +49,12 @@
 
 use crate::error::ModelError;
 use forest::{
-    confidence_threshold, DecisionTree, FlatTree, GridSearchResult, MaxFeatures, RandomForest,
-    RandomForestParams, TreeParams,
+    confidence_threshold, DecisionTree, FlatTree, ForestKernel, GridSearchResult, MaxFeatures,
+    RandomForest, RandomForestParams, TreeParams,
 };
 use obs::jsonv::{self, JsonV};
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 /// Schema identifier accepted by this reader.
 pub const MODEL_SCHEMA: &str = "survdb-model/v1";
@@ -103,9 +104,34 @@ pub struct SavedModel {
     pub forest: RandomForest,
     /// Training metadata.
     pub meta: ModelMeta,
+    /// The forest's prepared inference kernel, built at most once per
+    /// model (eagerly by [`SavedModel::load`], lazily elsewhere) and
+    /// shared by every scoring call. Never serialized — the kernel is
+    /// derived state, rebuilt from the forest on demand.
+    kernel: OnceLock<Arc<ForestKernel>>,
 }
 
 impl SavedModel {
+    /// Wraps a fitted forest and its metadata. The inference kernel
+    /// is not built yet; call [`SavedModel::kernel`] to force it.
+    pub fn new(forest: RandomForest, meta: ModelMeta) -> SavedModel {
+        SavedModel {
+            forest,
+            meta,
+            kernel: OnceLock::new(),
+        }
+    }
+
+    /// The model's branchless inference kernel
+    /// ([`forest::flatkernel`] layout), built on first call and
+    /// cached for the model's lifetime. The daemon forces this at
+    /// load/swap time so no request pays the layout-build cost.
+    pub fn kernel(&self) -> Arc<ForestKernel> {
+        Arc::clone(
+            self.kernel
+                .get_or_init(|| Arc::new(ForestKernel::from_forest(&self.forest))),
+        )
+    }
     /// The §5.3 confidence threshold `max(q, 1 − q)` derived from the
     /// stored training prevalence.
     ///
@@ -149,7 +175,7 @@ impl SavedModel {
         }
         let forest = parse_forest(root.get("forest").expect("keys checked"))?;
         let meta = parse_meta(root.get("metadata").expect("keys checked"))?;
-        Ok(SavedModel { forest, meta })
+        Ok(SavedModel::new(forest, meta))
     }
 
     /// Writes the rendered model to `path`, creating parent directories
@@ -168,11 +194,14 @@ impl SavedModel {
         Ok(())
     }
 
-    /// Reads and parses a model from `path`.
+    /// Reads and parses a model from `path`, building the inference
+    /// kernel eagerly — a loaded model is ready to score with no
+    /// first-batch layout-build latency.
     pub fn load(path: &Path) -> Result<SavedModel, ModelError> {
         let _span = obs::span!("model_load");
         let text = std::fs::read_to_string(path)?;
         let model = SavedModel::parse(&text)?;
+        model.kernel();
         obs::count("serve.models_loaded", 1);
         Ok(model)
     }
@@ -642,7 +671,7 @@ mod tests {
             params,
             grid,
         };
-        (data, SavedModel { forest, meta })
+        (data, SavedModel::new(forest, meta))
     }
 
     fn sample_grid() -> GridProvenance {

@@ -13,10 +13,13 @@
 //!   and grid-search provenance. [`SavedModel::save`] /
 //!   [`SavedModel::load`] round-trip byte-identically and a loaded
 //!   forest reproduces the in-memory model's predictions bitwise.
-//! - [`score`] — [`score_batch`]: batched scoring through
-//!   `forest::parallel::run_units` with thread-count-invariant output
-//!   order, emitting per-row class probabilities plus the paper's
-//!   confident/uncertain partition.
+//! - [`score`] — [`score_batch`]: batched scoring through the
+//!   branchless cache-blocked [`forest::flatkernel`] kernel over
+//!   `forest::parallel::run_units_scratch`, with
+//!   thread-count-invariant output order, emitting per-row class
+//!   probabilities plus the paper's confident/uncertain partition.
+//!   The pre-kernel recursive walk is kept as
+//!   [`score_batch_recursive`] — the frozen bitwise-parity reference.
 //! - [`artifact`] — `artifacts/scoring.json` (`survdb-scoring/v1`),
 //!   split into a deterministic counts section and a nondeterministic
 //!   throughput section, mirroring the run-trace convention.
@@ -31,9 +34,13 @@ pub mod format;
 pub mod score;
 
 pub use artifact::{
-    deterministic_scoring_section, render_scoring, validate_scoring, write_scoring, ScoringTiming,
-    SCORING_FILE, SCORING_SCHEMA,
+    deterministic_scoring_section, render_scoring, validate_scoring, write_scoring, ScoreBench,
+    ScoringTiming, SCORING_FILE, SCORING_SCHEMA,
 };
 pub use error::ModelError;
+pub use forest::flatkernel::{ForestKernel, KernelScratch, KernelStats, QuantizedKernel};
 pub use format::{GridProvenance, ModelMeta, SavedModel, MODEL_FILE, MODEL_SCHEMA};
-pub use score::{histogram_bucket, score_batch, score_rows, ScoreSummary, ScoredBatch, ScoredRow};
+pub use score::{
+    histogram_bucket, score_batch, score_batch_recursive, score_batch_with, score_rows,
+    score_rows_with, ScoreSummary, ScoredBatch, ScoredRow,
+};

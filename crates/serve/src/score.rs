@@ -1,20 +1,32 @@
 //! Batched parallel scoring with thread-count-invariant output.
 //!
-//! [`score_batch`] dispatches contiguous row chunks through
-//! `forest::parallel::run_units`; results come back index-slotted, so
-//! concatenating them yields rows in dataset order no matter how many
-//! worker threads ran. Per row it emits the full class-probability
-//! vector, the positive-class probability, the paper's decision rule
+//! The default path runs the branchless cache-blocked
+//! [`forest::flatkernel`] kernel: [`score_batch`] gathers contiguous
+//! row chunks, dispatches them through
+//! `forest::parallel::run_units_scratch` (tile/cursor/accumulator
+//! buffers are per-worker scratch — the hot loop allocates nothing
+//! per row), and each chunk traverses the linearized forest one row
+//! tile at a time. Results come back index-slotted, so concatenating
+//! them yields rows in dataset order no matter how many worker
+//! threads ran. Per row it emits the full class-probability vector,
+//! the positive-class probability, the paper's decision rule
 //! (`p > 0.5`), and the §5.3 confident/uncertain split under
 //! `t = max(q, 1 − q)`.
+//!
+//! The pre-kernel recursive walk survives as
+//! [`score_batch_recursive`] — the frozen reference the kernel is
+//! cross-checked against bitwise (`bench::legacy` discipline): same
+//! rows, same probabilities, same bits.
 
 use forest::confidence::classify_confidence;
+use forest::flatkernel::{ForestKernel, KernelScratch, KernelStats, ROW_TILE};
 use forest::{
     confidence_threshold, ConfidenceSplit, Dataset, PartitionedPredictions, RandomForest,
 };
 
 /// Rows per parallel work unit — large enough to amortize dispatch,
-/// small enough to balance across workers on modest batches.
+/// small enough to balance across workers on modest batches. Equals
+/// `forest::flatkernel::ROW_TILE`, so one chunk is one kernel tile.
 const CHUNK_ROWS: usize = 64;
 
 /// One scored example.
@@ -144,38 +156,256 @@ pub fn histogram_bucket(positive: f64) -> usize {
     ((positive * 10.0).floor() as usize).min(9)
 }
 
+/// Where a scoring call reads its feature rows from: the columnar
+/// dataset path or the serving path's raw request rows. Both gather
+/// straight into the kernel's feature-major tile layout, so no
+/// transpose sits between the gather and the traversal.
+enum RowSource<'a> {
+    Data(&'a Dataset),
+    Rows(&'a [Vec<f64>]),
+}
+
+impl RowSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            RowSource::Data(data) => data.len(),
+            RowSource::Rows(rows) => rows.len(),
+        }
+    }
+
+    /// Gathers rows `lo..lo + len` into `tile` feature-major with
+    /// stride [`ROW_TILE`] (`tile[f * ROW_TILE + r]`) — the layout
+    /// [`ForestKernel::score_tile_into`] consumes directly. The
+    /// columnar dataset path is one contiguous memcpy per feature;
+    /// only the serving path's row-major request rows pay a scatter.
+    fn fill_tile(&self, lo: usize, len: usize, feature_count: usize, tile: &mut [f64]) {
+        match self {
+            RowSource::Data(data) => {
+                for f in 0..feature_count {
+                    tile[f * ROW_TILE..f * ROW_TILE + len]
+                        .copy_from_slice(&data.column(f)[lo..lo + len]);
+                }
+            }
+            RowSource::Rows(rows) => {
+                for (r, row) in rows[lo..lo + len].iter().enumerate() {
+                    for (f, &v) in row.iter().enumerate() {
+                        tile[f * ROW_TILE + r] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker scoring scratch: one gathered feature-major tile, one
+/// probability accumulator, and the kernel's traversal cursors.
+/// Allocated once per participating thread by `run_units_scratch`,
+/// reused across chunks.
+struct ScoreScratch {
+    tile: Vec<f64>,
+    probs: Vec<f64>,
+    kernel: KernelScratch,
+}
+
+/// The kernel-backed chunked scoring driver shared by every entry
+/// point. `chunk_rows` is fixed at [`CHUNK_ROWS`] in production;
+/// tests vary it to pin chunking-seam invariance.
+fn score_chunks(
+    kernel: &ForestKernel,
+    source: &RowSource<'_>,
+    positive_fraction: f64,
+    chunk_rows: usize,
+) -> ScoredBatch {
+    let _span = obs::span!("score_batch");
+    let threshold = confidence_threshold(positive_fraction);
+    let n = source.len();
+    let nf = kernel.feature_count();
+    let cc = kernel.class_count();
+    let chunks = n.div_ceil(chunk_rows);
+    let scored: Vec<(Vec<ScoredRow>, KernelStats)> = forest::parallel::run_units_scratch(
+        chunks,
+        || ScoreScratch {
+            tile: vec![0.0; nf * ROW_TILE],
+            probs: vec![0.0; chunk_rows * cc],
+            kernel: KernelScratch::new(),
+        },
+        |scratch, c| {
+            let lo = c * chunk_rows;
+            let len = chunk_rows.min(n - lo);
+            // One kernel tile at a time: gather feature-major, then
+            // traverse in place. Production chunks equal ROW_TILE, so
+            // this loop runs once; the oversized-chunk test hook
+            // walks multiple tiles.
+            let mut stats = KernelStats::default();
+            let mut done = 0usize;
+            while done < len {
+                let tile_len = ROW_TILE.min(len - done);
+                source.fill_tile(lo + done, tile_len, nf, &mut scratch.tile);
+                stats.merge(kernel.score_tile_into(
+                    &scratch.tile,
+                    tile_len,
+                    &mut scratch.kernel,
+                    &mut scratch.probs[done * cc..(done + tile_len) * cc],
+                ));
+                done += tile_len;
+            }
+            let mut out = Vec::with_capacity(len);
+            for r in 0..len {
+                let probabilities = scratch.probs[r * cc..(r + 1) * cc].to_vec();
+                let positive = probabilities[1];
+                out.push(ScoredRow {
+                    index: lo + r,
+                    positive,
+                    predicted: (positive > 0.5) as usize,
+                    split: classify_confidence(positive, threshold),
+                    probabilities,
+                });
+            }
+            (out, stats)
+        },
+    );
+    let mut stats = KernelStats::default();
+    let mut rows: Vec<ScoredRow> = Vec::with_capacity(n);
+    for (chunk, chunk_stats) in scored {
+        stats.merge(chunk_stats);
+        rows.extend(chunk);
+    }
+    let confident = rows
+        .iter()
+        .filter(|r| r.split == ConfidenceSplit::Confident)
+        .count();
+    if obs::enabled() {
+        obs::count_many(&[
+            ("serve.rows_scored", rows.len() as u64),
+            ("serve.score_chunks", chunks as u64),
+            ("serve.rows_confident", confident as u64),
+            ("serve.rows_uncertain", (rows.len() - confident) as u64),
+            ("serve.kernel.node_steps", stats.node_steps),
+            ("serve.kernel.row_tiles", stats.row_tiles),
+        ]);
+    }
+    ScoredBatch {
+        positive_fraction,
+        threshold,
+        rows,
+    }
+}
+
 /// Scores raw feature rows (no labels) — the serving path's entry
-/// point. Equivalent to building a dataset from `rows` and calling
-/// [`score_batch`]; each row's probabilities are an independent
-/// sequential tree walk, so scoring a concatenation of requests is
-/// bitwise identical to scoring each request alone (the micro-batcher
-/// relies on this).
+/// point. Builds the kernel layout from `model` first; when the
+/// caller already holds a prepared kernel (the daemon builds one per
+/// model generation at load/swap time), use [`score_rows_with`].
 ///
 /// # Panics
 ///
-/// Panics (via `Dataset::push`) if any row has the wrong feature count
-/// or a non-finite value — callers validate at the protocol boundary.
+/// Panics if any row has the wrong feature count — callers validate
+/// at the protocol boundary.
 pub fn score_rows(model: &RandomForest, rows: &[Vec<f64>], positive_fraction: f64) -> ScoredBatch {
-    let mut data = Dataset::new(model.feature_names().to_vec(), 2);
-    for row in rows {
-        data.push(row.clone(), 0);
+    let kernel = ForestKernel::from_forest(model);
+    score_rows_with(&kernel, rows, positive_fraction)
+}
+
+/// Scores raw feature rows with a prepared kernel. Each row's
+/// probabilities are an independent traversal, so scoring a
+/// concatenation of requests is bitwise identical to scoring each
+/// request alone (the micro-batcher relies on this). `NaN` features
+/// are defined input — missing values take each node's default
+/// direction, exactly like the recursive walk.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the kernel's feature
+/// count.
+pub fn score_rows_with(
+    kernel: &ForestKernel,
+    rows: &[Vec<f64>],
+    positive_fraction: f64,
+) -> ScoredBatch {
+    score_rows_chunked(kernel, rows, positive_fraction, CHUNK_ROWS)
+}
+
+/// [`score_rows_with`] with an explicit chunk size — the test hook
+/// that pins chunking-seam invariance (chunk sizes 1/7/64 must score
+/// bitwise identically).
+#[doc(hidden)]
+pub fn score_rows_chunked(
+    kernel: &ForestKernel,
+    rows: &[Vec<f64>],
+    positive_fraction: f64,
+    chunk_rows: usize,
+) -> ScoredBatch {
+    assert!(chunk_rows > 0, "chunk size must be positive");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            kernel.feature_count(),
+            "row {i} has {} features, the kernel expects {}",
+            row.len(),
+            kernel.feature_count()
+        );
     }
-    score_batch(model, &data, positive_fraction)
+    score_chunks(
+        kernel,
+        &RowSource::Rows(rows),
+        positive_fraction,
+        chunk_rows,
+    )
 }
 
 /// Scores every row of `data` with `model`, partitioning by the
-/// threshold derived from `positive_fraction`.
+/// threshold derived from `positive_fraction`. Builds the kernel
+/// layout once for the call; callers scoring the same model
+/// repeatedly should build a [`ForestKernel`] (or use
+/// `SavedModel::kernel`) and call [`score_batch_with`].
 ///
 /// Deterministic: output rows are in dataset order and bitwise
-/// identical across thread counts — chunks are index-slotted work
-/// units, and each row's probabilities come from the same sequential
-/// tree walk regardless of which worker ran it.
+/// identical across thread counts *and* bitwise identical to the
+/// recursive reference path [`score_batch_recursive`].
 ///
 /// # Panics
 ///
 /// Panics if `positive_fraction` is outside `[0, 1]`.
 pub fn score_batch(model: &RandomForest, data: &Dataset, positive_fraction: f64) -> ScoredBatch {
-    let _span = obs::span!("score_batch");
+    let kernel = ForestKernel::from_forest(model);
+    score_batch_with(&kernel, data, positive_fraction)
+}
+
+/// [`score_batch`] over a prepared kernel.
+///
+/// # Panics
+///
+/// Panics if `data`'s feature count differs from the kernel's, or if
+/// `positive_fraction` is outside `[0, 1]`.
+pub fn score_batch_with(
+    kernel: &ForestKernel,
+    data: &Dataset,
+    positive_fraction: f64,
+) -> ScoredBatch {
+    assert_eq!(
+        data.feature_count(),
+        kernel.feature_count(),
+        "dataset feature count mismatch"
+    );
+    score_chunks(
+        kernel,
+        &RowSource::Data(data),
+        positive_fraction,
+        CHUNK_ROWS,
+    )
+}
+
+/// The frozen pre-kernel reference: recursive pointer-chasing tree
+/// walks through `RandomForest::predict_proba_row`, chunked over
+/// `run_units`. Kept verbatim so the kernel's bitwise-parity checks
+/// (unit tests, `kernel_props`, the `scored` binary, CI's
+/// kernel-parity step) compare against the real historical path, not
+/// a reimplementation.
+pub fn score_batch_recursive(
+    model: &RandomForest,
+    data: &Dataset,
+    positive_fraction: f64,
+) -> ScoredBatch {
+    let _span = obs::span!("score_batch_recursive");
     let threshold = confidence_threshold(positive_fraction);
     let n = data.len();
     let chunks = n.div_ceil(CHUNK_ROWS);
@@ -197,14 +427,6 @@ pub fn score_batch(model: &RandomForest, data: &Dataset, positive_fraction: f64)
         out
     });
     let rows: Vec<ScoredRow> = scored.into_iter().flatten().collect();
-    let confident = rows
-        .iter()
-        .filter(|r| r.split == ConfidenceSplit::Confident)
-        .count();
-    obs::count("serve.rows_scored", rows.len() as u64);
-    obs::count("serve.score_chunks", chunks as u64);
-    obs::count("serve.rows_confident", confident as u64);
-    obs::count("serve.rows_uncertain", (rows.len() - confident) as u64);
     ScoredBatch {
         positive_fraction,
         threshold,
@@ -254,6 +476,15 @@ mod tests {
     }
 
     #[test]
+    fn kernel_path_matches_recursive_reference_bitwise() {
+        let (data, model, q) = fixture();
+        let kernel = score_batch(&model, &data, q);
+        let recursive = score_batch_recursive(&model, &data, q);
+        assert_eq!(kernel, recursive);
+        assert_eq!(kernel.summary(), recursive.summary());
+    }
+
+    #[test]
     fn thread_count_does_not_change_output() {
         let (data, model, q) = fixture();
         set_thread_limit(Some(1));
@@ -263,6 +494,18 @@ mod tests {
         set_thread_limit(None);
         assert_eq!(serial, parallel);
         assert_eq!(serial.summary(), parallel.summary());
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_output() {
+        let (data, model, q) = fixture();
+        let kernel = ForestKernel::from_forest(&model);
+        let rows: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i)).collect();
+        let reference = score_rows_with(&kernel, &rows, q);
+        for chunk_rows in [1usize, 7, 64, 300] {
+            let chunked = score_rows_chunked(&kernel, &rows, q, chunk_rows);
+            assert_eq!(chunked, reference, "chunk size {chunk_rows}");
+        }
     }
 
     #[test]

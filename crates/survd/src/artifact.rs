@@ -529,7 +529,7 @@ mod tests {
             params,
             grid: None,
         };
-        SavedModel { forest, meta }
+        SavedModel::new(forest, meta)
     }
 
     fn sample() -> (

@@ -425,7 +425,7 @@ mod tests {
             params,
             grid: None,
         };
-        SavedModel { forest, meta }
+        SavedModel::new(forest, meta)
     }
 
     fn sample() -> (ResilienceConfig, Vec<CellOutcome>, ReloadOutcome) {

@@ -189,8 +189,10 @@ pub struct ModelSlot {
 }
 
 impl ModelSlot {
-    /// Wraps `model` as generation 1.
+    /// Wraps `model` as generation 1. Forces the model's inference
+    /// kernel so the first batch never pays the layout-build cost.
     pub fn new(model: SavedModel) -> ModelSlot {
+        model.kernel();
         ModelSlot {
             current: Mutex::new(Arc::new(Generation { id: 1, model })),
         }
@@ -201,8 +203,12 @@ impl ModelSlot {
         Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// Installs `model` as the next generation; returns its id.
+    /// Installs `model` as the next generation; returns its id. The
+    /// kernel is built *before* taking the lock, so a slow layout
+    /// build never stalls concurrent batch flushes pinning the
+    /// current generation.
     pub fn swap(&self, model: SavedModel) -> u64 {
+        model.kernel();
         let mut guard = self.current.lock().unwrap_or_else(|e| e.into_inner());
         let id = guard.id + 1;
         *guard = Arc::new(Generation { id, model });
@@ -839,8 +845,8 @@ fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
     }
     let batch = {
         let _span = obs::span!("survd_score");
-        serve::score_rows(
-            &generation.model.forest,
+        serve::score_rows_with(
+            &generation.model.kernel(),
             &all_rows,
             generation.model.meta.positive_fraction,
         )

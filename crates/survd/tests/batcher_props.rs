@@ -35,15 +35,15 @@ fn fixture() -> (serve::SavedModel, Vec<Vec<f64>>) {
         ..forest::RandomForestParams::default()
     };
     let forest = forest::RandomForest::fit(&data, &params, 7);
-    let model = serve::SavedModel {
+    let model = serve::SavedModel::new(
         forest,
-        meta: serve::ModelMeta {
+        serve::ModelMeta {
             positive_fraction: data.class_fraction(1),
             seed: 7,
             params,
             grid: None,
         },
-    };
+    );
     let corpus: Vec<Vec<f64>> = (0..data.len()).map(|i| data.row(i)).collect();
     (model, corpus)
 }

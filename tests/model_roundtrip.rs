@@ -57,15 +57,15 @@ fn fixture_model(data: &Dataset) -> SavedModel {
     ];
     let grid = GridSearch::new(candidates, 3).run(data, 41);
     let forest = RandomForest::fit(data, &grid.best_params, 41);
-    SavedModel {
+    SavedModel::new(
         forest,
-        meta: ModelMeta {
+        ModelMeta {
             positive_fraction: data.class_fraction(1),
             seed: 41,
             params: grid.best_params,
             grid: Some(GridProvenance::from_result(&grid)),
         },
-    }
+    )
 }
 
 fn temp_path(tag: &str) -> PathBuf {

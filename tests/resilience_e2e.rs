@@ -56,15 +56,15 @@ fn model_with_seed(seed: u64) -> serve::SavedModel {
         ..forest::RandomForestParams::default()
     };
     let forest = forest::RandomForest::fit(&data, &params, seed);
-    serve::SavedModel {
+    serve::SavedModel::new(
         forest,
-        meta: serve::ModelMeta {
+        serve::ModelMeta {
             positive_fraction: data.class_fraction(1),
             seed,
             params,
             grid: None,
         },
-    }
+    )
 }
 
 fn fixture() -> &'static (serve::SavedModel, Vec<Vec<f64>>) {
@@ -87,6 +87,67 @@ fn offline_scores(model: &serve::SavedModel, corpus: &[Vec<f64>]) -> Vec<RowScor
         .iter()
         .map(RowScore::from_scored)
         .collect()
+}
+
+#[test]
+fn reload_generations_score_bitwise_identically_under_the_kernel() {
+    let _guard = serialized();
+    let (initial, corpus) = fixture();
+    let replacement = model_with_seed(29);
+
+    // Per-model truth through the prepared kernel (the path the
+    // daemon serves from), cross-checked row by row against the
+    // recursive walk before the daemon is involved at all.
+    let models = [initial.clone(), replacement.clone()];
+    let truth: Vec<Vec<RowScore>> = models
+        .iter()
+        .map(|m| {
+            let batch = serve::score_rows_with(&m.kernel(), corpus, m.meta.positive_fraction);
+            for (row, scored) in corpus.iter().zip(&batch.rows) {
+                assert_eq!(
+                    scored.probabilities,
+                    m.forest.predict_proba(row),
+                    "kernel diverged from the recursive walk offline"
+                );
+            }
+            batch.rows.iter().map(RowScore::from_scored).collect()
+        })
+        .collect();
+
+    let handle =
+        survd::start(initial.clone(), ServerConfig::default(), None).expect("start daemon");
+    let mut client = connect(handle.addr());
+    let renders = [initial.render(), replacement.render()];
+
+    // Generation g serves models[(g + 1) % 2]; score the whole corpus
+    // under each generation and hold the wire scores to the offline
+    // kernel truth, bitwise, across repeated hot-swaps.
+    for swap in 0..4usize {
+        let response = client
+            .score(&survd::render_score_request(corpus))
+            .expect("score request");
+        assert_eq!(response.status, 200);
+        let parsed = survd::parse_score_response(response.text().expect("utf8"))
+            .expect("valid score response");
+        assert_eq!(parsed.generation, swap as u64 + 1);
+        let model_idx = (parsed.generation as usize + 1) % 2;
+        assert_eq!(parsed.threshold, models[model_idx].threshold());
+        assert_eq!(
+            parsed.results, truth[model_idx],
+            "generation {} diverged from its offline kernel scores",
+            parsed.generation
+        );
+
+        let candidate = &renders[(swap + 1) % 2];
+        let reload = client
+            .request("POST", "/reload", candidate.as_bytes())
+            .expect("reload request");
+        assert_eq!(reload.status, 200, "{:?}", reload.text());
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.reloads_ok, 4);
+    assert_eq!(stats.reloads_rejected, 0);
 }
 
 #[test]

@@ -15,9 +15,11 @@ use telemetry::{
 };
 
 /// One instrumented pass over every layer: fleet generation, fault
-/// injection, lenient ingest, feature extraction, and the repeated
+/// injection, lenient ingest, feature extraction, the repeated
 /// train/evaluate experiment (which fans out over the parallel work
-/// queue, so thread scheduling varies run to run).
+/// queue, so thread scheduling varies run to run), and a kernel
+/// scoring pass (so the `serve.kernel.*` counters are covered by the
+/// determinism contract).
 fn traced_pipeline() -> obs::Snapshot {
     let registry = obs::Registry::with_stderr_level(obs::Level::Error);
     let guard = registry.install();
@@ -43,6 +45,22 @@ fn traced_pipeline() -> obs::Snapshot {
     });
     let _result = experiment.run(&census, None);
 
+    // Kernel scoring pass: node-step and row-tile counts are a pure
+    // function of (model, rows, tile constants), so they belong in
+    // the deterministic section alongside the other counters.
+    let mut data = forest::Dataset::new(vec!["x0".into(), "x1".into()], 2);
+    for i in 0..150 {
+        let x0 = i as f64 / 150.0;
+        let x1 = ((i * 31) % 150) as f64 / 150.0;
+        data.push(vec![x0, x1], (x0 + 0.2 * x1 > 0.55) as usize);
+    }
+    let params = forest::RandomForestParams {
+        n_trees: 6,
+        ..forest::RandomForestParams::default()
+    };
+    let model = forest::RandomForest::fit(&data, &params, 13);
+    let _scored = serve::score_batch(&model, &data, data.class_fraction(1));
+
     drop(guard);
     registry.snapshot()
 }
@@ -63,6 +81,13 @@ fn deterministic_section_is_stable_across_runs_and_thread_counts() {
         baseline.spans.contains_key("experiment/repetition"),
         "repetition spans must nest under the experiment span"
     );
+    for counter in ["serve.kernel.node_steps", "serve.kernel.row_tiles"] {
+        assert!(
+            baseline.counters.get(counter).copied().unwrap_or(0) > 0,
+            "kernel counter {counter} missing from the traced pipeline; got {:?}",
+            baseline.counters.keys().collect::<Vec<_>>()
+        );
+    }
     let det = obs::trace::deterministic_section(&baseline);
 
     // Consecutive runs agree byte for byte.

@@ -43,15 +43,15 @@ fn fixture() -> &'static (serve::SavedModel, Vec<Vec<f64>>) {
             ..forest::RandomForestParams::default()
         };
         let forest = forest::RandomForest::fit(&data, &params, 11);
-        let model = serve::SavedModel {
+        let model = serve::SavedModel::new(
             forest,
-            meta: serve::ModelMeta {
+            serve::ModelMeta {
                 positive_fraction: data.class_fraction(1),
                 seed: 11,
                 params,
                 grid: None,
             },
-        };
+        );
         let corpus = (0..data.len()).map(|i| data.row(i)).collect();
         (model, corpus)
     })
