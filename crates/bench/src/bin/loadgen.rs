@@ -229,6 +229,25 @@ fn main() {
     let expected: Vec<RowScore> = offline.rows.iter().map(RowScore::from_scored).collect();
     let expected_threshold = model.threshold();
 
+    // Drift reference: prefer the training-time score histogram in
+    // scoring.json (what a production daemon would be seeded from);
+    // fall back to the offline summary of this very corpus, which
+    // makes the expected divergence exactly zero.
+    let scoring_path = options.out.join(serve::SCORING_FILE);
+    let drift_reference = std::fs::read_to_string(&scoring_path)
+        .ok()
+        .and_then(|text| serve::training_score_histogram(&text).ok())
+        .inspect(|_| {
+            println!(
+                "[loadgen] drift reference: training histogram from {}",
+                scoring_path.display()
+            );
+        })
+        .unwrap_or_else(|| {
+            println!("[loadgen] drift reference: offline corpus histogram");
+            offline.summary().histogram
+        });
+
     let serving_model = model.clone();
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -238,8 +257,10 @@ fn main() {
             max_rows: options.batch_rows,
             max_wait_ms: options.batch_wait_ms,
         },
+        drift_reference: Some(drift_reference),
         ..ServerConfig::default()
     };
+    let latency_config = config.clone();
     let handle = match survd::start(serving_model, config, Some(Arc::clone(&registry))) {
         Ok(h) => h,
         Err(e) => {
@@ -401,6 +422,7 @@ fn main() {
     let elapsed = started.elapsed().as_secs_f64();
     counts.rows_scored = counts.score_histogram.iter().sum();
 
+    let drift_monitor = handle.drift_monitor();
     let stats = handle.shutdown();
     println!(
         "[loadgen] daemon drained: {} ok, {} shed, {} rows in {} batches (queue peak {})",
@@ -433,8 +455,35 @@ fn main() {
         latency_mean_ms: mean,
     };
 
+    // Lifecycle observability: the per-stage sketches the daemon fed
+    // through the shared registry, the drift monitor's final
+    // histograms, and the client-side latency percentiles.
+    let stage_sketches = survd::stage_sketches(&registry.snapshot());
+    let drift = drift_monitor
+        .expect("loadgen always seeds a drift reference")
+        .snapshot();
+    let latency_run = survd::LatencyRun {
+        connections: options.connections as u64,
+        rows_per_request: options.rows_per_request as u64,
+        requests_sent: counts.requests_sent,
+        responses_ok: counts.responses_ok,
+        rows_scored: counts.rows_scored,
+    };
+    let client_latency = survd::ClientLatency {
+        p50: timing.latency_p50_ms,
+        p95: timing.latency_p95_ms,
+        p99: timing.latency_p99_ms,
+        max: timing.latency_max_ms,
+        mean: timing.latency_mean_ms,
+    };
+
     println!();
     print!("{}", survdb::report::serving_block(&counts, &timing));
+    println!();
+    print!(
+        "{}",
+        survdb::report::latency_block(&latency_run, &stage_sketches, &drift)
+    );
 
     let run_config = ServingRunConfig {
         connections: options.connections,
@@ -461,6 +510,21 @@ fn main() {
         Ok(path) => println!("\n[loadgen] wrote {}", path.display()),
         Err(e) => {
             obs::error!("loadgen", "cannot write serving artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+    match survd::write_latency(
+        &options.out,
+        "loadgen",
+        &latency_config,
+        &latency_run,
+        &stage_sketches,
+        &drift,
+        &client_latency,
+    ) {
+        Ok(path) => println!("[loadgen] wrote {}", path.display()),
+        Err(e) => {
+            obs::error!("loadgen", "cannot write latency artifact: {e}");
             std::process::exit(1);
         }
     }

@@ -169,6 +169,24 @@ fn main() {
         model.threshold()
     );
 
+    // Drift reference: the training-time score histogram from
+    // scoring.json when present; otherwise an all-zero reference,
+    // which still counts live scores but reports zero divergence.
+    let scoring_path = options.out.join(serve::SCORING_FILE);
+    let drift_reference = std::fs::read_to_string(&scoring_path)
+        .ok()
+        .and_then(|text| serve::training_score_histogram(&text).ok())
+        .inspect(|_| {
+            println!(
+                "[survd] drift reference: training histogram from {}",
+                scoring_path.display()
+            );
+        })
+        .unwrap_or_else(|| {
+            println!("[survd] drift reference: none found, using zero histogram");
+            [0; 10]
+        });
+
     let config = ServerConfig {
         addr: options.addr.clone(),
         workers: options.workers,
@@ -178,8 +196,10 @@ fn main() {
             max_wait_ms: options.batch_wait_ms,
         },
         request_deadline_ms: options.deadline_ms,
+        drift_reference: Some(drift_reference),
         ..ServerConfig::default()
     };
+    let latency_config = config.clone();
     let handle = match survd::start(model, config, Some(Arc::clone(&registry))) {
         Ok(h) => h,
         Err(e) => {
@@ -204,6 +224,7 @@ fn main() {
     let _ = std::io::stdin().lock().read_line(&mut line);
 
     println!("[survd] draining ...");
+    let drift_monitor = handle.drift_monitor();
     let stats = handle.shutdown();
     println!(
         "[survd] drained: {} ok, {} shed, {} unavailable, {} rows in {} batches (queue peak {})",
@@ -214,5 +235,42 @@ fn main() {
         stats.batches,
         stats.queue_peak
     );
+
+    // Self-reported latency artifact: only meaningful when at least
+    // one request was scored (the validator refuses a zero-request
+    // run). rows_per_request is 0 — request shapes vary over a
+    // daemon's lifetime, so the rows identity is disabled.
+    let requests_sent =
+        stats.score_ok + stats.score_shed + stats.score_degraded + stats.score_unavailable;
+    if stats.score_ok > 0 {
+        let stage_sketches = survd::stage_sketches(&registry.snapshot());
+        let drift = drift_monitor
+            .expect("survd always seeds a drift reference")
+            .snapshot();
+        let latency_run = survd::LatencyRun {
+            connections: stats.connections.max(1),
+            rows_per_request: 0,
+            requests_sent,
+            responses_ok: stats.score_ok,
+            rows_scored: stats.rows_scored,
+        };
+        println!();
+        print!(
+            "{}",
+            survdb::report::latency_block(&latency_run, &stage_sketches, &drift)
+        );
+        match survd::write_latency(
+            &options.out,
+            "survd",
+            &latency_config,
+            &latency_run,
+            &stage_sketches,
+            &drift,
+            &survd::ClientLatency::zero(),
+        ) {
+            Ok(path) => println!("[survd] wrote {}", path.display()),
+            Err(e) => obs::error!("survd", "cannot write latency artifact: {e}"),
+        }
+    }
     bench::finish_trace(&registry, "survd", &options.out);
 }

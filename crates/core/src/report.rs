@@ -223,6 +223,61 @@ pub fn serving_block(counts: &survd::ServingCounts, timing: &survd::ServingTimin
     out
 }
 
+/// Plain-text block for the serving-latency breakdown: per-stage
+/// observation counts and sketch quantiles, and the drift monitor's
+/// reference-vs-live calibration histograms with the TV divergence.
+pub fn latency_block(
+    run: &survd::LatencyRun,
+    stages: &[obs::Sketch; survd::STAGE_COUNT],
+    drift: &obs::DriftSnapshot,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "--- lifecycle: {} requests, {} ok, {} rows scored\n",
+        run.requests_sent, run.responses_ok, run.rows_scored
+    ));
+    for (name, sketch) in survd::STAGE_NAMES.iter().zip(stages.iter()) {
+        out.push_str(&format!(
+            "  {name:<12} {:>8} obs   p50 {:>10} ms   p95 {:>10} ms   p99 {:>10} ms\n",
+            sketch.total(),
+            sketch.quantile(0.50),
+            sketch.quantile(0.95),
+            sketch.quantile(0.99),
+        ));
+    }
+    out.push_str(&format!(
+        "  drift: {} scored vs {} reference, divergence {:.4}\n",
+        drift.total(),
+        drift.reference_total(),
+        drift.divergence()
+    ));
+    let peak = drift
+        .reference
+        .iter()
+        .chain(drift.live.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    for b in 0..obs::DRIFT_BUCKETS {
+        let close = if b == obs::DRIFT_BUCKETS - 1 {
+            ']'
+        } else {
+            ')'
+        };
+        let reference_bar = "#".repeat((drift.reference[b] * 20 / peak) as usize);
+        let live_bar = "#".repeat((drift.live[b] * 20 / peak) as usize);
+        out.push_str(&format!(
+            "  p+ [{:.1}, {:.1}{close} ref {:>7} {reference_bar:<20} live {:>7} {live_bar}\n",
+            b as f64 / 10.0,
+            (b + 1) as f64 / 10.0,
+            drift.reference[b],
+            drift.live[b],
+        ));
+    }
+    out
+}
+
 /// Renders an indented span-tree timing table from an [`obs`]
 /// snapshot: one row per span path, indented by nesting depth, with
 /// call count, total and mean wall time, and the number of distinct
@@ -316,6 +371,36 @@ mod tests {
             counter_table(&obs::Snapshot::default()),
             "  (no counters recorded)\n"
         );
+    }
+
+    #[test]
+    fn latency_block_renders_stages_and_drift() {
+        let run = survd::LatencyRun {
+            connections: 2,
+            rows_per_request: 4,
+            requests_sent: 8,
+            responses_ok: 8,
+            rows_scored: 32,
+        };
+        let mut stages: [obs::Sketch; survd::STAGE_COUNT] = Default::default();
+        for stage in stages.iter_mut() {
+            stage.observe_n(1.5, 8);
+        }
+        stages[2].observe_n(0.1, 24);
+        let drift = obs::DriftSnapshot {
+            reference: [4, 4, 4, 4, 4, 4, 4, 4, 4, 4],
+            live: [0, 0, 16, 0, 0, 0, 0, 16, 0, 0],
+        };
+        let block = latency_block(&run, &stages, &drift);
+        assert!(
+            block.contains("8 requests, 8 ok, 32 rows scored"),
+            "{block}"
+        );
+        assert!(block.contains("queue_wait"), "{block}");
+        assert!(block.contains("score"), "{block}");
+        assert!(block.contains("divergence"), "{block}");
+        assert!(block.contains("p+ [0.0, 0.1)"), "{block}");
+        assert!(block.contains("p+ [0.9, 1.0]"), "{block}");
     }
 
     #[test]

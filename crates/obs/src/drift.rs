@@ -1,0 +1,174 @@
+//! Prediction-drift monitoring: a reference score histogram versus a
+//! live one, with a deterministic divergence statistic.
+//!
+//! The survivability model's output distribution over the training
+//! corpus is persisted in `scoring.json` (`probability_histogram`).
+//! A serving daemon seeds a [`DriftMonitor`] with that histogram and
+//! feeds every scored probability into the live side; the monitor
+//! then answers "does what the model says in production still look
+//! like what it said at training time" — the Doppler-style
+//! continuously-monitored-predictor loop (ROADMAP item 3).
+//!
+//! Both histograms use the same ten calibration buckets as every
+//! other score histogram in the workspace ([`score_bucket`]: decile
+//! `b` covers `[b/10, (b+1)/10)`, the last bucket closing at 1.0).
+//! The divergence statistic is the **total variation distance**
+//! between the two normalized histograms — `0.5 * Σ |live_b/L −
+//! ref_b/R|` — in `[0, 1]`, 0 when the distributions agree exactly,
+//! 1 when they are disjoint. It is a pure function of the integer
+//! bucket counts evaluated in fixed bucket order, so it is
+//! byte-deterministic and safe to place in a deterministic artifact
+//! section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Calibration buckets per histogram (score deciles).
+pub const DRIFT_BUCKETS: usize = 10;
+
+/// The calibration bucket a positive-class probability lands in:
+/// bucket `b` covers `[b/10, (b+1)/10)`, except the last, which
+/// closes at 1.0. This is the workspace-wide score-histogram
+/// convention (`serve::histogram_bucket` delegates here).
+pub fn score_bucket(p: f64) -> usize {
+    ((p * 10.0).floor() as usize).min(DRIFT_BUCKETS - 1)
+}
+
+/// A thread-safe reference-vs-live score histogram pair. `record` is
+/// one relaxed atomic increment, so the batcher can feed every scored
+/// probability without a lock.
+pub struct DriftMonitor {
+    reference: [u64; DRIFT_BUCKETS],
+    live: [AtomicU64; DRIFT_BUCKETS],
+}
+
+impl DriftMonitor {
+    /// A monitor seeded with the training-time score histogram.
+    pub fn new(reference: [u64; DRIFT_BUCKETS]) -> DriftMonitor {
+        DriftMonitor {
+            reference,
+            live: Default::default(),
+        }
+    }
+
+    /// Records one scored probability on the live side; returns the
+    /// calibration bucket it landed in.
+    pub fn record(&self, p: f64) -> usize {
+        let bucket = score_bucket(p);
+        self.live[bucket].fetch_add(1, Ordering::Relaxed);
+        bucket
+    }
+
+    /// A point-in-time copy of both histograms.
+    pub fn snapshot(&self) -> DriftSnapshot {
+        let mut live = [0u64; DRIFT_BUCKETS];
+        for (out, cell) in live.iter_mut().zip(self.live.iter()) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        DriftSnapshot {
+            reference: self.reference,
+            live,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftSnapshot {
+    /// The training-time (reference) score histogram.
+    pub reference: [u64; DRIFT_BUCKETS],
+    /// The live score histogram accumulated while serving.
+    pub live: [u64; DRIFT_BUCKETS],
+}
+
+impl DriftSnapshot {
+    /// Total live observations (scored probabilities recorded).
+    pub fn total(&self) -> u64 {
+        self.live.iter().sum()
+    }
+
+    /// Total reference observations.
+    pub fn reference_total(&self) -> u64 {
+        self.reference.iter().sum()
+    }
+
+    /// Total variation distance between the normalized reference and
+    /// live histograms, in `[0, 1]`. Returns 0.0 while either side is
+    /// empty (no evidence of drift yet). Deterministic: fixed bucket
+    /// order over integer counts.
+    pub fn divergence(&self) -> f64 {
+        let live_total = self.total();
+        let reference_total = self.reference_total();
+        if live_total == 0 || reference_total == 0 {
+            return 0.0;
+        }
+        let mut distance = 0.0;
+        for b in 0..DRIFT_BUCKETS {
+            let live = self.live[b] as f64 / live_total as f64;
+            let reference = self.reference[b] as f64 / reference_total as f64;
+            distance += (live - reference).abs();
+        }
+        0.5 * distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_buckets_are_half_open_deciles() {
+        assert_eq!(score_bucket(0.0), 0);
+        assert_eq!(score_bucket(0.0999), 0);
+        assert_eq!(score_bucket(0.1), 1);
+        assert_eq!(score_bucket(0.55), 5);
+        assert_eq!(score_bucket(0.9999), 9);
+        assert_eq!(score_bucket(1.0), 9);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let reference = [10, 20, 30, 0, 0, 0, 0, 0, 20, 20];
+        let monitor = DriftMonitor::new(reference);
+        // Live side proportional to the reference (half the volume).
+        for (b, &count) in reference.iter().enumerate() {
+            for _ in 0..count / 2 {
+                monitor.record(b as f64 / 10.0 + 0.05);
+            }
+        }
+        let snapshot = monitor.snapshot();
+        assert_eq!(snapshot.total(), 50);
+        assert_eq!(snapshot.divergence(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_unit_divergence() {
+        let monitor = DriftMonitor::new([100, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        for _ in 0..7 {
+            monitor.record(0.95);
+        }
+        let snapshot = monitor.snapshot();
+        assert_eq!(snapshot.live[9], 7);
+        assert_eq!(snapshot.divergence(), 1.0);
+    }
+
+    #[test]
+    fn empty_sides_report_no_drift() {
+        let fresh = DriftMonitor::new([1; DRIFT_BUCKETS]).snapshot();
+        assert_eq!(fresh.divergence(), 0.0);
+        let unseeded = DriftMonitor::new([0; DRIFT_BUCKETS]);
+        unseeded.record(0.5);
+        assert_eq!(unseeded.snapshot().divergence(), 0.0);
+    }
+
+    #[test]
+    fn divergence_is_a_pure_function_of_counts() {
+        let snapshot = DriftSnapshot {
+            reference: [5, 5, 10, 10, 10, 10, 10, 10, 15, 15],
+            live: [2, 2, 8, 8, 12, 12, 8, 8, 20, 20],
+        };
+        let d1 = snapshot.divergence();
+        let d2 = snapshot.divergence();
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert!(d1 > 0.0 && d1 < 1.0, "{d1}");
+    }
+}

@@ -29,19 +29,33 @@
 //! lexical path of nested [`span!`] guards; [`SpanPath`] lets a work
 //! queue propagate the submitting thread's path onto worker threads so
 //! paths, too, are thread-count invariant.
+//!
+//! The serving layer adds two streaming primitives on top:
+//! [`sketch::Sketch`] (a mergeable log-spaced fixed-bucket
+//! histogram/quantile sketch, registered by name through [`observe`]
+//! and rendered by [`render_metrics`]) and [`drift::DriftMonitor`]
+//! (reference-vs-live prediction-score histograms with a
+//! deterministic total-variation divergence). Sketch *values* are
+//! wall-clock; observation *counts* follow the same determinism
+//! contract as counters.
 
+pub mod drift;
 pub mod event;
 pub mod jsonv;
 pub mod registry;
 pub mod render;
+pub mod sketch;
 pub mod span;
 pub mod trace;
 
+pub use drift::{score_bucket, DriftMonitor, DriftSnapshot, DRIFT_BUCKETS};
 pub use event::{event, event_with, Level};
 pub use registry::{
-    count, count_many, enabled, gauge, EventRecord, InstallGuard, Registry, Snapshot, SpanSnapshot,
+    count, count_many, enabled, gauge, observe, observe_n, EventRecord, InstallGuard, Registry,
+    Snapshot, SpanSnapshot,
 };
 pub use render::render_metrics;
+pub use sketch::{Sketch, SKETCH_BUCKETS};
 pub use span::{enter_span, SpanGuard, SpanPath};
 
 /// Opens a hierarchical span: `let _span = obs::span!("grid_search");`.

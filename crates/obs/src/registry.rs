@@ -1,6 +1,7 @@
 //! The metrics registry and its scoped process-wide installation.
 
 use crate::event::Level;
+use crate::sketch::Sketch;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -30,6 +31,7 @@ pub struct EventRecord {
 pub(crate) struct Inner {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
+    sketches: Mutex<BTreeMap<&'static str, Sketch>>,
     spans: Mutex<BTreeMap<String, SpanStat>>,
     events: Mutex<Vec<EventRecord>>,
     event_seq: AtomicU64,
@@ -41,6 +43,7 @@ impl Inner {
         Inner {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            sketches: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
             events: Mutex::new(Vec::new()),
             event_seq: AtomicU64::new(0),
@@ -136,6 +139,10 @@ impl Registry {
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), v))
                 .collect(),
+            sketches: lock(&self.inner.sketches)
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
             spans,
             events: lock(&self.inner.events).clone(),
         }
@@ -226,6 +233,34 @@ pub fn gauge(name: &'static str, value: f64) {
     });
 }
 
+/// Records one observation in the named streaming sketch of the
+/// installed registry.
+///
+/// Sketch names are `'static` dotted paths ending in their unit
+/// (`"survd.stage.score_ms"`). Observed *values* may be wall-clock
+/// (they render in the metrics exposition and nondeterministic
+/// artifact sections only); observation *counts* must describe
+/// deterministic work, like counters.
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    observe_n(name, value, 1);
+}
+
+/// Records `n` observations of `value` in the named sketch under one
+/// registry access and one bucket increment.
+#[inline]
+pub fn observe_n(name: &'static str, value: f64, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_current(|inner| {
+        lock(&inner.sketches)
+            .entry(name)
+            .or_default()
+            .observe_n(value, n);
+    });
+}
+
 pub(crate) fn record_span(path: String, elapsed: Duration, thread: u64) {
     with_current(|inner| inner.record_span(path, elapsed, thread));
 }
@@ -266,6 +301,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, f64>,
+    /// Streaming histogram sketches by name.
+    pub sketches: BTreeMap<String, Sketch>,
     /// Span statistics by `/`-joined path.
     pub spans: BTreeMap<String, SpanSnapshot>,
     /// Every recorded event in arrival order.
@@ -317,6 +354,25 @@ mod tests {
         assert_eq!(snapshot.counters["a.one"], 6);
         assert_eq!(snapshot.counters["b.two"], 10);
         assert_eq!(snapshot.gauges["g"], 1.5);
+    }
+
+    #[test]
+    fn sketches_accumulate_and_snapshot() {
+        let _serial = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let registry = Registry::new();
+        let guard = registry.install();
+        observe("stage.a_ms", 1.5);
+        observe("stage.a_ms", 3.0);
+        observe_n("stage.b_ms", 0.25, 4);
+        drop(guard);
+        observe("stage.a_ms", 9.0); // after uninstall: dropped
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.sketches["stage.a_ms"].total(), 2);
+        assert_eq!(snapshot.sketches["stage.b_ms"].total(), 4);
+        assert_eq!(
+            snapshot.sketches["stage.b_ms"].counts()[crate::sketch::bucket_index(0.25)],
+            4
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! run — this is a live exposition, not the run-trace artifact).
 
 use crate::registry::Snapshot;
+use crate::sketch::{bucket_label, SKETCH_BUCKETS};
 use std::fmt::Write as _;
 
 fn escape_label(raw: &str) -> String {
@@ -35,6 +36,36 @@ pub fn render_metrics(snapshot: &Snapshot) -> String {
                 out,
                 "survdb_gauge{{name=\"{}\"}} {value}",
                 escape_label(name)
+            );
+        }
+    }
+    if !snapshot.sketches.is_empty() {
+        // Prometheus histogram convention: cumulative `le` buckets.
+        // Empty buckets are skipped for compactness (cumulative counts
+        // at the rendered bounds stay valid); the `+Inf` bucket and
+        // the `_count` line are always emitted. Bucket order is fixed
+        // and bounds are exact powers of two, so the rendering is
+        // byte-stable for a given set of counts.
+        out.push_str("# TYPE survdb_sketch histogram\n");
+        for (name, sketch) in &snapshot.sketches {
+            let mut cumulative = 0u64;
+            for (i, &count) in sketch.counts().iter().enumerate() {
+                cumulative += count;
+                if count == 0 && i != SKETCH_BUCKETS - 1 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "survdb_sketch_bucket{{name=\"{}\",le=\"{}\"}} {cumulative}",
+                    escape_label(name),
+                    bucket_label(i)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "survdb_sketch_count{{name=\"{}\"}} {}",
+                escape_label(name),
+                sketch.total()
             );
         }
     }
@@ -96,6 +127,61 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("survdb_events_total 0"), "{text}");
+    }
+
+    #[test]
+    fn full_output_is_byte_stable_and_fully_sorted() {
+        // Pins the complete exposition: family order (counters, gauges,
+        // sketches, spans, events), `# TYPE` lines for every family,
+        // name-sorted entries within each family, and byte-exact value
+        // formatting. A change to any of these must update this test
+        // deliberately.
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert("b.count".to_string(), 2);
+        snapshot.counters.insert("a.count".to_string(), 1);
+        snapshot.gauges.insert("depth".to_string(), 3.5);
+        let mut stage = crate::sketch::Sketch::new();
+        stage.observe(1.0);
+        stage.observe(1.0);
+        stage.observe(100.0);
+        snapshot.sketches.insert("stage_ms".to_string(), stage);
+        snapshot.sketches.insert("a_ms".to_string(), {
+            let mut s = crate::sketch::Sketch::new();
+            s.observe(0.0);
+            s
+        });
+        snapshot.spans.insert(
+            "score".to_string(),
+            SpanSnapshot {
+                count: 4,
+                total_ns: 1_500_000,
+                threads: 1,
+            },
+        );
+        let expected = "\
+# TYPE survdb_counter counter
+survdb_counter{name=\"a.count\"} 1
+survdb_counter{name=\"b.count\"} 2
+# TYPE survdb_gauge gauge
+survdb_gauge{name=\"depth\"} 3.5
+# TYPE survdb_sketch histogram
+survdb_sketch_bucket{name=\"a_ms\",le=\"0.000244140625\"} 1
+survdb_sketch_bucket{name=\"a_ms\",le=\"+Inf\"} 1
+survdb_sketch_count{name=\"a_ms\"} 1
+survdb_sketch_bucket{name=\"stage_ms\",le=\"1\"} 2
+survdb_sketch_bucket{name=\"stage_ms\",le=\"128\"} 3
+survdb_sketch_bucket{name=\"stage_ms\",le=\"+Inf\"} 3
+survdb_sketch_count{name=\"stage_ms\"} 3
+# TYPE survdb_span_count counter
+survdb_span_count{path=\"score\"} 4
+# TYPE survdb_span_total_seconds counter
+survdb_span_total_seconds{path=\"score\"} 0.001500
+# TYPE survdb_events_total counter
+survdb_events_total 0
+";
+        assert_eq!(render_metrics(&snapshot), expected);
+        // Byte-stable: re-rendering the same snapshot is identical.
+        assert_eq!(render_metrics(&snapshot), expected);
     }
 
     #[test]

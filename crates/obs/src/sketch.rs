@@ -1,0 +1,284 @@
+//! A deterministic fixed-bucket streaming histogram / quantile sketch.
+//!
+//! The serving layer needs latency distributions without keeping a
+//! full sample buffer per stage (ROADMAP item 4). A [`Sketch`] is a
+//! fixed array of counters over **log-spaced bucket bounds**: bucket
+//! `i` (for `1 <= i <= 44`) covers `(2^(i-13), 2^(i-12)]`, bucket 0
+//! is the underflow bucket (everything at or below `2^-12`, including
+//! zero and non-positive values), and the last bucket collects
+//! overflow (everything above `2^32`, plus non-finite values). The
+//! bounds are exact powers of two, so bucket assignment is a pure
+//! integer function of the input's bit pattern — no floating-point
+//! logarithm whose rounding could move a boundary value between
+//! platforms or optimization levels.
+//!
+//! # Determinism
+//!
+//! Bucket counts are plain `u64` additions, so a sketch's state is
+//! independent of observation order, merge order, chunking, and thread
+//! count — the property the `sketch_props` proptests pin. Observed
+//! *values* (stage durations) are wall-clock and vary run to run; the
+//! observation *counts* are counting facts (one observation per
+//! request or per row) and land in deterministic artifact sections.
+//!
+//! Quantile estimates ([`Sketch::quantile`]) return the upper bound of
+//! the bucket containing the nearest-rank target, which makes them
+//! monotone in `q` by construction and at worst one bucket width
+//! (a factor of two) above the true value.
+
+/// Smallest finite bucket exponent: bucket 0's upper bound is
+/// `2^SKETCH_MIN_EXP`.
+pub const SKETCH_MIN_EXP: i32 = -12;
+
+/// Largest finite bucket exponent: the last finite bucket's upper
+/// bound is `2^SKETCH_MAX_EXP`.
+pub const SKETCH_MAX_EXP: i32 = 32;
+
+/// Total bucket count: 45 finite log-spaced buckets (exponents
+/// `SKETCH_MIN_EXP..=SKETCH_MAX_EXP`) plus one overflow bucket.
+pub const SKETCH_BUCKETS: usize = (SKETCH_MAX_EXP - SKETCH_MIN_EXP) as usize + 2;
+
+/// Ceiling log2 of a positive, finite, normal `f64`, computed from the
+/// bit pattern so exact powers of two stay in their own bucket.
+fn ceil_log2(v: f64) -> i32 {
+    let bits = v.to_bits();
+    let exponent = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    if mantissa == 0 {
+        exponent
+    } else {
+        exponent + 1
+    }
+}
+
+/// The bucket index a value lands in. Total function: non-positive,
+/// zero, and tiny values underflow into bucket 0; values beyond
+/// `2^SKETCH_MAX_EXP`, infinities, and NaN overflow into the last
+/// bucket.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() {
+        return SKETCH_BUCKETS - 1;
+    }
+    if v <= bucket_upper_bound(0) {
+        // Non-positive, zero, subnormal, and tiny values underflow.
+        return 0;
+    }
+    if v > f64::powi(2.0, SKETCH_MAX_EXP) {
+        // Includes +∞.
+        return SKETCH_BUCKETS - 1;
+    }
+    // Normal positive value within the finite range (subnormals were
+    // caught by the underflow check above).
+    (ceil_log2(v) - SKETCH_MIN_EXP) as usize
+}
+
+/// The upper bound of bucket `i`: `2^(SKETCH_MIN_EXP + i)` for the
+/// finite buckets, `+∞` for the overflow bucket.
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    assert!(i < SKETCH_BUCKETS, "bucket {i} out of range");
+    if i == SKETCH_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        f64::powi(2.0, SKETCH_MIN_EXP + i as i32)
+    }
+}
+
+/// The `le` label a metrics exposition renders for bucket `i`:
+/// shortest-roundtrip decimal for the finite bounds, `+Inf` for the
+/// overflow bucket. Byte-stable because the bounds are exact powers of
+/// two.
+pub fn bucket_label(i: usize) -> String {
+    if i == SKETCH_BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        format!("{}", bucket_upper_bound(i))
+    }
+}
+
+/// A mergeable fixed-bucket streaming histogram. See the module docs
+/// for the bucket scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    counts: [u64; SKETCH_BUCKETS],
+    total: u64,
+}
+
+impl Sketch {
+    /// An empty sketch.
+    pub fn new() -> Sketch {
+        Sketch {
+            counts: [0; SKETCH_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value under one bucket
+    /// increment — the batcher uses this to attribute a batch's
+    /// scoring time to each of its rows without `n` separate calls.
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
+    }
+
+    /// Adds every bucket of `other` into `self`. Addition commutes, so
+    /// merge order never changes the result.
+    pub fn merge(&mut self, other: &Sketch) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the sketch has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The per-bucket counts in bucket-index order.
+    pub fn counts(&self) -> &[u64; SKETCH_BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank quantile estimate: the upper bound of the bucket
+    /// containing the `ceil(q * total)`-th observation, clamped to the
+    /// largest finite bound when the rank falls in the overflow
+    /// bucket (so the estimate is always renderable as JSON). Returns
+    /// 0.0 on an empty sketch. Monotone non-decreasing in `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return if i == SKETCH_BUCKETS - 1 {
+                    bucket_upper_bound(SKETCH_BUCKETS - 2)
+                } else {
+                    bucket_upper_bound(i)
+                };
+            }
+        }
+        bucket_upper_bound(SKETCH_BUCKETS - 2)
+    }
+}
+
+impl Default for Sketch {
+    fn default() -> Self {
+        Sketch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_log_spaced_powers_of_two() {
+        assert_eq!(bucket_upper_bound(0), 2f64.powi(SKETCH_MIN_EXP));
+        assert_eq!(
+            bucket_upper_bound(SKETCH_BUCKETS - 2),
+            2f64.powi(SKETCH_MAX_EXP)
+        );
+        assert_eq!(bucket_upper_bound(SKETCH_BUCKETS - 1), f64::INFINITY);
+        for i in 1..SKETCH_BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper_bound(i),
+                2.0 * bucket_upper_bound(i - 1),
+                "bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_powers_of_two_stay_in_their_own_bucket() {
+        for e in SKETCH_MIN_EXP..=SKETCH_MAX_EXP {
+            let v = 2f64.powi(e);
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "2^{e} above its bound");
+            assert_eq!(
+                i,
+                (e - SKETCH_MIN_EXP) as usize,
+                "2^{e} must close its own bucket"
+            );
+            // Just above the bound moves up exactly one bucket.
+            let above = v * (1.0 + f64::EPSILON);
+            assert_eq!(bucket_index(above), i + 1, "just above 2^{e}");
+        }
+    }
+
+    #[test]
+    fn degenerate_values_are_total() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.5), 0);
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 0); // subnormal
+        assert_eq!(bucket_index(f64::NAN), SKETCH_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), SKETCH_BUCKETS - 1);
+        assert_eq!(bucket_index(1e300), SKETCH_BUCKETS - 1);
+    }
+
+    #[test]
+    fn observe_and_merge_accumulate() {
+        let mut a = Sketch::new();
+        a.observe(1.0);
+        a.observe(1.5);
+        a.observe_n(1000.0, 3);
+        let mut b = Sketch::new();
+        b.observe(0.0);
+        b.merge(&a);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.counts()[0], 1);
+        assert_eq!(b.counts()[bucket_index(1.0)], 1);
+        assert_eq!(b.counts()[bucket_index(1.5)], 1);
+        assert_eq!(b.counts()[bucket_index(1000.0)], 3);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_and_monotone() {
+        let mut s = Sketch::new();
+        assert_eq!(s.quantile(0.5), 0.0);
+        for _ in 0..90 {
+            s.observe(1.0);
+        }
+        for _ in 0..10 {
+            s.observe(100.0);
+        }
+        assert_eq!(s.quantile(0.5), bucket_upper_bound(bucket_index(1.0)));
+        assert_eq!(s.quantile(0.99), bucket_upper_bound(bucket_index(100.0)));
+        let mut last = 0.0;
+        for k in 0..=100 {
+            let q = k as f64 / 100.0;
+            let v = s.quantile(q);
+            assert!(v >= last, "quantile not monotone at q={q}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn overflow_quantile_clamps_to_largest_finite_bound() {
+        let mut s = Sketch::new();
+        s.observe(f64::INFINITY);
+        let v = s.quantile(1.0);
+        assert_eq!(v, bucket_upper_bound(SKETCH_BUCKETS - 2));
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn labels_are_byte_stable() {
+        assert_eq!(bucket_label(0), "0.000244140625");
+        assert_eq!(bucket_label(SKETCH_BUCKETS - 2), "4294967296");
+        assert_eq!(bucket_label(SKETCH_BUCKETS - 1), "+Inf");
+    }
+}

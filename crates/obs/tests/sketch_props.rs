@@ -1,0 +1,120 @@
+//! Property tests for the streaming quantile sketch: bucket counts
+//! must be invariant to merge order, chunking, and thread count, and
+//! quantile estimates must be monotone in `q`. These are the
+//! properties the two-section artifact convention leans on — sketch
+//! *counts* sit in deterministic sections, so any schedule dependence
+//! here would break byte-identity across worker configurations.
+
+use obs::sketch::Sketch;
+use proptest::prelude::*;
+
+/// Decodes a `(magnitude, selector)` pair into an observation value.
+/// Most selectors pass the in-range magnitude through; the rest pick
+/// a degenerate special so every bucket class (underflow, overflow,
+/// NaN) is exercised. (The vendored proptest has no `prop_oneof!`,
+/// so the mix is done here rather than in the strategy.)
+fn decode(magnitude: f64, selector: u8) -> f64 {
+    match selector {
+        0 => 0.0,
+        1 => -3.5,
+        2 => 1e-308,
+        3 => 1e12,
+        4 => f64::INFINITY,
+        5 => f64::NAN,
+        _ => magnitude,
+    }
+}
+
+fn decode_all(raw: &[(f64, u8)]) -> Vec<f64> {
+    raw.iter().map(|&(m, s)| decode(m, s)).collect()
+}
+
+fn sequential(values: &[f64]) -> Sketch {
+    let mut sketch = Sketch::new();
+    for &v in values {
+        sketch.observe(v);
+    }
+    sketch
+}
+
+proptest! {
+    /// Splitting the stream into arbitrary chunks, sketching each
+    /// chunk independently, and merging in any rotation of chunk
+    /// order yields the same bucket counts as one sequential pass.
+    #[test]
+    fn merge_order_and_chunking_do_not_change_counts(
+        raw in prop::collection::vec((0.0f64..5_000.0, 0u8..32), 0..200),
+        chunk in 1usize..17,
+        rotate in 0usize..8,
+    ) {
+        let values = decode_all(&raw);
+        let expected = sequential(&values);
+        let mut chunks: Vec<Sketch> =
+            values.chunks(chunk).map(sequential).collect();
+        if !chunks.is_empty() {
+            let r = rotate % chunks.len();
+            chunks.rotate_left(r);
+        }
+        let mut merged = Sketch::new();
+        for part in &chunks {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.counts(), expected.counts());
+        prop_assert_eq!(merged.total(), expected.total());
+    }
+
+    /// Sharding observations across real threads (1 vs 8) and merging
+    /// the per-thread sketches matches the sequential result — the
+    /// counting layer is schedule-independent.
+    #[test]
+    fn thread_count_does_not_change_counts(
+        raw in prop::collection::vec((0.0f64..5_000.0, 0u8..32), 0..200),
+    ) {
+        let values = decode_all(&raw);
+        let expected = sequential(&values);
+        for workers in [1usize, 8] {
+            let merged = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let shard: Vec<f64> = values
+                            .iter()
+                            .copied()
+                            .skip(w)
+                            .step_by(workers)
+                            .collect();
+                        scope.spawn(move || sequential(&shard))
+                    })
+                    .collect();
+                let mut merged = Sketch::new();
+                for handle in handles {
+                    merged.merge(&handle.join().expect("sketch shard"));
+                }
+                merged
+            });
+            prop_assert_eq!(merged.counts(), expected.counts());
+        }
+    }
+
+    /// Quantile estimates never decrease as `q` increases, and every
+    /// estimate is one of the fixed (finite) bucket upper bounds.
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        raw in prop::collection::vec((0.0f64..5_000.0, 0u8..32), 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 2..12),
+    ) {
+        let sketch = sequential(&decode_all(&raw));
+        let mut sorted = qs.clone();
+        sorted.push(1.0);
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite q"));
+        let mut last = f64::NEG_INFINITY;
+        for q in sorted {
+            let estimate = sketch.quantile(q);
+            prop_assert!(estimate.is_finite(), "estimate finite at q={q}");
+            prop_assert!(
+                estimate >= last,
+                "quantile({q}) = {estimate} < previous {last}"
+            );
+            last = estimate;
+        }
+    }
+}

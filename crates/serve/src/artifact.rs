@@ -456,6 +456,37 @@ pub fn validate_scoring(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts the training-time score histogram
+/// (`deterministic.probability_histogram`) from a rendered
+/// `scoring.json`. A serving daemon seeds its drift monitor's
+/// reference side with this, so "live vs. training" comparisons use
+/// the exact counts the scoring artifact shipped.
+pub fn training_score_histogram(text: &str) -> Result<[u64; 10], String> {
+    let root = jsonv::parse(text)?;
+    let det = root
+        .get("deterministic")
+        .ok_or("scoring artifact has no deterministic section")?;
+    let histogram = match det.get("probability_histogram") {
+        Some(JsonV::Arr(items)) => items,
+        other => {
+            return Err(format!(
+                "probability_histogram must be an array, found {other:?}"
+            ))
+        }
+    };
+    if histogram.len() != 10 {
+        return Err(format!(
+            "probability_histogram must have 10 buckets, found {}",
+            histogram.len()
+        ));
+    }
+    let mut buckets = [0u64; 10];
+    for (out, (i, bucket)) in buckets.iter_mut().zip(histogram.iter().enumerate()) {
+        *out = expect_uint(bucket, &format!("probability_histogram[{i}]"))?;
+    }
+    Ok(buckets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +573,23 @@ mod tests {
             "\"recursive_rows_per_second\": -1"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn training_histogram_round_trips_from_the_artifact() {
+        let (data, model) = fixture();
+        let summary = score_batch(&model.forest, &data, model.meta.positive_fraction).summary();
+        let text = render_scoring("scored", &model, &summary, &sample_timing());
+        let histogram = training_score_histogram(&text).expect("parses");
+        assert_eq!(histogram, summary.histogram);
+        assert_eq!(histogram.iter().sum::<u64>(), summary.rows as u64);
+        assert!(training_score_histogram("{}").is_err());
+        assert!(training_score_histogram("nonsense").is_err());
+        // Truncated histogram is rejected.
+        let truncated = text.replacen("0, ", "", 1);
+        if truncated != text {
+            assert!(training_score_histogram(&truncated).is_err());
+        }
     }
 
     #[test]

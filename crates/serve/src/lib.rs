@@ -34,8 +34,8 @@ pub mod format;
 pub mod score;
 
 pub use artifact::{
-    deterministic_scoring_section, render_scoring, validate_scoring, write_scoring, ScoreBench,
-    ScoringTiming, SCORING_FILE, SCORING_SCHEMA,
+    deterministic_scoring_section, render_scoring, training_score_histogram, validate_scoring,
+    write_scoring, ScoreBench, ScoringTiming, SCORING_FILE, SCORING_SCHEMA,
 };
 pub use error::ModelError;
 pub use forest::flatkernel::{ForestKernel, KernelScratch, KernelStats, QuantizedKernel};

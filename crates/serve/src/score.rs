@@ -151,9 +151,11 @@ pub struct ScoreSummary {
 /// *upper* bucket — 0.1 is bucket 1, 0.5 is bucket 5 — and exactly
 /// 1.0 folds into bucket 9 rather than a phantom bucket 10. Every
 /// artifact and report that renders the histogram shares this one
-/// definition.
+/// definition — [`obs::drift::score_bucket`], which the serving
+/// drift monitor also uses, so training-time and live histograms are
+/// bucket-compatible by construction.
 pub fn histogram_bucket(positive: f64) -> usize {
-    ((positive * 10.0).floor() as usize).min(9)
+    obs::drift::score_bucket(positive)
 }
 
 /// Where a scoring call reads its feature rows from: the columnar

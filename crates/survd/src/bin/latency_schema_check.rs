@@ -1,0 +1,40 @@
+//! `latency-schema-check` — validates the structure of a
+//! `latency.json` so producer drift fails the build.
+//!
+//! ```text
+//! cargo run -p survdb-survd --bin latency-schema-check -- [PATH ...]
+//! ```
+//!
+//! Each PATH (default `artifacts/latency.json`) must parse and satisfy
+//! the `survdb-latency/v1` schema (see `survd::latency`), including
+//! the lifecycle counting identities (one queue-wait/batch-wait/
+//! write/total observation per 200 response, one score observation
+//! and one drift record per scored row). Exits nonzero on the first
+//! violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() {
+        vec!["artifacts/latency.json".to_string()]
+    } else {
+        args
+    };
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs::error!("schema-check", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = survd::validate_latency(&text) {
+            obs::error!("schema-check", "{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[schema-check] {path}: valid {}", survd::LATENCY_SCHEMA);
+    }
+    ExitCode::SUCCESS
+}

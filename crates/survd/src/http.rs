@@ -308,6 +308,28 @@ pub fn write_response(
     writer.flush()
 }
 
+/// Seconds a pushed-back client should wait before retrying. One
+/// value for every push-back path — 429 admission shedding and 503
+/// deadline degradation both tell clients the same thing, so retry
+/// loops need no per-status parsing.
+pub const RETRY_AFTER_SECONDS: &str = "1";
+
+/// Writes a push-back response (429 shed, 503 degraded/unavailable)
+/// carrying the shared `retry-after` header plus any `extra_headers`.
+/// Centralizing the header here keeps the emitted bytes identical
+/// across every push-back path — pinned by a regression test below.
+pub fn write_retry_response(
+    writer: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut headers = vec![("retry-after", RETRY_AFTER_SECONDS.to_string())];
+    headers.extend(extra_headers.iter().map(|(k, v)| (*k, v.clone())));
+    write_response(writer, status, "application/json", &headers, body, close)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +468,47 @@ mod tests {
             text.contains("connection: keep-alive\r\n\r\n{\"error\": \"shed\"}"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn push_back_paths_emit_identical_retry_after_bytes() {
+        // The 429 (shed) and 503 (degraded) responses must carry the
+        // exact same deterministic header block apart from the status
+        // line — clients implement one retry loop for both.
+        let render = |status: u16| {
+            let mut out = Vec::new();
+            write_retry_response(&mut out, status, &[], b"{}", false).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let shed = render(429);
+        let degraded = render(503);
+        let strip_status = |text: &str| {
+            let (status_line, rest) = text.split_once("\r\n").expect("status line");
+            assert!(status_line.starts_with("HTTP/1.1 "), "{status_line}");
+            rest.to_string()
+        };
+        assert_eq!(strip_status(&shed), strip_status(&degraded));
+        assert!(shed.contains("retry-after: 1\r\n"), "{shed}");
+        // Deterministic: repeated renders are byte-identical.
+        assert_eq!(shed, render(429));
+        assert_eq!(degraded, render(503));
+        // Extra headers come after the shared retry-after header.
+        let mut out = Vec::new();
+        write_retry_response(
+            &mut out,
+            503,
+            &[("x-trace-id", "00000000deadbeef".to_string())],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let retry = text.find("retry-after: 1\r\n").expect("retry-after");
+        let trace = text
+            .find("x-trace-id: 00000000deadbeef\r\n")
+            .expect("trace");
+        assert!(retry < trace, "{text}");
+        assert!(text.contains("connection: close\r\n\r\n{}"), "{text}");
     }
 
     #[test]

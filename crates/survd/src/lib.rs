@@ -53,6 +53,14 @@
 //!   (`survdb-resilience/v1`): per fault-class × rate outcome cells
 //!   plus hot-swap drill accounting, produced by the `chaossweep`
 //!   binary and validated by `resilience-schema-check` in CI.
+//! - [`latency`] — the serving observability artifact:
+//!   `artifacts/latency.json` (`survdb-latency/v1`). Each request is
+//!   stamped with a splitmix64-derived trace id (echoed back as
+//!   `x-trace-id`) and clocked through admit → queue-wait →
+//!   batch-wait → score → write; per-stage durations feed
+//!   `obs::sketch` streaming histograms exposed on `/metrics`, and
+//!   every scored probability feeds an `obs::DriftMonitor` seeded
+//!   from the training-time score histogram in `scoring.json`.
 
 pub mod artifact;
 pub mod batcher;
@@ -60,6 +68,7 @@ pub mod chaos;
 pub mod client;
 pub mod clock;
 pub mod http;
+pub mod latency;
 pub mod queue;
 pub mod resilience;
 pub mod retry;
@@ -74,12 +83,17 @@ pub use batcher::{BatchPolicy, BatcherCore};
 pub use chaos::{ChaosClass, ChaosPlan, Expect, Outcome};
 pub use client::{Client, Response};
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use latency::{
+    deterministic_latency_section, render_latency, stage_sketches, validate_latency, write_latency,
+    ClientLatency, LatencyRun, LATENCY_FILE, LATENCY_SCHEMA, STAGE_COUNT, STAGE_NAMES,
+    STAGE_SKETCHES,
+};
 pub use resilience::{
     deterministic_resilience_section, render_resilience, validate_resilience, write_resilience,
     CellOutcome, ReloadOutcome, ResilienceConfig, RESILIENCE_FILE, RESILIENCE_SCHEMA,
 };
 pub use retry::{RetryPolicy, Sleeper, ThreadSleeper};
-pub use server::{start, ServerConfig, ServerHandle, StatsSnapshot};
+pub use server::{start, start_with_clock, ServerConfig, ServerHandle, StatsSnapshot};
 pub use wire::{
     parse_score_request, parse_score_response, render_reload_response, render_score_request,
     render_score_response, RowScore, ScoreRequest, ScoreResponse, RESPONSE_SCHEMA,

@@ -45,9 +45,11 @@
 use crate::batcher::{batch_size_bucket, BatchPolicy, BatcherCore};
 use crate::clock::{Clock, SystemClock};
 use crate::http::{self, HttpLimits, ReadError, Request};
+use crate::latency::{STAGE_BATCH_WAIT, STAGE_QUEUE_WAIT, STAGE_SCORE, STAGE_TOTAL, STAGE_WRITE};
 use crate::queue::{Bounded, Pop, PushError};
 use crate::wire::{self, RowScore};
 use obs::jsonv::JsonV;
+use obs::{DriftMonitor, DRIFT_BUCKETS};
 use serve::SavedModel;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -80,6 +82,17 @@ pub struct ServerConfig {
     /// is answered 503 at flush time instead of being scored — late
     /// work is shed before it wastes a batcher slot.
     pub request_deadline_ms: u64,
+    /// Base seed for request trace ids: request N gets
+    /// `forest::parallel::derive_seed(trace_seed, N)`, echoed back as
+    /// an `x-trace-id` response header and stamped on the request's
+    /// lifecycle events.
+    pub trace_seed: u64,
+    /// Training-time score histogram seeding the drift monitor's
+    /// reference side (`deterministic.probability_histogram` from
+    /// `scoring.json`, via `serve::training_score_histogram`). `None`
+    /// disables drift monitoring entirely; an all-zero reference
+    /// still counts live scores but reports zero divergence.
+    pub drift_reference: Option<[u64; DRIFT_BUCKETS]>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +106,8 @@ impl Default for ServerConfig {
             http: HttpLimits::default(),
             idle_timeout_ms: 200,
             request_deadline_ms: 0,
+            trace_seed: 0x05DB_2018,
+            drift_reference: None,
         }
     }
 }
@@ -216,6 +231,20 @@ impl ModelSlot {
     }
 }
 
+/// Batcher-side lifecycle timings for one scored request, handed back
+/// with the reply so the worker can finish the trace (write + total)
+/// and emit the per-request lifecycle event.
+#[derive(Debug, Clone, Copy)]
+struct Lifecycle {
+    /// Admission push → batcher pop, milliseconds.
+    queue_wait_ms: f64,
+    /// Batcher pop → flush start, milliseconds.
+    batch_wait_ms: f64,
+    /// This request's share of the batch's kernel time (per-row share
+    /// × its rows), milliseconds.
+    score_ms: f64,
+}
+
 /// What the batcher hands back through a response slot.
 enum Reply {
     /// Scored by exactly one generation.
@@ -223,6 +252,7 @@ enum Reply {
         generation: u64,
         threshold: f64,
         scores: Vec<RowScore>,
+        lifecycle: Lifecycle,
     },
     /// Aged past the per-request deadline before scoring; the worker
     /// answers 503 without the batcher having spent a slot on it.
@@ -264,16 +294,22 @@ struct Job {
     rows: Vec<Vec<f64>>,
     slot: Arc<Slot>,
     admitted_ms: u64,
+    /// Stamped by the batcher when it pops the job; `admitted_ms`
+    /// until then.
+    popped_ms: u64,
 }
 
 struct Shared {
     model: ModelSlot,
     config: ServerConfig,
-    clock: SystemClock,
+    clock: Arc<dyn Clock>,
     admission: Bounded<Job>,
     draining: AtomicBool,
     stats: Stats,
     registry: Option<Arc<obs::Registry>>,
+    /// Monotonic request sequence feeding trace-id derivation.
+    trace_seq: AtomicU64,
+    drift: Option<Arc<DriftMonitor>>,
 }
 
 impl Shared {
@@ -306,19 +342,36 @@ pub fn start(
     config: ServerConfig,
     registry: Option<Arc<obs::Registry>>,
 ) -> io::Result<ServerHandle> {
+    start_with_clock(model, config, registry, Arc::new(SystemClock::new()))
+}
+
+/// [`start`] with an injected [`Clock`] — lifecycle timestamps (admit,
+/// queue-wait, batch-wait, score, write) all read this clock, so tests
+/// can drive a `ManualClock` instead of sleeping.
+pub fn start_with_clock(
+    model: SavedModel,
+    config: ServerConfig,
+    registry: Option<Arc<obs::Registry>>,
+    clock: Arc<dyn Clock>,
+) -> io::Result<ServerHandle> {
     assert!(config.workers > 0, "need at least one worker");
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
 
     let conns = Arc::new(Bounded::<TcpStream>::new(config.workers.max(1) * 4));
+    let drift = config
+        .drift_reference
+        .map(|reference| Arc::new(DriftMonitor::new(reference)));
     let shared = Arc::new(Shared {
         admission: Bounded::new(config.queue_capacity),
         model: ModelSlot::new(model),
         config,
-        clock: SystemClock::new(),
+        clock,
         draining: AtomicBool::new(false),
         stats: Stats::default(),
         registry,
+        trace_seq: AtomicU64::new(0),
+        drift,
     });
 
     let acceptor = {
@@ -373,6 +426,14 @@ impl ServerHandle {
     /// The live model generation id (1 until the first reload).
     pub fn generation(&self) -> u64 {
         self.shared.model.current().id
+    }
+
+    /// The prediction-drift monitor, when the config seeded one
+    /// (`drift_reference`). Clone the `Arc` before
+    /// [`ServerHandle::shutdown`] to snapshot the final histograms
+    /// after every thread has joined.
+    pub fn drift_monitor(&self) -> Option<Arc<DriftMonitor>> {
+        self.shared.drift.clone()
     }
 
     /// Pauses the batcher's intake: admitted jobs stay queued (still
@@ -632,11 +693,22 @@ fn handle_score(
         return respond_error(writer, 503, "draining: not accepting new work", close);
     }
 
+    // Lifecycle trace: every admitted-or-refused request carries a
+    // splitmix64-derived id, echoed back as `x-trace-id` so a client
+    // latency outlier can be joined against the daemon's event log.
+    let trace_id = forest::parallel::derive_seed(
+        shared.config.trace_seed,
+        shared.trace_seq.fetch_add(1, Ordering::Relaxed),
+    );
+    let trace_header = || ("x-trace-id", format!("{trace_id:016x}"));
+
     let slot = Arc::new(Slot::new());
+    let admitted_ms = shared.clock.now_ms();
     let job = Job {
         rows: score_request.rows,
         slot: Arc::clone(&slot),
-        admitted_ms: shared.clock.now_ms(),
+        admitted_ms,
+        popped_ms: admitted_ms,
     };
     match shared.admission.try_push(job) {
         Ok(depth) => {
@@ -650,28 +722,47 @@ fn handle_score(
                     generation,
                     threshold,
                     scores,
+                    lifecycle,
                 } => {
                     shared.stats.score_ok.fetch_add(1, Ordering::Relaxed);
                     obs::count("survd.http_200", 1);
-                    let _span = obs::span!("survd_respond");
-                    let body = wire::render_score_response(generation, threshold, &scores);
-                    http::write_response(
-                        writer,
-                        200,
-                        "application/json",
-                        &[],
-                        body.as_bytes(),
-                        close,
-                    )
+                    let reply_ms = shared.clock.now_ms();
+                    let result = {
+                        let _span = obs::span!("survd_respond");
+                        let body = wire::render_score_response(generation, threshold, &scores);
+                        http::write_response(
+                            writer,
+                            200,
+                            "application/json",
+                            &[trace_header()],
+                            body.as_bytes(),
+                            close,
+                        )
+                    };
+                    if obs::enabled() {
+                        let written_ms = shared.clock.now_ms();
+                        let write_ms = written_ms.saturating_sub(reply_ms) as f64;
+                        let total_ms = written_ms.saturating_sub(admitted_ms) as f64;
+                        obs::observe(STAGE_WRITE, write_ms);
+                        obs::observe(STAGE_TOTAL, total_ms);
+                        obs::debug!(
+                            "survd",
+                            "trace={trace_id:016x} queue_wait_ms={} batch_wait_ms={} \
+                             score_ms={} write_ms={write_ms} total_ms={total_ms}",
+                            lifecycle.queue_wait_ms,
+                            lifecycle.batch_wait_ms,
+                            lifecycle.score_ms,
+                        );
+                    }
+                    result
                 }
                 Reply::Degraded => {
                     shared.stats.score_degraded.fetch_add(1, Ordering::Relaxed);
                     obs::count("survd.degraded_503", 1);
-                    http::write_response(
+                    http::write_retry_response(
                         writer,
                         503,
-                        "application/json",
-                        &[("retry-after", "1".to_string())],
+                        &[trace_header()],
                         wire::render_error("deadline exceeded before scoring, retry later")
                             .as_bytes(),
                         close,
@@ -682,11 +773,10 @@ fn handle_score(
         Err(PushError::Full(_)) => {
             shared.stats.score_shed.fetch_add(1, Ordering::Relaxed);
             obs::count("survd.shed_429", 1);
-            http::write_response(
+            http::write_retry_response(
                 writer,
                 429,
-                "application/json",
-                &[("retry-after", "1".to_string())],
+                &[trace_header()],
                 wire::render_error("admission queue full, retry later").as_bytes(),
                 close,
             )
@@ -788,9 +878,11 @@ fn batcher_loop(shared: &Shared) {
             .deadline_ms()
             .map(|deadline| Duration::from_millis(deadline.saturating_sub(now).max(1)));
         match shared.admission.pop_wait(timeout) {
-            Pop::Item(job) => {
+            Pop::Item(mut job) => {
                 let rows = job.rows.len();
-                core.push(job, rows, shared.clock.now_ms());
+                let popped = shared.clock.now_ms();
+                job.popped_ms = popped;
+                core.push(job, rows, popped);
                 obs::gauge("survd.queue_depth", shared.admission.len() as f64);
             }
             Pop::TimedOut => {} // due() decides on the next pass
@@ -843,6 +935,22 @@ fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
     for job in &live {
         all_rows.extend(job.rows.iter().cloned());
     }
+    // Queue-wait (push → pop) and batch-wait (pop → flush) close here,
+    // one observation per live job — the counting identity the latency
+    // artifact validator pins (observations == 200 responses).
+    let flush_ms = shared.clock.now_ms();
+    if obs::enabled() {
+        for job in &live {
+            obs::observe(
+                STAGE_QUEUE_WAIT,
+                job.popped_ms.saturating_sub(job.admitted_ms) as f64,
+            );
+            obs::observe(
+                STAGE_BATCH_WAIT,
+                flush_ms.saturating_sub(job.popped_ms) as f64,
+            );
+        }
+    }
     let batch = {
         let _span = obs::span!("survd_score");
         serve::score_rows_with(
@@ -852,6 +960,45 @@ fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
         )
     };
     debug_assert_eq!(batch.rows.len(), total_rows);
+    let score_ms = shared.clock.now_ms().saturating_sub(flush_ms) as f64;
+    // One score-stage observation per row (each carrying the per-row
+    // share of the kernel time), so the sketch's observation count
+    // equals rows scored.
+    let score_per_row_ms = score_ms / total_rows.max(1) as f64;
+    if obs::enabled() {
+        obs::observe_n(STAGE_SCORE, score_per_row_ms, total_rows as u64);
+    }
+
+    // Feed every scored probability into the drift monitor and mirror
+    // the calibration buckets into registry counters.
+    if let Some(monitor) = &shared.drift {
+        let mut buckets = [0u64; DRIFT_BUCKETS];
+        for row in &batch.rows {
+            buckets[monitor.record(row.positive)] += 1;
+        }
+        if obs::enabled() {
+            const BUCKET_COUNTERS: [&str; DRIFT_BUCKETS] = [
+                "survd.drift.bucket_0",
+                "survd.drift.bucket_1",
+                "survd.drift.bucket_2",
+                "survd.drift.bucket_3",
+                "survd.drift.bucket_4",
+                "survd.drift.bucket_5",
+                "survd.drift.bucket_6",
+                "survd.drift.bucket_7",
+                "survd.drift.bucket_8",
+                "survd.drift.bucket_9",
+            ];
+            let increments: Vec<(&'static str, u64)> = BUCKET_COUNTERS
+                .iter()
+                .zip(buckets)
+                .filter(|&(_, count)| count > 0)
+                .map(|(&name, count)| (name, count))
+                .collect();
+            obs::count_many(&increments);
+            obs::gauge("survd.drift.divergence", monitor.snapshot().divergence());
+        }
+    }
 
     shared.stats.batches.fetch_add(1, Ordering::Relaxed);
     shared
@@ -878,6 +1025,11 @@ fn flush(shared: &Shared, core: &mut BatcherCore<Job>) {
             generation: generation.id,
             threshold,
             scores,
+            lifecycle: Lifecycle {
+                queue_wait_ms: job.popped_ms.saturating_sub(job.admitted_ms) as f64,
+                batch_wait_ms: flush_ms.saturating_sub(job.popped_ms) as f64,
+                score_ms: score_per_row_ms * job.rows.len() as f64,
+            },
         });
     }
 }

@@ -333,6 +333,166 @@ fn healthz_and_metrics_report_server_state() {
 }
 
 #[test]
+fn stage_sketches_and_drift_obey_counting_identities() {
+    let _guard = serialized();
+    let (model, corpus) = fixture();
+    let q = model.meta.positive_fraction;
+    let reference = serve::score_rows(&model.forest, corpus, q)
+        .summary()
+        .histogram;
+
+    let registry = std::sync::Arc::new(obs::Registry::new());
+    let obs_guard = registry.install();
+    let config = ServerConfig {
+        workers: 4,
+        drift_reference: Some(reference),
+        ..ServerConfig::default()
+    };
+    let handle = survd::start(
+        model.clone(),
+        config,
+        Some(std::sync::Arc::clone(&registry)),
+    )
+    .expect("start daemon");
+    let drift_monitor = handle.drift_monitor().expect("drift reference was seeded");
+    let mut client = connect(handle.addr());
+
+    // 2-row requests: the per-response stages must count responses,
+    // the score stage and drift monitor must count rows.
+    let requests = 9usize;
+    let rows_per_request = 2usize;
+    let mut traces = std::collections::HashSet::new();
+    for i in 0..requests {
+        let rows: Vec<Vec<f64>> = (0..rows_per_request)
+            .map(|j| corpus[(i * rows_per_request + j) % corpus.len()].clone())
+            .collect();
+        let response = client
+            .score(&survd::render_score_request(&rows))
+            .expect("score request");
+        assert_eq!(response.status, 200);
+        let trace = response
+            .header("x-trace-id")
+            .expect("200 carries x-trace-id")
+            .to_string();
+        assert_eq!(trace.len(), 16, "trace id is 16 hex chars: {trace}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()), "{trace}");
+        traces.insert(trace);
+    }
+    assert_eq!(traces.len(), requests, "trace ids are distinct per request");
+
+    let stats = handle.shutdown();
+    let drift = drift_monitor.snapshot();
+    drop(obs_guard);
+
+    assert_eq!(stats.score_ok, requests as u64);
+    assert_eq!(stats.rows_scored, (requests * rows_per_request) as u64);
+
+    let [queue_wait, batch_wait, score, write, total] = survd::stage_sketches(&registry.snapshot());
+    for (name, sketch) in [
+        ("queue_wait", &queue_wait),
+        ("batch_wait", &batch_wait),
+        ("write", &write),
+        ("total", &total),
+    ] {
+        assert_eq!(
+            sketch.total(),
+            stats.score_ok,
+            "stage {name} observes once per 200 response"
+        );
+    }
+    assert_eq!(
+        score.total(),
+        stats.rows_scored,
+        "score stage observes once per scored row"
+    );
+    assert_eq!(
+        drift.total(),
+        stats.rows_scored,
+        "drift monitor records every scored probability"
+    );
+    assert_eq!(drift.reference, reference, "reference side is untouched");
+    assert!((0.0..=1.0).contains(&drift.divergence()));
+}
+
+/// One fixed single-connection load run against a `workers`-wide
+/// daemon; returns the deterministic latency section and the full
+/// rendered artifact.
+fn latency_artifact_for(workers: usize) -> (String, String) {
+    let (model, corpus) = fixture();
+    let q = model.meta.positive_fraction;
+    let reference = serve::score_rows(&model.forest, corpus, q)
+        .summary()
+        .histogram;
+    let registry = std::sync::Arc::new(obs::Registry::new());
+    let obs_guard = registry.install();
+    let config = ServerConfig {
+        workers,
+        queue_capacity: 64,
+        drift_reference: Some(reference),
+        ..ServerConfig::default()
+    };
+    let latency_config = config.clone();
+    let handle = survd::start(
+        model.clone(),
+        config,
+        Some(std::sync::Arc::clone(&registry)),
+    )
+    .expect("start daemon");
+    let drift_monitor = handle.drift_monitor().expect("drift reference was seeded");
+
+    let requests = 12usize;
+    let rows_per_request = 3usize;
+    let mut client = connect(handle.addr());
+    for i in 0..requests {
+        let rows: Vec<Vec<f64>> = (0..rows_per_request)
+            .map(|j| corpus[(i * rows_per_request + j) % corpus.len()].clone())
+            .collect();
+        let response = client
+            .score(&survd::render_score_request(&rows))
+            .expect("score request");
+        assert_eq!(response.status, 200);
+    }
+    let stats = handle.shutdown();
+    let drift = drift_monitor.snapshot();
+    drop(obs_guard);
+
+    let run = survd::LatencyRun {
+        connections: 1,
+        rows_per_request: rows_per_request as u64,
+        requests_sent: requests as u64,
+        responses_ok: stats.score_ok,
+        rows_scored: stats.rows_scored,
+    };
+    let stages = survd::stage_sketches(&registry.snapshot());
+    let section = survd::deterministic_latency_section(&run, &stages, &drift);
+    let full = survd::render_latency(
+        "serving_e2e",
+        &latency_config,
+        &run,
+        &stages,
+        &drift,
+        &survd::ClientLatency::zero(),
+    );
+    (section, full)
+}
+
+#[test]
+fn latency_deterministic_section_is_byte_identical_across_worker_counts() {
+    let _guard = serialized();
+    let (one_a, full_one) = latency_artifact_for(1);
+    let (one_b, _) = latency_artifact_for(1);
+    let (eight, full_eight) = latency_artifact_for(8);
+    assert_eq!(one_a, one_b, "consecutive runs of the same config");
+    assert_eq!(one_a, eight, "1-worker vs 8-worker daemons");
+    survd::validate_latency(&full_one).expect("1-worker artifact is schema-valid");
+    survd::validate_latency(&full_eight).expect("8-worker artifact is schema-valid");
+    assert_ne!(
+        full_one, full_eight,
+        "the worker knob lives in the nondeterministic section"
+    );
+}
+
+#[test]
 fn protocol_errors_are_refused_cleanly() {
     let _guard = serialized();
     let (model, corpus) = fixture();
