@@ -1,0 +1,71 @@
+//! `fleet-schema-check` — validates the structure of a `fleet.json`
+//! so producer drift fails the build.
+//!
+//! ```text
+//! cargo run -p bench --bin fleet-schema-check -- [PATH ...]
+//! ```
+//!
+//! Each PATH (default `artifacts/fleet.json`) must parse and satisfy
+//! the `survdb-fleet/v1` schema (see `bench::fleet`): exact key order,
+//! the counting identity `generated = recovered + quarantined +
+//! vanished` per shard / per region / in total, and shard-to-region
+//! sum consistency. When more than one PATH is given, every file's
+//! *deterministic* section must additionally be byte-identical to the
+//! first's — CI passes runs with different shard counts and visit
+//! orders to hold the streaming pipeline's invariance contract. Exits
+//! nonzero on the first violation.
+
+use bench::fleet::{deterministic_section_of, validate_fleet, FLEET_SCHEMA};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() {
+        vec!["artifacts/fleet.json".to_string()]
+    } else {
+        args
+    };
+
+    let mut reference: Option<(String, String)> = None;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs::error!("schema-check", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = validate_fleet(&text) {
+            obs::error!("schema-check", "{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let section = match deterministic_section_of(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                obs::error!("schema-check", "{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match &reference {
+            None => reference = Some((path.clone(), section)),
+            Some((first_path, first_section)) => {
+                if section != *first_section {
+                    obs::error!(
+                        "schema-check",
+                        "{path}: deterministic section differs from {first_path} — \
+                         the streamed pipeline is not shard-layout invariant"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("[schema-check] {path}: valid {FLEET_SCHEMA}");
+    }
+    if paths.len() > 1 {
+        println!(
+            "[schema-check] deterministic sections byte-identical across {} files",
+            paths.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -2,24 +2,34 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin fleetgen -- \
-//!     [--region 1|2|3] [--scale F] [--seed N] \
+//!     [--region 1|2|3] [--scale F] [--seed N] [--shards N] \
 //!     [--jsonl PATH] [--csv PATH] [--events PATH]
 //! ```
 //!
 //! Writes the database records as JSON Lines (lossless; can be read
 //! back with `telemetry::read_records_jsonl`), a flat CSV summary for
 //! dataframes, and/or the raw telemetry event stream as text.
+//!
+//! Export is streamed: the region is generated shard by shard (whole
+//! subscriptions, `--shards` of them) and each shard's records are
+//! written and dropped before the next is generated, so arbitrarily
+//! large `--scale` values export in bounded memory. Because the
+//! generator is pure per subscription, the concatenated record output
+//! (jsonl/csv) is byte-identical to a whole-fleet export at any shard
+//! count; the events export is time-ordered within each shard.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use telemetry::{
-    write_records_jsonl, write_summary_csv, EventStream, Fleet, FleetConfig, RegionConfig, RegionId,
+    write_records_jsonl, write_summary_csv_header, write_summary_csv_rows, EventStream,
+    FleetConfig, RegionConfig, RegionId, ShardPlan,
 };
 
 struct Options {
     region: RegionId,
     scale: f64,
     seed: u64,
+    shards: usize,
     jsonl: Option<String>,
     csv: Option<String>,
     events: Option<String>,
@@ -30,6 +40,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         region: RegionId::Region1,
         scale: 0.1,
         seed: 42,
+        shards: 8,
         jsonl: None,
         csv: None,
         events: None,
@@ -51,6 +62,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--scale" => options.scale = value.parse().map_err(|e| format!("bad --scale: {e}"))?,
             "--seed" => options.seed = value.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--shards" => {
+                options.shards = value.parse().map_err(|e| format!("bad --shards: {e}"))?
+            }
             "--jsonl" => options.jsonl = Some(value.clone()),
             "--csv" => options.csv = Some(value.clone()),
             "--events" => options.events = Some(value.clone()),
@@ -72,41 +86,77 @@ fn main() {
             obs::error!("fleetgen", "{e}");
             obs::error!(
                 "fleetgen",
-                "usage: fleetgen [--region 1|2|3] [--scale F] [--seed N] \
+                "usage: fleetgen [--region 1|2|3] [--scale F] [--seed N] [--shards N] \
                  [--jsonl PATH] [--csv PATH] [--events PATH]"
             );
             std::process::exit(2);
         }
     };
 
-    let fleet = Fleet::generate(FleetConfig::new(
-        RegionConfig::canonical(options.region).scaled(options.scale),
-        options.seed,
-    ));
+    let builder = FleetConfig::builder(RegionConfig::canonical(options.region))
+        .scale(options.scale)
+        .seed(options.seed)
+        .shards(options.shards.max(1));
+    let config = builder.config();
+    let plan: ShardPlan = builder.shard_plan();
+    let window_end = simtime::Timestamp::from_date(config.region.window_end());
+
+    let mut jsonl = options
+        .jsonl
+        .as_ref()
+        .map(|path| BufWriter::new(File::create(path).expect("create jsonl file")));
+    let mut csv = options.csv.as_ref().map(|path| {
+        let mut file = BufWriter::new(File::create(path).expect("create csv file"));
+        write_summary_csv_header(&mut file).expect("write csv header");
+        file
+    });
+    let mut events_out = options
+        .events
+        .as_ref()
+        .map(|path| BufWriter::new(File::create(path).expect("create events file")));
+
+    let mut subscriptions = 0usize;
+    let mut databases = 0usize;
+    let mut events = 0usize;
+    for shard in 0..plan.shard_count() {
+        let fleet = telemetry::Fleet::generate_range(config.clone(), plan.range(shard));
+        subscriptions += fleet.subscriptions.len();
+        databases += fleet.databases.len();
+        if let Some(out) = &mut jsonl {
+            write_records_jsonl(&fleet.databases, out).expect("write jsonl");
+        }
+        if let Some(out) = &mut csv {
+            write_summary_csv_rows(&fleet.databases, window_end, out).expect("write csv");
+        }
+        if let Some(out) = &mut events_out {
+            let stream = EventStream::of_fleet(&fleet);
+            for (at, event) in stream.events() {
+                writeln!(out, "{at}\t{event:?}").expect("write event");
+            }
+            events += stream.len();
+        }
+        // The shard fleet drops here; memory stays bounded by one shard.
+    }
+
     obs::info!(
         "fleetgen",
-        "generated {}: {} subscriptions, {} databases",
+        "generated {}: {} subscriptions, {} databases ({} shards)",
         options.region,
-        fleet.subscriptions.len(),
-        fleet.databases.len()
+        subscriptions,
+        databases,
+        plan.shard_count()
     );
-
-    if let Some(path) = &options.jsonl {
-        let file = BufWriter::new(File::create(path).expect("create jsonl file"));
-        write_records_jsonl(&fleet.databases, file).expect("write jsonl");
-        obs::info!("fleetgen", "wrote {path}");
-    }
-    if let Some(path) = &options.csv {
-        let file = BufWriter::new(File::create(path).expect("create csv file"));
-        write_summary_csv(&fleet.databases, fleet.window_end(), file).expect("write csv");
-        obs::info!("fleetgen", "wrote {path}");
-    }
-    if let Some(path) = &options.events {
-        let mut file = BufWriter::new(File::create(path).expect("create events file"));
-        let stream = EventStream::of_fleet(&fleet);
-        for (at, event) in stream.events() {
-            writeln!(file, "{at}\t{event:?}").expect("write event");
+    for (path, label) in [
+        (&options.jsonl, "jsonl"),
+        (&options.csv, "csv"),
+        (&options.events, "events"),
+    ] {
+        if let Some(path) = path {
+            if label == "events" {
+                obs::info!("fleetgen", "wrote {path} ({events} events)");
+            } else {
+                obs::info!("fleetgen", "wrote {path}");
+            }
         }
-        obs::info!("fleetgen", "wrote {path} ({} events)", stream.len());
     }
 }

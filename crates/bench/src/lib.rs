@@ -6,6 +6,7 @@
 //! Figures 5–9 and Tables 1–2 are all views over the same runs, so the
 //! harness computes each subgroup once and caches it.
 
+pub mod fleet;
 pub mod legacy;
 pub mod model_source;
 
@@ -173,6 +174,7 @@ fn binary_target(binary: &str) -> &'static str {
         "scored" => "scored",
         "survd" => "survd",
         "loadgen" => "loadgen",
+        "fleetbench" => "fleetbench",
         _ => "bench",
     }
 }

@@ -145,6 +145,35 @@ mod tests {
         }
     }
 
+    #[test]
+    fn edition_logrank_p_values_are_pinned() {
+        // Region-2 once sat at p = 0.00103 — an accepted failure just
+        // above the 0.001 acceptance line. The per-subscription
+        // generator (telemetry::fleet) moved every region decisively
+        // below the line; pin the exact deterministic values so any
+        // calibration drift back toward the boundary fails loudly here
+        // instead of flaking `observations_hold_in_every_region`.
+        let study = Study::load(StudyConfig {
+            scale: 0.15,
+            seed: 4,
+        });
+        let pinned = [
+            2.90889399896201e-12,
+            3.0121445914552712e-24,
+            4.218103995338016e-5,
+        ];
+        for (id, expected) in RegionId::ALL.into_iter().zip(pinned) {
+            let report = ObservationReport::compute(&study.census(id));
+            assert_eq!(
+                report.edition_logrank_p, expected,
+                "{id}: log-rank p drifted from its pinned value"
+            );
+            // Regardless of the exact pin, every region must clear the
+            // acceptance line with at least an order of magnitude.
+            assert!(report.edition_logrank_p < 1e-4, "{id}: margin eroded");
+        }
+    }
+
     /// A synthetic report where Obs 3.2 and 3.3 comfortably hold, so
     /// `all_hold` isolates the Obs 3.1 thresholds.
     fn synthetic_report(sub_share: f64, db_share: f64) -> ObservationReport {

@@ -48,6 +48,26 @@ pub struct FeatureExtractor {
     feature_names: Vec<String>,
 }
 
+/// The feature schema a [`FeatureConfig`] produces, independent of any
+/// fleet. The streaming pipeline uses this to construct a merged
+/// dataset's schema before (or without) seeing a single shard; it is
+/// exactly the schema [`FeatureExtractor::feature_names`] reports.
+pub fn feature_schema(config: &FeatureConfig) -> Vec<String> {
+    let mut feature_names: Vec<String> = TIME_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    feature_names.extend(name_feature_names("server"));
+    feature_names.extend(name_feature_names("db"));
+    feature_names.extend(SIZE_FEATURE_NAMES.iter().map(|s| s.to_string()));
+    if config.include_utilization {
+        feature_names.extend(UTILIZATION_FEATURE_NAMES.iter().map(|s| s.to_string()));
+    }
+    feature_names.extend(SLO_FEATURE_NAMES.iter().map(|s| s.to_string()));
+    feature_names.extend(subscription_feature_names());
+    if let Some(vocab) = &config.ngrams {
+        feature_names.extend(vocab.feature_names("db"));
+    }
+    feature_names
+}
+
 impl FeatureExtractor {
     /// Builds the extractor (indexes the fleet's subscription history).
     pub fn new(census: &Census<'_>, config: FeatureConfig) -> FeatureExtractor {
@@ -57,20 +77,7 @@ impl FeatureExtractor {
             "class boundary must exceed the observation prefix"
         );
         let history = SubscriptionHistoryIndex::build(census.fleet());
-
-        let mut feature_names: Vec<String> =
-            TIME_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
-        feature_names.extend(name_feature_names("server"));
-        feature_names.extend(name_feature_names("db"));
-        feature_names.extend(SIZE_FEATURE_NAMES.iter().map(|s| s.to_string()));
-        if config.include_utilization {
-            feature_names.extend(UTILIZATION_FEATURE_NAMES.iter().map(|s| s.to_string()));
-        }
-        feature_names.extend(SLO_FEATURE_NAMES.iter().map(|s| s.to_string()));
-        feature_names.extend(subscription_feature_names());
-        if let Some(vocab) = &config.ngrams {
-            feature_names.extend(vocab.feature_names("db"));
-        }
+        let feature_names = feature_schema(&config);
 
         FeatureExtractor {
             config,

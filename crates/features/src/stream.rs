@@ -1,0 +1,128 @@
+//! Streaming featurization over fleet shards.
+//!
+//! The streaming pipeline (`telemetry::stream`) turns a region into
+//! shards of whole subscriptions, each a self-contained [`Fleet`]. This
+//! module featurizes those shards one at a time and merges the partial
+//! datasets deterministically, so a million-database region never holds
+//! raw telemetry for more than one shard at once.
+//!
+//! **Equivalence by construction.** Every judgment the dataset builder
+//! makes is local to one database or one subscription:
+//!
+//! * The census population filters (singleton, internal, 2-day minimum,
+//!   decidability) read one database plus its subscription's siblings
+//!   and the region window carried in the shard's `FleetConfig`.
+//! * The subscription-history features index siblings *within* a
+//!   subscription; shards cut at subscription boundaries keep every
+//!   sibling together.
+//! * Rows are pushed in fleet order (ascending database id), and shard
+//!   id-ranges are disjoint and ascending in shard index.
+//!
+//! Hence appending per-shard datasets in shard order reproduces the
+//! whole-fleet dataset bitwise — `tests/stream_equivalence.rs` holds
+//! this contract under proptest.
+
+use crate::pipeline::{feature_schema, FeatureConfig, FeatureExtractor};
+use forest::Dataset;
+use std::collections::BTreeMap;
+use telemetry::{Census, Edition, Fleet};
+
+/// Accumulates per-shard datasets and merges them in shard order.
+///
+/// Shards may arrive in any order (the visit order is a free choice of
+/// the driver); the merge sorts by shard index, so the result is
+/// visit-order-invariant.
+#[derive(Debug)]
+pub struct StreamingDatasetBuilder {
+    config: FeatureConfig,
+    edition: Option<Edition>,
+    shards: BTreeMap<usize, (Dataset, Vec<(f64, bool)>)>,
+}
+
+impl StreamingDatasetBuilder {
+    /// A new builder producing the same dataset
+    /// [`FeatureExtractor::build_dataset`] would for `edition`.
+    pub fn new(config: FeatureConfig, edition: Option<Edition>) -> StreamingDatasetBuilder {
+        StreamingDatasetBuilder {
+            config,
+            edition,
+            shards: BTreeMap::new(),
+        }
+    }
+
+    /// Featurizes one shard fleet (whole subscriptions only) and stores
+    /// its partial dataset under `shard`. Returns the number of rows
+    /// the shard contributed. Pushing the same shard index twice
+    /// replaces the earlier partial.
+    pub fn push_shard(&mut self, shard: usize, fleet: &Fleet) -> usize {
+        let census = Census::new(fleet);
+        let extractor = FeatureExtractor::new(&census, self.config.clone());
+        let (dataset, survival) = extractor.build_dataset(&census, self.edition);
+        let rows = dataset.len();
+        self.shards.insert(shard, (dataset, survival));
+        rows
+    }
+
+    /// Rows accumulated so far across all shards.
+    pub fn rows(&self) -> usize {
+        self.shards.values().map(|(d, _)| d.len()).sum()
+    }
+
+    /// Merges the shards in ascending shard index into one dataset plus
+    /// the row-aligned survival pairs.
+    pub fn finish(self) -> (Dataset, Vec<(f64, bool)>) {
+        let mut dataset = Dataset::new(feature_schema(&self.config), 2);
+        let mut survival = Vec::new();
+        for (_, (shard_dataset, shard_survival)) in self.shards {
+            dataset.append(&shard_dataset);
+            survival.extend(shard_survival);
+        }
+        (dataset, survival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::{FleetConfig, RegionConfig, ShardPlan};
+
+    fn config() -> FleetConfig {
+        FleetConfig::new(RegionConfig::region_1().scaled(0.03), 17)
+    }
+
+    #[test]
+    fn sharded_featurization_matches_whole_fleet() {
+        let whole = Fleet::generate(config());
+        let census = Census::new(&whole);
+        let extractor = FeatureExtractor::new(&census, FeatureConfig::default());
+        let (expected, expected_survival) = extractor.build_dataset(&census, None);
+
+        for shards in [1usize, 3] {
+            let plan = ShardPlan::new(config().region.subscription_count, shards);
+            let mut builder = StreamingDatasetBuilder::new(FeatureConfig::default(), None);
+            // Visit shards back-to-front: the merge must not care.
+            for shard in (0..plan.shard_count()).rev() {
+                let range = plan.range(shard);
+                let shard_fleet = Fleet::generate_range(config(), range);
+                builder.push_shard(shard, &shard_fleet);
+            }
+            assert_eq!(builder.rows(), expected.len());
+            let (merged, survival) = builder.finish();
+            assert_eq!(merged, expected, "{shards} shards");
+            assert_eq!(survival, expected_survival, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn empty_builder_yields_schema_only_dataset() {
+        let builder = StreamingDatasetBuilder::new(FeatureConfig::default(), None);
+        assert_eq!(builder.rows(), 0);
+        let (dataset, survival) = builder.finish();
+        assert!(dataset.is_empty());
+        assert!(survival.is_empty());
+        assert_eq!(
+            dataset.feature_names(),
+            feature_schema(&FeatureConfig::default())
+        );
+    }
+}

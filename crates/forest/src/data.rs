@@ -73,6 +73,32 @@ impl Dataset {
         self.labels.push(label);
     }
 
+    /// Appends every example of `other`, in order, to this dataset.
+    ///
+    /// The streaming featurization pipeline builds one dataset per
+    /// fleet shard and merges them in shard order; append is the merge
+    /// step, so it must preserve example order exactly (the merged
+    /// dataset is compared bitwise against the materialized one).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the schemas differ: feature names (including order)
+    /// and class counts must match exactly.
+    pub fn append(&mut self, other: &Dataset) {
+        assert_eq!(
+            self.feature_names, other.feature_names,
+            "appending datasets with different feature schemas"
+        );
+        assert_eq!(
+            self.class_count, other.class_count,
+            "appending datasets with different class counts"
+        );
+        for (column, source) in self.columns.iter_mut().zip(&other.columns) {
+            column.extend_from_slice(source);
+        }
+        self.labels.extend_from_slice(&other.labels);
+    }
+
     /// Number of examples.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -303,6 +329,32 @@ mod tests {
             }
         }
         assert!((v.class_fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let mut left = tiny();
+        let mut right = Dataset::new(vec!["a".into(), "b".into()], 2);
+        right.push(vec![7.0, 8.0], 0);
+        left.append(&right);
+        assert_eq!(left.len(), 4);
+        assert_eq!(left.row(3), vec![7.0, 8.0]);
+        assert_eq!(left.label(3), 0);
+        // Appending shards in order reproduces pushing rows in order.
+        let mut whole = tiny();
+        whole.push(vec![7.0, 8.0], 0);
+        assert_eq!(left, whole);
+        // Appending an empty dataset is a no-op.
+        left.append(&Dataset::new(vec!["a".into(), "b".into()], 2));
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_rejects_schema_mismatch() {
+        let mut d = tiny();
+        let other = Dataset::new(vec!["a".into(), "c".into()], 2);
+        d.append(&other);
     }
 
     #[test]

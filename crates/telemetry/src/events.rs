@@ -187,14 +187,23 @@ impl EventStream {
         EventStream { events }
     }
 
-    /// Builds the merged stream of a whole fleet, time-ordered.
-    pub fn of_fleet(fleet: &Fleet) -> EventStream {
+    /// Builds the merged stream of a set of databases, time-ordered
+    /// (stable over the per-database streams). This is the
+    /// per-subscription unit of the streaming pipeline: both the
+    /// streamed and the materialized paths build subscription streams
+    /// with it, so fault injection sees identical input either way.
+    pub fn of_databases(databases: &[DatabaseRecord]) -> EventStream {
         let mut events: Vec<(Timestamp, TelemetryEvent)> = Vec::new();
-        for db in &fleet.databases {
+        for db in databases {
             events.extend(EventStream::of_database(db).events);
         }
         events.sort_by_key(|(t, _)| *t);
         EventStream { events }
+    }
+
+    /// Builds the merged stream of a whole fleet, time-ordered.
+    pub fn of_fleet(fleet: &Fleet) -> EventStream {
+        EventStream::of_databases(&fleet.databases)
     }
 
     /// Builds a stream from pre-collected events, re-sorting into
@@ -218,6 +227,13 @@ impl EventStream {
     /// The events.
     pub fn events(&self) -> &[(Timestamp, TelemetryEvent)] {
         &self.events
+    }
+
+    /// Consumes the stream, yielding its events in arrival order —
+    /// used by the chunked pipeline to concatenate subscription
+    /// streams without copying.
+    pub fn into_events(self) -> Vec<(Timestamp, TelemetryEvent)> {
+        self.events
     }
 
     /// Number of events.

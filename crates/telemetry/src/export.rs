@@ -357,12 +357,28 @@ pub fn write_summary_csv<W: Write>(
     window_end: simtime::Timestamp,
     mut out: W,
 ) -> std::io::Result<()> {
+    write_summary_csv_header(&mut out)?;
+    write_summary_csv_rows(records, window_end, &mut out)
+}
+
+/// Writes only the CSV header line. Streaming exporters call this once,
+/// then [`write_summary_csv_rows`] per shard.
+pub fn write_summary_csv_header<W: Write>(mut out: W) -> std::io::Result<()> {
     writeln!(
         out,
         "id,region,subscription_id,subscription_type,server_name,database_name,\
          created_at,creation_edition,creation_slo,observed_days,dropped,\
          changed_edition,slo_changes,initial_size_mb"
-    )?;
+    )
+}
+
+/// Writes CSV rows without a header — the per-shard half of a streaming
+/// export. `write_summary_csv` = header + one call of this.
+pub fn write_summary_csv_rows<W: Write>(
+    records: &[DatabaseRecord],
+    window_end: simtime::Timestamp,
+    mut out: W,
+) -> std::io::Result<()> {
     for record in records {
         let (duration, event) = record.observed_lifespan(window_end);
         writeln!(

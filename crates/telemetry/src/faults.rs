@@ -179,6 +179,23 @@ pub struct FaultSummary {
     pub orphaned_databases: usize,
 }
 
+impl FaultSummary {
+    /// Accumulates another summary's tallies into this one — the
+    /// streaming pipeline injects faults per subscription stream and
+    /// merges the summaries.
+    pub fn absorb(&mut self, other: &FaultSummary) {
+        self.events_in += other.events_in;
+        self.events_out += other.events_out;
+        self.dropped_events += other.dropped_events;
+        self.duplicated_events += other.duplicated_events;
+        self.reordered_events += other.reordered_events;
+        self.corrupted_slos += other.corrupted_slos;
+        self.truncated_databases += other.truncated_databases;
+        self.truncated_events += other.truncated_events;
+        self.orphaned_databases += other.orphaned_databases;
+    }
+}
+
 /// Applies a [`FaultPlan`] to event streams, reproducibly.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {

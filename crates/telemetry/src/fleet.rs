@@ -1,16 +1,41 @@
 //! Fleet generation: subscriptions and their databases over the
 //! observation window.
+//!
+//! Generation is *per-subscription pure*: subscription `i` (and all of
+//! its databases) is a function of `(config, i)` alone, with its
+//! randomness drawn from a dedicated RNG seeded by
+//! [`crate::stream::derive_seed`]`(config.seed, i)`. Any subset of
+//! subscriptions can therefore be generated independently — the
+//! sharded streaming pipeline in [`crate::stream`] leans on this — and
+//! concatenating shards in index order reproduces [`Fleet::generate`]
+//! byte for byte.
 
 use crate::archetype::Archetype;
 use crate::catalog::SloCatalog;
 use crate::database::{DatabaseRecord, SloChange};
 use crate::region::RegionConfig;
 use crate::sizetrace::SizeTrace;
+use crate::stream::derive_seed;
 use crate::subscription::{Subscription, SubscriptionId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use simtime::{CivilDate, Duration, Timestamp};
 use stats::distributions::{Categorical, ContinuousDistribution, DiscreteDistribution, LogNormal};
+use std::ops::Range;
+
+/// Bits reserved for the per-subscription database ordinal inside a
+/// database id: `id = subscription_index << SHIFT | ordinal`. The
+/// largest archetype creates 70 databases per subscription, far below
+/// the 2^20 ordinal ceiling.
+pub const DB_ORDINAL_BITS: u32 = 20;
+
+/// Encodes the canonical database id for `(subscription index,
+/// ordinal)`. Ids ascend in generation order, so "sorted by id" and
+/// "generation order" are the same order.
+pub fn database_id(sub_idx: u64, ordinal: u64) -> u64 {
+    debug_assert!(ordinal < (1 << DB_ORDINAL_BITS));
+    (sub_idx << DB_ORDINAL_BITS) | ordinal
+}
 
 /// Fleet generation parameters.
 #[derive(Debug, Clone)]
@@ -34,6 +59,83 @@ impl FleetConfig {
             size_trace_days: 4,
         }
     }
+
+    /// Builder over the knobs the bins and tests used to hard-code
+    /// individually (scale, seed, retention, shard count).
+    pub fn builder(region: RegionConfig) -> FleetBuilder {
+        FleetBuilder {
+            region,
+            scale: 1.0,
+            seed: 0x05DB_2018,
+            size_trace_days: 4,
+            shards: 1,
+        }
+    }
+}
+
+/// Centralized scale/seed/shard knobs for fleet generation. Every
+/// binary and test that sizes a fleet goes through this builder, so
+/// "what does scale 0.25 mean" has exactly one answer — including the
+/// small-class rounding clamp [`RegionConfig::scaled`] applies at tiny
+/// scales.
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    region: RegionConfig,
+    scale: f64,
+    seed: u64,
+    size_trace_days: u32,
+    shards: usize,
+}
+
+impl FleetBuilder {
+    /// Population scale (1.0 = the region's canonical size).
+    pub fn scale(mut self, scale: f64) -> FleetBuilder {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> FleetBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Days of size/utilization telemetry retained per database.
+    pub fn size_trace_days(mut self, days: u32) -> FleetBuilder {
+        self.size_trace_days = days;
+        self
+    }
+
+    /// Shard count for the streaming pipeline (clamped to ≥ 1).
+    pub fn shards(mut self, shards: usize) -> FleetBuilder {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The resolved generation config (region scaled, seed, retention).
+    pub fn config(&self) -> FleetConfig {
+        FleetConfig {
+            region: self.region.clone().scaled(self.scale),
+            seed: self.seed,
+            size_trace_days: self.size_trace_days,
+        }
+    }
+
+    /// The shard partition of the scaled region's subscriptions.
+    pub fn shard_plan(&self) -> crate::stream::ShardPlan {
+        crate::stream::ShardPlan::new(self.config().region.subscription_count, self.shards)
+    }
+
+    /// Generates the full fleet (materialized path).
+    pub fn build(&self) -> Fleet {
+        Fleet::generate(self.config())
+    }
 }
 
 /// A fully generated region population.
@@ -41,9 +143,10 @@ impl FleetConfig {
 pub struct Fleet {
     /// Generation parameters.
     pub config: FleetConfig,
-    /// All subscriptions.
+    /// All subscriptions, ascending by id.
     pub subscriptions: Vec<Subscription>,
-    /// All singleton databases, sorted by creation time.
+    /// All databases in generation order — ascending by id, which
+    /// encodes `(subscription index, ordinal)`; see [`database_id`].
     pub databases: Vec<DatabaseRecord>,
 }
 
@@ -51,78 +154,27 @@ impl Fleet {
     /// Generates the fleet for a config. Deterministic in
     /// `(region, seed)`.
     pub fn generate(config: FleetConfig) -> Fleet {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let region = &config.region;
-        let window_start = Timestamp::from_date(region.window_start);
-        let window_end = Timestamp::from_date(region.window_end());
+        let count = config.region.subscription_count;
+        Fleet::generate_range(config, 0..count)
+    }
 
-        let archetype_dist = Categorical::new(&region.archetype_weights);
-
-        let mut subscriptions = Vec::with_capacity(region.subscription_count);
+    /// Generates the sub-fleet of a contiguous subscription range — one
+    /// shard of the region. Because generation is per-subscription
+    /// pure, concatenating the shard fleets of a partition in range
+    /// order reproduces [`Fleet::generate`] exactly.
+    pub fn generate_range(config: FleetConfig, range: Range<usize>) -> Fleet {
+        assert!(
+            range.end <= config.region.subscription_count,
+            "range {range:?} outside the region's {} subscriptions",
+            config.region.subscription_count
+        );
+        let mut subscriptions = Vec::with_capacity(range.len());
         let mut databases = Vec::new();
-        let mut db_id = 0u64;
-
-        for sub_idx in 0..region.subscription_count {
-            let archetype = Archetype::ALL[archetype_dist.sample(&mut rng)];
-            let subscription_type = archetype.sample_subscription_type(&mut rng);
-            let longevity_trait = archetype.sample_trait(&mut rng);
-            let name_style = archetype.sample_name_style(longevity_trait, &mut rng);
-            let is_internal = rng.gen_bool(region.internal_fraction);
-            let uses_pools = rng.gen_bool(archetype.elastic_pool_affinity());
-            let id = SubscriptionId(sub_idx as u64);
-
-            // One to three logical servers per subscription.
-            let server_count = 1 + (rng.gen::<f64>() * rng.gen::<f64>() * 3.0) as usize;
-            let server_names: Vec<String> = (0..server_count)
-                .map(|k| {
-                    format!(
-                        "{}-sql",
-                        name_style.generate(&mut rng, (sub_idx * 7 + k) as u64)
-                    )
-                })
-                .collect();
-
-            let subscription = Subscription {
-                id,
-                region: region.id,
-                subscription_type,
-                archetype,
-                longevity_trait,
-                name_style,
-                server_names,
-                is_internal,
-            };
-
-            let db_count = archetype.sample_db_count(&mut rng);
-            for ordinal in 0..db_count {
-                let created_at = sample_creation_time(region, archetype, &mut rng);
-                let edition = archetype.sample_edition(&mut rng);
-                let lifespan_days =
-                    archetype.sample_lifespan_days(longevity_trait, edition, &mut rng);
-                // Pool-using subscriptions put most of their databases
-                // into one of a few shared pools.
-                let elastic_pool =
-                    (uses_pools && rng.gen_bool(0.7)).then(|| rng.gen_range(0..3u32));
-                let record = build_database(
-                    db_id,
-                    &subscription,
-                    ordinal as u64,
-                    created_at,
-                    edition,
-                    lifespan_days,
-                    elastic_pool,
-                    window_end,
-                    config.size_trace_days,
-                    &mut rng,
-                );
-                databases.push(record);
-                db_id += 1;
-            }
+        for sub_idx in range {
+            let (subscription, records) = generate_subscription(&config, sub_idx);
+            databases.extend(records);
             subscriptions.push(subscription);
         }
-
-        databases.sort_by_key(|d| (d.created_at, d.id));
-        let _ = window_start;
         Fleet {
             config,
             subscriptions,
@@ -140,10 +192,86 @@ impl Fleet {
         Timestamp::from_date(self.config.region.window_start)
     }
 
-    /// The subscription owning a database record.
+    /// The subscription owning a database record. Works on shard
+    /// fleets too: subscriptions are ascending by id, so lookup is a
+    /// binary search rather than an index.
     pub fn subscription(&self, id: SubscriptionId) -> &Subscription {
-        &self.subscriptions[id.0 as usize]
+        let slot = self
+            .subscriptions
+            .binary_search_by_key(&id.0, |s| s.id.0)
+            .expect("subscription id not in this fleet");
+        &self.subscriptions[slot]
     }
+}
+
+/// Generates subscription `sub_idx` of the region together with its
+/// databases. Pure in `(config, sub_idx)`: all randomness comes from a
+/// dedicated RNG seeded with `derive_seed(config.seed, sub_idx)`, so a
+/// subscription's telemetry is identical whether it is generated in a
+/// full [`Fleet::generate`], a shard, or a one-subscription chunk.
+pub fn generate_subscription(
+    config: &FleetConfig,
+    sub_idx: usize,
+) -> (Subscription, Vec<DatabaseRecord>) {
+    let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, sub_idx as u64));
+    let region = &config.region;
+    let window_end = Timestamp::from_date(region.window_end());
+    let archetype_dist = Categorical::new(&region.archetype_weights);
+
+    let archetype = Archetype::ALL[archetype_dist.sample(&mut rng)];
+    let subscription_type = archetype.sample_subscription_type(&mut rng);
+    let longevity_trait = archetype.sample_trait(&mut rng);
+    let name_style = archetype.sample_name_style(longevity_trait, &mut rng);
+    let is_internal = rng.gen_bool(region.internal_fraction);
+    let uses_pools = rng.gen_bool(archetype.elastic_pool_affinity());
+    let id = SubscriptionId(sub_idx as u64);
+
+    // One to three logical servers per subscription.
+    let server_count = 1 + (rng.gen::<f64>() * rng.gen::<f64>() * 3.0) as usize;
+    let server_names: Vec<String> = (0..server_count)
+        .map(|k| {
+            format!(
+                "{}-sql",
+                name_style.generate(&mut rng, (sub_idx * 7 + k) as u64)
+            )
+        })
+        .collect();
+
+    let subscription = Subscription {
+        id,
+        region: region.id,
+        subscription_type,
+        archetype,
+        longevity_trait,
+        name_style,
+        server_names,
+        is_internal,
+    };
+
+    let db_count = archetype.sample_db_count(&mut rng);
+    let mut databases = Vec::with_capacity(db_count);
+    for ordinal in 0..db_count {
+        let created_at = sample_creation_time(region, archetype, &mut rng);
+        let edition = archetype.sample_edition(&mut rng);
+        let lifespan_days = archetype.sample_lifespan_days(longevity_trait, edition, &mut rng);
+        // Pool-using subscriptions put most of their databases
+        // into one of a few shared pools.
+        let elastic_pool = (uses_pools && rng.gen_bool(0.7)).then(|| rng.gen_range(0..3u32));
+        let record = build_database(
+            database_id(sub_idx as u64, ordinal as u64),
+            &subscription,
+            ordinal as u64,
+            created_at,
+            edition,
+            lifespan_days,
+            elastic_pool,
+            window_end,
+            config.size_trace_days,
+            &mut rng,
+        );
+        databases.push(record);
+    }
+    (subscription, databases)
 }
 
 /// Samples a creation timestamp honouring the archetype's weekly,
@@ -417,11 +545,74 @@ mod tests {
     }
 
     #[test]
-    fn databases_sorted_by_creation() {
+    fn databases_in_generation_order() {
         let fleet = small_fleet(4);
         for w in fleet.databases.windows(2) {
-            assert!(w[0].created_at <= w[1].created_at);
+            assert!(w[0].id < w[1].id, "ids must ascend in generation order");
         }
+        for db in &fleet.databases {
+            let sub_idx = db.id >> DB_ORDINAL_BITS;
+            assert_eq!(sub_idx, db.subscription_id.0, "id encodes the owner");
+        }
+    }
+
+    #[test]
+    fn shard_concatenation_reproduces_full_generation() {
+        let full = small_fleet(4);
+        let count = full.config.region.subscription_count;
+        let cut = count / 3;
+        let left = Fleet::generate_range(full.config.clone(), 0..cut);
+        let right = Fleet::generate_range(full.config.clone(), cut..count);
+        let mut subscriptions = left.subscriptions.clone();
+        subscriptions.extend(right.subscriptions.iter().cloned());
+        let mut databases = left.databases.clone();
+        databases.extend(right.databases.iter().cloned());
+        assert_eq!(subscriptions, full.subscriptions);
+        assert_eq!(databases, full.databases);
+        // Shard fleets resolve subscription lookups too.
+        let db = &right.databases[0];
+        assert_eq!(
+            right.subscription(db.subscription_id).id,
+            db.subscription_id
+        );
+    }
+
+    #[test]
+    fn builder_centralizes_scale_and_clamps_tiny_classes() {
+        let builder = FleetConfig::builder(RegionConfig::region_1())
+            .scale(0.05)
+            .seed(4)
+            .shards(3);
+        assert_eq!(builder.shard_count(), 3);
+        let config = builder.config();
+        assert_eq!(
+            config.region.subscription_count,
+            RegionConfig::region_1().scaled(0.05).subscription_count
+        );
+        assert_eq!(builder.build().databases, small_fleet(4).databases);
+
+        // The small-class rounding clamp: even absurdly small scales
+        // keep at least 10 subscriptions, so every archetype class can
+        // still appear and the census maths never divides by zero.
+        for tiny in [1e-6, 1e-4, 1e-3] {
+            let cfg = FleetConfig::builder(RegionConfig::region_1())
+                .scale(tiny)
+                .config();
+            assert_eq!(cfg.region.subscription_count, 10, "scale {tiny}");
+        }
+        // The clamp releases once the scaled count crosses it.
+        let cfg = FleetConfig::builder(RegionConfig::region_1())
+            .scale(0.01)
+            .config();
+        assert!(cfg.region.subscription_count >= 10);
+
+        // Shard counts clamp to at least one shard.
+        assert_eq!(
+            FleetConfig::builder(RegionConfig::region_1())
+                .shards(0)
+                .shard_count(),
+            1
+        );
     }
 
     #[test]

@@ -173,8 +173,8 @@ impl Partial {
     }
 }
 
-/// Folds a time-ordered stream into records, sorted by
-/// `(created_at, id)` like [`crate::Fleet::generate`]'s output.
+/// Folds a time-ordered stream into records, ascending by id —
+/// generation order, like [`crate::Fleet::generate`]'s output.
 ///
 /// Strict: the first malformed event aborts ingestion with the
 /// matching [`IngestError`]. Use [`reconstruct_records_lenient`] for
@@ -304,6 +304,7 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
         }
     }
 
+    // BTreeMap iteration yields ascending ids — generation order.
     let mut records = Vec::with_capacity(partials.len());
     for (db_id, partial) in partials {
         if partial.sizes.is_empty() || partial.utilizations.is_empty() {
@@ -314,7 +315,6 @@ pub fn reconstruct_records(stream: &EventStream) -> Result<Vec<DatabaseRecord>, 
         record.utilization_trace = UtilizationTrace::new(partial.utilizations);
         records.push(record);
     }
-    records.sort_by_key(|r| (r.created_at, r.id));
     Ok(records)
 }
 
@@ -517,6 +517,327 @@ impl IngestReport {
             ),
         ]
     }
+
+    /// Accumulates another report's counters into this one and appends
+    /// its quarantined ids. Shard reports merged in shard-index order
+    /// equal the report of ingesting the concatenated stream: shards
+    /// partition the id space into ascending disjoint ranges, so the
+    /// appended quarantine list stays globally sorted.
+    pub fn merge(&mut self, other: &IngestReport) {
+        self.events_total += other.events_total;
+        self.events_discarded += other.events_discarded;
+        self.databases_recovered += other.databases_recovered;
+        self.databases_quarantined += other.databases_quarantined;
+        let r = &mut self.repairs;
+        let o = &other.repairs;
+        r.resorted_events += o.resorted_events;
+        r.duplicate_events += o.duplicate_events;
+        r.duplicate_creates += o.duplicate_creates;
+        r.duplicate_drops += o.duplicate_drops;
+        r.post_drop_events += o.post_drop_events;
+        r.synthesized_creation_samples += o.synthesized_creation_samples;
+        r.clamped_samples += o.clamped_samples;
+        r.invalid_samples_discarded += o.invalid_samples_discarded;
+        r.out_of_order_samples += o.out_of_order_samples;
+        r.repaired_creation_slos += o.repaired_creation_slos;
+        r.dropped_unknown_slo_changes += o.dropped_unknown_slo_changes;
+        let q = &mut self.quarantines;
+        let p = &other.quarantines;
+        q.orphaned_events += p.orphaned_events;
+        q.orphaned_databases += p.orphaned_databases;
+        q.unknown_creation_slo += p.unknown_creation_slo;
+        q.missing_samples += p.missing_samples;
+        self.quarantined_ids.extend(&other.quarantined_ids);
+        // Keep the id list in canonical ascending order so merging is
+        // shard-visit-order insensitive: each input is sorted and the
+        // inputs' id ranges may interleave arbitrarily.
+        self.quarantined_ids.sort_unstable();
+    }
+}
+
+/// Incremental lenient ingestion over bounded chunks of a stream.
+///
+/// The streaming pipeline cannot materialize a region's events, so the
+/// lenient fold is exposed as a push-style consumer: feed arrival-order
+/// chunks with [`LenientIngestor::push_chunk`], then call
+/// [`LenientIngestor::finish`] for the records and the report.
+///
+/// **Chunk-boundary contract:** feeding one whole stream as a single
+/// chunk and feeding it split at *database-stream boundaries* (every
+/// event of a database inside one chunk — the streaming pipeline cuts
+/// at subscription boundaries, which implies this) produce bitwise
+/// identical records and reports. That holds because the fold is
+/// per-database local, resorting is a stable per-chunk sort (equal to
+/// the global stable sort restricted to any one database), and late
+/// arrivals are counted against each database's own arrival clock, not
+/// a global one.
+#[derive(Debug)]
+pub struct LenientIngestor {
+    policy: RecoveryPolicy,
+    report: IngestReport,
+    partials: BTreeMap<u64, Partial>,
+    quarantined: BTreeSet<u64>,
+    orphan_dbs: BTreeSet<u64>,
+    /// Per-database maximum arrival timestamp, for counting late
+    /// events (`repairs.resorted_events`) chunk-invariantly.
+    arrival_max: BTreeMap<u64, Timestamp>,
+}
+
+impl LenientIngestor {
+    /// A fresh ingestor under `policy`.
+    pub fn new(policy: RecoveryPolicy) -> LenientIngestor {
+        LenientIngestor {
+            policy,
+            report: IngestReport::default(),
+            partials: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            orphan_dbs: BTreeSet::new(),
+            arrival_max: BTreeMap::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Folds one arrival-order chunk into the accumulated state.
+    pub fn push_chunk(&mut self, stream: &EventStream) {
+        let _span = obs::span!("ingest_chunk");
+        let policy = self.policy;
+        self.report.events_total += stream.len();
+
+        let mut events: Vec<(Timestamp, TelemetryEvent)> = stream.events().to_vec();
+        if policy.resort {
+            // Count late arrivals before repairing them: an event is
+            // late when something of the *same database* with a
+            // strictly greater timestamp already arrived. Clean
+            // streams count zero.
+            for (at, event) in &events {
+                match self.arrival_max.get_mut(&event.db_id()) {
+                    Some(max_seen) => {
+                        if *at < *max_seen {
+                            self.report.repairs.resorted_events += 1;
+                        } else {
+                            *max_seen = *at;
+                        }
+                    }
+                    None => {
+                        self.arrival_max.insert(event.db_id(), *at);
+                    }
+                }
+            }
+            events.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then_with(|| event_rank(&a.1).cmp(&event_rank(&b.1)))
+            });
+        }
+
+        for (at, event) in &events {
+            let db_id = event.db_id();
+            if self.quarantined.contains(&db_id) {
+                self.report.events_discarded += 1;
+                continue;
+            }
+            match event {
+                TelemetryEvent::Created {
+                    db_id,
+                    subscription,
+                    subscription_type,
+                    region,
+                    server_name,
+                    database_name,
+                    edition,
+                    slo,
+                    elastic_pool,
+                    is_internal,
+                } => {
+                    if self.partials.contains_key(db_id) {
+                        self.report.repairs.duplicate_creates += 1;
+                        self.report.events_discarded += 1;
+                        continue;
+                    }
+                    let slo_index = match SloCatalog::index_of(slo) {
+                        Some(i) => i,
+                        None if policy.repair_unknown_creation_slo => {
+                            self.report.repairs.repaired_creation_slos += 1;
+                            SloCatalog::entry_slo(*edition)
+                        }
+                        None => {
+                            self.report.quarantines.unknown_creation_slo += 1;
+                            self.report.events_discarded += 1;
+                            self.quarantined.insert(*db_id);
+                            continue;
+                        }
+                    };
+                    // A database that looked orphaned can be rescued by
+                    // a late (reordered) creation when resorting is off.
+                    self.orphan_dbs.remove(db_id);
+                    self.partials.insert(
+                        *db_id,
+                        Partial::new(
+                            *at,
+                            *db_id,
+                            *subscription,
+                            *subscription_type,
+                            *region,
+                            server_name,
+                            database_name,
+                            slo_index,
+                            *elastic_pool,
+                            *is_internal,
+                        ),
+                    );
+                }
+                TelemetryEvent::SloChanged { db_id, slo, .. } => {
+                    let Some(partial) = self.partials.get_mut(db_id) else {
+                        self.report.quarantines.orphaned_events += 1;
+                        self.report.events_discarded += 1;
+                        self.orphan_dbs.insert(*db_id);
+                        continue;
+                    };
+                    if policy.discard_post_drop && partial.record_seed.dropped_at.is_some() {
+                        self.report.repairs.post_drop_events += 1;
+                        self.report.events_discarded += 1;
+                        continue;
+                    }
+                    let Some(slo_index) = SloCatalog::index_of(slo) else {
+                        self.report.repairs.dropped_unknown_slo_changes += 1;
+                        self.report.events_discarded += 1;
+                        continue;
+                    };
+                    if policy.dedup {
+                        let dup = partial
+                            .record_seed
+                            .slo_history
+                            .last()
+                            .is_some_and(|c| c.at == *at && c.slo_index == slo_index);
+                        if dup {
+                            self.report.repairs.duplicate_events += 1;
+                            self.report.events_discarded += 1;
+                            continue;
+                        }
+                    }
+                    partial
+                        .record_seed
+                        .slo_history
+                        .push(SloChange { at: *at, slo_index });
+                }
+                TelemetryEvent::SizeSample { db_id, size_mb } => {
+                    ingest_sample_lenient(
+                        &mut self.partials,
+                        &mut self.orphan_dbs,
+                        &mut self.report,
+                        &policy,
+                        *at,
+                        *db_id,
+                        *size_mb,
+                        SampleKind::Size,
+                    );
+                }
+                TelemetryEvent::UtilizationSample { db_id, dtu_percent } => {
+                    ingest_sample_lenient(
+                        &mut self.partials,
+                        &mut self.orphan_dbs,
+                        &mut self.report,
+                        &policy,
+                        *at,
+                        *db_id,
+                        *dtu_percent,
+                        SampleKind::Utilization,
+                    );
+                }
+                TelemetryEvent::Dropped { db_id } => {
+                    let Some(partial) = self.partials.get_mut(db_id) else {
+                        self.report.quarantines.orphaned_events += 1;
+                        self.report.events_discarded += 1;
+                        self.orphan_dbs.insert(*db_id);
+                        continue;
+                    };
+                    match partial.record_seed.dropped_at {
+                        Some(existing) => {
+                            self.report.repairs.duplicate_drops += 1;
+                            self.report.events_discarded += 1;
+                            // Earliest drop wins even in arrival order.
+                            if *at < existing {
+                                partial.record_seed.dropped_at = Some(*at);
+                            }
+                        }
+                        None => partial.record_seed.dropped_at = Some(*at),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes ingestion: synthesizes or quarantines databases with
+    /// missing traces and returns the recovered records (ascending by
+    /// id — generation order) plus the accumulated report.
+    pub fn finish(self) -> (Vec<DatabaseRecord>, IngestReport) {
+        let _span = obs::span!("ingest");
+        let LenientIngestor {
+            policy,
+            mut report,
+            partials,
+            quarantined,
+            orphan_dbs,
+            arrival_max: _,
+        } = self;
+
+        let mut quarantined_ids: Vec<u64> = quarantined.into_iter().collect();
+        report.quarantines.orphaned_databases = orphan_dbs.len();
+        quarantined_ids.extend(orphan_dbs);
+
+        // BTreeMap iteration yields ascending ids — generation order.
+        let mut records = Vec::with_capacity(partials.len());
+        for (db_id, partial) in partials {
+            let Partial {
+                mut record_seed,
+                mut sizes,
+                mut utilizations,
+            } = partial;
+            if sizes.is_empty() || utilizations.is_empty() {
+                let both_empty = sizes.is_empty() && utilizations.is_empty();
+                if both_empty || !policy.synthesize_missing_samples {
+                    report.quarantines.missing_samples += 1;
+                    quarantined_ids.push(db_id);
+                    continue;
+                }
+                // One trace survived; backfill the other with a neutral
+                // creation-time sample so the record stays usable.
+                let synth = vec![(simtime::Duration::seconds(0), 0.0)];
+                if sizes.is_empty() {
+                    sizes = synth;
+                } else {
+                    utilizations = synth;
+                }
+                report.repairs.synthesized_creation_samples += 1;
+            }
+            record_seed.size_trace = SizeTrace::new(sizes);
+            record_seed.utilization_trace = UtilizationTrace::new(utilizations);
+            records.push(record_seed);
+        }
+        quarantined_ids.sort_unstable();
+        quarantined_ids.dedup();
+        report.databases_recovered = records.len();
+        report.databases_quarantined = quarantined_ids.len();
+        report.quarantined_ids = quarantined_ids;
+        if obs::enabled() {
+            obs::count_many(&report.metric_entries());
+            if !report.is_clean() {
+                obs::info!(
+                    "ingest",
+                    "recovered {} databases ({} quarantined, {} repairs, {} of {} events discarded)",
+                    report.databases_recovered,
+                    report.databases_quarantined,
+                    report.repairs.total(),
+                    report.events_discarded,
+                    report.events_total
+                );
+            }
+        }
+        (records, report)
+    }
 }
 
 /// Folds a possibly degraded stream into as many records as can be
@@ -526,230 +847,15 @@ impl IngestReport {
 /// On a clean, canonically ordered stream this returns exactly what
 /// [`reconstruct_records`] returns, plus a report whose
 /// [`IngestReport::is_clean`] holds — leniency costs nothing when
-/// nothing is wrong.
+/// nothing is wrong. Equivalent to a one-chunk [`LenientIngestor`]
+/// run, which is exactly what it is.
 pub fn reconstruct_records_lenient(
     stream: &EventStream,
     policy: &RecoveryPolicy,
 ) -> (Vec<DatabaseRecord>, IngestReport) {
-    let _span = obs::span!("ingest");
-    let mut report = IngestReport {
-        events_total: stream.len(),
-        ..IngestReport::default()
-    };
-
-    let mut events: Vec<(Timestamp, TelemetryEvent)> = stream.events().to_vec();
-    if policy.resort {
-        // Count late arrivals before repairing them: an event is late
-        // when something with a strictly greater timestamp already
-        // arrived. Clean streams count zero.
-        let mut max_seen: Option<Timestamp> = None;
-        for (at, _) in &events {
-            if let Some(m) = max_seen {
-                if *at < m {
-                    report.repairs.resorted_events += 1;
-                }
-            }
-            max_seen = Some(max_seen.map_or(*at, |m| m.max(*at)));
-        }
-        events.sort_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then_with(|| event_rank(&a.1).cmp(&event_rank(&b.1)))
-        });
-    }
-
-    let mut partials: BTreeMap<u64, Partial> = BTreeMap::new();
-    let mut quarantined: BTreeSet<u64> = BTreeSet::new();
-    let mut orphan_dbs: BTreeSet<u64> = BTreeSet::new();
-
-    for (at, event) in &events {
-        let db_id = event.db_id();
-        if quarantined.contains(&db_id) {
-            report.events_discarded += 1;
-            continue;
-        }
-        match event {
-            TelemetryEvent::Created {
-                db_id,
-                subscription,
-                subscription_type,
-                region,
-                server_name,
-                database_name,
-                edition,
-                slo,
-                elastic_pool,
-                is_internal,
-            } => {
-                if partials.contains_key(db_id) {
-                    report.repairs.duplicate_creates += 1;
-                    report.events_discarded += 1;
-                    continue;
-                }
-                let slo_index = match SloCatalog::index_of(slo) {
-                    Some(i) => i,
-                    None if policy.repair_unknown_creation_slo => {
-                        report.repairs.repaired_creation_slos += 1;
-                        SloCatalog::entry_slo(*edition)
-                    }
-                    None => {
-                        report.quarantines.unknown_creation_slo += 1;
-                        report.events_discarded += 1;
-                        quarantined.insert(*db_id);
-                        continue;
-                    }
-                };
-                // A database that looked orphaned can be rescued by a
-                // late (reordered) creation when resorting is off.
-                orphan_dbs.remove(db_id);
-                partials.insert(
-                    *db_id,
-                    Partial::new(
-                        *at,
-                        *db_id,
-                        *subscription,
-                        *subscription_type,
-                        *region,
-                        server_name,
-                        database_name,
-                        slo_index,
-                        *elastic_pool,
-                        *is_internal,
-                    ),
-                );
-            }
-            TelemetryEvent::SloChanged { db_id, slo, .. } => {
-                let Some(partial) = partials.get_mut(db_id) else {
-                    report.quarantines.orphaned_events += 1;
-                    report.events_discarded += 1;
-                    orphan_dbs.insert(*db_id);
-                    continue;
-                };
-                if policy.discard_post_drop && partial.record_seed.dropped_at.is_some() {
-                    report.repairs.post_drop_events += 1;
-                    report.events_discarded += 1;
-                    continue;
-                }
-                let Some(slo_index) = SloCatalog::index_of(slo) else {
-                    report.repairs.dropped_unknown_slo_changes += 1;
-                    report.events_discarded += 1;
-                    continue;
-                };
-                if policy.dedup {
-                    let dup = partial
-                        .record_seed
-                        .slo_history
-                        .last()
-                        .is_some_and(|c| c.at == *at && c.slo_index == slo_index);
-                    if dup {
-                        report.repairs.duplicate_events += 1;
-                        report.events_discarded += 1;
-                        continue;
-                    }
-                }
-                partial
-                    .record_seed
-                    .slo_history
-                    .push(SloChange { at: *at, slo_index });
-            }
-            TelemetryEvent::SizeSample { db_id, size_mb } => {
-                ingest_sample_lenient(
-                    &mut partials,
-                    &mut orphan_dbs,
-                    &mut report,
-                    policy,
-                    *at,
-                    *db_id,
-                    *size_mb,
-                    SampleKind::Size,
-                );
-            }
-            TelemetryEvent::UtilizationSample { db_id, dtu_percent } => {
-                ingest_sample_lenient(
-                    &mut partials,
-                    &mut orphan_dbs,
-                    &mut report,
-                    policy,
-                    *at,
-                    *db_id,
-                    *dtu_percent,
-                    SampleKind::Utilization,
-                );
-            }
-            TelemetryEvent::Dropped { db_id } => {
-                let Some(partial) = partials.get_mut(db_id) else {
-                    report.quarantines.orphaned_events += 1;
-                    report.events_discarded += 1;
-                    orphan_dbs.insert(*db_id);
-                    continue;
-                };
-                match partial.record_seed.dropped_at {
-                    Some(existing) => {
-                        report.repairs.duplicate_drops += 1;
-                        report.events_discarded += 1;
-                        // Earliest drop wins even in arrival order.
-                        if *at < existing {
-                            partial.record_seed.dropped_at = Some(*at);
-                        }
-                    }
-                    None => partial.record_seed.dropped_at = Some(*at),
-                }
-            }
-        }
-    }
-
-    let mut quarantined_ids: Vec<u64> = quarantined.into_iter().collect();
-    report.quarantines.orphaned_databases = orphan_dbs.len();
-    quarantined_ids.extend(orphan_dbs);
-
-    let mut records = Vec::with_capacity(partials.len());
-    for (db_id, partial) in partials {
-        let Partial {
-            mut record_seed,
-            mut sizes,
-            mut utilizations,
-        } = partial;
-        if sizes.is_empty() || utilizations.is_empty() {
-            let both_empty = sizes.is_empty() && utilizations.is_empty();
-            if both_empty || !policy.synthesize_missing_samples {
-                report.quarantines.missing_samples += 1;
-                quarantined_ids.push(db_id);
-                continue;
-            }
-            // One trace survived; backfill the other with a neutral
-            // creation-time sample so the record stays usable.
-            let synth = vec![(simtime::Duration::seconds(0), 0.0)];
-            if sizes.is_empty() {
-                sizes = synth;
-            } else {
-                utilizations = synth;
-            }
-            report.repairs.synthesized_creation_samples += 1;
-        }
-        record_seed.size_trace = SizeTrace::new(sizes);
-        record_seed.utilization_trace = UtilizationTrace::new(utilizations);
-        records.push(record_seed);
-    }
-    records.sort_by_key(|r| (r.created_at, r.id));
-    quarantined_ids.sort_unstable();
-    quarantined_ids.dedup();
-    report.databases_recovered = records.len();
-    report.databases_quarantined = quarantined_ids.len();
-    report.quarantined_ids = quarantined_ids;
-    if obs::enabled() {
-        obs::count_many(&report.metric_entries());
-        if !report.is_clean() {
-            obs::info!(
-                "ingest",
-                "recovered {} databases ({} quarantined, {} repairs, {} of {} events discarded)",
-                report.databases_recovered,
-                report.databases_quarantined,
-                report.repairs.total(),
-                report.events_discarded,
-                report.events_total
-            );
-        }
-    }
-    (records, report)
+    let mut ingestor = LenientIngestor::new(*policy);
+    ingestor.push_chunk(stream);
+    ingestor.finish()
 }
 
 #[derive(Clone, Copy)]

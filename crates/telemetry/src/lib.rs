@@ -57,6 +57,7 @@ pub mod ingest;
 pub mod names;
 pub mod region;
 pub mod sizetrace;
+pub mod stream;
 pub mod subscription;
 pub mod utilization;
 
@@ -65,15 +66,22 @@ pub use catalog::{Edition, ServiceLevelObjective, SloCatalog};
 pub use census::{Census, LifespanClass};
 pub use database::{DatabaseRecord, SloChange};
 pub use events::{EventStream, TelemetryEvent};
-pub use export::{read_records_jsonl, write_records_jsonl, write_summary_csv, ImportError};
+pub use export::{
+    read_records_jsonl, write_records_jsonl, write_summary_csv, write_summary_csv_header,
+    write_summary_csv_rows, ImportError,
+};
 pub use faults::{FaultClass, FaultInjector, FaultPlan, FaultSummary};
-pub use fleet::{Fleet, FleetConfig};
+pub use fleet::{database_id, generate_subscription, Fleet, FleetBuilder, FleetConfig};
 pub use ingest::{
     reconstruct_records, reconstruct_records_lenient, stream_horizon, IngestError, IngestReport,
-    QuarantineCounts, RecoveryPolicy, RepairCounts,
+    LenientIngestor, QuarantineCounts, RecoveryPolicy, RepairCounts,
 };
 pub use names::NameStyle;
 pub use region::{RegionConfig, RegionId};
 pub use sizetrace::SizeTrace;
+pub use stream::{
+    derive_seed, materialized_pipeline, merge_shards, run_region_streamed, run_shard,
+    PipelineResult, ShardPlan, ShardResult,
+};
 pub use subscription::{Subscription, SubscriptionId, SubscriptionType};
 pub use utilization::{UtilizationProfile, UtilizationTrace};
