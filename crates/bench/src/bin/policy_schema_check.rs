@@ -1,0 +1,73 @@
+//! `policy-schema-check` — validates the structure of a `policy.json`
+//! so producer drift fails the build.
+//!
+//! ```text
+//! cargo run -p bench --bin policy-schema-check -- [PATH ...]
+//! ```
+//!
+//! Each PATH (default `artifacts/policy.json`) must parse and satisfy
+//! the `survdb-policy/v1` schema (see `bench::policyart`): exact key
+//! order, the counting identities (per-action counts sum to the row
+//! total, the (region, edition) table sums to the per-action counts),
+//! sweep-frontier consistency, recomputed deltas, and the
+//! incentive-cliff best-threshold-beats-both-baselines criterion.
+//! When more than one PATH is given, every file's *deterministic*
+//! section must additionally be byte-identical to the first's — CI
+//! passes runs with different shard counts to hold the decision
+//! layer's shard-invariance contract. Exits nonzero on the first
+//! violation.
+
+use bench::policyart::{deterministic_policy_section, validate_policy, POLICY_SCHEMA};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() {
+        vec!["artifacts/policy.json".to_string()]
+    } else {
+        args
+    };
+
+    let mut reference: Option<(String, String)> = None;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs::error!("schema-check", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = validate_policy(&text) {
+            obs::error!("schema-check", "{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let section = match deterministic_policy_section(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                obs::error!("schema-check", "{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match &reference {
+            None => reference = Some((path.clone(), section)),
+            Some((first_path, first_section)) => {
+                if section != *first_section {
+                    obs::error!(
+                        "schema-check",
+                        "{path}: deterministic section differs from {first_path} — \
+                         the decision layer is not shard-layout invariant"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("[schema-check] {path}: valid {POLICY_SCHEMA}");
+    }
+    if paths.len() > 1 {
+        println!(
+            "[schema-check] deterministic sections byte-identical across {} files",
+            paths.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,95 @@
+//! `policybench` — fleet-scale what-if runs of the provisioning
+//! decision layer.
+//!
+//! ```text
+//! cargo run -p bench --release --bin policybench -- [flags]
+//!
+//! flags: --scale F     population scale for every cohort (default 0.25)
+//!        --seed N      master seed (default 2018)
+//!        --shards N    subscription shards per region (default 4;
+//!                      must not change the deterministic section)
+//!        --grid N      threshold-grid resolution (default 11)
+//!        --model PATH  load an existing model instead of training one
+//!        --out DIR     artifact directory (default artifacts/)
+//! ```
+//!
+//! For every what-if cohort (baseline, incentive-cliff mass churn,
+//! seasonal SLO scaling, regional migration wave) the binary generates
+//! the scenario fleet shard by shard, scores each (region, edition)
+//! subgroup with the persisted forest, decides every row under the
+//! canonical [`bench::policyart::canonical_spec`], and accumulates the
+//! decision summary plus the cost-vs-threshold sweep in integer units.
+//! On success it writes `artifacts/policy.json` (`survdb-policy/v1`)
+//! and self-validates it; any validation failure — including the
+//! headline requirement that the best sweep threshold beat both naive
+//! baselines on the incentive-cliff cohort — exits nonzero.
+
+use bench::model_source::{fixture_dataset, obtain_model, ModelSpec};
+use bench::policyart::{
+    cohort_table, parse_policy_options, run_policybench, validate_policy, write_policy,
+};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_policy_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            obs::error!("policybench", "{e}");
+            obs::error!(
+                "policybench",
+                "usage: policybench [--scale F] [--seed N] [--shards N] [--grid N] \
+                 [--model PATH] [--out DIR]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let registry = Arc::new(obs::Registry::with_stderr_level(obs::Level::Info));
+    let _guard = registry.install();
+
+    println!(
+        "[policybench] obtaining model (scale {}, seed {})",
+        options.scale, options.seed
+    );
+    let data = fixture_dataset(options.scale, options.seed);
+    let spec = ModelSpec {
+        load_from: options.model.clone(),
+        seed: options.seed,
+        tune: false,
+        save_dir: options.artifact_dir.clone(),
+    };
+    let model = match obtain_model(&data, &spec) {
+        Ok(m) => m,
+        Err(e) => {
+            obs::error!("policybench", "{e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "[policybench] deciding 4 cohorts x 3 regions ({} shards, {}-point grid)",
+        options.shards, options.grid_points
+    );
+    let report = run_policybench(&options, &model);
+
+    println!();
+    print!("{}", cohort_table(&report));
+
+    match write_policy(&options.artifact_dir, &report) {
+        Ok(path) => {
+            let text = std::fs::read_to_string(&path).expect("just-written artifact is readable");
+            if let Err(e) = validate_policy(&text) {
+                obs::error!("policybench", "self-validation failed: {e}");
+                std::process::exit(1);
+            }
+            println!("\n[policybench] wrote {} (validated)", path.display());
+        }
+        Err(e) => {
+            obs::error!("policybench", "cannot write policy artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    bench::finish_trace(&registry, "policybench", &options.artifact_dir);
+}

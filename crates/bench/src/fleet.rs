@@ -46,9 +46,12 @@
 //! vanished count comes from an id-set difference, so the identity can
 //! genuinely fail on a buggy producer.
 
+use crate::artifact::{
+    envelope, expect_float, expect_keys, expect_obj, expect_uint, validate_envelope, write_artifact,
+};
 use features::{feature_schema, FeatureConfig, FeatureExtractor};
 use forest::Dataset;
-use obs::jsonv::{self, JsonV};
+use obs::jsonv::JsonV;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -433,74 +436,37 @@ fn shard_json(counts: &ShardCounts) -> JsonV {
 
 /// Renders the full fleet artifact for `binary`.
 pub fn render_fleet(binary: &str, report: &FleetReport) -> String {
-    JsonV::obj(vec![
-        ("schema", JsonV::Str(FLEET_SCHEMA.to_string())),
-        ("binary", JsonV::Str(binary.to_string())),
-        ("deterministic", deterministic_json(report)),
-        (
-            "nondeterministic",
-            JsonV::obj(vec![
-                ("shard_count", JsonV::UInt(report.options.shards as u64)),
-                (
-                    "visit_order",
-                    JsonV::Str(report.options.visit_order.label().to_string()),
-                ),
-                ("thread_limit", JsonV::UInt(report.thread_limit as u64)),
-                ("elapsed_ms", JsonV::Float(report.elapsed_ms)),
-                (
-                    "databases_per_second",
-                    JsonV::Float(report.databases_per_second()),
-                ),
-                ("rows_per_second", JsonV::Float(report.rows_per_second())),
-                ("peak_rss_kb", JsonV::UInt(report.peak_rss_kb)),
-                (
-                    "shards",
-                    JsonV::Arr(report.shards.iter().map(shard_json).collect()),
-                ),
-            ]),
-        ),
-    ])
+    envelope(
+        FLEET_SCHEMA,
+        binary,
+        deterministic_json(report),
+        JsonV::obj(vec![
+            ("shard_count", JsonV::UInt(report.options.shards as u64)),
+            (
+                "visit_order",
+                JsonV::Str(report.options.visit_order.label().to_string()),
+            ),
+            ("thread_limit", JsonV::UInt(report.thread_limit as u64)),
+            ("elapsed_ms", JsonV::Float(report.elapsed_ms)),
+            (
+                "databases_per_second",
+                JsonV::Float(report.databases_per_second()),
+            ),
+            ("rows_per_second", JsonV::Float(report.rows_per_second())),
+            ("peak_rss_kb", JsonV::UInt(report.peak_rss_kb)),
+            (
+                "shards",
+                JsonV::Arr(report.shards.iter().map(shard_json).collect()),
+            ),
+        ]),
+    )
     .render()
 }
 
 /// Writes `dir/fleet.json` for `binary`, creating `dir` if needed.
 /// Returns the written path.
 pub fn write_fleet(dir: &Path, binary: &str, report: &FleetReport) -> io::Result<PathBuf> {
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(FLEET_FILE);
-    std::fs::write(&path, render_fleet(binary, report))?;
-    Ok(path)
-}
-
-fn expect_obj<'a>(value: &'a JsonV, what: &str) -> Result<&'a [(String, JsonV)], String> {
-    match value {
-        JsonV::Obj(fields) => Ok(fields),
-        other => Err(format!("{what} must be an object, found {other:?}")),
-    }
-}
-
-fn expect_keys(fields: &[(String, JsonV)], keys: &[&str], what: &str) -> Result<(), String> {
-    let found: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
-    if found != keys {
-        return Err(format!("{what} must have keys {keys:?}, found {found:?}"));
-    }
-    Ok(())
-}
-
-fn expect_uint(value: &JsonV, what: &str) -> Result<u64, String> {
-    match value {
-        JsonV::UInt(v) => Ok(*v),
-        other => Err(format!(
-            "{what} must be an unsigned integer, found {other:?}"
-        )),
-    }
-}
-
-fn expect_float(value: &JsonV, what: &str) -> Result<f64, String> {
-    match value {
-        JsonV::Float(v) => Ok(*v),
-        other => Err(format!("{what} must be a float, found {other:?}")),
-    }
+    write_artifact(dir, FLEET_FILE, &render_fleet(binary, report))
 }
 
 const COUNT_KEYS: [&str; 4] = ["generated", "recovered", "quarantined", "vanished"];
@@ -530,28 +496,9 @@ fn counting_identity(value: &JsonV, what: &str) -> Result<[u64; 4], String> {
 /// shard-to-region sum consistency. Used by the `fleet-schema-check`
 /// binary in CI.
 pub fn validate_fleet(text: &str) -> Result<(), String> {
-    let root = jsonv::parse(text)?;
-    let fields = expect_obj(&root, "fleet artifact")?;
-    expect_keys(
-        fields,
-        &["schema", "binary", "deterministic", "nondeterministic"],
-        "fleet artifact",
-    )?;
+    let root = validate_envelope(text, FLEET_SCHEMA)?;
 
-    match root.get("schema") {
-        Some(JsonV::Str(s)) if s == FLEET_SCHEMA => {}
-        other => return Err(format!("schema must be {FLEET_SCHEMA:?}, found {other:?}")),
-    }
-    match root.get("binary") {
-        Some(JsonV::Str(s)) if !s.is_empty() => {}
-        other => {
-            return Err(format!(
-                "binary must be a non-empty string, found {other:?}"
-            ))
-        }
-    }
-
-    let det = root.get("deterministic").expect("keys checked");
+    let det = root.get("deterministic").expect("envelope checked");
     let det_fields = expect_obj(det, "deterministic")?;
     expect_keys(
         det_fields,
@@ -794,15 +741,7 @@ pub fn validate_fleet(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Extracts the rendered deterministic section from a `fleet.json`
-/// text, for byte comparison across shard layouts.
-pub fn deterministic_section_of(text: &str) -> Result<String, String> {
-    let root = jsonv::parse(text)?;
-    let det = root
-        .get("deterministic")
-        .ok_or("fleet artifact has no deterministic section")?;
-    Ok(det.render())
-}
+pub use crate::artifact::deterministic_section_of;
 
 #[cfg(test)]
 mod tests {

@@ -6,9 +6,11 @@
 //! Figures 5–9 and Tables 1–2 are all views over the same runs, so the
 //! harness computes each subgroup once and caches it.
 
+pub mod artifact;
 pub mod fleet;
 pub mod legacy;
 pub mod model_source;
+pub mod policyart;
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -175,6 +177,7 @@ fn binary_target(binary: &str) -> &'static str {
         "survd" => "survd",
         "loadgen" => "loadgen",
         "fleetbench" => "fleetbench",
+        "policybench" => "policybench",
         _ => "bench",
     }
 }

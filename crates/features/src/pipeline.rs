@@ -136,9 +136,23 @@ impl FeatureExtractor {
         census: &Census<'_>,
         edition: Option<Edition>,
     ) -> (Dataset, Vec<(f64, bool)>) {
+        let (dataset, survival, _indices) = self.build_dataset_indexed(census, edition);
+        (dataset, survival)
+    }
+
+    /// [`FeatureExtractor::build_dataset`] plus, aligned row-for-row,
+    /// the fleet database index each row was extracted from — the join
+    /// key the policy layer uses to attach region/edition subgroups
+    /// and provisioning verdicts back to concrete databases.
+    pub fn build_dataset_indexed(
+        &self,
+        census: &Census<'_>,
+        edition: Option<Edition>,
+    ) -> (Dataset, Vec<(f64, bool)>, Vec<usize>) {
         let _span = obs::span!("build_dataset");
         let mut dataset = Dataset::new(self.feature_names.clone(), 2);
         let mut survival = Vec::new();
+        let mut indices = Vec::new();
         let mut skipped_undecidable = 0u64;
         let fleet = census.fleet();
         let y = self.config.y_days;
@@ -165,6 +179,7 @@ impl FeatureExtractor {
             dataset.push(self.extract(census, db), label);
             let (duration, event) = db.observed_lifespan(census.window_end());
             survival.push((duration.as_days_f64(), event));
+            indices.push(idx);
         }
         if obs::enabled() {
             obs::count_many(&[
@@ -173,7 +188,7 @@ impl FeatureExtractor {
                 ("features.rows_skipped_undecidable", skipped_undecidable),
             ]);
         }
-        (dataset, survival)
+        (dataset, survival, indices)
     }
 }
 
@@ -222,6 +237,30 @@ mod tests {
             .map(|&e| ex.build_dataset(&census, Some(e)).0.len())
             .sum();
         assert_eq!(all.len(), per_edition);
+    }
+
+    #[test]
+    fn indexed_dataset_joins_back_to_fleet_records() {
+        let f = fleet();
+        let census = Census::new(&f);
+        let ex = FeatureExtractor::new(&census, FeatureConfig::default());
+        let (data, survival, indices) = ex.build_dataset_indexed(&census, None);
+        assert_eq!(data.len(), indices.len());
+        assert_eq!(survival.len(), indices.len());
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must ascend in row order");
+        }
+        for (row, &idx) in indices.iter().enumerate().step_by(17) {
+            let db = &f.databases[idx];
+            // The row's label is the census label of the joined record.
+            assert_eq!(data.label(row), census.is_long_lived(db) as usize);
+            // And the features re-extract bitwise.
+            assert_eq!(data.row(row), ex.extract(&census, db));
+        }
+        // The unindexed path is the indexed path minus the join key.
+        let (plain, plain_survival) = ex.build_dataset(&census, None);
+        assert_eq!(plain.len(), data.len());
+        assert_eq!(plain_survival, survival);
     }
 
     #[test]

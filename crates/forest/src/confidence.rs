@@ -48,6 +48,24 @@ pub fn classify_confidence(p: f64, t: f64) -> ConfidenceSplit {
     }
 }
 
+/// An evenly spaced grid of confidence cutoffs over the legal
+/// `[0.5, 1.0]` range of [`classify_confidence`] thresholds —
+/// `points` values with `grid[0] = 0.5` and `grid[points − 1] = 1.0`.
+/// The policy layer's cost/benefit sweep evaluates the confident /
+/// uncertain split at every grid point; keeping the grid definition
+/// here means every sweep consumer (policybench, the golden snapshot,
+/// the proptests) agrees on the exact cutoff values bit for bit.
+///
+/// # Panics
+///
+/// Panics unless `points >= 2`.
+pub fn threshold_grid(points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a sweep grid needs at least 2 points");
+    (0..points)
+        .map(|k| 0.5 + 0.5 * k as f64 / (points - 1) as f64)
+        .collect()
+}
+
 /// Predictions partitioned by confidence, carrying the index of each
 /// example in the original evaluation set so callers can join back to
 /// labels, lifespans, and KM groups.
@@ -122,6 +140,29 @@ mod tests {
         // Boundary cases are confident (>= / <=).
         assert_eq!(classify_confidence(0.7, t), ConfidenceSplit::Confident);
         assert_eq!(classify_confidence(0.3, t), ConfidenceSplit::Confident);
+    }
+
+    #[test]
+    fn threshold_grid_spans_the_legal_range() {
+        let grid = threshold_grid(6);
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid[0], 0.5);
+        assert_eq!(grid[5], 1.0);
+        for w in grid.windows(2) {
+            assert!(w[0] < w[1], "grid must ascend");
+        }
+        // Every grid point is a legal classify_confidence threshold.
+        for &t in &grid {
+            let _ = classify_confidence(0.6, t);
+        }
+        // Minimal grid is exactly the two endpoints.
+        assert_eq!(threshold_grid(2), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn threshold_grid_rejects_degenerate_grids() {
+        let _ = threshold_grid(1);
     }
 
     #[test]

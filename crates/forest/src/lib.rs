@@ -43,7 +43,9 @@ mod random_forest;
 
 pub use baseline::WeightedRandomClassifier;
 pub use calibration::{ReliabilityBin, ReliabilityDiagram};
-pub use confidence::{confidence_threshold, ConfidenceSplit, PartitionedPredictions};
+pub use confidence::{
+    confidence_threshold, threshold_grid, ConfidenceSplit, PartitionedPredictions,
+};
 pub use data::{Dataset, DatasetView};
 pub use flatkernel::{ForestKernel, KernelScratch, KernelStats, QuantizedKernel};
 pub use gbm::{GbmParams, GradientBoosting};

@@ -1,0 +1,310 @@
+//! The decision function and its fleet-level accounting.
+
+use crate::spec::{Action, CostModel, PolicySpec, SubgroupKey};
+use forest::ConfidenceSplit;
+use serve::ScoreFacts;
+use std::collections::BTreeMap;
+
+/// Decides the provisioning action for one scored database.
+///
+/// Pure in `(positive probability, confidence split, bands)`: the
+/// paper's §5.3 split routes every uncertain prediction to
+/// [`Action::Review`]; confident predictions fall through the
+/// subgroup's bands.
+pub fn decide(facts: &ScoreFacts, spec: &PolicySpec, subgroup: &SubgroupKey) -> Action {
+    let bands = spec.bands_for(subgroup);
+    match facts.split {
+        ConfidenceSplit::Uncertain => Action::Review,
+        ConfidenceSplit::Confident => {
+            if facts.positive <= bands.defer_below {
+                Action::DeferPremiumPlacement
+            } else if facts.positive >= bands.preprovision_above {
+                Action::PreProvisionLongLived
+            } else {
+                Action::StandardProvision
+            }
+        }
+    }
+}
+
+/// The min-cost action when the true class is known — what a
+/// clairvoyant provisioner would do. Under the default [`CostModel`]
+/// (and any model where deferring a short-lived database beats
+/// provisioning it, and pre-provisioning a long-lived one beats
+/// migrating it later) this is defer-for-short, pre-provision-for-long.
+pub fn oracle_action(long_lived: bool) -> Action {
+    if long_lived {
+        Action::PreProvisionLongLived
+    } else {
+        Action::DeferPremiumPlacement
+    }
+}
+
+/// The realized cost of taking `action` for a database whose true
+/// class is `long_lived`, in integer cost units.
+///
+/// [`Action::Review`] is the oracle cost plus the review overhead: the
+/// review pool holds the database until its class is apparent, then
+/// takes the right action — the paper's "designated resource pool"
+/// reading of the uncertain partition.
+pub fn action_cost(action: Action, long_lived: bool, costs: &CostModel) -> u64 {
+    match (action, long_lived) {
+        (Action::DeferPremiumPlacement, false) => costs.defer_cost,
+        (Action::DeferPremiumPlacement, true) => {
+            costs.defer_cost + costs.migration_cost + costs.late_penalty
+        }
+        (Action::StandardProvision, false) => costs.provision_cost,
+        (Action::StandardProvision, true) => costs.provision_cost + costs.migration_cost,
+        (Action::PreProvisionLongLived, false) => {
+            costs.provision_cost + costs.premium_carry_cost + costs.waste_penalty
+        }
+        (Action::PreProvisionLongLived, true) => costs.provision_cost + costs.premium_carry_cost,
+        (Action::Review, class) => {
+            costs.review_cost + action_cost(oracle_action(class), class, costs)
+        }
+    }
+}
+
+/// Per-action decision counts plus fleet-level cost accounting, all in
+/// `u64` so merging shard summaries in any grouping reproduces the
+/// single-pass totals exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecisionSummary {
+    /// Decisions per action, indexed by [`Action::index`].
+    pub counts: [u64; 4],
+    /// Decisions per (region, edition) subgroup, same index layout.
+    pub table: BTreeMap<SubgroupKey, [u64; 4]>,
+    /// Total realized cost of the policy's decisions.
+    pub policy_cost: u64,
+    /// Total cost of the clairvoyant oracle.
+    pub oracle_cost: u64,
+    /// Total cost of pre-provisioning everything.
+    pub always_provision_cost: u64,
+    /// Total cost of deferring everything.
+    pub never_provision_cost: u64,
+}
+
+impl DecisionSummary {
+    /// Accounts one decided database.
+    pub fn observe(
+        &mut self,
+        subgroup: &SubgroupKey,
+        action: Action,
+        long_lived: bool,
+        costs: &CostModel,
+    ) {
+        let i = action.index();
+        self.counts[i] += 1;
+        self.table.entry(subgroup.clone()).or_default()[i] += 1;
+        self.policy_cost += action_cost(action, long_lived, costs);
+        self.oracle_cost += action_cost(oracle_action(long_lived), long_lived, costs);
+        self.always_provision_cost += action_cost(Action::PreProvisionLongLived, long_lived, costs);
+        self.never_provision_cost += action_cost(Action::DeferPremiumPlacement, long_lived, costs);
+    }
+
+    /// Folds another summary (e.g. one shard's) into this one.
+    pub fn merge(&mut self, other: &DecisionSummary) {
+        for i in 0..4 {
+            self.counts[i] += other.counts[i];
+        }
+        for (key, counts) in &other.table {
+            let slot = self.table.entry(key.clone()).or_default();
+            for i in 0..4 {
+                slot[i] += counts[i];
+            }
+        }
+        self.policy_cost += other.policy_cost;
+        self.oracle_cost += other.oracle_cost;
+        self.always_provision_cost += other.always_provision_cost;
+        self.never_provision_cost += other.never_provision_cost;
+    }
+
+    /// Total decided rows — always the sum of the per-action counts,
+    /// and (the counting identity artifacts pin) the sum over the
+    /// subgroup table too.
+    pub fn rows(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The policy's cost advantage over the better of the two naive
+    /// baselines (positive = the policy wins).
+    pub fn advantage(&self) -> i64 {
+        let best_naive = self.always_provision_cost.min(self.never_provision_cost);
+        best_naive as i64 - self.policy_cost as i64
+    }
+}
+
+/// Decides a whole scored subgroup and accounts it into a summary.
+///
+/// `long_lived[i]` is row `i`'s true class (observable in the
+/// simulator; in production this accounting runs retrospectively).
+/// Emits `policy.*` observability counters when a registry is
+/// installed.
+pub fn decide_batch(
+    facts: &[ScoreFacts],
+    long_lived: &[bool],
+    spec: &PolicySpec,
+    subgroup: &SubgroupKey,
+) -> (Vec<Action>, DecisionSummary) {
+    assert_eq!(
+        facts.len(),
+        long_lived.len(),
+        "every scored row needs a true class"
+    );
+    spec.validate();
+    let mut summary = DecisionSummary::default();
+    let mut actions = Vec::with_capacity(facts.len());
+    for (f, &long) in facts.iter().zip(long_lived) {
+        let action = decide(f, spec, subgroup);
+        summary.observe(subgroup, action, long, &spec.costs);
+        actions.push(action);
+    }
+    if obs::enabled() {
+        obs::count_many(&[
+            ("policy.batches_decided", 1),
+            ("policy.rows_decided", summary.rows()),
+            ("policy.reviews", summary.counts[Action::Review.index()]),
+            (
+                "policy.preprovisions",
+                summary.counts[Action::PreProvisionLongLived.index()],
+            ),
+        ]);
+    }
+    (actions, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ActionBands;
+
+    fn facts(positive: f64, split: ConfidenceSplit) -> ScoreFacts {
+        ScoreFacts {
+            positive,
+            predicted: (positive > 0.5) as usize,
+            split,
+        }
+    }
+
+    fn key() -> SubgroupKey {
+        SubgroupKey::new("Region-1", "Standard")
+    }
+
+    #[test]
+    fn uncertain_rows_always_review() {
+        let spec = PolicySpec::default();
+        for p in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            let action = decide(&facts(p, ConfidenceSplit::Uncertain), &spec, &key());
+            assert_eq!(action, Action::Review, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn confident_rows_fall_through_bands() {
+        let spec = PolicySpec::default();
+        let cases = [
+            (0.0, Action::DeferPremiumPlacement),
+            (0.4, Action::DeferPremiumPlacement), // closed at the cutoff
+            (0.41, Action::StandardProvision),
+            (0.74, Action::StandardProvision),
+            (0.75, Action::PreProvisionLongLived), // closed at the cutoff
+            (1.0, Action::PreProvisionLongLived),
+        ];
+        for (p, expected) in cases {
+            let action = decide(&facts(p, ConfidenceSplit::Confident), &spec, &key());
+            assert_eq!(action, expected, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn oracle_is_min_cost_for_each_class() {
+        let costs = CostModel::default();
+        for long in [false, true] {
+            let oracle = action_cost(oracle_action(long), long, &costs);
+            for action in Action::ALL {
+                if action == Action::Review {
+                    continue; // review = oracle + overhead by construction
+                }
+                assert!(
+                    action_cost(action, long, &costs) >= oracle,
+                    "{action:?} undercuts the oracle for long={long}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn review_costs_oracle_plus_overhead() {
+        let costs = CostModel::default();
+        for long in [false, true] {
+            assert_eq!(
+                action_cost(Action::Review, long, &costs),
+                costs.review_cost + action_cost(oracle_action(long), long, &costs)
+            );
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_identities() {
+        let spec = PolicySpec::default();
+        let rows = vec![
+            (facts(0.1, ConfidenceSplit::Confident), false),
+            (facts(0.9, ConfidenceSplit::Confident), true),
+            (facts(0.6, ConfidenceSplit::Uncertain), true),
+            (facts(0.5, ConfidenceSplit::Confident), false),
+        ];
+        let (f, l): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        let (actions, summary) = decide_batch(&f, &l, &spec, &key());
+        assert_eq!(actions.len(), 4);
+        assert_eq!(summary.rows(), 4);
+        assert_eq!(summary.counts, [1, 1, 1, 1]);
+        // The subgroup table carries the same totals.
+        let table_total: u64 = summary.table.values().flatten().sum();
+        assert_eq!(table_total, summary.rows());
+        // Oracle never exceeds the policy or either baseline.
+        assert!(summary.oracle_cost <= summary.policy_cost);
+        assert!(summary.oracle_cost <= summary.always_provision_cost);
+        assert!(summary.oracle_cost <= summary.never_provision_cost);
+    }
+
+    #[test]
+    fn merge_reproduces_single_pass() {
+        let spec = PolicySpec::default();
+        let all: Vec<(ScoreFacts, bool)> = (0..40)
+            .map(|i| {
+                let p = i as f64 / 39.0;
+                let split = if i % 3 == 0 {
+                    ConfidenceSplit::Uncertain
+                } else {
+                    ConfidenceSplit::Confident
+                };
+                (facts(p, split), i % 2 == 0)
+            })
+            .collect();
+        let (f, l): (Vec<_>, Vec<_>) = all.into_iter().unzip();
+        let (_, whole) = decide_batch(&f, &l, &spec, &key());
+        let mut merged = DecisionSummary::default();
+        for chunk in 0..4 {
+            let lo = chunk * 10;
+            let (_, part) = decide_batch(&f[lo..lo + 10], &l[lo..lo + 10], &spec, &key());
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn per_subgroup_bands_change_decisions() {
+        let mut spec = PolicySpec::default();
+        let premium = SubgroupKey::new("Region-1", "Premium");
+        spec.overrides.insert(
+            premium.clone(),
+            ActionBands {
+                defer_below: 0.1,
+                preprovision_above: 0.5,
+            },
+        );
+        let f = facts(0.6, ConfidenceSplit::Confident);
+        assert_eq!(decide(&f, &spec, &key()), Action::StandardProvision);
+        assert_eq!(decide(&f, &spec, &premium), Action::PreProvisionLongLived);
+    }
+}

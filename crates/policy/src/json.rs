@@ -1,0 +1,172 @@
+//! Deterministic JSON renderings of policy values.
+//!
+//! Shared by the `policybench` artifact writer and the golden
+//! snapshot test, so both agree byte for byte on how a spec, a
+//! decision summary, and a sweep frontier serialize. All keys render
+//! in fixed push order; every count is a `UInt` (no float rounding in
+//! the deterministic section).
+
+use crate::decide::DecisionSummary;
+use crate::spec::{Action, ActionBands, PolicySpec, SubgroupKey};
+use crate::sweep::{SweepAccum, SweepPoint};
+use obs::jsonv::JsonV;
+
+fn bands_fields(bands: &ActionBands) -> Vec<(&'static str, JsonV)> {
+    vec![
+        ("defer_below", JsonV::Float(bands.defer_below)),
+        ("preprovision_above", JsonV::Float(bands.preprovision_above)),
+    ]
+}
+
+/// Renders a [`PolicySpec`] (bands, overrides, cost model).
+pub fn spec_json(spec: &PolicySpec) -> JsonV {
+    let overrides = spec
+        .overrides
+        .iter()
+        .map(|(key, bands)| {
+            let mut fields = vec![
+                ("region", JsonV::Str(key.region.clone())),
+                ("edition", JsonV::Str(key.edition.clone())),
+            ];
+            fields.extend(bands_fields(bands));
+            JsonV::obj(fields)
+        })
+        .collect();
+    JsonV::obj(vec![
+        ("bands", JsonV::obj(bands_fields(&spec.bands))),
+        ("overrides", JsonV::Arr(overrides)),
+        (
+            "costs",
+            JsonV::obj(vec![
+                ("defer_cost", JsonV::UInt(spec.costs.defer_cost)),
+                ("provision_cost", JsonV::UInt(spec.costs.provision_cost)),
+                (
+                    "premium_carry_cost",
+                    JsonV::UInt(spec.costs.premium_carry_cost),
+                ),
+                ("migration_cost", JsonV::UInt(spec.costs.migration_cost)),
+                ("late_penalty", JsonV::UInt(spec.costs.late_penalty)),
+                ("waste_penalty", JsonV::UInt(spec.costs.waste_penalty)),
+                ("review_cost", JsonV::UInt(spec.costs.review_cost)),
+            ]),
+        ),
+    ])
+}
+
+fn action_counts(counts: &[u64; 4]) -> Vec<(&'static str, JsonV)> {
+    Action::ALL
+        .iter()
+        .map(|a| (a.label(), JsonV::UInt(counts[a.index()])))
+        .collect()
+}
+
+fn subgroup_row(key: &SubgroupKey, counts: &[u64; 4]) -> JsonV {
+    let mut fields = vec![
+        ("region", JsonV::Str(key.region.clone())),
+        ("edition", JsonV::Str(key.edition.clone())),
+    ];
+    fields.extend(action_counts(counts));
+    JsonV::obj(fields)
+}
+
+/// Renders a [`DecisionSummary`]: totals, per-action counts, the
+/// (region, edition) decision table, and the four cost totals.
+pub fn summary_json(summary: &DecisionSummary) -> JsonV {
+    let table = summary
+        .table
+        .iter()
+        .map(|(key, counts)| subgroup_row(key, counts))
+        .collect();
+    JsonV::obj(vec![
+        ("rows", JsonV::UInt(summary.rows())),
+        ("actions", JsonV::obj(action_counts(&summary.counts))),
+        ("table", JsonV::Arr(table)),
+        (
+            "costs",
+            JsonV::obj(vec![
+                ("policy", JsonV::UInt(summary.policy_cost)),
+                ("oracle", JsonV::UInt(summary.oracle_cost)),
+                (
+                    "always_provision",
+                    JsonV::UInt(summary.always_provision_cost),
+                ),
+                ("never_provision", JsonV::UInt(summary.never_provision_cost)),
+            ]),
+        ),
+    ])
+}
+
+fn point_json(point: &SweepPoint) -> JsonV {
+    JsonV::obj(vec![
+        ("threshold", JsonV::Float(point.threshold)),
+        ("total_cost", JsonV::UInt(point.total_cost)),
+        ("confident_rows", JsonV::UInt(point.confident_rows)),
+    ])
+}
+
+/// Renders a sweep frontier: the full point list plus the min-cost
+/// point.
+pub fn sweep_json(accum: &SweepAccum) -> JsonV {
+    JsonV::obj(vec![
+        ("rows", JsonV::UInt(accum.rows())),
+        (
+            "points",
+            JsonV::Arr(accum.points().iter().map(point_json).collect()),
+        ),
+        ("best", point_json(&accum.best())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CostModel;
+
+    #[test]
+    fn spec_renders_deterministically() {
+        let mut spec = PolicySpec::default();
+        spec.overrides.insert(
+            SubgroupKey::new("Region-1", "Premium"),
+            ActionBands {
+                defer_below: 0.2,
+                preprovision_above: 0.6,
+            },
+        );
+        let a = spec_json(&spec).render();
+        let b = spec_json(&spec.clone()).render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"preprovision_above\": 0.6"));
+        assert!(a.contains("\"review_cost\": 5"));
+    }
+
+    #[test]
+    fn summary_json_keeps_counting_identity_visible() {
+        let mut summary = DecisionSummary::default();
+        let key = SubgroupKey::new("Region-1", "Basic");
+        summary.observe(&key, Action::Review, true, &CostModel::default());
+        summary.observe(
+            &key,
+            Action::StandardProvision,
+            false,
+            &CostModel::default(),
+        );
+        let json = summary_json(&summary);
+        let rows = json.get("rows").unwrap();
+        assert_eq!(rows, &JsonV::UInt(2));
+        let actions = json.get("actions").unwrap();
+        assert_eq!(actions.get("review").unwrap(), &JsonV::UInt(1));
+    }
+
+    #[test]
+    fn sweep_json_contains_frontier_and_best() {
+        let mut accum = SweepAccum::new(3);
+        accum.observe(0.9, true, &CostModel::default());
+        let json = sweep_json(&accum);
+        assert_eq!(json.get("rows").unwrap(), &JsonV::UInt(1));
+        match json.get("points").unwrap() {
+            JsonV::Arr(points) => assert_eq!(points.len(), 3),
+            other => panic!("points must be an array, got {other:?}"),
+        }
+        assert!(json.get("best").unwrap().get("threshold").is_some());
+    }
+}

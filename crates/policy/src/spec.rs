@@ -1,0 +1,245 @@
+//! The declarative policy specification: actions, cost model, decision
+//! bands, and per-subgroup overrides.
+
+use std::collections::BTreeMap;
+
+/// A provisioning action the policy can take for one database.
+///
+/// The paper motivates exactly this action space (§1, §5.3): confident
+/// short-lived predictions let the service defer placing the database
+/// on premium storage; confident long-lived predictions justify
+/// pre-provisioning durable resources up front; everything uncertain is
+/// routed to a designated intermediate pool for later review.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Confident short-lived: place on cheap transient storage and
+    /// defer the premium placement decision.
+    DeferPremiumPlacement,
+    /// Middling survival odds: provision the standard way.
+    StandardProvision,
+    /// Confident long-lived: pre-provision durable premium resources.
+    PreProvisionLongLived,
+    /// Uncertain prediction: park in the intermediate pool and review
+    /// once more telemetry accrues.
+    Review,
+}
+
+impl Action {
+    /// Every action, in the stable artifact/report order.
+    pub const ALL: [Action; 4] = [
+        Action::DeferPremiumPlacement,
+        Action::StandardProvision,
+        Action::PreProvisionLongLived,
+        Action::Review,
+    ];
+
+    /// Stable label used in artifacts and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Action::DeferPremiumPlacement => "defer_premium_placement",
+            Action::StandardProvision => "standard_provision",
+            Action::PreProvisionLongLived => "preprovision_long_lived",
+            Action::Review => "review",
+        }
+    }
+
+    /// Stable index into per-action count arrays, matching
+    /// [`Action::ALL`].
+    pub fn index(&self) -> usize {
+        match self {
+            Action::DeferPremiumPlacement => 0,
+            Action::StandardProvision => 1,
+            Action::PreProvisionLongLived => 2,
+            Action::Review => 3,
+        }
+    }
+}
+
+/// The provisioning cost model, in integer **cost units**.
+///
+/// Costs are `u64` by design: every fleet-level cost in the artifact is
+/// a sum of per-row integer costs, and integer addition is associative
+/// — so totals are bitwise identical no matter how rows are sharded,
+/// which is what lets policybench's deterministic section survive any
+/// shard count. Relative magnitudes follow the paper's economics: a
+/// misplaced long-lived database later pays a migration
+/// (`migration_cost` dominates `provision_cost`), while premium
+/// resources wasted on a short-lived database are the most expensive
+/// mistake (`waste_penalty`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Placing a database on cheap transient storage.
+    pub defer_cost: u64,
+    /// A standard provision.
+    pub provision_cost: u64,
+    /// Carrying premium resources for a pre-provisioned database.
+    pub premium_carry_cost: u64,
+    /// Migrating a mis-placed database to durable storage later.
+    pub migration_cost: u64,
+    /// Extra penalty when a deferred database turns out long-lived
+    /// (it ran degraded until the migration).
+    pub late_penalty: u64,
+    /// Extra penalty when premium resources were pre-provisioned for a
+    /// database that died short-lived.
+    pub waste_penalty: u64,
+    /// Parking one database in the review pool.
+    pub review_cost: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            defer_cost: 10,
+            provision_cost: 20,
+            premium_carry_cost: 30,
+            migration_cost: 40,
+            late_penalty: 20,
+            waste_penalty: 50,
+            review_cost: 5,
+        }
+    }
+}
+
+/// Probability cutoffs partitioning the *confident* predictions into
+/// actions. Uncertain predictions (per the paper's §5.3 split) never
+/// reach these bands — they always go to [`Action::Review`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionBands {
+    /// Confident predictions with survival probability at or below
+    /// this cutoff get [`Action::DeferPremiumPlacement`].
+    pub defer_below: f64,
+    /// Confident predictions with survival probability at or above
+    /// this cutoff get [`Action::PreProvisionLongLived`].
+    pub preprovision_above: f64,
+}
+
+impl ActionBands {
+    /// Panics unless `0 <= defer_below < preprovision_above <= 1`.
+    pub fn validate(&self) {
+        assert!(
+            0.0 <= self.defer_below && self.defer_below < self.preprovision_above,
+            "defer cutoff {} must sit below the pre-provision cutoff {}",
+            self.defer_below,
+            self.preprovision_above
+        );
+        assert!(
+            self.preprovision_above <= 1.0,
+            "pre-provision cutoff {} must be a probability",
+            self.preprovision_above
+        );
+    }
+}
+
+impl Default for ActionBands {
+    fn default() -> ActionBands {
+        ActionBands {
+            defer_below: 0.4,
+            preprovision_above: 0.75,
+        }
+    }
+}
+
+/// The subgroup a scored row belongs to. The paper runs its
+/// sub-experiments per region and per creation edition (§5.2); the
+/// policy layer keys its decision table and band overrides the same
+/// way. Labels are plain strings so the decision layer stays
+/// independent of the telemetry simulator's concrete types.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubgroupKey {
+    /// Region label, e.g. `"Region-1"`.
+    pub region: String,
+    /// Creation-edition label, e.g. `"Basic"`.
+    pub edition: String,
+}
+
+impl SubgroupKey {
+    /// Convenience constructor.
+    pub fn new(region: impl Into<String>, edition: impl Into<String>) -> SubgroupKey {
+        SubgroupKey {
+            region: region.into(),
+            edition: edition.into(),
+        }
+    }
+}
+
+/// The full declarative policy: default bands, per-subgroup band
+/// overrides, and the cost model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicySpec {
+    /// Bands applied when no override matches.
+    pub bands: ActionBands,
+    /// Per-(region, edition) band overrides. A `BTreeMap` so iteration
+    /// (and therefore every artifact rendering) is deterministically
+    /// ordered.
+    pub overrides: BTreeMap<SubgroupKey, ActionBands>,
+    /// The cost model shared by all subgroups.
+    pub costs: CostModel,
+}
+
+impl PolicySpec {
+    /// The bands governing one subgroup.
+    pub fn bands_for(&self, key: &SubgroupKey) -> ActionBands {
+        self.overrides.get(key).copied().unwrap_or(self.bands)
+    }
+
+    /// Panics when any band set is malformed.
+    pub fn validate(&self) {
+        self.bands.validate();
+        for bands in self.overrides.values() {
+            bands.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_indices_match_all_order() {
+        for (i, action) in Action::ALL.iter().enumerate() {
+            assert_eq!(action.index(), i);
+        }
+        let labels: Vec<&str> = Action::ALL.iter().map(Action::label).collect();
+        let mut unique = labels.clone();
+        unique.dedup();
+        assert_eq!(labels, unique, "labels must be distinct");
+    }
+
+    #[test]
+    fn overrides_shadow_default_bands() {
+        let mut spec = PolicySpec::default();
+        let key = SubgroupKey::new("Region-1", "Premium");
+        let tighter = ActionBands {
+            defer_below: 0.2,
+            preprovision_above: 0.6,
+        };
+        spec.overrides.insert(key.clone(), tighter);
+        spec.validate();
+        assert_eq!(spec.bands_for(&key), tighter);
+        let other = SubgroupKey::new("Region-1", "Basic");
+        assert_eq!(spec.bands_for(&other), spec.bands);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sit below")]
+    fn inverted_bands_are_rejected() {
+        ActionBands {
+            defer_below: 0.8,
+            preprovision_above: 0.6,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn subgroup_keys_order_deterministically() {
+        let mut keys = [
+            SubgroupKey::new("Region-2", "Basic"),
+            SubgroupKey::new("Region-1", "Premium"),
+            SubgroupKey::new("Region-1", "Basic"),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], SubgroupKey::new("Region-1", "Basic"));
+        assert_eq!(keys[2], SubgroupKey::new("Region-2", "Basic"));
+    }
+}

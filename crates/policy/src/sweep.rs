@@ -1,0 +1,216 @@
+//! Threshold sweep: expected policy cost across the whole legal range
+//! of confidence cutoffs.
+//!
+//! The paper fixes its confidence threshold at `t = max(q, 1 − q)`
+//! (§5.3) but notes the split is a dial: a higher `t` routes more
+//! predictions to the uncertain pool. The sweep makes the dial's
+//! cost consequences explicit: for every cutoff in
+//! [`forest::threshold_grid`], act immediately on the predictions that
+//! cutoff calls confident (pre-provision the predicted-long, defer the
+//! predicted-short) and route the rest through review. The resulting
+//! cost-vs-threshold frontier shows where acting beats reviewing —
+//! and, on adversarial cohorts like the incentive cliff, where it
+//! stops doing so.
+//!
+//! Accumulation is streaming and integer-valued: one [`SweepAccum`]
+//! per shard, [`SweepAccum::merge`] across shards, bitwise-identical
+//! totals under any sharding.
+
+use crate::decide::{action_cost, oracle_action};
+use crate::spec::{Action, CostModel};
+
+/// One point on the cost-vs-threshold frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The confidence cutoff.
+    pub threshold: f64,
+    /// Total integer cost of acting at this cutoff.
+    pub total_cost: u64,
+    /// Rows the cutoff called confident (acted on immediately).
+    pub confident_rows: u64,
+}
+
+/// Streaming integer cost accumulator over a fixed threshold grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAccum {
+    grid: Vec<f64>,
+    cost: Vec<u64>,
+    confident: Vec<u64>,
+    rows: u64,
+}
+
+impl SweepAccum {
+    /// An empty accumulator over [`forest::threshold_grid`]`(points)`.
+    pub fn new(points: usize) -> SweepAccum {
+        let grid = forest::threshold_grid(points);
+        let n = grid.len();
+        SweepAccum {
+            grid,
+            cost: vec![0; n],
+            confident: vec![0; n],
+            rows: 0,
+        }
+    }
+
+    /// Accounts one scored row at every grid point: act when the
+    /// cutoff calls the row confident, review otherwise.
+    pub fn observe(&mut self, positive: f64, long_lived: bool, costs: &CostModel) {
+        // Both candidate per-row costs are threshold-independent;
+        // compute once, select per point.
+        let acted_action = if positive > 0.5 {
+            Action::PreProvisionLongLived
+        } else {
+            Action::DeferPremiumPlacement
+        };
+        let acted = action_cost(acted_action, long_lived, costs);
+        let reviewed =
+            costs.review_cost + action_cost(oracle_action(long_lived), long_lived, costs);
+        for (i, &t) in self.grid.iter().enumerate() {
+            if positive >= t || positive <= 1.0 - t {
+                self.cost[i] += acted;
+                self.confident[i] += 1;
+            } else {
+                self.cost[i] += reviewed;
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Folds another accumulator (e.g. one shard's) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grids differ.
+    pub fn merge(&mut self, other: &SweepAccum) {
+        assert_eq!(self.grid, other.grid, "sweeps must share one grid");
+        for i in 0..self.cost.len() {
+            self.cost[i] += other.cost[i];
+            self.confident[i] += other.confident[i];
+        }
+        self.rows += other.rows;
+    }
+
+    /// Rows observed.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The full frontier, ascending by threshold.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.grid
+            .iter()
+            .zip(&self.cost)
+            .zip(&self.confident)
+            .map(|((&threshold, &total_cost), &confident_rows)| SweepPoint {
+                threshold,
+                total_cost,
+                confident_rows,
+            })
+            .collect()
+    }
+
+    /// The min-cost point; ties resolve to the lowest threshold, so
+    /// the answer is unique and deterministic.
+    pub fn best(&self) -> SweepPoint {
+        self.points()
+            .into_iter()
+            .min_by(|a, b| {
+                a.total_cost
+                    .cmp(&b.total_cost)
+                    .then(a.threshold.partial_cmp(&b.threshold).unwrap())
+            })
+            .expect("the grid is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn endpoints_behave_as_expected() {
+        let mut accum = SweepAccum::new(6);
+        // A correct confident long prediction and a wrong one.
+        accum.observe(0.9, true, &costs());
+        accum.observe(0.9, false, &costs());
+        let points = accum.points();
+        // t = 0.5: everything is confident (p >= 0.5 or p <= 0.5).
+        assert_eq!(points[0].confident_rows, 2);
+        // t = 1.0: p = 0.9 is uncertain, both rows review.
+        assert_eq!(points[5].confident_rows, 0);
+        let reviewed: u64 = [true, false]
+            .iter()
+            .map(|&l| costs().review_cost + action_cost(oracle_action(l), l, &costs()))
+            .sum();
+        assert_eq!(points[5].total_cost, reviewed);
+    }
+
+    #[test]
+    fn confident_rows_shrink_as_threshold_grows() {
+        let mut accum = SweepAccum::new(11);
+        for i in 0..50 {
+            accum.observe(i as f64 / 49.0, i % 2 == 0, &costs());
+        }
+        let points = accum.points();
+        for w in points.windows(2) {
+            assert!(w[1].confident_rows <= w[0].confident_rows);
+        }
+    }
+
+    #[test]
+    fn zero_review_cost_makes_the_frontier_monotone() {
+        // With free review, widening the uncertain band can only move
+        // rows from an acted cost (>= oracle) to the oracle cost.
+        let free = CostModel {
+            review_cost: 0,
+            ..CostModel::default()
+        };
+        let mut accum = SweepAccum::new(9);
+        for i in 0..80 {
+            let p = (i as f64 * 0.618) % 1.0;
+            accum.observe(p, i % 3 == 0, &free);
+        }
+        let points = accum.points();
+        for w in points.windows(2) {
+            assert!(
+                w[1].total_cost <= w[0].total_cost,
+                "{} -> {}",
+                w[0].total_cost,
+                w[1].total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let rows: Vec<(f64, bool)> = (0..60)
+            .map(|i| ((i as f64 * 0.37) % 1.0, i % 4 == 0))
+            .collect();
+        let mut whole = SweepAccum::new(7);
+        for &(p, l) in &rows {
+            whole.observe(p, l, &costs());
+        }
+        let mut merged = SweepAccum::new(7);
+        for chunk in rows.chunks(13) {
+            let mut shard = SweepAccum::new(7);
+            for &(p, l) in chunk {
+                shard.observe(p, l, &costs());
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.rows(), 60);
+    }
+
+    #[test]
+    fn best_breaks_ties_toward_the_lower_threshold() {
+        // No observations: every point costs 0, so best must be the
+        // first grid point.
+        let accum = SweepAccum::new(5);
+        assert_eq!(accum.best().threshold, 0.5);
+    }
+}

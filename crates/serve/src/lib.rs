@@ -42,5 +42,5 @@ pub use forest::flatkernel::{ForestKernel, KernelScratch, KernelStats, Quantized
 pub use format::{GridProvenance, ModelMeta, SavedModel, MODEL_FILE, MODEL_SCHEMA};
 pub use score::{
     histogram_bucket, score_batch, score_batch_recursive, score_batch_with, score_rows,
-    score_rows_with, ScoreSummary, ScoredBatch, ScoredRow,
+    score_rows_with, ScoreFacts, ScoreSummary, ScoredBatch, ScoredRow,
 };

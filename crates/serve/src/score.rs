@@ -56,10 +56,43 @@ pub struct ScoredBatch {
     pub rows: Vec<ScoredRow>,
 }
 
+/// The slice of a [`ScoredRow`] the provisioning policy layer
+/// consumes: the positive-class probability, the paper's `p > 0.5`
+/// decision, and the §5.3 confident/uncertain split. Probabilities
+/// for other classes, row indices, and threshold context are
+/// deliberately absent — a policy decision must be a pure function of
+/// these facts (plus the subgroup and the spec), which the policy
+/// crate's proptests pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreFacts {
+    /// Probability of the positive (long-lived) class.
+    pub positive: f64,
+    /// Predicted class under `p > 0.5`.
+    pub predicted: usize,
+    /// Confident or uncertain under `t = max(q, 1 − q)`.
+    pub split: ConfidenceSplit,
+}
+
+impl From<&ScoredRow> for ScoreFacts {
+    fn from(row: &ScoredRow) -> ScoreFacts {
+        ScoreFacts {
+            positive: row.positive,
+            predicted: row.predicted,
+            split: row.split,
+        }
+    }
+}
+
 impl ScoredBatch {
     /// Positive-class probabilities in row order.
     pub fn positives(&self) -> Vec<f64> {
         self.rows.iter().map(|r| r.positive).collect()
+    }
+
+    /// The batch reduced to policy inputs, row order preserved — the
+    /// scored-batch → decision-layer adapter.
+    pub fn facts(&self) -> Vec<ScoreFacts> {
+        self.rows.iter().map(ScoreFacts::from).collect()
     }
 
     /// The batch as a [`PartitionedPredictions`] — exactly what
@@ -545,6 +578,19 @@ mod tests {
         assert_eq!(histogram_bucket(0.099999999), 0);
         assert_eq!(histogram_bucket(0.49999999999), 4);
         assert_eq!(histogram_bucket(0.999999), 9);
+    }
+
+    #[test]
+    fn facts_mirror_rows() {
+        let (data, model, q) = fixture();
+        let batch = score_batch(&model, &data, q);
+        let facts = batch.facts();
+        assert_eq!(facts.len(), batch.rows.len());
+        for (fact, row) in facts.iter().zip(&batch.rows) {
+            assert_eq!(fact.positive, row.positive);
+            assert_eq!(fact.predicted, row.predicted);
+            assert_eq!(fact.split, row.split);
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod fleet;
 pub mod ingest;
 pub mod names;
 pub mod region;
+pub mod scenario;
 pub mod sizetrace;
 pub mod stream;
 pub mod subscription;
@@ -78,6 +79,9 @@ pub use ingest::{
 };
 pub use names::NameStyle;
 pub use region::{RegionConfig, RegionId};
+pub use scenario::{
+    apply_scenario, generate_scenario_fleet, generate_scenario_subscription, ScenarioKind,
+};
 pub use sizetrace::SizeTrace;
 pub use stream::{
     derive_seed, materialized_pipeline, merge_shards, run_region_streamed, run_shard,

@@ -1,0 +1,471 @@
+//! What-if scenario cohorts: deterministic transforms over generated
+//! subscriptions.
+//!
+//! The policy layer asks questions of the form "what would the
+//! provisioning decisions cost if the fleet behaved differently?" —
+//! questions the paper poses operationally (free-tier incentives,
+//! seasonal demand, capacity moves) but cannot answer on a fixed
+//! trace. This module answers them in the simulator: a
+//! [`ScenarioKind`] names a counterfactual cohort, and
+//! [`apply_scenario`] rewrites one subscription's generated records
+//! into that cohort.
+//!
+//! Scenario transforms inherit the generator's **per-subscription
+//! purity**: every rewrite decision for subscription `i` draws from a
+//! dedicated RNG seeded by `derive_seed(splitmix64(seed ^ salt), i)`,
+//! so a scenario fleet is byte-identical whether it is produced
+//! materialized, shard by shard, or one subscription at a time — the
+//! same contract [`crate::stream`] holds for baseline generation, and
+//! the reason policybench's deterministic artifact section is
+//! invariant to the shard count.
+//!
+//! The three cohorts:
+//!
+//! * [`ScenarioKind::IncentiveCliff`] — mass churn at the free-tier
+//!   boundary: Basic-edition databases that outlive day 29 are, with
+//!   high probability, dropped just before day 30. Their 2-day
+//!   observation prefix (and therefore their score) is untouched —
+//!   only the *outcome* flips from long-lived to short-lived, so the
+//!   cohort stresses exactly the misprediction legs of the policy
+//!   cost model.
+//! * [`ScenarioKind::SeasonalSlo`] — a seasonal SLO scaler: databases
+//!   created in the mid-window season get an extra within-edition SLO
+//!   upgrade inside the observation prefix. Features shift, scores
+//!   shift, labels stay; the cohort moves rows across decision bands.
+//! * [`ScenarioKind::MigrationWave`] — a regional capacity move: a
+//!   quarter of subscriptions drop every database alive at the wave
+//!   instant and recreate it immediately (same SLO, carried-over
+//!   remaining lifespan). The population gains young databases whose
+//!   prefix starts at the wave, shifting both scores and labels.
+
+use crate::catalog::{Edition, SloCatalog};
+use crate::database::{DatabaseRecord, SloChange};
+use crate::fleet::{database_id, generate_subscription, Fleet, FleetConfig, DB_ORDINAL_BITS};
+use crate::stream::{derive_seed, splitmix64};
+use crate::subscription::Subscription;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simtime::{Duration, Timestamp};
+use std::ops::Range;
+
+/// Day of a database's life where the incentive cliff sits. Strictly
+/// below the 30-day long-lived boundary and above the 2-day
+/// observation prefix, so cliff churn flips labels without touching
+/// features.
+pub const INCENTIVE_CLIFF_DAYS: f64 = 29.0;
+
+/// Probability a Basic database that outlives the cliff gets churned.
+pub const INCENTIVE_CLIFF_CHURN: f64 = 0.65;
+
+/// Season window (days into the region window) whose creations get
+/// the seasonal SLO bump.
+pub const SEASON_DAYS: Range<f64> = 60.0..120.0;
+
+/// Probability a season-window database gets the SLO bump.
+pub const SEASONAL_BUMP: f64 = 0.5;
+
+/// Day of the region window the migration wave hits.
+pub const MIGRATION_WAVE_DAY: f64 = 75.0;
+
+/// Fraction of subscriptions swept up in the migration wave.
+pub const MIGRATION_WAVE_SHARE: f64 = 0.25;
+
+/// A counterfactual cohort the simulator can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// The untouched generated fleet.
+    Baseline,
+    /// Mass churn of Basic databases at the free-tier boundary.
+    IncentiveCliff,
+    /// Seasonal within-edition SLO upgrades inside the prefix.
+    SeasonalSlo,
+    /// A regional drop-and-recreate wave mid-window.
+    MigrationWave,
+}
+
+impl ScenarioKind {
+    /// Every cohort, baseline first — policybench's iteration order.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::Baseline,
+        ScenarioKind::IncentiveCliff,
+        ScenarioKind::SeasonalSlo,
+        ScenarioKind::MigrationWave,
+    ];
+
+    /// Stable label used in artifacts and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKind::Baseline => "baseline",
+            ScenarioKind::IncentiveCliff => "incentive-cliff",
+            ScenarioKind::SeasonalSlo => "seasonal-slo",
+            ScenarioKind::MigrationWave => "migration-wave",
+        }
+    }
+
+    /// Seed salt separating this cohort's randomness from the
+    /// generator's and from every other cohort's.
+    fn salt(&self) -> u64 {
+        match self {
+            ScenarioKind::Baseline => 0,
+            ScenarioKind::IncentiveCliff => 0x1CC_C11F,
+            ScenarioKind::SeasonalSlo => 0x5EA_5045,
+            ScenarioKind::MigrationWave => 0x3170_64D7,
+        }
+    }
+}
+
+/// Applies `kind`'s transform to one generated subscription's records,
+/// in place. Pure in `(config.seed, kind, sub_idx, databases)`:
+/// the RNG is seeded from those alone, and every rewrite decision
+/// depends only on the subscription's own records.
+pub fn apply_scenario(
+    config: &FleetConfig,
+    kind: ScenarioKind,
+    sub_idx: usize,
+    databases: &mut Vec<DatabaseRecord>,
+) {
+    if kind == ScenarioKind::Baseline || databases.is_empty() {
+        return;
+    }
+    let mut rng = SmallRng::seed_from_u64(derive_seed(
+        splitmix64(config.seed ^ kind.salt()),
+        sub_idx as u64,
+    ));
+    let window_start = Timestamp::from_date(config.region.window_start);
+    let window_end = Timestamp::from_date(config.region.window_end());
+    match kind {
+        ScenarioKind::Baseline => {}
+        ScenarioKind::IncentiveCliff => {
+            incentive_cliff(&mut rng, window_end, databases);
+        }
+        ScenarioKind::SeasonalSlo => {
+            seasonal_slo(&mut rng, window_start, window_end, databases);
+        }
+        ScenarioKind::MigrationWave => {
+            migration_wave(&mut rng, sub_idx, window_start, window_end, databases);
+        }
+    }
+}
+
+/// [`crate::fleet::generate_subscription`] followed by
+/// [`apply_scenario`] — the one-call unit the sharded policy pipeline
+/// drives.
+pub fn generate_scenario_subscription(
+    config: &FleetConfig,
+    kind: ScenarioKind,
+    sub_idx: usize,
+) -> (Subscription, Vec<DatabaseRecord>) {
+    let (subscription, mut databases) = generate_subscription(config, sub_idx);
+    apply_scenario(config, kind, sub_idx, &mut databases);
+    (subscription, databases)
+}
+
+/// Materializes a whole scenario fleet — the reference the sharded
+/// path is checked against, mirroring [`Fleet::generate`].
+pub fn generate_scenario_fleet(config: FleetConfig, kind: ScenarioKind) -> Fleet {
+    let count = config.region.subscription_count;
+    let mut subscriptions = Vec::with_capacity(count);
+    let mut databases = Vec::new();
+    for sub_idx in 0..count {
+        let (subscription, records) = generate_scenario_subscription(&config, kind, sub_idx);
+        databases.extend(records);
+        subscriptions.push(subscription);
+    }
+    Fleet {
+        config,
+        subscriptions,
+        databases,
+    }
+}
+
+/// Truncates an SLO history to changes at or before `at`. The first
+/// entry (the creation SLO) is always kept.
+fn truncate_slo_history(db: &mut DatabaseRecord, at: Timestamp) {
+    db.slo_history.retain(|c| c.at <= at);
+    debug_assert!(!db.slo_history.is_empty(), "creation SLO must survive");
+}
+
+fn incentive_cliff(rng: &mut SmallRng, window_end: Timestamp, databases: &mut [DatabaseRecord]) {
+    for db in databases.iter_mut() {
+        if db.creation_edition() != Edition::Basic {
+            continue;
+        }
+        let cliff_at = db.created_at + Duration::days_f64(INCENTIVE_CLIFF_DAYS);
+        // Only databases whose survival past the cliff is observable
+        // inside the window can churn at it.
+        if cliff_at > window_end || !db.alive_at(cliff_at) {
+            continue;
+        }
+        if !rng.gen_bool(INCENTIVE_CLIFF_CHURN) {
+            continue;
+        }
+        // Drop inside (cliff, cliff + 0.9d): always before day 30, so
+        // a database that would have been long-lived becomes
+        // short-lived while its 2-day feature prefix stays untouched.
+        let new_drop = cliff_at + Duration::days_f64(rng.gen::<f64>() * 0.9);
+        let observed_end = db.dropped_at.unwrap_or(window_end);
+        if new_drop >= observed_end || new_drop > window_end {
+            continue; // churn cannot extend a life
+        }
+        db.dropped_at = Some(new_drop);
+        truncate_slo_history(db, new_drop);
+    }
+}
+
+fn seasonal_slo(
+    rng: &mut SmallRng,
+    window_start: Timestamp,
+    window_end: Timestamp,
+    databases: &mut [DatabaseRecord],
+) {
+    for db in databases.iter_mut() {
+        let day = (db.created_at - window_start).as_days_f64();
+        if !SEASON_DAYS.contains(&day) {
+            continue;
+        }
+        if !rng.gen_bool(SEASONAL_BUMP) {
+            continue;
+        }
+        // One rung up within the creation edition; Basic's single-rung
+        // ladder has nowhere to go.
+        let Some(up) = SloCatalog::neighbour(db.slo_history[0].slo_index, true) else {
+            continue;
+        };
+        // Land the change inside the 2-day observation prefix so the
+        // day-2 feature vector (and therefore the score) moves.
+        let change_at = db.created_at + Duration::days_f64(0.5 + rng.gen::<f64>());
+        let observed_end = db.dropped_at.unwrap_or(window_end);
+        if change_at >= observed_end {
+            continue;
+        }
+        if db.slo_history.iter().any(|c| c.at == change_at) {
+            continue; // keep SLO times strictly ascending
+        }
+        db.slo_history.push(SloChange {
+            at: change_at,
+            slo_index: up,
+        });
+        db.slo_history.sort_by_key(|c| c.at);
+    }
+}
+
+fn migration_wave(
+    rng: &mut SmallRng,
+    sub_idx: usize,
+    window_start: Timestamp,
+    window_end: Timestamp,
+    databases: &mut Vec<DatabaseRecord>,
+) {
+    if !rng.gen_bool(MIGRATION_WAVE_SHARE) {
+        return;
+    }
+    let wave_at = window_start + Duration::days_f64(MIGRATION_WAVE_DAY);
+    let mut replacements = Vec::new();
+    for db in databases.iter_mut() {
+        if db.created_at >= wave_at || !db.alive_at(wave_at) {
+            continue;
+        }
+        // The database drops within six hours of the wave and its
+        // replacement is created within 15 minutes of the drop, with
+        // the remaining lifespan carried over.
+        let drop_at = wave_at + Duration::days_f64(rng.gen::<f64>() * 0.25);
+        let recreated_at = drop_at + Duration::days_f64(rng.gen::<f64>() * 0.01);
+        let observed_end = db.dropped_at.unwrap_or(window_end);
+        if drop_at >= observed_end || recreated_at >= window_end {
+            continue;
+        }
+        let carried_drop = db.dropped_at.and_then(|d| {
+            let replacement_drop = recreated_at + (d - drop_at);
+            (replacement_drop <= window_end).then_some(replacement_drop)
+        });
+        let slo_index = db.slo_at(wave_at);
+        let mut replacement = db.clone();
+        replacement.created_at = recreated_at;
+        replacement.dropped_at = carried_drop;
+        replacement.slo_history = vec![SloChange {
+            at: recreated_at,
+            slo_index,
+        }];
+        replacement.database_name = format!("{}-mig", db.database_name);
+        // size/utilization samples are creation-relative offsets, so
+        // the cloned traces describe the replacement's own life.
+        replacements.push(replacement);
+
+        db.dropped_at = Some(drop_at);
+        truncate_slo_history(db, drop_at);
+    }
+    // Replacements take the next free ordinals, so ids keep ascending
+    // in creation order of the extended record list.
+    let base = databases.len() as u64;
+    for (k, replacement) in replacements.iter_mut().enumerate() {
+        let ordinal = base + k as u64;
+        assert!(
+            ordinal < (1 << DB_ORDINAL_BITS),
+            "ordinal space exhausted by migration replacements"
+        );
+        replacement.id = database_id(sub_idx as u64, ordinal);
+    }
+    databases.extend(replacements);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::Census;
+    use crate::region::RegionConfig;
+
+    fn config(seed: u64) -> FleetConfig {
+        FleetConfig::new(RegionConfig::region_1().scaled(0.05), seed)
+    }
+
+    fn scenario_fleet(kind: ScenarioKind, seed: u64) -> Fleet {
+        generate_scenario_fleet(config(seed), kind)
+    }
+
+    #[test]
+    fn baseline_scenario_is_the_generated_fleet() {
+        let plain = Fleet::generate(config(11));
+        let cohort = scenario_fleet(ScenarioKind::Baseline, 11);
+        assert_eq!(plain.databases, cohort.databases);
+        assert_eq!(plain.subscriptions, cohort.subscriptions);
+    }
+
+    #[test]
+    fn scenarios_are_shard_invariant() {
+        for kind in ScenarioKind::ALL {
+            let reference = scenario_fleet(kind, 12);
+            let cfg = config(12);
+            let count = cfg.region.subscription_count;
+            // Rebuild one subscription at a time in reverse order.
+            let mut databases = Vec::new();
+            for sub_idx in (0..count).rev() {
+                let (_, records) = generate_scenario_subscription(&cfg, kind, sub_idx);
+                databases.splice(0..0, records);
+            }
+            assert_eq!(databases, reference.databases, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn scenario_records_keep_fleet_invariants() {
+        for kind in ScenarioKind::ALL {
+            let fleet = scenario_fleet(kind, 13);
+            let end = fleet.window_end();
+            for w in fleet.databases.windows(2) {
+                assert!(w[0].id < w[1].id, "ids must ascend ({})", kind.label());
+            }
+            for db in &fleet.databases {
+                assert_eq!(db.slo_history[0].at, db.created_at);
+                for w in db.slo_history.windows(2) {
+                    assert!(w[0].at < w[1].at, "SLO times must ascend");
+                }
+                if let Some(d) = db.dropped_at {
+                    assert!(d > db.created_at && d <= end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incentive_cliff_flips_basic_labels_without_touching_prefixes() {
+        let baseline = scenario_fleet(ScenarioKind::Baseline, 14);
+        let cohort = scenario_fleet(ScenarioKind::IncentiveCliff, 14);
+        assert_eq!(baseline.databases.len(), cohort.databases.len());
+        let census = Census::new(&cohort);
+        let mut churned = 0;
+        for (before, after) in baseline.databases.iter().zip(&cohort.databases) {
+            assert_eq!(before.id, after.id);
+            assert_eq!(before.created_at, after.created_at);
+            // Only Basic records change, and only their tail.
+            if before != after {
+                assert_eq!(before.creation_edition(), Edition::Basic);
+                assert_eq!(before.size_trace, after.size_trace);
+                let days = (after.dropped_at.unwrap() - after.created_at).as_days_f64();
+                assert!(
+                    (INCENTIVE_CLIFF_DAYS..30.0).contains(&days),
+                    "churn must land in the cliff band, got {days}"
+                );
+                assert_eq!(
+                    census.classify(after),
+                    Some(crate::census::LifespanClass::ShortLived)
+                );
+                churned += 1;
+            }
+        }
+        assert!(churned > 3, "the cliff must churn something ({churned})");
+    }
+
+    #[test]
+    fn seasonal_slo_bumps_stay_in_edition_and_prefix() {
+        let baseline = scenario_fleet(ScenarioKind::Baseline, 15);
+        let cohort = scenario_fleet(ScenarioKind::SeasonalSlo, 15);
+        let window_start = cohort.window_start();
+        let mut bumped = 0;
+        for (before, after) in baseline.databases.iter().zip(&cohort.databases) {
+            assert_eq!(before.dropped_at, after.dropped_at, "labels must not move");
+            if before != after {
+                assert_eq!(after.slo_history.len(), before.slo_history.len() + 1);
+                assert_eq!(before.creation_edition(), after.creation_edition());
+                let day = (after.created_at - window_start).as_days_f64();
+                assert!(SEASON_DAYS.contains(&day));
+                let added = after
+                    .slo_history
+                    .iter()
+                    .find(|c| !before.slo_history.contains(c))
+                    .expect("one added change");
+                let offset = (added.at - after.created_at).as_days_f64();
+                assert!((0.5..1.5).contains(&offset), "bump at day {offset}");
+                assert_eq!(added.edition(), after.creation_edition());
+                bumped += 1;
+            }
+        }
+        assert!(bumped > 3, "the season must bump something ({bumped})");
+    }
+
+    #[test]
+    fn migration_wave_conserves_population_and_carries_lifespans() {
+        let baseline = scenario_fleet(ScenarioKind::Baseline, 16);
+        let cohort = scenario_fleet(ScenarioKind::MigrationWave, 16);
+        assert!(cohort.databases.len() > baseline.databases.len());
+        let wave_at = cohort.window_start() + Duration::days_f64(MIGRATION_WAVE_DAY);
+        let mut migrated = 0;
+        for db in &cohort.databases {
+            if let Some(original) = baseline.databases.iter().find(|b| b.id == db.id) {
+                if original.dropped_at != db.dropped_at {
+                    // A migrated original: dropped within 6 h of the wave.
+                    let drop = db.dropped_at.expect("wave drops are observed");
+                    let offset = (drop - wave_at).as_days_f64();
+                    assert!((0.0..0.25).contains(&offset), "drop at wave+{offset}d");
+                    migrated += 1;
+                }
+            } else {
+                // A replacement: created just after the wave with the
+                // suffix name and a single-entry SLO history.
+                assert!(db.database_name.ends_with("-mig"));
+                assert_eq!(db.slo_history.len(), 1);
+                assert!(db.created_at > wave_at);
+                assert!((db.created_at - wave_at).as_days_f64() < 0.3);
+            }
+        }
+        let replacements = cohort.databases.len() - baseline.databases.len();
+        assert!(migrated > 0 && replacements > 0);
+        assert!(
+            replacements <= migrated,
+            "every replacement pairs with a migrated original"
+        );
+    }
+
+    #[test]
+    fn scenario_fleets_census_cleanly() {
+        for kind in ScenarioKind::ALL {
+            let fleet = scenario_fleet(kind, 17);
+            let census = Census::new(&fleet);
+            let population = census.prediction_population(2.0);
+            assert!(!population.is_empty(), "{}", kind.label());
+            for &i in &population {
+                // Labels must be decidable (is_long_lived must not panic).
+                let _ = census.is_long_lived(&fleet.databases[i]);
+            }
+        }
+    }
+}

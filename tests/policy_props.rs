@@ -1,0 +1,221 @@
+//! `policy_props` — property tests pinning the decision layer's
+//! contracts.
+//!
+//! 1. **Purity** — `policy::decide` is a pure function of the score
+//!    facts and the subgroup's bands: repeated calls agree, and the
+//!    result matches the closed-form band semantics.
+//! 2. **Order and shard invariance** — `decide_batch` accounting is
+//!    independent of row order, and merging per-shard summaries over
+//!    any partition reproduces the single-pass summary exactly (the
+//!    property that makes `policy.json`'s deterministic section
+//!    shard-invariant).
+//! 3. **Frontier monotonicity** — with free review, widening the
+//!    uncertain band can only move rows from an acted cost to the
+//!    oracle cost, so the sweep frontier is monotone nonincreasing and
+//!    never dips below the oracle total.
+
+use forest::{parallel::splitmix64, ConfidenceSplit};
+use policy::{
+    action_cost, decide, decide_batch, oracle_action, Action, ActionBands, CostModel,
+    DecisionSummary, PolicySpec, SubgroupKey, SweepAccum,
+};
+use proptest::prelude::*;
+use serve::ScoreFacts;
+
+/// Deterministic f64 in [0, 1] from a splitmix64 stream.
+fn unit_float(state: u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / ((1u64 << 53) - 1) as f64
+}
+
+fn facts(positive: f64, confident: bool) -> ScoreFacts {
+    ScoreFacts {
+        positive,
+        predicted: (positive > 0.5) as usize,
+        split: if confident {
+            ConfidenceSplit::Confident
+        } else {
+            ConfidenceSplit::Uncertain
+        },
+    }
+}
+
+/// A random row corpus: (positive probability, confident, long-lived).
+fn corpus(seed: u64, len: usize) -> Vec<(f64, bool, bool)> {
+    (0..len as u64)
+        .map(|i| {
+            let p = unit_float(seed ^ (i * 977 + 1));
+            let confident = !splitmix64(seed ^ (i * 31 + 7)).is_multiple_of(3);
+            let long = splitmix64(seed ^ (i * 131 + 13)) % 5 < 2;
+            (p, confident, long)
+        })
+        .collect()
+}
+
+/// A seeded Fisher–Yates permutation of `0..len`.
+fn permutation(seed: u64, len: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = (splitmix64(seed ^ i as u64) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// A random cost model constructed so the oracle action is min-cost
+/// for both classes (the precondition of the monotonicity property):
+/// deferring a short-lived database beats provisioning it, and
+/// pre-provisioning a long-lived one beats deferring or standard-
+/// provisioning it.
+fn oracle_min_costs(seed: u64) -> CostModel {
+    let draw = |salt: u64| splitmix64(seed ^ salt) % 50;
+    let defer = draw(1);
+    let gap = draw(2);
+    let carry = draw(3);
+    CostModel {
+        defer_cost: defer,
+        provision_cost: defer + gap,
+        premium_carry_cost: carry,
+        migration_cost: carry + draw(4),
+        late_penalty: gap + draw(5),
+        waste_penalty: draw(6),
+        review_cost: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn decide_is_pure_and_matches_band_semantics(
+        seed in 1u64..=u64::MAX / 2,
+        lo in 0.0f64..0.5,
+        width in 0.01f64..0.5,
+    ) {
+        let confident = splitmix64(seed ^ 0xC0_17).is_multiple_of(2);
+        let spec = PolicySpec {
+            bands: ActionBands {
+                defer_below: lo,
+                preprovision_above: lo + width,
+            },
+            ..PolicySpec::default()
+        };
+        let subgroup = SubgroupKey::new("Region-1", "Standard");
+        let p = unit_float(seed);
+        let f = facts(p, confident);
+        let action = decide(&f, &spec, &subgroup);
+        // Pure: the same inputs always produce the same action.
+        prop_assert_eq!(action, decide(&f, &spec, &subgroup));
+        // Closed-form band semantics.
+        let expected = if !confident {
+            Action::Review
+        } else if p <= spec.bands.defer_below {
+            Action::DeferPremiumPlacement
+        } else if p >= spec.bands.preprovision_above {
+            Action::PreProvisionLongLived
+        } else {
+            Action::StandardProvision
+        };
+        prop_assert_eq!(action, expected, "p = {}", p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn batch_accounting_is_order_and_shard_invariant(
+        seed in 1u64..=u64::MAX / 2,
+        len in 1usize..120,
+        shards in 1usize..9,
+    ) {
+        let spec = PolicySpec::default();
+        let subgroup = SubgroupKey::new("Region-2", "Basic");
+        let rows = corpus(seed, len);
+        let built: Vec<(ScoreFacts, bool)> = rows
+            .iter()
+            .map(|&(p, confident, long)| (facts(p, confident), long))
+            .collect();
+        let (f, l): (Vec<_>, Vec<_>) = built.into_iter().unzip();
+        let (_, whole) = decide_batch(&f, &l, &spec, &subgroup);
+
+        // Row order: a seeded permutation reproduces the summary.
+        let order = permutation(seed, len);
+        let fp: Vec<ScoreFacts> = order.iter().map(|&i| f[i]).collect();
+        let lp: Vec<bool> = order.iter().map(|&i| l[i]).collect();
+        let (_, permuted) = decide_batch(&fp, &lp, &spec, &subgroup);
+        prop_assert_eq!(&permuted, &whole, "permuted rows changed the summary");
+
+        // Sharding: contiguous shards merged in order reproduce the
+        // summary, whatever the shard count.
+        let mut merged = DecisionSummary::default();
+        let base = len / shards;
+        let extra = len % shards;
+        let mut start = 0;
+        for s in 0..shards {
+            let take = base + usize::from(s < extra);
+            let (_, part) =
+                decide_batch(&f[start..start + take], &l[start..start + take], &spec, &subgroup);
+            merged.merge(&part);
+            start += take;
+        }
+        prop_assert_eq!(start, len);
+        prop_assert_eq!(&merged, &whole, "sharded merge changed the summary");
+
+        // The counting identities the artifact validator enforces.
+        prop_assert_eq!(whole.rows(), len as u64);
+        let table_total: u64 = whole.table.values().flatten().sum();
+        prop_assert_eq!(table_total, whole.rows());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn sweep_frontier_is_monotone_toward_the_oracle_with_free_review(
+        seed in 1u64..=u64::MAX / 2,
+        len in 1usize..100,
+        points in 2usize..12,
+    ) {
+        let costs = oracle_min_costs(seed);
+        let rows = corpus(seed, len);
+        let mut accum = SweepAccum::new(points);
+        let mut oracle_total = 0u64;
+        for &(p, _confident, long) in &rows {
+            accum.observe(p, long, &costs);
+            oracle_total += action_cost(oracle_action(long), long, &costs);
+        }
+        let frontier = accum.points();
+        prop_assert_eq!(frontier.len(), forest::threshold_grid(points).len());
+        for w in frontier.windows(2) {
+            prop_assert!(
+                w[1].total_cost <= w[0].total_cost,
+                "widening the uncertain band raised the cost: {} -> {} (t {} -> {})",
+                w[0].total_cost,
+                w[1].total_cost,
+                w[0].threshold,
+                w[1].threshold
+            );
+            prop_assert!(
+                w[1].confident_rows <= w[0].confident_rows,
+                "confident rows grew with the threshold"
+            );
+        }
+        for point in &frontier {
+            prop_assert!(
+                point.total_cost >= oracle_total,
+                "threshold {} undercut the oracle: {} < {oracle_total}",
+                point.threshold,
+                point.total_cost
+            );
+        }
+        // Sweep merge over a partition reproduces the single pass.
+        let mut merged = SweepAccum::new(points);
+        let chunk = 1 + (splitmix64(seed ^ 0xC0FFEE) as usize % len.max(1));
+        for slab in rows.chunks(chunk) {
+            let mut shard = SweepAccum::new(points);
+            for &(p, _, long) in slab {
+                shard.observe(p, long, &costs);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(&merged, &accum);
+    }
+}
